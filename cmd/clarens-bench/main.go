@@ -1,0 +1,407 @@
+// Command clarens-bench regenerates the paper's evaluation results
+// (DESIGN.md §3):
+//
+//	-experiment figure4    Figure 4: throughput vs number of asynchronous
+//	                       clients (1000 system.list_methods calls per
+//	                       batch, clients swept 1..79, two access checks
+//	                       per request, >30 strings serialized per reply)
+//	-experiment tls        §4: SSL/TLS overhead versus plaintext
+//	-experiment globus     §4 footnote/§5: trivial-method calls/second,
+//	                       Clarens vs the GT3-like baseline container
+//	-experiment streaming  §1: SC2003-style disk-to-network streaming
+//	-experiment all        run everything
+//
+// Results print as aligned tables; -csv DIR additionally writes one CSV
+// per experiment for plotting.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"clarens"
+	"clarens/internal/baseline"
+	"clarens/internal/pki"
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/soaprpc"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "figure4", "figure4 | tls | globus | streaming | all")
+		minClients = flag.Int("min-clients", 1, "figure4: first client count")
+		maxClients = flag.Int("max-clients", 79, "figure4: last client count (paper: 79)")
+		step       = flag.Int("step", 6, "figure4: client count step")
+		calls      = flag.Int("calls", 1000, "calls per measurement batch (paper: 1000)")
+		repeats    = flag.Int("repeats", 2, "repeats per point, best kept (paper repeated the sweep)")
+		trivial    = flag.Int("trivial-calls", 100, "globus: trivial method invocations (paper: 100)")
+		streamMB   = flag.Int("stream-mb", 256, "streaming: file size in MiB")
+		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
+	)
+	flag.Parse()
+
+	switch *experiment {
+	case "figure4":
+		runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
+	case "tls":
+		runTLS(*calls, *repeats, *csvDir)
+	case "globus":
+		runGlobus(*trivial, *csvDir)
+	case "streaming":
+		runStreaming(*streamMB, *csvDir)
+	case "all":
+		runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
+		runTLS(*calls, *repeats, *csvDir)
+		runGlobus(*trivial, *csvDir)
+		runStreaming(*streamMB, *csvDir)
+	default:
+		log.Fatalf("unknown experiment %q", *experiment)
+	}
+}
+
+// startServer launches an in-process full server, mirroring the paper's
+// test setup (unencrypted, unauthenticated clients, system module open,
+// both access checks live).
+func startServer() *clarens.Server {
+	srv, err := clarens.NewServer(clarens.Config{Name: "bench"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	return srv
+}
+
+func csvFile(dir, name string) *os.File {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}
+
+func runFigure4(minC, maxC, step, calls, repeats int, csvDir string) {
+	fmt.Println("== Experiment E1 / Figure 4: throughput vs asynchronous clients ==")
+	fmt.Printf("workload: %d x system.list_methods per batch, clients %d..%d step %d, best of %d\n",
+		calls, minC, maxC, step, repeats)
+	srv := startServer()
+	defer srv.Close()
+	c, err := clarens.Dial(srv.URL(), clarens.WithMaxConns(maxC+8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	// Warm the connection pool and the method cache path.
+	c.CallAsync(maxC, 2*maxC, "system.list_methods")
+
+	points, err := c.SweepAsync(minC, maxC, step, calls, repeats, "system.list_methods")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := csvFile(csvDir, "figure4.csv")
+	if out != nil {
+		fmt.Fprintln(out, "clients,calls,errors,seconds,requests_per_second")
+	}
+	var sum, count float64
+	fmt.Printf("%10s %12s %8s %14s\n", "clients", "calls", "errors", "req/s")
+	totalCalls, totalErrs := 0, 0
+	for _, p := range points {
+		fmt.Printf("%10d %12d %8d %14.0f\n", p.Clients, p.Calls, p.Errors, p.Rate())
+		if out != nil {
+			fmt.Fprintf(out, "%d,%d,%d,%.4f,%.1f\n", p.Clients, p.Calls, p.Errors, p.Elapsed.Seconds(), p.Rate())
+		}
+		sum += p.Rate()
+		count++
+		totalCalls += p.Calls
+		totalErrs += p.Errors
+	}
+	if out != nil {
+		out.Close()
+	}
+	fmt.Printf("average: %.0f requests/second over %d completed requests, %d errors\n",
+		sum/count, totalCalls, totalErrs)
+	fmt.Println("paper: ~1450 req/s average on a dual 2.8 GHz Xeon, flat across 1..79 clients, zero errors")
+	fmt.Println()
+}
+
+func runTLS(calls, repeats int, csvDir string) {
+	fmt.Println("== Experiment E2: SSL/TLS overhead ==")
+	const clients = 16
+
+	// keep-alive mode: persistent connections, record-layer cost only.
+	// Median of several batches — on AES-NI hardware the record-layer
+	// cost is close to scheduling noise, so a single batch can invert.
+	keepAlive := func(srv *clarens.Server, opts ...clarens.ClientOption) float64 {
+		opts = append(opts, clarens.WithMaxConns(clients+4))
+		c, err := clarens.Dial(srv.URL(), opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		c.CallAsync(clients, 2*clients, "system.list_methods") // warm
+		n := repeats
+		if n < 5 {
+			n = 5
+		}
+		rates := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			res := c.CallAsync(clients, calls, "system.list_methods")
+			if res.FirstErr != nil {
+				log.Fatal(res.FirstErr)
+			}
+			rates = append(rates, res.Rate())
+		}
+		sort.Float64s(rates)
+		return rates[len(rates)/2]
+	}
+	// reconnect mode: a fresh connection per call — every request pays the
+	// (TLS) handshake, the dominant cost the paper's informal 50% reflects
+	// for short-lived 2005-era clients.
+	reconnect := func(srv *clarens.Server, n int, opts ...clarens.ClientOption) float64 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			opts2 := append(append([]clarens.ClientOption(nil), opts...), clarens.WithMaxConns(1))
+			c, err := clarens.Dial(srv.URL(), opts2...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := c.Call("system.list_methods"); err != nil {
+				log.Fatal(err)
+			}
+			c.Close() // drop the connection: next call handshakes again
+		}
+		return float64(n) / time.Since(start).Seconds()
+	}
+
+	plainSrv := startServer()
+	defer plainSrv.Close()
+
+	ca, err := pki.NewCA(pki.MustParseDN("/O=bench/CN=CA"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	host, err := ca.IssueHost(pki.MustParseDN("/O=bench/OU=Services/CN=host\\/localhost"),
+		[]string{"localhost", "127.0.0.1"}, time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	user, err := ca.IssueUser(pki.MustParseDN("/O=bench/OU=People/CN=Bench User"), time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tlsSrv, err := clarens.NewServer(clarens.Config{
+		Name: "bench-tls",
+		TLS:  &clarens.TLSConfig{Identity: host, ClientCAs: ca.Pool()},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tlsSrv.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer tlsSrv.Close()
+	tlsOpts := []clarens.ClientOption{clarens.WithRootCAs(ca.Pool()), clarens.WithIdentity(user)}
+
+	// Interleave plaintext and TLS batches so system drift affects both
+	// sides equally; keepAlive takes the median of its batches.
+	plainKA := keepAlive(plainSrv)
+	tlsKA := keepAlive(tlsSrv, tlsOpts...)
+	plainKA2 := keepAlive(plainSrv)
+	tlsKA2 := keepAlive(tlsSrv, tlsOpts...)
+	plainKA = (plainKA + plainKA2) / 2
+	tlsKA = (tlsKA + tlsKA2) / 2
+	plainRC := reconnect(plainSrv, calls/4)
+	tlsRC := reconnect(tlsSrv, calls/4, tlsOpts...)
+
+	fmt.Printf("%-44s %12.0f req/s\n", "plaintext, keep-alive", plainKA)
+	fmt.Printf("%-44s %12.0f req/s\n", "TLS + client certs, keep-alive", tlsKA)
+	fmt.Printf("%-44s %12.0f req/s\n", "plaintext, reconnect per call", plainRC)
+	fmt.Printf("%-44s %12.0f req/s\n", "TLS + client certs, reconnect per call", tlsRC)
+	kaRed := 100 * (1 - tlsKA/plainKA)
+	kaNote := ""
+	if kaRed < 5 {
+		kaNote = " (AES-NI makes the record layer nearly free; a negative value means TLS won by coalescing each request into one record, i.e. fewer syscalls)"
+	}
+	fmt.Printf("TLS reduction: %.0f%% keep-alive%s, %.0f%% with per-call handshakes\n",
+		kaRed, kaNote, 100*(1-tlsRC/plainRC))
+	fmt.Println("paper: informal tests showed SSL/TLS reduces performance by up to 50%")
+	if out := csvFile(csvDir, "tls.csv"); out != nil {
+		fmt.Fprintln(out, "transport,mode,requests_per_second")
+		fmt.Fprintf(out, "plaintext,keepalive,%.1f\nTLS,keepalive,%.1f\nplaintext,reconnect,%.1f\nTLS,reconnect,%.1f\n",
+			plainKA, tlsKA, plainRC, tlsRC)
+		out.Close()
+	}
+	fmt.Println()
+}
+
+func runGlobus(calls int, csvDir string) {
+	fmt.Println("== Experiment E3: trivial method, Clarens vs GT3-like baseline ==")
+	fmt.Printf("workload: %d sequential invocations of a trivial echo method (paper protocol)\n", calls)
+
+	// Clarens: sequential echo calls over one keep-alive connection.
+	srv := startServer()
+	defer srv.Close()
+	c, err := clarens.Dial(srv.URL())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	c.Call("system.echo", "warmup")
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		if _, err := c.Call("system.echo", "x"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	clarensSeq := float64(calls) / time.Since(start).Seconds()
+	// The paper's headline comparison sets its Figure 4 (asynchronous)
+	// throughput against GT3's rate; measure that too, at the sweep's
+	// saturating concurrency.
+	async := c.CallAsync(64, 20*calls, "system.echo", "x")
+	if async.FirstErr != nil {
+		log.Fatal(async.FirstErr)
+	}
+	clarensRate := async.Rate()
+
+	// Baseline containers over HTTP.
+	baselineRate := func(costs baseline.Costs, n int) float64 {
+		container := baseline.NewContainer(costs)
+		container.Register("echo.echo", func(params []any) (any, error) {
+			if len(params) == 0 {
+				return nil, nil
+			}
+			return params[0], nil
+		})
+		httpSrv := &http.Server{Handler: container}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+
+		var wire bytes.Buffer
+		soaprpc.New().EncodeRequest(&wire, &rpc.Request{Method: "echo.echo", Params: []any{"x"}})
+		doc := wire.Bytes()
+		url := "http://" + ln.Addr().String()
+		client := &http.Client{}
+		post := func() {
+			resp, err := client.Post(url, "application/soap+xml", bytes.NewReader(doc))
+			if err != nil {
+				log.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		post() // warm
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			post()
+		}
+		return float64(n) / time.Since(start).Seconds()
+	}
+
+	// Fewer iterations for the slow containers: the paper used 100; keep
+	// runtime sane while preserving the statistic.
+	slowCalls := calls
+	if slowCalls > 100 {
+		slowCalls = 100
+	}
+	gt30 := baselineRate(baseline.DefaultCosts(), slowCalls)
+	gt39 := baselineRate(baseline.LightCosts(), slowCalls)
+
+	fmt.Printf("%-28s %12.0f calls/s\n", "Clarens (sequential)", clarensSeq)
+	fmt.Printf("%-28s %12.0f calls/s\n", "Clarens (async, 16 clients)", clarensRate)
+	fmt.Printf("%-28s %12.1f calls/s\n", "GT3.0-like container", gt30)
+	fmt.Printf("%-28s %12.1f calls/s\n", "GTK3.9-like container", gt39)
+	fmt.Printf("speedup (async vs GT3.0-like): %.0fx (paper: ~1450 vs 1..5 calls/s, 290..1450x)\n", clarensRate/gt30)
+	if out := csvFile(csvDir, "globus.csv"); out != nil {
+		fmt.Fprintln(out, "framework,calls_per_second")
+		fmt.Fprintf(out, "clarens_seq,%.1f\nclarens_async,%.1f\ngt30_like,%.2f\ngtk391_like,%.2f\n",
+			clarensSeq, clarensRate, gt30, gt39)
+		out.Close()
+	}
+	fmt.Println()
+}
+
+func runStreaming(sizeMB int, csvDir string) {
+	fmt.Println("== Experiment E4: file streaming throughput (SC2003 claim) ==")
+	root, err := os.MkdirTemp("", "clarens-stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 2654435761)
+	}
+	f, err := os.Create(filepath.Join(root, "stream.bin"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < sizeMB; i++ {
+		f.Write(payload)
+	}
+	f.Close()
+
+	srv, err := clarens.NewServer(clarens.Config{Name: "stream", FileRoot: root})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Files.SetACL("/", clarens.AccessRead, &clarens.ACL{
+		AllowDNs: []string{clarens.EntryAny, clarens.EntryAnonymous},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+
+	// HTTP GET path: zero-copy sendfile through http.ServeContent.
+	client := &http.Client{}
+	get := func() int64 {
+		resp, err := client.Get(srv.URL() + "/files/stream.bin")
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return n
+	}
+	get() // warm page cache
+	const rounds = 4
+	start := time.Now()
+	var total int64
+	for i := 0; i < rounds; i++ {
+		total += get()
+	}
+	elapsed := time.Since(start).Seconds()
+	gbps := float64(total) * 8 / 1e9 / elapsed
+
+	fmt.Printf("GET /files/stream.bin: %d MiB x %d in %.2fs = %.2f Gb/s\n",
+		sizeMB, rounds, elapsed, gbps)
+	fmt.Println("paper: 3.2 Gb/s disk-to-disk peak per server at SC2003 (network-limited)")
+	if out := csvFile(csvDir, "streaming.csv"); out != nil {
+		fmt.Fprintln(out, "path,bytes,seconds,gbps")
+		fmt.Fprintf(out, "http_get,%d,%.3f,%.3f\n", total, elapsed, gbps)
+		out.Close()
+	}
+	fmt.Println()
+}

@@ -1,0 +1,127 @@
+// Command clarens-server runs a full Clarens web-service server: system,
+// vo, acl, file, shell, proxy, and discovery services plus the browser
+// portal, over HTTP or certificate-authenticated HTTPS.
+//
+// Minimal start:
+//
+//	clarens-server -addr 127.0.0.1:8080 -root /srv/clarens/files \
+//	  -data /srv/clarens/db -admin "/O=site/OU=People/CN=Operator"
+//
+// TLS with grid-style client auth (see clarens-certgen):
+//
+//	clarens-server -addr :8443 -tls-id host.pem -tls-ca ca.pem ...
+package main
+
+import (
+	"crypto/x509"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"clarens"
+	"clarens/internal/pki"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		name         = flag.String("name", "clarens", "server name for discovery")
+		dataDir      = flag.String("data", "", "persistent database directory (empty = in-memory)")
+		fileRoot     = flag.String("root", "", "file service virtual root directory")
+		userMap      = flag.String("usermap", "", "path to .clarens_user_map (enables the shell service)")
+		admins       = flag.String("admins", "", "comma-separated admin DNs")
+		stations     = flag.String("stations", "", "comma-separated station server UDP addresses to publish to")
+		localStation = flag.String("local-station", "", "run an in-process station server on this UDP address (e.g. 127.0.0.1:9090)")
+		portal       = flag.Bool("portal", true, "serve the browser portal under /portal/")
+		proxySvc     = flag.Bool("proxy", true, "enable the proxy certificate store")
+		messagingSvc = flag.Bool("messaging", true, "enable the store-and-forward message service")
+		publish      = flag.Bool("publish", false, "publish services to the discovery network on startup")
+		tlsID        = flag.String("tls-id", "", "server identity PEM bundle (cert+key) enabling HTTPS")
+		tlsCA        = flag.String("tls-ca", "", "CA certificate PEM for verifying client certificates")
+		requireCert  = flag.Bool("tls-require-cert", false, "require a verified client certificate")
+	)
+	flag.Parse()
+
+	cfg := clarens.Config{
+		Name:            *name,
+		DataDir:         *dataDir,
+		FileRoot:        *fileRoot,
+		ShellUserMap:    *userMap,
+		EnableProxy:     *proxySvc,
+		EnableMessaging: *messagingSvc,
+		EnablePortal:    *portal,
+		LocalStation:    *localStation,
+		Logger:          log.New(os.Stderr, "clarens: ", log.LstdFlags),
+	}
+	if *admins != "" {
+		cfg.AdminDNs = splitList(*admins)
+	}
+	if *stations != "" {
+		cfg.StationAddrs = splitList(*stations)
+	}
+	if *tlsID != "" {
+		pemBytes, err := os.ReadFile(*tlsID)
+		if err != nil {
+			log.Fatalf("read -tls-id: %v", err)
+		}
+		id, err := pki.ParseIdentityPEM(pemBytes)
+		if err != nil {
+			log.Fatalf("parse -tls-id: %v", err)
+		}
+		tc := &clarens.TLSConfig{Identity: id, RequireClientCert: *requireCert}
+		if *tlsCA != "" {
+			caBytes, err := os.ReadFile(*tlsCA)
+			if err != nil {
+				log.Fatalf("read -tls-ca: %v", err)
+			}
+			caCert, err := pki.ParseCertPEM(caBytes)
+			if err != nil {
+				log.Fatalf("parse -tls-ca: %v", err)
+			}
+			pool := x509.NewCertPool()
+			pool.AddCert(caCert)
+			tc.ClientCAs = pool
+		}
+		cfg.TLS = tc
+	}
+
+	srv, err := clarens.NewServer(cfg)
+	if err != nil {
+		log.Fatalf("create server: %v", err)
+	}
+	defer srv.Close()
+	if err := srv.Start(*addr); err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	fmt.Printf("%s\nserving at %s (rpc endpoint %s)\n", clarens.Version, srv.URL(), srv.RPCURL())
+	if srv.StationAddr() != "" {
+		fmt.Printf("station server on udp://%s\n", srv.StationAddr())
+	}
+	if *publish {
+		if err := srv.PublishServices(); err != nil {
+			log.Printf("publish: %v", err)
+		} else {
+			fmt.Println("services published to the discovery network")
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		e = strings.TrimSpace(e)
+		if e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+// Command clarens-station runs a MonALISA-style station server: it
+// ingests UDP monitoring/discovery datagrams from Clarens servers,
+// optionally replicates them to peer stations, and periodically prints
+// the aggregate view (paper §2.4, Figure 3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"clarens/internal/monalisa"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:9090", "UDP listen address")
+		name  = flag.String("name", "station", "station name")
+		peers = flag.String("peers", "", "comma-separated peer station UDP addresses")
+		every = flag.Duration("report", 30*time.Second, "aggregate report interval (0 = silent)")
+		ttl   = flag.Duration("ttl", 10*time.Minute, "record expiry window")
+	)
+	flag.Parse()
+
+	st, err := monalisa.NewStation(*name, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	st.DefaultTTL = *ttl
+	for _, p := range strings.Split(*peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		udp, err := net.ResolveUDPAddr("udp", p)
+		if err != nil {
+			log.Fatalf("peer %q: %v", p, err)
+		}
+		st.Peer(udp)
+	}
+	fmt.Printf("station %q listening on udp://%s\n", *name, st.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *every > 0 {
+		ticker := time.NewTicker(*every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				st.Expire(*ttl)
+				fmt.Printf("[%s] farms=%d records=%d\n",
+					time.Now().Format(time.TimeOnly), len(st.Farms()), st.Len())
+			case <-stop:
+				return
+			}
+		}
+	}
+	<-stop
+}

@@ -1,0 +1,280 @@
+// Command clarens is the command-line client for Clarens servers.
+//
+// Usage:
+//
+//	clarens -url http://host:8080 [-proto xmlrpc|jsonrpc|soap] [-session TOKEN] <command> [args...]
+//
+// Commands:
+//
+//	methods                        list server methods
+//	help <method>                  show a method's help text
+//	call <method> [json-args...]   invoke any method (args parsed as JSON, else strings)
+//	whoami                         show the authenticated DN
+//	login <dn> <password>          proxy login; prints the session token
+//	file ls|read|md5|stat <path>   file service operations
+//	disc find <pattern>            discovery queries
+//	disc servers
+//	vo groups|my                   VO queries
+//	shell <command line>           run a sandboxed command
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"flag"
+
+	"clarens"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://127.0.0.1:8080", "server base or endpoint URL")
+		proto   = flag.String("proto", "xmlrpc", "protocol: xmlrpc, jsonrpc, soap")
+		session = flag.String("session", os.Getenv("CLARENS_SESSION"), "session token (or $CLARENS_SESSION)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c, err := clarens.Dial(*url, clarens.WithProtocol(*proto), clarens.WithSession(*session))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := run(c, args); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(c *clarens.Client, args []string) error {
+	switch args[0] {
+	case "methods":
+		methods, err := c.CallStringList("system.list_methods")
+		if err != nil {
+			return err
+		}
+		for _, m := range methods {
+			fmt.Println(m)
+		}
+		return nil
+	case "help":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: help <method>")
+		}
+		help, err := c.CallString("system.method_help", args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(help)
+		return nil
+	case "call":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: call <method> [args...]")
+		}
+		params := make([]any, 0, len(args)-2)
+		for _, a := range args[2:] {
+			params = append(params, parseArg(a))
+		}
+		result, err := c.Call(args[1], params...)
+		if err != nil {
+			return err
+		}
+		return printJSON(result)
+	case "whoami":
+		dn, err := c.CallString("system.whoami")
+		if err != nil {
+			return err
+		}
+		if dn == "" {
+			dn = "(anonymous)"
+		}
+		fmt.Println(dn)
+		return nil
+	case "login":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: login <dn> <password>")
+		}
+		dn, err := clarens.ParseDN(args[1])
+		if err != nil {
+			return err
+		}
+		token, err := c.ProxyLogin(dn, args[2])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("export CLARENS_SESSION=%s\n", token)
+		return nil
+	case "file":
+		return runFile(c, args[1:])
+	case "disc":
+		return runDisc(c, args[1:])
+	case "vo":
+		return runVO(c, args[1:])
+	case "shell":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: shell <command line>")
+		}
+		res, err := c.CallStruct("shell.cmd", args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Print(res["stdout"])
+		if s, _ := res["stderr"].(string); s != "" {
+			fmt.Fprint(os.Stderr, s)
+		}
+		if code, _ := res["exit_code"].(int); code != 0 {
+			os.Exit(code)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func runFile(c *clarens.Client, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: file ls|read|md5|stat <path>")
+	}
+	switch args[0] {
+	case "ls":
+		entries, err := c.FileLs(args[1])
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			kind := "-"
+			if d, _ := e["is_dir"].(bool); d {
+				kind = "d"
+			}
+			fmt.Printf("%s %10v %v\n", kind, e["size"], e["name"])
+		}
+		return nil
+	case "read":
+		data, err := c.FileReadAll(args[1])
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+	case "md5":
+		sum, err := c.FileMD5(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(sum)
+		return nil
+	case "stat":
+		st, err := c.CallStruct("file.stat", args[1])
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	default:
+		return fmt.Errorf("unknown file command %q", args[0])
+	}
+}
+
+func runDisc(c *clarens.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: disc find <pattern> | disc servers")
+	}
+	switch args[0] {
+	case "find":
+		pattern := "*"
+		if len(args) > 1 {
+			pattern = args[1]
+		}
+		entries, err := c.Discover(pattern)
+		if err != nil {
+			return err
+		}
+		return printJSON(entries)
+	case "servers":
+		servers, err := c.CallStringList("discovery.servers")
+		if err != nil {
+			return err
+		}
+		for _, s := range servers {
+			fmt.Println(s)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown disc command %q", args[0])
+	}
+}
+
+func runVO(c *clarens.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: vo groups | vo my")
+	}
+	switch args[0] {
+	case "groups":
+		groups, err := c.CallStringList("vo.groups")
+		if err != nil {
+			return err
+		}
+		for _, g := range groups {
+			fmt.Println(g)
+		}
+		return nil
+	case "my":
+		groups, err := c.CallStringList("vo.my_groups")
+		if err != nil {
+			return err
+		}
+		for _, g := range groups {
+			fmt.Println(g)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown vo command %q", args[0])
+	}
+}
+
+// parseArg interprets a CLI argument as JSON when possible, falling back
+// to a raw string (so `call system.echo 42` sends an int, and
+// `call system.echo hello` sends a string).
+func parseArg(s string) any {
+	var v any
+	if err := json.Unmarshal([]byte(s), &v); err == nil {
+		if f, ok := v.(float64); ok && f == float64(int(f)) {
+			return int(f)
+		}
+		return v
+	}
+	return s
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonSafe(v))
+}
+
+// jsonSafe converts []byte results to strings for readable output.
+func jsonSafe(v any) any {
+	switch x := v.(type) {
+	case []byte:
+		return string(x)
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = jsonSafe(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = jsonSafe(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

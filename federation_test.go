@@ -1,0 +1,197 @@
+package clarens
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"clarens/internal/monalisa"
+)
+
+// TestDiscoveryFederation reproduces the Figure 3 topology end to end:
+// several Clarens servers publish over UDP to a shared station network;
+// a discovery front-end (station + aggregator + discovery service)
+// answers queries from its local cache; a client binds to the returned
+// URLs in real time.
+func TestDiscoveryFederation(t *testing.T) {
+	station, err := monalisa.NewStation("backbone", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer station.Close()
+
+	// The front-end runs its own station and peers the backbone into it.
+	front, err := NewServer(Config{Name: "frontend", LocalStation: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	if err := front.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	udp, err := net.ResolveUDPAddr("udp", front.StationAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	station.Peer(udp)
+
+	const sites = 4
+	var servers []*Server
+	for i := 0; i < sites; i++ {
+		srv, err := NewServer(Config{
+			Name:         fmt.Sprintf("site%d", i),
+			StationAddrs: []string{station.Addr().String()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.PublishServices(); err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+	}
+
+	client, err := Dial(front.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// All sites become visible through the front-end's local cache.
+	var entries []map[string]any
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		entries, err = client.Discover("*/system")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) >= sites {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(entries) < sites {
+		t.Fatalf("discovered %d/%d sites", len(entries), sites)
+	}
+
+	// Location-independent binding: call every discovered server.
+	for _, e := range entries {
+		url, _ := e["url"].(string)
+		server, _ := e["server"].(string)
+		if server == "frontend" {
+			continue
+		}
+		sc, err := Dial(url)
+		if err != nil {
+			t.Fatalf("dial %s: %v", url, err)
+		}
+		pong, err := sc.CallString("system.ping")
+		sc.Close()
+		if err != nil || pong != "pong" {
+			t.Errorf("%s via %s: %q %v", server, url, pong, err)
+		}
+	}
+
+	// discovery.servers on the front-end lists every publisher.
+	names, err := client.CallStringList("discovery.servers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < sites {
+		t.Errorf("servers = %v", names)
+	}
+}
+
+// TestConcurrentMixedWorkload hammers one server with concurrent traffic
+// across protocols, services, and identities; run under -race this is
+// the framework's thread-safety proof.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	srv, c := startFull(t)
+	if err := srv.Files.Grant("/data", AccessRead, []string{EntryAny}, nil); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := srv.NewSessionFor(userDN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			proto := []string{"xmlrpc", "jsonrpc", "soap"}[g%3]
+			cl, err := Dial(srv.URL(), WithProtocol(proto), WithSession(sess.ID))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 40; i++ {
+				switch i % 4 {
+				case 0:
+					if _, err := cl.CallStringList("system.list_methods"); err != nil {
+						errs <- fmt.Errorf("%s list: %w", proto, err)
+						return
+					}
+				case 1:
+					if _, err := cl.CallBytes("file.read", "/data/events.bin", 0, 128); err != nil {
+						errs <- fmt.Errorf("%s read: %w", proto, err)
+						return
+					}
+				case 2:
+					if _, err := cl.CallString("system.whoami"); err != nil {
+						errs <- fmt.Errorf("%s whoami: %w", proto, err)
+						return
+					}
+				case 3:
+					if _, err := cl.CallStruct("shell.cmd", fmt.Sprintf("echo g%d-i%d", g, i)); err != nil {
+						errs <- fmt.Errorf("%s shell: %w", proto, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestManyServersOneProcess exercises resource hygiene: dozens of
+// full servers started and stopped in one process must not leak
+// goroutines to the point of failure or collide on state.
+func TestManyServersOneProcess(t *testing.T) {
+	for i := 0; i < 12; i++ {
+		srv, err := NewServer(Config{Name: fmt.Sprintf("ephemeral%d", i), LocalStation: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			srv.Close()
+			t.Fatal(err)
+		}
+		c, err := Dial(srv.URL())
+		if err != nil {
+			srv.Close()
+			t.Fatal(err)
+		}
+		if _, err := c.CallString("system.ping"); err != nil {
+			t.Errorf("server %d: %v", i, err)
+		}
+		c.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("close %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package acl implements Clarens access-control management (paper §2.2,
+// §2.3): hierarchical ACLs on dotted method names and on file paths,
+// "modelled after the access control (.htaccess) files used by Apache".
+//
+// An ACL consists of an evaluation-order specification (allow,deny or
+// deny,allow) followed by four lists: DNs allowed, groups allowed, DNs
+// denied, and groups denied. DN entries are structural prefixes (package
+// pki). Evaluation walks "from the lowest applicable level to the
+// highest": the most specific ACL that expresses an opinion about the
+// caller wins, so "a DN or group granted access to a higher level method
+// automatically has access to a lower level method, unless specifically
+// denied at the lower level".
+//
+// File ACLs (paper §2.3) extend method ACLs "with two extra fields: read
+// and write"; package fileservice keys them by access kind.
+package acl
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"clarens/internal/db"
+	"clarens/internal/pki"
+)
+
+// Order is the ACL evaluation order, with Apache .htaccess semantics.
+type Order int
+
+const (
+	// AllowDeny: evaluate allow lists first, then deny lists; a caller
+	// matched by both is denied; a caller matched by neither gets no
+	// opinion at this level (the search continues upward).
+	AllowDeny Order = iota
+	// DenyAllow: evaluate deny lists first, then allow lists; a caller
+	// matched by both is allowed.
+	DenyAllow
+)
+
+// String renders the order in the Apache spelling.
+func (o Order) String() string {
+	if o == DenyAllow {
+		return "deny,allow"
+	}
+	return "allow,deny"
+}
+
+// ParseOrder parses "allow,deny" or "deny,allow".
+func ParseOrder(s string) (Order, error) {
+	switch strings.ReplaceAll(strings.ToLower(strings.TrimSpace(s)), " ", "") {
+	case "allow,deny":
+		return AllowDeny, nil
+	case "deny,allow":
+		return DenyAllow, nil
+	default:
+		return 0, fmt.Errorf("acl: bad order %q (want \"allow,deny\" or \"deny,allow\")", s)
+	}
+}
+
+// ACL is one access-control entry attached to a hierarchy level.
+type ACL struct {
+	Order       Order    `json:"order"`
+	AllowDNs    []string `json:"allow_dns,omitempty"`
+	AllowGroups []string `json:"allow_groups,omitempty"`
+	DenyDNs     []string `json:"deny_dns,omitempty"`
+	DenyGroups  []string `json:"deny_groups,omitempty"`
+}
+
+// Decision is the outcome of evaluating an ACL for a caller.
+type Decision int
+
+const (
+	// NoOpinion: this level's lists don't mention the caller.
+	NoOpinion Decision = iota
+	Allow
+	Deny
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Allow:
+		return "allow"
+	case Deny:
+		return "deny"
+	default:
+		return "no-opinion"
+	}
+}
+
+// GroupResolver answers group-membership queries; implemented by vo.Manager.
+type GroupResolver interface {
+	IsMember(group string, dn pki.DN) bool
+}
+
+// Evaluate applies this single ACL to the caller.
+func (a *ACL) Evaluate(dn pki.DN, groups GroupResolver) Decision {
+	allowed := matchDNs(dn, a.AllowDNs) || matchGroups(dn, a.AllowGroups, groups)
+	denied := matchDNs(dn, a.DenyDNs) || matchGroups(dn, a.DenyGroups, groups)
+	switch {
+	case !allowed && !denied:
+		return NoOpinion
+	case allowed && denied:
+		if a.Order == DenyAllow {
+			return Allow
+		}
+		return Deny
+	case allowed:
+		return Allow
+	default:
+		return Deny
+	}
+}
+
+// Special DN-list entries: "*" matches any authenticated caller;
+// "anonymous" matches the unauthenticated (empty) DN. The paper's Figure 4
+// measurement runs unencrypted, unauthenticated clients through both
+// access checks, which requires granting anonymous access explicitly.
+const (
+	EntryAny       = "*"
+	EntryAnonymous = "anonymous"
+)
+
+func matchDNs(dn pki.DN, entries []string) bool {
+	for _, e := range entries {
+		switch e {
+		case EntryAny:
+			if !dn.IsZero() {
+				return true
+			}
+			continue
+		case EntryAnonymous:
+			if dn.IsZero() {
+				return true
+			}
+			continue
+		}
+		if dn.IsZero() {
+			continue
+		}
+		p, err := pki.ParseDN(e)
+		if err != nil {
+			continue
+		}
+		if dn.HasPrefix(p) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchGroups(dn pki.DN, groups []string, resolver GroupResolver) bool {
+	if resolver == nil || dn.IsZero() {
+		return false
+	}
+	for _, g := range groups {
+		if resolver.IsMember(g, dn) {
+			return true
+		}
+	}
+	return false
+}
+
+// Manager stores ACLs keyed by hierarchical dotted paths and evaluates
+// them lowest-level-first. The same manager serves method ACLs (paths are
+// method names) and file ACLs (paths are namespaced by the file service).
+type Manager struct {
+	mu       sync.RWMutex
+	store    *db.Store
+	bucket   string
+	resolver GroupResolver
+}
+
+// NewManager creates an ACL manager over the given store bucket.
+func NewManager(store *db.Store, bucket string, resolver GroupResolver) *Manager {
+	return &Manager{store: store, bucket: bucket, resolver: resolver}
+}
+
+// Set attaches an ACL to the given hierarchy path (e.g. "file",
+// "file.read", "system.acl.set").
+func (m *Manager) Set(path string, a *ACL) error {
+	if path == "" {
+		return fmt.Errorf("acl: empty path")
+	}
+	for _, dns := range [][]string{a.AllowDNs, a.DenyDNs} {
+		for _, e := range dns {
+			if e == EntryAny || e == EntryAnonymous {
+				continue
+			}
+			if _, err := pki.ParseDN(e); err != nil {
+				return fmt.Errorf("acl: %w", err)
+			}
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.PutJSON(m.bucket, path, a)
+}
+
+// Get returns the ACL attached exactly at path, or nil.
+func (m *Manager) Get(path string) (*ACL, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var a ACL
+	found, err := m.store.GetJSON(m.bucket, path, &a)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	return &a, nil
+}
+
+// Delete removes the ACL at path.
+func (m *Manager) Delete(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.Delete(m.bucket, path)
+}
+
+// Paths lists all paths that have ACLs attached, sorted.
+func (m *Manager) Paths() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.store.Keys(m.bucket, "")
+}
+
+// levels expands "a.b.c" into ["a.b.c", "a.b", "a"] — lowest level first,
+// matching the paper's evaluation order.
+func levels(path string) []string {
+	out := []string{path}
+	for {
+		i := strings.LastIndexByte(path, '.')
+		if i < 0 {
+			return out
+		}
+		path = path[:i]
+		out = append(out, path)
+	}
+}
+
+// Authorize walks the hierarchy from the lowest applicable level to the
+// highest and returns the first definite decision; if no level has an
+// opinion the result is Deny (secure default — Clarens servers are
+// deployed on the open internet).
+func (m *Manager) Authorize(path string, dn pki.DN) Decision {
+	d, _ := m.AuthorizeDetail(path, dn)
+	return d
+}
+
+// AuthorizeDetail additionally reports which level decided, for audit
+// logging and the acl.check service method ("" when no level decided).
+func (m *Manager) AuthorizeDetail(path string, dn pki.DN) (Decision, string) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, lvl := range levels(path) {
+		var a ACL
+		found, err := m.store.GetJSON(m.bucket, lvl, &a)
+		if err != nil || !found {
+			continue
+		}
+		if d := a.Evaluate(dn, m.resolver); d != NoOpinion {
+			return d, lvl
+		}
+	}
+	return Deny, ""
+}

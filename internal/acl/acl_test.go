@@ -1,0 +1,311 @@
+package acl
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"clarens/internal/db"
+	"clarens/internal/pki"
+)
+
+var (
+	alice = pki.MustParseDN("/O=grid/OU=People/CN=Alice")
+	bob   = pki.MustParseDN("/O=grid/OU=People/CN=Bob")
+	eve   = pki.MustParseDN("/O=dark/OU=People/CN=Eve")
+)
+
+// staticGroups implements GroupResolver from a fixed map.
+type staticGroups map[string][]string
+
+func (s staticGroups) IsMember(group string, dn pki.DN) bool {
+	for _, m := range s[group] {
+		if dn.String() == m {
+			return true
+		}
+	}
+	return false
+}
+
+func TestParseOrder(t *testing.T) {
+	for s, want := range map[string]Order{
+		"allow,deny": AllowDeny, "deny,allow": DenyAllow,
+		"Allow, Deny": AllowDeny, " DENY,ALLOW ": DenyAllow,
+	} {
+		got, err := ParseOrder(s)
+		if err != nil || got != want {
+			t.Errorf("ParseOrder(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseOrder("bogus"); err == nil {
+		t.Error("bad order must be rejected")
+	}
+	if AllowDeny.String() != "allow,deny" || DenyAllow.String() != "deny,allow" {
+		t.Error("Order.String mismatch")
+	}
+}
+
+func TestEvaluateSingleACL(t *testing.T) {
+	groups := staticGroups{"cms": {alice.String(), bob.String()}}
+	cases := []struct {
+		name string
+		acl  ACL
+		dn   pki.DN
+		want Decision
+	}{
+		{"allow-dn", ACL{AllowDNs: []string{alice.String()}}, alice, Allow},
+		{"allow-dn-other", ACL{AllowDNs: []string{alice.String()}}, bob, NoOpinion},
+		{"deny-dn", ACL{DenyDNs: []string{eve.String()}}, eve, Deny},
+		{"allow-group", ACL{AllowGroups: []string{"cms"}}, bob, Allow},
+		{"deny-group", ACL{DenyGroups: []string{"cms"}}, bob, Deny},
+		{"both-allowdeny", ACL{Order: AllowDeny, AllowDNs: []string{alice.String()}, DenyDNs: []string{alice.String()}}, alice, Deny},
+		{"both-denyallow", ACL{Order: DenyAllow, AllowDNs: []string{alice.String()}, DenyDNs: []string{alice.String()}}, alice, Allow},
+		{"wildcard-allow", ACL{AllowDNs: []string{"*"}}, eve, Allow},
+		{"prefix-allow", ACL{AllowDNs: []string{"/O=grid/OU=People"}}, bob, Allow},
+		{"prefix-no-match", ACL{AllowDNs: []string{"/O=grid/OU=People"}}, eve, NoOpinion},
+		{"unmentioned", ACL{AllowDNs: []string{alice.String()}, DenyDNs: []string{eve.String()}}, bob, NoOpinion},
+	}
+	for _, c := range cases {
+		if got := c.acl.Evaluate(c.dn, groups); got != c.want {
+			t.Errorf("%s: Evaluate = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAnonymousNeverMatchesStar(t *testing.T) {
+	a := ACL{AllowDNs: []string{"*"}, AllowGroups: []string{"cms"}}
+	if got := a.Evaluate(nil, staticGroups{"cms": {""}}); got != NoOpinion {
+		t.Errorf("anonymous caller matched: %v", got)
+	}
+}
+
+func TestAnonymousEntry(t *testing.T) {
+	a := ACL{AllowDNs: []string{EntryAnonymous}}
+	if got := a.Evaluate(nil, nil); got != Allow {
+		t.Errorf("anonymous entry should admit the empty DN: %v", got)
+	}
+	if got := a.Evaluate(alice, nil); got != NoOpinion {
+		t.Errorf("anonymous entry must not match authenticated callers: %v", got)
+	}
+	deny := ACL{DenyDNs: []string{EntryAnonymous}}
+	if got := deny.Evaluate(nil, nil); got != Deny {
+		t.Errorf("anonymous deny entry: %v", got)
+	}
+}
+
+func newManager(t *testing.T, groups GroupResolver) *Manager {
+	t.Helper()
+	store, err := db.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return NewManager(store, "acl_methods", groups)
+}
+
+func TestHierarchicalEvaluation(t *testing.T) {
+	m := newManager(t, nil)
+	// Grant at module level; the paper: "A DN or group granted access to a
+	// higher level method automatically has access to a lower level
+	// method, unless specifically denied at the lower level."
+	if err := m.Set("file", &ACL{AllowDNs: []string{alice.String(), bob.String()}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set("file.write", &ACL{DenyDNs: []string{bob.String()}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Authorize("file.read", alice); got != Allow {
+		t.Errorf("alice file.read = %v, want allow (inherited)", got)
+	}
+	if got := m.Authorize("file.write", alice); got != Allow {
+		t.Errorf("alice file.write = %v, want allow", got)
+	}
+	if got := m.Authorize("file.write", bob); got != Deny {
+		t.Errorf("bob file.write = %v, want deny (specific deny wins)", got)
+	}
+	if got := m.Authorize("file.read", bob); got != Allow {
+		t.Errorf("bob file.read = %v, want allow", got)
+	}
+	if got := m.Authorize("file.read", eve); got != Deny {
+		t.Errorf("eve file.read = %v, want deny (secure default)", got)
+	}
+}
+
+func TestLowestLevelWins(t *testing.T) {
+	m := newManager(t, nil)
+	m.Set("svc", &ACL{DenyDNs: []string{alice.String()}})
+	m.Set("svc.sub", &ACL{AllowDNs: []string{alice.String()}})
+	m.Set("svc.sub.method", &ACL{DenyDNs: []string{alice.String()}})
+	if got := m.Authorize("svc.sub.method", alice); got != Deny {
+		t.Errorf("3-level = %v, want deny from lowest level", got)
+	}
+	if got := m.Authorize("svc.sub.other", alice); got != Allow {
+		t.Errorf("2-level = %v, want allow from svc.sub", got)
+	}
+	if got := m.Authorize("svc.other", alice); got != Deny {
+		t.Errorf("1-level = %v, want deny from svc", got)
+	}
+}
+
+func TestAuthorizeDetail(t *testing.T) {
+	m := newManager(t, nil)
+	m.Set("a", &ACL{AllowDNs: []string{alice.String()}})
+	d, lvl := m.AuthorizeDetail("a.b.c", alice)
+	if d != Allow || lvl != "a" {
+		t.Errorf("detail = %v at %q", d, lvl)
+	}
+	d, lvl = m.AuthorizeDetail("zzz", alice)
+	if d != Deny || lvl != "" {
+		t.Errorf("default detail = %v at %q", d, lvl)
+	}
+}
+
+func TestDefaultDenyWithNoACLs(t *testing.T) {
+	m := newManager(t, nil)
+	if got := m.Authorize("anything.at.all", alice); got != Deny {
+		t.Errorf("no ACLs anywhere = %v, want deny", got)
+	}
+}
+
+func TestGroupACLsWithResolver(t *testing.T) {
+	groups := staticGroups{
+		"cms":    {alice.String(), bob.String()},
+		"banned": {eve.String()},
+	}
+	m := newManager(t, groups)
+	m.Set("data", &ACL{AllowGroups: []string{"cms"}, DenyGroups: []string{"banned"}})
+	if got := m.Authorize("data.read", alice); got != Allow {
+		t.Errorf("group member = %v", got)
+	}
+	if got := m.Authorize("data.read", eve); got != Deny {
+		t.Errorf("banned group = %v", got)
+	}
+}
+
+func TestSetValidation(t *testing.T) {
+	m := newManager(t, nil)
+	if err := m.Set("", &ACL{}); err == nil {
+		t.Error("empty path must be rejected")
+	}
+	if err := m.Set("p", &ACL{AllowDNs: []string{"not-a-dn"}}); err == nil {
+		t.Error("bad DN in ACL must be rejected")
+	}
+	if err := m.Set("p", &ACL{AllowDNs: []string{"*"}}); err != nil {
+		t.Errorf("wildcard is valid: %v", err)
+	}
+}
+
+func TestGetDeletePaths(t *testing.T) {
+	m := newManager(t, nil)
+	m.Set("x", &ACL{Order: DenyAllow, AllowDNs: []string{"*"}})
+	a, err := m.Get("x")
+	if err != nil || a == nil {
+		t.Fatalf("Get: %v %v", a, err)
+	}
+	if a.Order != DenyAllow || len(a.AllowDNs) != 1 {
+		t.Errorf("stored ACL = %+v", a)
+	}
+	if got, _ := m.Get("missing"); got != nil {
+		t.Error("missing path should yield nil")
+	}
+	if got := m.Paths(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Paths = %v", got)
+	}
+	if err := m.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.Get("x"); got != nil {
+		t.Error("deleted ACL still present")
+	}
+}
+
+func TestCorruptEntryToleration(t *testing.T) {
+	// A corrupt DN entry in a list must be skipped, not grant/deny all.
+	a := ACL{AllowDNs: []string{"corrupt", alice.String()}}
+	if got := a.Evaluate(alice, nil); got != Allow {
+		t.Errorf("valid entry after corrupt one = %v", got)
+	}
+	if got := a.Evaluate(eve, nil); got != NoOpinion {
+		t.Errorf("corrupt entry must not match anyone: %v", got)
+	}
+}
+
+// Property: Authorize is monotone in specificity — adding a more specific
+// ACL never changes decisions for paths outside its subtree.
+func TestSpecificityIsolationProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		m := newManager(t, nil)
+		m.Set("root", &ACL{AllowDNs: []string{alice.String()}})
+		before := m.Authorize("root.other.method", alice)
+		// Attach an arbitrary decision at a sibling subtree.
+		deny := seed%2 == 0
+		sub := &ACL{}
+		if deny {
+			sub.DenyDNs = []string{alice.String()}
+		} else {
+			sub.AllowDNs = []string{alice.String()}
+		}
+		m.Set("root.target", sub)
+		after := m.Authorize("root.other.method", alice)
+		return before == after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a single-level ACL, Allow and Deny are exhaustive and
+// exclusive for mentioned callers under both orders.
+func TestOrderSemanticsProperty(t *testing.T) {
+	f := func(inAllow, inDeny bool, orderDA bool) bool {
+		a := ACL{}
+		if orderDA {
+			a.Order = DenyAllow
+		}
+		if inAllow {
+			a.AllowDNs = append(a.AllowDNs, alice.String())
+		}
+		if inDeny {
+			a.DenyDNs = append(a.DenyDNs, alice.String())
+		}
+		got := a.Evaluate(alice, nil)
+		switch {
+		case !inAllow && !inDeny:
+			return got == NoOpinion
+		case inAllow && inDeny:
+			if orderDA {
+				return got == Allow
+			}
+			return got == Deny
+		case inAllow:
+			return got == Allow
+		default:
+			return got == Deny
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Allow.String() != "allow" || Deny.String() != "deny" || NoOpinion.String() != "no-opinion" {
+		t.Error("Decision.String mismatch")
+	}
+}
+
+func TestDeepHierarchy(t *testing.T) {
+	m := newManager(t, nil)
+	path := "l1"
+	for i := 2; i <= 8; i++ {
+		path = fmt.Sprintf("%s.l%d", path, i)
+	}
+	m.Set("l1", &ACL{AllowDNs: []string{alice.String()}})
+	if got := m.Authorize(path, alice); got != Allow {
+		t.Errorf("8-deep inheritance = %v", got)
+	}
+	m.Set(path, &ACL{DenyDNs: []string{alice.String()}})
+	if got := m.Authorize(path, alice); got != Deny {
+		t.Errorf("8-deep override = %v", got)
+	}
+}

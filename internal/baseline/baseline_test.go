@@ -1,0 +1,156 @@
+package baseline
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/soaprpc"
+)
+
+func trivialEcho(params []any) (any, error) {
+	if len(params) == 0 {
+		return nil, nil
+	}
+	return params[0], nil
+}
+
+func soapCall(t *testing.T, c *Container, method string, params ...any) *rpc.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := soaprpc.New().EncodeRequest(&buf, &rpc.Request{Method: method, Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	return c.Invoke(buf.Bytes(), "")
+}
+
+func TestInvokeEcho(t *testing.T) {
+	c := NewContainer(NoCosts())
+	c.Register("echo.echo", trivialEcho)
+	resp := soapCall(t, c, "echo.echo", "hello")
+	if resp.Fault != nil {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+	if !rpc.Equal(resp.Result, "hello") {
+		t.Errorf("result = %#v", resp.Result)
+	}
+}
+
+func TestMethodNotFound(t *testing.T) {
+	c := NewContainer(NoCosts())
+	resp := soapCall(t, c, "missing.method")
+	if resp.Fault == nil || resp.Fault.Code != rpc.CodeMethodNotFound {
+		t.Errorf("fault = %+v", resp.Fault)
+	}
+}
+
+func TestGarbageRejected(t *testing.T) {
+	c := NewContainer(NoCosts())
+	resp := c.Invoke([]byte("not soap at all"), "")
+	if resp.Fault == nil {
+		t.Error("garbage must fault")
+	}
+}
+
+func TestGridMapScan(t *testing.T) {
+	c := NewContainer(Costs{GridMapEntries: 100})
+	c.Register("echo.echo", trivialEcho)
+	if !c.gridMapScan("/O=grid/OU=People/CN=User 00042") {
+		t.Error("mapped DN rejected")
+	}
+	if c.gridMapScan("/O=elsewhere/CN=Nobody") {
+		t.Error("unmapped DN accepted")
+	}
+	if !c.gridMapScan("") {
+		t.Error("anonymous should be allowed for the trivial method")
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	c := NewContainer(NoCosts())
+	c.Register("echo.echo", trivialEcho)
+	srv := httptest.NewServer(c)
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	soaprpc.New().EncodeRequest(&buf, &rpc.Request{Method: "echo.echo", Params: []any{"x"}})
+	httpResp, err := http.Post(srv.URL, "application/soap+xml", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	resp, err := soaprpc.New().DecodeResponse(httpResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rpc.Equal(resp.Result, "x") {
+		t.Errorf("result = %#v", resp.Result)
+	}
+	// GET is rejected.
+	g, _ := http.Get(srv.URL)
+	if g.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET = %d", g.StatusCode)
+	}
+	g.Body.Close()
+}
+
+// TestOverheadOrdering verifies the cost model produces the paper's
+// ordering: full GT3.0 costs < GTK3.9-like costs < no costs, in calls/sec.
+func TestOverheadOrdering(t *testing.T) {
+	var wire bytes.Buffer
+	soaprpc.New().EncodeRequest(&wire, &rpc.Request{Method: "echo.echo", Params: []any{"x"}})
+	doc := wire.Bytes()
+
+	rate := func(costs Costs) float64 {
+		c := NewContainer(costs)
+		c.Register("echo.echo", trivialEcho)
+		const calls = 5
+		start := time.Now()
+		for i := 0; i < calls; i++ {
+			if resp := c.Invoke(doc, ""); resp.Fault != nil {
+				t.Fatalf("fault: %v", resp.Fault)
+			}
+		}
+		return calls / time.Since(start).Seconds()
+	}
+
+	full := rate(DefaultCosts())
+	light := rate(LightCosts())
+	none := rate(NoCosts())
+	if !(full < light && light < none) {
+		t.Errorf("cost ordering violated: full=%.1f light=%.1f none=%.1f calls/s", full, light, none)
+	}
+	t.Logf("baseline rates: GT3.0-like=%.1f/s GTK3.9-like=%.1f/s floor=%.0f/s", full, light, none)
+}
+
+func TestCostKnobsIndividuallyEffective(t *testing.T) {
+	var wire bytes.Buffer
+	soaprpc.New().EncodeRequest(&wire, &rpc.Request{Method: "m.m", Params: []any{"x"}})
+	doc := wire.Bytes()
+	base := NoCosts()
+	knobs := []Costs{
+		{SecurityRounds: 2000},
+		{ModExpBits: 2048},
+		{ParsePasses: 50},
+		{GridMapEntries: 200000},
+		{FactoryAllocKB: 4096},
+	}
+	elapsed := func(costs Costs) time.Duration {
+		c := NewContainer(costs)
+		c.Register("m.m", trivialEcho)
+		start := time.Now()
+		for i := 0; i < 3; i++ {
+			c.Invoke(doc, "")
+		}
+		return time.Since(start)
+	}
+	floor := elapsed(base)
+	for i, k := range knobs {
+		if e := elapsed(k); e <= floor {
+			t.Errorf("knob %d had no measurable cost (floor %v, got %v)", i, floor, e)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"clarens/internal/acl"
+	"clarens/internal/pki"
+	"clarens/internal/rpc"
+)
+
+// aclService exposes access-control management (paper §2.2) as web
+// service methods: server administrators attach/detach ACLs at any method
+// hierarchy level; any authenticated caller may check their own access.
+
+type aclService struct{ s *Server }
+
+func (aclService) Name() string { return "acl" }
+
+func (sv aclService) Methods() []Method {
+	return []Method{
+		{
+			Name:      "acl.set",
+			Help:      "Attach an ACL to a method hierarchy path. Parameters: path, order (\"allow,deny\"|\"deny,allow\"), allow DNs, allow groups, deny DNs, deny groups.",
+			Signature: []string{"boolean string string array array array array"},
+			Handler:   sv.set,
+		},
+		{
+			Name:      "acl.get",
+			Help:      "Return the ACL attached exactly at a path, or an empty struct.",
+			Signature: []string{"struct string"},
+			Handler:   sv.get,
+		},
+		{
+			Name:      "acl.delete",
+			Help:      "Remove the ACL attached at a path.",
+			Signature: []string{"boolean string"},
+			Handler:   sv.del,
+		},
+		{
+			Name:      "acl.list",
+			Help:      "List all paths with attached ACLs.",
+			Signature: []string{"array"},
+			Handler:   sv.list,
+		},
+		{
+			Name:      "acl.check",
+			Help:      "Evaluate whether a DN may invoke a method; returns the decision and the hierarchy level that decided.",
+			Signature: []string{"struct string string"},
+			Public:    true,
+			Handler:   sv.check,
+		},
+	}
+}
+
+func parseDNParam(s string) (pki.DN, error) {
+	if s == "" {
+		return nil, nil
+	}
+	dn, err := pki.ParseDN(s)
+	if err != nil {
+		return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: err.Error()}
+	}
+	return dn, nil
+}
+
+func (sv aclService) set(ctx *Context, p Params) (any, error) {
+	if err := ctx.RequireServerAdmin(); err != nil {
+		return nil, err
+	}
+	path, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	orderStr, err := p.String(1)
+	if err != nil {
+		return nil, err
+	}
+	order, err := acl.ParseOrder(orderStr)
+	if err != nil {
+		return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: err.Error()}
+	}
+	a := &acl.ACL{Order: order}
+	lists := []*[]string{&a.AllowDNs, &a.AllowGroups, &a.DenyDNs, &a.DenyGroups}
+	for i, dst := range lists {
+		if 2+i >= len(p) {
+			break
+		}
+		vals, err := p.StringSlice(2 + i)
+		if err != nil {
+			return nil, err
+		}
+		*dst = vals
+	}
+	if err := sv.s.methACL.Set(path, a); err != nil {
+		return nil, err
+	}
+	return true, nil
+}
+
+func (sv aclService) get(ctx *Context, p Params) (any, error) {
+	if err := ctx.RequireServerAdmin(); err != nil {
+		return nil, err
+	}
+	path, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	a, err := sv.s.methACL.Get(path)
+	if err != nil {
+		return nil, err
+	}
+	if a == nil {
+		return map[string]any{}, nil
+	}
+	return map[string]any{
+		"order":        a.Order.String(),
+		"allow_dns":    a.AllowDNs,
+		"allow_groups": a.AllowGroups,
+		"deny_dns":     a.DenyDNs,
+		"deny_groups":  a.DenyGroups,
+	}, nil
+}
+
+func (sv aclService) del(ctx *Context, p Params) (any, error) {
+	if err := ctx.RequireServerAdmin(); err != nil {
+		return nil, err
+	}
+	path, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := sv.s.methACL.Delete(path); err != nil {
+		return nil, err
+	}
+	return true, nil
+}
+
+func (sv aclService) list(ctx *Context, p Params) (any, error) {
+	if err := ctx.RequireServerAdmin(); err != nil {
+		return nil, err
+	}
+	return sv.s.methACL.Paths(), nil
+}
+
+func (sv aclService) check(ctx *Context, p Params) (any, error) {
+	path, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	// Optional second parameter: the DN to check. Only server admins may
+	// probe other identities; everyone may check themselves.
+	dn := ctx.DN
+	if len(p) > 1 {
+		dnStr, err := p.String(1)
+		if err != nil {
+			return nil, err
+		}
+		probe, err := parseDNParam(dnStr)
+		if err != nil {
+			return nil, err
+		}
+		if !probe.Equal(ctx.DN) && !sv.s.vom.IsServerAdmin(ctx.DN) {
+			return nil, &rpc.Fault{Code: rpc.CodeAccessDenied, Message: "only administrators may check other identities"}
+		}
+		dn = probe
+	}
+	decision, level := sv.s.methACL.AuthorizeDetail(path, dn)
+	return map[string]any{
+		"decision": decision.String(),
+		"level":    level,
+	}, nil
+}

@@ -1,0 +1,478 @@
+package core
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"clarens/internal/acl"
+	"clarens/internal/db"
+	"clarens/internal/pki"
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/jsonrpc"
+	"clarens/internal/rpc/soaprpc"
+	"clarens/internal/rpc/xmlrpc"
+	"clarens/internal/session"
+	"clarens/internal/vo"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DataDir is the directory for the persistent database; empty runs
+	// in-memory (no restart survival).
+	DataDir string
+	// AdminDNs statically populates the root admins VO group on startup
+	// (paper §2.1).
+	AdminDNs []string
+	// SessionTTL is the session lifetime; zero means 12h.
+	SessionTTL time.Duration
+	// RPCPath is the POST endpoint; default "/rpc". The root path "/" also
+	// accepts RPC POSTs, mirroring PClarens' URL-based dispatch.
+	RPCPath string
+	// DisableAuth skips the session lookup and ACL walk (ablation A1 in
+	// DESIGN.md). Never use outside benchmarks.
+	DisableAuth bool
+	// OpenSystem grants anonymous+any callers the system service at
+	// startup, reproducing the paper's Figure 4 environment where
+	// unauthenticated clients invoke system.list_methods through two live
+	// access checks. Default true.
+	OpenSystem *bool
+	// TLS, when non-nil, enables HTTPS with certificate-based client
+	// authentication against ClientCAs.
+	TLS *TLSConfig
+	// Logger receives framework logs; nil discards them.
+	Logger *log.Logger
+}
+
+// TLSConfig carries the server identity and client-auth trust anchors.
+type TLSConfig struct {
+	Identity *pki.Identity
+	// ClientCAs verifies client certificates; client certs are requested
+	// but not required (browsers without certs may still reach public
+	// portal pages; paper §3).
+	ClientCAs *x509.CertPool
+	// RequireClientCert refuses connections without a verified client
+	// certificate.
+	RequireClientCert bool
+}
+
+// Server is a Clarens framework instance.
+type Server struct {
+	cfg      Config
+	store    *db.Store
+	sessions *session.Manager
+	vom      *vo.Manager
+	methACL  *acl.Manager
+	registry *registry
+	codecs   []rpc.Codec
+	stats    Stats
+	logger   *log.Logger
+
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	listener net.Listener
+
+	started time.Time
+}
+
+// NewServer constructs a framework instance, opens the database, boots the
+// VO tree, and registers the built-in system, vo, and acl services.
+func NewServer(cfg Config) (*Server, error) {
+	store, err := db.Open(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	vom, err := vo.NewManager(store, cfg.AdminDNs)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	if cfg.RPCPath == "" {
+		cfg.RPCPath = "/rpc"
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    store,
+		sessions: session.NewManager(store, cfg.SessionTTL),
+		vom:      vom,
+		methACL:  acl.NewManager(store, "acl_methods", vom),
+		registry: newRegistry(store),
+		codecs:   []rpc.Codec{xmlrpc.New(), jsonrpc.New(), soaprpc.New()},
+		logger:   logger,
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+	}
+	s.stats.StartTime = s.started
+
+	s.mux.HandleFunc(cfg.RPCPath, s.handleRPC)
+	if cfg.RPCPath != "/" {
+		s.mux.HandleFunc("/", s.handleRoot)
+	}
+
+	if err := s.Register(systemService{s}); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := s.Register(voService{s}); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := s.Register(aclService{s}); err != nil {
+		s.Close()
+		return nil, err
+	}
+
+	openSystem := cfg.OpenSystem == nil || *cfg.OpenSystem
+	if openSystem {
+		err := s.methACL.Set("system", &acl.ACL{
+			AllowDNs:    []string{acl.EntryAny, acl.EntryAnonymous},
+			AllowGroups: []string{vo.AdminsGroup},
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Accessors used by services and the public API.
+
+// Store returns the embedded database.
+func (s *Server) Store() *db.Store { return s.store }
+
+// Sessions returns the session manager.
+func (s *Server) Sessions() *session.Manager { return s.sessions }
+
+// VO returns the virtual-organization manager.
+func (s *Server) VO() *vo.Manager { return s.vom }
+
+// MethodACL returns the ACL manager guarding method invocation.
+func (s *Server) MethodACL() *acl.Manager { return s.methACL }
+
+// Stats returns the live dispatch counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Logger returns the server's logger.
+func (s *Server) Logger() *log.Logger { return s.logger }
+
+// Register adds a service's methods to the registry. Every new top-level
+// module receives a default ACL granting the root admins group, unless an
+// ACL is already attached at the module level (so configured grants are
+// never overwritten).
+func (s *Server) Register(svc Service) error {
+	if err := s.registry.register(svc); err != nil {
+		return err
+	}
+	existing, err := s.methACL.Get(svc.Name())
+	if err != nil {
+		return err
+	}
+	if existing == nil {
+		return s.methACL.Set(svc.Name(), &acl.ACL{AllowGroups: []string{vo.AdminsGroup}})
+	}
+	return nil
+}
+
+// Mux exposes the HTTP mux so services (files, portal, discovery) can
+// attach GET endpoints, as Figure 1's "XML-RPC | GET | SOAP" row shows.
+func (s *Server) Mux() *http.ServeMux { return s.mux }
+
+// MethodNames returns all registered method names, sorted, via the
+// database-backed path.
+func (s *Server) MethodNames() []string { return s.registry.listFromDB() }
+
+// NewSessionFor creates a session directly; used by system.auth,
+// proxy.login, examples, and tests.
+func (s *Server) NewSessionFor(dn pki.DN) (*session.Session, error) {
+	return s.sessions.New(dn)
+}
+
+// handleRoot accepts RPC POSTs on "/" and answers GET / with a banner, in
+// the spirit of PClarens dispatching on URL form.
+func (s *Server) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.handleRPC(w, r)
+		return
+	}
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%s\nmethods: %d\nrpc endpoint: POST %s\n", Version, s.registry.count(), s.cfg.RPCPath)
+}
+
+// codecFor selects the protocol implementation for a request.
+func (s *Server) codecFor(r *http.Request) rpc.Codec {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.TrimSpace(strings.ToLower(ct))
+	if r.Header.Get("SOAPAction") != "" || ct == "application/soap+xml" {
+		return s.codecs[2]
+	}
+	switch ct {
+	case "application/json", "application/json-rpc", "text/json":
+		return s.codecs[1]
+	default:
+		return s.codecs[0] // XML-RPC: text/xml and anything else
+	}
+}
+
+// SessionHeader is the HTTP header carrying the session identifier;
+// the session cookie name is the lowercase equivalent.
+const (
+	SessionHeader = "X-Clarens-Session"
+	SessionCookie = "clarens_session"
+)
+
+// IdentifyRequest resolves the caller's DN and session. Order of
+// precedence: a verified TLS client certificate (possibly a proxy chain,
+// paper §2.6), then a presented session token. The session lookup is
+// always performed — it is the first of the two per-request access checks
+// measured in Figure 4. Exported for GET-path services (files, portal).
+func (s *Server) IdentifyRequest(r *http.Request) (pki.DN, *session.Session) {
+	var dn pki.DN
+	if r.TLS != nil && len(r.TLS.PeerCertificates) > 0 {
+		if len(r.TLS.VerifiedChains) > 0 {
+			dn = pki.EffectiveDNFromChain(r.TLS.VerifiedChains[0])
+		} else {
+			dn = pki.EffectiveDNFromChain(r.TLS.PeerCertificates)
+		}
+	}
+	sid := r.Header.Get(SessionHeader)
+	if sid == "" {
+		if c, err := r.Cookie(SessionCookie); err == nil {
+			sid = c.Value
+		}
+	}
+	// Access check 1: is this credential associated with a current
+	// session? (database lookup, even for an empty token)
+	sess, ok := s.sessions.Get(sid)
+	if !ok {
+		sess = nil
+	}
+	if dn.IsZero() && sess != nil {
+		dn = sess.DNParsed()
+	}
+	return dn, sess
+}
+
+// handleRPC is the POST dispatch pipeline.
+func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "RPC endpoint accepts POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	codec := s.codecFor(r)
+	req, err := codec.DecodeRequest(r.Body)
+	if err != nil {
+		fault, ok := err.(*rpc.Fault)
+		if !ok {
+			fault = &rpc.Fault{Code: rpc.CodeParse, Message: err.Error()}
+		}
+		s.writeResponse(w, codec, &rpc.Response{Fault: fault})
+		s.stats.record("(parse-error)", true)
+		return
+	}
+	resp := s.Dispatch(r, codec.Name(), req)
+	s.writeResponse(w, codec, resp)
+}
+
+// Dispatch runs the authentication/authorization pipeline and invokes the
+// method. It is exported for in-process use by benchmarks and tests; r may
+// be nil for pure in-process calls.
+func (s *Server) Dispatch(r *http.Request, protocol string, req *rpc.Request) *rpc.Response {
+	resp := &rpc.Response{ID: req.ID}
+	ctx := &Context{Protocol: protocol, srv: s}
+	if r != nil {
+		ctx.RemoteAddr = r.RemoteAddr
+		if !s.cfg.DisableAuth {
+			ctx.DN, ctx.Session = s.IdentifyRequest(r)
+		}
+	}
+
+	method, ok := s.registry.lookup(req.Method)
+	if !ok {
+		resp.Fault = &rpc.Fault{Code: rpc.CodeMethodNotFound, Message: fmt.Sprintf("no such method %q", req.Method)}
+		s.stats.record(req.Method, true)
+		return resp
+	}
+
+	if !s.cfg.DisableAuth {
+		// Access check 2: may this caller invoke this method? The ACL walk
+		// reads the database at each applicable hierarchy level. Public
+		// methods pass unless some level explicitly denies the caller;
+		// non-public methods require an explicit allow.
+		decision, level := s.methACL.AuthorizeDetail(req.Method, ctx.DN)
+		explicitDeny := decision == acl.Deny && level != ""
+		allowed := decision == acl.Allow || (method.Public && !explicitDeny)
+		if !allowed {
+			resp.Fault = &rpc.Fault{
+				Code:    rpc.CodeAccessDenied,
+				Message: fmt.Sprintf("access denied: method %s for %q", req.Method, ctx.DN.String()),
+			}
+			s.stats.record(req.Method, true)
+			return resp
+		}
+	}
+
+	result, err := method.Handler(ctx, Params(req.Params))
+	if err != nil {
+		if f, ok := err.(*rpc.Fault); ok {
+			resp.Fault = f
+		} else {
+			resp.Fault = &rpc.Fault{Code: rpc.CodeApplication, Message: err.Error()}
+		}
+		s.stats.record(req.Method, true)
+		return resp
+	}
+	norm, err := rpc.Normalize(result)
+	if err != nil {
+		resp.Fault = &rpc.Fault{Code: rpc.CodeInternal, Message: fmt.Sprintf("unserializable result: %v", err)}
+		s.stats.record(req.Method, true)
+		return resp
+	}
+	resp.Result = norm
+	s.stats.record(req.Method, false)
+	return resp
+}
+
+func (s *Server) writeResponse(w http.ResponseWriter, codec rpc.Codec, resp *rpc.Response) {
+	w.Header().Set("Content-Type", codec.ContentTypes()[0]+"; charset=utf-8")
+	w.Header().Set("X-Clarens-Server", Version)
+	if err := codec.EncodeResponse(w, resp); err != nil {
+		s.logger.Printf("core: encode response: %v", err)
+	}
+}
+
+// Handler returns the full HTTP handler (RPC + registered GET endpoints).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port). With cfg.TLS set it serves HTTPS
+// with client-certificate authentication; otherwise plain HTTP. It
+// returns once the listener is accepting; serving continues in the
+// background until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("core: listen %s: %w", addr, err)
+	}
+	if s.cfg.TLS != nil {
+		tc, err := s.tlsServerConfig()
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		ln = tls.NewListener(ln, tc)
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: s.mux, ErrorLog: s.logger}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.logger.Printf("core: serve: %v", err)
+		}
+	}()
+	return nil
+}
+
+// tlsServerConfig builds the HTTPS configuration with grid-style client
+// authentication, including acceptance of RFC 3820 proxy certificate
+// chains (which standard verification rejects because the signing user
+// certificate is not a CA).
+func (s *Server) tlsServerConfig() (*tls.Config, error) {
+	t := s.cfg.TLS
+	if t.Identity == nil {
+		return nil, fmt.Errorf("core: TLS enabled without a server identity")
+	}
+	cert := t.Identity.TLSCertificate()
+	clientAuth := tls.VerifyClientCertIfGiven
+	if t.RequireClientCert {
+		clientAuth = tls.RequireAnyClientCert
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		ClientAuth:   clientAuth,
+		MinVersion:   tls.VersionTLS12,
+	}
+	if t.ClientCAs != nil {
+		cfg.ClientCAs = t.ClientCAs
+		// Standard verification fails for proxy chains; verify manually.
+		cfg.ClientAuth = tls.RequireAnyClientCert
+		if !t.RequireClientCert {
+			cfg.ClientAuth = tls.RequestClientCert
+		}
+		cfg.VerifyPeerCertificate = func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+			if len(rawCerts) == 0 {
+				if t.RequireClientCert {
+					return fmt.Errorf("core: client certificate required")
+				}
+				return nil
+			}
+			certs := make([]*x509.Certificate, 0, len(rawCerts))
+			for _, raw := range rawCerts {
+				c, err := x509.ParseCertificate(raw)
+				if err != nil {
+					return err
+				}
+				certs = append(certs, c)
+			}
+			leaf := certs[0]
+			if pki.IsProxy(leaf) {
+				_, err := pki.VerifyProxy(leaf, certs[1:], t.ClientCAs)
+				return err
+			}
+			inter := x509.NewCertPool()
+			for _, c := range certs[1:] {
+				inter.AddCert(c)
+			}
+			_, err := leaf.Verify(x509.VerifyOptions{
+				Roots:         t.ClientCAs,
+				Intermediates: inter,
+				KeyUsages:     []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+			})
+			return err
+		}
+	}
+	return cfg, nil
+}
+
+// Addr returns the bound listen address after Start.
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// URL returns the base URL of the running server.
+func (s *Server) URL() string {
+	scheme := "http"
+	if s.cfg.TLS != nil {
+		scheme = "https"
+	}
+	return scheme + "://" + s.Addr()
+}
+
+// RPCPath returns the configured POST endpoint path.
+func (s *Server) RPCPath() string { return s.cfg.RPCPath }
+
+// Close shuts the server down and closes the database.
+func (s *Server) Close() error {
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	return s.store.Close()
+}

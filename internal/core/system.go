@@ -1,0 +1,191 @@
+package core
+
+import (
+	"time"
+
+	"clarens/internal/rpc"
+)
+
+// systemService provides the framework's introspection and session
+// management methods. system.list_methods is the method measured in the
+// paper's Figure 4; its implementation deliberately scans the database
+// rather than the in-memory registry to preserve the measured cost model.
+type systemService struct{ s *Server }
+
+func (systemService) Name() string { return "system" }
+
+func (sv systemService) Methods() []Method {
+	return []Method{
+		{
+			Name:      "system.list_methods",
+			Help:      "List the names of all methods registered on this server.",
+			Signature: []string{"array"},
+			Public:    true,
+			Handler:   sv.listMethods,
+		},
+		{
+			Name:      "system.method_help",
+			Help:      "Return the help string for a method.",
+			Signature: []string{"string string"},
+			Public:    true,
+			Handler:   sv.methodHelp,
+		},
+		{
+			Name:      "system.method_signature",
+			Help:      "Return the signature list for a method.",
+			Signature: []string{"array string"},
+			Public:    true,
+			Handler:   sv.methodSignature,
+		},
+		{
+			Name:      "system.auth",
+			Help:      "Establish a server-side session for the TLS-authenticated caller; returns the session token.",
+			Signature: []string{"string"},
+			Public:    true,
+			Handler:   sv.auth,
+		},
+		{
+			Name:      "system.logout",
+			Help:      "Destroy the current session.",
+			Signature: []string{"boolean"},
+			Public:    true,
+			Handler:   sv.logout,
+		},
+		{
+			Name:      "system.whoami",
+			Help:      "Return the caller's authenticated distinguished name (empty if anonymous).",
+			Signature: []string{"string"},
+			Public:    true,
+			Handler:   sv.whoami,
+		},
+		{
+			Name:      "system.ping",
+			Help:      "Liveness probe; returns the string \"pong\".",
+			Signature: []string{"string"},
+			Public:    true,
+			Handler:   sv.ping,
+		},
+		{
+			Name:      "system.echo",
+			Help:      "Return the first parameter unchanged; the trivial method used in cross-framework comparisons.",
+			Signature: []string{"any any"},
+			Public:    true,
+			Handler:   sv.echo,
+		},
+		{
+			Name:      "system.version",
+			Help:      "Return the server version string.",
+			Signature: []string{"string"},
+			Public:    true,
+			Handler:   sv.version,
+		},
+		{
+			Name:      "system.time",
+			Help:      "Return the server's current UTC time.",
+			Signature: []string{"dateTime.iso8601"},
+			Public:    true,
+			Handler:   sv.time,
+		},
+		{
+			Name:      "system.stats",
+			Help:      "Return dispatch counters: requests, faults, uptime seconds, per-method counts.",
+			Signature: []string{"struct"},
+			Handler:   sv.stats,
+		},
+	}
+}
+
+func (sv systemService) listMethods(ctx *Context, p Params) (any, error) {
+	// Database scan of registered methods (Figure 4 cost model), then
+	// serialization of the >30 name strings as an array.
+	return sv.s.registry.listFromDB(), nil
+}
+
+func (sv systemService) methodHelp(ctx *Context, p Params) (any, error) {
+	name, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := sv.s.registry.lookup(name)
+	if !ok {
+		return nil, &rpc.Fault{Code: rpc.CodeMethodNotFound, Message: "no such method " + name}
+	}
+	return m.Help, nil
+}
+
+func (sv systemService) methodSignature(ctx *Context, p Params) (any, error) {
+	name, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := sv.s.registry.lookup(name)
+	if !ok {
+		return nil, &rpc.Fault{Code: rpc.CodeMethodNotFound, Message: "no such method " + name}
+	}
+	return m.Signature, nil
+}
+
+func (sv systemService) auth(ctx *Context, p Params) (any, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	if ctx.Session != nil {
+		// Re-authentication with a live session just renews it.
+		if err := sv.s.sessions.Touch(ctx.Session.ID); err == nil {
+			return ctx.Session.ID, nil
+		}
+	}
+	sess, err := sv.s.sessions.New(ctx.DN)
+	if err != nil {
+		return nil, err
+	}
+	return sess.ID, nil
+}
+
+func (sv systemService) logout(ctx *Context, p Params) (any, error) {
+	if ctx.Session == nil {
+		return false, nil
+	}
+	if err := sv.s.sessions.Delete(ctx.Session.ID); err != nil {
+		return nil, err
+	}
+	return true, nil
+}
+
+func (sv systemService) whoami(ctx *Context, p Params) (any, error) {
+	return ctx.DN.String(), nil
+}
+
+func (systemService) ping(ctx *Context, p Params) (any, error) { return "pong", nil }
+
+func (systemService) echo(ctx *Context, p Params) (any, error) {
+	if len(p) == 0 {
+		return nil, nil
+	}
+	return p[0], nil
+}
+
+func (systemService) version(ctx *Context, p Params) (any, error) { return Version, nil }
+
+func (systemService) time(ctx *Context, p Params) (any, error) {
+	return time.Now().UTC(), nil
+}
+
+func (sv systemService) stats(ctx *Context, p Params) (any, error) {
+	if err := ctx.RequireServerAdmin(); err != nil {
+		return nil, err
+	}
+	requests, faults, byMethod := sv.s.stats.Snapshot()
+	perMethod := make(map[string]any, len(byMethod))
+	for k, v := range byMethod {
+		perMethod[k] = int(v)
+	}
+	return map[string]any{
+		"requests":       int(requests),
+		"faults":         int(faults),
+		"uptime_seconds": int(time.Since(sv.s.started).Seconds()),
+		"methods":        sv.s.registry.count(),
+		"sessions":       sv.s.sessions.Count(),
+		"by_method":      perMethod,
+	}, nil
+}

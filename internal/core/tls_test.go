@@ -1,0 +1,209 @@
+package core
+
+import (
+	"bytes"
+	"crypto/tls"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"clarens/internal/pki"
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/xmlrpc"
+)
+
+// tlsFixture starts a live HTTPS server with grid-style client auth.
+type tlsFixture struct {
+	ca     *pki.CA
+	server *Server
+	host   *pki.Identity
+	user   *pki.Identity
+}
+
+func newTLSFixture(t *testing.T, requireCert bool) *tlsFixture {
+	t.Helper()
+	ca, err := pki.NewCA(pki.MustParseDN("/O=testgrid/CN=Test CA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := ca.IssueHost(pki.MustParseDN("/O=testgrid/OU=Services/CN=host\\/localhost"),
+		[]string{"localhost", "127.0.0.1"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := ca.IssueUser(pki.MustParseDN("/O=testgrid/OU=People/CN=Tls User"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Config{
+		AdminDNs: []string{adminDN.String()},
+		TLS: &TLSConfig{
+			Identity:          host,
+			ClientCAs:         ca.Pool(),
+			RequireClientCert: requireCert,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return &tlsFixture{ca: ca, server: s, host: host, user: user}
+}
+
+func (f *tlsFixture) client(t *testing.T, id *pki.Identity) *http.Client {
+	t.Helper()
+	tc := &tls.Config{RootCAs: f.ca.Pool()}
+	if id != nil {
+		tc.Certificates = []tls.Certificate{id.TLSCertificate()}
+	}
+	return &http.Client{Transport: &http.Transport{TLSClientConfig: tc}}
+}
+
+func (f *tlsFixture) whoami(t *testing.T, client *http.Client) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := xmlrpc.New().EncodeRequest(&buf, &rpc.Request{Method: "system.whoami"}); err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := client.Post(f.server.URL()+"/rpc", "text/xml", &buf)
+	if err != nil {
+		return "", err
+	}
+	defer httpResp.Body.Close()
+	body, _ := io.ReadAll(httpResp.Body)
+	resp, err := xmlrpc.New().DecodeResponse(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if resp.Fault != nil {
+		return "", resp.Fault
+	}
+	return resp.Result.(string), nil
+}
+
+func TestTLSClientCertIdentity(t *testing.T) {
+	f := newTLSFixture(t, false)
+	dn, err := f.whoami(t, f.client(t, f.user))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn != f.user.DN().String() {
+		t.Errorf("whoami over TLS = %q, want %q", dn, f.user.DN().String())
+	}
+}
+
+func TestTLSAnonymousAllowedWhenOptional(t *testing.T) {
+	f := newTLSFixture(t, false)
+	dn, err := f.whoami(t, f.client(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn != "" {
+		t.Errorf("anonymous TLS whoami = %q", dn)
+	}
+}
+
+func TestTLSRequireClientCertRejectsAnonymous(t *testing.T) {
+	f := newTLSFixture(t, true)
+	if _, err := f.whoami(t, f.client(t, nil)); err == nil {
+		t.Error("handshake without client cert should fail when required")
+	}
+	// With a cert it works.
+	if _, err := f.whoami(t, f.client(t, f.user)); err != nil {
+		t.Errorf("with cert: %v", err)
+	}
+}
+
+func TestTLSProxyCertificateDelegation(t *testing.T) {
+	f := newTLSFixture(t, false)
+	proxy, err := pki.NewProxy(f.user, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := f.whoami(t, f.client(t, proxy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The framework must resolve the proxy chain to the *user* identity
+	// (paper §2.6: proxies log in on behalf of the user).
+	if dn != f.user.DN().String() {
+		t.Errorf("proxy whoami = %q, want user DN %q", dn, f.user.DN().String())
+	}
+}
+
+func TestTLSForeignCANotAuthenticated(t *testing.T) {
+	// TLS clients withhold certificates whose issuer is not among the
+	// server's acceptable CAs, so a foreign-CA client is anonymous when
+	// certs are optional, and fails the handshake when they are required.
+	evilCA, _ := pki.NewCA(pki.MustParseDN("/O=evil/CN=Evil CA"))
+	mallory, _ := evilCA.IssueUser(pki.MustParseDN("/O=evil/OU=People/CN=Mallory"), time.Hour)
+
+	f := newTLSFixture(t, false)
+	dn, err := f.whoami(t, f.client(t, mallory))
+	if err != nil {
+		t.Fatalf("optional mode: %v", err)
+	}
+	if dn != "" {
+		t.Errorf("foreign-CA client must not acquire an identity, got %q", dn)
+	}
+
+	f2 := newTLSFixture(t, true)
+	if _, err := f2.whoami(t, f2.client(t, mallory)); err == nil {
+		t.Error("require mode: foreign-CA client must fail the handshake")
+	}
+}
+
+func TestTLSSessionSurvivesAcrossConnections(t *testing.T) {
+	f := newTLSFixture(t, false)
+	client := f.client(t, f.user)
+	// Authenticate once, get a session token.
+	var buf bytes.Buffer
+	xmlrpc.New().EncodeRequest(&buf, &rpc.Request{Method: "system.auth"})
+	httpResp, err := client.Post(f.server.URL()+"/rpc", "text/xml", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := xmlrpc.New().DecodeResponse(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil || resp.Fault != nil {
+		t.Fatalf("auth: %v %v", err, resp.Fault)
+	}
+	token := resp.Result.(string)
+
+	// A *certificate-less* client presenting only the token is recognized.
+	anon := f.client(t, nil)
+	buf.Reset()
+	xmlrpc.New().EncodeRequest(&buf, &rpc.Request{Method: "system.whoami"})
+	req, _ := http.NewRequest(http.MethodPost, f.server.URL()+"/rpc", &buf)
+	req.Header.Set("Content-Type", "text/xml")
+	req.Header.Set(SessionHeader, token)
+	httpResp, err = anon.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	resp, err = xmlrpc.New().DecodeResponse(httpResp.Body)
+	if err != nil || resp.Fault != nil {
+		t.Fatalf("whoami: %v %v", err, resp.Fault)
+	}
+	if resp.Result != f.user.DN().String() {
+		t.Errorf("session-only whoami = %q", resp.Result)
+	}
+}
+
+func TestStartURLAndAddr(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() == "" || s.URL() == "" {
+		t.Error("Addr/URL empty after Start")
+	}
+	if s.RPCPath() != "/rpc" {
+		t.Errorf("RPCPath = %q", s.RPCPath())
+	}
+}

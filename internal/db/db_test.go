@@ -1,0 +1,434 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestInMemoryBasics(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.InMemory() {
+		t.Error("expected in-memory store")
+	}
+	if err := s.Put("b", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("b", "k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := s.Get("b", "missing"); ok {
+		t.Error("missing key should not be found")
+	}
+	if _, ok := s.Get("nobucket", "k"); ok {
+		t.Error("missing bucket should not be found")
+	}
+	if err := s.Delete("b", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("b", "k"); ok {
+		t.Error("deleted key should not be found")
+	}
+	if err := s.Delete("b", "never-existed"); err != nil {
+		t.Errorf("deleting a missing key must not error: %v", err)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	if err := s.Put("", "k", nil); err == nil {
+		t.Error("empty bucket should error")
+	}
+	if err := s.Put("b", "", nil); err == nil {
+		t.Error("empty key should error")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	orig := []byte("hello")
+	s.Put("b", "k", orig)
+	orig[0] = 'X' // caller mutates its slice after Put
+	v, _ := s.Get("b", "k")
+	if string(v) != "hello" {
+		t.Errorf("Put must copy: got %q", v)
+	}
+	v[0] = 'Y' // caller mutates the returned slice
+	v2, _ := s.Get("b", "k")
+	if string(v2) != "hello" {
+		t.Errorf("Get must copy: got %q", v2)
+	}
+}
+
+func TestKeysAndBucketsAndLen(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	s.Put("sessions", "s1", []byte("a"))
+	s.Put("sessions", "s2", []byte("b"))
+	s.Put("vo", "admins", []byte("c"))
+	if got := s.Keys("sessions", ""); !reflect.DeepEqual(got, []string{"s1", "s2"}) {
+		t.Errorf("Keys = %v", got)
+	}
+	if got := s.Keys("sessions", "s1"); !reflect.DeepEqual(got, []string{"s1"}) {
+		t.Errorf("Keys prefix = %v", got)
+	}
+	if got := s.Buckets(); !reflect.DeepEqual(got, []string{"sessions", "vo"}) {
+		t.Errorf("Buckets = %v", got)
+	}
+	if got := s.Len("sessions"); got != 2 {
+		t.Errorf("Len = %d", got)
+	}
+	if got := s.Len("empty"); got != 0 {
+		t.Errorf("Len(empty) = %d", got)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		s.Put("b", fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	var keys []string
+	err := s.ForEach("b", func(k string, v []byte) error {
+		keys = append(keys, k)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 5 || keys[0] != "k0" || keys[4] != "k4" {
+		t.Errorf("ForEach keys = %v", keys)
+	}
+	wantErr := fmt.Errorf("stop")
+	err = s.ForEach("b", func(k string, v []byte) error { return wantErr })
+	if err != wantErr {
+		t.Errorf("ForEach should propagate the first error, got %v", err)
+	}
+}
+
+func TestJSONHelpers(t *testing.T) {
+	s, _ := Open("")
+	defer s.Close()
+	type rec struct {
+		Name string
+		N    int
+	}
+	if err := s.PutJSON("b", "k", rec{"clarens", 2005}); err != nil {
+		t.Fatal(err)
+	}
+	var out rec
+	found, err := s.GetJSON("b", "k", &out)
+	if err != nil || !found {
+		t.Fatalf("GetJSON: %v found=%v", err, found)
+	}
+	if out.Name != "clarens" || out.N != 2005 {
+		t.Errorf("round trip = %+v", out)
+	}
+	found, err = s.GetJSON("b", "missing", &out)
+	if err != nil || found {
+		t.Errorf("missing key: found=%v err=%v", found, err)
+	}
+	if err := s.PutJSON("b", "bad", make(chan int)); err == nil {
+		t.Error("unmarshalable type should error")
+	}
+	s.Put("b", "garbage", []byte("{not json"))
+	if found, err = s.GetJSON("b", "garbage", &out); err == nil || !found {
+		t.Error("corrupt JSON should report an error with found=true")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("sessions", "sess-1", []byte("dn=/O=x/CN=jo"))
+	s.Put("sessions", "sess-2", []byte("dn=/O=x/CN=bo"))
+	s.Delete("sessions", "sess-2")
+	s.Put("vo", "groups/A", []byte("members"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, ok := s2.Get("sessions", "sess-1")
+	if !ok || string(v) != "dn=/O=x/CN=jo" {
+		t.Errorf("sess-1 after reopen = %q, %v", v, ok)
+	}
+	if _, ok := s2.Get("sessions", "sess-2"); ok {
+		t.Error("deleted key resurrected after reopen")
+	}
+	if _, ok := s2.Get("vo", "groups/A"); !ok {
+		t.Error("vo bucket lost after reopen")
+	}
+}
+
+func TestCompactPreservesStateAndTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Put("b", fmt.Sprintf("k%03d", i), bytes.Repeat([]byte{byte(i)}, 100))
+	}
+	for i := 0; i < 50; i++ {
+		s.Delete("b", fmt.Sprintf("k%03d", i))
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 0 {
+		t.Errorf("WAL size after compact = %d, want 0", st.Size())
+	}
+	// Writes after compact must still persist.
+	s.Put("b", "after", []byte("compact"))
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Len("b"); got != 51 {
+		t.Errorf("keys after compact+reopen = %d, want 51", got)
+	}
+	if _, ok := s2.Get("b", "after"); !ok {
+		t.Error("post-compact write lost")
+	}
+	if _, ok := s2.Get("b", "k000"); ok {
+		t.Error("deleted key present after compact")
+	}
+}
+
+func TestAutoCompactByThreshold(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.CompactThreshold = 1024
+	for i := 0; i < 100; i++ {
+		if err := s.Put("b", "samekey", bytes.Repeat([]byte("x"), 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 2048 {
+		t.Errorf("auto-compaction did not bound WAL growth: %d bytes", st.Size())
+	}
+}
+
+func TestTornWALRecordIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put("b", "good", []byte("value"))
+	s.Close()
+
+	// Simulate a crash mid-write: append half a record to the WAL.
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{opPut, 1, 2, 3}) // truncated header
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after torn write: %v", err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("b", "good"); !ok {
+		t.Error("intact record lost after torn-tail recovery")
+	}
+}
+
+func TestCorruptWALChecksumStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put("b", "first", []byte("1"))
+	s.Put("b", "second", []byte("2"))
+	s.Close()
+
+	// Flip a byte in the middle of the WAL: replay keeps the prefix.
+	path := filepath.Join(dir, walName)
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with corrupt tail: %v", err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("b", "first"); !ok {
+		t.Error("record before corruption should survive")
+	}
+	if _, ok := s2.Get("b", "second"); ok {
+		t.Error("corrupted record should not be applied")
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	s.Close()
+	if err := s.Put("b", "k", nil); err != ErrClosed {
+		t.Errorf("Put after close = %v, want ErrClosed", err)
+	}
+	if err := s.Delete("b", "k"); err != ErrClosed {
+		t.Errorf("Delete after close = %v, want ErrClosed", err)
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Errorf("Compact after close = %v, want ErrClosed", err)
+	}
+	if err := s.Sync(); err != ErrClosed {
+		t.Errorf("Sync after close = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close = %v, want nil", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if err := s.Put("b", key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := s.Get("b", key); !ok || string(v) != key {
+					t.Errorf("read own write failed for %s", key)
+					return
+				}
+				if i%10 == 0 {
+					s.Keys("b", fmt.Sprintf("g%d-", g))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Len("b"); got != 8*200 {
+		t.Errorf("Len = %d, want %d", got, 8*200)
+	}
+}
+
+// Property: a random sequence of puts/deletes replayed through a reopen
+// yields exactly the same state as an in-memory model map.
+func TestPersistenceMatchesModelProperty(t *testing.T) {
+	f := func(ops []struct {
+		Del bool
+		K   uint8
+		V   uint16
+	}) bool {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		model := map[string]string{}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op.K%16)
+			if op.Del {
+				s.Delete("b", key)
+				delete(model, key)
+			} else {
+				val := fmt.Sprintf("v%d", op.V)
+				s.Put("b", key, []byte(val))
+				model[key] = val
+			}
+		}
+		s.Close()
+		s2, err := Open(dir)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		if s2.Len("b") != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, ok := s2.Get("b", k)
+			if !ok || string(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(op bool, bucket, key string, value []byte) bool {
+		if bucket == "" {
+			bucket = "b"
+		}
+		if key == "" {
+			key = "k"
+		}
+		rec := record{op: opPut, bucket: bucket, key: key, value: value}
+		if op {
+			rec.op = opDelete
+		}
+		var buf bytes.Buffer
+		if err := writeRecord(&buf, rec); err != nil {
+			return false
+		}
+		got, err := readRecord(&buf)
+		if err != nil {
+			return false
+		}
+		return got.op == rec.op && got.bucket == rec.bucket &&
+			got.key == rec.key && bytes.Equal(got.value, rec.value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenRejectsUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root; permission bits are not enforced")
+	}
+	dir := t.TempDir()
+	os.Chmod(dir, 0o500)
+	defer os.Chmod(dir, 0o755)
+	if _, err := Open(filepath.Join(dir, "sub")); err == nil {
+		t.Error("expected error creating store under unwritable dir")
+	}
+}

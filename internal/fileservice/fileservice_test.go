@@ -1,0 +1,426 @@
+package fileservice
+
+import (
+	"bytes"
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clarens/internal/acl"
+	"clarens/internal/core"
+	"clarens/internal/pki"
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/xmlrpc"
+)
+
+var (
+	adminDN  = pki.MustParseDN("/O=caltech/OU=People/CN=Admin")
+	readerDN = pki.MustParseDN("/O=grid/OU=People/CN=Reader")
+	writerDN = pki.MustParseDN("/O=grid/OU=People/CN=Writer")
+	otherDN  = pki.MustParseDN("/O=other/OU=People/CN=Other")
+)
+
+type fixture struct {
+	srv  *core.Server
+	fs   *Service
+	root string
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	root := t.TempDir()
+	srv, err := core.NewServer(core.Config{AdminDNs: []string{adminDN.String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	fsvc, err := New(srv, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(fsvc); err != nil {
+		t.Fatal(err)
+	}
+	fsvc.MountHTTP("/files/")
+	// Baseline grants: readers may read everything under /data; writers
+	// may also write under /data.
+	os.MkdirAll(filepath.Join(root, "data", "sub"), 0o755)
+	os.WriteFile(filepath.Join(root, "data", "events.bin"), []byte("0123456789abcdef"), 0o644)
+	os.WriteFile(filepath.Join(root, "data", "sub", "notes.txt"), []byte("hello"), 0o644)
+	if err := fsvc.Grant("/data", Read, []string{readerDN.String(), writerDN.String()}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsvc.Grant("/data", Write, []string{writerDN.String()}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{srv: srv, fs: fsvc, root: root}
+}
+
+// call invokes a file method through the full dispatch pipeline.
+func (f *fixture) call(t *testing.T, dn pki.DN, method string, params ...any) *rpc.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	codec := xmlrpc.New()
+	if err := codec.EncodeRequest(&buf, &rpc.Request{Method: method, Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/rpc", &buf)
+	req.Header.Set("Content-Type", "text/xml")
+	if !dn.IsZero() {
+		sess, err := f.srv.NewSessionFor(dn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(core.SessionHeader, sess.ID)
+	}
+	w := httptest.NewRecorder()
+	f.srv.Handler().ServeHTTP(w, req)
+	resp, err := codec.DecodeResponse(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestReadFull(t *testing.T) {
+	f := newFixture(t)
+	resp := f.call(t, readerDN, "file.read", "/data/events.bin", 0, -1)
+	if resp.Fault != nil {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+	if !rpc.Equal(resp.Result, []byte("0123456789abcdef")) {
+		t.Errorf("read = %#v", resp.Result)
+	}
+}
+
+func TestReadOffsetLength(t *testing.T) {
+	f := newFixture(t)
+	// The paper's signature: file.read(filename, offset, bytes).
+	resp := f.call(t, readerDN, "file.read", "/data/events.bin", 4, 6)
+	if resp.Fault != nil {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+	if !rpc.Equal(resp.Result, []byte("456789")) {
+		t.Errorf("read(4,6) = %#v", resp.Result)
+	}
+	// Offset beyond EOF returns empty.
+	resp = f.call(t, readerDN, "file.read", "/data/events.bin", 100, 10)
+	if resp.Fault != nil || len(resp.Result.([]byte)) != 0 {
+		t.Errorf("read past EOF = %#v %v", resp.Result, resp.Fault)
+	}
+}
+
+func TestReadDeniedForOthers(t *testing.T) {
+	f := newFixture(t)
+	for _, dn := range []pki.DN{nil, otherDN} {
+		resp := f.call(t, dn, "file.read", "/data/events.bin")
+		if resp.Fault == nil || resp.Fault.Code != rpc.CodeAccessDenied {
+			t.Errorf("dn=%v fault = %+v", dn, resp.Fault)
+		}
+	}
+}
+
+func TestAdminAlwaysAllowed(t *testing.T) {
+	f := newFixture(t)
+	resp := f.call(t, adminDN, "file.read", "/data/events.bin")
+	if resp.Fault != nil {
+		t.Errorf("admin read fault: %v", resp.Fault)
+	}
+}
+
+func TestWriteRequiresWriteACL(t *testing.T) {
+	f := newFixture(t)
+	resp := f.call(t, readerDN, "file.write", "/data/out.txt", []byte("x"))
+	if resp.Fault == nil {
+		t.Error("reader must not write")
+	}
+	resp = f.call(t, writerDN, "file.write", "/data/out.txt", []byte("written"), 0)
+	if resp.Fault != nil {
+		t.Fatalf("writer write fault: %v", resp.Fault)
+	}
+	if !rpc.Equal(resp.Result, 7) {
+		t.Errorf("bytes written = %#v", resp.Result)
+	}
+	data, err := os.ReadFile(filepath.Join(f.root, "data", "out.txt"))
+	if err != nil || string(data) != "written" {
+		t.Errorf("file content = %q, %v", data, err)
+	}
+	// Append mode.
+	resp = f.call(t, writerDN, "file.write", "/data/out.txt", []byte("+more"))
+	if resp.Fault != nil {
+		t.Fatal(resp.Fault)
+	}
+	data, _ = os.ReadFile(filepath.Join(f.root, "data", "out.txt"))
+	if string(data) != "written+more" {
+		t.Errorf("after append = %q", data)
+	}
+}
+
+func TestLs(t *testing.T) {
+	f := newFixture(t)
+	resp := f.call(t, readerDN, "file.ls", "/data")
+	if resp.Fault != nil {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+	list := resp.Result.([]any)
+	if len(list) != 2 {
+		t.Fatalf("ls = %#v", list)
+	}
+	first := list[0].(map[string]any)
+	if first["name"] != "events.bin" || first["is_dir"] != false {
+		t.Errorf("entry = %#v", first)
+	}
+	second := list[1].(map[string]any)
+	if second["name"] != "sub" || second["is_dir"] != true {
+		t.Errorf("entry = %#v", second)
+	}
+}
+
+func TestStatAndSize(t *testing.T) {
+	f := newFixture(t)
+	resp := f.call(t, readerDN, "file.stat", "/data/events.bin")
+	if resp.Fault != nil {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+	st := resp.Result.(map[string]any)
+	if st["size"] != 16 || st["is_dir"] != false || st["name"] != "/data/events.bin" {
+		t.Errorf("stat = %#v", st)
+	}
+	resp = f.call(t, readerDN, "file.size", "/data/events.bin")
+	if !rpc.Equal(resp.Result, 16) {
+		t.Errorf("size = %#v", resp.Result)
+	}
+	resp = f.call(t, readerDN, "file.stat", "/data/missing")
+	if resp.Fault == nil {
+		t.Error("stat of missing file must fault")
+	}
+}
+
+func TestMD5(t *testing.T) {
+	f := newFixture(t)
+	resp := f.call(t, readerDN, "file.md5", "/data/events.bin")
+	if resp.Fault != nil {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+	want := md5.Sum([]byte("0123456789abcdef"))
+	if resp.Result != hex.EncodeToString(want[:]) {
+		t.Errorf("md5 = %v", resp.Result)
+	}
+}
+
+func TestFind(t *testing.T) {
+	f := newFixture(t)
+	resp := f.call(t, readerDN, "file.find", "/data", "*.txt")
+	if resp.Fault != nil {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+	if !rpc.Equal(resp.Result, []any{"/data/sub/notes.txt"}) {
+		t.Errorf("find = %#v", resp.Result)
+	}
+	resp = f.call(t, readerDN, "file.find", "/data", "[bad")
+	if resp.Fault == nil {
+		t.Error("bad glob must fault")
+	}
+}
+
+func TestFindPrunesDeniedSubtrees(t *testing.T) {
+	f := newFixture(t)
+	// Explicitly deny reader on /data/sub: find must not descend into it.
+	err := f.fs.SetACL("/data/sub", Read, &acl.ACL{DenyDNs: []string{readerDN.String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := f.call(t, readerDN, "file.find", "/data", "*")
+	if resp.Fault != nil {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+	for _, p := range resp.Result.([]any) {
+		if strings.HasPrefix(p.(string), "/data/sub") {
+			t.Errorf("denied subtree leaked into results: %v", p)
+		}
+	}
+	// file.read in the denied subtree also refuses (lowest level wins).
+	resp = f.call(t, readerDN, "file.read", "/data/sub/notes.txt")
+	if resp.Fault == nil {
+		t.Error("specific deny must override ancestor allow")
+	}
+}
+
+func TestMkdirRm(t *testing.T) {
+	f := newFixture(t)
+	resp := f.call(t, writerDN, "file.mkdir", "/data/newdir")
+	if resp.Fault != nil {
+		t.Fatalf("mkdir: %v", resp.Fault)
+	}
+	if fi, err := os.Stat(filepath.Join(f.root, "data", "newdir")); err != nil || !fi.IsDir() {
+		t.Error("directory not created")
+	}
+	resp = f.call(t, writerDN, "file.rm", "/data/newdir")
+	if resp.Fault != nil {
+		t.Fatalf("rm: %v", resp.Fault)
+	}
+	resp = f.call(t, writerDN, "file.rm", "/")
+	if resp.Fault == nil {
+		t.Error("rm of virtual root must be refused")
+	}
+	resp = f.call(t, readerDN, "file.mkdir", "/data/xx")
+	if resp.Fault == nil {
+		t.Error("mkdir without write ACL must fault")
+	}
+}
+
+func TestPathEscapeBlocked(t *testing.T) {
+	f := newFixture(t)
+	secret := filepath.Join(filepath.Dir(f.root), "secret.txt")
+	os.WriteFile(secret, []byte("secret"), 0o644)
+	defer os.Remove(secret)
+	for _, evil := range []string{
+		"../secret.txt",
+		"/../secret.txt",
+		"/data/../../secret.txt",
+		"..\\secret.txt",
+	} {
+		resp := f.call(t, adminDN, "file.read", evil)
+		if resp.Fault == nil {
+			if b, ok := resp.Result.([]byte); ok && string(b) == "secret" {
+				t.Errorf("path escape succeeded via %q", evil)
+			}
+		}
+	}
+}
+
+func TestHTTPGet(t *testing.T) {
+	f := newFixture(t)
+	sess, _ := f.srv.NewSessionFor(readerDN)
+
+	get := func(path string, sid string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		if sid != "" {
+			req.Header.Set(core.SessionHeader, sid)
+		}
+		w := httptest.NewRecorder()
+		f.srv.Handler().ServeHTTP(w, req)
+		return w
+	}
+
+	// Authorized GET returns the bytes.
+	w := get("/files/data/events.bin", sess.ID)
+	if w.Code != http.StatusOK || w.Body.String() != "0123456789abcdef" {
+		t.Errorf("GET = %d %q", w.Code, w.Body.String())
+	}
+	// Range requests work through http.ServeContent.
+	req := httptest.NewRequest(http.MethodGet, "/files/data/events.bin", nil)
+	req.Header.Set(core.SessionHeader, sess.ID)
+	req.Header.Set("Range", "bytes=4-9")
+	w = httptest.NewRecorder()
+	f.srv.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusPartialContent || w.Body.String() != "456789" {
+		t.Errorf("Range GET = %d %q", w.Code, w.Body.String())
+	}
+	// Unauthorized GET returns the paper's XML-encoded error message.
+	w = get("/files/data/events.bin", "")
+	if w.Code != http.StatusForbidden || !strings.Contains(w.Body.String(), "<error>") {
+		t.Errorf("denied GET = %d %q", w.Code, w.Body.String())
+	}
+	// Missing file under an authorized path.
+	w = get("/files/data/absent.bin", sess.ID)
+	if w.Code != http.StatusNotFound || !strings.Contains(w.Body.String(), "<error>") {
+		t.Errorf("missing GET = %d %q", w.Code, w.Body.String())
+	}
+	// POST not allowed on the file endpoint.
+	req = httptest.NewRequest(http.MethodPost, "/files/data/events.bin", nil)
+	w = httptest.NewRecorder()
+	f.srv.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST files = %d", w.Code)
+	}
+}
+
+func TestACLAdminMethods(t *testing.T) {
+	f := newFixture(t)
+	resp := f.call(t, adminDN, "file.set_acl", "/public", "read", "allow,deny",
+		[]any{"*", "anonymous"}, []any{}, []any{}, []any{})
+	if resp.Fault != nil {
+		t.Fatalf("set_acl: %v", resp.Fault)
+	}
+	os.MkdirAll(filepath.Join(f.root, "public"), 0o755)
+	os.WriteFile(filepath.Join(f.root, "public", "index.txt"), []byte("pub"), 0o644)
+	resp = f.call(t, nil, "file.read", "/public/index.txt")
+	if resp.Fault != nil {
+		t.Errorf("anonymous read of public file: %v", resp.Fault)
+	}
+	resp = f.call(t, adminDN, "file.get_acl", "/public")
+	if resp.Fault != nil {
+		t.Fatalf("get_acl: %v", resp.Fault)
+	}
+	m := resp.Result.(map[string]any)
+	if _, ok := m["read"]; !ok {
+		t.Errorf("get_acl = %#v", m)
+	}
+	resp = f.call(t, adminDN, "file.del_acl", "/public")
+	if resp.Fault != nil {
+		t.Fatalf("del_acl: %v", resp.Fault)
+	}
+	resp = f.call(t, nil, "file.read", "/public/index.txt")
+	if resp.Fault == nil {
+		t.Error("read after del_acl should be denied")
+	}
+	// Non-admins cannot manage file ACLs.
+	resp = f.call(t, readerDN, "file.set_acl", "/x", "read", "allow,deny", []any{"*"})
+	if resp.Fault == nil {
+		t.Error("non-admin set_acl must fault")
+	}
+	resp = f.call(t, adminDN, "file.set_acl", "/x", "bogus", "allow,deny", []any{"*"})
+	if resp.Fault == nil {
+		t.Error("bad kind must fault")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	srv, _ := core.NewServer(core.Config{})
+	defer srv.Close()
+	if _, err := New(srv, "/definitely/missing/dir"); err == nil {
+		t.Error("missing root must be rejected")
+	}
+	file := filepath.Join(t.TempDir(), "f")
+	os.WriteFile(file, nil, 0o644)
+	if _, err := New(srv, file); err == nil {
+		t.Error("non-directory root must be rejected")
+	}
+}
+
+func TestReadChunkCap(t *testing.T) {
+	f := newFixture(t)
+	big := filepath.Join(f.root, "data", "big.bin")
+	payload := bytes.Repeat([]byte("x"), MaxReadChunk+1024)
+	os.WriteFile(big, payload, 0o644)
+	resp := f.call(t, readerDN, "file.read", "/data/big.bin", 0, -1)
+	if resp.Fault != nil {
+		t.Fatalf("fault: %v", resp.Fault)
+	}
+	if got := len(resp.Result.([]byte)); got != MaxReadChunk {
+		t.Errorf("chunk = %d, want cap %d", got, MaxReadChunk)
+	}
+	// The remainder is reachable with an explicit offset.
+	resp = f.call(t, readerDN, "file.read", "/data/big.bin", MaxReadChunk, -1)
+	if got := len(resp.Result.([]byte)); got != 1024 {
+		t.Errorf("tail = %d", got)
+	}
+}
+
+func TestAclLevels(t *testing.T) {
+	got := aclLevels("/a/b/c")
+	want := []string{"/a/b/c", "/a/b", "/a", "/"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("aclLevels = %v", got)
+	}
+	if fmt.Sprint(aclLevels("/")) != "[/]" {
+		t.Errorf("aclLevels(/) = %v", aclLevels("/"))
+	}
+}

@@ -1,0 +1,319 @@
+// Package messaging implements the paper's §6 future-work item: "an
+// instant messaging (IM) architecture" overcoming the request/response
+// limitation for "asynchronous bi-directional communication required for
+// interactions between users and the jobs they are running on private
+// networks protected by NAT and firewalls".
+//
+// The design follows the constraint that motivated it: jobs behind NAT
+// can open *outbound* connections only, so delivery is store-and-forward
+// — senders post messages addressed to a DN; recipients poll (or
+// long-poll) their queue over the same authenticated RPC channel they
+// already use. "Jobs can be instrumented to act as Clarens ... clients
+// sending information to monitoring systems or remote debugging tools."
+//
+// Messages persist in the database, so queued traffic survives server
+// restarts like sessions do.
+package messaging
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"clarens/internal/core"
+	"clarens/internal/pki"
+	"clarens/internal/rpc"
+)
+
+const bucket = "messages"
+
+// Message is one queued item.
+type Message struct {
+	ID      string    `json:"id"`
+	From    string    `json:"from"` // sender DN
+	To      string    `json:"to"`   // recipient DN
+	Subject string    `json:"subject"`
+	Body    string    `json:"body"`
+	Sent    time.Time `json:"sent"`
+}
+
+// DefaultTTL is how long undelivered messages are retained.
+const DefaultTTL = 24 * time.Hour
+
+// MaxBody bounds a message body.
+const MaxBody = 256 << 10
+
+// Service is the store-and-forward messaging service.
+type Service struct {
+	srv *core.Server
+	TTL time.Duration
+
+	mu      sync.Mutex
+	waiters map[string][]chan struct{} // recipient DN -> wakeups
+}
+
+// New creates the messaging service.
+func New(srv *core.Server) *Service {
+	return &Service{srv: srv, TTL: DefaultTTL, waiters: make(map[string][]chan struct{})}
+}
+
+// Name implements core.Service.
+func (s *Service) Name() string { return "message" }
+
+// Methods implements core.Service.
+func (s *Service) Methods() []core.Method {
+	return []core.Method{
+		{
+			Name:      "message.send",
+			Help:      "Queue a message for a DN: send(to_dn, subject, body); returns the message id.",
+			Signature: []string{"string string string string"},
+			Public:    true,
+			Handler:   s.send,
+		},
+		{
+			Name:      "message.poll",
+			Help:      "Return (and keep) the caller's queued messages, oldest first. Optional parameter: max count.",
+			Signature: []string{"array int"},
+			Public:    true,
+			Handler:   s.poll,
+		},
+		{
+			Name:      "message.wait",
+			Help:      "Long-poll: like message.poll but blocks up to `timeout_ms` for a message to arrive.",
+			Signature: []string{"array int int"},
+			Public:    true,
+			Handler:   s.wait,
+		},
+		{
+			Name:      "message.ack",
+			Help:      "Acknowledge (delete) a delivered message by id.",
+			Signature: []string{"boolean string"},
+			Public:    true,
+			Handler:   s.ack,
+		},
+		{
+			Name:      "message.count",
+			Help:      "Number of messages queued for the caller.",
+			Signature: []string{"int"},
+			Public:    true,
+			Handler:   s.count,
+		},
+	}
+}
+
+// key layout: <recipient DN>|<unix nanos>|<id> — Keys(prefix) yields a
+// recipient's queue in arrival order.
+func msgKey(to string, sent time.Time, id string) string {
+	return fmt.Sprintf("%s|%020d|%s", to, sent.UnixNano(), id)
+}
+
+// Send queues a message; exported for in-process producers (job wrappers).
+func (s *Service) Send(from, to pki.DN, subject, body string) (string, error) {
+	if to.IsZero() {
+		return "", &rpc.Fault{Code: rpc.CodeInvalidParams, Message: "message: empty recipient"}
+	}
+	if len(body) > MaxBody {
+		return "", &rpc.Fault{Code: rpc.CodeInvalidParams, Message: "message: body too large"}
+	}
+	var idb [8]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		return "", err
+	}
+	m := Message{
+		ID:      hex.EncodeToString(idb[:]),
+		From:    from.String(),
+		To:      to.String(),
+		Subject: subject,
+		Body:    body,
+		Sent:    time.Now(),
+	}
+	if err := s.srv.Store().PutJSON(bucket, msgKey(m.To, m.Sent, m.ID), &m); err != nil {
+		return "", err
+	}
+	s.wake(m.To)
+	return m.ID, nil
+}
+
+func (s *Service) wake(to string) {
+	s.mu.Lock()
+	ws := s.waiters[to]
+	delete(s.waiters, to)
+	s.mu.Unlock()
+	for _, ch := range ws {
+		close(ch)
+	}
+}
+
+// Queue returns up to max queued messages for dn, oldest first (0 = all).
+func (s *Service) Queue(dn pki.DN, max int) ([]Message, error) {
+	cutoff := time.Now().Add(-s.TTL)
+	var out []Message
+	for _, key := range s.srv.Store().Keys(bucket, dn.String()+"|") {
+		var m Message
+		found, err := s.srv.Store().GetJSON(bucket, key, &m)
+		if err != nil || !found {
+			continue
+		}
+		if m.Sent.Before(cutoff) {
+			s.srv.Store().Delete(bucket, key)
+			continue
+		}
+		out = append(out, m)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sent.Before(out[j].Sent) })
+	return out, nil
+}
+
+// Ack deletes a message from dn's queue by id.
+func (s *Service) Ack(dn pki.DN, id string) (bool, error) {
+	for _, key := range s.srv.Store().Keys(bucket, dn.String()+"|") {
+		var m Message
+		found, err := s.srv.Store().GetJSON(bucket, key, &m)
+		if err != nil || !found {
+			continue
+		}
+		if m.ID == id {
+			return true, s.srv.Store().Delete(bucket, key)
+		}
+	}
+	return false, nil
+}
+
+func (s *Service) send(ctx *core.Context, p core.Params) (any, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	toStr, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	subject, err := p.String(1)
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.OptString(2, "")
+	if err != nil {
+		return nil, err
+	}
+	to, perr := pki.ParseDN(toStr)
+	if perr != nil {
+		return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: perr.Error()}
+	}
+	return s.Send(ctx.DN, to, subject, body)
+}
+
+func messageStruct(m Message) map[string]any {
+	return map[string]any{
+		"id":      m.ID,
+		"from":    m.From,
+		"subject": m.Subject,
+		"body":    m.Body,
+		"sent":    m.Sent.UTC(),
+	}
+}
+
+func (s *Service) poll(ctx *core.Context, p core.Params) (any, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	max, err := p.OptInt(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	msgs, err := s.Queue(ctx.DN, max)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, len(msgs))
+	for i, m := range msgs {
+		out[i] = messageStruct(m)
+	}
+	return out, nil
+}
+
+func (s *Service) wait(ctx *core.Context, p core.Params) (any, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	max, err := p.OptInt(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	timeoutMS, err := p.OptInt(1, 30000)
+	if err != nil {
+		return nil, err
+	}
+	if timeoutMS > 120000 {
+		timeoutMS = 120000
+	}
+	deadline := time.Now().Add(time.Duration(timeoutMS) * time.Millisecond)
+	for {
+		msgs, err := s.Queue(ctx.DN, max)
+		if err != nil {
+			return nil, err
+		}
+		if len(msgs) > 0 {
+			out := make([]any, len(msgs))
+			for i, m := range msgs {
+				out[i] = messageStruct(m)
+			}
+			return out, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return []any{}, nil
+		}
+		// Register a waiter before re-checking to avoid missed wakeups.
+		ch := make(chan struct{})
+		s.mu.Lock()
+		s.waiters[ctx.DN.String()] = append(s.waiters[ctx.DN.String()], ch)
+		s.mu.Unlock()
+		// Re-check: a message may have landed between Queue and register.
+		if msgs, _ := s.Queue(ctx.DN, max); len(msgs) > 0 {
+			out := make([]any, len(msgs))
+			for i, m := range msgs {
+				out[i] = messageStruct(m)
+			}
+			return out, nil
+		}
+		select {
+		case <-ch:
+		case <-time.After(remaining):
+			return []any{}, nil
+		}
+	}
+}
+
+func (s *Service) ack(ctx *core.Context, p core.Params) (any, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	id, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := s.Ack(ctx.DN, id)
+	if err != nil {
+		return nil, err
+	}
+	return ok, nil
+}
+
+func (s *Service) count(ctx *core.Context, p core.Params) (any, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	msgs, err := s.Queue(ctx.DN, 0)
+	if err != nil {
+		return nil, err
+	}
+	return len(msgs), nil
+}
+
+var _ core.Service = (*Service)(nil)

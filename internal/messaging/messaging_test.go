@@ -1,0 +1,292 @@
+package messaging
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"clarens/internal/acl"
+	"clarens/internal/core"
+	"clarens/internal/pki"
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/xmlrpc"
+)
+
+var (
+	userDN = pki.MustParseDN("/O=grid/OU=People/CN=User")
+	jobDN  = pki.MustParseDN("/O=grid/OU=Services/CN=job\\/worker-42")
+)
+
+type fixture struct {
+	srv *core.Server
+	svc *Service
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	srv, err := core.NewServer(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	svc := New(srv)
+	if err := srv.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.MethodACL().Set("message", &acl.ACL{AllowDNs: []string{acl.EntryAny}}); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{srv: srv, svc: svc}
+}
+
+func (f *fixture) call(t *testing.T, dn pki.DN, method string, params ...any) *rpc.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	codec := xmlrpc.New()
+	if err := codec.EncodeRequest(&buf, &rpc.Request{Method: method, Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/rpc", &buf)
+	req.Header.Set("Content-Type", "text/xml")
+	if !dn.IsZero() {
+		sess, err := f.srv.NewSessionFor(dn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(core.SessionHeader, sess.ID)
+	}
+	w := httptest.NewRecorder()
+	f.srv.Handler().ServeHTTP(w, req)
+	resp, err := codec.DecodeResponse(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSendPollAck(t *testing.T) {
+	f := newFixture(t)
+	resp := f.call(t, userDN, "message.send", jobDN.String(), "abort run", "stop processing block 7")
+	if resp.Fault != nil {
+		t.Fatalf("send: %v", resp.Fault)
+	}
+	id := resp.Result.(string)
+
+	resp = f.call(t, jobDN, "message.poll")
+	if resp.Fault != nil {
+		t.Fatalf("poll: %v", resp.Fault)
+	}
+	msgs := resp.Result.([]any)
+	if len(msgs) != 1 {
+		t.Fatalf("poll = %d messages", len(msgs))
+	}
+	m := msgs[0].(map[string]any)
+	if m["from"] != userDN.String() || m["subject"] != "abort run" || m["body"] != "stop processing block 7" {
+		t.Errorf("message = %#v", m)
+	}
+	// Poll does not consume.
+	resp = f.call(t, jobDN, "message.count")
+	if !rpc.Equal(resp.Result, 1) {
+		t.Errorf("count after poll = %#v", resp.Result)
+	}
+	// Ack consumes.
+	resp = f.call(t, jobDN, "message.ack", id)
+	if resp.Fault != nil || !rpc.Equal(resp.Result, true) {
+		t.Fatalf("ack = %#v %v", resp.Result, resp.Fault)
+	}
+	resp = f.call(t, jobDN, "message.count")
+	if !rpc.Equal(resp.Result, 0) {
+		t.Errorf("count after ack = %#v", resp.Result)
+	}
+	// Second ack of the same id returns false.
+	resp = f.call(t, jobDN, "message.ack", id)
+	if !rpc.Equal(resp.Result, false) {
+		t.Errorf("double ack = %#v", resp.Result)
+	}
+}
+
+func TestQueueIsolationAndOrder(t *testing.T) {
+	f := newFixture(t)
+	for i := 0; i < 5; i++ {
+		if resp := f.call(t, userDN, "message.send", jobDN.String(), fmt.Sprintf("m%d", i), ""); resp.Fault != nil {
+			t.Fatal(resp.Fault)
+		}
+		time.Sleep(time.Millisecond) // distinct timestamps for ordering
+	}
+	f.call(t, userDN, "message.send", userDN.String(), "self-note", "")
+
+	resp := f.call(t, jobDN, "message.poll")
+	msgs := resp.Result.([]any)
+	if len(msgs) != 5 {
+		t.Fatalf("job queue = %d", len(msgs))
+	}
+	for i, raw := range msgs {
+		m := raw.(map[string]any)
+		if m["subject"] != fmt.Sprintf("m%d", i) {
+			t.Errorf("order: msg %d = %v", i, m["subject"])
+		}
+	}
+	// Max-count limit.
+	resp = f.call(t, jobDN, "message.poll", 2)
+	if got := len(resp.Result.([]any)); got != 2 {
+		t.Errorf("poll(2) = %d", got)
+	}
+	// The user's own queue holds only the self-note.
+	resp = f.call(t, userDN, "message.poll")
+	if got := len(resp.Result.([]any)); got != 1 {
+		t.Errorf("user queue = %d", got)
+	}
+}
+
+func TestAnonymousRejected(t *testing.T) {
+	f := newFixture(t)
+	for _, method := range []string{"message.send", "message.poll", "message.ack", "message.count", "message.wait"} {
+		resp := f.call(t, nil, method, "x", "y")
+		if resp.Fault == nil {
+			t.Errorf("%s must require authentication", method)
+		}
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	f := newFixture(t)
+	resp := f.call(t, userDN, "message.send", "not-a-dn", "s", "b")
+	if resp.Fault == nil {
+		t.Error("bad recipient DN must be rejected")
+	}
+	big := strings.Repeat("x", MaxBody+1)
+	resp = f.call(t, userDN, "message.send", jobDN.String(), "s", big)
+	if resp.Fault == nil {
+		t.Error("oversized body must be rejected")
+	}
+}
+
+func TestWaitDeliversPromptly(t *testing.T) {
+	f := newFixture(t)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []any
+	var fault *rpc.Fault
+	start := time.Now()
+	go func() {
+		defer wg.Done()
+		resp := f.call(t, jobDN, "message.wait", 0, 5000)
+		fault = resp.Fault
+		if resp.Result != nil {
+			got = resp.Result.([]any)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the waiter register
+	if resp := f.call(t, userDN, "message.send", jobDN.String(), "wake", "now"); resp.Fault != nil {
+		t.Fatal(resp.Fault)
+	}
+	wg.Wait()
+	if fault != nil {
+		t.Fatalf("wait: %v", fault)
+	}
+	if len(got) != 1 || got[0].(map[string]any)["subject"] != "wake" {
+		t.Fatalf("wait = %#v", got)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("wait took %v; long-poll should wake on arrival", elapsed)
+	}
+}
+
+func TestWaitTimesOutEmpty(t *testing.T) {
+	f := newFixture(t)
+	start := time.Now()
+	resp := f.call(t, jobDN, "message.wait", 0, 100)
+	if resp.Fault != nil {
+		t.Fatal(resp.Fault)
+	}
+	if got := len(resp.Result.([]any)); got != 0 {
+		t.Errorf("wait timeout = %d messages", got)
+	}
+	if time.Since(start) < 90*time.Millisecond {
+		t.Error("wait returned before its timeout")
+	}
+}
+
+func TestWaitReturnsImmediatelyWhenQueued(t *testing.T) {
+	f := newFixture(t)
+	f.call(t, userDN, "message.send", jobDN.String(), "already-there", "")
+	start := time.Now()
+	resp := f.call(t, jobDN, "message.wait", 0, 5000)
+	if len(resp.Result.([]any)) != 1 {
+		t.Fatalf("wait = %#v", resp.Result)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("wait blocked despite queued message")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	f := newFixture(t)
+	f.svc.TTL = 10 * time.Millisecond
+	f.call(t, userDN, "message.send", jobDN.String(), "ephemeral", "")
+	time.Sleep(20 * time.Millisecond)
+	resp := f.call(t, jobDN, "message.poll")
+	if got := len(resp.Result.([]any)); got != 0 {
+		t.Errorf("expired message delivered: %d", got)
+	}
+}
+
+func TestMessagesSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := core.NewServer(core.Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(srv)
+	srv.Register(svc)
+	if _, err := svc.Send(userDN, jobDN, "persistent", "body"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	srv2, err := core.NewServer(core.Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	svc2 := New(srv2)
+	msgs, err := svc2.Queue(jobDN, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].Subject != "persistent" {
+		t.Errorf("queue after restart = %+v", msgs)
+	}
+}
+
+func TestConcurrentSendersAndReceiver(t *testing.T) {
+	f := newFixture(t)
+	const senders, per = 6, 20
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			from := pki.MustParseDN(fmt.Sprintf("/O=grid/OU=People/CN=Sender %d", g))
+			for i := 0; i < per; i++ {
+				if _, err := f.svc.Send(from, jobDN, fmt.Sprintf("g%d-%d", g, i), ""); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	msgs, err := f.svc.Queue(jobDN, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != senders*per {
+		t.Errorf("queued = %d, want %d", len(msgs), senders*per)
+	}
+}

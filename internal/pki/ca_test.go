@@ -1,0 +1,232 @@
+package pki
+
+import (
+	"crypto/x509"
+	"testing"
+	"time"
+)
+
+func testCA(t *testing.T) *CA {
+	t.Helper()
+	ca, err := NewCA(MustParseDN("/O=doesciencegrid.org/OU=Certificate Authorities/CN=Test CA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func TestIssueUserAndVerify(t *testing.T) {
+	ca := testCA(t)
+	user, err := ca.IssueUser(MustParseDN("/O=doesciencegrid.org/OU=People/CN=John Smith 12345"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := user.Cert.Verify(x509.VerifyOptions{
+		Roots:     ca.Pool(),
+		KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+	}); err != nil {
+		t.Fatalf("user cert does not verify: %v", err)
+	}
+	if got := user.DN().String(); got != "/O=doesciencegrid.org/OU=People/CN=John Smith 12345" {
+		t.Errorf("subject DN = %q", got)
+	}
+}
+
+func TestIssueHostSANs(t *testing.T) {
+	ca := testCA(t)
+	host, err := ca.IssueHost(
+		MustParseDN("/O=doesciencegrid.org/OU=Services/CN=host\\/www.mysite.edu"),
+		[]string{"www.mysite.edu", "127.0.0.1", "localhost"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Cert.VerifyHostname("www.mysite.edu"); err != nil {
+		t.Errorf("hostname: %v", err)
+	}
+	if err := host.Cert.VerifyHostname("127.0.0.1"); err != nil {
+		t.Errorf("loopback IP SAN: %v", err)
+	}
+	if got := host.DN().CommonName(); got != "host/www.mysite.edu" {
+		t.Errorf("CN = %q", got)
+	}
+}
+
+func TestSerialNumbersDistinct(t *testing.T) {
+	ca := testCA(t)
+	seen := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		id, err := ca.IssueUser(MustParseDN("/O=x/CN=u"), time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := id.Cert.SerialNumber.String()
+		if seen[s] {
+			t.Fatalf("duplicate serial %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestIdentityPEMRoundTrip(t *testing.T) {
+	ca := testCA(t)
+	user, err := ca.IssueUser(MustParseDN("/O=x/OU=People/CN=Jo"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyPEM, err := user.KeyPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := append(user.ChainPEM(), keyPEM...)
+	back, err := ParseIdentityPEM(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.DN().Equal(user.DN()) {
+		t.Errorf("round-trip DN = %v, want %v", back.DN(), user.DN())
+	}
+	// Individual parsers too.
+	if _, err := ParseCertPEM(user.CertPEM()); err != nil {
+		t.Errorf("ParseCertPEM: %v", err)
+	}
+	if _, err := ParseKeyPEM(keyPEM); err != nil {
+		t.Errorf("ParseKeyPEM: %v", err)
+	}
+}
+
+func TestParsePEMErrors(t *testing.T) {
+	if _, err := ParseCertPEM([]byte("garbage")); err == nil {
+		t.Error("want error for no certificate block")
+	}
+	if _, err := ParseKeyPEM([]byte("garbage")); err == nil {
+		t.Error("want error for no key block")
+	}
+	if _, err := ParseIdentityPEM(nil); err == nil {
+		t.Error("want error for empty bundle")
+	}
+}
+
+func TestNewCARejectsEmptySubject(t *testing.T) {
+	if _, err := NewCA(nil); err == nil {
+		t.Error("want error for empty CA subject")
+	}
+}
+
+func TestIssueUserRejectsEmptySubject(t *testing.T) {
+	ca := testCA(t)
+	if _, err := ca.IssueUser(nil, time.Hour); err == nil {
+		t.Error("want error for empty user subject")
+	}
+}
+
+func TestProxyLifecycle(t *testing.T) {
+	ca := testCA(t)
+	user, err := ca.IssueUser(MustParseDN("/O=doesciencegrid.org/OU=People/CN=Jo"), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := NewProxy(user, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsProxy(proxy.Cert) {
+		t.Fatal("generated certificate not recognized as proxy")
+	}
+	if IsProxy(user.Cert) {
+		t.Error("user certificate must not look like a proxy")
+	}
+	dn, err := VerifyProxy(proxy.Cert, proxy.Chain, ca.Pool())
+	if err != nil {
+		t.Fatalf("VerifyProxy: %v", err)
+	}
+	if !dn.Equal(user.DN()) {
+		t.Errorf("effective DN = %v, want %v", dn, user.DN())
+	}
+}
+
+func TestProxyOfProxy(t *testing.T) {
+	ca := testCA(t)
+	user, _ := ca.IssueUser(MustParseDN("/O=x/OU=People/CN=Jo"), time.Hour)
+	p1, err := NewProxy(user, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewProxy(p1, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := VerifyProxy(p2.Cert, p2.Chain, ca.Pool())
+	if err != nil {
+		t.Fatalf("VerifyProxy(proxy-of-proxy): %v", err)
+	}
+	if !dn.Equal(user.DN()) {
+		t.Errorf("delegation chain should resolve to the user, got %v", dn)
+	}
+	chain := append([]*x509.Certificate{p2.Cert}, p2.Chain...)
+	if got := EffectiveDNFromChain(chain); !got.Equal(user.DN()) {
+		t.Errorf("EffectiveDNFromChain = %v, want %v", got, user.DN())
+	}
+}
+
+func TestVerifyProxyRejectsForeignChain(t *testing.T) {
+	ca := testCA(t)
+	otherCA, _ := NewCA(MustParseDN("/O=evil/CN=Evil CA"))
+	user, _ := otherCA.IssueUser(MustParseDN("/O=x/OU=People/CN=Mallory"), time.Hour)
+	proxy, _ := NewProxy(user, time.Minute)
+	if _, err := VerifyProxy(proxy.Cert, proxy.Chain, ca.Pool()); err == nil {
+		t.Error("proxy rooted in a foreign CA must not verify")
+	}
+}
+
+func TestVerifyProxyRejectsExpired(t *testing.T) {
+	ca := testCA(t)
+	user, _ := ca.IssueUser(MustParseDN("/O=x/OU=People/CN=Jo"), time.Hour)
+	proxy, err := NewProxy(user, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := VerifyProxy(proxy.Cert, proxy.Chain, ca.Pool()); err == nil {
+		t.Error("expired proxy must not verify")
+	}
+}
+
+func TestVerifyProxyRejectsNonProxy(t *testing.T) {
+	ca := testCA(t)
+	user, _ := ca.IssueUser(MustParseDN("/O=x/OU=People/CN=Jo"), time.Hour)
+	if _, err := VerifyProxy(user.Cert, nil, ca.Pool()); err == nil {
+		t.Error("end-entity certificate must not pass VerifyProxy")
+	}
+}
+
+func TestNewProxyValidation(t *testing.T) {
+	if _, err := NewProxy(nil, time.Hour); err == nil {
+		t.Error("nil issuer should error")
+	}
+	ca := testCA(t)
+	user, _ := ca.IssueUser(MustParseDN("/O=x/CN=u"), time.Hour)
+	if _, err := NewProxy(user, 0); err == nil {
+		t.Error("zero ttl should error")
+	}
+}
+
+func TestEffectiveDNPlainCert(t *testing.T) {
+	ca := testCA(t)
+	user, _ := ca.IssueUser(MustParseDN("/O=x/OU=People/CN=Jo"), time.Hour)
+	if got := EffectiveDN(user.Cert); !got.Equal(user.DN()) {
+		t.Errorf("EffectiveDN(plain) = %v", got)
+	}
+	if got := EffectiveDNFromChain([]*x509.Certificate{user.Cert}); !got.Equal(user.DN()) {
+		t.Errorf("EffectiveDNFromChain(plain) = %v", got)
+	}
+}
+
+func TestTLSCertificateChain(t *testing.T) {
+	ca := testCA(t)
+	user, _ := ca.IssueUser(MustParseDN("/O=x/CN=u"), time.Hour)
+	proxy, _ := NewProxy(user, time.Hour)
+	tc := proxy.TLSCertificate()
+	if len(tc.Certificate) != 2 {
+		t.Errorf("TLS chain length = %d, want 2 (proxy + user)", len(tc.Certificate))
+	}
+}

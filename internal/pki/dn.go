@@ -1,0 +1,283 @@
+// Package pki implements the public-key-infrastructure substrate used by
+// the Clarens framework: X.509 distinguished names in the OpenSSL
+// slash-separated text form used throughout grid middleware, a test
+// certificate authority, user/host certificate issuance, and RFC-3820-style
+// proxy certificates used for delegation.
+//
+// The paper (§2, §2.1, §2.6) relies on DOE Science Grid style DNs such as
+//
+//	/O=doesciencegrid.org/OU=People/CN=John Smith 12345
+//
+// and on the ability to match only "the initial significant part" of a DN
+// when defining virtual-organization membership. DN is therefore an ordered
+// sequence of relative distinguished names (RDNs) with structural prefix
+// matching, not a flat string.
+package pki
+
+import (
+	"crypto/x509/pkix"
+	"encoding/asn1"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RDN is a single relative distinguished name component, e.g. OU=People.
+type RDN struct {
+	Type  string // attribute type: C, ST, L, O, OU, CN, DC, Email
+	Value string
+}
+
+// DN is an ordered sequence of RDNs, written /T1=V1/T2=V2/...
+// The zero value is the empty (anonymous) DN.
+type DN []RDN
+
+// knownTypes lists the attribute types accepted by ParseDN, per RFC 3280
+// plus the DC and Email forms common in grid certificates.
+var knownTypes = map[string]bool{
+	"C": true, "ST": true, "L": true, "O": true, "OU": true,
+	"CN": true, "DC": true, "EMAIL": true, "EMAILADDRESS": true,
+	"UID": true, "SN": true,
+}
+
+// canonType normalizes an attribute type to its canonical spelling.
+func canonType(t string) string {
+	u := strings.ToUpper(strings.TrimSpace(t))
+	switch u {
+	case "EMAILADDRESS":
+		return "Email"
+	case "EMAIL":
+		return "Email"
+	default:
+		return u
+	}
+}
+
+// ParseDN parses the OpenSSL slash form: /O=org/OU=unit/CN=name.
+// Empty components are rejected; values may contain any character except
+// an unescaped slash; "\/" escapes a literal slash inside a value.
+func ParseDN(s string) (DN, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("pki: empty DN")
+	}
+	if !strings.HasPrefix(s, "/") {
+		return nil, fmt.Errorf("pki: DN %q must start with '/'", s)
+	}
+	var dn DN
+	var cur strings.Builder
+	var parts []string
+	escaped := false
+	for _, r := range s[1:] {
+		switch {
+		case escaped:
+			cur.WriteRune(r)
+			escaped = false
+		case r == '\\':
+			escaped = true
+		case r == '/':
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if escaped {
+		return nil, fmt.Errorf("pki: DN %q ends with dangling escape", s)
+	}
+	parts = append(parts, cur.String())
+	for _, p := range parts {
+		eq := strings.IndexByte(p, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("pki: malformed DN component %q in %q", p, s)
+		}
+		typ, val := p[:eq], p[eq+1:]
+		ct := canonType(typ)
+		if !knownTypes[strings.ToUpper(ct)] && ct != "Email" {
+			return nil, fmt.Errorf("pki: unknown DN attribute type %q in %q", typ, s)
+		}
+		if val == "" {
+			return nil, fmt.Errorf("pki: empty value for %q in %q", typ, s)
+		}
+		dn = append(dn, RDN{Type: ct, Value: val})
+	}
+	return dn, nil
+}
+
+// MustParseDN is ParseDN that panics on error; for tests and constants.
+func MustParseDN(s string) DN {
+	dn, err := ParseDN(s)
+	if err != nil {
+		panic(err)
+	}
+	return dn
+}
+
+// String renders the DN in OpenSSL slash form, escaping literal
+// backslashes and slashes so ParseDN(d.String()) round-trips exactly.
+func (d DN) String() string {
+	if len(d) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, r := range d {
+		b.WriteByte('/')
+		b.WriteString(r.Type)
+		b.WriteByte('=')
+		v := strings.ReplaceAll(r.Value, `\`, `\\`)
+		v = strings.ReplaceAll(v, "/", `\/`)
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// IsZero reports whether the DN is empty (an unauthenticated caller).
+func (d DN) IsZero() bool { return len(d) == 0 }
+
+// Equal reports componentwise equality.
+func (d DN) Equal(o DN) bool {
+	if len(d) != len(o) {
+		return false
+	}
+	for i := range d {
+		if d[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPrefix reports whether p is an initial segment of d. This implements
+// the paper's VO optimization: listing /O=doesciencegrid.org/OU=People as a
+// member admits every individual certified under that organizational unit.
+// The empty DN is a prefix of everything.
+func (d DN) HasPrefix(p DN) bool {
+	if len(p) > len(d) {
+		return false
+	}
+	for i := range p {
+		if d[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CommonName returns the value of the last CN component, or "".
+func (d DN) CommonName() string {
+	for i := len(d) - 1; i >= 0; i-- {
+		if d[i].Type == "CN" {
+			return d[i].Value
+		}
+	}
+	return ""
+}
+
+// WithCN returns a copy of d with an extra CN component appended; used to
+// derive proxy-certificate subjects (RFC 3820 appends CN=<serial> or the
+// legacy CN=proxy).
+func (d DN) WithCN(cn string) DN {
+	out := make(DN, len(d)+1)
+	copy(out, d)
+	out[len(d)] = RDN{Type: "CN", Value: cn}
+	return out
+}
+
+// Parent returns d without its final component; the empty DN has no parent.
+func (d DN) Parent() DN {
+	if len(d) == 0 {
+		return nil
+	}
+	return d[:len(d)-1]
+}
+
+// Attribute-type OIDs used in grid certificate subjects.
+var (
+	oidC     = asn1.ObjectIdentifier{2, 5, 4, 6}
+	oidST    = asn1.ObjectIdentifier{2, 5, 4, 8}
+	oidL     = asn1.ObjectIdentifier{2, 5, 4, 7}
+	oidO     = asn1.ObjectIdentifier{2, 5, 4, 10}
+	oidOU    = asn1.ObjectIdentifier{2, 5, 4, 11}
+	oidCN    = asn1.ObjectIdentifier{2, 5, 4, 3}
+	oidSN    = asn1.ObjectIdentifier{2, 5, 4, 4}
+	oidUID   = asn1.ObjectIdentifier{0, 9, 2342, 19200300, 100, 1, 1}
+	oidDC    = asn1.ObjectIdentifier{0, 9, 2342, 19200300, 100, 1, 25}
+	oidEmail = asn1.ObjectIdentifier{1, 2, 840, 113549, 1, 9, 1}
+)
+
+var typeToOID = map[string]asn1.ObjectIdentifier{
+	"C": oidC, "ST": oidST, "L": oidL, "O": oidO, "OU": oidOU,
+	"CN": oidCN, "SN": oidSN, "UID": oidUID, "DC": oidDC, "Email": oidEmail,
+}
+
+func oidToType(oid asn1.ObjectIdentifier) string {
+	for t, o := range typeToOID {
+		if o.Equal(oid) {
+			return t
+		}
+	}
+	return ""
+}
+
+// ToPKIXName converts the DN into a pkix.Name for certificate issuance.
+// All components are emitted through ExtraNames, in order, so that the
+// marshaled RDN sequence preserves the grid DN exactly — including
+// multi-CN proxy subjects such as /O=x/CN=Jo/CN=12345.
+func (d DN) ToPKIXName() pkix.Name {
+	var n pkix.Name
+	for _, r := range d {
+		oid, ok := typeToOID[r.Type]
+		if !ok {
+			continue
+		}
+		n.ExtraNames = append(n.ExtraNames, pkix.AttributeTypeAndValue{Type: oid, Value: r.Value})
+	}
+	return n
+}
+
+// FromPKIXName reconstructs a DN from a certificate subject, preserving
+// the original RDN order. Parsed certificates carry all attributes in
+// Names; names built by ToPKIXName carry them in ExtraNames; a plain
+// pkix.Name falls back to the typed fields in grid-canonical order.
+func FromPKIXName(n pkix.Name) DN {
+	source := n.Names
+	if len(source) == 0 {
+		source = n.ExtraNames
+	}
+	if len(source) > 0 {
+		var dn DN
+		for _, atv := range source {
+			t := oidToType(atv.Type)
+			if t == "" {
+				continue
+			}
+			dn = append(dn, RDN{Type: t, Value: fmt.Sprint(atv.Value)})
+		}
+		return dn
+	}
+	var dn DN
+	for _, v := range n.Country {
+		dn = append(dn, RDN{Type: "C", Value: v})
+	}
+	for _, v := range n.Province {
+		dn = append(dn, RDN{Type: "ST", Value: v})
+	}
+	for _, v := range n.Locality {
+		dn = append(dn, RDN{Type: "L", Value: v})
+	}
+	for _, v := range n.Organization {
+		dn = append(dn, RDN{Type: "O", Value: v})
+	}
+	for _, v := range n.OrganizationalUnit {
+		dn = append(dn, RDN{Type: "OU", Value: v})
+	}
+	if n.CommonName != "" {
+		dn = append(dn, RDN{Type: "CN", Value: n.CommonName})
+	}
+	return dn
+}
+
+// SortDNs sorts a slice of DN strings; convenience for deterministic output.
+func SortDNs(ss []string) {
+	sort.Strings(ss)
+}

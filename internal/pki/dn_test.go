@@ -1,0 +1,224 @@
+package pki
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDNPaperExamples(t *testing.T) {
+	// The two example DNs given verbatim in §2.1 of the paper.
+	cases := []struct {
+		in   string
+		want DN
+	}{
+		{
+			"/O=doesciencegrid.org/OU=People/CN=John Smith 12345",
+			DN{{"O", "doesciencegrid.org"}, {"OU", "People"}, {"CN", "John Smith 12345"}},
+		},
+		{
+			`/O=doesciencegrid.org/OU=Services/CN=host\/www.mysite.edu`,
+			DN{{"O", "doesciencegrid.org"}, {"OU", "Services"}, {"CN", "host/www.mysite.edu"}},
+		},
+		{
+			"/DC=org/DC=doegrids/OU=People/CN=Joe User",
+			DN{{"DC", "org"}, {"DC", "doegrids"}, {"OU", "People"}, {"CN", "Joe User"}},
+		},
+	}
+	for _, c := range cases {
+		got, err := ParseDN(c.in)
+		if err != nil {
+			t.Fatalf("ParseDN(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseDN(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseDNErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"O=no-leading-slash",
+		"/O=",
+		"/=value",
+		"/BOGUS=x",
+		"/O=a/",
+		"/O=a/OU",
+		`/O=a\`,
+	}
+	for _, s := range bad {
+		if dn, err := ParseDN(s); err == nil {
+			t.Errorf("ParseDN(%q) = %v, want error", s, dn)
+		}
+	}
+}
+
+func TestDNStringRoundTrip(t *testing.T) {
+	in := "/C=US/ST=CA/L=Pasadena/O=Caltech/OU=HEP/CN=Conrad Steenberg/Email=conrad@hep.caltech.edu"
+	dn, err := ParseDN(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn.String() != in {
+		t.Errorf("round trip: got %q, want %q", dn.String(), in)
+	}
+}
+
+func TestDNHasPrefix(t *testing.T) {
+	org := MustParseDN("/O=doesciencegrid.org/OU=People")
+	person := MustParseDN("/O=doesciencegrid.org/OU=People/CN=John Smith 12345")
+	other := MustParseDN("/O=doesciencegrid.org/OU=Services/CN=host\\/www.mysite.edu")
+
+	if !person.HasPrefix(org) {
+		t.Error("person should match the OU=People prefix (paper §2.1 optimization)")
+	}
+	if other.HasPrefix(org) {
+		t.Error("service host should not match the OU=People prefix")
+	}
+	if !person.HasPrefix(nil) {
+		t.Error("empty DN is a prefix of everything")
+	}
+	if org.HasPrefix(person) {
+		t.Error("longer DN cannot be a prefix of a shorter one")
+	}
+	// Structural, not textual: /OU=People must not match /OU=PeopleX.
+	px := MustParseDN("/O=doesciencegrid.org/OU=PeopleX/CN=Jo")
+	if px.HasPrefix(org) {
+		t.Error("prefix matching must be per-RDN, not per-character")
+	}
+}
+
+func TestDNHelpers(t *testing.T) {
+	dn := MustParseDN("/O=x/OU=People/CN=Jo")
+	if got := dn.CommonName(); got != "Jo" {
+		t.Errorf("CommonName = %q, want Jo", got)
+	}
+	if got := dn.WithCN("proxy").String(); got != "/O=x/OU=People/CN=Jo/CN=proxy" {
+		t.Errorf("WithCN = %q", got)
+	}
+	if got := dn.Parent().String(); got != "/O=x/OU=People" {
+		t.Errorf("Parent = %q", got)
+	}
+	if !dn.Equal(MustParseDN("/O=x/OU=People/CN=Jo")) {
+		t.Error("Equal should hold for identical DNs")
+	}
+	if dn.Equal(dn.Parent()) {
+		t.Error("Equal should fail for different lengths")
+	}
+	if dn.IsZero() || !DN(nil).IsZero() {
+		t.Error("IsZero misbehaves")
+	}
+	var zero DN
+	if zero.String() != "" {
+		t.Error("zero DN renders empty")
+	}
+	if zero.Parent() != nil {
+		t.Error("zero DN has no parent")
+	}
+	if zero.CommonName() != "" {
+		t.Error("zero DN has no CN")
+	}
+}
+
+// dnValue generates random DNs for property tests.
+type dnValue DN
+
+func randomDN(rnd interface{ Intn(int) int }) DN {
+	types := []string{"C", "ST", "L", "O", "OU", "CN", "DC", "Email"}
+	n := 1 + rnd.Intn(6)
+	dn := make(DN, n)
+	for i := range dn {
+		val := make([]byte, 1+rnd.Intn(12))
+		for j := range val {
+			// printable ASCII including '/' and '\' to exercise escaping
+			val[j] = byte(33 + rnd.Intn(94))
+		}
+		dn[i] = RDN{Type: types[rnd.Intn(len(types))], Value: string(val)}
+	}
+	return dn
+}
+
+func TestDNRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := quickRand(seed)
+		dn := randomDN(rnd)
+		parsed, err := ParseDN(dn.String())
+		if err != nil {
+			t.Logf("parse %q: %v", dn.String(), err)
+			return false
+		}
+		return parsed.Equal(dn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDNPrefixTransitivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := quickRand(seed)
+		dn := randomDN(rnd)
+		// every prefix of dn must satisfy HasPrefix; extending by one must not.
+		for i := 0; i <= len(dn); i++ {
+			if !dn.HasPrefix(dn[:i]) {
+				return false
+			}
+		}
+		ext := dn.WithCN("extra")
+		return !dn.HasPrefix(ext)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickRand is a tiny deterministic PRNG so property tests don't depend on
+// math/rand seeding behavior across Go versions.
+type lcg struct{ state uint64 }
+
+func quickRand(seed int64) *lcg { return &lcg{state: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (l *lcg) Intn(n int) int {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return int((l.state >> 33) % uint64(n))
+}
+
+func TestPKIXRoundTrip(t *testing.T) {
+	dn := MustParseDN("/DC=org/DC=doegrids/C=US/O=Caltech/OU=HEP/CN=Frank van Lingen")
+	back := FromPKIXName(dn.ToPKIXName())
+	if !back.Equal(dn) {
+		t.Errorf("pkix round trip: got %v want %v", back, dn)
+	}
+}
+
+func TestMustParseDNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseDN should panic on bad input")
+		}
+	}()
+	MustParseDN("not-a-dn")
+}
+
+func TestSortDNs(t *testing.T) {
+	ss := []string{"/O=b", "/O=a"}
+	SortDNs(ss)
+	if ss[0] != "/O=a" {
+		t.Error("SortDNs did not sort")
+	}
+}
+
+func TestCanonTypeEmail(t *testing.T) {
+	dn, err := ParseDN("/O=x/EMAILADDRESS=a@b.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn[1].Type != "Email" {
+		t.Errorf("EMAILADDRESS should canonicalize to Email, got %q", dn[1].Type)
+	}
+	if !strings.Contains(dn.String(), "Email=a@b.c") {
+		t.Errorf("render: %q", dn.String())
+	}
+}

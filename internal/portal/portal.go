@@ -1,0 +1,187 @@
+// Package portal implements the Clarens Grid-portal layer (paper §3): "a
+// series of static web pages that embed JavaScript ... to handle
+// communication and web service calls using dynamic HTML", served by the
+// framework itself over HTTP GET so that "users need not install any
+// additional software apart from a web browser".
+//
+// The pages call the same JSON-RPC endpoint every other client uses —
+// the portal is not a separate API surface. Functionality mirrors the
+// paper's list: browsing remote files, access-control management,
+// virtual-organization management, service discovery, and job submission
+// (via the shell service).
+package portal
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"clarens/internal/core"
+)
+
+// Service serves the portal pages. It is not a core.Service (it has no
+// RPC methods of its own); it mounts GET handlers on the server mux.
+type Service struct {
+	srv    *core.Server
+	prefix string
+}
+
+// New creates the portal bound to a URL prefix (normally "/portal/").
+func New(srv *core.Server, prefix string) *Service {
+	if !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	return &Service{srv: srv, prefix: prefix}
+}
+
+// Mount attaches the portal pages to the server mux.
+func (p *Service) Mount() {
+	mux := p.srv.Mux()
+	mux.HandleFunc(p.prefix, p.servePage)
+}
+
+// Pages returns the available page names.
+func Pages() []string {
+	names := make([]string, 0, len(pages))
+	for name := range pages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (p *Service) servePage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "portal pages are GET-only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, p.prefix)
+	if name == "" {
+		name = "index"
+	}
+	name = strings.TrimSuffix(name, ".html")
+	body, ok := pages[name]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	// The caller's identity is displayed in the banner; the pages
+	// themselves re-authenticate per RPC call via the session cookie.
+	dn, _ := p.srv.IdentifyRequest(r)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	page := strings.ReplaceAll(pageShell, "{{TITLE}}", "Clarens Portal — "+name)
+	page = strings.ReplaceAll(page, "{{DN}}", htmlEscape(dn.String()))
+	page = strings.ReplaceAll(page, "{{NAV}}", navHTML(p.prefix))
+	page = strings.ReplaceAll(page, "{{BODY}}", body)
+	fmt.Fprint(w, page)
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func navHTML(prefix string) string {
+	var b strings.Builder
+	for _, name := range Pages() {
+		fmt.Fprintf(&b, `<a href="%s%s">%s</a> `, prefix, name, name)
+	}
+	return b.String()
+}
+
+// pageShell is the common chrome: a minimal JSON-RPC client over
+// XMLHttpRequest (the "dynamic HTML" technique of the paper's era) plus
+// the navigation bar.
+const pageShell = `<!DOCTYPE html>
+<html><head><title>{{TITLE}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+pre { background: #f4f4f4; padding: 1em; }
+table { border-collapse: collapse; } td, th { border: 1px solid #999; padding: 4px 8px; }
+</style>
+<script>
+// Minimal JSON-RPC client used by all portal components. The session
+// cookie (clarens_session) authenticates each call server-side.
+function rpc(method, params, done) {
+  var xhr = new XMLHttpRequest();
+  xhr.open("POST", "/rpc", true);
+  xhr.setRequestHeader("Content-Type", "application/json");
+  xhr.onreadystatechange = function () {
+    if (xhr.readyState !== 4) return;
+    var resp = JSON.parse(xhr.responseText);
+    done(resp.error || null, resp.result);
+  };
+  xhr.send(JSON.stringify({jsonrpc: "2.0", method: method, params: params || [], id: 1}));
+}
+function show(id, value) {
+  document.getElementById(id).textContent =
+    typeof value === "string" ? value : JSON.stringify(value, null, 2);
+}
+</script>
+</head><body>
+<h1>{{TITLE}}</h1>
+<p>Authenticated as: <code>{{DN}}</code></p>
+<nav>{{NAV}}</nav>
+<hr>
+{{BODY}}
+</body></html>
+`
+
+// pages holds each portal component's body (paper §3's functionality
+// list). Each is plain HTML + calls through the rpc() helper.
+var pages = map[string]string{
+	"index": `
+<p>This Clarens server hosts the following web-service modules. The pages
+above exercise them from the browser, exactly as the JavaScript portal in
+the paper did.</p>
+<button onclick="rpc('system.list_methods', [], function(e, r){ show('out', e || r); })">
+List server methods</button>
+<pre id="out"></pre>`,
+
+	"files": `
+<p>Remote file browser ("a look and feel similar to conventional file
+browsers"). Enter a directory and list it; click-through uses file.ls and
+file.read on the server's virtual root.</p>
+<input id="dir" value="/" size="40">
+<button onclick="rpc('file.ls', [document.getElementById('dir').value],
+  function(e, r){ show('out', e || r); })">List</button>
+<button onclick="rpc('file.read', [document.getElementById('dir').value, 0, 4096],
+  function(e, r){ show('out', e || r); })">Read (first 4 KiB)</button>
+<pre id="out"></pre>`,
+
+	"vo": `
+<p>Virtual-organization management: groups, members, administrators.</p>
+<button onclick="rpc('vo.groups', [], function(e, r){ show('out', e || r); })">List groups</button>
+<button onclick="rpc('vo.my_groups', [], function(e, r){ show('out', e || r); })">My groups</button>
+<br><input id="group" placeholder="group name" >
+<input id="dn" placeholder="/O=org/OU=People/CN=Name" size="40">
+<button onclick="rpc('vo.add_member', [document.getElementById('group').value, document.getElementById('dn').value],
+  function(e, r){ show('out', e || r); })">Add member</button>
+<pre id="out"></pre>`,
+
+	"acl": `
+<p>Access-control management: inspect and test method ACLs.</p>
+<input id="path" placeholder="module.method" >
+<button onclick="rpc('acl.check', [document.getElementById('path').value],
+  function(e, r){ show('out', e || r); })">Check my access</button>
+<pre id="out"></pre>`,
+
+	"discovery": `
+<p>Service discovery: query the aggregated view of the discovery network
+and navigate to servers by the returned URL.</p>
+<input id="pattern" value="*" >
+<button onclick="rpc('discovery.find', [document.getElementById('pattern').value],
+  function(e, r){ show('out', e || r); })">Find services</button>
+<button onclick="rpc('discovery.servers', [], function(e, r){ show('out', e || r); })">List servers</button>
+<pre id="out"></pre>`,
+
+	"jobs": `
+<p>Job submission: run a command in your shell-service sandbox (the
+paper's job-submission portal component fronted the same mechanism).</p>
+<input id="cmd" value="echo hello from the grid" size="50">
+<button onclick="rpc('shell.cmd', [document.getElementById('cmd').value],
+  function(e, r){ show('out', e || r); })">Submit</button>
+<button onclick="rpc('shell.cmd_info', [], function(e, r){ show('out', e || r); })">Sandbox info</button>
+<pre id="out"></pre>`,
+}

@@ -1,0 +1,128 @@
+package portal
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"clarens/internal/core"
+	"clarens/internal/pki"
+)
+
+func newFixture(t *testing.T) *core.Server {
+	t.Helper()
+	srv, err := core.NewServer(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	New(srv, "/portal/").Mount()
+	return srv
+}
+
+func get(t *testing.T, srv *core.Server, path string, headers map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func TestAllPagesServe(t *testing.T) {
+	srv := newFixture(t)
+	for _, name := range Pages() {
+		w := get(t, srv, "/portal/"+name, nil)
+		if w.Code != http.StatusOK {
+			t.Errorf("page %s = %d", name, w.Code)
+		}
+		body := w.Body.String()
+		if !strings.Contains(body, "<html>") || !strings.Contains(body, "function rpc(") {
+			t.Errorf("page %s missing shell/js", name)
+		}
+	}
+}
+
+func TestIndexAliases(t *testing.T) {
+	srv := newFixture(t)
+	for _, p := range []string{"/portal/", "/portal/index", "/portal/index.html"} {
+		if w := get(t, srv, p, nil); w.Code != http.StatusOK {
+			t.Errorf("%s = %d", p, w.Code)
+		}
+	}
+}
+
+func TestUnknownPage404(t *testing.T) {
+	srv := newFixture(t)
+	if w := get(t, srv, "/portal/nonexistent", nil); w.Code != http.StatusNotFound {
+		t.Errorf("unknown page = %d", w.Code)
+	}
+}
+
+func TestPostRejected(t *testing.T) {
+	srv := newFixture(t)
+	req := httptest.NewRequest(http.MethodPost, "/portal/index", nil)
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST portal = %d", w.Code)
+	}
+}
+
+func TestBannerShowsIdentity(t *testing.T) {
+	srv := newFixture(t)
+	dn := pki.MustParseDN("/O=grid/OU=People/CN=Browser User")
+	sess, err := srv.NewSessionFor(dn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := get(t, srv, "/portal/index", map[string]string{core.SessionHeader: sess.ID})
+	if !strings.Contains(w.Body.String(), "CN=Browser User") {
+		t.Error("authenticated DN missing from banner")
+	}
+	// Anonymous shows empty identity, not an error.
+	w = get(t, srv, "/portal/index", nil)
+	if w.Code != http.StatusOK {
+		t.Errorf("anonymous portal = %d", w.Code)
+	}
+}
+
+func TestBannerEscapesDN(t *testing.T) {
+	if htmlEscape(`<script>"x"&`) != "&lt;script&gt;&quot;x&quot;&amp;" {
+		t.Error("htmlEscape broken")
+	}
+}
+
+func TestPagesCoverPaperFunctionality(t *testing.T) {
+	// Paper §3: "browsing remote files, access control management, virtual
+	// organization management, service discovery, job submission".
+	want := []string{"files", "acl", "vo", "discovery", "jobs", "index"}
+	got := Pages()
+	if len(got) != len(want) {
+		t.Fatalf("pages = %v", got)
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("page %q missing", w)
+		}
+	}
+}
+
+func TestNavLinksPresent(t *testing.T) {
+	srv := newFixture(t)
+	w := get(t, srv, "/portal/index", nil)
+	for _, name := range Pages() {
+		if !strings.Contains(w.Body.String(), `href="/portal/`+name+`"`) {
+			t.Errorf("nav link for %s missing", name)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package proxysvc
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Stored proxies are sealed with AES-256-GCM under a key derived from the
+// user's chosen password via PBKDF2-HMAC-SHA256 (implemented here from
+// stdlib primitives; the x/crypto module is unavailable offline). The
+// paper stores proxies retrievable "by only knowing the certificate
+// distinguished name and password that was used to store it".
+
+const (
+	pbkdf2Iters = 4096
+	keyLen      = 32
+	saltLen     = 16
+)
+
+// pbkdf2Key implements RFC 2898 PBKDF2 with HMAC-SHA256.
+func pbkdf2Key(password, salt []byte, iters, keyLen int) []byte {
+	prf := func(data []byte) []byte {
+		h := hmac.New(sha256.New, password)
+		h.Write(data)
+		return h.Sum(nil)
+	}
+	hashLen := sha256.Size
+	numBlocks := (keyLen + hashLen - 1) / hashLen
+	out := make([]byte, 0, numBlocks*hashLen)
+	var block [4]byte
+	for i := 1; i <= numBlocks; i++ {
+		binary.BigEndian.PutUint32(block[:], uint32(i))
+		u := prf(append(append([]byte{}, salt...), block[:]...))
+		t := make([]byte, len(u))
+		copy(t, u)
+		for n := 1; n < iters; n++ {
+			u = prf(u)
+			for j := range t {
+				t[j] ^= u[j]
+			}
+		}
+		out = append(out, t...)
+	}
+	return out[:keyLen]
+}
+
+// seal encrypts plaintext with the password; output = salt || nonce || ct.
+func seal(password string, plaintext []byte) ([]byte, error) {
+	salt := make([]byte, saltLen)
+	if _, err := rand.Read(salt); err != nil {
+		return nil, err
+	}
+	key := pbkdf2Key([]byte(password), salt, pbkdf2Iters, keyLen)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	ct := gcm.Seal(nil, nonce, plaintext, nil)
+	out := make([]byte, 0, len(salt)+len(nonce)+len(ct))
+	out = append(out, salt...)
+	out = append(out, nonce...)
+	out = append(out, ct...)
+	return out, nil
+}
+
+// open decrypts a seal() output with the password.
+func open(password string, sealed []byte) ([]byte, error) {
+	if len(sealed) < saltLen+12 {
+		return nil, fmt.Errorf("proxysvc: sealed blob too short")
+	}
+	salt := sealed[:saltLen]
+	key := pbkdf2Key([]byte(password), salt, pbkdf2Iters, keyLen)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < saltLen+gcm.NonceSize() {
+		return nil, fmt.Errorf("proxysvc: sealed blob too short")
+	}
+	nonce := sealed[saltLen : saltLen+gcm.NonceSize()]
+	ct := sealed[saltLen+gcm.NonceSize():]
+	pt, err := gcm.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return nil, fmt.Errorf("proxysvc: wrong password or corrupt proxy")
+	}
+	return pt, nil
+}

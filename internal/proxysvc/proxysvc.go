@@ -1,0 +1,282 @@
+// Package proxysvc implements the Clarens proxy service (paper §2.6):
+// password-protected storage and retrieval of proxy certificates on the
+// server. Stored proxies enable (a) logging into the server knowing only
+// the DN and password, (b) delegation — others acting with the user's
+// proxy, and (c) attaching a fresh proxy to an existing session to renew
+// it or to add delegation to sessions initiated with browser (CA-issued)
+// certificates.
+package proxysvc
+
+import (
+	"time"
+
+	"clarens/internal/core"
+	"clarens/internal/pki"
+	"clarens/internal/rpc"
+)
+
+const bucket = "proxies"
+
+// AttachedProxyAttr is the session attribute holding the DN of the stored
+// proxy attached to the session.
+const AttachedProxyAttr = "attached_proxy"
+
+// Service is the Clarens proxy service.
+type Service struct {
+	srv *core.Server
+	// MaxTTL bounds how long a stored proxy is honored for login after
+	// its certificate expiry cannot be checked (defense in depth).
+	MaxTTL time.Duration
+}
+
+// record is the stored form of a proxy.
+type record struct {
+	Sealed  []byte    `json:"sealed"` // seal(password, PEM bundle)
+	Stored  time.Time `json:"stored"`
+	Expires time.Time `json:"expires"` // proxy certificate expiry
+}
+
+// New creates the proxy service.
+func New(srv *core.Server) *Service {
+	return &Service{srv: srv, MaxTTL: 7 * 24 * time.Hour}
+}
+
+// Name implements core.Service.
+func (s *Service) Name() string { return "proxy" }
+
+// Methods implements core.Service.
+func (s *Service) Methods() []core.Method {
+	return []core.Method{
+		{
+			Name:      "proxy.store",
+			Help:      "Store a proxy credential (PEM bundle: proxy cert, chain, unencrypted key) sealed under a password. The proxy subject must match the caller or the caller must be an administrator.",
+			Signature: []string{"boolean base64 string"},
+			Public:    true,
+			Handler:   s.store,
+		},
+		{
+			Name:      "proxy.retrieve",
+			Help:      "Retrieve the caller's stored proxy PEM bundle with the password used to store it (delegation: administrators may retrieve any DN's proxy with its password).",
+			Signature: []string{"base64 string string"},
+			Public:    true,
+			Handler:   s.retrieve,
+		},
+		{
+			Name:      "proxy.login",
+			Help:      "Create a session knowing only a DN and the proxy password; returns the session token.",
+			Signature: []string{"string string string"},
+			Public:    true,
+			Handler:   s.login,
+		},
+		{
+			Name:      "proxy.attach",
+			Help:      "Attach the stored proxy to the current session (renewal / delegation for sessions started without a proxy).",
+			Signature: []string{"boolean string"},
+			Public:    true,
+			Handler:   s.attach,
+		},
+		{
+			Name:      "proxy.delete",
+			Help:      "Delete the caller's stored proxy (requires the password).",
+			Signature: []string{"boolean string"},
+			Public:    true,
+			Handler:   s.del,
+		},
+		{
+			Name:      "proxy.info",
+			Help:      "Return {stored, expires} metadata for the caller's stored proxy.",
+			Signature: []string{"struct"},
+			Public:    true,
+			Handler:   s.info,
+		},
+	}
+}
+
+// Store validates and stores a proxy PEM bundle for its subject user.
+func (s *Service) Store(pemBundle []byte, password string) (pki.DN, error) {
+	if password == "" {
+		return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: "proxy: empty password"}
+	}
+	id, err := pki.ParseIdentityPEM(pemBundle)
+	if err != nil {
+		return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: "proxy: " + err.Error()}
+	}
+	if !pki.IsProxy(id.Cert) {
+		return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: "proxy: bundle is not a proxy certificate"}
+	}
+	now := time.Now()
+	if now.After(id.Cert.NotAfter) {
+		return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: "proxy: certificate already expired"}
+	}
+	owner := pki.EffectiveDN(id.Cert)
+	sealed, err := seal(password, pemBundle)
+	if err != nil {
+		return nil, err
+	}
+	rec := record{Sealed: sealed, Stored: now, Expires: id.Cert.NotAfter}
+	if err := s.srv.Store().PutJSON(bucket, owner.String(), &rec); err != nil {
+		return nil, err
+	}
+	return owner, nil
+}
+
+// Retrieve unseals the proxy stored for dn.
+func (s *Service) Retrieve(dn pki.DN, password string) ([]byte, error) {
+	var rec record
+	found, err := s.srv.Store().GetJSON(bucket, dn.String(), &rec)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: "proxy: no stored proxy for " + dn.String()}
+	}
+	if time.Now().After(rec.Expires) {
+		return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: "proxy: stored proxy has expired"}
+	}
+	pem, err := open(password, rec.Sealed)
+	if err != nil {
+		return nil, &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: err.Error()}
+	}
+	return pem, nil
+}
+
+func (s *Service) store(ctx *core.Context, p core.Params) (any, error) {
+	pemBundle, err := p.Bytes(0)
+	if err != nil {
+		return nil, err
+	}
+	password, err := p.String(1)
+	if err != nil {
+		return nil, err
+	}
+	owner, err := s.Store(pemBundle, password)
+	if err != nil {
+		return nil, err
+	}
+	// The proxy's user must be the caller (or an admin storing on behalf;
+	// anonymous callers may store a proxy for its own subject — that is
+	// exactly the browser-less bootstrap the paper supports).
+	if ctx.Authenticated() && !owner.Equal(ctx.DN) && !s.srv.VO().IsServerAdmin(ctx.DN) {
+		s.srv.Store().Delete(bucket, owner.String())
+		return nil, &rpc.Fault{Code: rpc.CodeAccessDenied, Message: "proxy: subject does not match caller"}
+	}
+	return true, nil
+}
+
+func (s *Service) retrieve(ctx *core.Context, p core.Params) (any, error) {
+	password, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	dn := ctx.DN
+	if len(p) > 1 {
+		dnStr, err := p.String(1)
+		if err != nil {
+			return nil, err
+		}
+		other, perr := pki.ParseDN(dnStr)
+		if perr != nil {
+			return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: perr.Error()}
+		}
+		// Delegation: anyone holding the password may retrieve a proxy
+		// explicitly shared with them ("allows the proxy to be used on
+		// behalf of the user by others").
+		dn = other
+	}
+	if dn.IsZero() {
+		return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: "proxy: no DN given and caller anonymous"}
+	}
+	pem, err := s.Retrieve(dn, password)
+	if err != nil {
+		return nil, err
+	}
+	return pem, nil
+}
+
+func (s *Service) login(ctx *core.Context, p core.Params) (any, error) {
+	dnStr, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	password, err := p.String(1)
+	if err != nil {
+		return nil, err
+	}
+	dn, perr := pki.ParseDN(dnStr)
+	if perr != nil {
+		return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: perr.Error()}
+	}
+	// Unsealing proves knowledge of the password; the stored proxy proves
+	// the DN held a valid credential when it was stored.
+	if _, err := s.Retrieve(dn, password); err != nil {
+		return nil, err
+	}
+	sess, err := s.srv.NewSessionFor(dn)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.srv.Sessions().SetAttr(sess.ID, AttachedProxyAttr, dn.String()); err != nil {
+		return nil, err
+	}
+	return sess.ID, nil
+}
+
+func (s *Service) attach(ctx *core.Context, p core.Params) (any, error) {
+	if ctx.Session == nil {
+		return nil, &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "proxy: no current session to attach to"}
+	}
+	password, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Retrieve(ctx.DN, password); err != nil {
+		return nil, err
+	}
+	if err := s.srv.Sessions().SetAttr(ctx.Session.ID, AttachedProxyAttr, ctx.DN.String()); err != nil {
+		return nil, err
+	}
+	// Attaching also renews the session, as the paper describes.
+	if err := s.srv.Sessions().Touch(ctx.Session.ID); err != nil {
+		return nil, err
+	}
+	return true, nil
+}
+
+func (s *Service) del(ctx *core.Context, p core.Params) (any, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	password, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Retrieve(ctx.DN, password); err != nil {
+		return nil, err
+	}
+	if err := s.srv.Store().Delete(bucket, ctx.DN.String()); err != nil {
+		return nil, err
+	}
+	return true, nil
+}
+
+func (s *Service) info(ctx *core.Context, p core.Params) (any, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	var rec record
+	found, err := s.srv.Store().GetJSON(bucket, ctx.DN.String(), &rec)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return map[string]any{"stored": false}, nil
+	}
+	return map[string]any{
+		"stored":  true,
+		"since":   rec.Stored.UTC(),
+		"expires": rec.Expires.UTC(),
+		"valid":   time.Now().Before(rec.Expires),
+	}, nil
+}
+
+var _ core.Service = (*Service)(nil)

@@ -1,0 +1,330 @@
+package proxysvc
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"clarens/internal/core"
+	"clarens/internal/pki"
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/xmlrpc"
+)
+
+var (
+	adminDN = pki.MustParseDN("/O=caltech/OU=People/CN=Admin")
+	userDN  = pki.MustParseDN("/O=grid/OU=People/CN=Proxy User")
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	sealed, err := seal("s3cret", []byte("proxy pem bytes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := open("s3cret", sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "proxy pem bytes" {
+		t.Errorf("round trip = %q", pt)
+	}
+	if _, err := open("wrong", sealed); err == nil {
+		t.Error("wrong password must fail")
+	}
+	if _, err := open("s3cret", sealed[:10]); err == nil {
+		t.Error("truncated blob must fail")
+	}
+	// Tampering is detected (GCM).
+	sealed[len(sealed)-1] ^= 1
+	if _, err := open("s3cret", sealed); err == nil {
+		t.Error("tampered blob must fail")
+	}
+}
+
+func TestSealIsSalted(t *testing.T) {
+	a, _ := seal("pw", []byte("same"))
+	b, _ := seal("pw", []byte("same"))
+	if bytes.Equal(a, b) {
+		t.Error("two seals of the same plaintext must differ (random salt/nonce)")
+	}
+}
+
+func TestPBKDF2KnownProperties(t *testing.T) {
+	k1 := pbkdf2Key([]byte("pw"), []byte("salt"), 10, 32)
+	k2 := pbkdf2Key([]byte("pw"), []byte("salt"), 10, 32)
+	if !bytes.Equal(k1, k2) {
+		t.Error("PBKDF2 must be deterministic")
+	}
+	k3 := pbkdf2Key([]byte("pw"), []byte("other"), 10, 32)
+	if bytes.Equal(k1, k3) {
+		t.Error("different salt must give a different key")
+	}
+	k4 := pbkdf2Key([]byte("pw"), []byte("salt"), 11, 32)
+	if bytes.Equal(k1, k4) {
+		t.Error("different iteration count must give a different key")
+	}
+	if len(pbkdf2Key([]byte("pw"), []byte("salt"), 2, 48)) != 48 {
+		t.Error("multi-block output length wrong")
+	}
+}
+
+type fixture struct {
+	srv   *core.Server
+	svc   *Service
+	ca    *pki.CA
+	user  *pki.Identity
+	proxy *pki.Identity
+	pem   []byte
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	srv, err := core.NewServer(core.Config{AdminDNs: []string{adminDN.String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	svc := New(srv)
+	if err := srv.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := pki.NewCA(pki.MustParseDN("/O=testgrid/CN=CA"))
+	user, err := ca.IssueUser(userDN, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := pki.NewProxy(user, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyPEM, err := proxy.KeyPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pem := append(proxy.ChainPEM(), keyPEM...)
+	return &fixture{srv: srv, svc: svc, ca: ca, user: user, proxy: proxy, pem: pem}
+}
+
+func (f *fixture) call(t *testing.T, sessID string, method string, params ...any) *rpc.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	codec := xmlrpc.New()
+	if err := codec.EncodeRequest(&buf, &rpc.Request{Method: method, Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/rpc", &buf)
+	req.Header.Set("Content-Type", "text/xml")
+	if sessID != "" {
+		req.Header.Set(core.SessionHeader, sessID)
+	}
+	w := httptest.NewRecorder()
+	f.srv.Handler().ServeHTTP(w, req)
+	resp, err := codec.DecodeResponse(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestStoreAndLoginFlow(t *testing.T) {
+	f := newFixture(t)
+	// Anonymous store of a proxy (bootstrap flow), then login by DN+password.
+	resp := f.call(t, "", "proxy.store", f.pem, "hunter2")
+	if resp.Fault != nil {
+		t.Fatalf("store: %v", resp.Fault)
+	}
+	resp = f.call(t, "", "proxy.login", userDN.String(), "hunter2")
+	if resp.Fault != nil {
+		t.Fatalf("login: %v", resp.Fault)
+	}
+	token := resp.Result.(string)
+
+	// The session works and carries the attached-proxy attribute.
+	resp = f.call(t, token, "system.whoami")
+	if !rpc.Equal(resp.Result, userDN.String()) {
+		t.Errorf("whoami after proxy login = %#v", resp.Result)
+	}
+	sess, ok := f.srv.Sessions().Get(token)
+	if !ok || sess.Attrs[AttachedProxyAttr] != userDN.String() {
+		t.Errorf("session attrs = %#v", sess)
+	}
+}
+
+func TestLoginWrongPassword(t *testing.T) {
+	f := newFixture(t)
+	f.call(t, "", "proxy.store", f.pem, "right")
+	resp := f.call(t, "", "proxy.login", userDN.String(), "wrong")
+	if resp.Fault == nil {
+		t.Error("wrong password must not log in")
+	}
+	resp = f.call(t, "", "proxy.login", "/O=никто/CN=X", "right")
+	if resp.Fault == nil {
+		t.Error("unknown DN must not log in")
+	}
+}
+
+func TestRetrieveRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	f.call(t, "", "proxy.store", f.pem, "pw")
+	sess, _ := f.srv.NewSessionFor(userDN)
+	resp := f.call(t, sess.ID, "proxy.retrieve", "pw")
+	if resp.Fault != nil {
+		t.Fatalf("retrieve: %v", resp.Fault)
+	}
+	got := resp.Result.([]byte)
+	if !bytes.Equal(got, f.pem) {
+		t.Error("retrieved PEM differs from stored")
+	}
+	// The retrieved credential is a usable proxy.
+	id, err := pki.ParseIdentityPEM(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pki.VerifyProxy(id.Cert, id.Chain, f.ca.Pool()); err != nil {
+		t.Errorf("retrieved proxy does not verify: %v", err)
+	}
+}
+
+func TestDelegatedRetrieveByDN(t *testing.T) {
+	f := newFixture(t)
+	f.call(t, "", "proxy.store", f.pem, "shared-pw")
+	// A *different* user who knows the password retrieves the proxy: the
+	// paper's delegation ("the proxy to be used on behalf of the user by
+	// others").
+	other, _ := f.srv.NewSessionFor(adminDN)
+	resp := f.call(t, other.ID, "proxy.retrieve", "shared-pw", userDN.String())
+	if resp.Fault != nil {
+		t.Fatalf("delegated retrieve: %v", resp.Fault)
+	}
+}
+
+func TestAttachRenewsSession(t *testing.T) {
+	f := newFixture(t)
+	f.call(t, "", "proxy.store", f.pem, "pw")
+	sess, _ := f.srv.NewSessionFor(userDN)
+	resp := f.call(t, sess.ID, "proxy.attach", "pw")
+	if resp.Fault != nil {
+		t.Fatalf("attach: %v", resp.Fault)
+	}
+	got, ok := f.srv.Sessions().Get(sess.ID)
+	if !ok || got.Attrs[AttachedProxyAttr] != userDN.String() {
+		t.Errorf("attach attrs = %#v", got)
+	}
+	// Attach without a session faults.
+	resp = f.call(t, "", "proxy.attach", "pw")
+	if resp.Fault == nil {
+		t.Error("attach without session must fault")
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	f := newFixture(t)
+	resp := f.call(t, "", "proxy.store", []byte("not pem"), "pw")
+	if resp.Fault == nil {
+		t.Error("garbage PEM must be rejected")
+	}
+	resp = f.call(t, "", "proxy.store", f.pem, "")
+	if resp.Fault == nil {
+		t.Error("empty password must be rejected")
+	}
+	// A non-proxy certificate bundle is rejected.
+	keyPEM, _ := f.user.KeyPEM()
+	userBundle := append(f.user.CertPEM(), keyPEM...)
+	resp = f.call(t, "", "proxy.store", userBundle, "pw")
+	if resp.Fault == nil {
+		t.Error("non-proxy bundle must be rejected")
+	}
+	// An expired proxy is rejected.
+	expired, err := pki.NewProxy(f.user, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	ekey, _ := expired.KeyPEM()
+	epem := append(expired.ChainPEM(), ekey...)
+	resp = f.call(t, "", "proxy.store", epem, "pw")
+	if resp.Fault == nil {
+		t.Error("expired proxy must be rejected")
+	}
+}
+
+func TestStoreSubjectMismatchRejected(t *testing.T) {
+	f := newFixture(t)
+	// An authenticated non-admin storing someone else's proxy is refused.
+	mallorySess, _ := f.srv.NewSessionFor(pki.MustParseDN("/O=grid/OU=People/CN=Mallory"))
+	resp := f.call(t, mallorySess.ID, "proxy.store", f.pem, "pw")
+	if resp.Fault == nil || resp.Fault.Code != rpc.CodeAccessDenied {
+		t.Errorf("fault = %+v", resp.Fault)
+	}
+	// And the proxy must not have been kept.
+	resp = f.call(t, "", "proxy.login", userDN.String(), "pw")
+	if resp.Fault == nil {
+		t.Error("rejected store must not leave a usable proxy behind")
+	}
+}
+
+func TestDeleteAndInfo(t *testing.T) {
+	f := newFixture(t)
+	f.call(t, "", "proxy.store", f.pem, "pw")
+	sess, _ := f.srv.NewSessionFor(userDN)
+
+	resp := f.call(t, sess.ID, "proxy.info")
+	m := resp.Result.(map[string]any)
+	if m["stored"] != true || m["valid"] != true {
+		t.Errorf("info = %#v", m)
+	}
+
+	resp = f.call(t, sess.ID, "proxy.delete", "wrong")
+	if resp.Fault == nil {
+		t.Error("delete with wrong password must fault")
+	}
+	resp = f.call(t, sess.ID, "proxy.delete", "pw")
+	if resp.Fault != nil {
+		t.Fatalf("delete: %v", resp.Fault)
+	}
+	resp = f.call(t, sess.ID, "proxy.info")
+	m = resp.Result.(map[string]any)
+	if m["stored"] != false {
+		t.Errorf("info after delete = %#v", m)
+	}
+	// Anonymous info faults.
+	resp = f.call(t, "", "proxy.info")
+	if resp.Fault == nil {
+		t.Error("anonymous info must fault")
+	}
+}
+
+func TestProxyStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := core.NewServer(core.Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(srv)
+	srv.Register(svc)
+	ca, _ := pki.NewCA(pki.MustParseDN("/O=g/CN=CA"))
+	user, _ := ca.IssueUser(userDN, time.Hour)
+	proxy, _ := pki.NewProxy(user, time.Hour)
+	key, _ := proxy.KeyPEM()
+	pem := append(proxy.ChainPEM(), key...)
+	if _, err := svc.Store(pem, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	srv2, err := core.NewServer(core.Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	svc2 := New(srv2)
+	got, err := svc2.Retrieve(userDN, "pw")
+	if err != nil {
+		t.Fatalf("retrieve after restart: %v", err)
+	}
+	if !bytes.Equal(got, pem) {
+		t.Error("stored proxy corrupted across restart")
+	}
+}

@@ -1,0 +1,230 @@
+// Package codectest provides a conformance suite run against every
+// rpc.Codec implementation, guaranteeing that the three Clarens protocols
+// are interchangeable at the dispatch layer (paper §2: clients may pick
+// any of XML-RPC, SOAP, JSON-RPC and observe the same service semantics).
+package codectest
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"clarens/internal/rpc"
+)
+
+// Values returns the canonical corpus of values every codec must round-trip.
+func Values() map[string]any {
+	return map[string]any{
+		"bool-true":    true,
+		"bool-false":   false,
+		"int-zero":     0,
+		"int-pos":      42,
+		"int-neg":      -7,
+		"int-32max":    1<<31 - 1,
+		"int-32min":    -(1 << 31),
+		"int-64big":    1 << 40,
+		"double":       3.14159,
+		"double-neg":   -0.5,
+		"string-plain": "hello world",
+		"string-xml":   `<&>"'`,
+		"string-empty": "",
+		"string-utf8":  "héllo wörld ψ",
+		"bytes":        []byte{0, 1, 2, 254, 255},
+		"bytes-empty":  []byte{},
+		"time":         time.Date(2005, 6, 15, 12, 30, 45, 0, time.UTC),
+		"array":        []any{1, "two", 3.0, true},
+		"array-empty":  []any{},
+		"array-nested": []any{[]any{1, 2}, []any{"a"}},
+		"struct": map[string]any{
+			"name":  "clarens",
+			"year":  2005,
+			"score": 9.5,
+		},
+		"struct-empty": map[string]any{},
+		"struct-nested": map[string]any{
+			"inner": map[string]any{"list": []any{1, 2, 3}},
+		},
+		"methods-30plus": methodList(),
+	}
+}
+
+// methodList simulates the system.list_methods result from the paper's
+// performance test: "more than 30 strings as an array response".
+func methodList() []any {
+	out := make([]any, 0, 34)
+	for _, svc := range []string{"system", "file", "proxy", "shell"} {
+		for _, m := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i"} {
+			out = append(out, svc+"."+m)
+		}
+	}
+	return out
+}
+
+// Run executes the conformance suite against the codec.
+func Run(t *testing.T, c rpc.Codec) {
+	t.Helper()
+
+	t.Run("name", func(t *testing.T) {
+		if c.Name() == "" {
+			t.Error("codec must have a name")
+		}
+		if len(c.ContentTypes()) == 0 {
+			t.Error("codec must declare content types")
+		}
+	})
+
+	for name, v := range Values() {
+		t.Run("request/"+name, func(t *testing.T) {
+			req := &rpc.Request{Method: "system.echo", Params: []any{v}}
+			var buf bytes.Buffer
+			if err := c.EncodeRequest(&buf, req); err != nil {
+				t.Fatalf("EncodeRequest: %v", err)
+			}
+			got, err := c.DecodeRequest(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("DecodeRequest: %v\nwire: %s", err, buf.String())
+			}
+			if got.Method != req.Method {
+				t.Errorf("method = %q, want %q", got.Method, req.Method)
+			}
+			if len(got.Params) != 1 {
+				t.Fatalf("params = %d, want 1", len(got.Params))
+			}
+			if !rpc.Equal(got.Params[0], v) {
+				t.Errorf("param round trip:\n got %#v\nwant %#v\nwire: %s", got.Params[0], v, buf.String())
+			}
+		})
+		t.Run("response/"+name, func(t *testing.T) {
+			resp := &rpc.Response{Result: v}
+			var buf bytes.Buffer
+			if err := c.EncodeResponse(&buf, resp); err != nil {
+				t.Fatalf("EncodeResponse: %v", err)
+			}
+			got, err := c.DecodeResponse(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("DecodeResponse: %v\nwire: %s", err, buf.String())
+			}
+			if got.Fault != nil {
+				t.Fatalf("unexpected fault %v", got.Fault)
+			}
+			if !rpc.Equal(got.Result, v) {
+				t.Errorf("result round trip:\n got %#v\nwant %#v\nwire: %s", got.Result, v, buf.String())
+			}
+		})
+	}
+
+	t.Run("multi-param", func(t *testing.T) {
+		req := &rpc.Request{Method: "file.read", Params: []any{"/data/events.bin", 1024, 65536}}
+		var buf bytes.Buffer
+		if err := c.EncodeRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.DecodeRequest(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Params) != 3 || !rpc.Equal(got.Params[0], "/data/events.bin") ||
+			!rpc.Equal(got.Params[1], 1024) || !rpc.Equal(got.Params[2], 65536) {
+			t.Errorf("params = %#v", got.Params)
+		}
+	})
+
+	t.Run("zero-param", func(t *testing.T) {
+		req := &rpc.Request{Method: "system.list_methods"}
+		var buf bytes.Buffer
+		if err := c.EncodeRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.DecodeRequest(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Method != "system.list_methods" || len(got.Params) != 0 {
+			t.Errorf("got %+v", got)
+		}
+	})
+
+	t.Run("fault", func(t *testing.T) {
+		resp := &rpc.Response{Fault: &rpc.Fault{Code: rpc.CodeAccessDenied, Message: "access denied: method file.write"}}
+		var buf bytes.Buffer
+		if err := c.EncodeResponse(&buf, resp); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.DecodeResponse(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fault == nil {
+			t.Fatal("fault lost in round trip")
+		}
+		if got.Fault.Code != rpc.CodeAccessDenied {
+			t.Errorf("fault code = %d, want %d", got.Fault.Code, rpc.CodeAccessDenied)
+		}
+		if !strings.Contains(got.Fault.Message, "access denied") {
+			t.Errorf("fault message = %q", got.Fault.Message)
+		}
+	})
+
+	t.Run("garbage-request", func(t *testing.T) {
+		if _, err := c.DecodeRequest(strings.NewReader("this is not a valid request")); err == nil {
+			t.Error("garbage must not decode")
+		}
+	})
+
+	t.Run("empty-request", func(t *testing.T) {
+		if _, err := c.DecodeRequest(strings.NewReader("")); err == nil {
+			t.Error("empty input must not decode")
+		}
+	})
+
+	t.Run("normalizes-encoder-types", func(t *testing.T) {
+		// Encoders must accept the widened helper types via rpc.Normalize.
+		req := &rpc.Request{Method: "m", Params: []any{int64(5), []string{"x"}, map[string]string{"a": "b"}, float32(1.5)}}
+		var buf bytes.Buffer
+		if err := c.EncodeRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.DecodeRequest(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []any{5, []any{"x"}, map[string]any{"a": "b"}, 1.5}
+		for i := range want {
+			if !rpc.Equal(got.Params[i], want[i]) {
+				t.Errorf("param %d = %#v, want %#v", i, got.Params[i], want[i])
+			}
+		}
+	})
+
+	t.Run("unsupported-type-errors", func(t *testing.T) {
+		var buf bytes.Buffer
+		err := c.EncodeRequest(&buf, &rpc.Request{Method: "m", Params: []any{make(chan int)}})
+		if err == nil {
+			t.Error("unsupported param type must error at encode time")
+		}
+		err = c.EncodeResponse(&buf, &rpc.Response{Result: make(chan int)})
+		if err == nil {
+			t.Error("unsupported result type must error at encode time")
+		}
+	})
+
+	t.Run("large-array", func(t *testing.T) {
+		arr := make([]any, 1000)
+		for i := range arr {
+			arr[i] = fmt.Sprintf("element-%04d", i)
+		}
+		var buf bytes.Buffer
+		if err := c.EncodeResponse(&buf, &rpc.Response{Result: arr}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.DecodeResponse(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rpc.Equal(got.Result, arr) {
+			t.Error("1000-element array did not round trip")
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package codectest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/jsonrpc"
+	"clarens/internal/rpc/soaprpc"
+	"clarens/internal/rpc/xmlrpc"
+)
+
+// randValue generates a random value tree from the shared codec value
+// model. depth bounds recursion; the generator is deterministic in seed.
+func randValue(rnd *prng, depth int) any {
+	kind := rnd.Intn(9)
+	if depth <= 0 && kind >= 7 {
+		kind = rnd.Intn(7)
+	}
+	switch kind {
+	case 0:
+		return rnd.Intn(2) == 1
+	case 1:
+		return rnd.Intn(1<<20) - 1<<19
+	case 2:
+		// doubles with exact binary representations to avoid formatting
+		// round-off distinctions between codecs
+		return float64(rnd.Intn(1<<20)-1<<19) / 64
+	case 3:
+		return randString(rnd)
+	case 4:
+		b := make([]byte, rnd.Intn(24))
+		for i := range b {
+			b[i] = byte(rnd.Intn(256))
+		}
+		return b
+	case 5:
+		// whole-second times: XML-RPC's dateTime.iso8601 carries no
+		// sub-second precision
+		return time.Unix(int64(rnd.Intn(1<<30)), 0).UTC()
+	case 6:
+		return nil
+	case 7:
+		n := rnd.Intn(4)
+		arr := make([]any, n)
+		for i := range arr {
+			arr[i] = randValue(rnd, depth-1)
+		}
+		return arr
+	default:
+		n := rnd.Intn(4)
+		m := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			m[fmt.Sprintf("key_%c%d", 'a'+rnd.Intn(26), i)] = randValue(rnd, depth-1)
+		}
+		return m
+	}
+}
+
+func randString(rnd *prng) string {
+	n := rnd.Intn(20)
+	b := make([]rune, n)
+	for i := range b {
+		// printable ASCII plus some non-ASCII and XML-hostile characters
+		set := []rune("abc XYZ109<>&\"'éψ☃")
+		b[i] = set[rnd.Intn(len(set))]
+	}
+	return string(b)
+}
+
+type prng struct{ state uint64 }
+
+func (p *prng) Intn(n int) int {
+	p.state = p.state*6364136223846793005 + 1442695040888963407
+	return int((p.state >> 33) % uint64(n))
+}
+
+// TestRandomValueRoundTripAllCodecs: any value from the shared model
+// survives encode→decode through every codec unchanged.
+func TestRandomValueRoundTripAllCodecs(t *testing.T) {
+	codecs := []rpc.Codec{xmlrpc.New(), jsonrpc.New(), soaprpc.New()}
+	f := func(seed int64) bool {
+		rnd := &prng{state: uint64(seed)}
+		v := randValue(rnd, 3)
+		for _, codec := range codecs {
+			var buf bytes.Buffer
+			if err := codec.EncodeResponse(&buf, &rpc.Response{Result: v}); err != nil {
+				t.Logf("%s encode: %v (value %#v)", codec.Name(), err, v)
+				return false
+			}
+			got, err := codec.DecodeResponse(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Logf("%s decode: %v\nwire: %s", codec.Name(), err, buf.String())
+				return false
+			}
+			if !rpc.Equal(got.Result, v) {
+				t.Logf("%s mismatch:\n got %#v\nwant %#v\nwire: %s", codec.Name(), got.Result, v, buf.String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCrossCodecEquivalence: the same request decoded via different
+// codecs yields semantically equal parameters (the dispatch layer cannot
+// tell which protocol carried a call).
+func TestCrossCodecEquivalence(t *testing.T) {
+	codecs := []rpc.Codec{xmlrpc.New(), jsonrpc.New(), soaprpc.New()}
+	f := func(seed int64) bool {
+		rnd := &prng{state: uint64(seed) * 7919}
+		v := randValue(rnd, 2)
+		req := &rpc.Request{Method: "svc.method", Params: []any{v}}
+		var decoded []any
+		for _, codec := range codecs {
+			var buf bytes.Buffer
+			if err := codec.EncodeRequest(&buf, req); err != nil {
+				return false
+			}
+			got, err := codec.DecodeRequest(bytes.NewReader(buf.Bytes()))
+			if err != nil || got.Method != req.Method || len(got.Params) != 1 {
+				return false
+			}
+			decoded = append(decoded, got.Params[0])
+		}
+		return rpc.Equal(decoded[0], decoded[1]) && rpc.Equal(decoded[1], decoded[2])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodersRejectGarbageProperty: random byte soup never panics and
+// (except for degenerate inputs that happen to be valid) returns errors.
+func TestDecodersRejectGarbageProperty(t *testing.T) {
+	codecs := []rpc.Codec{xmlrpc.New(), jsonrpc.New(), soaprpc.New()}
+	f := func(data []byte) bool {
+		for _, codec := range codecs {
+			// Must not panic; error or success both acceptable.
+			codec.DecodeRequest(bytes.NewReader(data))
+			codec.DecodeResponse(bytes.NewReader(data))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+package jsonrpc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/codectest"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.Run(t, New())
+}
+
+func TestV1RequestAccepted(t *testing.T) {
+	// JSON-RPC 1.0 framing, as produced by the metaparadigm library the
+	// paper references: no "jsonrpc" member.
+	wire := `{"method": "system.echo", "params": ["hi"], "id": 7}`
+	req, err := New().DecodeRequest(strings.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "system.echo" || !rpc.Equal(req.Params[0], "hi") {
+		t.Errorf("req = %+v", req)
+	}
+	if req.ID != 7 {
+		t.Errorf("id = %#v, want 7", req.ID)
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	c := New()
+	var buf bytes.Buffer
+	if err := c.EncodeRequest(&buf, &rpc.Request{Method: "m", ID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := c.DecodeRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ID != 42 {
+		t.Errorf("request id = %#v", req.ID)
+	}
+	buf.Reset()
+	if err := c.EncodeResponse(&buf, &rpc.Response{Result: "ok", ID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.DecodeResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 42 {
+		t.Errorf("response id = %#v", resp.ID)
+	}
+}
+
+func TestStringID(t *testing.T) {
+	wire := `{"jsonrpc":"2.0","method":"m","params":[],"id":"abc-123"}`
+	req, err := New().DecodeRequest(strings.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ID != "abc-123" {
+		t.Errorf("id = %#v", req.ID)
+	}
+}
+
+func TestDefaultIDWhenAbsent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().EncodeRequest(&buf, &rpc.Request{Method: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"id":1`) {
+		t.Errorf("wire should default id to 1: %s", buf.String())
+	}
+}
+
+func TestMissingMethodRejected(t *testing.T) {
+	if _, err := New().DecodeRequest(strings.NewReader(`{"params":[],"id":1}`)); err == nil {
+		t.Error("request without method must be rejected")
+	}
+}
+
+func TestObjectParamsRejected(t *testing.T) {
+	// Clarens services use positional params; named params are rejected
+	// with an invalid-params fault.
+	wire := `{"method":"m","params":{"a":1},"id":1}`
+	_, err := New().DecodeRequest(strings.NewReader(wire))
+	if err == nil {
+		t.Fatal("object params must be rejected")
+	}
+	f, ok := err.(*rpc.Fault)
+	if !ok || f.Code != rpc.CodeInvalidParams {
+		t.Errorf("err = %#v, want invalid-params fault", err)
+	}
+}
+
+func TestIntegerVsFloatDecoding(t *testing.T) {
+	wire := `{"method":"m","params":[3, 3.5, 3.0, -2, 1e3],"id":1}`
+	req, err := New().DecodeRequest(strings.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []any{3, 3.5, 3.0, -2, 1000.0}
+	for i := range want {
+		if !rpc.Equal(req.Params[i], want[i]) {
+			t.Errorf("param %d = %#v (%T), want %#v", i, req.Params[i], req.Params[i], want[i])
+		}
+	}
+}
+
+func TestErrorObjectRoundTrip(t *testing.T) {
+	c := New()
+	var buf bytes.Buffer
+	err := c.EncodeResponse(&buf, &rpc.Response{
+		Fault: &rpc.Fault{Code: rpc.CodeMethodNotFound, Message: "no such method"},
+		ID:    9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"error"`) || strings.Contains(s, `"result"`) {
+		t.Errorf("fault response wire: %s", s)
+	}
+	resp, err := c.DecodeResponse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fault == nil || resp.Fault.Code != rpc.CodeMethodNotFound {
+		t.Errorf("fault = %+v", resp.Fault)
+	}
+}
+
+func TestNullResultDecodes(t *testing.T) {
+	resp, err := New().DecodeResponse(strings.NewReader(`{"jsonrpc":"2.0","result":null,"id":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result != nil || resp.Fault != nil {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestBinarySentinelCollisionSafety(t *testing.T) {
+	// A user struct that merely contains the sentinel key alongside other
+	// keys must not be mistaken for binary data.
+	c := New()
+	v := map[string]any{base64Key: "aGk=", "other": 1}
+	var buf bytes.Buffer
+	if err := c.EncodeResponse(&buf, &rpc.Response{Result: v}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.DecodeResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := resp.Result.(map[string]any)
+	if !ok {
+		t.Fatalf("result = %#v", resp.Result)
+	}
+	if _, isBytes := m[base64Key].([]byte); isBytes {
+		// the inner value legitimately decodes as a string member
+		t.Errorf("sentinel key inside larger struct must stay a plain member")
+	}
+}
+
+func TestBadBase64PayloadRejected(t *testing.T) {
+	wire := `{"method":"m","params":[{"` + base64Key + `":"!!!not-base64!!!"}],"id":1}`
+	if _, err := New().DecodeRequest(strings.NewReader(wire)); err == nil {
+		t.Error("invalid base64 payload must be rejected")
+	}
+}
+
+func TestBadDatetimePayloadRejected(t *testing.T) {
+	wire := `{"method":"m","params":[{"` + timeKey + `":"not-a-time"}],"id":1}`
+	if _, err := New().DecodeRequest(strings.NewReader(wire)); err == nil {
+		t.Error("invalid datetime payload must be rejected")
+	}
+}

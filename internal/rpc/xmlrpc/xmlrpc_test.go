@@ -1,0 +1,238 @@
+package xmlrpc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/codectest"
+)
+
+func TestConformance(t *testing.T) {
+	codectest.Run(t, New())
+}
+
+// TestSpecExample decodes the canonical request from the XML-RPC spec.
+func TestSpecExample(t *testing.T) {
+	wire := `<?xml version="1.0"?>
+<methodCall>
+  <methodName>examples.getStateName</methodName>
+  <params>
+    <param><value><i4>41</i4></value></param>
+  </params>
+</methodCall>`
+	req, err := New().DecodeRequest(strings.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "examples.getStateName" {
+		t.Errorf("method = %q", req.Method)
+	}
+	if len(req.Params) != 1 || !rpc.Equal(req.Params[0], 41) {
+		t.Errorf("params = %#v", req.Params)
+	}
+}
+
+// TestBareStringValue checks the spec rule that an untyped <value> is a string.
+func TestBareStringValue(t *testing.T) {
+	wire := `<?xml version="1.0"?><methodCall><methodName>m</methodName>
+<params><param><value>bare text</value></param></params></methodCall>`
+	req, err := New().DecodeRequest(strings.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rpc.Equal(req.Params[0], "bare text") {
+		t.Errorf("bare value = %#v", req.Params[0])
+	}
+}
+
+func TestI4AndIntEquivalent(t *testing.T) {
+	for _, tag := range []string{"i4", "int"} {
+		wire := `<methodCall><methodName>m</methodName><params><param><value><` +
+			tag + `>7</` + tag + `></value></param></params></methodCall>`
+		req, err := New().DecodeRequest(strings.NewReader(wire))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rpc.Equal(req.Params[0], 7) {
+			t.Errorf("<%s> = %#v", tag, req.Params[0])
+		}
+	}
+}
+
+func TestInt32Overflow(t *testing.T) {
+	wire := `<methodCall><methodName>m</methodName><params><param><value><int>3000000000</int></value></param></params></methodCall>`
+	if _, err := New().DecodeRequest(strings.NewReader(wire)); err == nil {
+		t.Error("int beyond 32 bits must be rejected in <int>")
+	}
+	wire = `<methodCall><methodName>m</methodName><params><param><value><i8>3000000000</i8></value></param></params></methodCall>`
+	req, err := New().DecodeRequest(strings.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rpc.Equal(req.Params[0], 3000000000) {
+		t.Errorf("i8 = %#v", req.Params[0])
+	}
+}
+
+func TestLargeIntEncodesAsI8(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().EncodeRequest(&buf, &rpc.Request{Method: "m", Params: []any{1 << 40}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<i8>") {
+		t.Errorf("64-bit int should use <i8>: %s", buf.String())
+	}
+	if strings.Contains(buf.String(), "<int>") {
+		t.Errorf("64-bit int must not use <int>: %s", buf.String())
+	}
+}
+
+func TestBooleanVariants(t *testing.T) {
+	for wire, want := range map[string]bool{"1": true, "0": false, "true": true, "false": false} {
+		xml := `<methodCall><methodName>m</methodName><params><param><value><boolean>` +
+			wire + `</boolean></value></param></params></methodCall>`
+		req, err := New().DecodeRequest(strings.NewReader(xml))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if req.Params[0] != want {
+			t.Errorf("boolean %q = %v, want %v", wire, req.Params[0], want)
+		}
+	}
+	bad := `<methodCall><methodName>m</methodName><params><param><value><boolean>2</boolean></value></param></params></methodCall>`
+	if _, err := New().DecodeRequest(strings.NewReader(bad)); err == nil {
+		t.Error("boolean 2 must be rejected")
+	}
+}
+
+func TestDateTimeVariants(t *testing.T) {
+	want := time.Date(1998, 7, 17, 14, 8, 55, 0, time.UTC)
+	for _, s := range []string{"19980717T14:08:55", "1998-07-17T14:08:55"} {
+		xml := `<methodCall><methodName>m</methodName><params><param><value><dateTime.iso8601>` +
+			s + `</dateTime.iso8601></value></param></params></methodCall>`
+		req, err := New().DecodeRequest(strings.NewReader(xml))
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !req.Params[0].(time.Time).Equal(want) {
+			t.Errorf("dateTime %q = %v, want %v", s, req.Params[0], want)
+		}
+	}
+}
+
+func TestNilExtension(t *testing.T) {
+	xml := `<methodCall><methodName>m</methodName><params><param><value><nil/></value></param></params></methodCall>`
+	req, err := New().DecodeRequest(strings.NewReader(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Params[0] != nil {
+		t.Errorf("nil = %#v", req.Params[0])
+	}
+}
+
+func TestFaultWireFormat(t *testing.T) {
+	// Fault responses must use the spec's struct-with-faultCode/faultString.
+	var buf bytes.Buffer
+	err := New().EncodeResponse(&buf, &rpc.Response{Fault: &rpc.Fault{Code: 4, Message: "Too many parameters."}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, frag := range []string{"<fault>", "faultCode", "faultString", "<int>4</int>", "Too many parameters."} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("fault wire missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestRejectsUnknownType(t *testing.T) {
+	xml := `<methodCall><methodName>m</methodName><params><param><value><float128>1</float128></value></param></params></methodCall>`
+	if _, err := New().DecodeRequest(strings.NewReader(xml)); err == nil {
+		t.Error("unknown value type must be rejected")
+	}
+}
+
+func TestRejectsMalformedStructMember(t *testing.T) {
+	xml := `<methodCall><methodName>m</methodName><params><param><value><struct><bogus/></struct></value></param></params></methodCall>`
+	if _, err := New().DecodeRequest(strings.NewReader(xml)); err == nil {
+		t.Error("struct with non-member child must be rejected")
+	}
+}
+
+func TestRejectsTruncated(t *testing.T) {
+	xml := `<methodCall><methodName>m</methodName><params><param><value><string>oops`
+	if _, err := New().DecodeRequest(strings.NewReader(xml)); err == nil {
+		t.Error("truncated document must be rejected")
+	}
+}
+
+func TestRequestNoParamsElement(t *testing.T) {
+	// <params> is optional per the spec.
+	xml := `<methodCall><methodName>system.list_methods</methodName></methodCall>`
+	req, err := New().DecodeRequest(strings.NewReader(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "system.list_methods" || len(req.Params) != 0 {
+		t.Errorf("req = %+v", req)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	payload := `</string><injected>&`
+	if err := New().EncodeRequest(&buf, &rpc.Request{Method: "m", Params: []any{payload}}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := New().DecodeRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rpc.Equal(req.Params[0], payload) {
+		t.Errorf("escaped round trip = %#v", req.Params[0])
+	}
+}
+
+func TestDecodeResponseFaultMissingFields(t *testing.T) {
+	// A fault struct missing fields decodes with zero values, not a crash.
+	xml := `<methodResponse><fault><value><struct></struct></value></fault></methodResponse>`
+	resp, err := New().DecodeResponse(strings.NewReader(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fault == nil || resp.Fault.Code != 0 || resp.Fault.Message != "" {
+		t.Errorf("fault = %+v", resp.Fault)
+	}
+}
+
+func TestDecodeResponseRejectsNonStructFault(t *testing.T) {
+	xml := `<methodResponse><fault><value><int>1</int></value></fault></methodResponse>`
+	if _, err := New().DecodeResponse(strings.NewReader(xml)); err == nil {
+		t.Error("non-struct fault must be rejected")
+	}
+}
+
+func TestWhitespaceTolerance(t *testing.T) {
+	xml := `<?xml version="1.0"?>
+	<methodCall>
+		<methodName> m </methodName>
+		<params>
+			<param>
+				<value>
+					<int> 42 </int>
+				</value>
+			</param>
+		</params>
+	</methodCall>`
+	req, err := New().DecodeRequest(strings.NewReader(xml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "m" || !rpc.Equal(req.Params[0], 42) {
+		t.Errorf("req = %+v params=%#v", req.Method, req.Params)
+	}
+}

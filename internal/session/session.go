@@ -1,0 +1,192 @@
+// Package session implements the Clarens server-side session store
+// (paper §2): because HTTP is stateless, "session information is stored
+// persistently on the server side", which "has the positive side-effect of
+// allowing clients to survive server failures or restarts transparently
+// without having to re-authenticate themselves".
+//
+// A session binds an opaque random identifier to the authenticated DN and
+// an expiry. Sessions live in the db store, so reopening the store after a
+// restart restores them; the paper's Figure 4 measurement exercises the
+// per-request session lookup this package serves ("checking whether the
+// client credentials are associated with a current session").
+package session
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"clarens/internal/db"
+	"clarens/internal/pki"
+)
+
+const bucket = "sessions"
+
+// Session is the persistent record of an authenticated client.
+type Session struct {
+	ID      string    `json:"id"`
+	DN      string    `json:"dn"`
+	Created time.Time `json:"created"`
+	Expires time.Time `json:"expires"`
+	// Attrs holds service state attached to the session: the shell
+	// service's sandbox path, the proxy service's attached proxy ID, etc.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// DNParsed parses the session's DN.
+func (s *Session) DNParsed() pki.DN {
+	dn, err := pki.ParseDN(s.DN)
+	if err != nil {
+		return nil
+	}
+	return dn
+}
+
+// Expired reports whether the session has passed its expiry.
+func (s *Session) Expired(now time.Time) bool { return now.After(s.Expires) }
+
+// Manager creates, validates, renews, and purges sessions.
+type Manager struct {
+	store *db.Store
+	ttl   time.Duration
+
+	mu sync.Mutex // serializes read-modify-write cycles (Touch, SetAttr)
+
+	now func() time.Time // test seam
+}
+
+// NewManager creates a session manager with the given default TTL
+// (non-positive means 12h, the lifetime of a typical grid proxy).
+func NewManager(store *db.Store, ttl time.Duration) *Manager {
+	if ttl <= 0 {
+		ttl = 12 * time.Hour
+	}
+	return &Manager{store: store, ttl: ttl, now: time.Now}
+}
+
+// TTL returns the manager's default session lifetime.
+func (m *Manager) TTL() time.Duration { return m.ttl }
+
+// newID returns a 128-bit random hex token.
+func newID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("session: entropy: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// New creates and persists a session for dn.
+func (m *Manager) New(dn pki.DN) (*Session, error) {
+	if dn.IsZero() {
+		return nil, fmt.Errorf("session: cannot create a session for an anonymous caller")
+	}
+	id, err := newID()
+	if err != nil {
+		return nil, err
+	}
+	now := m.now()
+	s := &Session{
+		ID:      id,
+		DN:      dn.String(),
+		Created: now,
+		Expires: now.Add(m.ttl),
+		Attrs:   map[string]string{},
+	}
+	if err := m.store.PutJSON(bucket, id, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Get returns the session if it exists and has not expired. Expired
+// sessions are deleted on access.
+func (m *Manager) Get(id string) (*Session, bool) {
+	var s Session
+	found, err := m.store.GetJSON(bucket, id, &s)
+	if err != nil || !found {
+		return nil, false
+	}
+	if s.Expired(m.now()) {
+		m.store.Delete(bucket, id)
+		return nil, false
+	}
+	return &s, true
+}
+
+// Touch extends the session's expiry by the manager TTL from now; used to
+// keep active clients logged in.
+func (m *Manager) Touch(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("session: %q not found or expired", id)
+	}
+	s.Expires = m.now().Add(m.ttl)
+	return m.store.PutJSON(bucket, id, s)
+}
+
+// SetAttr sets a service attribute on the session.
+func (m *Manager) SetAttr(id, key, value string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("session: %q not found or expired", id)
+	}
+	if s.Attrs == nil {
+		s.Attrs = map[string]string{}
+	}
+	s.Attrs[key] = value
+	return m.store.PutJSON(bucket, id, s)
+}
+
+// Delete removes a session (logout).
+func (m *Manager) Delete(id string) error {
+	return m.store.Delete(bucket, id)
+}
+
+// Purge removes all expired sessions and returns how many were removed.
+func (m *Manager) Purge() int {
+	now := m.now()
+	n := 0
+	for _, id := range m.store.Keys(bucket, "") {
+		var s Session
+		found, err := m.store.GetJSON(bucket, id, &s)
+		if err != nil || !found {
+			continue
+		}
+		if s.Expired(now) {
+			if m.store.Delete(bucket, id) == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Count returns the number of stored sessions, including not-yet-purged
+// expired ones.
+func (m *Manager) Count() int { return m.store.Len(bucket) }
+
+// ForDN returns all live sessions belonging to dn; used by the proxy
+// service to attach a renewed proxy to existing sessions (paper §2.6).
+func (m *Manager) ForDN(dn pki.DN) []*Session {
+	var out []*Session
+	want := dn.String()
+	now := m.now()
+	for _, id := range m.store.Keys(bucket, "") {
+		var s Session
+		found, err := m.store.GetJSON(bucket, id, &s)
+		if err != nil || !found || s.Expired(now) {
+			continue
+		}
+		if s.DN == want {
+			out = append(out, &s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"clarens/internal/db"
+	"clarens/internal/pki"
+)
+
+var jo = pki.MustParseDN("/O=grid/OU=People/CN=Jo")
+
+func newManager(t *testing.T, ttl time.Duration) (*Manager, *db.Store) {
+	t.Helper()
+	store, err := db.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return NewManager(store, ttl), store
+}
+
+func TestNewAndGet(t *testing.T) {
+	m, _ := newManager(t, time.Hour)
+	s, err := m.New(jo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ID) != 32 {
+		t.Errorf("session ID length = %d, want 32 hex chars", len(s.ID))
+	}
+	got, ok := m.Get(s.ID)
+	if !ok {
+		t.Fatal("session not found")
+	}
+	if got.DN != jo.String() {
+		t.Errorf("DN = %q", got.DN)
+	}
+	if !got.DNParsed().Equal(jo) {
+		t.Errorf("DNParsed = %v", got.DNParsed())
+	}
+	if _, ok := m.Get("nonexistent"); ok {
+		t.Error("missing session found")
+	}
+}
+
+func TestAnonymousRejected(t *testing.T) {
+	m, _ := newManager(t, time.Hour)
+	if _, err := m.New(nil); err == nil {
+		t.Error("anonymous session must be rejected")
+	}
+}
+
+func TestIDsUnique(t *testing.T) {
+	m, _ := newManager(t, time.Hour)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		s, err := m.New(jo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[s.ID] {
+			t.Fatal("duplicate session ID")
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	m, _ := newManager(t, time.Hour)
+	now := time.Now()
+	m.now = func() time.Time { return now }
+	s, _ := m.New(jo)
+	if _, ok := m.Get(s.ID); !ok {
+		t.Fatal("fresh session should be live")
+	}
+	now = now.Add(2 * time.Hour)
+	if _, ok := m.Get(s.ID); ok {
+		t.Error("expired session should not be returned")
+	}
+	// Expired session was deleted on access.
+	if m.Count() != 0 {
+		t.Errorf("expired session not cleaned up, count = %d", m.Count())
+	}
+}
+
+func TestTouchExtends(t *testing.T) {
+	m, _ := newManager(t, time.Hour)
+	now := time.Now()
+	m.now = func() time.Time { return now }
+	s, _ := m.New(jo)
+	now = now.Add(50 * time.Minute)
+	if err := m.Touch(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(50 * time.Minute) // total 100min > original 60min TTL
+	if _, ok := m.Get(s.ID); !ok {
+		t.Error("touched session should still be live")
+	}
+	if err := m.Touch("missing"); err == nil {
+		t.Error("touching a missing session must error")
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	m, _ := newManager(t, time.Hour)
+	s, _ := m.New(jo)
+	if err := m.SetAttr(s.ID, "sandbox", "/sand/jo"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Get(s.ID)
+	if got.Attrs["sandbox"] != "/sand/jo" {
+		t.Errorf("attrs = %v", got.Attrs)
+	}
+	if err := m.SetAttr("missing", "k", "v"); err == nil {
+		t.Error("SetAttr on missing session must error")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m, _ := newManager(t, time.Hour)
+	s, _ := m.New(jo)
+	if err := m.Delete(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(s.ID); ok {
+		t.Error("deleted session still live")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	m, _ := newManager(t, time.Hour)
+	now := time.Now()
+	m.now = func() time.Time { return now }
+	for i := 0; i < 5; i++ {
+		m.New(jo)
+	}
+	now = now.Add(30 * time.Minute)
+	fresh, _ := m.New(jo)
+	now = now.Add(45 * time.Minute) // first 5 expired, fresh still live
+	if n := m.Purge(); n != 5 {
+		t.Errorf("Purge = %d, want 5", n)
+	}
+	if _, ok := m.Get(fresh.ID); !ok {
+		t.Error("live session purged")
+	}
+	if m.Count() != 1 {
+		t.Errorf("Count = %d, want 1", m.Count())
+	}
+}
+
+// TestSessionSurvivesRestart is the paper's §2 claim: sessions persist so
+// clients survive server restarts without re-authenticating (experiment A6).
+func TestSessionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := db.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(store, time.Hour)
+	s, err := m.New(jo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Close() // server shutdown
+
+	store2, err := db.Open(dir) // server restart
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	m2 := NewManager(store2, time.Hour)
+	got, ok := m2.Get(s.ID)
+	if !ok {
+		t.Fatal("session lost across restart — paper §2 requires persistence")
+	}
+	if got.DN != jo.String() {
+		t.Errorf("DN after restart = %q", got.DN)
+	}
+}
+
+func TestForDN(t *testing.T) {
+	m, _ := newManager(t, time.Hour)
+	other := pki.MustParseDN("/O=grid/OU=People/CN=Other")
+	m.New(jo)
+	m.New(jo)
+	m.New(other)
+	if got := len(m.ForDN(jo)); got != 2 {
+		t.Errorf("ForDN(jo) = %d, want 2", got)
+	}
+	if got := len(m.ForDN(other)); got != 1 {
+		t.Errorf("ForDN(other) = %d, want 1", got)
+	}
+}
+
+func TestDefaultTTL(t *testing.T) {
+	m, _ := newManager(t, 0)
+	if m.TTL() != 12*time.Hour {
+		t.Errorf("default TTL = %v", m.TTL())
+	}
+}

@@ -1,0 +1,504 @@
+package shellsvc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Result of executing a command line.
+type Result struct {
+	Stdout   string
+	Stderr   string
+	ExitCode int
+}
+
+// interp is the safe built-in command interpreter. Commands operate
+// strictly inside the sandbox directory; path arguments are confined the
+// same way the file service confines its virtual root.
+type interp struct {
+	sandbox string
+	cwd     string // current dir, absolute, inside sandbox
+}
+
+// BuiltinCommands lists the commands the interpreter understands, for
+// shell.cmd_info.
+func BuiltinCommands() []string {
+	cmds := make([]string, 0, len(builtins))
+	for name := range builtins {
+		cmds = append(cmds, name)
+	}
+	sort.Strings(cmds)
+	return cmds
+}
+
+type builtinFunc func(ip *interp, args []string, out, errw *strings.Builder) int
+
+var builtins map[string]builtinFunc
+
+func init() {
+	builtins = map[string]builtinFunc{
+		"pwd":    (*interp).pwd,
+		"echo":   (*interp).echo,
+		"ls":     (*interp).ls,
+		"cat":    (*interp).cat,
+		"mkdir":  (*interp).mkdir,
+		"rm":     (*interp).rm,
+		"cp":     (*interp).cp,
+		"mv":     (*interp).mv,
+		"touch":  (*interp).touch,
+		"wc":     (*interp).wc,
+		"head":   (*interp).head,
+		"grep":   (*interp).grep,
+		"cd":     (*interp).cd,
+		"true":   func(*interp, []string, *strings.Builder, *strings.Builder) int { return 0 },
+		"false":  func(*interp, []string, *strings.Builder, *strings.Builder) int { return 1 },
+		"whoami": nil, // handled by the service, which knows the local user
+	}
+}
+
+// resolvePath confines p to the sandbox; relative paths resolve from cwd.
+func (ip *interp) resolvePath(p string) (string, error) {
+	var abs string
+	if filepath.IsAbs(p) {
+		// Absolute paths are interpreted relative to the sandbox root,
+		// which the sandbox presents as "/".
+		abs = filepath.Join(ip.sandbox, filepath.Clean(p))
+	} else {
+		abs = filepath.Join(ip.cwd, p)
+	}
+	abs = filepath.Clean(abs)
+	if abs != ip.sandbox && !strings.HasPrefix(abs, ip.sandbox+string(filepath.Separator)) {
+		return "", fmt.Errorf("path %q escapes the sandbox", p)
+	}
+	return abs, nil
+}
+
+// virtual renders an absolute sandbox path as sandbox-relative ("/x/y").
+func (ip *interp) virtual(abs string) string {
+	rel, err := filepath.Rel(ip.sandbox, abs)
+	if err != nil || rel == "." {
+		return "/"
+	}
+	return "/" + filepath.ToSlash(rel)
+}
+
+// tokenize splits a command line on whitespace, honoring double and
+// single quotes.
+func tokenize(line string) ([]string, error) {
+	var tokens []string
+	var cur strings.Builder
+	inTok := false
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else {
+				cur.WriteByte(c)
+			}
+		case c == '"' || c == '\'':
+			quote = c
+			inTok = true
+		case c == ' ' || c == '\t':
+			if inTok {
+				tokens = append(tokens, cur.String())
+				cur.Reset()
+				inTok = false
+			}
+		default:
+			cur.WriteByte(c)
+			inTok = true
+		}
+	}
+	if quote != 0 {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	if inTok {
+		tokens = append(tokens, cur.String())
+	}
+	return tokens, nil
+}
+
+// run executes a command line: one or more simple commands joined by "&&",
+// each optionally ending with "> file" or ">> file" redirection.
+func (ip *interp) run(line string, localUser string) Result {
+	var res Result
+	var allOut, allErr strings.Builder
+	for _, segment := range strings.Split(line, "&&") {
+		segment = strings.TrimSpace(segment)
+		if segment == "" {
+			continue
+		}
+		code := ip.runSimple(segment, localUser, &allOut, &allErr)
+		res.ExitCode = code
+		if code != 0 {
+			break
+		}
+	}
+	res.Stdout = allOut.String()
+	res.Stderr = allErr.String()
+	return res
+}
+
+func (ip *interp) runSimple(segment, localUser string, allOut, allErr *strings.Builder) int {
+	tokens, err := tokenize(segment)
+	if err != nil {
+		fmt.Fprintf(allErr, "sh: %v\n", err)
+		return 2
+	}
+	if len(tokens) == 0 {
+		return 0
+	}
+	// Redirection: "cmd args > file" or ">> file".
+	redirect, appendMode := "", false
+	if n := len(tokens); n >= 2 {
+		switch tokens[n-2] {
+		case ">":
+			redirect, tokens = tokens[n-1], tokens[:n-2]
+		case ">>":
+			redirect, appendMode, tokens = tokens[n-1], true, tokens[:n-2]
+		}
+	}
+	name := tokens[0]
+	args := tokens[1:]
+
+	var out, errw strings.Builder
+	var code int
+	switch {
+	case name == "whoami":
+		fmt.Fprintln(&out, localUser)
+	default:
+		fn, ok := builtins[name]
+		if !ok || fn == nil {
+			fmt.Fprintf(&errw, "sh: %s: command not found\n", name)
+			code = 127
+		} else {
+			code = fn(ip, args, &out, &errw)
+		}
+	}
+
+	if redirect != "" && code == 0 {
+		abs, err := ip.resolvePath(redirect)
+		if err != nil {
+			fmt.Fprintf(allErr, "sh: %v\n", err)
+			return 1
+		}
+		flags := os.O_CREATE | os.O_WRONLY
+		if appendMode {
+			flags |= os.O_APPEND
+		} else {
+			flags |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(abs, flags, 0o644)
+		if err != nil {
+			fmt.Fprintf(allErr, "sh: %s: %v\n", redirect, err)
+			return 1
+		}
+		f.WriteString(out.String())
+		f.Close()
+	} else {
+		allOut.WriteString(out.String())
+	}
+	allErr.WriteString(errw.String())
+	return code
+}
+
+func (ip *interp) pwd(args []string, out, errw *strings.Builder) int {
+	fmt.Fprintln(out, ip.virtual(ip.cwd))
+	return 0
+}
+
+func (ip *interp) echo(args []string, out, errw *strings.Builder) int {
+	fmt.Fprintln(out, strings.Join(args, " "))
+	return 0
+}
+
+func (ip *interp) cd(args []string, out, errw *strings.Builder) int {
+	target := "/"
+	if len(args) > 0 {
+		target = args[0]
+	}
+	abs, err := ip.resolvePath(target)
+	if err != nil {
+		fmt.Fprintf(errw, "cd: %v\n", err)
+		return 1
+	}
+	fi, err := os.Stat(abs)
+	if err != nil || !fi.IsDir() {
+		fmt.Fprintf(errw, "cd: %s: no such directory\n", target)
+		return 1
+	}
+	ip.cwd = abs
+	return 0
+}
+
+func (ip *interp) ls(args []string, out, errw *strings.Builder) int {
+	target := "."
+	if len(args) > 0 {
+		target = args[0]
+	}
+	abs, err := ip.resolvePath(target)
+	if err != nil {
+		fmt.Fprintf(errw, "ls: %v\n", err)
+		return 1
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		fmt.Fprintf(errw, "ls: %s: %v\n", target, errShort(err))
+		return 1
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			name += "/"
+		}
+		fmt.Fprintln(out, name)
+	}
+	return 0
+}
+
+func (ip *interp) cat(args []string, out, errw *strings.Builder) int {
+	if len(args) == 0 {
+		fmt.Fprintln(errw, "cat: missing operand")
+		return 1
+	}
+	for _, a := range args {
+		abs, err := ip.resolvePath(a)
+		if err != nil {
+			fmt.Fprintf(errw, "cat: %v\n", err)
+			return 1
+		}
+		data, err := os.ReadFile(abs)
+		if err != nil {
+			fmt.Fprintf(errw, "cat: %s: %v\n", a, errShort(err))
+			return 1
+		}
+		out.Write(data)
+	}
+	return 0
+}
+
+func (ip *interp) mkdir(args []string, out, errw *strings.Builder) int {
+	if len(args) == 0 {
+		fmt.Fprintln(errw, "mkdir: missing operand")
+		return 1
+	}
+	for _, a := range args {
+		abs, err := ip.resolvePath(a)
+		if err != nil {
+			fmt.Fprintf(errw, "mkdir: %v\n", err)
+			return 1
+		}
+		if err := os.MkdirAll(abs, 0o755); err != nil {
+			fmt.Fprintf(errw, "mkdir: %s: %v\n", a, errShort(err))
+			return 1
+		}
+	}
+	return 0
+}
+
+func (ip *interp) rm(args []string, out, errw *strings.Builder) int {
+	recursive := false
+	var paths []string
+	for _, a := range args {
+		if a == "-r" || a == "-rf" {
+			recursive = true
+		} else {
+			paths = append(paths, a)
+		}
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(errw, "rm: missing operand")
+		return 1
+	}
+	for _, a := range paths {
+		abs, err := ip.resolvePath(a)
+		if err != nil {
+			fmt.Fprintf(errw, "rm: %v\n", err)
+			return 1
+		}
+		if abs == ip.sandbox {
+			fmt.Fprintln(errw, "rm: refusing to remove the sandbox root")
+			return 1
+		}
+		if recursive {
+			err = os.RemoveAll(abs)
+		} else {
+			err = os.Remove(abs)
+		}
+		if err != nil {
+			fmt.Fprintf(errw, "rm: %s: %v\n", a, errShort(err))
+			return 1
+		}
+	}
+	return 0
+}
+
+func (ip *interp) cp(args []string, out, errw *strings.Builder) int {
+	if len(args) != 2 {
+		fmt.Fprintln(errw, "cp: want source and destination")
+		return 1
+	}
+	src, err := ip.resolvePath(args[0])
+	if err != nil {
+		fmt.Fprintf(errw, "cp: %v\n", err)
+		return 1
+	}
+	dst, err := ip.resolvePath(args[1])
+	if err != nil {
+		fmt.Fprintf(errw, "cp: %v\n", err)
+		return 1
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		fmt.Fprintf(errw, "cp: %s: %v\n", args[0], errShort(err))
+		return 1
+	}
+	if fi, statErr := os.Stat(dst); statErr == nil && fi.IsDir() {
+		dst = filepath.Join(dst, filepath.Base(src))
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		fmt.Fprintf(errw, "cp: %s: %v\n", args[1], errShort(err))
+		return 1
+	}
+	return 0
+}
+
+func (ip *interp) mv(args []string, out, errw *strings.Builder) int {
+	if len(args) != 2 {
+		fmt.Fprintln(errw, "mv: want source and destination")
+		return 1
+	}
+	src, err := ip.resolvePath(args[0])
+	if err != nil {
+		fmt.Fprintf(errw, "mv: %v\n", err)
+		return 1
+	}
+	dst, err := ip.resolvePath(args[1])
+	if err != nil {
+		fmt.Fprintf(errw, "mv: %v\n", err)
+		return 1
+	}
+	if fi, statErr := os.Stat(dst); statErr == nil && fi.IsDir() {
+		dst = filepath.Join(dst, filepath.Base(src))
+	}
+	if err := os.Rename(src, dst); err != nil {
+		fmt.Fprintf(errw, "mv: %v\n", errShort(err))
+		return 1
+	}
+	return 0
+}
+
+func (ip *interp) touch(args []string, out, errw *strings.Builder) int {
+	if len(args) == 0 {
+		fmt.Fprintln(errw, "touch: missing operand")
+		return 1
+	}
+	for _, a := range args {
+		abs, err := ip.resolvePath(a)
+		if err != nil {
+			fmt.Fprintf(errw, "touch: %v\n", err)
+			return 1
+		}
+		f, err := os.OpenFile(abs, os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(errw, "touch: %s: %v\n", a, errShort(err))
+			return 1
+		}
+		f.Close()
+	}
+	return 0
+}
+
+func (ip *interp) wc(args []string, out, errw *strings.Builder) int {
+	if len(args) == 0 {
+		fmt.Fprintln(errw, "wc: missing operand")
+		return 1
+	}
+	abs, err := ip.resolvePath(args[len(args)-1])
+	if err != nil {
+		fmt.Fprintf(errw, "wc: %v\n", err)
+		return 1
+	}
+	data, err := os.ReadFile(abs)
+	if err != nil {
+		fmt.Fprintf(errw, "wc: %v\n", errShort(err))
+		return 1
+	}
+	lines := strings.Count(string(data), "\n")
+	words := len(strings.Fields(string(data)))
+	fmt.Fprintf(out, "%d %d %d %s\n", lines, words, len(data), args[len(args)-1])
+	return 0
+}
+
+func (ip *interp) head(args []string, out, errw *strings.Builder) int {
+	n := 10
+	var file string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-n" && i+1 < len(args) {
+			fmt.Sscanf(args[i+1], "%d", &n)
+			i++
+		} else {
+			file = args[i]
+		}
+	}
+	if file == "" {
+		fmt.Fprintln(errw, "head: missing operand")
+		return 1
+	}
+	abs, err := ip.resolvePath(file)
+	if err != nil {
+		fmt.Fprintf(errw, "head: %v\n", err)
+		return 1
+	}
+	data, err := os.ReadFile(abs)
+	if err != nil {
+		fmt.Fprintf(errw, "head: %v\n", errShort(err))
+		return 1
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	for i := 0; i < len(lines) && i < n; i++ {
+		out.WriteString(lines[i])
+	}
+	return 0
+}
+
+func (ip *interp) grep(args []string, out, errw *strings.Builder) int {
+	if len(args) < 2 {
+		fmt.Fprintln(errw, "grep: want pattern and file")
+		return 2
+	}
+	pattern, file := args[0], args[1]
+	abs, err := ip.resolvePath(file)
+	if err != nil {
+		fmt.Fprintf(errw, "grep: %v\n", err)
+		return 2
+	}
+	data, err := os.ReadFile(abs)
+	if err != nil {
+		fmt.Fprintf(errw, "grep: %v\n", errShort(err))
+		return 2
+	}
+	found := 1
+	for _, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+		if strings.Contains(line, pattern) {
+			fmt.Fprintln(out, line)
+			found = 0
+		}
+	}
+	return found
+}
+
+// errShort strips absolute host paths out of error text so the sandbox
+// does not leak its real location.
+func errShort(err error) string {
+	if pe, ok := err.(*os.PathError); ok {
+		return fmt.Sprintf("%s: %v", filepath.Base(pe.Path), pe.Err)
+	}
+	return err.Error()
+}

@@ -1,0 +1,184 @@
+package shellsvc
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"clarens/internal/core"
+	"clarens/internal/rpc"
+)
+
+// Service is the Clarens shell service.
+type Service struct {
+	srv         *core.Server
+	userMap     *UserMap
+	sandboxRoot string
+	// AllowRealExec switches shell.cmd from the built-in interpreter to
+	// /bin/sh -c executed inside the sandbox working directory. Off by
+	// default; enable only on hosts where every mapped user is trusted
+	// with the server's own privileges.
+	AllowRealExec bool
+}
+
+// New creates the shell service. sandboxRoot is the directory under which
+// per-user sandboxes are created ("execution takes place in a sandbox
+// owned by the local system user ... created or re-used for subsequent
+// commands"). Point it inside the file service root to make sandboxes
+// visible to file.* methods, as the paper describes.
+func New(srv *core.Server, userMap *UserMap, sandboxRoot string) (*Service, error) {
+	if userMap == nil {
+		return nil, fmt.Errorf("shellsvc: nil user map")
+	}
+	abs, err := filepath.Abs(sandboxRoot)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(abs, 0o755); err != nil {
+		return nil, fmt.Errorf("shellsvc: sandbox root: %w", err)
+	}
+	return &Service{srv: srv, userMap: userMap, sandboxRoot: abs}, nil
+}
+
+// Name implements core.Service.
+func (s *Service) Name() string { return "shell" }
+
+// Methods implements core.Service. Access to the module is additionally
+// controlled by method ACLs ("The Shell provides a secure way for
+// *authorized* clients to execute shell commands").
+func (s *Service) Methods() []core.Method {
+	return []core.Method{
+		{
+			Name:      "shell.cmd",
+			Help:      "Execute a command line in the caller's sandbox as the mapped local user; returns {stdout, stderr, exit_code, user, sandbox}.",
+			Signature: []string{"struct string"},
+			Handler:   s.cmd,
+		},
+		{
+			Name:      "shell.cmd_info",
+			Help:      "Return the caller's mapped local user, sandbox top directory (usable with file.* methods), and the available commands.",
+			Signature: []string{"struct"},
+			Handler:   s.cmdInfo,
+		},
+		{
+			Name:      "shell.whoami_local",
+			Help:      "Return the local system user the caller's DN maps to.",
+			Signature: []string{"string"},
+			Handler:   s.whoamiLocal,
+		},
+	}
+}
+
+// resolveUser maps the caller to a local user or faults.
+func (s *Service) resolveUser(ctx *core.Context) (string, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return "", err
+	}
+	user, ok := s.userMap.Resolve(ctx.DN, s.srv.VO())
+	if !ok {
+		return "", &rpc.Fault{
+			Code:    rpc.CodeAccessDenied,
+			Message: fmt.Sprintf("shell: no %s entry maps %q to a local user", UserMapFileName, ctx.DN.String()),
+		}
+	}
+	return user, nil
+}
+
+// Sandbox returns (creating if needed) the sandbox directory for a local
+// user and its path relative to the sandbox root.
+func (s *Service) Sandbox(localUser string) (abs string, err error) {
+	if strings.ContainsAny(localUser, "/\\.") {
+		return "", fmt.Errorf("shellsvc: invalid local user %q", localUser)
+	}
+	abs = filepath.Join(s.sandboxRoot, localUser)
+	if err := os.MkdirAll(abs, 0o755); err != nil {
+		return "", err
+	}
+	return abs, nil
+}
+
+// SandboxVirtual returns the sandbox path as seen by the file service
+// when the sandbox root lives under the file service root at rootPrefix
+// (e.g. "/sandbox"). Used by shell.cmd_info so clients can follow up with
+// file.ls / file.read on their sandbox, per the paper.
+func (s *Service) SandboxVirtual(localUser string) string {
+	return "/" + filepath.ToSlash(filepath.Join(filepath.Base(s.sandboxRoot), localUser))
+}
+
+func (s *Service) cmd(ctx *core.Context, p core.Params) (any, error) {
+	line, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	user, err := s.resolveUser(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sandbox, err := s.Sandbox(user)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if s.AllowRealExec {
+		res = s.realExec(line, sandbox)
+	} else {
+		ip := &interp{sandbox: sandbox, cwd: sandbox}
+		res = ip.run(line, user)
+	}
+	return map[string]any{
+		"stdout":    res.Stdout,
+		"stderr":    res.Stderr,
+		"exit_code": res.ExitCode,
+		"user":      user,
+		"sandbox":   s.SandboxVirtual(user),
+	}, nil
+}
+
+// realExec runs the command under /bin/sh in the sandbox directory. This
+// is the opt-in mode closest to the original service (which additionally
+// switched to the mapped Unix uid).
+func (s *Service) realExec(line, sandbox string) Result {
+	cmd := exec.Command("/bin/sh", "-c", line)
+	cmd.Dir = sandbox
+	cmd.Env = []string{"HOME=" + sandbox, "PATH=/usr/bin:/bin"}
+	var out, errw strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errw
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		code = 1
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		}
+	}
+	return Result{Stdout: out.String(), Stderr: errw.String(), ExitCode: code}
+}
+
+func (s *Service) cmdInfo(ctx *core.Context, p core.Params) (any, error) {
+	user, err := s.resolveUser(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Sandbox(user); err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"user":      user,
+		"sandbox":   s.SandboxVirtual(user),
+		"commands":  BuiltinCommands(),
+		"real_exec": s.AllowRealExec,
+	}, nil
+}
+
+func (s *Service) whoamiLocal(ctx *core.Context, p core.Params) (any, error) {
+	user, err := s.resolveUser(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return user, nil
+}
+
+var _ core.Service = (*Service)(nil)

@@ -1,0 +1,385 @@
+// Package vo implements Clarens virtual-organization management
+// (paper §2.1): a tree of groups rooted in a statically-configured admins
+// group, where each group carries two lists of distinguished names —
+// members and administrators. Group membership propagates *down* the tree
+// ("group members of higher level groups are automatically members of
+// lower level groups in the same branch"), DN entries are structural
+// prefixes (so /O=doesciencegrid.org/OU=People admits everyone certified
+// under that unit), and all state is cached in the database so it survives
+// restarts.
+//
+// Group naming follows the paper's Figure 2: dotted paths such as "A",
+// "A.1", "A.2" denote the hierarchy; the root group is "admins".
+package vo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"clarens/internal/db"
+	"clarens/internal/pki"
+)
+
+// AdminsGroup is the root group, populated statically from the server
+// configuration on each restart (paper §2.1).
+const AdminsGroup = "admins"
+
+const bucket = "vo"
+
+// Group is one node of the VO tree.
+type Group struct {
+	Name    string   `json:"name"`    // dotted path, e.g. "cms.production"
+	Members []string `json:"members"` // DN strings (may be prefixes)
+	Admins  []string `json:"admins"`  // DN strings (may be prefixes)
+}
+
+// Manager maintains the VO tree in the database. It is safe for
+// concurrent use.
+type Manager struct {
+	mu    sync.RWMutex
+	store *db.Store
+}
+
+// NewManager loads/creates the VO state in store and statically populates
+// the admins group from bootstrapAdmins, exactly as the paper describes:
+// "this group, named admins, is populated statically from values provided
+// in the server configuration file on each server restart".
+func NewManager(store *db.Store, bootstrapAdmins []string) (*Manager, error) {
+	m := &Manager{store: store}
+	for _, dn := range bootstrapAdmins {
+		if _, err := pki.ParseDN(dn); err != nil {
+			return nil, fmt.Errorf("vo: bootstrap admin %q: %w", dn, err)
+		}
+	}
+	root := &Group{Name: AdminsGroup, Members: append([]string(nil), bootstrapAdmins...), Admins: append([]string(nil), bootstrapAdmins...)}
+	if err := store.PutJSON(bucket, AdminsGroup, root); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// validGroupName enforces dotted-path names with non-empty components.
+func validGroupName(name string) error {
+	if name == "" {
+		return fmt.Errorf("vo: empty group name")
+	}
+	for _, part := range strings.Split(name, ".") {
+		if part == "" {
+			return fmt.Errorf("vo: group name %q has empty component", name)
+		}
+		for _, r := range part {
+			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == '-') {
+				return fmt.Errorf("vo: group name %q contains invalid character %q", name, r)
+			}
+		}
+	}
+	return nil
+}
+
+// get loads a group; nil if absent.
+func (m *Manager) get(name string) (*Group, error) {
+	var g Group
+	found, err := m.store.GetJSON(bucket, name, &g)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, nil
+	}
+	return &g, nil
+}
+
+// Get returns a copy of the named group, or an error if it doesn't exist.
+func (m *Manager) Get(name string) (*Group, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	g, err := m.get(name)
+	if err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("vo: group %q does not exist", name)
+	}
+	return g, nil
+}
+
+// Groups lists all group names, sorted.
+func (m *Manager) Groups() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.store.Keys(bucket, "")
+}
+
+// ancestors returns the chain of ancestor group names of name, nearest
+// first: "a.b.c" -> ["a.b", "a"].
+func ancestors(name string) []string {
+	var out []string
+	for {
+		i := strings.LastIndexByte(name, '.')
+		if i < 0 {
+			return out
+		}
+		name = name[:i]
+		out = append(out, name)
+	}
+}
+
+// dnInList reports whether dn matches any entry of list, where entries are
+// structural DN prefixes.
+func dnInList(dn pki.DN, list []string) bool {
+	for _, entry := range list {
+		p, err := pki.ParseDN(entry)
+		if err != nil {
+			continue // tolerate a corrupt entry rather than lock everyone out
+		}
+		if dn.HasPrefix(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsMember reports whether dn is a member of the named group, either
+// directly or by membership in any ancestor group (downward propagation,
+// paper §2.1), or by being a server administrator.
+func (m *Manager) IsMember(group string, dn pki.DN) bool {
+	if dn.IsZero() {
+		return false
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.isMemberLocked(group, dn)
+}
+
+func (m *Manager) isMemberLocked(group string, dn pki.DN) bool {
+	names := append([]string{group}, ancestors(group)...)
+	for _, name := range names {
+		g, err := m.get(name)
+		if err != nil || g == nil {
+			continue
+		}
+		if dnInList(dn, g.Members) || dnInList(dn, g.Admins) {
+			return true
+		}
+	}
+	// Members of the root admins group belong to every group.
+	if group != AdminsGroup {
+		if g, err := m.get(AdminsGroup); err == nil && g != nil {
+			return dnInList(dn, g.Members) || dnInList(dn, g.Admins)
+		}
+	}
+	return false
+}
+
+// IsAdmin reports whether dn administers the named group: listed in the
+// group's admin list, an admin of any ancestor group, or a member of the
+// root admins group (who are "authorized to create and delete groups at
+// all levels").
+func (m *Manager) IsAdmin(group string, dn pki.DN) bool {
+	if dn.IsZero() {
+		return false
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.isAdminLocked(group, dn)
+}
+
+func (m *Manager) isAdminLocked(group string, dn pki.DN) bool {
+	names := append([]string{group}, ancestors(group)...)
+	for _, name := range names {
+		g, err := m.get(name)
+		if err != nil || g == nil {
+			continue
+		}
+		if dnInList(dn, g.Admins) {
+			return true
+		}
+	}
+	if group != AdminsGroup {
+		if g, err := m.get(AdminsGroup); err == nil && g != nil {
+			return dnInList(dn, g.Members) || dnInList(dn, g.Admins)
+		}
+	}
+	return false
+}
+
+// IsServerAdmin reports whether dn is in the root admins group.
+func (m *Manager) IsServerAdmin(dn pki.DN) bool {
+	return m.IsMember(AdminsGroup, dn)
+}
+
+// canManage reports whether actor may create/delete the named group:
+// server admins anywhere; group admins "at lower levels" — i.e. an admin
+// of any ancestor of the group.
+func (m *Manager) canManage(group string, actor pki.DN) bool {
+	if m.isAdminLocked(AdminsGroup, actor) {
+		return true
+	}
+	for _, anc := range ancestors(group) {
+		g, err := m.get(anc)
+		if err != nil || g == nil {
+			continue
+		}
+		if dnInList(actor, g.Admins) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrNotAuthorized marks authorization failures distinguishable from
+// not-found and validation errors.
+type ErrNotAuthorized struct {
+	Op, Group string
+	Actor     pki.DN
+}
+
+func (e *ErrNotAuthorized) Error() string {
+	return fmt.Sprintf("vo: %s not authorized to %s group %q", e.Actor, e.Op, e.Group)
+}
+
+// CreateGroup creates a group. The actor must be a server admin or an
+// admin of an ancestor group. The parent of a dotted group must exist.
+func (m *Manager) CreateGroup(name string, actor pki.DN) error {
+	if err := validGroupName(name); err != nil {
+		return err
+	}
+	if name == AdminsGroup {
+		return fmt.Errorf("vo: group %q is reserved", AdminsGroup)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.canManage(name, actor) {
+		return &ErrNotAuthorized{Op: "create", Group: name, Actor: actor}
+	}
+	if g, err := m.get(name); err != nil {
+		return err
+	} else if g != nil {
+		return fmt.Errorf("vo: group %q already exists", name)
+	}
+	if anc := ancestors(name); len(anc) > 0 {
+		parent, err := m.get(anc[0])
+		if err != nil {
+			return err
+		}
+		if parent == nil {
+			return fmt.Errorf("vo: parent group %q does not exist", anc[0])
+		}
+	}
+	return m.store.PutJSON(bucket, name, &Group{Name: name})
+}
+
+// DeleteGroup removes a group and all its descendants.
+func (m *Manager) DeleteGroup(name string, actor pki.DN) error {
+	if name == AdminsGroup {
+		return fmt.Errorf("vo: the admins group cannot be deleted")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.canManage(name, actor) {
+		return &ErrNotAuthorized{Op: "delete", Group: name, Actor: actor}
+	}
+	g, err := m.get(name)
+	if err != nil {
+		return err
+	}
+	if g == nil {
+		return fmt.Errorf("vo: group %q does not exist", name)
+	}
+	if err := m.store.Delete(bucket, name); err != nil {
+		return err
+	}
+	for _, child := range m.store.Keys(bucket, name+".") {
+		if err := m.store.Delete(bucket, child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mutateList edits one list of a group under authorization.
+func (m *Manager) mutateList(group string, actor pki.DN, admins bool, add bool, dn string) error {
+	if _, err := pki.ParseDN(dn); err != nil {
+		return fmt.Errorf("vo: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, err := m.get(group)
+	if err != nil {
+		return err
+	}
+	if g == nil {
+		return fmt.Errorf("vo: group %q does not exist", group)
+	}
+	// "Group administrators are authorized to add and delete group
+	// members"; root admins may edit anything. Admin-list edits follow the
+	// same rule.
+	if !m.isAdminLocked(group, actor) {
+		return &ErrNotAuthorized{Op: "modify", Group: group, Actor: actor}
+	}
+	list := &g.Members
+	if admins {
+		list = &g.Admins
+	}
+	idx := -1
+	for i, e := range *list {
+		if e == dn {
+			idx = i
+			break
+		}
+	}
+	if add {
+		if idx >= 0 {
+			return nil // already present
+		}
+		*list = append(*list, dn)
+		sort.Strings(*list)
+	} else {
+		if idx < 0 {
+			return fmt.Errorf("vo: %q is not in the %s list of %q", dn, listName(admins), group)
+		}
+		*list = append((*list)[:idx], (*list)[idx+1:]...)
+	}
+	return m.store.PutJSON(bucket, group, g)
+}
+
+func listName(admins bool) string {
+	if admins {
+		return "admin"
+	}
+	return "member"
+}
+
+// AddMember adds a DN (or DN prefix) to the group's member list.
+func (m *Manager) AddMember(group string, actor pki.DN, dn string) error {
+	return m.mutateList(group, actor, false, true, dn)
+}
+
+// RemoveMember removes a DN from the group's member list.
+func (m *Manager) RemoveMember(group string, actor pki.DN, dn string) error {
+	return m.mutateList(group, actor, false, false, dn)
+}
+
+// AddAdmin adds a DN (or DN prefix) to the group's admin list.
+func (m *Manager) AddAdmin(group string, actor pki.DN, dn string) error {
+	return m.mutateList(group, actor, true, true, dn)
+}
+
+// RemoveAdmin removes a DN from the group's admin list.
+func (m *Manager) RemoveAdmin(group string, actor pki.DN, dn string) error {
+	return m.mutateList(group, actor, true, false, dn)
+}
+
+// MemberGroups returns every group dn belongs to (directly or inherited),
+// sorted; useful for ACL evaluation and the portal UI.
+func (m *Manager) MemberGroups(dn pki.DN) []string {
+	var out []string
+	for _, name := range m.Groups() {
+		if m.IsMember(name, dn) {
+			out = append(out, name)
+		}
+	}
+	return out
+}

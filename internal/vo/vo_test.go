@@ -1,0 +1,364 @@
+package vo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"clarens/internal/db"
+	"clarens/internal/pki"
+)
+
+var (
+	rootAdmin = pki.MustParseDN("/O=caltech/OU=People/CN=Root Admin")
+	alice     = pki.MustParseDN("/O=doesciencegrid.org/OU=People/CN=Alice")
+	bob       = pki.MustParseDN("/O=doesciencegrid.org/OU=People/CN=Bob")
+	carol     = pki.MustParseDN("/O=nust/OU=People/CN=Carol")
+	stranger  = pki.MustParseDN("/O=elsewhere/CN=Stranger")
+)
+
+func newManager(t *testing.T) (*Manager, *db.Store) {
+	t.Helper()
+	store, err := db.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	m, err := NewManager(store, []string{rootAdmin.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, store
+}
+
+func TestBootstrapAdmins(t *testing.T) {
+	m, _ := newManager(t)
+	if !m.IsServerAdmin(rootAdmin) {
+		t.Error("bootstrap admin must be a server admin")
+	}
+	if m.IsServerAdmin(alice) {
+		t.Error("random user must not be a server admin")
+	}
+	if !m.IsMember(AdminsGroup, rootAdmin) {
+		t.Error("bootstrap admin must be a member of admins")
+	}
+}
+
+func TestBootstrapRepopulatedOnRestart(t *testing.T) {
+	store, _ := db.Open("")
+	defer store.Close()
+	if _, err := NewManager(store, []string{rootAdmin.String()}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a server restart with a different configured admin list:
+	// the paper says the admins group is populated statically from the
+	// config on each restart, replacing what was cached.
+	m2, err := NewManager(store, []string{alice.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.IsServerAdmin(rootAdmin) {
+		t.Error("old admin should be gone after restart with new config")
+	}
+	if !m2.IsServerAdmin(alice) {
+		t.Error("new admin should be present")
+	}
+}
+
+func TestBootstrapRejectsBadDN(t *testing.T) {
+	store, _ := db.Open("")
+	defer store.Close()
+	if _, err := NewManager(store, []string{"not-a-dn"}); err == nil {
+		t.Error("bad bootstrap DN must be rejected")
+	}
+}
+
+func TestCreateGroupAuthorization(t *testing.T) {
+	m, _ := newManager(t)
+	if err := m.CreateGroup("cms", rootAdmin); err != nil {
+		t.Fatalf("root admin create: %v", err)
+	}
+	err := m.CreateGroup("atlas", alice)
+	if err == nil {
+		t.Fatal("non-admin must not create top-level groups")
+	}
+	if _, ok := err.(*ErrNotAuthorized); !ok {
+		t.Errorf("error type = %T", err)
+	}
+	// Make alice an admin of cms: she can then manage subgroups of cms...
+	if err := m.AddAdmin("cms", rootAdmin, alice.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CreateGroup("cms.production", alice); err != nil {
+		t.Errorf("group admin should create subgroups: %v", err)
+	}
+	// ...but still not other top-level groups.
+	if err := m.CreateGroup("atlas", alice); err == nil {
+		t.Error("cms admin must not create atlas")
+	}
+}
+
+func TestCreateGroupValidation(t *testing.T) {
+	m, _ := newManager(t)
+	if err := m.CreateGroup("", rootAdmin); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if err := m.CreateGroup("bad name", rootAdmin); err == nil {
+		t.Error("space in name must be rejected")
+	}
+	if err := m.CreateGroup("a..b", rootAdmin); err == nil {
+		t.Error("empty component must be rejected")
+	}
+	if err := m.CreateGroup(AdminsGroup, rootAdmin); err == nil {
+		t.Error("admins is reserved")
+	}
+	if err := m.CreateGroup("orphan.child", rootAdmin); err == nil {
+		t.Error("child of missing parent must be rejected")
+	}
+	m.CreateGroup("dup", rootAdmin)
+	if err := m.CreateGroup("dup", rootAdmin); err == nil {
+		t.Error("duplicate create must be rejected")
+	}
+}
+
+func TestMembershipPropagatesDownward(t *testing.T) {
+	m, _ := newManager(t)
+	// Figure 2 of the paper: groups A with subgroups A.1, A.2, A.3.
+	for _, g := range []string{"A", "A.1", "A.2", "A.3"} {
+		if err := m.CreateGroup(g, rootAdmin); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.AddMember("A", rootAdmin, alice.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddMember("A.2", rootAdmin, bob.String()); err != nil {
+		t.Fatal(err)
+	}
+	// "Group members of higher level groups are automatically members of
+	// lower level groups in the same branch."
+	if !m.IsMember("A.1", alice) || !m.IsMember("A.2", alice) || !m.IsMember("A.3", alice) {
+		t.Error("member of A must be a member of all A.* subgroups")
+	}
+	if !m.IsMember("A", alice) {
+		t.Error("direct membership")
+	}
+	// Membership must NOT propagate upward or across branches.
+	if m.IsMember("A", bob) {
+		t.Error("member of A.2 must not be a member of A")
+	}
+	if m.IsMember("A.1", bob) {
+		t.Error("member of A.2 must not be a member of A.1")
+	}
+	if m.IsMember("A", stranger) {
+		t.Error("stranger must not be a member")
+	}
+	if m.IsMember("A", nil) {
+		t.Error("anonymous caller must never be a member")
+	}
+}
+
+func TestDNPrefixMembership(t *testing.T) {
+	m, _ := newManager(t)
+	m.CreateGroup("dgrid", rootAdmin)
+	// The paper's optimization: "to add all individuals to a particular
+	// group, only /O=doesciencegrid.org/OU=People need be specified".
+	if err := m.AddMember("dgrid", rootAdmin, "/O=doesciencegrid.org/OU=People"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsMember("dgrid", alice) || !m.IsMember("dgrid", bob) {
+		t.Error("prefix entry must admit all individuals under the OU")
+	}
+	if m.IsMember("dgrid", carol) {
+		t.Error("prefix must not admit other organizations")
+	}
+}
+
+func TestServerAdminsAreMembersEverywhere(t *testing.T) {
+	m, _ := newManager(t)
+	m.CreateGroup("g", rootAdmin)
+	if !m.IsMember("g", rootAdmin) {
+		t.Error("server admins belong to every group")
+	}
+	if !m.IsAdmin("g", rootAdmin) {
+		t.Error("server admins administer every group")
+	}
+}
+
+func TestGroupAdminScope(t *testing.T) {
+	m, _ := newManager(t)
+	m.CreateGroup("cms", rootAdmin)
+	m.CreateGroup("cms.hcal", rootAdmin)
+	m.AddAdmin("cms", rootAdmin, alice.String())
+	// "Group administrators are authorized to add and delete group
+	// members, as well as groups at lower levels."
+	if !m.IsAdmin("cms.hcal", alice) {
+		t.Error("admin of cms must administer cms.hcal")
+	}
+	if err := m.AddMember("cms.hcal", alice, bob.String()); err != nil {
+		t.Errorf("ancestor admin adds member to subgroup: %v", err)
+	}
+	if err := m.DeleteGroup("cms.hcal", alice); err != nil {
+		t.Errorf("ancestor admin deletes subgroup: %v", err)
+	}
+	// An admin of a subgroup must not manage the parent.
+	m.CreateGroup("cms.ecal", rootAdmin)
+	m.AddAdmin("cms.ecal", rootAdmin, bob.String())
+	if m.IsAdmin("cms", bob) {
+		t.Error("subgroup admin must not administer the parent")
+	}
+	if err := m.AddMember("cms", bob, carol.String()); err == nil {
+		t.Error("subgroup admin must not edit the parent's members")
+	}
+}
+
+func TestMemberMutations(t *testing.T) {
+	m, _ := newManager(t)
+	m.CreateGroup("g", rootAdmin)
+	if err := m.AddMember("g", rootAdmin, alice.String()); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent add.
+	if err := m.AddMember("g", rootAdmin, alice.String()); err != nil {
+		t.Errorf("re-adding a member should be a no-op: %v", err)
+	}
+	g, err := m.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Members) != 1 {
+		t.Errorf("members = %v", g.Members)
+	}
+	if err := m.RemoveMember("g", rootAdmin, alice.String()); err != nil {
+		t.Fatal(err)
+	}
+	if m.IsMember("g", alice) {
+		t.Error("removed member still present")
+	}
+	if err := m.RemoveMember("g", rootAdmin, alice.String()); err == nil {
+		t.Error("removing a non-member must error")
+	}
+	if err := m.AddMember("g", rootAdmin, "bogus"); err == nil {
+		t.Error("bad DN must be rejected")
+	}
+	if err := m.AddMember("missing", rootAdmin, alice.String()); err == nil {
+		t.Error("missing group must be rejected")
+	}
+	if err := m.AddMember("g", stranger, alice.String()); err == nil {
+		t.Error("stranger must not edit members")
+	}
+}
+
+func TestAdminMutations(t *testing.T) {
+	m, _ := newManager(t)
+	m.CreateGroup("g", rootAdmin)
+	if err := m.AddAdmin("g", rootAdmin, alice.String()); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsAdmin("g", alice) {
+		t.Error("added admin not recognized")
+	}
+	// Admins are implicitly members (both lists grant membership).
+	if !m.IsMember("g", alice) {
+		t.Error("group admin should count as member")
+	}
+	if err := m.RemoveAdmin("g", rootAdmin, alice.String()); err != nil {
+		t.Fatal(err)
+	}
+	if m.IsAdmin("g", alice) {
+		t.Error("removed admin still recognized")
+	}
+}
+
+func TestDeleteGroupCascades(t *testing.T) {
+	m, _ := newManager(t)
+	for _, g := range []string{"x", "x.y", "x.y.z", "xx"} {
+		if err := m.CreateGroup(g, rootAdmin); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.DeleteGroup("x", rootAdmin); err != nil {
+		t.Fatal(err)
+	}
+	groups := strings.Join(m.Groups(), ",")
+	if strings.Contains(groups, "x.y") {
+		t.Errorf("descendants not cascaded: %s", groups)
+	}
+	if !strings.Contains(groups, "xx") {
+		t.Errorf("sibling with shared name prefix must survive: %s", groups)
+	}
+	if err := m.DeleteGroup("x", rootAdmin); err == nil {
+		t.Error("deleting a missing group must error")
+	}
+	if err := m.DeleteGroup(AdminsGroup, rootAdmin); err == nil {
+		t.Error("admins group must be undeletable")
+	}
+}
+
+func TestVOSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := db.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(store, []string{rootAdmin.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CreateGroup("cms", rootAdmin)
+	m.AddMember("cms", rootAdmin, alice.String())
+	store.Close()
+
+	store2, err := db.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	m2, err := NewManager(store2, []string{rootAdmin.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.IsMember("cms", alice) {
+		t.Error("VO membership must survive a restart (paper §2.1: cached in a database)")
+	}
+}
+
+func TestMemberGroups(t *testing.T) {
+	m, _ := newManager(t)
+	m.CreateGroup("a", rootAdmin)
+	m.CreateGroup("a.b", rootAdmin)
+	m.CreateGroup("c", rootAdmin)
+	m.AddMember("a", rootAdmin, alice.String())
+	got := m.MemberGroups(alice)
+	want := "a,a.b"
+	if strings.Join(got, ",") != want {
+		t.Errorf("MemberGroups = %v, want %s", got, want)
+	}
+}
+
+func TestGetMissingGroup(t *testing.T) {
+	m, _ := newManager(t)
+	if _, err := m.Get("nope"); err == nil {
+		t.Error("Get of missing group must error")
+	}
+}
+
+func TestManyGroupsScale(t *testing.T) {
+	m, _ := newManager(t)
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("g%02d", i)
+		if err := m.CreateGroup(name, rootAdmin); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddMember(name, rootAdmin, fmt.Sprintf("/O=org%02d/OU=People", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := pki.MustParseDN("/O=org25/OU=People/CN=User")
+	if !m.IsMember("g25", probe) {
+		t.Error("membership lookup across many groups failed")
+	}
+	if m.IsMember("g26", probe) {
+		t.Error("false positive across groups")
+	}
+}
