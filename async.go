@@ -14,9 +14,11 @@ type AsyncResult struct {
 	FirstErr error
 }
 
-// Rate returns completed calls per second.
+// Rate returns completed calls per second. A batch with no completed
+// calls, or one whose timing was never measured (zero or negative
+// Elapsed), rates 0 rather than dividing by zero.
 func (r AsyncResult) Rate() float64 {
-	if r.Elapsed <= 0 {
+	if r.Elapsed <= 0 || r.Calls <= r.Errors {
 		return 0
 	}
 	return float64(r.Calls-r.Errors) / r.Elapsed.Seconds()
@@ -33,6 +35,11 @@ func (c *Client) CallAsync(clients, totalCalls int, method string, params ...any
 	}
 	if totalCalls < 1 {
 		return AsyncResult{}
+	}
+	// More clients than calls degenerates to one call per client for the
+	// first totalCalls clients; size the pool to the real concurrency.
+	if clients > totalCalls {
+		clients = totalCalls
 	}
 	var (
 		wg       sync.WaitGroup
@@ -67,10 +74,16 @@ func (c *Client) CallAsync(clients, totalCalls int, method string, params ...any
 		}(n)
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		// Coarse clocks can report a zero-duration batch; clamp so a
+		// measured batch always has a finite, nonzero rate.
+		elapsed = time.Nanosecond
+	}
 	return AsyncResult{
 		Calls:    totalCalls,
 		Errors:   errCount,
-		Elapsed:  time.Since(start),
+		Elapsed:  elapsed,
 		FirstErr: firstErr,
 	}
 }

@@ -456,6 +456,76 @@ func BenchmarkSessions(b *testing.B) {
 	b.Run("disk", func(b *testing.B) { bench(b, b.TempDir()) })
 }
 
+// --- job subsystem throughput ---
+
+// BenchmarkJobThroughput measures the end-to-end job pipeline over real
+// RPC: submit through the authenticated dispatch path, schedule through
+// the priority queue and worker pool, execute in the shell sandbox, and
+// observe completion via job.stats. The metric is completed jobs per
+// second of wall time.
+func BenchmarkJobThroughput(b *testing.B) {
+	root := b.TempDir()
+	umap := filepath.Join(root, ".clarens_user_map")
+	os.WriteFile(umap, []byte("joe : /DC=org/DC=doegrids/OU=People/CN=Joe User ;;\n"), 0o644)
+	srv, err := NewServer(Config{
+		Name:           "jobs-bench",
+		FileRoot:       root,
+		ShellUserMap:   umap,
+		EnableJobs:     true,
+		JobWorkers:     8,
+		JobMaxPerOwner: -1, // single-owner workload; fair share would idle workers
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	owner := pki.MustParseDN("/DC=org/DC=doegrids/OU=People/CN=Joe User")
+	sess, err := srv.NewSessionFor(owner)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Dial(srv.URL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.SetSession(sess.ID)
+
+	completed := func() int {
+		st, err := c.CallStruct("job.stats")
+		if err != nil {
+			b.Fatal(err)
+		}
+		done, _ := st["done"].(int)
+		failed, _ := st["failed"].(int)
+		return done + failed
+	}
+	// Warm the path and establish the completion baseline.
+	if _, err := c.CallString("job.submit", "echo warm"); err != nil {
+		b.Fatal(err)
+	}
+	for completed() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	base := completed()
+
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CallString("job.submit", "echo payload"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for completed() < base+b.N {
+		time.Sleep(time.Millisecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/s")
+}
+
 // --- monalisa publish path (supports A5) ---
 
 func BenchmarkMonalisaPublish(b *testing.B) {

@@ -33,6 +33,7 @@ import (
 	"clarens/internal/core"
 	"clarens/internal/discovery"
 	"clarens/internal/fileservice"
+	"clarens/internal/jobsvc"
 	"clarens/internal/messaging"
 	"clarens/internal/monalisa"
 	"clarens/internal/pki"
@@ -128,6 +129,15 @@ type Config struct {
 	// EnableMessaging enables the store-and-forward message service (the
 	// paper's §6 IM architecture for jobs behind NAT).
 	EnableMessaging bool
+	// EnableJobs enables the asynchronous job execution service. Payloads
+	// run in the shell sandbox, so ShellUserMap must also be set. Job
+	// state persists in DataDir's database and survives restarts.
+	EnableJobs bool
+	// JobWorkers sizes the job worker pool (default 4).
+	JobWorkers int
+	// JobMaxPerOwner is the fair-share quota on concurrently running jobs
+	// per owner DN (default 4; negative = unlimited).
+	JobMaxPerOwner int
 	// StationAddrs, when non-empty, enables discovery publication to
 	// these MonALISA-style station servers ("host:port" UDP addresses).
 	StationAddrs []string
@@ -165,6 +175,8 @@ type Server struct {
 	// Discovery is the discovery service (always present; publishing
 	// requires StationAddrs or LocalStation).
 	Discovery *discovery.Service
+	// Jobs is the job execution service (nil unless Config.EnableJobs).
+	Jobs *jobsvc.Service
 
 	station    *monalisa.Station
 	aggregator *discovery.Aggregator
@@ -284,6 +296,47 @@ func NewServer(cfg Config) (*Server, error) {
 		return fail(err)
 	}
 
+	if cfg.EnableJobs {
+		if s.Shell == nil {
+			return fail(fmt.Errorf("clarens: job service requires ShellUserMap (payloads run in the shell sandbox)"))
+		}
+		shell := s.Shell
+		exec := func(owner pki.DN, command string) (jobsvc.ExecResult, error) {
+			res, user, err := shell.ExecAs(owner, command)
+			return jobsvc.ExecResult{
+				Stdout:    res.Stdout,
+				Stderr:    res.Stderr,
+				ExitCode:  res.ExitCode,
+				LocalUser: user,
+			}, err
+		}
+		var notify jobsvc.Notifier
+		if s.Messages != nil {
+			notify = s.Messages
+		}
+		var gauges jobsvc.MetricsPublisher
+		if s.publisher != nil {
+			gauges = s.publisher
+		}
+		js, err := jobsvc.New(cs, jobsvc.Config{
+			Workers:     cfg.JobWorkers,
+			MaxPerOwner: cfg.JobMaxPerOwner,
+		}, exec, notify, gauges, cfg.Name)
+		if err != nil {
+			return fail(err)
+		}
+		s.Jobs = js
+		if err := cs.Register(js); err != nil {
+			js.Stop()
+			return fail(err)
+		}
+		// Any authenticated principal may reach the job module; ownership
+		// checks inside the service are the real gate.
+		if err := cs.MethodACL().Set("job", &acl.ACL{AllowDNs: []string{acl.EntryAny}, AllowGroups: []string{vo.AdminsGroup}}); err != nil {
+			return fail(err)
+		}
+	}
+
 	if cfg.EnablePortal {
 		portal.New(cs, "/portal/").Mount()
 	}
@@ -364,6 +417,9 @@ func (s *Server) GrantMethod(path string, dns []string, groups []string) error {
 
 // Close shuts everything down.
 func (s *Server) Close() error {
+	if s.Jobs != nil {
+		s.Jobs.Stop()
+	}
 	if s.Discovery != nil {
 		s.Discovery.StopPeriodic()
 	}

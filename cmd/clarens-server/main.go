@@ -1,6 +1,6 @@
 // Command clarens-server runs a full Clarens web-service server: system,
-// vo, acl, file, shell, proxy, and discovery services plus the browser
-// portal, over HTTP or certificate-authenticated HTTPS.
+// vo, acl, file, shell, proxy, job, and discovery services plus the
+// browser portal, over HTTP or certificate-authenticated HTTPS.
 //
 // Minimal start:
 //
@@ -39,6 +39,9 @@ func main() {
 		portal       = flag.Bool("portal", true, "serve the browser portal under /portal/")
 		proxySvc     = flag.Bool("proxy", true, "enable the proxy certificate store")
 		messagingSvc = flag.Bool("messaging", true, "enable the store-and-forward message service")
+		jobsSvc      = flag.Bool("jobs", false, "enable the asynchronous job service (requires -usermap)")
+		jobWorkers   = flag.Int("job-workers", 4, "job worker pool size")
+		jobPerOwner  = flag.Int("job-max-per-owner", 4, "fair-share cap on concurrently running jobs per owner DN (negative = unlimited)")
 		publish      = flag.Bool("publish", false, "publish services to the discovery network on startup")
 		tlsID        = flag.String("tls-id", "", "server identity PEM bundle (cert+key) enabling HTTPS")
 		tlsCA        = flag.String("tls-ca", "", "CA certificate PEM for verifying client certificates")
@@ -53,6 +56,9 @@ func main() {
 		ShellUserMap:    *userMap,
 		EnableProxy:     *proxySvc,
 		EnableMessaging: *messagingSvc,
+		EnableJobs:      *jobsSvc,
+		JobWorkers:      *jobWorkers,
+		JobMaxPerOwner:  *jobPerOwner,
 		EnablePortal:    *portal,
 		LocalStation:    *localStation,
 		Logger:          log.New(os.Stderr, "clarens: ", log.LstdFlags),

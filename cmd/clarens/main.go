@@ -16,6 +16,10 @@
 //	disc servers
 //	vo groups|my                   VO queries
 //	shell <command line>           run a sandboxed command
+//	job submit <cmd> [prio] [retries]   queue an asynchronous job
+//	job status|output|cancel <id>  inspect or stop a job
+//	job list [state]               list jobs (queued|running|done|failed|cancelled)
+//	job stats                      scheduler counters
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 
 	"flag"
 
@@ -116,6 +121,8 @@ func run(c *clarens.Client, args []string) error {
 		return runDisc(c, args[1:])
 	case "vo":
 		return runVO(c, args[1:])
+	case "job":
+		return runJob(c, args[1:])
 	case "shell":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: shell <command line>")
@@ -234,6 +241,98 @@ func runVO(c *clarens.Client, args []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown vo command %q", args[0])
+	}
+}
+
+func runJob(c *clarens.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: job submit|status|output|cancel|list|stats ...")
+	}
+	switch args[0] {
+	case "submit":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: job submit <command line> [priority] [max_retries]")
+		}
+		if len(args) > 4 {
+			return fmt.Errorf("usage: job submit <command line> [priority] [max_retries]")
+		}
+		params := []any{args[1]}
+		for _, a := range args[2:] {
+			n, err := strconv.Atoi(a)
+			if err != nil {
+				return fmt.Errorf("job submit: %q is not an integer", a)
+			}
+			params = append(params, n)
+		}
+		id, err := c.CallString("job.submit", params...)
+		if err != nil {
+			return err
+		}
+		fmt.Println(id)
+		return nil
+	case "status":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: job status <id>")
+		}
+		st, err := c.CallStruct("job.status", args[1])
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "output":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: job output <id>")
+		}
+		out, err := c.CallStruct("job.output", args[1])
+		if err != nil {
+			return err
+		}
+		if s, _ := out["stdout"].(string); s != "" {
+			fmt.Print(s)
+		}
+		if s, _ := out["stderr"].(string); s != "" {
+			fmt.Fprint(os.Stderr, s)
+		}
+		if code, _ := out["exit_code"].(int); code != 0 {
+			os.Exit(code)
+		}
+		return nil
+	case "cancel":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: job cancel <id>")
+		}
+		changed, err := c.CallBool("job.cancel", args[1])
+		if err != nil {
+			return err
+		}
+		if changed {
+			fmt.Println("cancelled")
+		} else {
+			fmt.Println("already finished")
+		}
+		return nil
+	case "list":
+		params := []any{}
+		if len(args) > 1 {
+			params = append(params, args[1])
+		}
+		jobs, err := c.CallList("job.list", params...)
+		if err != nil {
+			return err
+		}
+		for _, e := range jobs {
+			j, _ := e.(map[string]any)
+			fmt.Printf("%-30v %-10v %3v %v\n", j["id"], j["state"], j["exit_code"], j["command"])
+		}
+		return nil
+	case "stats":
+		st, err := c.CallStruct("job.stats")
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	default:
+		return fmt.Errorf("unknown job command %q", args[0])
 	}
 }
 

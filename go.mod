@@ -1,0 +1,3 @@
+module clarens
+
+go 1.24

@@ -1,0 +1,867 @@
+// Package jobsvc implements the asynchronous job execution subsystem the
+// Clarens deployments layered on top of the framework (Ali et al.,
+// "Resource Management Services for a Grid Analysis Environment"; Thomas
+// et al., "JClarens"): authenticated clients submit shell payloads that a
+// scheduler runs in the background, monitor their progress, and collect
+// results when ready.
+//
+// The subsystem combines a priority queue, a configurable worker pool and
+// per-owner fair-share quotas with durable job state: every lifecycle
+// transition (queued → running → done/failed/cancelled, with bounded
+// retries) is persisted through db.Store, so the job table survives server
+// restarts the same way sessions do. Jobs found in the running state at
+// startup were interrupted by a crash and are re-queued while retry budget
+// remains, or marked failed otherwise.
+//
+// Execution is delegated to an Executor — in the assembled server, the
+// shell service's sandbox interpreter — and terminal transitions are
+// announced to the owner through the store-and-forward messaging service
+// and to the monitoring network as MonALISA queue/throughput gauges.
+package jobsvc
+
+import (
+	"container/heap"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"clarens/internal/core"
+	"clarens/internal/monalisa"
+	"clarens/internal/pki"
+	"clarens/internal/rpc"
+)
+
+// bucket is the db.Store bucket holding the durable job table. Keys embed
+// the zero-padded submission nanos, so a sorted key scan yields jobs in
+// submission order.
+const bucket = "jobs"
+
+// Job lifecycle states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Terminal reports whether state is a final lifecycle state.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// Job is one unit of asynchronous work. The whole record is persisted as
+// JSON on every state transition.
+type Job struct {
+	ID       string `json:"id"`
+	Owner    string `json:"owner"` // submitting DN, slash form
+	Command  string `json:"command"`
+	Priority int    `json:"priority"`
+	State    string `json:"state"`
+	// Attempts counts started executions; a job runs at most
+	// 1 + MaxRetries times.
+	Attempts   int       `json:"attempts"`
+	MaxRetries int       `json:"max_retries"`
+	Submitted  time.Time `json:"submitted"`
+	Started    time.Time `json:"started,omitempty"`
+	Finished   time.Time `json:"finished,omitempty"`
+	Stdout     string    `json:"stdout,omitempty"`
+	Stderr     string    `json:"stderr,omitempty"`
+	ExitCode   int       `json:"exit_code"`
+	Error      string    `json:"error,omitempty"`
+	LocalUser  string    `json:"local_user,omitempty"`
+	// Cancel marks a cancellation request observed while running; the
+	// worker honors it when the in-flight attempt returns.
+	Cancel bool `json:"cancel,omitempty"`
+}
+
+// ExecResult is what an Executor captured from one job attempt.
+type ExecResult struct {
+	Stdout    string
+	Stderr    string
+	ExitCode  int
+	LocalUser string
+}
+
+// Executor runs a job payload on behalf of its owner. A returned error
+// means the attempt could not run at all (as opposed to running with a
+// nonzero exit code); both count against the retry budget.
+type Executor func(owner pki.DN, command string) (ExecResult, error)
+
+// Notifier delivers terminal-state notifications to job owners
+// (implemented by messaging.Service).
+type Notifier interface {
+	Send(from, to pki.DN, subject, body string) (string, error)
+}
+
+// MetricsPublisher receives queue gauges (implemented by
+// monalisa.Publisher).
+type MetricsPublisher interface {
+	Publish(rec *monalisa.Record) error
+}
+
+// Config tunes the scheduler.
+type Config struct {
+	// Workers sizes the worker pool (default 4).
+	Workers int
+	// MaxQueue bounds the number of queued jobs (default 1024); submissions
+	// beyond it are refused.
+	MaxQueue int
+	// MaxPerOwner is the fair-share quota: the maximum number of one
+	// owner's jobs running concurrently (default 4; negative = unlimited).
+	// Jobs over quota stay queued while other owners' work proceeds.
+	MaxPerOwner int
+	// RetryLimit caps the per-job max_retries request (default 3).
+	RetryLimit int
+	// OutputLimit bounds the retained bytes of each output stream
+	// (default 64 KiB).
+	OutputLimit int
+	// MetricsInterval is the gauge publication period (default 2s).
+	MetricsInterval time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	if c.MaxPerOwner == 0 {
+		c.MaxPerOwner = 4
+	} else if c.MaxPerOwner < 0 {
+		c.MaxPerOwner = 0 // unlimited
+	}
+	if c.RetryLimit <= 0 {
+		c.RetryLimit = 3
+	}
+	if c.OutputLimit <= 0 {
+		c.OutputLimit = 64 << 10
+	}
+	if c.MetricsInterval <= 0 {
+		c.MetricsInterval = 2 * time.Second
+	}
+}
+
+// serviceDN identifies the scheduler as the sender of job notifications.
+var serviceDN = pki.MustParseDN("/O=clarens/OU=Services/CN=job scheduler")
+
+// queueItem orders the heap: higher priority first, FIFO within a
+// priority level.
+type queueItem struct {
+	id       string
+	priority int
+	seq      int64 // submission UnixNano
+}
+
+type jobHeap []*queueItem
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*queueItem)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Service is the job scheduler and its RPC surface.
+type Service struct {
+	srv     *core.Server
+	cfg     Config
+	exec    Executor
+	notify  Notifier
+	metrics MetricsPublisher
+	name    string // server name, used as the gauge farm
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	queue        jobHeap
+	ownerRunning map[string]int
+	runningCount int
+	doneCount    uint64
+	failedCount  uint64
+	cancelCount  uint64
+	stopped      bool
+
+	started time.Time
+	wg      sync.WaitGroup
+	stopCh  chan struct{}
+}
+
+// New builds the scheduler, recovers the durable job table from the
+// server's store, and starts the worker pool. serverName labels monitoring
+// gauges; notify and metrics may be nil.
+func New(srv *core.Server, cfg Config, exec Executor, notify Notifier, metrics MetricsPublisher, serverName string) (*Service, error) {
+	if exec == nil {
+		return nil, fmt.Errorf("jobsvc: nil executor")
+	}
+	cfg.fill()
+	s := &Service{
+		srv:          srv,
+		cfg:          cfg,
+		exec:         exec,
+		notify:       notify,
+		metrics:      metrics,
+		name:         serverName,
+		ownerRunning: make(map[string]int),
+		started:      time.Now(),
+		stopCh:       make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if metrics != nil {
+		s.wg.Add(1)
+		go s.metricsLoop()
+	}
+	return s, nil
+}
+
+// recover rebuilds the in-memory queue from the persisted job table.
+// Queued jobs re-enter the queue; jobs interrupted mid-run are re-queued
+// while retry budget remains, or marked failed (their interrupted attempt
+// already counted).
+func (s *Service) recover() error {
+	return s.srv.Store().ForEach(bucket, func(key string, value []byte) error {
+		var j Job
+		if err := json.Unmarshal(value, &j); err != nil {
+			return fmt.Errorf("jobsvc: corrupt job record %s: %w", key, err)
+		}
+		switch j.State {
+		case StateQueued:
+			heap.Push(&s.queue, &queueItem{id: j.ID, priority: j.Priority, seq: j.Submitted.UnixNano()})
+		case StateRunning:
+			if j.Cancel {
+				j.State = StateCancelled
+				j.Finished = time.Now()
+				j.Error = "cancelled before server restart"
+				if err := s.put(&j); err != nil {
+					return err
+				}
+				s.cancelCount++
+				s.notifyDone(&j)
+			} else if j.Attempts <= j.MaxRetries {
+				j.State = StateQueued
+				j.Error = fmt.Sprintf("attempt %d interrupted by server restart; re-queued", j.Attempts)
+				if err := s.put(&j); err != nil {
+					return err
+				}
+				heap.Push(&s.queue, &queueItem{id: j.ID, priority: j.Priority, seq: j.Submitted.UnixNano()})
+			} else {
+				j.State = StateFailed
+				j.Finished = time.Now()
+				j.Error = fmt.Sprintf("interrupted by server restart after %d attempts", j.Attempts)
+				if err := s.put(&j); err != nil {
+					return err
+				}
+				s.failedCount++
+				s.notifyDone(&j)
+			}
+		}
+		return nil
+	})
+}
+
+// Stop drains the worker pool: workers finish in-flight attempts and exit.
+// Queued jobs stay persisted for the next start.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	close(s.stopCh)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// newID mints a sortable job identifier embedding the submission time.
+func newID(at time.Time) (string, error) {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%020d-%s", at.UnixNano(), hex.EncodeToString(b[:])), nil
+}
+
+func (s *Service) put(j *Job) error {
+	return s.srv.Store().PutJSON(bucket, j.ID, j)
+}
+
+// Get loads a job by id.
+func (s *Service) Get(id string) (*Job, bool) {
+	var j Job
+	found, err := s.srv.Store().GetJSON(bucket, id, &j)
+	if err != nil || !found {
+		return nil, false
+	}
+	return &j, true
+}
+
+// Submit queues a command for owner and returns the new job. priority
+// orders the queue (higher first); maxRetries is clamped to RetryLimit.
+func (s *Service) Submit(owner pki.DN, command string, priority, maxRetries int) (*Job, error) {
+	if owner.IsZero() {
+		return nil, &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "job: authentication required"}
+	}
+	if command == "" {
+		return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: "job: empty command"}
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	if maxRetries > s.cfg.RetryLimit {
+		maxRetries = s.cfg.RetryLimit
+	}
+	now := time.Now()
+	id, err := newID(now)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		ID:         id,
+		Owner:      owner.String(),
+		Command:    command,
+		Priority:   priority,
+		State:      StateQueued,
+		MaxRetries: maxRetries,
+		Submitted:  now,
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: "job: scheduler stopped"}
+	}
+	if len(s.queue) >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: fmt.Sprintf("job: queue full (%d jobs)", s.cfg.MaxQueue)}
+	}
+	if err := s.put(j); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	heap.Push(&s.queue, &queueItem{id: j.ID, priority: j.Priority, seq: now.UnixNano()})
+	s.cond.Signal()
+	s.mu.Unlock()
+	return j, nil
+}
+
+// Cancel stops a job: queued jobs become cancelled immediately; running
+// jobs are flagged and transition when the in-flight attempt returns. The
+// bool reports whether anything changed.
+func (s *Service) Cancel(id string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.Get(id)
+	if !ok {
+		return false, &rpc.Fault{Code: rpc.CodeApplication, Message: fmt.Sprintf("job: no such job %q", id)}
+	}
+	switch j.State {
+	case StateQueued:
+		// Drop the heap entry eagerly so it stops counting against
+		// MaxQueue and the queue-depth gauge.
+		for i, it := range s.queue {
+			if it.id == j.ID {
+				heap.Remove(&s.queue, i)
+				break
+			}
+		}
+		j.State = StateCancelled
+		j.Finished = time.Now()
+		s.cancelCount++
+		if err := s.put(j); err != nil {
+			return false, err
+		}
+		s.notifyDone(j)
+		return true, nil
+	case StateRunning:
+		j.Cancel = true
+		return true, s.put(j)
+	default:
+		return false, nil
+	}
+}
+
+// List returns jobs in submission order. owner filters to one DN ("" =
+// all); state filters to one lifecycle state ("" = all).
+func (s *Service) List(owner, state string) ([]*Job, error) {
+	var out []*Job
+	err := s.srv.Store().ForEach(bucket, func(key string, value []byte) error {
+		var j Job
+		if err := json.Unmarshal(value, &j); err != nil {
+			return nil // skip corrupt records on the read path
+		}
+		if owner != "" && j.Owner != owner {
+			return nil
+		}
+		if state != "" && j.State != state {
+			return nil
+		}
+		out = append(out, &j)
+		return nil
+	})
+	return out, err
+}
+
+// Wait blocks until the job reaches a terminal state or the timeout
+// elapses, returning the final record.
+func (s *Service) Wait(id string, timeout time.Duration) (*Job, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		j, ok := s.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("jobsvc: no such job %q", id)
+		}
+		if Terminal(j.State) {
+			return j, nil
+		}
+		if time.Now().After(deadline) {
+			return j, fmt.Errorf("jobsvc: job %s still %s after %v", id, j.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// next blocks until a runnable job is available, claims it (marking it
+// running and charging the owner's quota), and returns it. It returns nil
+// when the scheduler stops.
+func (s *Service) next() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped {
+			return nil
+		}
+		var skipped []*queueItem
+		var picked *Job
+		for len(s.queue) > 0 {
+			it := heap.Pop(&s.queue).(*queueItem)
+			j, ok := s.Get(it.id)
+			if !ok || j.State != StateQueued {
+				continue // cancelled or vanished while queued
+			}
+			if s.cfg.MaxPerOwner > 0 && s.ownerRunning[j.Owner] >= s.cfg.MaxPerOwner {
+				skipped = append(skipped, it)
+				continue
+			}
+			picked = j
+			break
+		}
+		for _, it := range skipped {
+			heap.Push(&s.queue, it)
+		}
+		if picked != nil {
+			picked.State = StateRunning
+			picked.Started = time.Now()
+			picked.Attempts++
+			if err := s.put(picked); err != nil {
+				// Persisting the claim failed (store closed mid-shutdown,
+				// or a transient disk error): push the job back so it is
+				// not stranded, and park rather than kill the worker.
+				heap.Push(&s.queue, &queueItem{id: picked.ID, priority: picked.Priority, seq: picked.Submitted.UnixNano()})
+				if s.stopped {
+					return nil
+				}
+				s.srv.Logger().Printf("jobsvc: persist claim of %s: %v", picked.ID, err)
+				s.cond.Wait()
+				continue
+			}
+			s.ownerRunning[picked.Owner]++
+			s.runningCount++
+			return picked
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		owner, err := pki.ParseDN(j.Owner)
+		var res ExecResult
+		if err == nil {
+			res, err = s.exec(owner, j.Command)
+		}
+		s.finish(j, res, err)
+	}
+}
+
+func truncated(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "\n...[truncated]"
+	}
+	return s
+}
+
+// finish records the attempt outcome: success → done; failure → requeue
+// while retry budget remains, else failed; a cancel request observed
+// mid-run wins over retries.
+func (s *Service) finish(j *Job, res ExecResult, execErr error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Re-read for a cancel flag set while the attempt ran.
+	if cur, ok := s.Get(j.ID); ok {
+		j.Cancel = cur.Cancel
+	}
+	s.ownerRunning[j.Owner]--
+	if s.ownerRunning[j.Owner] <= 0 {
+		delete(s.ownerRunning, j.Owner)
+	}
+	s.runningCount--
+
+	j.Stdout = truncated(res.Stdout, s.cfg.OutputLimit)
+	j.Stderr = truncated(res.Stderr, s.cfg.OutputLimit)
+	j.ExitCode = res.ExitCode
+	j.LocalUser = res.LocalUser
+	j.Error = ""
+	if execErr != nil {
+		j.Error = execErr.Error()
+		j.ExitCode = -1
+	}
+
+	failed := execErr != nil || res.ExitCode != 0
+	switch {
+	case j.Cancel:
+		j.State = StateCancelled
+		j.Finished = time.Now()
+		s.cancelCount++
+	case !failed:
+		j.State = StateDone
+		j.Finished = time.Now()
+		s.doneCount++
+	case j.Attempts <= j.MaxRetries:
+		j.State = StateQueued
+		heap.Push(&s.queue, &queueItem{id: j.ID, priority: j.Priority, seq: j.Submitted.UnixNano()})
+	default:
+		j.State = StateFailed
+		j.Finished = time.Now()
+		s.failedCount++
+	}
+	if err := s.put(j); err != nil {
+		// The durable record still says "running"; after a restart the
+		// job would re-run. Surface the inconsistency in the log — there
+		// is no better recovery without a working store.
+		s.srv.Logger().Printf("jobsvc: persist %s state of %s: %v", j.State, j.ID, err)
+	}
+	if Terminal(j.State) {
+		s.notifyDone(j)
+	}
+	// A finished job frees quota; wake workers parked on fair share, and
+	// a requeued job needs a worker too.
+	s.cond.Broadcast()
+}
+
+// notifyDone announces a terminal transition to the owner's message queue.
+// Callers hold s.mu; messaging only touches the store, never jobsvc.
+func (s *Service) notifyDone(j *Job) {
+	if s.notify == nil {
+		return
+	}
+	owner, err := pki.ParseDN(j.Owner)
+	if err != nil {
+		return
+	}
+	body, _ := json.Marshal(map[string]any{
+		"id":        j.ID,
+		"state":     j.State,
+		"exit_code": j.ExitCode,
+		"command":   j.Command,
+		"error":     j.Error,
+	})
+	s.notify.Send(serviceDN, owner, "job."+j.State, string(body))
+}
+
+// Snapshot reports the scheduler counters.
+type Snapshot struct {
+	Queued    int
+	Running   int
+	Done      uint64
+	Failed    uint64
+	Cancelled uint64
+	Workers   int
+	Uptime    time.Duration
+}
+
+// Throughput is completed jobs (any terminal state) per second of uptime.
+func (sn Snapshot) Throughput() float64 {
+	secs := sn.Uptime.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(sn.Done+sn.Failed+sn.Cancelled) / secs
+}
+
+// Stats returns the live counters.
+func (s *Service) Stats() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Count only genuinely queued heap entries (cancelled ones are lazily
+	// dropped, so the heap length can overcount briefly); the cheap
+	// approximation is fine for gauges, but queued = heap minus nothing
+	// here since cancellation rewrites state and workers skip stale items.
+	return Snapshot{
+		Queued:    len(s.queue),
+		Running:   s.runningCount,
+		Done:      s.doneCount,
+		Failed:    s.failedCount,
+		Cancelled: s.cancelCount,
+		Workers:   s.cfg.Workers,
+		Uptime:    time.Since(s.started),
+	}
+}
+
+// metricsLoop publishes queue gauges until Stop.
+func (s *Service) metricsLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.MetricsInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			s.publishGauges()
+			return
+		case <-t.C:
+			s.publishGauges()
+		}
+	}
+}
+
+func (s *Service) publishGauges() {
+	sn := s.Stats()
+	s.metrics.Publish(&monalisa.Record{
+		Farm:    s.name,
+		Cluster: "jobs",
+		Node:    "scheduler",
+		Params: map[string]float64{
+			"queued":     float64(sn.Queued),
+			"running":    float64(sn.Running),
+			"done":       float64(sn.Done),
+			"failed":     float64(sn.Failed),
+			"cancelled":  float64(sn.Cancelled),
+			"workers":    float64(sn.Workers),
+			"throughput": sn.Throughput(),
+		},
+	})
+}
+
+// --- RPC surface ---
+
+// Name implements core.Service.
+func (s *Service) Name() string { return "job" }
+
+// Methods implements core.Service. All methods require authentication;
+// status/list/cancel/output are owner-only with a server-admin override.
+func (s *Service) Methods() []core.Method {
+	return []core.Method{
+		{
+			Name:      "job.submit",
+			Help:      "Queue a sandboxed command for asynchronous execution: submit(command, [priority], [max_retries]); returns the job id.",
+			Signature: []string{"string string int int"},
+			Handler:   s.rpcSubmit,
+		},
+		{
+			Name:      "job.status",
+			Help:      "Return a job's full status record by id (owner or server admin only).",
+			Signature: []string{"struct string"},
+			Handler:   s.rpcStatus,
+		},
+		{
+			Name:      "job.list",
+			Help:      "List the caller's jobs, oldest first; optional state filter (queued|running|done|failed|cancelled). Server admins see all jobs.",
+			Signature: []string{"array string"},
+			Handler:   s.rpcList,
+		},
+		{
+			Name:      "job.cancel",
+			Help:      "Cancel a job: queued jobs stop immediately, running jobs when the current attempt returns. Returns whether anything changed.",
+			Signature: []string{"boolean string"},
+			Handler:   s.rpcCancel,
+		},
+		{
+			Name:      "job.output",
+			Help:      "Return {stdout, stderr, exit_code, state} for a job (owner or server admin only).",
+			Signature: []string{"struct string"},
+			Handler:   s.rpcOutput,
+		},
+		{
+			Name:      "job.stats",
+			Help:      "Scheduler counters: queue depth, running, terminal counts, workers, throughput.",
+			Signature: []string{"struct"},
+			Handler:   s.rpcStats,
+		},
+	}
+}
+
+// authorized loads a job and enforces owner-only access with the
+// server-admin override.
+func (s *Service) authorized(ctx *core.Context, id string) (*Job, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	j, ok := s.Get(id)
+	if !ok {
+		return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: fmt.Sprintf("job: no such job %q", id)}
+	}
+	if j.Owner != ctx.DN.String() {
+		if err := ctx.RequireServerAdmin(); err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+func jobStruct(j *Job) map[string]any {
+	m := map[string]any{
+		"id":          j.ID,
+		"owner":       j.Owner,
+		"command":     j.Command,
+		"priority":    j.Priority,
+		"state":       j.State,
+		"attempts":    j.Attempts,
+		"max_retries": j.MaxRetries,
+		"exit_code":   j.ExitCode,
+		"submitted":   j.Submitted.UTC(),
+	}
+	if !j.Started.IsZero() {
+		m["started"] = j.Started.UTC()
+	}
+	if !j.Finished.IsZero() {
+		m["finished"] = j.Finished.UTC()
+	}
+	if j.Error != "" {
+		m["error"] = j.Error
+	}
+	if j.LocalUser != "" {
+		m["local_user"] = j.LocalUser
+	}
+	return m
+}
+
+func (s *Service) rpcSubmit(ctx *core.Context, p core.Params) (any, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	command, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	priority, err := p.OptInt(1, 0)
+	if err != nil {
+		return nil, err
+	}
+	retries, err := p.OptInt(2, 0)
+	if err != nil {
+		return nil, err
+	}
+	j, err := s.Submit(ctx.DN, command, priority, retries)
+	if err != nil {
+		return nil, err
+	}
+	return j.ID, nil
+}
+
+func (s *Service) rpcStatus(ctx *core.Context, p core.Params) (any, error) {
+	id, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	j, err := s.authorized(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return jobStruct(j), nil
+}
+
+func (s *Service) rpcList(ctx *core.Context, p core.Params) (any, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	state, err := p.OptString(0, "")
+	if err != nil {
+		return nil, err
+	}
+	owner := ctx.DN.String()
+	if s.srv.VO().IsServerAdmin(ctx.DN) {
+		owner = "" // admins see the whole table
+	}
+	jobs, err := s.List(owner, state)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, len(jobs))
+	for i, j := range jobs {
+		out[i] = jobStruct(j)
+	}
+	return out, nil
+}
+
+func (s *Service) rpcCancel(ctx *core.Context, p core.Params) (any, error) {
+	id, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.authorized(ctx, id); err != nil {
+		return nil, err
+	}
+	return s.Cancel(id)
+}
+
+func (s *Service) rpcOutput(ctx *core.Context, p core.Params) (any, error) {
+	id, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	j, err := s.authorized(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"stdout":    j.Stdout,
+		"stderr":    j.Stderr,
+		"exit_code": j.ExitCode,
+		"state":     j.State,
+	}, nil
+}
+
+func (s *Service) rpcStats(ctx *core.Context, p core.Params) (any, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	sn := s.Stats()
+	return map[string]any{
+		"queued":           sn.Queued,
+		"running":          sn.Running,
+		"done":             int(sn.Done),
+		"failed":           int(sn.Failed),
+		"cancelled":        int(sn.Cancelled),
+		"workers":          sn.Workers,
+		"uptime_s":         int(sn.Uptime.Seconds()),
+		"throughput_per_s": sn.Throughput(),
+	}, nil
+}
+
+var _ core.Service = (*Service)(nil)

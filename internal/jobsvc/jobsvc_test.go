@@ -1,0 +1,547 @@
+package jobsvc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clarens/internal/core"
+	"clarens/internal/monalisa"
+	"clarens/internal/pki"
+)
+
+var (
+	alice = pki.MustParseDN("/O=grid/OU=People/CN=Alice")
+	bob   = pki.MustParseDN("/O=grid/OU=People/CN=Bob")
+)
+
+func testServer(t *testing.T, dir string) *core.Server {
+	t.Helper()
+	srv, err := core.NewServer(core.Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// echoExec is a fake executor: "echo X" succeeds with X on stdout,
+// "fail" exits 1, "error" cannot run at all.
+func echoExec(owner pki.DN, command string) (ExecResult, error) {
+	switch {
+	case strings.HasPrefix(command, "echo "):
+		return ExecResult{Stdout: strings.TrimPrefix(command, "echo ") + "\n", LocalUser: "fake"}, nil
+	case command == "fail":
+		return ExecResult{Stderr: "boom\n", ExitCode: 1, LocalUser: "fake"}, nil
+	case command == "error":
+		return ExecResult{}, fmt.Errorf("executor unavailable")
+	}
+	return ExecResult{LocalUser: "fake"}, nil
+}
+
+func newService(t *testing.T, srv *core.Server, cfg Config, exec Executor) *Service {
+	t.Helper()
+	s, err := New(srv, cfg, exec, nil, nil, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	srv := testServer(t, "")
+	s := newService(t, srv, Config{Workers: 2}, echoExec)
+	j, err := s.Submit(alice, "echo hello", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Wait(j.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || got.Stdout != "hello\n" || got.ExitCode != 0 {
+		t.Errorf("job = %+v", got)
+	}
+	if got.Attempts != 1 || got.LocalUser != "fake" {
+		t.Errorf("attempts=%d local_user=%q", got.Attempts, got.LocalUser)
+	}
+	if got.Started.IsZero() || got.Finished.IsZero() {
+		t.Error("missing timestamps")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	srv := testServer(t, "")
+	s := newService(t, srv, Config{}, echoExec)
+	if _, err := s.Submit(pki.DN{}, "echo x", 0, 0); err == nil {
+		t.Error("anonymous submit must fail")
+	}
+	if _, err := s.Submit(alice, "", 0, 0); err == nil {
+		t.Error("empty command must fail")
+	}
+	// Retries are clamped to the limit.
+	j, err := s.Submit(alice, "echo x", 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.MaxRetries != 3 {
+		t.Errorf("MaxRetries = %d, want clamped to 3", j.MaxRetries)
+	}
+}
+
+// gateExec blocks every attempt until released, recording start order.
+type gateExec struct {
+	mu      sync.Mutex
+	started []string
+	gate    chan struct{}
+}
+
+func (g *gateExec) exec(owner pki.DN, command string) (ExecResult, error) {
+	g.mu.Lock()
+	g.started = append(g.started, command)
+	g.mu.Unlock()
+	<-g.gate
+	return ExecResult{Stdout: command}, nil
+}
+
+func (g *gateExec) order() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.started...)
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gateExec{gate: make(chan struct{})}
+	s := newService(t, srv, Config{Workers: 1}, g.exec)
+
+	// Occupy the single worker so subsequent jobs queue up.
+	hold, err := s.Submit(alice, "hold", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+
+	// Queue low before high; the scheduler must pick high first.
+	if _, err := s.Submit(alice, "low", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(alice, "high", 9, 0); err != nil {
+		t.Fatal(err)
+	}
+	close(g.gate)
+	if _, err := s.Wait(hold.ID, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(g.order()) == 3 })
+	order := g.order()
+	if order[1] != "high" || order[2] != "low" {
+		t.Errorf("start order = %v, want hold,high,low", order)
+	}
+}
+
+func TestFairShareQuota(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gateExec{gate: make(chan struct{})}
+	s := newService(t, srv, Config{Workers: 2, MaxPerOwner: 1}, g.exec)
+
+	// Alice saturates her quota; her second job must wait even though a
+	// worker is free, so Bob's later submission starts ahead of it.
+	if _, err := s.Submit(alice, "alice-1", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	if _, err := s.Submit(alice, "alice-2", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	bj, err := s.Submit(bob, "bob-1", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(g.order()) == 2 })
+	if order := g.order(); order[1] != "bob-1" {
+		t.Errorf("second start = %q, want bob-1 (alice over quota)", order[1])
+	}
+	close(g.gate)
+	if _, err := s.Wait(bj.ID, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Quota freed: alice-2 runs now.
+	waitFor(t, func() bool { return len(g.order()) == 3 })
+}
+
+func TestRetriesThenFailure(t *testing.T) {
+	srv := testServer(t, "")
+	var attempts atomic.Int32
+	exec := func(owner pki.DN, command string) (ExecResult, error) {
+		attempts.Add(1)
+		return ExecResult{ExitCode: 1, Stderr: "always fails\n"}, nil
+	}
+	s := newService(t, srv, Config{Workers: 1}, exec)
+	j, err := s.Submit(alice, "doomed", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Wait(j.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateFailed || got.Attempts != 3 || attempts.Load() != 3 {
+		t.Errorf("state=%s attempts=%d executed=%d, want failed after 3", got.State, got.Attempts, attempts.Load())
+	}
+}
+
+func TestRetrySucceedsOnSecondAttempt(t *testing.T) {
+	srv := testServer(t, "")
+	var attempts atomic.Int32
+	exec := func(owner pki.DN, command string) (ExecResult, error) {
+		if attempts.Add(1) == 1 {
+			return ExecResult{ExitCode: 1}, nil
+		}
+		return ExecResult{Stdout: "recovered\n"}, nil
+	}
+	s := newService(t, srv, Config{Workers: 1}, exec)
+	j, err := s.Submit(alice, "flaky", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Wait(j.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || got.Attempts != 2 || got.Stdout != "recovered\n" {
+		t.Errorf("job = %+v", got)
+	}
+}
+
+func TestExecutorErrorCountsAsFailure(t *testing.T) {
+	srv := testServer(t, "")
+	s := newService(t, srv, Config{Workers: 1}, echoExec)
+	j, err := s.Submit(alice, "error", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Wait(j.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateFailed || got.Error == "" || got.ExitCode != -1 {
+		t.Errorf("job = %+v", got)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gateExec{gate: make(chan struct{})}
+	defer close(g.gate)
+	s := newService(t, srv, Config{Workers: 1}, g.exec)
+	if _, err := s.Submit(alice, "hold", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	j, err := s.Submit(alice, "victim", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := s.Cancel(j.ID)
+	if err != nil || !changed {
+		t.Fatalf("cancel = %v, %v", changed, err)
+	}
+	got, _ := s.Get(j.ID)
+	if got.State != StateCancelled {
+		t.Errorf("state = %s", got.State)
+	}
+	// The heap entry is removed eagerly: the cancelled job no longer
+	// occupies queue capacity.
+	if sn := s.Stats(); sn.Queued != 0 {
+		t.Errorf("queued = %d after cancel, want 0", sn.Queued)
+	}
+	// Cancelling a terminal job is a no-op.
+	if changed, _ := s.Cancel(j.ID); changed {
+		t.Error("cancel of cancelled job must report false")
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gateExec{gate: make(chan struct{})}
+	s := newService(t, srv, Config{Workers: 1}, g.exec)
+	j, err := s.Submit(alice, "long", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	changed, err := s.Cancel(j.ID)
+	if err != nil || !changed {
+		t.Fatalf("cancel = %v, %v", changed, err)
+	}
+	close(g.gate)
+	got, err := s.Wait(j.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cancel request wins over success and retries.
+	if got.State != StateCancelled {
+		t.Errorf("state = %s, want cancelled", got.State)
+	}
+}
+
+func TestListAndStats(t *testing.T) {
+	srv := testServer(t, "")
+	s := newService(t, srv, Config{Workers: 2}, echoExec)
+	var last *Job
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(alice, fmt.Sprintf("echo %d", i), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = j
+	}
+	if _, err := s.Submit(bob, "echo bob", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		sn := s.Stats()
+		return sn.Done == 4
+	})
+	mine, err := s.List(alice.String(), "")
+	if err != nil || len(mine) != 3 {
+		t.Fatalf("alice sees %d jobs (%v), want 3", len(mine), err)
+	}
+	// Submission order is preserved by the key layout.
+	if mine[2].ID != last.ID {
+		t.Errorf("list order: last = %s, want %s", mine[2].ID, last.ID)
+	}
+	all, _ := s.List("", "")
+	if len(all) != 4 {
+		t.Errorf("all = %d jobs, want 4", len(all))
+	}
+	done, _ := s.List("", StateDone)
+	if len(done) != 4 {
+		t.Errorf("done = %d jobs, want 4", len(done))
+	}
+	sn := s.Stats()
+	if sn.Queued != 0 || sn.Running != 0 || sn.Done != 4 || sn.Workers != 2 {
+		t.Errorf("stats = %+v", sn)
+	}
+	if sn.Throughput() <= 0 {
+		t.Error("throughput must be positive after completions")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gateExec{gate: make(chan struct{})}
+	defer close(g.gate)
+	s := newService(t, srv, Config{Workers: 1, MaxQueue: 2}, g.exec)
+	if _, err := s.Submit(alice, "hold", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(alice, "queued", 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit(alice, "overflow", 0, 0); err == nil {
+		t.Error("submit past MaxQueue must fail")
+	}
+}
+
+// TestCrashRecovery simulates a crash: job records are persisted
+// (queued + running) and a fresh server is rebuilt on the same database
+// directory. Interrupted jobs must be re-queued while retry budget
+// remains, or marked failed when it is exhausted.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	// Server #1: persist a mixed job table, then "crash" (close without
+	// draining — records stay in their last persisted state).
+	srv1, err := core.NewServer(core.Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	mk := func(id, state string, attempts, maxRetries int) *Job {
+		return &Job{
+			ID: id, Owner: alice.String(), Command: "echo recovered",
+			State: state, Attempts: attempts, MaxRetries: maxRetries,
+			Submitted: now,
+		}
+	}
+	queued := mk(mustID(t, now), StateQueued, 0, 0)
+	interrupted := mk(mustID(t, now.Add(time.Millisecond)), StateRunning, 1, 2)
+	exhausted := mk(mustID(t, now.Add(2*time.Millisecond)), StateRunning, 3, 2)
+	finished := mk(mustID(t, now.Add(3*time.Millisecond)), StateDone, 1, 0)
+	finished.Stdout = "earlier result\n"
+	for _, j := range []*Job{queued, interrupted, exhausted, finished} {
+		if err := srv1.Store().PutJSON(bucket, j.ID, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server #2 on the same directory: recovery and execution.
+	srv2 := testServer(t, dir)
+	s := newService(t, srv2, Config{Workers: 2}, echoExec)
+
+	for _, id := range []string{queued.ID, interrupted.ID} {
+		got, err := s.Wait(id, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State != StateDone || got.Stdout != "recovered\n" {
+			t.Errorf("job %s after recovery = %s %q", id, got.State, got.Stdout)
+		}
+	}
+	// The interrupted attempt already counted, so the retry ran as attempt 2.
+	if got, _ := s.Get(interrupted.ID); got.Attempts != 2 {
+		t.Errorf("interrupted attempts = %d, want 2", got.Attempts)
+	}
+	if got, _ := s.Get(exhausted.ID); got.State != StateFailed || !strings.Contains(got.Error, "restart") {
+		t.Errorf("exhausted job = %+v, want failed with restart error", got)
+	}
+	if got, _ := s.Get(finished.ID); got.State != StateDone || got.Stdout != "earlier result\n" {
+		t.Errorf("terminal job must be untouched, got %+v", got)
+	}
+}
+
+// TestRecoveryNotifiesTerminalTransitions: a job moved to failed during
+// crash recovery must announce itself like any other terminal transition,
+// or notification-driven clients wait forever.
+func TestRecoveryNotifiesTerminalTransitions(t *testing.T) {
+	dir := t.TempDir()
+	srv1, err := core.NewServer(core.Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := &Job{
+		ID: mustID(t, time.Now()), Owner: alice.String(), Command: "echo lost",
+		State: StateRunning, Attempts: 4, MaxRetries: 3, Submitted: time.Now(),
+	}
+	if err := srv1.Store().PutJSON(bucket, dead.ID, dead); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	srv2 := testServer(t, dir)
+	rec := &notifyRecorder{}
+	s, err := New(srv2, Config{Workers: 1}, echoExec, rec, nil, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.sent) != 1 || rec.sent[0] != "job.failed" {
+		t.Errorf("recovery notifications = %v, want [job.failed]", rec.sent)
+	}
+	if sn := s.Stats(); sn.Failed != 1 {
+		t.Errorf("failed counter = %d, want 1", sn.Failed)
+	}
+}
+
+func mustID(t *testing.T, at time.Time) string {
+	t.Helper()
+	id, err := newID(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// notifyRecorder captures terminal notifications.
+type notifyRecorder struct {
+	mu   sync.Mutex
+	sent []string // subjects
+}
+
+func (n *notifyRecorder) Send(from, to pki.DN, subject, body string) (string, error) {
+	n.mu.Lock()
+	n.sent = append(n.sent, subject)
+	n.mu.Unlock()
+	return "id", nil
+}
+
+func TestTerminalNotifications(t *testing.T) {
+	srv := testServer(t, "")
+	rec := &notifyRecorder{}
+	s, err := New(srv, Config{Workers: 1}, echoExec, rec, nil, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	ok, _ := s.Submit(alice, "echo fine", 0, 0)
+	bad, _ := s.Submit(alice, "fail", 0, 0)
+	s.Wait(ok.ID, 5*time.Second)
+	s.Wait(bad.ID, 5*time.Second)
+	waitFor(t, func() bool {
+		rec.mu.Lock()
+		defer rec.mu.Unlock()
+		return len(rec.sent) == 2
+	})
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.sent[0] != "job.done" || rec.sent[1] != "job.failed" {
+		t.Errorf("notifications = %v", rec.sent)
+	}
+}
+
+// gaugeRecorder captures monitoring records.
+type gaugeRecorder struct {
+	mu   sync.Mutex
+	recs []map[string]float64
+}
+
+func (g *gaugeRecorder) Publish(rec *monalisa.Record) error {
+	g.mu.Lock()
+	g.recs = append(g.recs, rec.Params)
+	g.mu.Unlock()
+	return nil
+}
+
+func TestMetricsGauges(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gaugeRecorder{}
+	s, err := New(srv, Config{Workers: 1, MetricsInterval: 5 * time.Millisecond}, echoExec, nil, g, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := s.Submit(alice, "echo gauge", 0, 0)
+	s.Wait(j.ID, 5*time.Second)
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		for _, p := range g.recs {
+			if p["done"] == 1 {
+				return true
+			}
+		}
+		return false
+	})
+	s.Stop()
+	// Stop publishes one final gauge snapshot.
+	g.mu.Lock()
+	last := g.recs[len(g.recs)-1]
+	g.mu.Unlock()
+	if last["done"] != 1 || last["workers"] != 1 || last["throughput"] <= 0 {
+		t.Errorf("final gauges = %v", last)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"clarens/internal/core"
+	"clarens/internal/pki"
 	"clarens/internal/rpc"
 )
 
@@ -107,25 +108,43 @@ func (s *Service) SandboxVirtual(localUser string) string {
 	return "/" + filepath.ToSlash(filepath.Join(filepath.Base(s.sandboxRoot), localUser))
 }
 
+// ExecAs runs a command line in dn's sandbox exactly as shell.cmd would,
+// without an RPC context: the DN is resolved through the user map, the
+// per-user sandbox is created or re-used, and the line runs under the
+// built-in interpreter (or /bin/sh when AllowRealExec is set). It is the
+// execution backend for the asynchronous job service, which schedules
+// payloads on behalf of authenticated owners. The mapped local user is
+// returned alongside the result.
+func (s *Service) ExecAs(dn pki.DN, line string) (Result, string, error) {
+	if dn.IsZero() {
+		return Result{}, "", &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "shell: authentication required"}
+	}
+	user, ok := s.userMap.Resolve(dn, s.srv.VO())
+	if !ok {
+		return Result{}, "", &rpc.Fault{
+			Code:    rpc.CodeAccessDenied,
+			Message: fmt.Sprintf("shell: no %s entry maps %q to a local user", UserMapFileName, dn.String()),
+		}
+	}
+	sandbox, err := s.Sandbox(user)
+	if err != nil {
+		return Result{}, "", err
+	}
+	if s.AllowRealExec {
+		return s.realExec(line, sandbox), user, nil
+	}
+	ip := &interp{sandbox: sandbox, cwd: sandbox}
+	return ip.run(line, user), user, nil
+}
+
 func (s *Service) cmd(ctx *core.Context, p core.Params) (any, error) {
 	line, err := p.String(0)
 	if err != nil {
 		return nil, err
 	}
-	user, err := s.resolveUser(ctx)
+	res, user, err := s.ExecAs(ctx.DN, line)
 	if err != nil {
 		return nil, err
-	}
-	sandbox, err := s.Sandbox(user)
-	if err != nil {
-		return nil, err
-	}
-	var res Result
-	if s.AllowRealExec {
-		res = s.realExec(line, sandbox)
-	} else {
-		ip := &interp{sandbox: sandbox, cwd: sandbox}
-		res = ip.run(line, user)
 	}
 	return map[string]any{
 		"stdout":    res.Stdout,
