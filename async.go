@@ -1,6 +1,7 @@
 package clarens
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -30,6 +31,13 @@ func (r AsyncResult) Rate() float64 {
 // clients. It issues totalCalls invocations of method with clients
 // goroutines sharing the keep-alive pool and returns the batch timing.
 func (c *Client) CallAsync(clients, totalCalls int, method string, params ...any) AsyncResult {
+	return c.CallAsyncCtx(context.Background(), clients, totalCalls, method, params...)
+}
+
+// CallAsyncCtx is CallAsync bound to a context: cancelling ctx aborts the
+// in-flight calls and stops issuing new ones; aborted calls count as
+// errors with FirstErr reflecting the cancellation.
+func (c *Client) CallAsyncCtx(ctx context.Context, clients, totalCalls int, method string, params ...any) AsyncResult {
 	if clients < 1 {
 		clients = 1
 	}
@@ -62,7 +70,11 @@ func (c *Client) CallAsync(clients, totalCalls int, method string, params ...any
 		go func(n int) {
 			defer wg.Done()
 			for j := 0; j < n; j++ {
-				if _, err := c.Call(method, params...); err != nil {
+				err := ctx.Err()
+				if err == nil {
+					_, err = c.CallCtx(ctx, method, params...)
+				}
+				if err != nil {
 					errMu.Lock()
 					errCount++
 					if firstErr == nil {
@@ -99,6 +111,12 @@ type SweepPoint struct {
 // and record the rate. repeats > 1 re-runs each point and keeps the best
 // batch (the paper repeated the whole sweep "to verify the results").
 func (c *Client) SweepAsync(minClients, maxClients, step, callsPerBatch, repeats int, method string, params ...any) ([]SweepPoint, error) {
+	return c.SweepAsyncCtx(context.Background(), minClients, maxClients, step, callsPerBatch, repeats, method, params...)
+}
+
+// SweepAsyncCtx is SweepAsync bound to a context: cancellation aborts the
+// current batch and returns the points measured so far.
+func (c *Client) SweepAsyncCtx(ctx context.Context, minClients, maxClients, step, callsPerBatch, repeats int, method string, params ...any) ([]SweepPoint, error) {
 	if step < 1 {
 		step = 1
 	}
@@ -109,7 +127,10 @@ func (c *Client) SweepAsync(minClients, maxClients, step, callsPerBatch, repeats
 	for n := minClients; n <= maxClients; n += step {
 		best := AsyncResult{}
 		for r := 0; r < repeats; r++ {
-			res := c.CallAsync(n, callsPerBatch, method, params...)
+			if err := ctx.Err(); err != nil {
+				return out, fmt.Errorf("clarens: sweep at %d clients: %w", n, err)
+			}
+			res := c.CallAsyncCtx(ctx, n, callsPerBatch, method, params...)
 			if res.FirstErr != nil {
 				return out, fmt.Errorf("clarens: sweep at %d clients: %w", n, res.FirstErr)
 			}

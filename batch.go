@@ -1,0 +1,87 @@
+package clarens
+
+import (
+	"context"
+	"fmt"
+
+	"clarens/internal/rpc"
+)
+
+// Batch accumulates method calls and executes them all in a single
+// system.multicall POST, amortizing the per-request HTTP and
+// authentication cost across N sub-calls — the round-trip batching the
+// paper's Python/ROOT clients used for interactive analysis:
+//
+//	b := c.Batch()
+//	b.Add("file.md5", name)
+//	b.Add("file.size", name)
+//	results, err := b.Run()
+//
+// Sub-call faults are isolated: each BatchResult carries its own Err, and
+// one failing entry never aborts the rest. A Batch is not safe for
+// concurrent use; build it on one goroutine, then Run it.
+type Batch struct {
+	c     *Client
+	calls []rpc.SubCall
+}
+
+// Batch starts an empty batch bound to this client's connection, session,
+// and protocol.
+func (c *Client) Batch() *Batch { return &Batch{c: c} }
+
+// Add appends one sub-call and returns the batch for chaining.
+func (b *Batch) Add(method string, params ...any) *Batch {
+	if params == nil {
+		params = []any{}
+	}
+	b.calls = append(b.calls, rpc.SubCall{Method: method, Params: params})
+	return b
+}
+
+// Len reports the number of queued sub-calls.
+func (b *Batch) Len() int { return len(b.calls) }
+
+// BatchResult is the outcome of one sub-call in a batch: exactly one of
+// Result or Err is meaningful. Server-side faults surface as *rpc.Fault
+// errors, same as Client.Call.
+type BatchResult struct {
+	// Method is the sub-call's method name, for correlation.
+	Method string
+	Result any
+	Err    error
+}
+
+// Run executes the batch in one round trip and returns one result per
+// Add, in order. The returned error covers transport and protocol
+// failures of the batch itself; per-call failures live in each
+// BatchResult.Err.
+func (b *Batch) Run() ([]BatchResult, error) {
+	return b.RunCtx(context.Background())
+}
+
+// RunCtx is Run bound to a context; cancelling it aborts the round trip
+// and the server stops executing the remaining sub-calls.
+func (b *Batch) RunCtx(ctx context.Context) ([]BatchResult, error) {
+	if len(b.calls) == 0 {
+		return nil, nil
+	}
+	v, err := b.c.CallCtx(ctx, rpc.MulticallMethod, rpc.MulticallParams(b.calls)...)
+	if err != nil {
+		return nil, err
+	}
+	resps, err := rpc.ParseMulticallResults(v)
+	if err != nil {
+		return nil, fmt.Errorf("clarens: %w", err)
+	}
+	if len(resps) != len(b.calls) {
+		return nil, fmt.Errorf("clarens: multicall returned %d results for %d calls", len(resps), len(b.calls))
+	}
+	out := make([]BatchResult, len(resps))
+	for i, r := range resps {
+		out[i] = BatchResult{Method: b.calls[i].Method, Result: r.Result}
+		if r.Fault != nil {
+			out[i] = BatchResult{Method: b.calls[i].Method, Err: r.Fault}
+		}
+	}
+	return out, nil
+}

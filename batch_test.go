@@ -1,0 +1,258 @@
+package clarens
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clarens/internal/rpc"
+)
+
+func TestBatchOverAllProtocols(t *testing.T) {
+	srv, _ := startFull(t)
+	for _, proto := range []string{"xmlrpc", "jsonrpc", "soap"} {
+		t.Run(proto, func(t *testing.T) {
+			c, err := Dial(srv.URL(), WithProtocol(proto))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			b := c.Batch()
+			b.Add("system.ping").
+				Add("system.echo", "batched").
+				Add("no.such.method").
+				Add("system.version")
+			if b.Len() != 4 {
+				t.Fatalf("Len = %d", b.Len())
+			}
+			results, err := b.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != 4 {
+				t.Fatalf("%d results", len(results))
+			}
+			if results[0].Err != nil || !rpc.Equal(results[0].Result, "pong") {
+				t.Errorf("ping: %+v", results[0])
+			}
+			if results[1].Err != nil || !rpc.Equal(results[1].Result, "batched") {
+				t.Errorf("echo: %+v", results[1])
+			}
+			var fault *rpc.Fault
+			if !errors.As(results[2].Err, &fault) || fault.Code != rpc.CodeMethodNotFound {
+				t.Errorf("unknown method: %+v", results[2])
+			}
+			if results[2].Method != "no.such.method" {
+				t.Errorf("method label = %q", results[2].Method)
+			}
+			if results[3].Err != nil || !rpc.Equal(results[3].Result, Version) {
+				t.Errorf("version: %+v", results[3])
+			}
+		})
+	}
+}
+
+func TestBatchEmptyRunsNothing(t *testing.T) {
+	_, c := startFull(t)
+	results, err := c.Batch().Run()
+	if err != nil || results != nil {
+		t.Fatalf("empty batch: results=%v err=%v", results, err)
+	}
+}
+
+func TestBatchCarriesSessionIdentity(t *testing.T) {
+	srv, c := startFull(t)
+	sess, err := srv.NewSessionFor(userDN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSession(sess.ID)
+	results, err := c.Batch().Add("system.whoami").Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || !rpc.Equal(results[0].Result, userDN.String()) {
+		t.Errorf("whoami in batch: %+v", results[0])
+	}
+}
+
+// TestTypedAccessorCoercion is the cross-codec table test: integral
+// results must be accepted by CallInt however the protocol carried them
+// (JSON-RPC hands doubles back as float64; XML-RPC and SOAP as int), and
+// CallBool must take both native booleans and exact 0/1 numerics.
+func TestTypedAccessorCoercion(t *testing.T) {
+	srv, _ := startFull(t)
+	for _, proto := range []string{"xmlrpc", "jsonrpc", "soap"} {
+		t.Run(proto, func(t *testing.T) {
+			c, err := Dial(srv.URL(), WithProtocol(proto))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			for _, tc := range []struct {
+				name string
+				echo any
+				want int
+			}{
+				{"int", 42, 42},
+				{"negative-int", -7, -7},
+				{"integral-double", 42.0, 42},
+				{"zero-double", 0.0, 0},
+			} {
+				n, err := c.CallInt("system.echo", tc.echo)
+				if err != nil {
+					t.Errorf("CallInt(echo %v): %v", tc.echo, err)
+				} else if n != tc.want {
+					t.Errorf("CallInt(echo %v) = %d, want %d", tc.echo, n, tc.want)
+				}
+			}
+			if _, err := c.CallInt("system.echo", 3.5); err == nil {
+				t.Error("CallInt accepted non-integral 3.5")
+			}
+			for _, tc := range []struct {
+				echo any
+				want bool
+			}{
+				{true, true},
+				{false, false},
+				{1, true},
+				{0, false},
+			} {
+				b, err := c.CallBool("system.echo", tc.echo)
+				if err != nil {
+					t.Errorf("CallBool(echo %v): %v", tc.echo, err)
+				} else if b != tc.want {
+					t.Errorf("CallBool(echo %v) = %v, want %v", tc.echo, b, tc.want)
+				}
+			}
+			if _, err := c.CallBool("system.echo", 2); err == nil {
+				t.Error("CallBool accepted 2")
+			}
+		})
+	}
+}
+
+// TestCustomInterceptorObservesEveryCall registers an interceptor through
+// the public API and verifies it sees every authorized call: direct
+// calls, the multicall itself, and each of its sub-calls.
+func TestCustomInterceptorObservesEveryCall(t *testing.T) {
+	srv, c := startFull(t)
+	var mu sync.Mutex
+	seen := map[string]int{}
+	srv.Use(func(next Handler) Handler {
+		return func(ctx *Context, p Params) (any, error) {
+			mu.Lock()
+			seen[ctx.MethodName()]++
+			mu.Unlock()
+			return next(ctx, p)
+		}
+	})
+	if _, err := c.Call("system.ping"); err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.Batch().
+		Add("system.echo", "x").
+		Add("system.time").
+		Add("vo.groups").
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = results
+	mu.Lock()
+	defer mu.Unlock()
+	for _, m := range []string{"system.ping", "system.multicall", "system.echo", "system.time", "vo.groups"} {
+		if seen[m] != 1 {
+			t.Errorf("interceptor saw %s %d times, want 1", m, seen[m])
+		}
+	}
+}
+
+// TestInterceptorRateLimit is the README's worked example: a per-DN
+// token-bucket-ish limiter injected without touching core.
+func TestInterceptorRateLimit(t *testing.T) {
+	srv, c := startFull(t)
+	const limit = 3
+	var calls atomic.Int64
+	srv.Use(func(next Handler) Handler {
+		return func(ctx *Context, p Params) (any, error) {
+			if calls.Add(1) > limit {
+				return nil, &rpc.Fault{Code: rpc.CodeAccessDenied, Message: "rate limit exceeded"}
+			}
+			return next(ctx, p)
+		}
+	})
+	var limited int
+	for i := 0; i < limit+2; i++ {
+		if _, err := c.Call("system.ping"); err != nil {
+			var fault *rpc.Fault
+			if !errors.As(err, &fault) || fault.Message != "rate limit exceeded" {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			limited++
+		}
+	}
+	if limited != 2 {
+		t.Errorf("limited %d calls, want 2", limited)
+	}
+}
+
+func TestCallCtxCancellation(t *testing.T) {
+	_, c := startFull(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.CallCtx(ctx, "system.ping"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// CallAsyncCtx under a cancelled context fails fast with the
+	// cancellation as FirstErr.
+	res := c.CallAsyncCtx(ctx, 4, 20, "system.ping")
+	if res.Errors != 20 || !errors.Is(res.FirstErr, context.Canceled) {
+		t.Errorf("async under cancelled ctx: %+v", res)
+	}
+}
+
+// TestMulticallFasterThanSequential pins the acceptance criterion: a
+// 50-entry batch completes in less wall time than 50 sequential calls on
+// the same warmed connection, because it pays for one HTTP round trip and
+// one auth pass instead of fifty.
+func TestMulticallFasterThanSequential(t *testing.T) {
+	_, c := startFull(t)
+	const n = 50
+	c.Call("system.ping") // warm the connection
+
+	seqStart := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := c.Call("system.echo", fmt.Sprintf("seq-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sequential := time.Since(seqStart)
+
+	b := c.Batch()
+	for i := 0; i < n; i++ {
+		b.Add("system.echo", fmt.Sprintf("batch-%d", i))
+	}
+	batchStart := time.Now()
+	results, err := b.Run()
+	batched := time.Since(batchStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil || !rpc.Equal(r.Result, fmt.Sprintf("batch-%d", i)) {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+	t.Logf("sequential %v, batched %v (%.1fx)", sequential, batched, float64(sequential)/float64(batched))
+	if batched >= sequential {
+		t.Errorf("batched %d-call round trip (%v) not faster than sequential (%v)", n, batched, sequential)
+	}
+}

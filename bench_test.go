@@ -294,6 +294,55 @@ func BenchmarkDispatchAuth(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, true) })
 }
 
+// --- batch RPC / system.multicall ---
+
+// BenchmarkMulticall compares 50 sequential Calls against one 50-entry
+// system.multicall batch on the same warmed keep-alive connection. Each
+// benchmark op performs the full 50-call workload, so the reported ns/op
+// figures are directly comparable: the batch pays one HTTP round trip and
+// one auth pass where the sequential loop pays fifty of each.
+func BenchmarkMulticall(b *testing.B) {
+	const calls = 50
+	srv := benchServer(b)
+	c, err := Dial(srv.URL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.Call("system.ping") // warm the connection
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < calls; j++ {
+				if _, err := c.Call("system.echo", "x"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*calls)/time.Since(start).Seconds(), "calls/s")
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			batch := c.Batch()
+			for j := 0; j < calls; j++ {
+				batch.Add("system.echo", "x")
+			}
+			results, err := batch.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != calls {
+				b.Fatalf("%d results", len(results))
+			}
+		}
+		b.ReportMetric(float64(b.N*calls)/time.Since(start).Seconds(), "calls/s")
+	})
+}
+
 // --- A2 / protocol comparison ---
 
 func BenchmarkProtocols(b *testing.B) {

@@ -57,6 +57,9 @@ type (
 	Params = core.Params
 	// Handler is a service method implementation.
 	Handler = core.Handler
+	// Interceptor wraps a Handler with cross-cutting dispatch behavior
+	// (rate limiting, tracing, auditing); register with Server.Use.
+	Interceptor = core.Interceptor
 	// DN is an X.509 distinguished name in grid slash form.
 	DN = pki.DN
 	// ACL is an Apache-style access control list entry.
@@ -156,6 +159,13 @@ type Config struct {
 	// DisableAuth skips the per-request session and ACL checks
 	// (benchmark ablation A1 only).
 	DisableAuth bool
+	// MethodTimeout bounds each method invocation server-wide; handlers
+	// observe the deadline through their request context. Zero means
+	// unbounded (individual methods may still set Method.Timeout).
+	MethodTimeout time.Duration
+	// MaxBatchCalls caps the sub-calls one system.multicall may carry
+	// (zero = core.DefaultMaxBatchCalls, negative = unlimited).
+	MaxBatchCalls int
 	// Logger receives framework logs (nil discards).
 	Logger *log.Logger
 }
@@ -190,13 +200,15 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.Name = "clarens"
 	}
 	cs, err := core.NewServer(core.Config{
-		DataDir:     cfg.DataDir,
-		AdminDNs:    cfg.AdminDNs,
-		SessionTTL:  cfg.SessionTTL,
-		TLS:         cfg.TLS,
-		OpenSystem:  cfg.OpenSystem,
-		DisableAuth: cfg.DisableAuth,
-		Logger:      cfg.Logger,
+		DataDir:       cfg.DataDir,
+		AdminDNs:      cfg.AdminDNs,
+		SessionTTL:    cfg.SessionTTL,
+		TLS:           cfg.TLS,
+		OpenSystem:    cfg.OpenSystem,
+		DisableAuth:   cfg.DisableAuth,
+		MethodTimeout: cfg.MethodTimeout,
+		MaxBatchCalls: cfg.MaxBatchCalls,
+		Logger:        cfg.Logger,
 	})
 	if err != nil {
 		return nil, err
@@ -361,6 +373,17 @@ func (s *Server) Core() *core.Server { return s.core }
 
 // Register adds a custom service to the server.
 func (s *Server) Register(svc Service) error { return s.core.Register(svc) }
+
+// Use appends interceptors to the dispatch pipeline. They run in
+// registration order inside the built-in recovery/stats/auth/deadline/ACL
+// stages — immediately around each method handler, with the caller's
+// identity already resolved and authorized. They observe every call that
+// clears authorization, including each sub-call of a system.multicall
+// batch and calls to unknown methods (which fault at the terminal
+// stage); calls the built-in ACL stage denies are rejected before custom
+// interceptors run. See the README's "Writing interceptors" section for
+// a worked example.
+func (s *Server) Use(ics ...Interceptor) { s.core.Use(ics...) }
 
 // Name returns the server's discovery name.
 func (s *Server) Name() string { return s.name }

@@ -2,6 +2,7 @@ package clarens
 
 import (
 	"bytes"
+	"context"
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
@@ -169,12 +170,19 @@ func (c *Client) SetSession(id string) {
 // Call invokes a method and returns its decoded result. Server faults
 // come back as *rpc.Fault errors (errors.As-compatible).
 func (c *Client) Call(method string, params ...any) (any, error) {
+	return c.CallCtx(context.Background(), method, params...)
+}
+
+// CallCtx is Call bound to a context: cancelling ctx aborts the HTTP
+// round trip, and the server propagates the cancellation into the running
+// handler through its request-scoped context.
+func (c *Client) CallCtx(ctx context.Context, method string, params ...any) (any, error) {
 	req := &rpc.Request{Method: method, Params: params, ID: int(c.nextID.Add(1))}
 	var buf bytes.Buffer
 	if err := c.codec.EncodeRequest(&buf, req); err != nil {
 		return nil, fmt.Errorf("clarens: encode %s: %w", method, err)
 	}
-	httpReq, err := http.NewRequest(http.MethodPost, c.url, &buf)
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url, &buf)
 	if err != nil {
 		return nil, err
 	}
@@ -266,30 +274,54 @@ func (c *Client) CallString(method string, params ...any) (string, error) {
 	return s, nil
 }
 
-// CallBool invokes a method whose result is a bool.
+// CallBool invokes a method whose result is a bool. Codecs differ in how
+// they surface booleans and small numerics (XML-RPC's <boolean> is 0/1 on
+// the wire; JSON-RPC carries plain numbers), so exact 0/1 numerics coerce
+// rather than erroring.
 func (c *Client) CallBool(method string, params ...any) (bool, error) {
 	v, err := c.Call(method, params...)
 	if err != nil {
 		return false, err
 	}
-	b, ok := v.(bool)
+	b, ok := coerceBool(v)
 	if !ok {
 		return false, fmt.Errorf("clarens: %s returned %T, want bool", method, v)
 	}
 	return b, nil
 }
 
-// CallInt invokes a method whose result is an int.
+// CallInt invokes a method whose result is an int. Integral values are
+// accepted however the protocol carried them: XML-RPC and SOAP decode
+// <int> to int, while JSON cannot distinguish 3.0 from 3, so a JSON-RPC
+// peer may deliver an exact float64 — both coerce.
 func (c *Client) CallInt(method string, params ...any) (int, error) {
 	v, err := c.Call(method, params...)
 	if err != nil {
 		return 0, err
 	}
-	n, ok := v.(int)
+	n, ok := rpc.CoerceInt(v)
 	if !ok {
 		return 0, fmt.Errorf("clarens: %s returned %T, want int", method, v)
 	}
 	return n, nil
+}
+
+// coerceBool accepts bool plus the exact 0/1 numerics some codecs and
+// services emit for truth values.
+func coerceBool(v any) (bool, bool) {
+	switch b := v.(type) {
+	case bool:
+		return b, true
+	case int:
+		if b == 0 || b == 1 {
+			return b == 1, true
+		}
+	case float64:
+		if b == 0 || b == 1 {
+			return b == 1, true
+		}
+	}
+	return false, false
 }
 
 // CallBytes invokes a method whose result is binary data.

@@ -9,8 +9,9 @@
 //
 //  2. binds to each returned URL in real time (location independence),
 //
-//  3. reads the remote event files with file.read, verifying integrity
-//     with file.md5,
+//  3. fetches each file's MD5 and size in a single system.multicall
+//     round trip, then reads the remote event data with file.read and
+//     verifies integrity,
 //
 //  4. reconstructs the invariant-mass histogram and finds the resonance
 //     peak (a 91 GeV "Z boson" injected into the synthetic data).
@@ -193,13 +194,33 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := dataClient.FileReadAll("/dimuon.events")
+		// One batched round trip for the transfer metadata (the paper's
+		// clients boxcar calls like this through system.multicall).
+		meta, err := dataClient.Batch().
+			Add("file.md5", "/dimuon.events").
+			Add("file.size", "/dimuon.events").
+			Run()
 		if err != nil {
 			log.Fatal(err)
 		}
-		remoteSum, err := dataClient.FileMD5("/dimuon.events")
-		if err != nil {
-			log.Fatal(err)
+		for _, m := range meta {
+			if m.Err != nil {
+				log.Fatalf("%s: %v", m.Method, m.Err)
+			}
+		}
+		remoteSum := meta[0].Result.(string)
+		size := meta[1].Result.(int)
+		data := make([]byte, 0, size)
+		for offset := 0; offset < size; {
+			chunk, err := dataClient.FileRead("/dimuon.events", offset, size-offset)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(chunk) == 0 {
+				break
+			}
+			data = append(data, chunk...)
+			offset += len(chunk)
 		}
 		localSum := md5.Sum(data)
 		if remoteSum != hex.EncodeToString(localSum[:]) {

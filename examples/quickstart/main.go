@@ -1,5 +1,7 @@
-// Quickstart: start a Clarens server, register a custom web service, and
-// invoke it over all three wire protocols (XML-RPC, JSON-RPC, SOAP).
+// Quickstart: start a Clarens server, register a custom web service and a
+// dispatch interceptor, and invoke the service over all three wire
+// protocols (XML-RPC, JSON-RPC, SOAP) — one call at a time and batched
+// through system.multicall.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"sync/atomic"
 
 	"clarens"
 )
@@ -89,13 +92,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Serve on an ephemeral port.
+	// 3. Observe every dispatched call with a custom interceptor — the
+	// same mechanism the framework's own auth, ACL, and stats stages use.
+	// Interceptors run concurrently across requests, hence the atomic.
+	var dispatched atomic.Int64
+	srv.Use(func(next clarens.Handler) clarens.Handler {
+		return func(ctx *clarens.Context, p clarens.Params) (any, error) {
+			dispatched.Add(1)
+			return next(ctx, p)
+		}
+	})
+
+	// 4. Serve on an ephemeral port.
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("server: %s\n", srv.URL())
 
-	// 4. Call it over each protocol.
+	// 5. Call it over each protocol.
 	for _, proto := range []string{"xmlrpc", "jsonrpc", "soap"} {
 		c, err := clarens.Dial(srv.URL(), clarens.WithProtocol(proto))
 		if err != nil {
@@ -113,9 +127,28 @@ func main() {
 		c.Close()
 	}
 
-	// 5. Introspection, like any Clarens client would do.
+	// 6. Batch several calls into one system.multicall round trip; each
+	// sub-call is ACL-checked and fault-isolated independently.
 	c, _ := clarens.Dial(srv.URL())
 	defer c.Close()
+	results, err := c.Batch().
+		Add("math.add", []any{10, 20, 30}).
+		Add("math.mean", []any{1.5, 2.5, 3.5}).
+		Add("math.divide", []any{1, 0}). // no such method: faults alone
+		Add("system.version").
+		Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("batched %-14s fault: %v\n", r.Method, r.Err)
+		} else {
+			fmt.Printf("batched %-14s = %v\n", r.Method, r.Result)
+		}
+	}
+
+	// 7. Introspection, like any Clarens client would do.
 	methods, err := c.CallStringList("system.list_methods")
 	if err != nil {
 		log.Fatal(err)
@@ -129,4 +162,5 @@ func main() {
 	fmt.Printf("registered methods: %d total, custom: %v\n", len(methods), mine)
 	help, _ := c.CallString("system.method_help", "math.add")
 	fmt.Printf("math.add help: %s\n", help)
+	fmt.Printf("interceptor observed %d dispatched calls (multicall sub-calls included)\n", dispatched.Load())
 }

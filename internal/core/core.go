@@ -12,7 +12,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -32,6 +34,16 @@ const Version = "clarens-go/1.0 (ICPPW05 reproduction)"
 // Handler is the signature of a service method implementation.
 type Handler func(ctx *Context, params Params) (any, error)
 
+// Interceptor wraps a Handler with cross-cutting behavior (auth, ACLs,
+// stats, panic recovery, rate limiting, tracing). The server composes all
+// registered interceptors into a single dispatch pipeline: the first
+// interceptor registered is the outermost stage, and the innermost stage
+// invokes the resolved method handler. A stage observes every dispatched
+// call — including each sub-call of a system.multicall batch — that
+// reaches its position; stages registered after the built-in ACL stage
+// therefore see only calls that cleared authorization.
+type Interceptor func(next Handler) Handler
+
 // Method describes one invocable web-service method.
 type Method struct {
 	// Name is the full dotted method name, e.g. "file.read". The paper:
@@ -48,6 +60,10 @@ type Method struct {
 	// authorization pipeline runs regardless, preserving the cost model of
 	// the paper's Figure 4 measurement.
 	Public bool
+	// Timeout, when positive, bounds each invocation of this method: the
+	// handler's context carries the deadline and is cancelled when it
+	// expires. Zero falls back to the server-wide Config.MethodTimeout.
+	Timeout time.Duration
 	// Handler executes the method.
 	Handler Handler
 }
@@ -60,7 +76,16 @@ type Service interface {
 }
 
 // Context carries per-request identity and framework access into handlers.
+// It embeds the context.Context carried from the HTTP request, so handlers
+// observe client disconnects and per-method deadlines directly via Done(),
+// Err(), and Deadline().
 type Context struct {
+	// Context is the request-scoped cancellation context. It is never nil
+	// for dispatched calls: it derives from the HTTP request (cancelled
+	// when the client disconnects) and, when a method timeout applies,
+	// carries the per-method deadline.
+	context.Context
+
 	// DN is the authenticated caller identity (empty when anonymous).
 	DN pki.DN
 	// Session is the current session, or nil.
@@ -70,12 +95,40 @@ type Context struct {
 	// RemoteAddr is the network peer, when known.
 	RemoteAddr string
 
+	// method is the resolved registry entry (nil when the requested name
+	// is unknown; the terminal pipeline stage then faults).
+	method *Method
+	// methodName is the requested dotted method name, kept separately from
+	// method so interceptors can label unknown-method calls too.
+	methodName string
+	// httpReq is the carrying HTTP request; nil for in-process dispatch
+	// and for multicall sub-calls (which inherit the parent's identity).
+	httpReq *http.Request
+	// depth counts multicall nesting (0 for a directly POSTed call).
+	depth int
+
 	srv *Server
 }
 
 // Server returns the owning server, giving service implementations access
 // to the framework managers.
 func (c *Context) Server() *Server { return c.srv }
+
+// MethodName returns the dotted name of the method being dispatched (the
+// requested name even when it resolved to no registered method).
+func (c *Context) MethodName() string { return c.methodName }
+
+// MethodInfo returns the resolved registry entry, or nil when the
+// requested method does not exist.
+func (c *Context) MethodInfo() *Method { return c.method }
+
+// HTTPRequest returns the carrying HTTP request, or nil for in-process
+// dispatch and multicall sub-calls.
+func (c *Context) HTTPRequest() *http.Request { return c.httpReq }
+
+// CallDepth reports multicall nesting: 0 for a directly POSTed call, 1
+// for a sub-call executed inside a system.multicall batch.
+func (c *Context) CallDepth() int { return c.depth }
 
 // Authenticated reports whether the caller presented a valid identity.
 func (c *Context) Authenticated() bool { return !c.DN.IsZero() }

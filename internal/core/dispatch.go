@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+
+	"clarens/internal/acl"
+	"clarens/internal/rpc"
+)
+
+// This file implements the dispatch pipeline as a composable interceptor
+// chain. The paper's fixed authenticate→authorize→invoke sequence is
+// preserved as the default stage order, but each stage is a registered
+// Interceptor, so deployments can append their own cross-cutting stages
+// (rate limiting, tracing, auditing) without touching core.
+
+// Use appends interceptors to the dispatch pipeline. Interceptors run in
+// registration order, outermost first; the built-in stages (panic
+// recovery, stats, authentication, deadline, ACL authorization) are
+// registered at construction, so interceptors added afterwards run inside
+// them — after the caller's identity is resolved and authorized, and
+// immediately around the method handler. Consequently they never see
+// calls the ACL stage denies; audit trails for denied attempts belong in
+// the stats counters, not a Use-registered stage. Safe to call at any
+// time; in-flight dispatches keep the pipeline they started with.
+func (s *Server) Use(ics ...Interceptor) {
+	s.dispatchMu.Lock()
+	s.interceptors = append(s.interceptors, ics...)
+	s.pipeline = nil // recompose lazily on next dispatch
+	s.dispatchMu.Unlock()
+}
+
+// composedPipeline returns the interceptor chain folded over the terminal
+// handler, rebuilding the cached composition after a Use.
+func (s *Server) composedPipeline() Handler {
+	s.dispatchMu.RLock()
+	h := s.pipeline
+	s.dispatchMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	if s.pipeline == nil {
+		h := Handler(s.invokeMethod)
+		for i := len(s.interceptors) - 1; i >= 0; i-- {
+			h = s.interceptors[i](h)
+		}
+		s.pipeline = h
+	}
+	return s.pipeline
+}
+
+// invokeMethod is the terminal pipeline stage: it executes the resolved
+// handler and normalizes the result into the codec value model, so that
+// the stats stage observes normalization failures as faults too.
+func (s *Server) invokeMethod(ctx *Context, params Params) (any, error) {
+	if ctx.method == nil {
+		return nil, &rpc.Fault{Code: rpc.CodeMethodNotFound, Message: fmt.Sprintf("no such method %q", ctx.methodName)}
+	}
+	result, err := ctx.method.Handler(ctx, params)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := rpc.Normalize(result)
+	if err != nil {
+		return nil, &rpc.Fault{Code: rpc.CodeInternal, Message: fmt.Sprintf("unserializable result: %v", err)}
+	}
+	return norm, nil
+}
+
+// recoverInterceptor converts a handler panic into an RPC fault instead of
+// letting it tear down the serving goroutine (and, for multicall
+// sub-calls, instead of aborting the rest of the batch).
+func (s *Server) recoverInterceptor(next Handler) Handler {
+	return func(ctx *Context, params Params) (result any, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.logger.Printf("core: panic in %s: %v\n%s", ctx.methodName, r, debug.Stack())
+				result = nil
+				err = &rpc.Fault{Code: rpc.CodeInternal, Message: fmt.Sprintf("internal error: method %s panicked", ctx.methodName)}
+			}
+		}()
+		return next(ctx, params)
+	}
+}
+
+// statsInterceptor records the per-method dispatch counters reported by
+// system.stats. A panic further down the chain is counted as a fault and
+// re-raised for the recovery stage to convert.
+func (s *Server) statsInterceptor(next Handler) Handler {
+	return func(ctx *Context, params Params) (any, error) {
+		recorded := false
+		defer func() {
+			if !recorded {
+				s.stats.record(ctx.methodName, true)
+			}
+		}()
+		result, err := next(ctx, params)
+		recorded = true
+		s.stats.record(ctx.methodName, err != nil)
+		return result, err
+	}
+}
+
+// authInterceptor resolves the caller's DN and session from the carrying
+// HTTP request (access check 1 of the paper's Figure 4). Multicall
+// sub-calls and in-process dispatches have no HTTP request and keep the
+// identity already on the context.
+func (s *Server) authInterceptor(next Handler) Handler {
+	return func(ctx *Context, params Params) (any, error) {
+		if ctx.httpReq != nil && !s.cfg.DisableAuth {
+			ctx.DN, ctx.Session = s.IdentifyRequest(ctx.httpReq)
+		}
+		return next(ctx, params)
+	}
+}
+
+// deadlineInterceptor applies the per-method execution deadline: the
+// method's own Timeout if set, else the server-wide Config.MethodTimeout.
+func (s *Server) deadlineInterceptor(next Handler) Handler {
+	return func(ctx *Context, params Params) (any, error) {
+		timeout := s.cfg.MethodTimeout
+		if ctx.method != nil && ctx.method.Timeout > 0 {
+			timeout = ctx.method.Timeout
+		}
+		if timeout <= 0 {
+			return next(ctx, params)
+		}
+		base := ctx.Context
+		bounded, cancel := context.WithTimeout(base, timeout)
+		defer cancel()
+		ctx.Context = bounded
+		defer func() { ctx.Context = base }()
+		return next(ctx, params)
+	}
+}
+
+// aclInterceptor is access check 2: may this caller invoke this method?
+// The ACL walk reads the database at each applicable hierarchy level.
+// Public methods pass unless some level explicitly denies the caller;
+// non-public methods require an explicit allow. Each multicall sub-call
+// passes through here independently.
+func (s *Server) aclInterceptor(next Handler) Handler {
+	return func(ctx *Context, params Params) (any, error) {
+		if !s.cfg.DisableAuth && ctx.method != nil {
+			decision, level := s.methACL.AuthorizeDetail(ctx.methodName, ctx.DN)
+			explicitDeny := decision == acl.Deny && level != ""
+			allowed := decision == acl.Allow || (ctx.method.Public && !explicitDeny)
+			if !allowed {
+				return nil, &rpc.Fault{
+					Code:    rpc.CodeAccessDenied,
+					Message: fmt.Sprintf("access denied: method %s for %q", ctx.methodName, ctx.DN.String()),
+				}
+			}
+		}
+		return next(ctx, params)
+	}
+}
+
+// registerBuiltinInterceptors installs the default pipeline. Order
+// matters: recovery outermost (a panic anywhere still yields a fault),
+// stats next (counts denied and unknown-method calls), then identity,
+// deadline, and authorization. Custom interceptors appended later via Use
+// run inside all of these.
+func (s *Server) registerBuiltinInterceptors() {
+	s.Use(
+		s.recoverInterceptor,
+		s.statsInterceptor,
+		s.authInterceptor,
+		s.deadlineInterceptor,
+		s.aclInterceptor,
+	)
+}
+
+// Dispatch runs the full interceptor pipeline and invokes the method. It
+// is exported for in-process use by benchmarks and tests; r may be nil
+// for pure in-process calls. Cancellation derives from r's context.
+func (s *Server) Dispatch(r *http.Request, protocol string, req *rpc.Request) *rpc.Response {
+	base := context.Background()
+	if r != nil {
+		base = r.Context()
+	}
+	return s.DispatchContext(base, r, protocol, req)
+}
+
+// DispatchContext is Dispatch with an explicit cancellation context,
+// which handlers observe through Context.Done/Err/Deadline.
+func (s *Server) DispatchContext(base context.Context, r *http.Request, protocol string, req *rpc.Request) *rpc.Response {
+	if base == nil {
+		base = context.Background()
+	}
+	ctx := &Context{
+		Context:    base,
+		Protocol:   protocol,
+		methodName: req.Method,
+		httpReq:    r,
+		srv:        s,
+	}
+	if r != nil {
+		ctx.RemoteAddr = r.RemoteAddr
+	}
+	ctx.method, _ = s.registry.lookup(req.Method)
+	return s.run(ctx, req)
+}
+
+// Invoke dispatches one call through the full interceptor pipeline using
+// an already-established identity — the execution path of each
+// system.multicall sub-call. The derived context inherits the parent's
+// cancellation, identity, and transport metadata but carries no HTTP
+// request, so the auth stage keeps the inherited DN while the ACL stage
+// authorizes the sub-method independently.
+func (s *Server) Invoke(parent *Context, method string, params []any) *rpc.Response {
+	base := parent.Context
+	if base == nil {
+		base = context.Background()
+	}
+	ctx := &Context{
+		Context:    base,
+		DN:         parent.DN,
+		Session:    parent.Session,
+		Protocol:   parent.Protocol,
+		RemoteAddr: parent.RemoteAddr,
+		methodName: method,
+		depth:      parent.depth + 1,
+		srv:        s,
+	}
+	ctx.method, _ = s.registry.lookup(method)
+	return s.run(ctx, &rpc.Request{Method: method, Params: params})
+}
+
+// run feeds one prepared context through the pipeline and shapes the
+// outcome into a protocol response.
+func (s *Server) run(ctx *Context, req *rpc.Request) *rpc.Response {
+	resp := &rpc.Response{ID: req.ID}
+	result, err := s.composedPipeline()(ctx, Params(req.Params))
+	if err != nil {
+		if f, ok := err.(*rpc.Fault); ok {
+			resp.Fault = f
+		} else {
+			resp.Fault = &rpc.Fault{Code: rpc.CodeApplication, Message: err.Error()}
+		}
+		return resp
+	}
+	resp.Result = result
+	return resp
+}

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"clarens/internal/acl"
@@ -38,6 +39,14 @@ type Config struct {
 	// DisableAuth skips the session lookup and ACL walk (ablation A1 in
 	// DESIGN.md). Never use outside benchmarks.
 	DisableAuth bool
+	// MethodTimeout bounds each method invocation; the handler's context
+	// carries the deadline. Zero means no server-wide bound (individual
+	// methods may still set Method.Timeout).
+	MethodTimeout time.Duration
+	// MaxBatchCalls caps the number of sub-calls one system.multicall may
+	// carry, bounding the amplification a single anonymous POST can buy.
+	// Zero means DefaultMaxBatchCalls; negative means unlimited.
+	MaxBatchCalls int
 	// OpenSystem grants anonymous+any callers the system service at
 	// startup, reproducing the paper's Figure 4 environment where
 	// unauthenticated clients invoke system.list_methods through two live
@@ -73,6 +82,12 @@ type Server struct {
 	codecs   []rpc.Codec
 	stats    Stats
 	logger   *log.Logger
+
+	// dispatch pipeline: registered interceptors and the cached
+	// composition (folded outermost-first over the terminal handler).
+	dispatchMu   sync.RWMutex
+	interceptors []Interceptor
+	pipeline     Handler
 
 	mux      *http.ServeMux
 	httpSrv  *http.Server
@@ -113,6 +128,7 @@ func NewServer(cfg Config) (*Server, error) {
 		started:  time.Now(),
 	}
 	s.stats.StartTime = s.started
+	s.registerBuiltinInterceptors()
 
 	s.mux.HandleFunc(cfg.RPCPath, s.handleRPC)
 	if cfg.RPCPath != "/" {
@@ -289,65 +305,6 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := s.Dispatch(r, codec.Name(), req)
 	s.writeResponse(w, codec, resp)
-}
-
-// Dispatch runs the authentication/authorization pipeline and invokes the
-// method. It is exported for in-process use by benchmarks and tests; r may
-// be nil for pure in-process calls.
-func (s *Server) Dispatch(r *http.Request, protocol string, req *rpc.Request) *rpc.Response {
-	resp := &rpc.Response{ID: req.ID}
-	ctx := &Context{Protocol: protocol, srv: s}
-	if r != nil {
-		ctx.RemoteAddr = r.RemoteAddr
-		if !s.cfg.DisableAuth {
-			ctx.DN, ctx.Session = s.IdentifyRequest(r)
-		}
-	}
-
-	method, ok := s.registry.lookup(req.Method)
-	if !ok {
-		resp.Fault = &rpc.Fault{Code: rpc.CodeMethodNotFound, Message: fmt.Sprintf("no such method %q", req.Method)}
-		s.stats.record(req.Method, true)
-		return resp
-	}
-
-	if !s.cfg.DisableAuth {
-		// Access check 2: may this caller invoke this method? The ACL walk
-		// reads the database at each applicable hierarchy level. Public
-		// methods pass unless some level explicitly denies the caller;
-		// non-public methods require an explicit allow.
-		decision, level := s.methACL.AuthorizeDetail(req.Method, ctx.DN)
-		explicitDeny := decision == acl.Deny && level != ""
-		allowed := decision == acl.Allow || (method.Public && !explicitDeny)
-		if !allowed {
-			resp.Fault = &rpc.Fault{
-				Code:    rpc.CodeAccessDenied,
-				Message: fmt.Sprintf("access denied: method %s for %q", req.Method, ctx.DN.String()),
-			}
-			s.stats.record(req.Method, true)
-			return resp
-		}
-	}
-
-	result, err := method.Handler(ctx, Params(req.Params))
-	if err != nil {
-		if f, ok := err.(*rpc.Fault); ok {
-			resp.Fault = f
-		} else {
-			resp.Fault = &rpc.Fault{Code: rpc.CodeApplication, Message: err.Error()}
-		}
-		s.stats.record(req.Method, true)
-		return resp
-	}
-	norm, err := rpc.Normalize(result)
-	if err != nil {
-		resp.Fault = &rpc.Fault{Code: rpc.CodeInternal, Message: fmt.Sprintf("unserializable result: %v", err)}
-		s.stats.record(req.Method, true)
-		return resp
-	}
-	resp.Result = norm
-	s.stats.record(req.Method, false)
-	return resp
 }
 
 func (s *Server) writeResponse(w http.ResponseWriter, codec rpc.Codec, resp *rpc.Response) {

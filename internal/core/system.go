@@ -1,10 +1,17 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"clarens/internal/rpc"
 )
+
+// DefaultMaxBatchCalls is the system.multicall sub-call cap applied when
+// Config.MaxBatchCalls is zero. One POST buys at most this much dispatch
+// work, so an anonymous client cannot amplify a single request into an
+// unbounded pipeline loop.
+const DefaultMaxBatchCalls = 256
 
 // systemService provides the framework's introspection and session
 // management methods. system.list_methods is the method measured in the
@@ -92,6 +99,14 @@ func (sv systemService) Methods() []Method {
 			Signature: []string{"struct"},
 			Handler:   sv.stats,
 		},
+		{
+			Name: "system.multicall",
+			Help: "Execute an array of {methodName, params} sub-calls in one request; " +
+				"returns one entry per sub-call: a one-element array wrapping the result, or a {faultCode, faultString} struct.",
+			Signature: []string{"array array"},
+			Public:    true,
+			Handler:   sv.multicall,
+		},
 	}
 }
 
@@ -169,6 +184,52 @@ func (systemService) version(ctx *Context, p Params) (any, error) { return Versi
 
 func (systemService) time(ctx *Context, p Params) (any, error) {
 	return time.Now().UTC(), nil
+}
+
+// multicall executes a batch of sub-calls from one POST (the boxcarring
+// pattern the paper's Python/ROOT clients used to amortize round trips).
+// Every sub-call runs through the full interceptor pipeline with the
+// batch caller's identity — per-sub-call ACL enforcement — and faults are
+// isolated: one failing entry never aborts the rest.
+func (sv systemService) multicall(ctx *Context, p Params) (any, error) {
+	entries, fault := rpc.MulticallEntries(p)
+	if fault != nil {
+		return nil, fault
+	}
+	limit := sv.s.cfg.MaxBatchCalls
+	if limit == 0 {
+		limit = DefaultMaxBatchCalls
+	}
+	if limit > 0 && len(entries) > limit {
+		return nil, &rpc.Fault{
+			Code:    rpc.CodeInvalidParams,
+			Message: fmt.Sprintf("multicall batch of %d exceeds the %d sub-call limit", len(entries), limit),
+		}
+	}
+	out := make([]any, len(entries))
+	for i, entry := range entries {
+		if err := ctx.Err(); err != nil {
+			// Request cancelled or deadline hit: fault the remaining
+			// entries rather than executing them against a dead client.
+			out[i] = rpc.MulticallFault(&rpc.Fault{Code: rpc.CodeInternal, Message: "multicall aborted: " + err.Error()})
+			continue
+		}
+		call, fault := rpc.ParseSubCall(entry)
+		if fault == nil && call.Method == rpc.MulticallMethod {
+			fault = &rpc.Fault{Code: rpc.CodeInvalidRequest, Message: "recursive system.multicall is not allowed"}
+		}
+		if fault != nil {
+			out[i] = rpc.MulticallFault(fault)
+			continue
+		}
+		resp := sv.s.Invoke(ctx, call.Method, call.Params)
+		if resp.Fault != nil {
+			out[i] = rpc.MulticallFault(resp.Fault)
+		} else {
+			out[i] = rpc.MulticallValue(resp.Result)
+		}
+	}
+	return out, nil
 }
 
 func (sv systemService) stats(ctx *Context, p Params) (any, error) {

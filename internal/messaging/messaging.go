@@ -286,6 +286,11 @@ func (s *Service) wait(ctx *core.Context, p core.Params) (any, error) {
 		case <-ch:
 		case <-time.After(remaining):
 			return []any{}, nil
+		case <-ctx.Done():
+			// Request cancelled or method deadline hit mid-poll: end the
+			// long poll with the same empty answer as a timeout, so
+			// clients that outlive the server-side bound simply retry.
+			return []any{}, nil
 		}
 	}
 }

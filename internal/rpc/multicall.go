@@ -1,0 +1,119 @@
+package rpc
+
+import "fmt"
+
+// system.multicall wire convention (shared by all three codecs, which
+// already carry arrays and structs): the request has a single parameter,
+// an array of {methodName, params} structs; the response is an array with
+// one entry per sub-call — a one-element array wrapping the result on
+// success, or a {faultCode, faultString} struct on failure. This is the
+// classic XML-RPC boxcarring convention the Clarens Python/ROOT clients
+// used to amortize round trips (cs/0306001 §4).
+const (
+	MulticallMethod = "system.multicall"
+
+	multicallMethodKey = "methodName"
+	multicallParamsKey = "params"
+	faultCodeKey       = "faultCode"
+	faultStringKey     = "faultString"
+)
+
+// SubCall is one entry in a system.multicall batch.
+type SubCall struct {
+	Method string
+	Params []any
+}
+
+// MulticallParams encodes sub-calls as the positional parameter list of a
+// system.multicall request.
+func MulticallParams(calls []SubCall) []any {
+	entries := make([]any, len(calls))
+	for i, c := range calls {
+		params := c.Params
+		if params == nil {
+			params = []any{}
+		}
+		entries[i] = map[string]any{
+			multicallMethodKey: c.Method,
+			multicallParamsKey: params,
+		}
+	}
+	return []any{entries}
+}
+
+// MulticallEntries validates the outer shape of a system.multicall
+// parameter list and returns the raw per-call entries.
+func MulticallEntries(params []any) ([]any, *Fault) {
+	if len(params) != 1 {
+		return nil, &Fault{Code: CodeInvalidParams, Message: "system.multicall takes a single array parameter"}
+	}
+	entries, ok := params[0].([]any)
+	if !ok {
+		return nil, &Fault{Code: CodeInvalidParams, Message: fmt.Sprintf("system.multicall parameter must be an array, got %T", params[0])}
+	}
+	return entries, nil
+}
+
+// ParseSubCall decodes one multicall entry. A malformed entry yields a
+// per-entry fault rather than failing the batch, preserving the fault
+// isolation between sub-calls.
+func ParseSubCall(entry any) (SubCall, *Fault) {
+	st, ok := entry.(map[string]any)
+	if !ok {
+		return SubCall{}, &Fault{Code: CodeInvalidParams, Message: fmt.Sprintf("multicall entry must be a struct, got %T", entry)}
+	}
+	method, ok := st[multicallMethodKey].(string)
+	if !ok || method == "" {
+		return SubCall{}, &Fault{Code: CodeInvalidParams, Message: "multicall entry missing methodName"}
+	}
+	call := SubCall{Method: method}
+	if raw, present := st[multicallParamsKey]; present && raw != nil {
+		params, ok := raw.([]any)
+		if !ok {
+			return SubCall{}, &Fault{Code: CodeInvalidParams, Message: fmt.Sprintf("multicall entry %q: params must be an array, got %T", method, raw)}
+		}
+		call.Params = params
+	}
+	return call, nil
+}
+
+// MulticallValue wraps one successful sub-call result for the response
+// array (a one-element array, distinguishing results from fault structs).
+func MulticallValue(v any) any { return []any{v} }
+
+// MulticallFault encodes a sub-call fault for the response array.
+func MulticallFault(f *Fault) any {
+	return map[string]any{faultCodeKey: f.Code, faultStringKey: f.Message}
+}
+
+// ParseMulticallResults decodes a system.multicall response into one
+// Response per sub-call.
+func ParseMulticallResults(v any) ([]Response, error) {
+	list, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("rpc: multicall response is %T, want array", v)
+	}
+	out := make([]Response, len(list))
+	for i, e := range list {
+		switch x := e.(type) {
+		case []any:
+			if len(x) != 1 {
+				return nil, fmt.Errorf("rpc: multicall result %d has %d elements, want 1", i, len(x))
+			}
+			out[i] = Response{Result: x[0]}
+		case map[string]any:
+			code, ok := CoerceInt(x[faultCodeKey])
+			if !ok {
+				return nil, fmt.Errorf("rpc: multicall result %d: bad faultCode %v (%T)", i, x[faultCodeKey], x[faultCodeKey])
+			}
+			msg, ok := x[faultStringKey].(string)
+			if !ok {
+				return nil, fmt.Errorf("rpc: multicall result %d: missing faultString", i)
+			}
+			out[i] = Response{Fault: &Fault{Code: code, Message: msg}}
+		default:
+			return nil, fmt.Errorf("rpc: multicall result %d is %T, want array or fault struct", i, e)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package rpc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/jsonrpc"
+	"clarens/internal/rpc/soaprpc"
+	"clarens/internal/rpc/xmlrpc"
+)
+
+func codecs() []rpc.Codec {
+	return []rpc.Codec{xmlrpc.New(), jsonrpc.New(), soaprpc.New()}
+}
+
+// TestMulticallRequestRoundTrip proves the batched request shape survives
+// every codec's value model: encode a system.multicall request, decode it
+// as a server would, and recover the identical sub-calls.
+func TestMulticallRequestRoundTrip(t *testing.T) {
+	calls := []rpc.SubCall{
+		{Method: "system.echo", Params: []any{"payload", 7, true}},
+		{Method: "file.md5", Params: []any{"/data/run42.events"}},
+		{Method: "system.ping"}, // nil params must encode as empty array
+	}
+	for _, codec := range codecs() {
+		t.Run(codec.Name(), func(t *testing.T) {
+			var wire bytes.Buffer
+			req := &rpc.Request{Method: rpc.MulticallMethod, Params: rpc.MulticallParams(calls), ID: 1}
+			if err := codec.EncodeRequest(&wire, req); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := codec.DecodeRequest(bytes.NewReader(wire.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if decoded.Method != rpc.MulticallMethod {
+				t.Fatalf("method = %q", decoded.Method)
+			}
+			entries, fault := rpc.MulticallEntries(decoded.Params)
+			if fault != nil {
+				t.Fatal(fault)
+			}
+			if len(entries) != len(calls) {
+				t.Fatalf("%d entries, want %d", len(entries), len(calls))
+			}
+			for i, entry := range entries {
+				got, fault := rpc.ParseSubCall(entry)
+				if fault != nil {
+					t.Fatalf("entry %d: %v", i, fault)
+				}
+				if got.Method != calls[i].Method {
+					t.Errorf("entry %d method = %q, want %q", i, got.Method, calls[i].Method)
+				}
+				want := calls[i].Params
+				if want == nil {
+					want = []any{}
+				}
+				wantNorm, err := rpc.NormalizeParams(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rpc.Equal([]any(got.Params), []any(wantNorm)) {
+					t.Errorf("entry %d params = %#v, want %#v", i, got.Params, wantNorm)
+				}
+			}
+		})
+	}
+}
+
+// TestMulticallResponseRoundTrip proves the mixed result/fault response
+// shape survives every codec.
+func TestMulticallResponseRoundTrip(t *testing.T) {
+	body := []any{
+		rpc.MulticallValue("pong"),
+		rpc.MulticallFault(&rpc.Fault{Code: rpc.CodeAccessDenied, Message: "access denied"}),
+		rpc.MulticallValue([]any{"nested", 1}),
+	}
+	for _, codec := range codecs() {
+		t.Run(codec.Name(), func(t *testing.T) {
+			var wire bytes.Buffer
+			if err := codec.EncodeResponse(&wire, &rpc.Response{Result: body, ID: 1}); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := codec.DecodeResponse(bytes.NewReader(wire.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := rpc.ParseMulticallResults(decoded.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != 3 {
+				t.Fatalf("%d results", len(results))
+			}
+			if results[0].Fault != nil || !rpc.Equal(results[0].Result, "pong") {
+				t.Errorf("result 0: %+v", results[0])
+			}
+			if results[1].Fault == nil || results[1].Fault.Code != rpc.CodeAccessDenied || results[1].Fault.Message != "access denied" {
+				t.Errorf("result 1: %+v", results[1])
+			}
+			if results[2].Fault != nil || !rpc.Equal(results[2].Result, []any{"nested", 1}) {
+				t.Errorf("result 2: %+v", results[2])
+			}
+		})
+	}
+}
+
+func TestParseSubCallRejectsMalformedEntries(t *testing.T) {
+	for _, bad := range []any{
+		"not a struct",
+		map[string]any{"params": []any{}},                         // no methodName
+		map[string]any{"methodName": 7},                           // non-string name
+		map[string]any{"methodName": "m", "params": "not a list"}, // bad params
+	} {
+		if _, fault := rpc.ParseSubCall(bad); fault == nil {
+			t.Errorf("ParseSubCall(%#v) accepted", bad)
+		}
+	}
+	if _, fault := rpc.ParseSubCall(map[string]any{"methodName": "m"}); fault != nil {
+		t.Errorf("params-less entry rejected: %v", fault)
+	}
+}
+
+func TestMulticallEntriesShape(t *testing.T) {
+	if _, fault := rpc.MulticallEntries([]any{}); fault == nil {
+		t.Error("no-parameter multicall accepted")
+	}
+	if _, fault := rpc.MulticallEntries([]any{"x"}); fault == nil {
+		t.Error("non-array parameter accepted")
+	}
+	if _, fault := rpc.MulticallEntries([]any{[]any{1, 2}, "extra"}); fault == nil {
+		t.Error("two-parameter multicall accepted")
+	}
+	entries, fault := rpc.MulticallEntries([]any{[]any{map[string]any{"methodName": "a"}}})
+	if fault != nil || len(entries) != 1 {
+		t.Errorf("entries=%v fault=%v", entries, fault)
+	}
+}

@@ -160,6 +160,24 @@ func Normalize(v any) (any, error) {
 	}
 }
 
+// CoerceInt accepts the integer encodings the codecs may produce for one
+// logical value: int (XML-RPC, SOAP, integral JSON numbers), int64, and
+// exact float64 (JSON cannot distinguish 3.0 from 3, so JSON-RPC peers
+// may deliver integral doubles).
+func CoerceInt(v any) (int, bool) {
+	switch n := v.(type) {
+	case int:
+		return n, true
+	case int64:
+		return int(n), true
+	case float64:
+		if n == float64(int(n)) {
+			return int(n), true
+		}
+	}
+	return 0, false
+}
+
 // NormalizeParams normalizes every parameter in place-compatible fashion.
 func NormalizeParams(params []any) ([]any, error) {
 	out := make([]any, len(params))
