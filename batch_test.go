@@ -217,6 +217,91 @@ func TestCallCtxCancellation(t *testing.T) {
 }
 
 // TestMulticallFasterThanSequential pins the acceptance criterion: a
+// slowEchoService is a deliberately slow test method: it sleeps for the
+// configured delay, then echoes its first parameter. Used to exercise the
+// parallel multicall worker pool, where wall time is dominated by the
+// handlers rather than the protocol.
+type slowEchoService struct{ delay time.Duration }
+
+func (slowEchoService) Name() string { return "slow" }
+
+func (s slowEchoService) Methods() []Method {
+	return []Method{{
+		Name:      "slow.echo",
+		Help:      "Sleep for a fixed delay, then return the first parameter.",
+		Signature: []string{"any any"},
+		Public:    true,
+		Handler: func(ctx *Context, p Params) (any, error) {
+			time.Sleep(s.delay)
+			if len(p) == 0 {
+				return nil, nil
+			}
+			return p[0], nil
+		},
+	}}
+}
+
+// TestMulticallParallelOrdering runs a batch of slow sub-calls through a
+// server with BatchParallelism enabled and asserts the two invariants the
+// worker pool must preserve: results come back in submission order
+// (regardless of execution interleaving), and a faulting entry stays
+// isolated to its own slot.
+func TestMulticallParallelOrdering(t *testing.T) {
+	srv, err := NewServer(Config{Name: "par", BatchParallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	if err := srv.Register(slowEchoService{delay: 2 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.GrantMethod("slow", []string{EntryAny, EntryAnonymous}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	const n = 24
+	const faultAt = 7 // one bad entry mid-batch: must not disturb neighbors
+	b := c.Batch()
+	for i := 0; i < n; i++ {
+		if i == faultAt {
+			b.Add("no.such.method")
+			continue
+		}
+		b.Add("slow.echo", fmt.Sprintf("entry-%d", i))
+	}
+	results, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("%d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if i == faultAt {
+			var fault *rpc.Fault
+			if !errors.As(r.Err, &fault) || fault.Code != rpc.CodeMethodNotFound {
+				t.Errorf("entry %d: want method-not-found fault, got %+v", i, r)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("entry %d: unexpected error %v", i, r.Err)
+			continue
+		}
+		if want := fmt.Sprintf("entry-%d", i); !rpc.Equal(r.Result, want) {
+			t.Errorf("entry %d: got %v, want %q (out of submission order?)", i, r.Result, want)
+		}
+	}
+}
+
 // 50-entry batch completes in less wall time than 50 sequential calls on
 // the same warmed connection, because it pays for one HTTP round trip and
 // one auth pass instead of fifty.

@@ -341,6 +341,52 @@ func BenchmarkMulticall(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N*calls)/time.Since(start).Seconds(), "calls/s")
 	})
+
+	// The slow-method workload: sub-call wall time dominates, so batching
+	// alone cannot help — only parallel execution can. "sequential" and
+	// "parallel" run the identical 50-entry slow.echo batch against servers
+	// differing only in Config.BatchParallelism.
+	slowBatch := func(b *testing.B, parallelism int) {
+		b.Helper()
+		srv, err := NewServer(Config{Name: "bench-slow", BatchParallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		if err := srv.Register(slowEchoService{delay: time.Millisecond}); err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.GrantMethod("slow", []string{EntryAny, EntryAnonymous}, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		c, err := Dial(srv.URL())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(c.Close)
+		c.Call("system.ping") // warm the connection
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			batch := c.Batch()
+			for j := 0; j < calls; j++ {
+				batch.Add("slow.echo", "x")
+			}
+			results, err := batch.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != calls {
+				b.Fatalf("%d results", len(results))
+			}
+		}
+		b.ReportMetric(float64(b.N*calls)/time.Since(start).Seconds(), "calls/s")
+	}
+	b.Run("slow-sequential", func(b *testing.B) { slowBatch(b, 0) })
+	b.Run("parallel", func(b *testing.B) { slowBatch(b, 16) })
 }
 
 // --- A2 / protocol comparison ---

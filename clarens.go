@@ -166,6 +166,11 @@ type Config struct {
 	// MaxBatchCalls caps the sub-calls one system.multicall may carry
 	// (zero = core.DefaultMaxBatchCalls, negative = unlimited).
 	MaxBatchCalls int
+	// BatchParallelism sets how many system.multicall sub-calls may run
+	// concurrently on a bounded worker pool. Results are always returned
+	// in submission order. 0 or 1 keeps sub-call execution sequential —
+	// the safe default for clients batching dependent calls.
+	BatchParallelism int
 	// Logger receives framework logs (nil discards).
 	Logger *log.Logger
 }
@@ -200,15 +205,16 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.Name = "clarens"
 	}
 	cs, err := core.NewServer(core.Config{
-		DataDir:       cfg.DataDir,
-		AdminDNs:      cfg.AdminDNs,
-		SessionTTL:    cfg.SessionTTL,
-		TLS:           cfg.TLS,
-		OpenSystem:    cfg.OpenSystem,
-		DisableAuth:   cfg.DisableAuth,
-		MethodTimeout: cfg.MethodTimeout,
-		MaxBatchCalls: cfg.MaxBatchCalls,
-		Logger:        cfg.Logger,
+		DataDir:          cfg.DataDir,
+		AdminDNs:         cfg.AdminDNs,
+		SessionTTL:       cfg.SessionTTL,
+		TLS:              cfg.TLS,
+		OpenSystem:       cfg.OpenSystem,
+		DisableAuth:      cfg.DisableAuth,
+		MethodTimeout:    cfg.MethodTimeout,
+		MaxBatchCalls:    cfg.MaxBatchCalls,
+		BatchParallelism: cfg.BatchParallelism,
+		Logger:           cfg.Logger,
 	})
 	if err != nil {
 		return nil, err

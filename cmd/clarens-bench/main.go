@@ -12,11 +12,14 @@
 //	-experiment all        run everything
 //
 // Results print as aligned tables; -csv DIR additionally writes one CSV
-// per experiment for plotting.
+// per experiment for plotting, and -json FILE writes a machine-readable
+// summary of everything that ran (committed per PR as BENCH_PRn.json to
+// track the performance trajectory of the codebase over time).
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
@@ -34,6 +38,17 @@ import (
 	"clarens/internal/rpc"
 	"clarens/internal/rpc/soaprpc"
 )
+
+// report is the -json output shape: one entry per experiment that ran.
+type report struct {
+	Version     string         `json:"version"`
+	GoVersion   string         `json:"go_version"`
+	GOOS        string         `json:"goos"`
+	GOARCH      string         `json:"goarch"`
+	NumCPU      int            `json:"num_cpu"`
+	Date        string         `json:"date"`
+	Experiments map[string]any `json:"experiments"`
+}
 
 func main() {
 	var (
@@ -46,25 +61,45 @@ func main() {
 		trivial    = flag.Int("trivial-calls", 100, "globus: trivial method invocations (paper: 100)")
 		streamMB   = flag.Int("stream-mb", 256, "streaming: file size in MiB")
 		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
+		jsonOut    = flag.String("json", "", "file for a JSON summary of all results (optional)")
 	)
 	flag.Parse()
 
+	rep := &report{
+		Version:     clarens.Version,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		Experiments: map[string]any{},
+	}
 	switch *experiment {
 	case "figure4":
-		runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
+		rep.Experiments["figure4"] = runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
 	case "tls":
-		runTLS(*calls, *repeats, *csvDir)
+		rep.Experiments["tls"] = runTLS(*calls, *repeats, *csvDir)
 	case "globus":
-		runGlobus(*trivial, *csvDir)
+		rep.Experiments["globus"] = runGlobus(*trivial, *csvDir)
 	case "streaming":
-		runStreaming(*streamMB, *csvDir)
+		rep.Experiments["streaming"] = runStreaming(*streamMB, *csvDir)
 	case "all":
-		runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
-		runTLS(*calls, *repeats, *csvDir)
-		runGlobus(*trivial, *csvDir)
-		runStreaming(*streamMB, *csvDir)
+		rep.Experiments["figure4"] = runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
+		rep.Experiments["tls"] = runTLS(*calls, *repeats, *csvDir)
+		rep.Experiments["globus"] = runGlobus(*trivial, *csvDir)
+		rep.Experiments["streaming"] = runStreaming(*streamMB, *csvDir)
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }
 
@@ -96,7 +131,7 @@ func csvFile(dir, name string) *os.File {
 	return f
 }
 
-func runFigure4(minC, maxC, step, calls, repeats int, csvDir string) {
+func runFigure4(minC, maxC, step, calls, repeats int, csvDir string) map[string]any {
 	fmt.Println("== Experiment E1 / Figure 4: throughput vs asynchronous clients ==")
 	fmt.Printf("workload: %d x system.list_methods per batch, clients %d..%d step %d, best of %d\n",
 		calls, minC, maxC, step, repeats)
@@ -121,11 +156,16 @@ func runFigure4(minC, maxC, step, calls, repeats int, csvDir string) {
 	var sum, count float64
 	fmt.Printf("%10s %12s %8s %14s\n", "clients", "calls", "errors", "req/s")
 	totalCalls, totalErrs := 0, 0
+	jsonPoints := make([]map[string]any, 0, len(points))
 	for _, p := range points {
 		fmt.Printf("%10d %12d %8d %14.0f\n", p.Clients, p.Calls, p.Errors, p.Rate())
 		if out != nil {
 			fmt.Fprintf(out, "%d,%d,%d,%.4f,%.1f\n", p.Clients, p.Calls, p.Errors, p.Elapsed.Seconds(), p.Rate())
 		}
+		jsonPoints = append(jsonPoints, map[string]any{
+			"clients": p.Clients, "calls": p.Calls, "errors": p.Errors,
+			"seconds": p.Elapsed.Seconds(), "requests_per_second": p.Rate(),
+		})
 		sum += p.Rate()
 		count++
 		totalCalls += p.Calls
@@ -138,9 +178,15 @@ func runFigure4(minC, maxC, step, calls, repeats int, csvDir string) {
 		sum/count, totalCalls, totalErrs)
 	fmt.Println("paper: ~1450 req/s average on a dual 2.8 GHz Xeon, flat across 1..79 clients, zero errors")
 	fmt.Println()
+	return map[string]any{
+		"average_requests_per_second": sum / count,
+		"total_calls":                 totalCalls,
+		"total_errors":                totalErrs,
+		"points":                      jsonPoints,
+	}
 }
 
-func runTLS(calls, repeats int, csvDir string) {
+func runTLS(calls, repeats int, csvDir string) map[string]any {
 	fmt.Println("== Experiment E2: SSL/TLS overhead ==")
 	const clients = 16
 
@@ -248,9 +294,15 @@ func runTLS(calls, repeats int, csvDir string) {
 		out.Close()
 	}
 	fmt.Println()
+	return map[string]any{
+		"plaintext_keepalive_rps": plainKA,
+		"tls_keepalive_rps":       tlsKA,
+		"plaintext_reconnect_rps": plainRC,
+		"tls_reconnect_rps":       tlsRC,
+	}
 }
 
-func runGlobus(calls int, csvDir string) {
+func runGlobus(calls int, csvDir string) map[string]any {
 	fmt.Println("== Experiment E3: trivial method, Clarens vs GT3-like baseline ==")
 	fmt.Printf("workload: %d sequential invocations of a trivial echo method (paper protocol)\n", calls)
 
@@ -338,9 +390,15 @@ func runGlobus(calls int, csvDir string) {
 		out.Close()
 	}
 	fmt.Println()
+	return map[string]any{
+		"clarens_sequential_cps": clarensSeq,
+		"clarens_async_cps":      clarensRate,
+		"gt30_like_cps":          gt30,
+		"gtk39_like_cps":         gt39,
+	}
 }
 
-func runStreaming(sizeMB int, csvDir string) {
+func runStreaming(sizeMB int, csvDir string) map[string]any {
 	fmt.Println("== Experiment E4: file streaming throughput (SC2003 claim) ==")
 	root, err := os.MkdirTemp("", "clarens-stream")
 	if err != nil {
@@ -404,4 +462,9 @@ func runStreaming(sizeMB int, csvDir string) {
 		out.Close()
 	}
 	fmt.Println()
+	return map[string]any{
+		"bytes":   total,
+		"seconds": elapsed,
+		"gbps":    gbps,
+	}
 }

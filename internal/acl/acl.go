@@ -93,15 +93,82 @@ type GroupResolver interface {
 	IsMember(group string, dn pki.DN) bool
 }
 
-// Evaluate applies this single ACL to the caller.
+// Evaluate applies this single ACL to the caller. It parses the DN entry
+// lists on every call; the dispatch hot path goes through the Manager's
+// compiled representation instead, which parses each entry exactly once.
 func (a *ACL) Evaluate(dn pki.DN, groups GroupResolver) Decision {
-	allowed := matchDNs(dn, a.AllowDNs) || matchGroups(dn, a.AllowGroups, groups)
-	denied := matchDNs(dn, a.DenyDNs) || matchGroups(dn, a.DenyGroups, groups)
+	return a.compile().evaluate(dn, groups)
+}
+
+// compiledList is a DN entry list with every structural prefix parsed and
+// the two special entries lifted into flags.
+type compiledList struct {
+	any  bool // "*": any authenticated caller
+	anon bool // "anonymous": the empty DN
+	dns  []pki.DN
+}
+
+func compileList(entries []string) compiledList {
+	var cl compiledList
+	for _, e := range entries {
+		switch e {
+		case EntryAny:
+			cl.any = true
+		case EntryAnonymous:
+			cl.anon = true
+		default:
+			p, err := pki.ParseDN(e)
+			if err != nil {
+				continue // same tolerance as the interpreted path
+			}
+			cl.dns = append(cl.dns, p)
+		}
+	}
+	return cl
+}
+
+// match mirrors matchDNs over the pre-parsed form: zero allocations.
+func (cl *compiledList) match(dn pki.DN) bool {
+	if dn.IsZero() {
+		return cl.anon
+	}
+	if cl.any {
+		return true
+	}
+	for _, p := range cl.dns {
+		if dn.HasPrefix(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// compiledACL is the evaluation-ready form of one ACL: built once at cache
+// fill, immutable afterwards, shared by concurrent readers.
+type compiledACL struct {
+	order                   Order
+	allowDNs, denyDNs       compiledList
+	allowGroups, denyGroups []string
+}
+
+func (a *ACL) compile() *compiledACL {
+	return &compiledACL{
+		order:       a.Order,
+		allowDNs:    compileList(a.AllowDNs),
+		denyDNs:     compileList(a.DenyDNs),
+		allowGroups: append([]string(nil), a.AllowGroups...),
+		denyGroups:  append([]string(nil), a.DenyGroups...),
+	}
+}
+
+func (c *compiledACL) evaluate(dn pki.DN, groups GroupResolver) Decision {
+	allowed := c.allowDNs.match(dn) || matchGroups(dn, c.allowGroups, groups)
+	denied := c.denyDNs.match(dn) || matchGroups(dn, c.denyGroups, groups)
 	switch {
 	case !allowed && !denied:
 		return NoOpinion
 	case allowed && denied:
-		if a.Order == DenyAllow {
+		if c.order == DenyAllow {
 			return Allow
 		}
 		return Deny
@@ -121,34 +188,6 @@ const (
 	EntryAnonymous = "anonymous"
 )
 
-func matchDNs(dn pki.DN, entries []string) bool {
-	for _, e := range entries {
-		switch e {
-		case EntryAny:
-			if !dn.IsZero() {
-				return true
-			}
-			continue
-		case EntryAnonymous:
-			if dn.IsZero() {
-				return true
-			}
-			continue
-		}
-		if dn.IsZero() {
-			continue
-		}
-		p, err := pki.ParseDN(e)
-		if err != nil {
-			continue
-		}
-		if dn.HasPrefix(p) {
-			return true
-		}
-	}
-	return false
-}
-
 func matchGroups(dn pki.DN, groups []string, resolver GroupResolver) bool {
 	if resolver == nil || dn.IsZero() {
 		return false
@@ -164,12 +203,36 @@ func matchGroups(dn pki.DN, groups []string, resolver GroupResolver) bool {
 // Manager stores ACLs keyed by hierarchical dotted paths and evaluates
 // them lowest-level-first. The same manager serves method ACLs (paths are
 // method names) and file ACLs (paths are namespaced by the file service).
+//
+// Authorization is the per-request hot path (access check 2 of the
+// paper's Figure 4 measurement), so the manager compiles ACLs once —
+// every DN entry parsed into its structural pki.DN form — and caches both
+// the compiled levels and the per-path level chain. The cache is keyed on
+// the store bucket's generation counter: any Put or Delete in the bucket
+// bumps the generation and the next authorization rebuilds lazily, so an
+// acl.set is observable on the very next request.
 type Manager struct {
 	mu       sync.RWMutex
 	store    *db.Store
 	bucket   string
 	resolver GroupResolver
+
+	cacheMu  sync.RWMutex
+	cacheGen uint64
+	compiled map[string]*compiledACL // level -> compiled ACL (nil: none attached)
+	chains   map[string][]chainLink  // full path -> levels that have ACLs
 }
+
+// chainLink is one level of a compiled authorization chain.
+type chainLink struct {
+	level string
+	acl   *compiledACL
+}
+
+// chainCacheCap bounds the per-path chain cache; acl.check accepts
+// arbitrary client-supplied paths, which must not pin unbounded memory.
+// When exceeded the maps are reset rather than evicted entry-by-entry.
+const chainCacheCap = 1 << 16
 
 // NewManager creates an ACL manager over the given store bucket.
 func NewManager(store *db.Store, bucket string, resolver GroupResolver) *Manager {
@@ -251,18 +314,57 @@ func (m *Manager) Authorize(path string, dn pki.DN) Decision {
 
 // AuthorizeDetail additionally reports which level decided, for audit
 // logging and the acl.check service method ("" when no level decided).
+// The walk evaluates the compiled chain for path: no JSON decoding and no
+// DN parsing per request.
 func (m *Manager) AuthorizeDetail(path string, dn pki.DN) (Decision, string) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	for _, lvl := range levels(path) {
-		var a ACL
-		found, err := m.store.GetJSON(m.bucket, lvl, &a)
-		if err != nil || !found {
-			continue
-		}
-		if d := a.Evaluate(dn, m.resolver); d != NoOpinion {
-			return d, lvl
+	chain := m.chain(path)
+	for _, link := range chain {
+		if d := link.acl.evaluate(dn, m.resolver); d != NoOpinion {
+			return d, link.level
 		}
 	}
 	return Deny, ""
+}
+
+// chain returns the compiled level chain for path, rebuilding the cache if
+// the bucket generation moved. The generation is read before the store, so
+// a write racing the rebuild at worst tags fresh data with a stale
+// generation and causes one extra rebuild — never a stale grant.
+func (m *Manager) chain(path string) []chainLink {
+	gen := m.store.Generation(m.bucket)
+	m.cacheMu.RLock()
+	if m.cacheGen == gen && m.chains != nil {
+		if chain, ok := m.chains[path]; ok {
+			m.cacheMu.RUnlock()
+			return chain
+		}
+	}
+	m.cacheMu.RUnlock()
+
+	m.cacheMu.Lock()
+	defer m.cacheMu.Unlock()
+	if m.cacheGen != gen || m.chains == nil || len(m.chains) >= chainCacheCap {
+		m.cacheGen = gen
+		m.compiled = make(map[string]*compiledACL)
+		m.chains = make(map[string][]chainLink)
+	} else if chain, ok := m.chains[path]; ok {
+		return chain
+	}
+	var chain []chainLink
+	for _, lvl := range levels(path) {
+		c, ok := m.compiled[lvl]
+		if !ok {
+			var a ACL
+			found, err := m.store.GetJSON(m.bucket, lvl, &a)
+			if err == nil && found {
+				c = a.compile()
+			}
+			m.compiled[lvl] = c
+		}
+		if c != nil {
+			chain = append(chain, chainLink{level: lvl, acl: c})
+		}
+	}
+	m.chains[path] = chain
+	return chain
 }

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"clarens/internal/acl"
+	"clarens/internal/rpc"
+	"clarens/internal/rpc/xmlrpc"
+)
+
+// These tests pin down the contract of the hot-path caches added for the
+// Figure 4 optimization: every mutation — acl.set, vo.add_member, a
+// session delete, a new Register — must be observable on the very next
+// request. A stale grant or a resurrected session is a security bug, not
+// a performance trade-off. The suite runs under -race in CI, exercising
+// the generation-counter invalidation concurrently.
+
+// probeService is a minimal target method for authorization probes.
+type probeService struct{}
+
+func (probeService) Name() string { return "cachetest" }
+
+func (probeService) Methods() []Method {
+	return []Method{{
+		Name:      "cachetest.probe",
+		Help:      "Return true; exists to probe ACL decisions.",
+		Signature: []string{"boolean"},
+		Handler:   func(ctx *Context, p Params) (any, error) { return true, nil },
+	}}
+}
+
+// probe dispatches cachetest.probe over the HTTP handler with the given
+// headers and reports whether it was allowed.
+func probe(t *testing.T, s *Server, headers map[string]string) bool {
+	t.Helper()
+	resp := call(t, s, xmlrpc.New(), headers, "cachetest.probe")
+	if resp.Fault == nil {
+		return true
+	}
+	if resp.Fault.Code != rpc.CodeAccessDenied {
+		t.Fatalf("unexpected fault: %v", resp.Fault)
+	}
+	return false
+}
+
+func TestACLSetObservableOnNextRequest(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.Register(probeService{}); err != nil {
+		t.Fatal(err)
+	}
+	admin := sessionFor(t, s, adminDN)
+	user := sessionFor(t, s, userDN)
+
+	// Warm the compiled-ACL cache with a denied decision.
+	if probe(t, s, user) {
+		t.Fatal("user allowed before any grant")
+	}
+	// acl.set granting the user must take effect on the next request.
+	resp := call(t, s, xmlrpc.New(), admin, "acl.set",
+		"cachetest", "allow,deny", []any{userDN.String()}, []any{}, []any{}, []any{})
+	if resp.Fault != nil {
+		t.Fatalf("acl.set: %v", resp.Fault)
+	}
+	if !probe(t, s, user) {
+		t.Fatal("grant not visible on the next request (stale deny cached)")
+	}
+	// Replacing the grant with a deny must also be immediate: no stale
+	// grant may survive the acl.set.
+	resp = call(t, s, xmlrpc.New(), admin, "acl.set",
+		"cachetest", "allow,deny", []any{}, []any{}, []any{userDN.String()}, []any{})
+	if resp.Fault != nil {
+		t.Fatalf("acl.set: %v", resp.Fault)
+	}
+	if probe(t, s, user) {
+		t.Fatal("stale grant served after acl.set replaced it with a deny")
+	}
+	// acl.delete removes the module-level ACL entirely; with no level
+	// expressing an opinion the secure default denies everyone, and that
+	// too must be visible immediately.
+	resp = call(t, s, xmlrpc.New(), admin, "acl.delete", "cachetest")
+	if resp.Fault != nil {
+		t.Fatalf("acl.delete: %v", resp.Fault)
+	}
+	if probe(t, s, user) {
+		t.Fatal("user allowed after acl.delete removed the grant")
+	}
+	if probe(t, s, admin) {
+		t.Fatal("admin allowed though no ACL level expresses an opinion")
+	}
+}
+
+func TestVOAddMemberObservableOnNextRequest(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.Register(probeService{}); err != nil {
+		t.Fatal(err)
+	}
+	admin := sessionFor(t, s, adminDN)
+	user := sessionFor(t, s, userDN)
+
+	if resp := call(t, s, xmlrpc.New(), admin, "vo.create_group", "team"); resp.Fault != nil {
+		t.Fatalf("vo.create_group: %v", resp.Fault)
+	}
+	if err := s.MethodACL().Set("cachetest", &acl.ACL{AllowGroups: []string{"team"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the membership memo with the negative verdict.
+	if probe(t, s, user) {
+		t.Fatal("user allowed before joining the group")
+	}
+	if resp := call(t, s, xmlrpc.New(), admin, "vo.add_member", "team", userDN.String()); resp.Fault != nil {
+		t.Fatalf("vo.add_member: %v", resp.Fault)
+	}
+	if !probe(t, s, user) {
+		t.Fatal("membership not visible on the next request (stale memo)")
+	}
+	if resp := call(t, s, xmlrpc.New(), admin, "vo.remove_member", "team", userDN.String()); resp.Fault != nil {
+		t.Fatalf("vo.remove_member: %v", resp.Fault)
+	}
+	if probe(t, s, user) {
+		t.Fatal("stale membership served after vo.remove_member")
+	}
+}
+
+func TestSessionDeleteNotResurrected(t *testing.T) {
+	s := newTestServer(t)
+	sess, err := s.NewSessionFor(userDN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headers := map[string]string{SessionHeader: sess.ID}
+	resp := call(t, s, xmlrpc.New(), headers, "system.whoami")
+	if resp.Fault != nil || resp.Result != userDN.String() {
+		t.Fatalf("whoami with live session: %v / %v", resp.Result, resp.Fault)
+	}
+	if err := s.Sessions().Delete(sess.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The very next request must see the session gone: the cached
+	// snapshot may not outlive the store record.
+	resp = call(t, s, xmlrpc.New(), headers, "system.whoami")
+	if resp.Fault != nil || resp.Result != "" {
+		t.Fatalf("whoami after delete: got %q, want anonymous (resurrected session?)", resp.Result)
+	}
+}
+
+func TestRegisterObservableInListMethods(t *testing.T) {
+	s := newTestServer(t)
+	listed := func() map[string]bool {
+		resp := call(t, s, xmlrpc.New(), nil, "system.list_methods")
+		if resp.Fault != nil {
+			t.Fatalf("list_methods: %v", resp.Fault)
+		}
+		names, ok := resp.Result.([]any)
+		if !ok {
+			t.Fatalf("result = %T", resp.Result)
+		}
+		out := make(map[string]bool, len(names))
+		for _, n := range names {
+			out[n.(string)] = true
+		}
+		return out
+	}
+	if listed()["cachetest.probe"] {
+		t.Fatal("cachetest.probe listed before registration")
+	}
+	if err := s.Register(probeService{}); err != nil {
+		t.Fatal(err)
+	}
+	if !listed()["cachetest.probe"] {
+		t.Fatal("cachetest.probe not listed on the request after Register (stale list cache)")
+	}
+}
+
+// TestCacheInvalidationUnderConcurrency hammers the cached read paths
+// while mutators run, for the race detector: the generation-counter
+// handoff between store writes and cache rebuilds must be clean.
+func TestCacheInvalidationUnderConcurrency(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.Register(probeService{}); err != nil {
+		t.Fatal(err)
+	}
+	const iters = 200
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { // ACL mutator
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			dn := userDN.String()
+			if i%2 == 1 {
+				dn = adminDN.String()
+			}
+			if err := s.MethodACL().Set("cachetest", &acl.ACL{AllowDNs: []string{dn}}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // authorization reader
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			s.MethodACL().Authorize("cachetest.probe", userDN)
+			s.VO().IsMember("admins", adminDN)
+		}
+	}()
+	go func() { // session mutator
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			sess, err := s.NewSessionFor(userDN)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.Sessions().Delete(sess.ID); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() { // dispatch reader (session lookup + ACL + list cache)
+		defer wg.Done()
+		for i := 0; i < iters/10; i++ {
+			call(t, s, xmlrpc.New(), nil, "system.list_methods")
+		}
+	}()
+	wg.Wait()
+
+	// After the dust settles, the final ACL state must win.
+	if err := s.MethodACL().Set("cachetest", &acl.ACL{AllowDNs: []string{userDN.String()}}); err != nil {
+		t.Fatal(err)
+	}
+	if !probe(t, s, sessionFor(t, s, userDN)) {
+		t.Fatal("final grant not observed after concurrent churn")
+	}
+}

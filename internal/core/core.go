@@ -264,11 +264,17 @@ func (p Params) OptInt(i int, def int) (int, error) {
 // mirrored into the database so that system.list_methods performs a real
 // database scan, matching the measured cost in the paper's Figure 4
 // ("each request incurring a database lookup for all registered methods
-// in the server").
+// in the server") — but the scan result is cached behind the bucket's
+// generation counter, so the scan and sort run once per registration
+// epoch instead of once per request.
 type registry struct {
 	mu      sync.RWMutex
 	methods map[string]*Method
 	store   *db.Store
+
+	listGen   uint64
+	listNames []string // sorted method names; shared, do not modify
+	listNorm  []any    // the same names pre-normalized for the codecs
 }
 
 const methodsBucket = "methods"
@@ -318,10 +324,38 @@ func (r *registry) lookup(name string) (*Method, bool) {
 	return m, ok
 }
 
-// listFromDB scans the database for registered method names: the
-// deliberately database-backed path used by system.list_methods.
+// listFromDB returns the registered method names, sorted, from the
+// database-backed path used by system.list_methods. The scan is cached:
+// a hit is two map reads; a new Register bumps the methods bucket
+// generation and the next call rescans. The returned slice is shared —
+// callers must not modify it.
 func (r *registry) listFromDB() []string {
-	return r.store.Keys(methodsBucket, "")
+	names, _ := r.listCached()
+	return names
+}
+
+// listCached returns the cached (names, normalized) pair, rebuilding when
+// the methods bucket generation moved. The generation is read before the
+// scan, so a racing registration at worst causes one extra rescan, never
+// a stale listing.
+func (r *registry) listCached() ([]string, []any) {
+	gen := r.store.Generation(methodsBucket)
+	r.mu.RLock()
+	if r.listGen == gen && r.listNames != nil {
+		names, norm := r.listNames, r.listNorm
+		r.mu.RUnlock()
+		return names, norm
+	}
+	r.mu.RUnlock()
+	names := r.store.Keys(methodsBucket, "")
+	norm := make([]any, len(names))
+	for i, n := range names {
+		norm[i] = n
+	}
+	r.mu.Lock()
+	r.listGen, r.listNames, r.listNorm = gen, names, norm
+	r.mu.Unlock()
+	return names, norm
 }
 
 func (r *registry) count() int {

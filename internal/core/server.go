@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -47,6 +49,12 @@ type Config struct {
 	// carry, bounding the amplification a single anonymous POST can buy.
 	// Zero means DefaultMaxBatchCalls; negative means unlimited.
 	MaxBatchCalls int
+	// BatchParallelism sets how many system.multicall sub-calls may
+	// execute concurrently (ROADMAP: parallel multicall execution).
+	// Results always come back in submission order regardless. 0 or 1
+	// executes sub-calls sequentially, preserving the strict in-order
+	// semantics clients may rely on for dependent batches.
+	BatchParallelism int
 	// OpenSystem grants anonymous+any callers the system service at
 	// startup, reproducing the paper's Figure 4 environment where
 	// unauthenticated clients invoke system.list_methods through two live
@@ -205,8 +213,10 @@ func (s *Server) Register(svc Service) error {
 func (s *Server) Mux() *http.ServeMux { return s.mux }
 
 // MethodNames returns all registered method names, sorted, via the
-// database-backed path.
-func (s *Server) MethodNames() []string { return s.registry.listFromDB() }
+// database-backed path. The returned slice is the caller's to keep.
+func (s *Server) MethodNames() []string {
+	return append([]string(nil), s.registry.listFromDB()...)
+}
 
 // NewSessionFor creates a session directly; used by system.auth,
 // proxy.login, examples, and tests.
@@ -307,12 +317,34 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 	s.writeResponse(w, codec, resp)
 }
 
+// respBufPool recycles response encode buffers across requests. Encoding
+// into a pooled buffer (instead of straight to the ResponseWriter) costs
+// nothing extra — the wire bytes must be materialized either way — and
+// buys buffer reuse plus an exact Content-Length, which keeps HTTP/1.1
+// responses out of chunked encoding.
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// respBufRetainLimit is the largest buffer returned to the pool; one
+// oversized response must not pin its buffer forever.
+const respBufRetainLimit = 1 << 20
+
 func (s *Server) writeResponse(w http.ResponseWriter, codec rpc.Codec, resp *rpc.Response) {
+	buf := respBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= respBufRetainLimit {
+			respBufPool.Put(buf)
+		}
+	}()
+	if err := codec.EncodeResponse(buf, resp); err != nil {
+		s.logger.Printf("core: encode response: %v", err)
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", codec.ContentTypes()[0]+"; charset=utf-8")
 	w.Header().Set("X-Clarens-Server", Version)
-	if err := codec.EncodeResponse(w, resp); err != nil {
-		s.logger.Printf("core: encode response: %v", err)
-	}
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes())
 }
 
 // Handler returns the full HTTP handler (RPC + registered GET endpoints).

@@ -34,6 +34,7 @@ import (
 type Store struct {
 	mu   sync.RWMutex
 	data map[string]map[string][]byte // bucket -> key -> value
+	gens map[string]uint64            // bucket -> monotonic version, bumped on Put/Delete
 
 	dir     string
 	logMu   sync.Mutex
@@ -64,6 +65,7 @@ var ErrClosed = errors.New("db: store is closed")
 func Open(dir string) (*Store, error) {
 	s := &Store{
 		data:             make(map[string]map[string][]byte),
+		gens:             make(map[string]uint64),
 		dir:              dir,
 		CompactThreshold: 64 << 20,
 	}
@@ -230,6 +232,18 @@ func (s *Store) applyLocked(rec record) {
 			delete(b, rec.key)
 		}
 	}
+	s.gens[rec.bucket]++
+}
+
+// Generation returns the bucket's monotonic version counter, bumped on
+// every Put and Delete touching the bucket (including snapshot load and
+// WAL replay). Internal caches key their validity on this value: a cache
+// filled at generation g is coherent for as long as Generation still
+// returns g.
+func (s *Store) Generation(bucket string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gens[bucket]
 }
 
 func (s *Store) appendLog(rec record) error {
@@ -289,6 +303,25 @@ func (s *Store) Get(bucket, key string) ([]byte, bool) {
 	return out, true
 }
 
+// View invokes fn with the stored value under (bucket, key) without
+// copying it, and reports whether the key was present. The slice passed to
+// fn aliases the store's internal state: it is valid only for the duration
+// of fn and must not be modified or retained. fn must not call back into
+// the store (the shared read lock is held across the call).
+func (s *Store) View(bucket, key string, fn func(value []byte) error) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b := s.data[bucket]
+	if b == nil {
+		return false, nil
+	}
+	v, ok := b[key]
+	if !ok {
+		return false, nil
+	}
+	return true, fn(v)
+}
+
 // Delete removes (bucket, key); deleting a missing key is not an error.
 func (s *Store) Delete(bucket, key string) error {
 	s.mu.Lock()
@@ -338,14 +371,27 @@ func (s *Store) Len(bucket string) int {
 }
 
 // ForEach calls fn for every key/value in bucket, in sorted key order,
-// stopping at the first error. The value passed to fn is a copy.
+// stopping at the first error. The iteration sees one consistent snapshot
+// of the bucket, taken under a single shared lock; fn itself runs outside
+// the lock (so it may call back into the store) and receives a copy of
+// each value.
 func (s *Store) ForEach(bucket string, fn func(key string, value []byte) error) error {
-	for _, k := range s.Keys(bucket, "") {
-		v, ok := s.Get(bucket, k)
-		if !ok {
-			continue // deleted concurrently
-		}
-		if err := fn(k, v); err != nil {
+	type kv struct {
+		k string
+		v []byte
+	}
+	s.mu.RLock()
+	b := s.data[bucket]
+	items := make([]kv, 0, len(b))
+	for k, v := range b {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		items = append(items, kv{k, cp})
+	}
+	s.mu.RUnlock()
+	sort.Slice(items, func(i, j int) bool { return items[i].k < items[j].k })
+	for _, it := range items {
+		if err := fn(it.k, it.v); err != nil {
 			return err
 		}
 	}
@@ -362,15 +408,16 @@ func (s *Store) PutJSON(bucket, key string, v any) error {
 }
 
 // GetJSON unmarshals the stored value into out; found=false if absent.
+// The decode runs through View, so no intermediate copy of the stored
+// bytes is made (encoding/json copies what it keeps).
 func (s *Store) GetJSON(bucket, key string, out any) (bool, error) {
-	data, ok := s.Get(bucket, key)
-	if !ok {
-		return false, nil
+	found, err := s.View(bucket, key, func(data []byte) error {
+		return json.Unmarshal(data, out)
+	})
+	if err != nil {
+		return found, fmt.Errorf("db: unmarshal %s/%s: %w", bucket, key, err)
 	}
-	if err := json.Unmarshal(data, out); err != nil {
-		return true, fmt.Errorf("db: unmarshal %s/%s: %w", bucket, key, err)
-	}
-	return true, nil
+	return found, nil
 }
 
 // Compact writes a fresh snapshot of the current state and truncates the

@@ -30,10 +30,13 @@ func New() *Codec { return &Codec{} }
 // Name implements rpc.Codec.
 func (*Codec) Name() string { return "jsonrpc" }
 
-// ContentTypes implements rpc.Codec.
-func (*Codec) ContentTypes() []string {
-	return []string{"application/json", "application/json-rpc", "text/json"}
-}
+// contentTypes is shared across calls: ContentTypes sits on the
+// per-response hot path and must not allocate.
+var contentTypes = []string{"application/json", "application/json-rpc", "text/json"}
+
+// ContentTypes implements rpc.Codec. Callers must not modify the
+// returned slice.
+func (*Codec) ContentTypes() []string { return contentTypes }
 
 // Wire sentinel objects for types JSON cannot represent natively. These
 // follow the convention of tagging with a single reserved key.

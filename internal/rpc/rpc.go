@@ -112,15 +112,27 @@ func Normalize(v any) (any, error) {
 	case float32:
 		return float64(x), nil
 	case []any:
-		out := make([]any, len(x))
+		// Fast path: an array whose elements are all already canonical
+		// scalars is returned as-is, with no copy. Dispatch hands cached
+		// results (e.g. the system.list_methods name list) through here
+		// once per request, so the copy would be pure allocation churn.
 		for i, e := range x {
-			n, err := Normalize(e)
-			if err != nil {
-				return nil, err
+			switch e.(type) {
+			case nil, bool, int, float64, string:
+				continue
 			}
-			out[i] = n
+			out := make([]any, len(x))
+			copy(out, x[:i])
+			for j := i; j < len(x); j++ {
+				n, err := Normalize(x[j])
+				if err != nil {
+					return nil, err
+				}
+				out[j] = n
+			}
+			return out, nil
 		}
-		return out, nil
+		return x, nil
 	case []string:
 		out := make([]any, len(x))
 		for i, e := range x {

@@ -32,7 +32,11 @@ func (*Codec) Name() string { return "soap" }
 // ContentTypes implements rpc.Codec. SOAP 1.1 also travels as text/xml;
 // the server distinguishes it from XML-RPC by the SOAPAction header or by
 // sniffing the Envelope element, so the codec's dedicated type comes first.
-func (*Codec) ContentTypes() []string { return []string{"application/soap+xml"} }
+func (*Codec) ContentTypes() []string { return contentTypes }
+
+// contentTypes is shared across calls: ContentTypes sits on the
+// per-response hot path and must not allocate.
+var contentTypes = []string{"application/soap+xml"}
 
 const (
 	nsEnvelope = "http://schemas.xmlsoap.org/soap/envelope/"

@@ -14,6 +14,7 @@ package session
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -33,10 +34,20 @@ type Session struct {
 	// Attrs holds service state attached to the session: the shell
 	// service's sandbox path, the proxy service's attached proxy ID, etc.
 	Attrs map[string]string `json:"attrs,omitempty"`
+
+	// parsed is the pre-parsed form of DN, populated when the manager
+	// caches a snapshot so the per-request identity resolution does no
+	// DN parsing. Never written after the snapshot is published.
+	parsed pki.DN
 }
 
-// DNParsed parses the session's DN.
+// DNParsed returns the session's DN in parsed form. Sessions served from
+// the manager cache carry it pre-parsed; the fallback parse covers
+// Session values constructed elsewhere (tests, direct literals).
 func (s *Session) DNParsed() pki.DN {
+	if s.parsed != nil {
+		return s.parsed
+	}
 	dn, err := pki.ParseDN(s.DN)
 	if err != nil {
 		return nil
@@ -48,11 +59,24 @@ func (s *Session) DNParsed() pki.DN {
 func (s *Session) Expired(now time.Time) bool { return now.After(s.Expires) }
 
 // Manager creates, validates, renews, and purges sessions.
+//
+// Get is the per-request hot path (access check 1 of the paper's Figure 4
+// measurement), so the manager keeps an in-memory cache of immutable
+// *Session snapshots in front of the store: a hit costs one map lookup and
+// zero JSON work. Cached snapshots are never mutated — Touch and SetAttr
+// write a fresh copy and swap it in — so a *Session returned by Get is
+// safe to read concurrently but must not be modified by callers.
 type Manager struct {
 	store *db.Store
 	ttl   time.Duration
 
 	mu sync.Mutex // serializes read-modify-write cycles (Touch, SetAttr)
+
+	// cacheMu guards cache. Fallback loads and evictions also hold it
+	// across their store access, so a Delete can never interleave with a
+	// concurrent miss-fill in a way that resurrects a dead session.
+	cacheMu sync.RWMutex
+	cache   map[string]*Session
 
 	now func() time.Time // test seam
 }
@@ -63,7 +87,7 @@ func NewManager(store *db.Store, ttl time.Duration) *Manager {
 	if ttl <= 0 {
 		ttl = 12 * time.Hour
 	}
-	return &Manager{store: store, ttl: ttl, now: time.Now}
+	return &Manager{store: store, ttl: ttl, cache: make(map[string]*Session), now: time.Now}
 }
 
 // TTL returns the manager's default session lifetime.
@@ -94,26 +118,66 @@ func (m *Manager) New(dn pki.DN) (*Session, error) {
 		Created: now,
 		Expires: now.Add(m.ttl),
 		Attrs:   map[string]string{},
+		parsed:  dn,
 	}
 	if err := m.store.PutJSON(bucket, id, s); err != nil {
 		return nil, err
 	}
+	m.cachePut(s)
 	return s, nil
 }
 
+// cachePut installs (or replaces) the cached snapshot for s.
+func (m *Manager) cachePut(s *Session) {
+	m.cacheMu.Lock()
+	m.cache[s.ID] = s
+	m.cacheMu.Unlock()
+}
+
+// evict removes the session from the store and the cache atomically with
+// respect to concurrent miss-fills.
+func (m *Manager) evict(id string) error {
+	m.cacheMu.Lock()
+	defer m.cacheMu.Unlock()
+	err := m.store.Delete(bucket, id)
+	delete(m.cache, id)
+	return err
+}
+
 // Get returns the session if it exists and has not expired. Expired
-// sessions are deleted on access.
+// sessions are deleted on access. The returned *Session is a shared
+// immutable snapshot: read it freely, mutate it only through Touch and
+// SetAttr.
 func (m *Manager) Get(id string) (*Session, bool) {
-	var s Session
-	found, err := m.store.GetJSON(bucket, id, &s)
-	if err != nil || !found {
+	if id == "" {
 		return nil, false
+	}
+	m.cacheMu.RLock()
+	s := m.cache[id]
+	m.cacheMu.RUnlock()
+	if s == nil {
+		// Miss: load from the store (restart recovery path). The write
+		// lock spans the store read so a concurrent evict cannot be
+		// overwritten by a stale fill.
+		m.cacheMu.Lock()
+		if s = m.cache[id]; s == nil {
+			var loaded Session
+			found, err := m.store.GetJSON(bucket, id, &loaded)
+			if err != nil || !found {
+				m.cacheMu.Unlock()
+				return nil, false
+			}
+			loaded.parsed, _ = pki.ParseDN(loaded.DN)
+			s = &loaded
+			m.cache[id] = s
+		}
+		m.cacheMu.Unlock()
 	}
 	if s.Expired(m.now()) {
-		m.store.Delete(bucket, id)
+		m.evict(id)
 		return nil, false
 	}
-	return &s, true
+	return s, true
 }
 
 // Touch extends the session's expiry by the manager TTL from now; used to
@@ -125,8 +189,13 @@ func (m *Manager) Touch(id string) error {
 	if !ok {
 		return fmt.Errorf("session: %q not found or expired", id)
 	}
-	s.Expires = m.now().Add(m.ttl)
-	return m.store.PutJSON(bucket, id, s)
+	next := *s
+	next.Expires = m.now().Add(m.ttl)
+	if err := m.store.PutJSON(bucket, id, &next); err != nil {
+		return err
+	}
+	m.cachePut(&next)
+	return nil
 }
 
 // SetAttr sets a service attribute on the session.
@@ -137,34 +206,43 @@ func (m *Manager) SetAttr(id, key, value string) error {
 	if !ok {
 		return fmt.Errorf("session: %q not found or expired", id)
 	}
-	if s.Attrs == nil {
-		s.Attrs = map[string]string{}
+	next := *s
+	next.Attrs = make(map[string]string, len(s.Attrs)+1)
+	for k, v := range s.Attrs {
+		next.Attrs[k] = v
 	}
-	s.Attrs[key] = value
-	return m.store.PutJSON(bucket, id, s)
+	next.Attrs[key] = value
+	if err := m.store.PutJSON(bucket, id, &next); err != nil {
+		return err
+	}
+	m.cachePut(&next)
+	return nil
 }
 
-// Delete removes a session (logout).
+// Delete removes a session (logout). The cache entry goes with it, so the
+// very next Get misses — no resurrected sessions.
 func (m *Manager) Delete(id string) error {
-	return m.store.Delete(bucket, id)
+	return m.evict(id)
 }
 
 // Purge removes all expired sessions and returns how many were removed.
+// The scan walks one consistent snapshot of the bucket (db.ForEach) rather
+// than re-locking the store per key.
 func (m *Manager) Purge() int {
 	now := m.now()
 	n := 0
-	for _, id := range m.store.Keys(bucket, "") {
+	m.store.ForEach(bucket, func(id string, data []byte) error {
 		var s Session
-		found, err := m.store.GetJSON(bucket, id, &s)
-		if err != nil || !found {
-			continue
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil
 		}
 		if s.Expired(now) {
-			if m.store.Delete(bucket, id) == nil {
+			if m.evict(id) == nil {
 				n++
 			}
 		}
-	}
+		return nil
+	})
 	return n
 }
 
@@ -174,19 +252,20 @@ func (m *Manager) Count() int { return m.store.Len(bucket) }
 
 // ForDN returns all live sessions belonging to dn; used by the proxy
 // service to attach a renewed proxy to existing sessions (paper §2.6).
+// Like Purge, it walks one consistent snapshot under a single lock.
 func (m *Manager) ForDN(dn pki.DN) []*Session {
 	var out []*Session
 	want := dn.String()
 	now := m.now()
-	for _, id := range m.store.Keys(bucket, "") {
+	m.store.ForEach(bucket, func(id string, data []byte) error {
 		var s Session
-		found, err := m.store.GetJSON(bucket, id, &s)
-		if err != nil || !found || s.Expired(now) {
-			continue
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil
 		}
-		if s.DN == want {
+		if !s.Expired(now) && s.DN == want {
 			out = append(out, &s)
 		}
-	}
+		return nil
+	})
 	return out
 }

@@ -37,10 +37,25 @@ type Group struct {
 
 // Manager maintains the VO tree in the database. It is safe for
 // concurrent use.
+//
+// IsMember runs on the dispatch hot path for every group-based ACL, so
+// its verdicts are memoized per (group, caller DN). The memo is keyed on
+// the vo bucket's generation counter: any group mutation bumps the
+// generation and the next query recomputes, so a vo.add_member is
+// observable on the very next request.
 type Manager struct {
 	mu    sync.RWMutex
 	store *db.Store
+
+	memoMu  sync.RWMutex
+	memoGen uint64
+	members map[string]bool // group + "\x00" + dn -> verdict
 }
+
+// memberMemoCap bounds the memo; when exceeded the map is reset rather
+// than evicted entry-by-entry (the ROADMAP's millions-of-users scale must
+// not pin unbounded memory on a per-caller key space).
+const memberMemoCap = 1 << 16
 
 // NewManager loads/creates the VO state in store and statically populates
 // the admins group from bootstrapAdmins, exactly as the paper describes:
@@ -143,14 +158,35 @@ func dnInList(dn pki.DN, list []string) bool {
 
 // IsMember reports whether dn is a member of the named group, either
 // directly or by membership in any ancestor group (downward propagation,
-// paper §2.1), or by being a server administrator.
+// paper §2.1), or by being a server administrator. Verdicts are memoized
+// until the next group mutation.
 func (m *Manager) IsMember(group string, dn pki.DN) bool {
 	if dn.IsZero() {
 		return false
 	}
+	gen := m.store.Generation(bucket)
+	key := group + "\x00" + dn.String()
+	m.memoMu.RLock()
+	if m.memoGen == gen && m.members != nil {
+		if v, ok := m.members[key]; ok {
+			m.memoMu.RUnlock()
+			return v
+		}
+	}
+	m.memoMu.RUnlock()
+
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.isMemberLocked(group, dn)
+	v := m.isMemberLocked(group, dn)
+	m.mu.RUnlock()
+
+	m.memoMu.Lock()
+	if m.memoGen != gen || m.members == nil || len(m.members) >= memberMemoCap {
+		m.memoGen = gen
+		m.members = make(map[string]bool)
+	}
+	m.members[key] = v
+	m.memoMu.Unlock()
+	return v
 }
 
 func (m *Manager) isMemberLocked(group string, dn pki.DN) bool {
