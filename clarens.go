@@ -35,6 +35,7 @@ import (
 	"clarens/internal/fileservice"
 	"clarens/internal/jobsvc"
 	"clarens/internal/messaging"
+	"clarens/internal/metasched"
 	"clarens/internal/monalisa"
 	"clarens/internal/pki"
 	"clarens/internal/portal"
@@ -74,6 +75,15 @@ type (
 	CA = pki.CA
 	// DiscoveryEntry describes one service on one server.
 	DiscoveryEntry = discovery.Entry
+)
+
+// Named dispatch-pipeline anchors for Server.UseBefore, re-exported.
+const (
+	AnchorRecover  = core.AnchorRecover
+	AnchorStats    = core.AnchorStats
+	AnchorAuth     = core.AnchorAuth
+	AnchorDeadline = core.AnchorDeadline
+	AnchorACL      = core.AnchorACL
 )
 
 // ACL evaluation orders and special DN entries, re-exported.
@@ -141,6 +151,32 @@ type Config struct {
 	// JobMaxPerOwner is the fair-share quota on concurrently running jobs
 	// per owner DN (default 4; negative = unlimited).
 	JobMaxPerOwner int
+	// JobMaxQueuedPerOwner bounds one owner's queued jobs so a single
+	// tenant cannot fill the queue (default: a quarter of the queue
+	// bound; negative = unlimited).
+	JobMaxQueuedPerOwner int
+	// JobAgeInterval enables scheduler priority aging: every interval a
+	// queued job's effective priority rises by JobAgeStep, so low-priority
+	// work is not starved indefinitely. Zero keeps strict priority.
+	JobAgeInterval time.Duration
+	// JobAgeStep is the priority increment per elapsed JobAgeInterval
+	// (default 1).
+	JobAgeStep int
+	// EnableFederation starts the peer-aware meta-scheduler: job services
+	// on peer servers are discovered through the discovery network, their
+	// load polled, and queued work beyond FederationPressure forwarded to
+	// the least-loaded peer under the owner's delegated identity. Requires
+	// EnableJobs and EnableProxy (the delegation handoff), and discovery
+	// publication (StationAddrs or LocalStation) so peers can be found —
+	// and so peers can verify this server as a delegation issuer.
+	EnableFederation bool
+	// FederationPressure is the queued-job depth above which forwarding
+	// starts (default 8; negative = forward whenever a peer is idle).
+	FederationPressure int
+	// PeerPollInterval is the meta-scheduler control-loop period: peer
+	// load polls, forwarded-job watches, and forwarding decisions
+	// (default 2s).
+	PeerPollInterval time.Duration
 	// StationAddrs, when non-empty, enables discovery publication to
 	// these MonALISA-style station servers ("host:port" UDP addresses).
 	StationAddrs []string
@@ -192,6 +228,9 @@ type Server struct {
 	Discovery *discovery.Service
 	// Jobs is the job execution service (nil unless Config.EnableJobs).
 	Jobs *jobsvc.Service
+	// Federation is the meta-scheduler forwarding queued jobs to peers
+	// (nil unless Config.EnableFederation).
+	Federation *metasched.Scheduler
 
 	station    *monalisa.Station
 	aggregator *discovery.Aggregator
@@ -337,8 +376,11 @@ func NewServer(cfg Config) (*Server, error) {
 			gauges = s.publisher
 		}
 		js, err := jobsvc.New(cs, jobsvc.Config{
-			Workers:     cfg.JobWorkers,
-			MaxPerOwner: cfg.JobMaxPerOwner,
+			Workers:           cfg.JobWorkers,
+			MaxPerOwner:       cfg.JobMaxPerOwner,
+			MaxQueuedPerOwner: cfg.JobMaxQueuedPerOwner,
+			AgeInterval:       cfg.JobAgeInterval,
+			AgeStep:           cfg.JobAgeStep,
 		}, exec, notify, gauges, cfg.Name)
 		if err != nil {
 			return fail(err)
@@ -352,6 +394,51 @@ func NewServer(cfg Config) (*Server, error) {
 		// checks inside the service are the real gate.
 		if err := cs.MethodACL().Set("job", &acl.ACL{AllowDNs: []string{acl.EntryAny}, AllowGroups: []string{vo.AdminsGroup}}); err != nil {
 			return fail(err)
+		}
+	}
+
+	// Delegation trust rides the discovery network: a peer asking this
+	// server to honor a delegated login names its issuer, and the issuer
+	// must be a server the local discovery cache vouches for. Verification
+	// calls the issuer's proxy.check_delegation back over a short-lived
+	// client.
+	if s.Proxies != nil {
+		disc := s.Discovery
+		s.Proxies.TrustIssuer = func(url string) bool { return disc.KnowsURL(url) }
+		s.Proxies.VerifyRemote = func(issuerURL, dn, secret string) (bool, error) {
+			c, err := Dial(issuerURL, WithTimeout(5*time.Second))
+			if err != nil {
+				return false, err
+			}
+			defer c.Close()
+			return c.CallBool("proxy.check_delegation", dn, secret)
+		}
+	}
+
+	if cfg.EnableFederation {
+		if s.Jobs == nil {
+			return fail(fmt.Errorf("clarens: federation requires EnableJobs"))
+		}
+		if s.Proxies == nil {
+			return fail(fmt.Errorf("clarens: federation requires EnableProxy (the delegation handoff carries job owners' identities to peers)"))
+		}
+		ms, err := metasched.New(s.Jobs, s.Discovery, s.Proxies, federationDialer, cfg.Logger, metasched.Config{
+			ServerName:   cfg.Name,
+			SelfURL:      s.RPCURL,
+			Pressure:     cfg.FederationPressure,
+			PollInterval: cfg.PeerPollInterval,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		s.Federation = ms
+		ms.Start()
+	} else if s.Jobs != nil {
+		// Remote shadow records recovered from a previous federated run
+		// have no meta-scheduler to watch them: pull the work back into
+		// the local queue so nothing is stranded.
+		if n := s.Jobs.RequeueAllRemote(); n > 0 && cfg.Logger != nil {
+			cfg.Logger.Printf("clarens: re-queued %d remote jobs (federation disabled)", n)
 		}
 	}
 
@@ -390,6 +477,16 @@ func (s *Server) Register(svc Service) error { return s.core.Register(svc) }
 // interceptors run. See the README's "Writing interceptors" section for
 // a worked example.
 func (s *Server) Use(ics ...Interceptor) { s.core.Use(ics...) }
+
+// UseBefore inserts interceptors immediately before a named built-in
+// pipeline stage (AnchorRecover, AnchorStats, AnchorAuth, AnchorDeadline,
+// AnchorACL). Installing before AnchorAuth runs the stage with the
+// caller's identity still unresolved — the position for IP allowlists or
+// request decryption that must act ahead of any session lookup. Unknown
+// anchors are an error.
+func (s *Server) UseBefore(anchor string, ics ...Interceptor) error {
+	return s.core.UseBefore(anchor, ics...)
+}
 
 // Name returns the server's discovery name.
 func (s *Server) Name() string { return s.name }
@@ -446,6 +543,9 @@ func (s *Server) GrantMethod(path string, dns []string, groups []string) error {
 
 // Close shuts everything down.
 func (s *Server) Close() error {
+	if s.Federation != nil {
+		s.Federation.Stop()
+	}
 	if s.Jobs != nil {
 		s.Jobs.Stop()
 	}

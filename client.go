@@ -431,6 +431,27 @@ func (c *Client) FileMD5(name string) (string, error) {
 	return c.CallString("file.md5", name)
 }
 
+// Job conveniences over the job.* service.
+
+// JobSubmit queues a command on the server's job scheduler and returns
+// the job id. Higher priority runs first; maxRetries bounds re-execution
+// of failing attempts.
+func (c *Client) JobSubmit(command string, priority, maxRetries int) (string, error) {
+	return c.CallString("job.submit", command, priority, maxRetries)
+}
+
+// JobWait blocks server-side until the job reaches a terminal state (or
+// the timeout elapses) and returns its status record — one round trip
+// instead of a client-side poll loop. Works transparently for jobs the
+// federation forwarded to a peer server.
+func (c *Client) JobWait(id string, timeout time.Duration) (map[string]any, error) {
+	secs := int(timeout / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return c.CallStruct("job.wait", id, secs)
+}
+
 // Discover queries the server's discovery cache.
 func (c *Client) Discover(pattern string) ([]map[string]any, error) {
 	l, err := c.CallList("discovery.find", pattern)

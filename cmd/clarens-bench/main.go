@@ -9,6 +9,9 @@
 //	-experiment globus     §4 footnote/§5: trivial-method calls/second,
 //	                       Clarens vs the GT3-like baseline container
 //	-experiment streaming  §1: SC2003-style disk-to-network streaming
+//	-experiment federation meta-scheduler: a burst of jobs drained by one
+//	                       server versus a 3-server federation forwarding
+//	                       queued work to idle peers
 //	-experiment all        run everything
 //
 // Results print as aligned tables; -csv DIR additionally writes one CSV
@@ -34,6 +37,7 @@ import (
 
 	"clarens"
 	"clarens/internal/baseline"
+	"clarens/internal/monalisa"
 	"clarens/internal/pki"
 	"clarens/internal/rpc"
 	"clarens/internal/rpc/soaprpc"
@@ -60,6 +64,9 @@ func main() {
 		repeats    = flag.Int("repeats", 2, "repeats per point, best kept (paper repeated the sweep)")
 		trivial    = flag.Int("trivial-calls", 100, "globus: trivial method invocations (paper: 100)")
 		streamMB   = flag.Int("stream-mb", 256, "streaming: file size in MiB")
+		fedJobs    = flag.Int("federation-jobs", 48, "federation: burst size")
+		fedServers = flag.Int("federation-servers", 3, "federation: servers in the federation")
+		fedJobSecs = flag.Float64("federation-job-secs", 0.15, "federation: per-job sleep payload (seconds)")
 		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
 		jsonOut    = flag.String("json", "", "file for a JSON summary of all results (optional)")
 	)
@@ -83,11 +90,14 @@ func main() {
 		rep.Experiments["globus"] = runGlobus(*trivial, *csvDir)
 	case "streaming":
 		rep.Experiments["streaming"] = runStreaming(*streamMB, *csvDir)
+	case "federation":
+		rep.Experiments["federation"] = runFederation(*fedJobs, *fedServers, *fedJobSecs, *csvDir)
 	case "all":
 		rep.Experiments["figure4"] = runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
 		rep.Experiments["tls"] = runTLS(*calls, *repeats, *csvDir)
 		rep.Experiments["globus"] = runGlobus(*trivial, *csvDir)
 		rep.Experiments["streaming"] = runStreaming(*streamMB, *csvDir)
+		rep.Experiments["federation"] = runFederation(*fedJobs, *fedServers, *fedJobSecs, *csvDir)
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
 	}
@@ -466,5 +476,154 @@ func runStreaming(sizeMB int, csvDir string) map[string]any {
 		"bytes":   total,
 		"seconds": elapsed,
 		"gbps":    gbps,
+	}
+}
+
+// fedMember starts one federation member: job service over the shell
+// sandbox, proxy service (delegation), and a local station publishing to
+// the shared backbone.
+func fedMember(name, backbone string, workers int, federate bool) *clarens.Server {
+	dir, err := os.MkdirTemp("", "clarens-fed-"+name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	umap := filepath.Join(dir, ".clarens_user_map")
+	if err := os.WriteFile(umap, []byte("bench : /O=bench/OU=People/CN=Bench User ;;\n"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	cfg := clarens.Config{
+		Name:               name,
+		FileRoot:           dir,
+		ShellUserMap:       umap,
+		EnableProxy:        true,
+		EnableJobs:         true,
+		JobWorkers:         workers,
+		EnableFederation:   federate,
+		FederationPressure: 1,
+		PeerPollInterval:   50 * time.Millisecond,
+	}
+	if backbone != "" {
+		cfg.LocalStation = "127.0.0.1:0"
+		cfg.StationAddrs = []string{backbone}
+	}
+	srv, err := clarens.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	return srv
+}
+
+// fedDrain submits a burst of sleep jobs on srv and waits until all are
+// terminal, returning the drain time.
+func fedDrain(srv *clarens.Server, jobs int, jobSecs float64) time.Duration {
+	benchDN := pki.MustParseDN("/O=bench/OU=People/CN=Bench User")
+	c, err := clarens.Dial(srv.URL())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := srv.NewSessionFor(benchDN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.SetSession(sess.ID)
+	payload := fmt.Sprintf("sleep %g", jobSecs)
+	b := c.Batch()
+	for i := 0; i < jobs; i++ {
+		b.Add("job.submit", payload, 0, 0)
+	}
+	start := time.Now()
+	results, err := b.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := make([]string, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		ids[i] = r.Result.(string)
+	}
+	for _, id := range ids {
+		for {
+			st, err := c.CallStruct("job.wait", id, 60)
+			if err != nil {
+				log.Fatal(err)
+			}
+			state, _ := st["state"].(string)
+			if state == "done" || state == "failed" || state == "cancelled" {
+				break
+			}
+		}
+	}
+	return time.Since(start)
+}
+
+func runFederation(jobs, servers int, jobSecs float64, csvDir string) map[string]any {
+	fmt.Println("== Experiment E5: federated job dispatch (meta-scheduler) ==")
+	fmt.Printf("workload: burst of %d jobs x sleep %gs, 2 workers/server, 1 server vs %d-server federation\n",
+		jobs, jobSecs, servers)
+
+	// Baseline: one server drains the whole burst.
+	solo := fedMember("fed-solo", "", 2, false)
+	soloTime := fedDrain(solo, jobs, jobSecs)
+	solo.Close()
+
+	// Federation: a shared backbone station, N members, burst on member 0.
+	backbone, err := monalisa.NewStation("bench-backbone", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer backbone.Close()
+	members := make([]*clarens.Server, servers)
+	for i := range members {
+		srv := fedMember(fmt.Sprintf("fed-site%d", i), backbone.Addr().String(), 2, true)
+		udp, err := net.ResolveUDPAddr("udp", srv.StationAddr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		backbone.Peer(udp)
+		if err := srv.PublishServices(); err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		members[i] = srv
+	}
+	// Wait for the peer tables to converge before saturating member 0.
+	deadline := time.Now().Add(10 * time.Second)
+	for members[0].Federation.Stats().Peers < servers-1 {
+		if time.Now().After(deadline) {
+			log.Fatalf("federation never converged: %d peers", members[0].Federation.Stats().Peers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fedTime := fedDrain(members[0], jobs, jobSecs)
+	st := members[0].Federation.Stats()
+
+	speedup := soloTime.Seconds() / fedTime.Seconds()
+	fmt.Printf("%-36s %12.2fs\n", "single server drain", soloTime.Seconds())
+	fmt.Printf("%-36s %12.2fs\n", fmt.Sprintf("%d-server federation drain", servers), fedTime.Seconds())
+	fmt.Printf("forwarded %d jobs to peers, pulled back %d results, %d fallbacks; speedup %.2fx\n",
+		st.Forwarded, st.PulledBack, st.Fallbacks, speedup)
+	fmt.Printf("ideal for %dx workers: %.2fx (forwarding cost = the gap)\n", servers, float64(servers))
+	if out := csvFile(csvDir, "federation.csv"); out != nil {
+		fmt.Fprintln(out, "topology,jobs,seconds")
+		fmt.Fprintf(out, "single,%d,%.3f\nfederated_%d,%d,%.3f\n", jobs, soloTime.Seconds(), servers, jobs, fedTime.Seconds())
+		out.Close()
+	}
+	fmt.Println()
+	return map[string]any{
+		"jobs":              jobs,
+		"servers":           servers,
+		"job_seconds":       jobSecs,
+		"single_drain_s":    soloTime.Seconds(),
+		"federated_drain_s": fedTime.Seconds(),
+		"speedup":           speedup,
+		"forwarded":         st.Forwarded,
+		"pulled_back":       st.PulledBack,
+		"fallbacks":         st.Fallbacks,
 	}
 }

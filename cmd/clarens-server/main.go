@@ -21,6 +21,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"clarens"
 	"clarens/internal/pki"
@@ -42,6 +43,12 @@ func main() {
 		jobsSvc      = flag.Bool("jobs", false, "enable the asynchronous job service (requires -usermap)")
 		jobWorkers   = flag.Int("job-workers", 4, "job worker pool size")
 		jobPerOwner  = flag.Int("job-max-per-owner", 4, "fair-share cap on concurrently running jobs per owner DN (negative = unlimited)")
+		jobQueued    = flag.Int("job-max-queued-per-owner", 0, "cap on queued jobs per owner DN (0 = quarter of the queue bound, negative = unlimited)")
+		jobAge       = flag.Duration("job-age-interval", 0, "priority aging period for queued jobs (0 = strict priority)")
+		jobAgeStep   = flag.Int("job-age-step", 1, "effective-priority increment per elapsed aging period")
+		federation   = flag.Bool("federation", false, "forward queued jobs to discovered peer servers (requires -jobs, -proxy, and a station network)")
+		fedPressure  = flag.Int("federation-pressure", 8, "queued-job depth above which the meta-scheduler forwards work (negative = whenever a peer is idle)")
+		peerPoll     = flag.Duration("peer-poll", 2*time.Second, "federation peer poll / remote watch period")
 		publish      = flag.Bool("publish", false, "publish services to the discovery network on startup")
 		tlsID        = flag.String("tls-id", "", "server identity PEM bundle (cert+key) enabling HTTPS")
 		tlsCA        = flag.String("tls-ca", "", "CA certificate PEM for verifying client certificates")
@@ -50,18 +57,24 @@ func main() {
 	flag.Parse()
 
 	cfg := clarens.Config{
-		Name:            *name,
-		DataDir:         *dataDir,
-		FileRoot:        *fileRoot,
-		ShellUserMap:    *userMap,
-		EnableProxy:     *proxySvc,
-		EnableMessaging: *messagingSvc,
-		EnableJobs:      *jobsSvc,
-		JobWorkers:      *jobWorkers,
-		JobMaxPerOwner:  *jobPerOwner,
-		EnablePortal:    *portal,
-		LocalStation:    *localStation,
-		Logger:          log.New(os.Stderr, "clarens: ", log.LstdFlags),
+		Name:                 *name,
+		DataDir:              *dataDir,
+		FileRoot:             *fileRoot,
+		ShellUserMap:         *userMap,
+		EnableProxy:          *proxySvc,
+		EnableMessaging:      *messagingSvc,
+		EnableJobs:           *jobsSvc,
+		JobWorkers:           *jobWorkers,
+		JobMaxPerOwner:       *jobPerOwner,
+		JobMaxQueuedPerOwner: *jobQueued,
+		JobAgeInterval:       *jobAge,
+		JobAgeStep:           *jobAgeStep,
+		EnableFederation:     *federation,
+		FederationPressure:   *fedPressure,
+		PeerPollInterval:     *peerPoll,
+		EnablePortal:         *portal,
+		LocalStation:         *localStation,
+		Logger:               log.New(os.Stderr, "clarens: ", log.LstdFlags),
 	}
 	if *admins != "" {
 		cfg.AdminDNs = splitList(*admins)

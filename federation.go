@@ -1,0 +1,58 @@
+package clarens
+
+import (
+	"sync"
+	"time"
+
+	"clarens/internal/metasched"
+)
+
+// This file adapts the public Client to the meta-scheduler's Conn
+// interface. The scheduler carries a session token per call (one
+// connection serves many delegated identities); the Client holds its
+// session at client level, so the adapter serializes each call around a
+// SetSession — control-plane traffic is low-rate and the simplicity wins.
+
+type federationConn struct {
+	mu sync.Mutex
+	c  *Client
+}
+
+func (a *federationConn) Call(token, method string, params ...any) (any, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.c.SetSession(token)
+	return a.c.Call(method, params...)
+}
+
+func (a *federationConn) Batch(token string, calls []metasched.Call) ([]metasched.Result, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.c.SetSession(token)
+	b := a.c.Batch()
+	for _, cl := range calls {
+		b.Add(cl.Method, cl.Params...)
+	}
+	rs, err := b.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]metasched.Result, len(rs))
+	for i, r := range rs {
+		out[i] = metasched.Result{Value: r.Result, Err: r.Err}
+	}
+	return out, nil
+}
+
+func (a *federationConn) Close() { a.c.Close() }
+
+// federationDialer opens peer connections for the meta-scheduler. Peer
+// calls are control traffic (stats polls, batched submissions, status
+// sweeps): a short timeout keeps a dead peer from stalling the loop.
+func federationDialer(url string) (metasched.Conn, error) {
+	c, err := Dial(url, WithTimeout(5*time.Second), WithMaxConns(8))
+	if err != nil {
+		return nil, err
+	}
+	return &federationConn{c: c}, nil
+}

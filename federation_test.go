@@ -3,10 +3,13 @@ package clarens
 import (
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
+	"clarens/internal/jobsvc"
 	"clarens/internal/monalisa"
 )
 
@@ -193,5 +196,338 @@ func TestManyServersOneProcess(t *testing.T) {
 		if err := srv.Close(); err != nil {
 			t.Errorf("close %d: %v", i, err)
 		}
+	}
+}
+
+// --- federated job dispatch (the meta-scheduler vertical slice) ---
+
+// fedConfig builds one member of a job federation: jobs + shell sandbox +
+// proxy service (delegation handoff) + its own station aggregated locally,
+// publishing to a shared backbone station.
+func fedConfig(t *testing.T, name, backbone string) Config {
+	t.Helper()
+	umap := filepath.Join(t.TempDir(), ".clarens_user_map")
+	if err := os.WriteFile(umap, []byte("joe : /DC=org/DC=doegrids/OU=People/CN=Joe User ;;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Name:               name,
+		AdminDNs:           []string{adminDN.String()},
+		FileRoot:           t.TempDir(),
+		ShellUserMap:       umap,
+		EnableProxy:        true,
+		EnableJobs:         true,
+		JobWorkers:         2,
+		EnableFederation:   true,
+		FederationPressure: 1,
+		PeerPollInterval:   50 * time.Millisecond,
+		LocalStation:       "127.0.0.1:0",
+		StationAddrs:       []string{backbone},
+	}
+}
+
+// startFederation boots n servers around a shared backbone station and
+// waits until every federated member sees its peers.
+func startFederation(t *testing.T, n int, mutate func(i int, cfg *Config)) []*Server {
+	t.Helper()
+	backbone, err := monalisa.NewStation("fed-backbone", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { backbone.Close() })
+
+	servers := make([]*Server, n)
+	for i := range servers {
+		cfg := fedConfig(t, fmt.Sprintf("site%d", i), backbone.Addr().String())
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		srv, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		// The backbone republishes into every member's local station, so
+		// each aggregator sees the whole federation.
+		udp, err := net.ResolveUDPAddr("udp", srv.StationAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		backbone.Peer(udp)
+		if err := srv.PublishServices(); err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, srv := range servers {
+		if srv.Federation == nil {
+			continue
+		}
+		for srv.Federation.Stats().Peers < countFederated(servers)-1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s sees %d peers", srv.Name(), srv.Federation.Stats().Peers)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return servers
+}
+
+func countFederated(servers []*Server) int {
+	n := 0
+	for _, s := range servers {
+		if s.Jobs != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// drainBurst submits jobs equal sleep payloads on srv as userDN and
+// returns how long the burst took to fully drain (all terminal).
+func drainBurst(t *testing.T, srv *Server, jobs int, payload string) (time.Duration, []string) {
+	t.Helper()
+	c, err := Dial(srv.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	sess, err := srv.NewSessionFor(userDN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSession(sess.ID)
+	b := c.Batch()
+	for i := 0; i < jobs; i++ {
+		b.Add("job.submit", payload, 0, 0)
+	}
+	start := time.Now()
+	results, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, jobs)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		ids = append(ids, r.Result.(string))
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		done := 0
+		for _, id := range ids {
+			j, ok := srv.Jobs.Get(id)
+			if !ok {
+				t.Fatalf("job %s lost", id)
+			}
+			if jobsvc.Terminal(j.State) {
+				done++
+			}
+		}
+		if done == len(ids) {
+			return time.Since(start), ids
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("burst not drained: %d/%d done", done, len(ids))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFederationDrainsBurstFasterThanOneServer is the acceptance path: a
+// saturated server forwards queued jobs to idle peers; the burst drains
+// measurably faster than the same burst on a lone server; forwarded jobs
+// run on the peers as the submitting DN; and the submitting server's
+// job.status/job.output answer for remote jobs transparently.
+func TestFederationDrainsBurstFasterThanOneServer(t *testing.T) {
+	const burst = 24
+	const payload = "sleep 0.2 && echo fed"
+
+	// Baseline: one server, federation off, same workers, same burst.
+	solo, err := NewServer(func() Config {
+		cfg := fedConfig(t, "solo", "")
+		cfg.EnableFederation = false
+		cfg.StationAddrs = nil
+		cfg.LocalStation = ""
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solo.Close()
+	if err := solo.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	soloTime, _ := drainBurst(t, solo, burst, payload)
+
+	// Federation: three servers, six workers total.
+	servers := startFederation(t, 3, nil)
+	front := servers[0]
+	fedTime, ids := drainBurst(t, front, burst, payload)
+
+	t.Logf("drain: solo=%v federated=%v", soloTime, fedTime)
+	if fedTime >= soloTime*4/5 {
+		t.Errorf("federated drain %v not measurably below solo %v", fedTime, soloTime)
+	}
+	st := front.Federation.Stats()
+	if st.Forwarded == 0 {
+		t.Fatal("no jobs were forwarded")
+	}
+
+	// Remote jobs carried the owner's identity: peers executed as the
+	// submitting DN, resolved through their own user maps.
+	remoteRan := 0
+	for _, peer := range servers[1:] {
+		jobs, err := peer.Jobs.List("", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range jobs {
+			if j.Owner != userDN.String() {
+				t.Errorf("peer %s job owner = %q, want %q", peer.Name(), j.Owner, userDN)
+			}
+			if j.LocalUser != "joe" {
+				t.Errorf("peer %s local_user = %q", peer.Name(), j.LocalUser)
+			}
+			remoteRan++
+		}
+	}
+	if remoteRan == 0 {
+		t.Error("no jobs ran on peers")
+	}
+
+	// Transparent results on the submitting server, wherever the job ran.
+	c, err := Dial(front.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, _ := front.NewSessionFor(userDN)
+	c.SetSession(sess.ID)
+	sawForwarded := false
+	for _, id := range ids {
+		st, err := c.CallStruct("job.status", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st["state"] != "done" {
+			t.Errorf("job %s state = %v", id, st["state"])
+		}
+		out, err := c.CallStruct("job.output", id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["stdout"] != "fed\n" || out["exit_code"] != 0 {
+			t.Errorf("job %s output = %v (peer=%v)", id, out, st["peer"])
+		}
+		if _, ok := st["peer"]; ok {
+			sawForwarded = true
+		}
+	}
+	if !sawForwarded {
+		t.Error("no job.status carried a peer binding")
+	}
+}
+
+// TestFederationPeerDownAtForwardTime: with the only peer dead, queued
+// work stays local and completes — the scheduler must not strand jobs on
+// an unreachable peer.
+func TestFederationPeerDownAtForwardTime(t *testing.T) {
+	servers := startFederation(t, 2, nil)
+	front, peer := servers[0], servers[1]
+	peer.Close() // peer dies; its discovery record is still cached
+
+	_, ids := drainBurst(t, front, 8, "sleep 0.05 && echo local")
+	for _, id := range ids {
+		j, _ := front.Jobs.Get(id)
+		if j.State != jobsvc.StateDone {
+			t.Errorf("job %s = %s", id, j.State)
+		}
+		if j.Peer != "" {
+			t.Errorf("job %s still bound to dead peer %q", id, j.Peer)
+		}
+	}
+}
+
+// TestFederationPeerDiesAfterAccept: jobs already accepted by a peer are
+// re-queued locally once the peer stops answering, and still complete.
+func TestFederationPeerDiesAfterAccept(t *testing.T) {
+	servers := startFederation(t, 2, func(i int, cfg *Config) {
+		if i == 0 {
+			cfg.JobWorkers = 1 // build queue pressure fast
+		}
+	})
+	front, peer := servers[0], servers[1]
+
+	c, err := Dial(front.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, _ := front.NewSessionFor(userDN)
+	c.SetSession(sess.ID)
+	var ids []string
+	for i := 0; i < 8; i++ {
+		id, err := c.CallString("job.submit", "sleep 0.4 && echo survived")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Wait for at least one acceptance, then kill the peer.
+	deadline := time.Now().Add(10 * time.Second)
+	for front.Federation.Stats().Forwarded == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("nothing forwarded")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	peer.Close()
+
+	for _, id := range ids {
+		st, err := c.CallStruct("job.wait", id, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st["state"] != "done" {
+			t.Errorf("job %s = %v after peer death", id, st["state"])
+		}
+	}
+	// At least part of the forwarded work came back through the fallback
+	// path (jobs the peer finished before dying pull back normally).
+	if st := front.Federation.Stats(); st.Fallbacks == 0 && st.PulledBack == 0 {
+		t.Errorf("stats = %+v: expected fallbacks or pull-backs", st)
+	}
+}
+
+// TestFederationDelegationRejectedStaysLocal: a peer that cannot perform
+// the delegation handoff (no proxy service) never receives work; jobs
+// run locally instead.
+func TestFederationDelegationRejectedStaysLocal(t *testing.T) {
+	servers := startFederation(t, 2, func(i int, cfg *Config) {
+		if i == 1 {
+			cfg.EnableFederation = false
+			cfg.EnableProxy = false // login_delegated unavailable
+		}
+	})
+	front, peer := servers[0], servers[1]
+
+	_, ids := drainBurst(t, front, 8, "sleep 0.05 && echo stayed")
+	for _, id := range ids {
+		j, _ := front.Jobs.Get(id)
+		if j.State != jobsvc.StateDone {
+			t.Errorf("job %s = %s", id, j.State)
+		}
+	}
+	if jobs, _ := peer.Jobs.List("", ""); len(jobs) != 0 {
+		t.Errorf("peer accepted %d jobs despite rejected delegation", len(jobs))
+	}
+	if st := front.Federation.Stats(); st.Forwarded != 0 {
+		t.Errorf("stats = %+v, want zero forwarded", st)
 	}
 }

@@ -16,6 +16,27 @@ import (
 // Interceptor, so deployments can append their own cross-cutting stages
 // (rate limiting, tracing, auditing) without touching core.
 
+// pipelineStage is one registered interceptor; built-in stages carry an
+// anchor name so UseBefore can position custom stages relative to them.
+type pipelineStage struct {
+	name string
+	ic   Interceptor
+}
+
+// Built-in pipeline anchor names, in registration (outermost-first)
+// order. UseBefore inserts custom interceptors immediately before the
+// named stage.
+const (
+	AnchorRecover  = "recover"
+	AnchorStats    = "stats"
+	AnchorAuth     = "auth"
+	AnchorDeadline = "deadline"
+	AnchorACL      = "acl"
+)
+
+// anchorNames lists the valid UseBefore anchors for error messages.
+const anchorNames = "recover, stats, auth, deadline, acl"
+
 // Use appends interceptors to the dispatch pipeline. Interceptors run in
 // registration order, outermost first; the built-in stages (panic
 // recovery, stats, authentication, deadline, ACL authorization) are
@@ -23,13 +44,49 @@ import (
 // them — after the caller's identity is resolved and authorized, and
 // immediately around the method handler. Consequently they never see
 // calls the ACL stage denies; audit trails for denied attempts belong in
-// the stats counters, not a Use-registered stage. Safe to call at any
-// time; in-flight dispatches keep the pipeline they started with.
+// the stats counters, not a Use-registered stage (or in a stage installed
+// with UseBefore). Safe to call at any time; in-flight dispatches keep
+// the pipeline they started with.
 func (s *Server) Use(ics ...Interceptor) {
 	s.dispatchMu.Lock()
-	s.interceptors = append(s.interceptors, ics...)
+	for _, ic := range ics {
+		s.interceptors = append(s.interceptors, pipelineStage{ic: ic})
+	}
 	s.pipeline = nil // recompose lazily on next dispatch
 	s.dispatchMu.Unlock()
+}
+
+// UseBefore inserts interceptors immediately before the named built-in
+// stage (AnchorRecover, AnchorStats, AnchorAuth, AnchorDeadline,
+// AnchorACL). A stage installed before AnchorAuth runs with the caller's
+// identity still unresolved — the position for IP allowlists, request
+// decryption, or connection throttles that must act ahead of any
+// database work. Multiple interceptors insert in argument order at the
+// same anchor; repeated calls stack outside earlier insertions at that
+// anchor. Unknown anchors are an error.
+func (s *Server) UseBefore(anchor string, ics ...Interceptor) error {
+	if len(ics) == 0 {
+		return nil
+	}
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	idx := -1
+	for i, st := range s.interceptors {
+		if st.name == anchor {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("core: unknown interceptor anchor %q (anchors: %s)", anchor, anchorNames)
+	}
+	ins := make([]pipelineStage, len(ics))
+	for i, ic := range ics {
+		ins[i] = pipelineStage{ic: ic}
+	}
+	s.interceptors = append(s.interceptors[:idx], append(ins, s.interceptors[idx:]...)...)
+	s.pipeline = nil
+	return nil
 }
 
 // composedPipeline returns the interceptor chain folded over the terminal
@@ -46,7 +103,7 @@ func (s *Server) composedPipeline() Handler {
 	if s.pipeline == nil {
 		h := Handler(s.invokeMethod)
 		for i := len(s.interceptors) - 1; i >= 0; i-- {
-			h = s.interceptors[i](h)
+			h = s.interceptors[i].ic(h)
 		}
 		s.pipeline = h
 	}
@@ -164,15 +221,19 @@ func (s *Server) aclInterceptor(next Handler) Handler {
 // matters: recovery outermost (a panic anywhere still yields a fault),
 // stats next (counts denied and unknown-method calls), then identity,
 // deadline, and authorization. Custom interceptors appended later via Use
-// run inside all of these.
+// run inside all of these; UseBefore positions them against the anchor
+// names registered here.
 func (s *Server) registerBuiltinInterceptors() {
-	s.Use(
-		s.recoverInterceptor,
-		s.statsInterceptor,
-		s.authInterceptor,
-		s.deadlineInterceptor,
-		s.aclInterceptor,
+	s.dispatchMu.Lock()
+	s.interceptors = append(s.interceptors,
+		pipelineStage{name: AnchorRecover, ic: s.recoverInterceptor},
+		pipelineStage{name: AnchorStats, ic: s.statsInterceptor},
+		pipelineStage{name: AnchorAuth, ic: s.authInterceptor},
+		pipelineStage{name: AnchorDeadline, ic: s.deadlineInterceptor},
+		pipelineStage{name: AnchorACL, ic: s.aclInterceptor},
 	)
+	s.pipeline = nil
+	s.dispatchMu.Unlock()
 }
 
 // Dispatch runs the full interceptor pipeline and invokes the method. It

@@ -342,3 +342,119 @@ func TestDispatchCancellationFromHTTPRequest(t *testing.T) {
 		t.Error("handler did not observe the HTTP request's cancellation")
 	}
 }
+
+func TestUseBeforeAnchorsPositionStages(t *testing.T) {
+	s := newTestServer(t)
+	var mu sync.Mutex
+	var trace []string
+	mark := func(name string) Interceptor {
+		return func(next Handler) Handler {
+			return func(ctx *Context, p Params) (any, error) {
+				mu.Lock()
+				trace = append(trace, name)
+				mu.Unlock()
+				return next(ctx, p)
+			}
+		}
+	}
+	// A stage anchored before auth must observe the request with the
+	// caller's identity still unresolved, while a Use stage (inside the
+	// pipeline) sees it resolved.
+	var preAuthDN, insideDN string
+	if err := s.UseBefore(AnchorAuth, func(next Handler) Handler {
+		return func(ctx *Context, p Params) (any, error) {
+			mu.Lock()
+			trace = append(trace, "pre-auth")
+			preAuthDN = ctx.DN.String()
+			mu.Unlock()
+			return next(ctx, p)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UseBefore(AnchorRecover, mark("outermost")); err != nil {
+		t.Fatal(err)
+	}
+	s.Use(func(next Handler) Handler {
+		return func(ctx *Context, p Params) (any, error) {
+			mu.Lock()
+			trace = append(trace, "inner")
+			insideDN = ctx.DN.String()
+			mu.Unlock()
+			return next(ctx, p)
+		}
+	})
+
+	call(t, s, xmlrpc.New(), sessionFor(t, s, userDN), "system.whoami")
+	want := []string{"outermost", "pre-auth", "inner"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	if preAuthDN != "" {
+		t.Errorf("pre-auth stage saw DN %q, want unresolved", preAuthDN)
+	}
+	if insideDN != userDN.String() {
+		t.Errorf("inner stage saw DN %q, want %q", insideDN, userDN)
+	}
+}
+
+func TestUseBeforeUnknownAnchor(t *testing.T) {
+	s := newTestServer(t)
+	err := s.UseBefore("nonsense", func(next Handler) Handler { return next })
+	if err == nil || !strings.Contains(err.Error(), "unknown interceptor anchor") {
+		t.Fatalf("err = %v, want unknown-anchor error", err)
+	}
+	// No interceptors: no error, no pipeline invalidation needed.
+	if err := s.UseBefore("nonsense"); err != nil {
+		t.Fatalf("empty UseBefore: %v", err)
+	}
+}
+
+func TestUseBeforeAuthCanRejectBeforeIdentity(t *testing.T) {
+	// The motivating deployment case: an IP allowlist ahead of identity
+	// resolution. Requests from outside the allowlist fault without any
+	// session lookup having happened.
+	s := newTestServer(t)
+	if err := s.UseBefore(AnchorAuth, func(next Handler) Handler {
+		return func(ctx *Context, p Params) (any, error) {
+			if !strings.HasPrefix(ctx.RemoteAddr, "10.") {
+				return nil, &rpc.Fault{Code: rpc.CodeAccessDenied, Message: "address not allowed"}
+			}
+			return next(ctx, p)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(remote string) *rpc.Response {
+		codec := xmlrpc.New()
+		var buf strings.Builder
+		if err := codec.EncodeRequest(&buf, &rpc.Request{Method: "system.ping"}); err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/rpc", strings.NewReader(buf.String()))
+		req.Header.Set("Content-Type", "text/xml")
+		req.RemoteAddr = remote
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		resp, err := codec.DecodeResponse(strings.NewReader(w.Body.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	if resp := post("10.0.0.7:1234"); resp.Fault != nil {
+		t.Fatalf("allowed address faulted: %v", resp.Fault)
+	}
+	resp := post("203.0.113.9:1234")
+	if resp.Fault == nil || resp.Fault.Code != rpc.CodeAccessDenied {
+		t.Fatalf("blocked address = %+v, want access-denied fault", resp)
+	}
+}

@@ -91,10 +91,11 @@ type Server struct {
 	stats    Stats
 	logger   *log.Logger
 
-	// dispatch pipeline: registered interceptors and the cached
-	// composition (folded outermost-first over the terminal handler).
+	// dispatch pipeline: registered stages (built-ins carry anchor names,
+	// custom interceptors are unnamed) and the cached composition (folded
+	// outermost-first over the terminal handler).
 	dispatchMu   sync.RWMutex
-	interceptors []Interceptor
+	interceptors []pipelineStage
 	pipeline     Handler
 
 	mux      *http.ServeMux

@@ -359,6 +359,44 @@ func (s *Service) Find(pattern string) ([]Entry, error) {
 	return out, nil
 }
 
+// PeersFor returns the live cache entries advertising the named service
+// on servers other than excludeServer — the typed peer lookup the
+// federated meta-scheduler binds to ("within a global distributed service
+// environment services will appear, disappear, and be moved"; peers are
+// whatever the discovery network currently knows). Entries carry their
+// TTL expiry, so callers can drop peers whose records were not refreshed.
+func (s *Service) PeersFor(service, excludeServer string) []Entry {
+	entries, err := s.Find("*/" + service)
+	if err != nil {
+		return nil
+	}
+	out := entries[:0]
+	for _, e := range entries {
+		if e.Server == excludeServer {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// KnowsURL reports whether any live entry in the discovery cache
+// advertises the given endpoint URL. The proxy service uses it to gate
+// delegation callbacks: only servers the discovery network vouches for
+// may act as delegation issuers.
+func (s *Service) KnowsURL(url string) bool {
+	entries, err := s.Find("*")
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if e.URL == url {
+			return true
+		}
+	}
+	return false
+}
+
 // globMatch is path.Match with '/' treated as an ordinary character so a
 // single '*' can span server and service names.
 func globMatch(pattern, name string) (bool, error) {

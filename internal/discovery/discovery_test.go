@@ -304,3 +304,43 @@ func TestAggregatorSeedsFromSnapshot(t *testing.T) {
 		t.Error("snapshot seeding failed")
 	}
 }
+
+func TestPeersForAndKnowsURL(t *testing.T) {
+	srv, err := core.NewServer(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	svc := New(srv, "self", nil)
+	seed := func(server, service, url string, ttl time.Duration) {
+		e := Entry{Server: server, Service: service, URL: url, Expires: time.Now().Add(ttl)}
+		if err := srv.Store().PutJSON(bucket, e.Key(), &e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed("self", "job", "http://self:1/rpc", time.Minute)
+	seed("peer1", "job", "http://peer1:1/rpc", time.Minute)
+	seed("peer2", "job", "http://peer2:1/rpc", time.Minute)
+	seed("peer2", "file", "http://peer2:1/rpc", time.Minute)
+	seed("gone", "job", "http://gone:1/rpc", -time.Second) // expired
+
+	peers := svc.PeersFor("job", "self")
+	if len(peers) != 2 {
+		t.Fatalf("PeersFor = %v, want peer1+peer2", peers)
+	}
+	for _, p := range peers {
+		if p.Server == "self" || p.Server == "gone" || p.Service != "job" {
+			t.Errorf("unexpected peer %+v", p)
+		}
+	}
+
+	if !svc.KnowsURL("http://peer1:1/rpc") {
+		t.Error("KnowsURL must see live peer1")
+	}
+	if svc.KnowsURL("http://gone:1/rpc") {
+		t.Error("KnowsURL must not vouch for expired entries")
+	}
+	if svc.KnowsURL("http://stranger:1/rpc") {
+		t.Error("KnowsURL must not vouch for unknown URLs")
+	}
+}

@@ -21,10 +21,12 @@ package jobsvc
 
 import (
 	"container/heap"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -39,10 +41,15 @@ import (
 // submission order.
 const bucket = "jobs"
 
-// Job lifecycle states.
+// Job lifecycle states. StateRemote marks a job claimed by the federated
+// meta-scheduler for execution on a peer server: it is out of the local
+// queue, mirrored locally as a shadow record, and transitions to a
+// terminal state when the peer's result is pulled back (or returns to
+// StateQueued if the peer dies mid-flight).
 const (
 	StateQueued    = "queued"
 	StateRunning   = "running"
+	StateRemote    = "remote"
 	StateDone      = "done"
 	StateFailed    = "failed"
 	StateCancelled = "cancelled"
@@ -76,6 +83,16 @@ type Job struct {
 	// Cancel marks a cancellation request observed while running; the
 	// worker honors it when the in-flight attempt returns.
 	Cancel bool `json:"cancel,omitempty"`
+
+	// Remote execution binding (federation). Peer names the executing
+	// server, RemoteID the job's id there; PeerURL and PeerSession let
+	// the submitting server proxy status calls and pull back results.
+	// PeerSession is a delegated session for the job's own owner and is
+	// never exposed through the RPC surface.
+	Peer        string `json:"peer,omitempty"`
+	PeerURL     string `json:"peer_url,omitempty"`
+	RemoteID    string `json:"remote_id,omitempty"`
+	PeerSession string `json:"peer_session,omitempty"`
 }
 
 // ExecResult is what an Executor captured from one job attempt.
@@ -121,6 +138,19 @@ type Config struct {
 	OutputLimit int
 	// MetricsInterval is the gauge publication period (default 2s).
 	MetricsInterval time.Duration
+	// MaxQueuedPerOwner bounds the number of one owner's jobs sitting in
+	// the queue, so a single tenant cannot fill MaxQueue and wedge the
+	// federation pressure signal for everyone else. Default (0) is
+	// MaxQueue/4; negative = unlimited.
+	MaxQueuedPerOwner int
+	// AgeInterval enables priority aging: every AgeInterval a queued
+	// job's effective priority rises by AgeStep, so long-queued
+	// low-priority work is no longer starved by a stream of high-priority
+	// submissions. Zero disables aging (strict priority).
+	AgeInterval time.Duration
+	// AgeStep is the priority increment per elapsed AgeInterval
+	// (default 1).
+	AgeStep int
 }
 
 func (c *Config) fill() {
@@ -144,16 +174,27 @@ func (c *Config) fill() {
 	if c.MetricsInterval <= 0 {
 		c.MetricsInterval = 2 * time.Second
 	}
+	if c.MaxQueuedPerOwner == 0 {
+		c.MaxQueuedPerOwner = c.MaxQueue / 4
+	} else if c.MaxQueuedPerOwner < 0 {
+		c.MaxQueuedPerOwner = 0 // unlimited
+	}
+	if c.AgeStep <= 0 {
+		c.AgeStep = 1
+	}
 }
 
 // serviceDN identifies the scheduler as the sender of job notifications.
 var serviceDN = pki.MustParseDN("/O=clarens/OU=Services/CN=job scheduler")
 
-// queueItem orders the heap: higher priority first, FIFO within a
-// priority level.
+// queueItem orders the heap: higher effective priority first, FIFO within
+// a priority level. priority starts at the job's base priority and, when
+// aging is enabled, is periodically recomputed as
+// base + AgeStep*floor(waited/AgeInterval) so queued work rises over time.
 type queueItem struct {
 	id       string
-	priority int
+	base     int
+	priority int   // effective priority (== base when aging is off)
 	seq      int64 // submission UnixNano
 }
 
@@ -177,6 +218,19 @@ func (h *jobHeap) Pop() any {
 	return it
 }
 
+// RemoteController proxies operations on jobs executing on a peer server.
+// The federated meta-scheduler installs one; without it, remote-state
+// jobs only reflect the local shadow record.
+type RemoteController interface {
+	// Refresh returns a live snapshot of the remote job — state and, once
+	// terminal, outputs — merged into the local record's shape. An error
+	// means the peer could not be reached; callers fall back to the
+	// local mirror.
+	Refresh(j *Job) (*Job, error)
+	// CancelRemote asks the executing peer to cancel the job.
+	CancelRemote(j *Job) (bool, error)
+}
+
 // Service is the job scheduler and its RPC surface.
 type Service struct {
 	srv     *core.Server
@@ -190,11 +244,14 @@ type Service struct {
 	cond         *sync.Cond
 	queue        jobHeap
 	ownerRunning map[string]int
+	ownerQueued  map[string]int
 	runningCount int
+	remoteCount  int
 	doneCount    uint64
 	failedCount  uint64
 	cancelCount  uint64
 	stopped      bool
+	remote       RemoteController
 
 	started time.Time
 	wg      sync.WaitGroup
@@ -217,6 +274,7 @@ func New(srv *core.Server, cfg Config, exec Executor, notify Notifier, metrics M
 		metrics:      metrics,
 		name:         serverName,
 		ownerRunning: make(map[string]int),
+		ownerQueued:  make(map[string]int),
 		started:      time.Now(),
 		stopCh:       make(chan struct{}),
 	}
@@ -232,7 +290,78 @@ func New(srv *core.Server, cfg Config, exec Executor, notify Notifier, metrics M
 		s.wg.Add(1)
 		go s.metricsLoop()
 	}
+	if cfg.AgeInterval > 0 {
+		s.wg.Add(1)
+		go s.ageLoop()
+	}
 	return s, nil
+}
+
+// SetRemoteController installs the proxy for jobs executing on peers.
+func (s *Service) SetRemoteController(rc RemoteController) {
+	s.mu.Lock()
+	s.remote = rc
+	s.mu.Unlock()
+}
+
+func (s *Service) remoteController() RemoteController {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remote
+}
+
+// pushQueue re-enters j into the priority heap and charges the owner's
+// queued quota. Callers hold s.mu. The effective priority is seeded with
+// the age already accrued since submission, so a requeued retry does not
+// restart its aging clock.
+func (s *Service) pushQueue(j *Job) {
+	it := &queueItem{id: j.ID, base: j.Priority, priority: j.Priority, seq: j.Submitted.UnixNano()}
+	if s.cfg.AgeInterval > 0 {
+		if waited := time.Since(j.Submitted); waited > 0 {
+			it.priority = it.base + s.cfg.AgeStep*int(waited/s.cfg.AgeInterval)
+		}
+	}
+	heap.Push(&s.queue, it)
+	s.ownerQueued[j.Owner]++
+}
+
+// decQueued releases one unit of the owner's queued quota. Callers hold
+// s.mu.
+func (s *Service) decQueued(owner string) {
+	if n := s.ownerQueued[owner] - 1; n > 0 {
+		s.ownerQueued[owner] = n
+	} else {
+		delete(s.ownerQueued, owner)
+	}
+}
+
+// ageLoop periodically recomputes effective priorities so long-queued
+// low-priority jobs rise instead of starving (ROADMAP: scheduler aging).
+func (s *Service) ageLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.AgeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			now := time.Now()
+			changed := false
+			for _, it := range s.queue {
+				eff := it.base + s.cfg.AgeStep*int(now.Sub(time.Unix(0, it.seq))/s.cfg.AgeInterval)
+				if eff != it.priority {
+					it.priority = eff
+					changed = true
+				}
+			}
+			if changed {
+				heap.Init(&s.queue)
+			}
+			s.mu.Unlock()
+		}
+	}
 }
 
 // recover rebuilds the in-memory queue from the persisted job table.
@@ -247,7 +376,13 @@ func (s *Service) recover() error {
 		}
 		switch j.State {
 		case StateQueued:
-			heap.Push(&s.queue, &queueItem{id: j.ID, priority: j.Priority, seq: j.Submitted.UnixNano()})
+			s.pushQueue(&j)
+		case StateRemote:
+			// Forwarded to a peer before the restart. The shadow record is
+			// kept as-is: a running meta-scheduler re-adopts it on its next
+			// watch cycle; assemblies without federation call
+			// RequeueAllRemote to pull the work back into the local queue.
+			s.remoteCount++
 		case StateRunning:
 			if j.Cancel {
 				j.State = StateCancelled
@@ -264,7 +399,7 @@ func (s *Service) recover() error {
 				if err := s.put(&j); err != nil {
 					return err
 				}
-				heap.Push(&s.queue, &queueItem{id: j.ID, priority: j.Priority, seq: j.Submitted.UnixNano()})
+				s.pushQueue(&j)
 			} else {
 				j.State = StateFailed
 				j.Finished = time.Now()
@@ -352,6 +487,13 @@ func (s *Service) Submit(owner pki.DN, command string, priority, maxRetries int)
 		s.mu.Unlock()
 		return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: "job: scheduler stopped"}
 	}
+	// Per-owner quota first: one tenant hitting its share is refused with
+	// a quota fault while the queue stays open for everyone else (and the
+	// queue-depth pressure signal stays meaningful for the federation).
+	if q := s.cfg.MaxQueuedPerOwner; q > 0 && s.ownerQueued[j.Owner] >= q {
+		s.mu.Unlock()
+		return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: fmt.Sprintf("job: owner queue quota reached (%d queued) for %s", q, j.Owner)}
+	}
 	if len(s.queue) >= s.cfg.MaxQueue {
 		s.mu.Unlock()
 		return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: fmt.Sprintf("job: queue full (%d jobs)", s.cfg.MaxQueue)}
@@ -360,44 +502,68 @@ func (s *Service) Submit(owner pki.DN, command string, priority, maxRetries int)
 		s.mu.Unlock()
 		return nil, err
 	}
-	heap.Push(&s.queue, &queueItem{id: j.ID, priority: j.Priority, seq: now.UnixNano()})
+	s.pushQueue(j)
 	s.cond.Signal()
 	s.mu.Unlock()
 	return j, nil
 }
 
 // Cancel stops a job: queued jobs become cancelled immediately; running
-// jobs are flagged and transition when the in-flight attempt returns. The
-// bool reports whether anything changed.
+// jobs are flagged and transition when the in-flight attempt returns;
+// remote jobs are flagged locally and the cancellation is relayed to the
+// executing peer best-effort (if the peer is unreachable, the flag is
+// honored when the job falls back to local execution). The bool reports
+// whether anything changed.
 func (s *Service) Cancel(id string) (bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.Get(id)
 	if !ok {
+		s.mu.Unlock()
 		return false, &rpc.Fault{Code: rpc.CodeApplication, Message: fmt.Sprintf("job: no such job %q", id)}
 	}
 	switch j.State {
 	case StateQueued:
 		// Drop the heap entry eagerly so it stops counting against
-		// MaxQueue and the queue-depth gauge.
+		// MaxQueue, the owner's quota, and the queue-depth gauge.
 		for i, it := range s.queue {
 			if it.id == j.ID {
 				heap.Remove(&s.queue, i)
 				break
 			}
 		}
+		s.decQueued(j.Owner)
 		j.State = StateCancelled
 		j.Finished = time.Now()
 		s.cancelCount++
 		if err := s.put(j); err != nil {
+			s.mu.Unlock()
 			return false, err
 		}
 		s.notifyDone(j)
+		s.mu.Unlock()
 		return true, nil
 	case StateRunning:
 		j.Cancel = true
-		return true, s.put(j)
+		err := s.put(j)
+		s.mu.Unlock()
+		return true, err
+	case StateRemote:
+		j.Cancel = true
+		err := s.put(j)
+		rc := s.remote
+		s.mu.Unlock()
+		if err != nil {
+			return false, err
+		}
+		if rc != nil && j.RemoteID != "" {
+			// Network call outside the lock; failures are fine — the watch
+			// loop either pulls back a cancelled result or requeues the job
+			// locally, where the flag cancels it.
+			rc.CancelRemote(j)
+		}
+		return true, nil
 	default:
+		s.mu.Unlock()
 		return false, nil
 	}
 }
@@ -423,23 +589,222 @@ func (s *Service) List(owner, state string) ([]*Job, error) {
 	return out, err
 }
 
-// Wait blocks until the job reaches a terminal state or the timeout
-// elapses, returning the final record.
-func (s *Service) Wait(id string, timeout time.Duration) (*Job, error) {
+// waitTerminal polls the job table until the job is terminal, ctx is
+// done, or timeout elapses, returning the last record seen. Callers
+// decide how to treat a still-non-terminal result.
+func (s *Service) waitTerminal(ctx context.Context, id string, timeout time.Duration) (*Job, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		j, ok := s.Get(id)
 		if !ok {
 			return nil, fmt.Errorf("jobsvc: no such job %q", id)
 		}
-		if Terminal(j.State) {
+		if Terminal(j.State) || time.Now().After(deadline) {
 			return j, nil
 		}
-		if time.Now().After(deadline) {
-			return j, fmt.Errorf("jobsvc: job %s still %s after %v", id, j.State, timeout)
+		select {
+		case <-ctx.Done():
+			return j, nil
+		case <-time.After(5 * time.Millisecond):
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// Wait blocks until the job reaches a terminal state or the timeout
+// elapses, returning the final record.
+func (s *Service) Wait(id string, timeout time.Duration) (*Job, error) {
+	j, err := s.waitTerminal(context.Background(), id, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if !Terminal(j.State) {
+		return j, fmt.Errorf("jobsvc: job %s still %s after %v", id, j.State, timeout)
+	}
+	return j, nil
+}
+
+// --- federation surface: the meta-scheduler claims queued work for
+// remote execution and feeds results (or failures) back ---
+
+// ClaimForward removes up to max queued jobs from the local queue — the
+// jobs that would run last under the current effective priority order,
+// i.e. the work farthest from a local worker — and marks them
+// StateRemote, bound to the named peer. Claimed jobs stop counting
+// against queue pressure and their owners' queued quotas. The caller is
+// expected to follow up with MarkForwarded (submission accepted) or
+// RequeueLocal (forwarding failed) for every returned job.
+func (s *Service) ClaimForward(max int, peer string) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if max <= 0 || len(s.queue) == 0 || s.stopped {
+		return nil
+	}
+	// Order a scratch view of the heap by reverse run order: lowest
+	// effective priority first, newest submission first within a level.
+	scratch := append([]*queueItem(nil), s.queue...)
+	sort.Slice(scratch, func(i, j int) bool {
+		if scratch[i].priority != scratch[j].priority {
+			return scratch[i].priority < scratch[j].priority
+		}
+		return scratch[i].seq > scratch[j].seq
+	})
+	claimed := make(map[string]bool)
+	var out []*Job
+	for _, it := range scratch {
+		if len(out) >= max {
+			break
+		}
+		j, ok := s.Get(it.id)
+		if !ok || j.State != StateQueued {
+			claimed[it.id] = true // stale entry: drop it from the heap too
+			continue
+		}
+		j.State = StateRemote
+		j.Peer = peer
+		if err := s.put(j); err != nil {
+			s.srv.Logger().Printf("jobsvc: persist remote claim of %s: %v", j.ID, err)
+			continue
+		}
+		s.decQueued(j.Owner)
+		s.remoteCount++
+		claimed[it.id] = true
+		out = append(out, j)
+	}
+	if len(claimed) > 0 {
+		kept := s.queue[:0]
+		for _, it := range s.queue {
+			if !claimed[it.id] {
+				kept = append(kept, it)
+			}
+		}
+		for i := len(kept); i < len(s.queue); i++ {
+			s.queue[i] = nil
+		}
+		s.queue = kept
+		heap.Init(&s.queue)
+	}
+	return out
+}
+
+// MarkForwarded records the remote binding once a peer accepted the job:
+// the peer's RPC URL, the job id it assigned, and the delegated session
+// used to submit (which subsequent status/output/cancel proxying reuses).
+func (s *Service) MarkForwarded(id, peerURL, remoteID, session string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.Get(id)
+	if !ok {
+		return fmt.Errorf("jobsvc: no such job %q", id)
+	}
+	if j.State != StateRemote {
+		return fmt.Errorf("jobsvc: job %s is %s, not remote", id, j.State)
+	}
+	j.PeerURL, j.RemoteID, j.PeerSession = peerURL, remoteID, session
+	return s.put(j)
+}
+
+// RequeueLocal pulls a remote job back into the local queue — the
+// fallback when a peer refuses the submission, rejects the delegation,
+// or dies mid-flight. A cancellation requested while the job was remote
+// is honored here instead.
+func (s *Service) RequeueLocal(id, reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.Get(id)
+	if !ok {
+		return fmt.Errorf("jobsvc: no such job %q", id)
+	}
+	if j.State != StateRemote {
+		return nil // completed or already requeued: nothing to undo
+	}
+	s.remoteCount--
+	j.Peer, j.PeerURL, j.RemoteID, j.PeerSession = "", "", "", ""
+	if j.Cancel {
+		j.State = StateCancelled
+		j.Finished = time.Now()
+		j.Error = reason
+		if err := s.put(j); err != nil {
+			return err
+		}
+		s.cancelCount++
+		s.notifyDone(j)
+		return nil
+	}
+	j.State = StateQueued
+	j.Error = reason
+	if err := s.put(j); err != nil {
+		return err
+	}
+	s.pushQueue(j)
+	s.cond.Signal()
+	return nil
+}
+
+// CompleteRemote finalizes a remote job with the result pulled back from
+// the executing peer. state must be a terminal state as reported by the
+// peer's job.status. A cancellation acknowledged while the job was
+// remote wins over a successful remote completion, mirroring how finish
+// resolves a cancel flag raced by a local attempt.
+func (s *Service) CompleteRemote(id, state string, res ExecResult, errMsg string) error {
+	if !Terminal(state) {
+		return fmt.Errorf("jobsvc: CompleteRemote with non-terminal state %q", state)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.Get(id)
+	if !ok {
+		return fmt.Errorf("jobsvc: no such job %q", id)
+	}
+	if j.State != StateRemote {
+		return fmt.Errorf("jobsvc: job %s is %s, not remote", id, j.State)
+	}
+	if j.Cancel && state != StateCancelled {
+		state = StateCancelled
+		if errMsg == "" {
+			errMsg = fmt.Sprintf("cancelled; peer %s had already completed the attempt", j.Peer)
+		}
+	}
+	s.remoteCount--
+	j.State = state
+	j.Finished = time.Now()
+	j.Stdout = truncated(res.Stdout, s.cfg.OutputLimit)
+	j.Stderr = truncated(res.Stderr, s.cfg.OutputLimit)
+	j.ExitCode = res.ExitCode
+	j.LocalUser = res.LocalUser
+	j.Error = errMsg
+	switch state {
+	case StateDone:
+		s.doneCount++
+	case StateFailed:
+		s.failedCount++
+	case StateCancelled:
+		s.cancelCount++
+	}
+	if err := s.put(j); err != nil {
+		return err
+	}
+	s.notifyDone(j)
+	return nil
+}
+
+// RemoteJobs returns the jobs currently bound to peers (shadow records
+// in StateRemote), for the meta-scheduler's watch loop.
+func (s *Service) RemoteJobs() []*Job {
+	jobs, _ := s.List("", StateRemote)
+	return jobs
+}
+
+// RequeueAllRemote returns every remote job to the local queue; called at
+// startup by assemblies that recovered remote shadow records but run with
+// federation disabled, so no forwarded work is stranded.
+func (s *Service) RequeueAllRemote() int {
+	n := 0
+	for _, j := range s.RemoteJobs() {
+		if s.RequeueLocal(j.ID, "federation disabled; re-queued locally") == nil {
+			n++
+		}
+	}
+	return n
 }
 
 // next blocks until a runnable job is available, claims it (marking it
@@ -465,6 +830,9 @@ func (s *Service) next() *Job {
 				continue
 			}
 			picked = j
+			// The job left the queue; its owner's queued quota frees now,
+			// whatever happens to the claim below.
+			s.decQueued(j.Owner)
 			break
 		}
 		for _, it := range skipped {
@@ -478,7 +846,8 @@ func (s *Service) next() *Job {
 				// Persisting the claim failed (store closed mid-shutdown,
 				// or a transient disk error): push the job back so it is
 				// not stranded, and park rather than kill the worker.
-				heap.Push(&s.queue, &queueItem{id: picked.ID, priority: picked.Priority, seq: picked.Submitted.UnixNano()})
+				picked.State = StateQueued
+				s.pushQueue(picked)
 				if s.stopped {
 					return nil
 				}
@@ -555,7 +924,7 @@ func (s *Service) finish(j *Job, res ExecResult, execErr error) {
 		s.doneCount++
 	case j.Attempts <= j.MaxRetries:
 		j.State = StateQueued
-		heap.Push(&s.queue, &queueItem{id: j.ID, priority: j.Priority, seq: j.Submitted.UnixNano()})
+		s.pushQueue(j)
 	default:
 		j.State = StateFailed
 		j.Finished = time.Now()
@@ -599,6 +968,7 @@ func (s *Service) notifyDone(j *Job) {
 type Snapshot struct {
 	Queued    int
 	Running   int
+	Remote    int // jobs forwarded to peers, awaiting pull-back
 	Done      uint64
 	Failed    uint64
 	Cancelled uint64
@@ -626,6 +996,7 @@ func (s *Service) Stats() Snapshot {
 	return Snapshot{
 		Queued:    len(s.queue),
 		Running:   s.runningCount,
+		Remote:    s.remoteCount,
 		Done:      s.doneCount,
 		Failed:    s.failedCount,
 		Cancelled: s.cancelCount,
@@ -659,6 +1030,7 @@ func (s *Service) publishGauges() {
 		Params: map[string]float64{
 			"queued":     float64(sn.Queued),
 			"running":    float64(sn.Running),
+			"remote":     float64(sn.Remote),
 			"done":       float64(sn.Done),
 			"failed":     float64(sn.Failed),
 			"cancelled":  float64(sn.Cancelled),
@@ -697,20 +1069,27 @@ func (s *Service) Methods() []core.Method {
 		},
 		{
 			Name:      "job.cancel",
-			Help:      "Cancel a job: queued jobs stop immediately, running jobs when the current attempt returns. Returns whether anything changed.",
+			Help:      "Cancel a job: queued jobs stop immediately, running jobs when the current attempt returns, remote jobs on the executing peer. Returns whether anything changed.",
 			Signature: []string{"boolean string"},
 			Handler:   s.rpcCancel,
 		},
 		{
 			Name:      "job.output",
-			Help:      "Return {stdout, stderr, exit_code, state} for a job (owner or server admin only).",
+			Help:      "Return {stdout, stderr, exit_code, state} for a job (owner or server admin only). Jobs executing on a federation peer are proxied transparently.",
 			Signature: []string{"struct string"},
 			Handler:   s.rpcOutput,
 		},
 		{
+			Name:      "job.wait",
+			Help:      "Block until a job reaches a terminal state or timeout_s elapses (default 30, max 600); returns the status record: wait(id, [timeout_s]).",
+			Signature: []string{"struct string int"},
+			Handler:   s.rpcWait,
+		},
+		{
 			Name:      "job.stats",
-			Help:      "Scheduler counters: queue depth, running, terminal counts, workers, throughput.",
+			Help:      "Scheduler counters: queue depth, running, remote, terminal counts, workers, throughput. Public so federation peers can poll load.",
 			Signature: []string{"struct"},
+			Public:    true,
 			Handler:   s.rpcStats,
 		},
 	}
@@ -758,7 +1137,31 @@ func jobStruct(j *Job) map[string]any {
 	if j.LocalUser != "" {
 		m["local_user"] = j.LocalUser
 	}
+	if j.Peer != "" {
+		m["peer"] = j.Peer
+	}
+	if j.RemoteID != "" {
+		m["remote_id"] = j.RemoteID
+	}
 	return m
+}
+
+// liveRemote returns the freshest view of j: for remote jobs with an
+// installed controller, a live snapshot from the executing peer; the
+// local shadow record otherwise (including when the peer is unreachable
+// — the watch loop handles fallback, the read path must not block on it).
+func (s *Service) liveRemote(j *Job) *Job {
+	if j.State != StateRemote || j.RemoteID == "" {
+		return j
+	}
+	rc := s.remoteController()
+	if rc == nil {
+		return j
+	}
+	if live, err := rc.Refresh(j); err == nil && live != nil {
+		return live
+	}
+	return j
 }
 
 func (s *Service) rpcSubmit(ctx *core.Context, p core.Params) (any, error) {
@@ -793,7 +1196,32 @@ func (s *Service) rpcStatus(ctx *core.Context, p core.Params) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return jobStruct(j), nil
+	return jobStruct(s.liveRemote(j)), nil
+}
+
+func (s *Service) rpcWait(ctx *core.Context, p core.Params) (any, error) {
+	id, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	timeoutS, err := p.OptInt(1, 30)
+	if err != nil {
+		return nil, err
+	}
+	if timeoutS < 1 {
+		timeoutS = 1
+	}
+	if timeoutS > 600 {
+		timeoutS = 600
+	}
+	if _, err := s.authorized(ctx, id); err != nil {
+		return nil, err
+	}
+	j, err := s.waitTerminal(ctx, id, time.Duration(timeoutS)*time.Second)
+	if err != nil {
+		return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: fmt.Sprintf("job: job %q vanished", id)}
+	}
+	return jobStruct(s.liveRemote(j)), nil
 }
 
 func (s *Service) rpcList(ctx *core.Context, p core.Params) (any, error) {
@@ -839,6 +1267,7 @@ func (s *Service) rpcOutput(ctx *core.Context, p core.Params) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	j = s.liveRemote(j)
 	return map[string]any{
 		"stdout":    j.Stdout,
 		"stderr":    j.Stderr,
@@ -848,13 +1277,11 @@ func (s *Service) rpcOutput(ctx *core.Context, p core.Params) (any, error) {
 }
 
 func (s *Service) rpcStats(ctx *core.Context, p core.Params) (any, error) {
-	if err := ctx.RequireAuthenticated(); err != nil {
-		return nil, err
-	}
 	sn := s.Stats()
 	return map[string]any{
 		"queued":           sn.Queued,
 		"running":          sn.Running,
+		"remote":           sn.Remote,
 		"done":             int(sn.Done),
 		"failed":           int(sn.Failed),
 		"cancelled":        int(sn.Cancelled),

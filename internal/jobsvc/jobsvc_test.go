@@ -545,3 +545,223 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+func TestPriorityAgingPromotesStarvedJobs(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gateExec{gate: make(chan struct{})}
+	s := newService(t, srv, Config{Workers: 1, AgeInterval: 10 * time.Millisecond, AgeStep: 2}, g.exec)
+
+	// Occupy the worker, then queue a low-priority job well before a
+	// higher-priority one. Under strict priority "high" always wins; with
+	// aging the old low-priority job has accrued enough effective
+	// priority to start first.
+	hold, err := s.Submit(alice, "hold", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	if _, err := s.Submit(alice, "old-low", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(120 * time.Millisecond) // ~12 intervals: +24 effective
+	if _, err := s.Submit(alice, "young-high", 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Let the ager observe the gap before releasing the worker.
+	time.Sleep(30 * time.Millisecond)
+	close(g.gate)
+	if _, err := s.Wait(hold.ID, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(g.order()) == 3 })
+	if order := g.order(); order[1] != "old-low" {
+		t.Errorf("start order = %v, want the aged job ahead of young-high", order)
+	}
+}
+
+func TestNoAgingKeepsStrictPriority(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gateExec{gate: make(chan struct{})}
+	s := newService(t, srv, Config{Workers: 1}, g.exec) // AgeInterval 0: strict
+
+	hold, _ := s.Submit(alice, "hold", 0, 0)
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	s.Submit(alice, "old-low", 0, 0)
+	time.Sleep(50 * time.Millisecond)
+	s.Submit(alice, "young-high", 10, 0)
+	close(g.gate)
+	s.Wait(hold.ID, 5*time.Second)
+	waitFor(t, func() bool { return len(g.order()) == 3 })
+	if order := g.order(); order[1] != "young-high" {
+		t.Errorf("start order = %v, want strict priority without aging", order)
+	}
+}
+
+func TestPerOwnerQueueQuota(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gateExec{gate: make(chan struct{})}
+	s := newService(t, srv, Config{Workers: 1, MaxQueuedPerOwner: 2}, g.exec)
+
+	hold, _ := s.Submit(alice, "hold", 0, 0)
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	// Alice may queue two more; the third is refused by her quota...
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(alice, fmt.Sprintf("echo a%d", i), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit(alice, "echo a-over", 0, 0); err == nil {
+		t.Fatal("alice over queued quota must be refused")
+	} else if !strings.Contains(err.Error(), "owner queue quota") {
+		t.Errorf("err = %v", err)
+	}
+	// ...while the queue stays open for bob.
+	bj, err := s.Submit(bob, "echo b0", 0, 0)
+	if err != nil {
+		t.Fatalf("bob must not be wedged by alice's quota: %v", err)
+	}
+	close(g.gate)
+	if _, err := s.Wait(bj.ID, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s.Wait(hold.ID, 5*time.Second)
+	// Drained: alice's quota freed.
+	waitFor(t, func() bool { return s.Stats().Queued == 0 })
+	if _, err := s.Submit(alice, "echo again", 0, 0); err != nil {
+		t.Errorf("quota must free as jobs drain: %v", err)
+	}
+}
+
+func TestClaimForwardTakesBackOfQueue(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gateExec{gate: make(chan struct{})}
+	s := newService(t, srv, Config{Workers: 1}, g.exec)
+	defer close(g.gate)
+
+	hold, _ := s.Submit(alice, "hold", 0, 0)
+	_ = hold
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	jHigh, _ := s.Submit(alice, "echo high", 9, 0)
+	jLow, _ := s.Submit(alice, "echo low", 1, 0)
+
+	claimed := s.ClaimForward(1, "peer-x")
+	if len(claimed) != 1 || claimed[0].ID != jLow.ID {
+		t.Fatalf("claimed = %+v, want the low-priority job (farthest from running)", claimed)
+	}
+	if claimed[0].State != StateRemote || claimed[0].Peer != "peer-x" {
+		t.Errorf("claimed job = %+v", claimed[0])
+	}
+	if sn := s.Stats(); sn.Queued != 1 || sn.Remote != 1 {
+		t.Errorf("stats = %+v", sn)
+	}
+	// The binding round trip.
+	if err := s.MarkForwarded(jLow.ID, "http://peer-x/rpc", "rid-1", "tok"); err != nil {
+		t.Fatal(err)
+	}
+	remote := s.RemoteJobs()
+	if len(remote) != 1 || remote[0].RemoteID != "rid-1" || remote[0].PeerSession != "tok" {
+		t.Fatalf("remote = %+v", remote)
+	}
+	// Pull the result back; counters and record finalize.
+	if err := s.CompleteRemote(jLow.ID, StateDone, ExecResult{Stdout: "from-peer", ExitCode: 0, LocalUser: "joe"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := s.Get(jLow.ID)
+	if j.State != StateDone || j.Stdout != "from-peer" || j.LocalUser != "joe" {
+		t.Errorf("finalized = %+v", j)
+	}
+	if sn := s.Stats(); sn.Remote != 0 || sn.Done != 1 {
+		t.Errorf("stats = %+v", sn)
+	}
+	_ = jHigh
+}
+
+func TestRequeueLocalFallsBackAndHonorsCancel(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gateExec{gate: make(chan struct{})}
+	s := newService(t, srv, Config{Workers: 1}, g.exec)
+
+	hold, _ := s.Submit(alice, "hold", 0, 0)
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	j1, _ := s.Submit(alice, "echo fallback", 0, 0)
+	j2, _ := s.Submit(alice, "echo cancelme", 0, 0)
+	claimed := s.ClaimForward(2, "peer-x")
+	if len(claimed) != 2 {
+		t.Fatalf("claimed = %+v", claimed)
+	}
+	// A cancel requested while remote is honored at requeue time.
+	if ok, err := s.Cancel(j2.ID); err != nil || !ok {
+		t.Fatalf("cancel remote: %v %v", ok, err)
+	}
+	if err := s.RequeueLocal(j1.ID, "peer died"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RequeueLocal(j2.ID, "peer died"); err != nil {
+		t.Fatal(err)
+	}
+	jc, _ := s.Get(j2.ID)
+	if jc.State != StateCancelled {
+		t.Errorf("cancelled-while-remote job = %+v", jc)
+	}
+	close(g.gate)
+	got, err := s.Wait(j1.ID, 5*time.Second)
+	if err != nil || got.State != StateDone {
+		t.Fatalf("fallback job = %+v, %v", got, err)
+	}
+	if got.Peer != "" || got.RemoteID != "" || got.PeerSession != "" {
+		t.Errorf("fallback job kept remote binding: %+v", got)
+	}
+	s.Wait(hold.ID, 5*time.Second)
+}
+
+func TestRequeueAllRemote(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gateExec{gate: make(chan struct{})}
+	s := newService(t, srv, Config{Workers: 1}, g.exec)
+	hold, _ := s.Submit(alice, "hold", 0, 0)
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	s.Submit(alice, "echo r1", 0, 0)
+	s.Submit(alice, "echo r2", 0, 0)
+	if n := len(s.ClaimForward(2, "peer")); n != 2 {
+		t.Fatalf("claimed %d", n)
+	}
+	if n := s.RequeueAllRemote(); n != 2 {
+		t.Fatalf("requeued %d, want 2", n)
+	}
+	if sn := s.Stats(); sn.Remote != 0 || sn.Queued != 2 {
+		t.Errorf("stats = %+v", sn)
+	}
+	close(g.gate)
+	s.Wait(hold.ID, 5*time.Second)
+}
+
+func TestCompleteRemoteHonorsCancelFlag(t *testing.T) {
+	srv := testServer(t, "")
+	g := &gateExec{gate: make(chan struct{})}
+	s := newService(t, srv, Config{Workers: 1}, g.exec)
+	defer close(g.gate)
+
+	s.Submit(alice, "hold", 0, 0)
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	j, _ := s.Submit(alice, "echo remote", 0, 0)
+	if n := len(s.ClaimForward(1, "peer")); n != 1 {
+		t.Fatalf("claimed %d", n)
+	}
+	if err := s.MarkForwarded(j.ID, "http://peer/rpc", "rid", "tok"); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel acknowledged while remote; the peer races it to completion.
+	if ok, err := s.Cancel(j.ID); err != nil || !ok {
+		t.Fatalf("cancel = %v, %v", ok, err)
+	}
+	if err := s.CompleteRemote(j.ID, StateDone, ExecResult{Stdout: "too late"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(j.ID)
+	if got.State != StateCancelled {
+		t.Errorf("state = %s, want cancelled (acknowledged cancel must win)", got.State)
+	}
+	if sn := s.Stats(); sn.Cancelled != 1 || sn.Done != 0 {
+		t.Errorf("stats = %+v", sn)
+	}
+}

@@ -1,0 +1,803 @@
+// Package metasched implements a federated meta-scheduler over the
+// Clarens job service: every server is simultaneously client and server
+// (cs/0306002), and a local scheduler under queue pressure forwards work
+// to underloaded peers discovered at runtime — the resource-management
+// pattern of the GAE papers (cs/0504033).
+//
+// The scheduler runs one control loop per server. Each cycle it
+//
+//  1. refreshes the peer table from the discovery cache (peers advertise
+//     their job service through the station network; records expire on
+//     their TTL and vanish when not republished),
+//  2. polls every peer's job.stats for queue depth, running count, and
+//     worker-pool size, scoring peers by free capacity,
+//  3. watches jobs previously forwarded: terminal results are pulled back
+//     into the local shadow record, and jobs whose peer stopped answering
+//     for DeadPolls consecutive cycles fall back into the local queue,
+//  4. when the local queue exceeds the pressure threshold, claims the
+//     jobs farthest from a local worker and forwards them to the
+//     least-loaded peers, batched per owner over system.multicall.
+//
+// Identity travels with the work: before forwarding an owner's jobs the
+// scheduler mints a one-time delegation secret from the local proxy
+// service and redeems it on the peer via proxy.login_delegated, so the
+// remote job.submit executes under a session for the submitting DN — the
+// peer sees the real owner, applies its own quotas and user mapping, and
+// the owner's job.status/job.output on the submitting server proxy to the
+// executing peer transparently.
+package metasched
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"clarens/internal/discovery"
+	"clarens/internal/jobsvc"
+	"clarens/internal/pki"
+	"clarens/internal/proxysvc"
+	"clarens/internal/rpc"
+)
+
+// Call is one sub-call in a batched peer request.
+type Call struct {
+	Method string
+	Params []any
+}
+
+// Result is one sub-call outcome from a batched peer request.
+type Result struct {
+	Value any
+	Err   error
+}
+
+// Conn is a client connection to one peer server. Implementations carry
+// the session token per call so one connection serves many identities
+// (the public clarens.Client is adapted to this at assembly time).
+type Conn interface {
+	// Call invokes one method under the given session token ("" =
+	// anonymous).
+	Call(token, method string, params ...any) (any, error)
+	// Batch executes sub-calls in a single system.multicall round trip
+	// under token; per-call faults come back in each Result.
+	Batch(token string, calls []Call) ([]Result, error)
+	Close()
+}
+
+// Dialer opens a Conn to a peer RPC endpoint URL.
+type Dialer func(url string) (Conn, error)
+
+// PeerSource lists live peer job services (implemented by
+// discovery.Service).
+type PeerSource interface {
+	PeersFor(service, excludeServer string) []discovery.Entry
+}
+
+// Delegator mints one-time delegation secrets (implemented by
+// proxysvc.Service).
+type Delegator interface {
+	IssueDelegation(dn pki.DN, ttl time.Duration) (string, error)
+}
+
+// Config tunes the meta-scheduler.
+type Config struct {
+	// ServerName is the local server's discovery name; its own entries
+	// are excluded from the peer table.
+	ServerName string
+	// SelfURL returns the URL peers should call back to verify
+	// delegations (the local RPC endpoint; a func because the listen
+	// address is only known after Start).
+	SelfURL func() string
+	// Pressure is the local queued-job depth above which forwarding
+	// starts (default 8; negative = forward whenever a peer is idle).
+	Pressure int
+	// PollInterval is the control-loop period: peer load polls, remote
+	// watches, and forwarding decisions all run on it (default 2s).
+	PollInterval time.Duration
+	// MaxForward caps jobs forwarded to one peer in one cycle
+	// (default 16).
+	MaxForward int
+	// DelegationTTL bounds the validity of the one-time delegation
+	// secrets minted for forwarding (default 2m).
+	DelegationTTL time.Duration
+	// DeadPolls is how many consecutive failed remote-watch polls a
+	// forwarded job tolerates before falling back to the local queue
+	// (default 3).
+	DeadPolls int
+	// PenaltyCycles is how many cycles a peer sits out after a failed
+	// forward or delegation handoff (default 5).
+	PenaltyCycles int
+}
+
+func (c *Config) fill() {
+	if c.Pressure == 0 {
+		c.Pressure = 8
+	} else if c.Pressure < 0 {
+		c.Pressure = 0
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Second
+	}
+	if c.MaxForward <= 0 {
+		c.MaxForward = 16
+	}
+	if c.DelegationTTL <= 0 {
+		c.DelegationTTL = proxysvc.DefaultDelegationTTL
+	}
+	if c.DeadPolls <= 0 {
+		c.DeadPolls = 3
+	}
+	if c.PenaltyCycles <= 0 {
+		c.PenaltyCycles = 5
+	}
+}
+
+// peer is one row of the scored peer table.
+type peer struct {
+	name    string
+	url     string
+	queued  int
+	running int
+	workers int
+	alive   bool // last job.stats poll succeeded
+	penalty int  // cycles left to sit out after a failed forward
+	expires time.Time
+}
+
+// free is the peer's uncommitted worker capacity — the number of jobs it
+// could start immediately.
+func (p *peer) free() int {
+	n := p.workers - p.running - p.queued
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Stats is a snapshot of the scheduler's counters.
+type Stats struct {
+	Peers      int    // live peers in the table
+	Forwarded  uint64 // jobs accepted by peers
+	PulledBack uint64 // remote results finalized locally
+	Fallbacks  uint64 // jobs returned to the local queue after a failure
+}
+
+// Scheduler is the per-server federated meta-scheduler.
+type Scheduler struct {
+	jobs    *jobsvc.Service
+	peers   PeerSource
+	deleg   Delegator
+	dial    Dialer
+	logger  *log.Logger
+	cfg     Config
+	cycleMu sync.Mutex // serializes cycles (ticker loop vs. Kick)
+
+	mu        sync.Mutex
+	table     map[string]*peer  // peer name -> scored row
+	conns     map[string]Conn   // endpoint URL -> connection
+	sessions  map[string]string // peer name + "|" + owner DN -> delegated session
+	failPolls map[string]int    // local job id -> consecutive failed watch polls
+	stats     Stats
+
+	stopCh  chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// New builds a scheduler and installs it as the job service's remote
+// controller, so job.status/job.output/job.cancel proxy to executing
+// peers. Call Start to begin the control loop.
+func New(jobs *jobsvc.Service, peers PeerSource, deleg Delegator, dial Dialer, logger *log.Logger, cfg Config) (*Scheduler, error) {
+	if jobs == nil || peers == nil || deleg == nil || dial == nil {
+		return nil, fmt.Errorf("metasched: jobs, peers, delegator, and dialer are all required")
+	}
+	cfg.fill()
+	if cfg.SelfURL == nil {
+		return nil, fmt.Errorf("metasched: SelfURL is required (peers verify delegations against it)")
+	}
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	s := &Scheduler{
+		jobs:      jobs,
+		peers:     peers,
+		deleg:     deleg,
+		dial:      dial,
+		logger:    logger,
+		cfg:       cfg,
+		table:     make(map[string]*peer),
+		conns:     make(map[string]Conn),
+		sessions:  make(map[string]string),
+		failPolls: make(map[string]int),
+		stopCh:    make(chan struct{}),
+	}
+	jobs.SetRemoteController(s)
+	return s, nil
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Start launches the control loop.
+func (s *Scheduler) Start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// Stop halts the control loop and closes peer connections. Forwarded
+// jobs keep their shadow records; a later Start (or restart) re-adopts
+// them.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	close(s.stopCh)
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.conns = make(map[string]Conn)
+	s.mu.Unlock()
+}
+
+// Stats returns the live counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Peers = 0
+	for _, p := range s.table {
+		if p.alive {
+			st.Peers++
+		}
+	}
+	return st
+}
+
+func (s *Scheduler) loop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			s.Kick()
+		}
+	}
+}
+
+// Kick runs one full control cycle synchronously: refresh peers, poll
+// load, watch forwarded jobs, forward under pressure. Exposed so tests
+// (and operators via examples) can drive the scheduler deterministically.
+func (s *Scheduler) Kick() {
+	s.cycleMu.Lock()
+	defer s.cycleMu.Unlock()
+	s.refreshPeers()
+	s.pollPeers()
+	s.watchRemote()
+	s.forward()
+}
+
+// conn returns (dialing if needed) the connection for an endpoint URL.
+func (s *Scheduler) conn(url string) (Conn, error) {
+	s.mu.Lock()
+	c, ok := s.conns[url]
+	s.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	c, err := s.dial(url)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if existing, ok := s.conns[url]; ok {
+		s.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	s.conns[url] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// dropConn discards a connection after transport-level failures so the
+// next use re-dials.
+func (s *Scheduler) dropConn(url string) {
+	s.mu.Lock()
+	c, ok := s.conns[url]
+	if ok {
+		delete(s.conns, url)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.Close()
+	}
+}
+
+// refreshPeers folds the discovery cache into the peer table: new peers
+// appear, moved peers rebind to their new URL, and entries past their TTL
+// drop out (with their cached sessions).
+func (s *Scheduler) refreshPeers() {
+	entries := s.peers.PeersFor("job", s.cfg.ServerName)
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if now.After(e.Expires) {
+			continue
+		}
+		seen[e.Server] = true
+		p, ok := s.table[e.Server]
+		if !ok {
+			p = &peer{name: e.Server}
+			s.table[e.Server] = p
+		}
+		if p.url != e.URL {
+			p.url = e.URL // service moved: rebind (location independence)
+		}
+		p.expires = e.Expires
+	}
+	for name, p := range s.table {
+		if !seen[name] && now.After(p.expires) {
+			delete(s.table, name)
+			for key := range s.sessions {
+				if len(key) > len(name) && key[:len(name)+1] == name+"|" {
+					delete(s.sessions, key)
+				}
+			}
+		}
+	}
+}
+
+// pollPeers refreshes every peer's load score from its public job.stats.
+func (s *Scheduler) pollPeers() {
+	s.mu.Lock()
+	peers := make([]*peer, 0, len(s.table))
+	for _, p := range s.table {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	for _, p := range peers {
+		c, err := s.conn(p.url)
+		if err != nil {
+			s.setAlive(p, false)
+			continue
+		}
+		v, err := c.Call("", "job.stats")
+		if err != nil {
+			s.dropConn(p.url)
+			s.setAlive(p, false)
+			continue
+		}
+		st, ok := v.(map[string]any)
+		if !ok {
+			s.setAlive(p, false)
+			continue
+		}
+		s.mu.Lock()
+		p.queued, _ = rpc.CoerceInt(st["queued"])
+		p.running, _ = rpc.CoerceInt(st["running"])
+		p.workers, _ = rpc.CoerceInt(st["workers"])
+		p.alive = true
+		if p.penalty > 0 {
+			p.penalty--
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Scheduler) setAlive(p *peer, alive bool) {
+	s.mu.Lock()
+	p.alive = alive
+	s.mu.Unlock()
+}
+
+// watchRemote polls forwarded jobs on their executing peers, pulls back
+// terminal results, and falls back to local execution when a peer stops
+// answering.
+func (s *Scheduler) watchRemote() {
+	remote := s.jobs.RemoteJobs()
+	if len(remote) == 0 {
+		return
+	}
+	// Group by (endpoint, delegated session): each group is one batched
+	// status sweep under the owner's identity.
+	type groupKey struct{ url, token string }
+	groups := make(map[groupKey][]*jobsvc.Job)
+	for _, j := range remote {
+		if j.RemoteID == "" || j.PeerURL == "" {
+			continue // claimed but not yet forwarded (or mid-forward)
+		}
+		k := groupKey{j.PeerURL, j.PeerSession}
+		groups[k] = append(groups[k], j)
+	}
+	for k, jobs := range groups {
+		c, err := s.conn(k.url)
+		if err != nil {
+			s.failGroup(jobs, err)
+			continue
+		}
+		calls := make([]Call, len(jobs))
+		for i, j := range jobs {
+			calls[i] = Call{Method: "job.status", Params: []any{j.RemoteID}}
+		}
+		results, err := c.Batch(k.token, calls)
+		if err != nil || len(results) != len(jobs) {
+			s.dropConn(k.url)
+			s.failGroup(jobs, err)
+			continue
+		}
+		for i, r := range results {
+			j := jobs[i]
+			if r.Err != nil {
+				if isAuthFault(r.Err) {
+					// The delegated session expired while the job was
+					// still remote. Renew it and retry next cycle — the
+					// remote attempt may well be running, and requeuing
+					// now would execute the job twice.
+					s.renewDelegation(c, j)
+					s.failJob(j, r.Err)
+					continue
+				}
+				// The peer answered but no longer vouches for the job
+				// (lost its table after a restart): immediate fallback.
+				s.fallback(j, "peer lost job: "+r.Err.Error())
+				continue
+			}
+			st, _ := r.Value.(map[string]any)
+			state, _ := st["state"].(string)
+			if !jobsvc.Terminal(state) {
+				s.clearFail(j.ID)
+				continue
+			}
+			s.pullBack(c, k.token, j, state)
+		}
+	}
+}
+
+// pullBack fetches a terminal remote job's output and finalizes the local
+// shadow record.
+func (s *Scheduler) pullBack(c Conn, token string, j *jobsvc.Job, state string) {
+	v, err := c.Call(token, "job.output", j.RemoteID)
+	out, _ := v.(map[string]any)
+	if err != nil || out == nil {
+		s.failJob(j, err)
+		return
+	}
+	res := jobsvc.ExecResult{}
+	res.Stdout, _ = out["stdout"].(string)
+	res.Stderr, _ = out["stderr"].(string)
+	res.ExitCode, _ = rpc.CoerceInt(out["exit_code"])
+	errMsg := ""
+	if state == jobsvc.StateFailed || state == jobsvc.StateCancelled {
+		errMsg = fmt.Sprintf("remote %s on peer %s", state, j.Peer)
+	}
+	if err := s.jobs.CompleteRemote(j.ID, state, res, errMsg); err != nil {
+		s.logger.Printf("metasched: finalize %s: %v", j.ID, err)
+		return
+	}
+	s.mu.Lock()
+	s.stats.PulledBack++
+	delete(s.failPolls, j.ID)
+	s.mu.Unlock()
+}
+
+// failGroup records one failed watch poll for every job in a group and
+// falls back the ones past the tolerance.
+func (s *Scheduler) failGroup(jobs []*jobsvc.Job, err error) {
+	for _, j := range jobs {
+		s.failJob(j, err)
+	}
+}
+
+func (s *Scheduler) failJob(j *jobsvc.Job, err error) {
+	s.mu.Lock()
+	s.failPolls[j.ID]++
+	n := s.failPolls[j.ID]
+	s.mu.Unlock()
+	if n < s.cfg.DeadPolls {
+		return
+	}
+	reason := fmt.Sprintf("peer %s unreachable after %d polls; re-queued locally", j.Peer, n)
+	if err != nil {
+		reason = fmt.Sprintf("peer %s unreachable after %d polls (%v); re-queued locally", j.Peer, n, err)
+	}
+	s.fallback(j, reason)
+}
+
+// fallback returns one forwarded job to the local queue.
+func (s *Scheduler) fallback(j *jobsvc.Job, reason string) {
+	if err := s.jobs.RequeueLocal(j.ID, reason); err != nil {
+		s.logger.Printf("metasched: requeue %s: %v", j.ID, err)
+		return
+	}
+	s.mu.Lock()
+	s.stats.Fallbacks++
+	delete(s.failPolls, j.ID)
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) clearFail(id string) {
+	s.mu.Lock()
+	delete(s.failPolls, id)
+	s.mu.Unlock()
+}
+
+// forward claims queued jobs beyond the pressure threshold and pushes
+// them to the least-loaded live peers.
+func (s *Scheduler) forward() {
+	over := s.jobs.Stats().Queued - s.cfg.Pressure
+	if over <= 0 {
+		return
+	}
+	s.mu.Lock()
+	cands := make([]*peer, 0, len(s.table))
+	for _, p := range s.table {
+		if p.alive && p.penalty == 0 && p.free() > 0 {
+			cands = append(cands, p)
+		}
+	}
+	// Most idle capacity first; stable tiebreak on name for determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		if fi, fj := cands[i].free(), cands[j].free(); fi != fj {
+			return fi > fj
+		}
+		return cands[i].name < cands[j].name
+	})
+	s.mu.Unlock()
+	for _, p := range cands {
+		if over <= 0 {
+			return
+		}
+		n := p.free()
+		if n > over {
+			n = over
+		}
+		if n > s.cfg.MaxForward {
+			n = s.cfg.MaxForward
+		}
+		claimed := s.jobs.ClaimForward(n, p.name)
+		if len(claimed) == 0 {
+			return // queue drained underneath us
+		}
+		over -= len(claimed)
+		s.forwardTo(p, claimed)
+	}
+}
+
+// forwardTo submits claimed jobs to one peer, batched per owner under a
+// delegated session. Every job either ends MarkForwarded or back in the
+// local queue — none are stranded.
+func (s *Scheduler) forwardTo(p *peer, claimed []*jobsvc.Job) {
+	byOwner := make(map[string][]*jobsvc.Job)
+	for _, j := range claimed {
+		byOwner[j.Owner] = append(byOwner[j.Owner], j)
+	}
+	c, err := s.conn(p.url)
+	if err != nil {
+		s.penalize(p)
+		for _, j := range claimed {
+			s.fallback(j, fmt.Sprintf("peer %s unreachable at forward time: %v", p.name, err))
+		}
+		return
+	}
+	for owner, jobs := range byOwner {
+		token, err := s.delegate(c, p.name, owner)
+		if err != nil {
+			s.penalize(p)
+			for _, j := range jobs {
+				s.fallback(j, fmt.Sprintf("delegation to peer %s failed: %v", p.name, err))
+			}
+			continue
+		}
+		calls := make([]Call, len(jobs))
+		for i, j := range jobs {
+			calls[i] = Call{Method: "job.submit", Params: []any{j.Command, j.Priority, j.MaxRetries}}
+		}
+		results, err := c.Batch(token, calls)
+		if err != nil || len(results) != len(jobs) {
+			s.dropConn(p.url)
+			s.penalize(p)
+			for _, j := range jobs {
+				s.fallback(j, fmt.Sprintf("forward to peer %s failed: %v", p.name, err))
+			}
+			continue
+		}
+		for i, r := range results {
+			j := jobs[i]
+			if r.Err != nil {
+				if isAuthFault(r.Err) {
+					s.dropSession(p.name, owner)
+				}
+				s.fallback(j, fmt.Sprintf("peer %s refused job: %v", p.name, r.Err))
+				continue
+			}
+			rid, _ := r.Value.(string)
+			if rid == "" {
+				s.fallback(j, fmt.Sprintf("peer %s returned no job id", p.name))
+				continue
+			}
+			if err := s.jobs.MarkForwarded(j.ID, p.url, rid, token); err != nil {
+				// The peer holds the job but the local binding could not
+				// be persisted; without it the watch loop would skip the
+				// record forever. Withdraw the remote copy best-effort
+				// and run the job locally instead.
+				s.logger.Printf("metasched: bind %s->%s@%s: %v", j.ID, rid, p.name, err)
+				c.Call(token, "job.cancel", rid)
+				s.fallback(j, fmt.Sprintf("could not record forwarding to %s: %v", p.name, err))
+				continue
+			}
+			s.mu.Lock()
+			s.stats.Forwarded++
+			p.queued++ // charge the table so this cycle doesn't overcommit
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Scheduler) penalize(p *peer) {
+	s.mu.Lock()
+	p.penalty = s.cfg.PenaltyCycles
+	s.mu.Unlock()
+}
+
+func isAuthFault(err error) bool {
+	var f *rpc.Fault
+	if errors.As(err, &f) {
+		return f.Code == rpc.CodeNotAuthorized || f.Code == rpc.CodeAccessDenied
+	}
+	return false
+}
+
+// delegate returns a session on the named peer acting as owner,
+// performing the delegation handoff on first use: mint a one-time secret
+// locally, redeem it on the peer, which calls back proxy.check_delegation
+// here to verify.
+func (s *Scheduler) delegate(c Conn, peerName, owner string) (string, error) {
+	key := peerName + "|" + owner
+	s.mu.Lock()
+	token, ok := s.sessions[key]
+	s.mu.Unlock()
+	if ok {
+		return token, nil
+	}
+	return s.loginDelegated(c, key, owner)
+}
+
+// loginDelegated performs the handoff and caches the resulting session.
+func (s *Scheduler) loginDelegated(c Conn, key, owner string) (string, error) {
+	dn, err := pki.ParseDN(owner)
+	if err != nil {
+		return "", fmt.Errorf("bad owner DN: %w", err)
+	}
+	secret, err := s.deleg.IssueDelegation(dn, s.cfg.DelegationTTL)
+	if err != nil {
+		return "", err
+	}
+	v, err := c.Call("", "proxy.login_delegated", owner, secret, s.cfg.SelfURL())
+	if err != nil {
+		return "", err
+	}
+	token, _ := v.(string)
+	if token == "" {
+		return "", fmt.Errorf("peer returned empty session token")
+	}
+	s.mu.Lock()
+	s.sessions[key] = token
+	s.mu.Unlock()
+	return token, nil
+}
+
+// renewDelegation replaces an expired delegated session for j's owner on
+// its executing peer and rebinds the shadow record, so the next watch
+// poll authenticates again. Jobs sharing the stale session reuse the
+// first renewal's token instead of logging in repeatedly.
+func (s *Scheduler) renewDelegation(c Conn, j *jobsvc.Job) {
+	key := j.Peer + "|" + j.Owner
+	s.mu.Lock()
+	token, ok := s.sessions[key]
+	if ok && token == j.PeerSession {
+		delete(s.sessions, key) // the cached session is the expired one
+		ok = false
+	}
+	s.mu.Unlock()
+	if !ok {
+		var err error
+		token, err = s.loginDelegated(c, key, j.Owner)
+		if err != nil {
+			s.logger.Printf("metasched: renew delegation for %s on %s: %v", j.ID, j.Peer, err)
+			return
+		}
+	}
+	if err := s.jobs.MarkForwarded(j.ID, j.PeerURL, j.RemoteID, token); err != nil {
+		s.logger.Printf("metasched: rebind %s after renewal: %v", j.ID, err)
+	}
+}
+
+func (s *Scheduler) dropSession(peerName, owner string) {
+	s.mu.Lock()
+	delete(s.sessions, peerName+"|"+owner)
+	s.mu.Unlock()
+}
+
+// --- jobsvc.RemoteController ---
+
+// Refresh returns a live view of a forwarded job from its executing
+// peer: status always, outputs once terminal — one system.multicall
+// round trip.
+func (s *Scheduler) Refresh(j *jobsvc.Job) (*jobsvc.Job, error) {
+	if j.PeerURL == "" || j.RemoteID == "" {
+		return nil, fmt.Errorf("metasched: job %s has no remote binding", j.ID)
+	}
+	c, err := s.conn(j.PeerURL)
+	if err != nil {
+		return nil, err
+	}
+	results, err := c.Batch(j.PeerSession, []Call{
+		{Method: "job.status", Params: []any{j.RemoteID}},
+		{Method: "job.output", Params: []any{j.RemoteID}},
+	})
+	if err != nil || len(results) != 2 {
+		s.dropConn(j.PeerURL)
+		return nil, fmt.Errorf("metasched: refresh %s on %s: %v", j.ID, j.Peer, err)
+	}
+	if results[0].Err != nil {
+		return nil, results[0].Err
+	}
+	st, _ := results[0].Value.(map[string]any)
+	live := *j // the shadow record, overlaid with the peer's view
+	if state, ok := st["state"].(string); ok && state != "" {
+		// While the peer still has the job queued/running the local state
+		// remains "remote" (the peer name says where); terminal states
+		// surface directly so status is transparent ahead of pull-back.
+		if jobsvc.Terminal(state) {
+			live.State = state
+		}
+	}
+	if n, ok := rpc.CoerceInt(st["attempts"]); ok {
+		live.Attempts = n
+	}
+	if lu, ok := st["local_user"].(string); ok {
+		live.LocalUser = lu
+	}
+	if results[1].Err == nil {
+		if out, ok := results[1].Value.(map[string]any); ok {
+			live.Stdout, _ = out["stdout"].(string)
+			live.Stderr, _ = out["stderr"].(string)
+			live.ExitCode, _ = rpc.CoerceInt(out["exit_code"])
+		}
+	}
+	return &live, nil
+}
+
+// CancelRemote relays a cancellation to the executing peer.
+func (s *Scheduler) CancelRemote(j *jobsvc.Job) (bool, error) {
+	if j.PeerURL == "" || j.RemoteID == "" {
+		return false, fmt.Errorf("metasched: job %s has no remote binding", j.ID)
+	}
+	c, err := s.conn(j.PeerURL)
+	if err != nil {
+		return false, err
+	}
+	v, err := c.Call(j.PeerSession, "job.cancel", j.RemoteID)
+	if err != nil {
+		return false, err
+	}
+	b, _ := v.(bool)
+	return b, nil
+}
+
+var _ jobsvc.RemoteController = (*Scheduler)(nil)

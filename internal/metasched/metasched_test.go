@@ -1,0 +1,523 @@
+package metasched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"clarens/internal/core"
+	"clarens/internal/discovery"
+	"clarens/internal/jobsvc"
+	"clarens/internal/pki"
+	"clarens/internal/rpc"
+)
+
+var ownerDN = pki.MustParseDN("/O=grid/OU=People/CN=Fed User")
+
+// fakeConn scripts a peer: handle receives every call (batched or not).
+type fakeConn struct {
+	mu     sync.Mutex
+	handle func(token, method string, params []any) (any, error)
+	calls  []string
+	closed bool
+}
+
+func (c *fakeConn) Call(token, method string, params ...any) (any, error) {
+	c.mu.Lock()
+	c.calls = append(c.calls, method)
+	h := c.handle
+	c.mu.Unlock()
+	return h(token, method, params)
+}
+
+func (c *fakeConn) Batch(token string, calls []Call) ([]Result, error) {
+	out := make([]Result, len(calls))
+	for i, cl := range calls {
+		v, err := c.Call(token, cl.Method, cl.Params...)
+		if err != nil {
+			var f *rpc.Fault
+			if !errors.As(err, &f) {
+				return nil, err // transport failure aborts the batch
+			}
+		}
+		out[i] = Result{Value: v, Err: err}
+	}
+	return out, nil
+}
+
+func (c *fakeConn) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}
+
+func (c *fakeConn) callCount(method string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, m := range c.calls {
+		if m == method {
+			n++
+		}
+	}
+	return n
+}
+
+// fakePeers serves a static peer table.
+type fakePeers struct {
+	mu      sync.Mutex
+	entries []discovery.Entry
+}
+
+func (f *fakePeers) PeersFor(service, exclude string) []discovery.Entry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []discovery.Entry
+	for _, e := range f.entries {
+		if e.Service == service && e.Server != exclude {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// fakeDeleg mints predictable secrets.
+type fakeDeleg struct {
+	mu     sync.Mutex
+	issued []string
+	err    error
+}
+
+func (f *fakeDeleg) IssueDelegation(dn pki.DN, ttl time.Duration) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return "", f.err
+	}
+	s := fmt.Sprintf("secret-%d", len(f.issued))
+	f.issued = append(f.issued, s)
+	return s, nil
+}
+
+// harness bundles a local jobsvc (1 worker, gated executor) and a
+// scheduler wired to fakes.
+type harness struct {
+	jobs    *jobsvc.Service
+	sched   *Scheduler
+	peers   *fakePeers
+	deleg   *fakeDeleg
+	conns   map[string]*fakeConn
+	gate    chan struct{} // each receive lets one local execution finish
+	mu      sync.Mutex
+	ranHere []string // commands executed locally
+}
+
+func newHarness(t *testing.T, cfg Config, dialErr map[string]error) *harness {
+	t.Helper()
+	srv, err := core.NewServer(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	h := &harness{
+		peers: &fakePeers{},
+		deleg: &fakeDeleg{},
+		conns: map[string]*fakeConn{},
+		gate:  make(chan struct{}, 1024),
+	}
+	exec := func(owner pki.DN, command string) (jobsvc.ExecResult, error) {
+		<-h.gate
+		h.mu.Lock()
+		h.ranHere = append(h.ranHere, command)
+		h.mu.Unlock()
+		return jobsvc.ExecResult{Stdout: "local:" + command}, nil
+	}
+	h.jobs, err = jobsvc.New(srv, jobsvc.Config{Workers: 1}, exec, nil, nil, "local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.jobs.Stop)
+	dial := func(url string) (Conn, error) {
+		if err := dialErr[url]; err != nil {
+			return nil, err
+		}
+		c, ok := h.conns[url]
+		if !ok {
+			return nil, fmt.Errorf("dial %s: connection refused", url)
+		}
+		return c, nil
+	}
+	if cfg.ServerName == "" {
+		cfg.ServerName = "local"
+	}
+	if cfg.SelfURL == nil {
+		cfg.SelfURL = func() string { return "http://local/rpc" }
+	}
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = time.Hour // tests drive cycles via Kick
+	}
+	h.sched, err = New(h.jobs, h.peers, h.deleg, dial, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.sched.Stop)
+	return h
+}
+
+func (h *harness) addPeer(name, url string, free int) *fakeConn {
+	// A scripted healthy peer: idle workers, accepts submissions, reports
+	// submitted jobs as done with canned output.
+	type remoteJob struct{ id, command string }
+	var mu sync.Mutex
+	var accepted []remoteJob
+	conn := &fakeConn{}
+	conn.handle = func(token, method string, params []any) (any, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch method {
+		case "job.stats":
+			return map[string]any{"queued": 0, "running": 0, "workers": free}, nil
+		case "proxy.login_delegated":
+			return "sess-" + name, nil
+		case "job.submit":
+			if token == "" {
+				return nil, &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "authentication required"}
+			}
+			id := fmt.Sprintf("%s-job-%d", name, len(accepted))
+			accepted = append(accepted, remoteJob{id: id, command: params[0].(string)})
+			return id, nil
+		case "job.status":
+			return map[string]any{"state": "done", "attempts": 1, "local_user": "joe"}, nil
+		case "job.output":
+			return map[string]any{"stdout": "remote:" + name, "stderr": "", "exit_code": 0}, nil
+		case "job.cancel":
+			return true, nil
+		}
+		return nil, &rpc.Fault{Code: rpc.CodeMethodNotFound, Message: method}
+	}
+	h.conns[url] = conn
+	h.peers.mu.Lock()
+	h.peers.entries = append(h.peers.entries, discovery.Entry{
+		Server: name, Service: "job", URL: url, Expires: time.Now().Add(time.Minute),
+	})
+	h.peers.mu.Unlock()
+	return conn
+}
+
+func (h *harness) submit(t *testing.T, n int) []string {
+	t.Helper()
+	ids := make([]string, n)
+	for i := range ids {
+		j, err := h.jobs.Submit(ownerDN, fmt.Sprintf("echo %d", i), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = j.ID
+	}
+	return ids
+}
+
+func waitRunning(t *testing.T, jobs *jobsvc.Service, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if jobs.Stats().Running == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("running = %d, want %d", jobs.Stats().Running, n)
+}
+
+// occupy parks the single local worker on a blocker job so subsequently
+// submitted work stays deterministically queued.
+func (h *harness) occupy(t *testing.T) {
+	t.Helper()
+	if _, err := h.jobs.Submit(ownerDN, "blocker", 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, h.jobs, 1)
+}
+
+func waitState(t *testing.T, jobs *jobsvc.Service, id, state string) *jobsvc.Job {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, ok := jobs.Get(id); ok && j.State == state {
+			return j
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := jobs.Get(id)
+	t.Fatalf("job %s = %+v, want state %s", id, j, state)
+	return nil
+}
+
+func TestForwardDelegatePullBack(t *testing.T) {
+	h := newHarness(t, Config{Pressure: -1}, nil)
+	conn := h.addPeer("peer1", "http://peer1/rpc", 4)
+	ids := h.submit(t, 4) // worker takes 1 (gated), 3 stay queued
+	waitRunning(t, h.jobs, 1)
+
+	h.sched.Kick() // discover, poll, forward
+	st := h.sched.Stats()
+	if st.Peers != 1 || st.Forwarded != 3 {
+		t.Fatalf("stats = %+v, want 1 peer, 3 forwarded", st)
+	}
+	if got := conn.callCount("proxy.login_delegated"); got != 1 {
+		t.Errorf("delegation handoffs = %d, want 1 (one owner, one session)", got)
+	}
+	if len(h.deleg.issued) != 1 {
+		t.Errorf("secrets minted = %d, want 1", len(h.deleg.issued))
+	}
+	remote := h.jobs.RemoteJobs()
+	if len(remote) != 3 {
+		t.Fatalf("remote jobs = %d", len(remote))
+	}
+	for _, j := range remote {
+		if j.Peer != "peer1" || j.RemoteID == "" || j.PeerSession != "sess-peer1" {
+			t.Errorf("binding = %+v", j)
+		}
+	}
+
+	// The transparent read path: Refresh merges the peer's terminal view.
+	live, err := h.sched.Refresh(remote[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.State != "done" || live.Stdout != "remote:peer1" || live.LocalUser != "joe" {
+		t.Errorf("live = %+v", live)
+	}
+
+	// Next cycle pulls results back and finalizes the shadow records.
+	h.sched.Kick()
+	done := 0
+	for _, id := range ids {
+		j, _ := h.jobs.Get(id)
+		if j.State == jobsvc.StateDone && strings.HasPrefix(j.Stdout, "remote:") {
+			done++
+		}
+	}
+	if done != 3 {
+		t.Errorf("pulled back %d remote results, want 3", done)
+	}
+	if st := h.sched.Stats(); st.PulledBack != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	h.gate <- struct{}{} // release the locally running job
+	waitState(t, h.jobs, ids[0], jobsvc.StateDone)
+}
+
+func TestPeerDownAtForwardFallsBackLocally(t *testing.T) {
+	h := newHarness(t, Config{Pressure: -1}, nil)
+	h.addPeer("deadpeer", "http://dead/rpc", 4)
+	delete(h.conns, "http://dead/rpc") // stats poll will fail to dial
+
+	ids := h.submit(t, 3)
+	h.sched.Kick()
+	// The peer never polled alive, so nothing was claimed or lost.
+	if st := h.sched.Stats(); st.Forwarded != 0 {
+		t.Fatalf("stats = %+v, want no forwards to a dead peer", st)
+	}
+	for i := 0; i < 3; i++ {
+		h.gate <- struct{}{}
+	}
+	for _, id := range ids {
+		j := waitState(t, h.jobs, id, jobsvc.StateDone)
+		if !strings.HasPrefix(j.Stdout, "local:") {
+			t.Errorf("job %s ran %q, want local execution", id, j.Stdout)
+		}
+	}
+}
+
+func TestPeerVanishesBetweenPollAndForward(t *testing.T) {
+	h := newHarness(t, Config{Pressure: -1}, nil)
+	conn := h.addPeer("flaky", "http://flaky/rpc", 4)
+	// Healthy on job.stats, but the submission round trip dies.
+	base := conn.handle
+	conn.handle = func(token, method string, params []any) (any, error) {
+		if method == "job.submit" || method == "proxy.login_delegated" {
+			return nil, fmt.Errorf("connection reset")
+		}
+		return base(token, method, params)
+	}
+	ids := h.submit(t, 3)
+	h.sched.Kick()
+	st := h.sched.Stats()
+	if st.Forwarded != 0 || st.Fallbacks == 0 {
+		t.Fatalf("stats = %+v, want fallbacks and no forwards", st)
+	}
+	for i := 0; i < 3; i++ {
+		h.gate <- struct{}{}
+	}
+	for _, id := range ids {
+		waitState(t, h.jobs, id, jobsvc.StateDone)
+	}
+}
+
+func TestDelegationRejectedKeepsJobsLocal(t *testing.T) {
+	h := newHarness(t, Config{Pressure: -1}, nil)
+	conn := h.addPeer("strict", "http://strict/rpc", 4)
+	base := conn.handle
+	conn.handle = func(token, method string, params []any) (any, error) {
+		if method == "proxy.login_delegated" {
+			return nil, &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "issuer refused the delegation"}
+		}
+		return base(token, method, params)
+	}
+	h.occupy(t)
+	ids := h.submit(t, 3)
+	h.sched.Kick()
+	if st := h.sched.Stats(); st.Forwarded != 0 || st.Fallbacks != 3 {
+		t.Fatalf("stats = %+v, want 3 delegation fallbacks", st)
+	}
+	if got := conn.callCount("job.submit"); got != 0 {
+		t.Errorf("job.submit called %d times despite rejected delegation", got)
+	}
+	// The peer is penalized: the next cycle must not re-claim and thrash.
+	h.sched.Kick()
+	if got := conn.callCount("proxy.login_delegated"); got != 1 {
+		t.Errorf("delegation retried %d times during penalty", got)
+	}
+	for i := 0; i < 4; i++ {
+		h.gate <- struct{}{}
+	}
+	for _, id := range ids {
+		waitState(t, h.jobs, id, jobsvc.StateDone)
+	}
+}
+
+func TestPeerDiesAfterAcceptRequeuesLocally(t *testing.T) {
+	h := newHarness(t, Config{Pressure: -1, DeadPolls: 2}, nil)
+	conn := h.addPeer("mortal", "http://mortal/rpc", 4)
+	base := conn.handle
+	var mu sync.Mutex
+	dead := false
+	conn.handle = func(token, method string, params []any) (any, error) {
+		mu.Lock()
+		d := dead
+		mu.Unlock()
+		if d {
+			return nil, fmt.Errorf("connection refused")
+		}
+		if method == "job.status" || method == "job.output" {
+			// Peer accepted the work but never finishes it.
+			return map[string]any{"state": "running"}, nil
+		}
+		return base(token, method, params)
+	}
+	h.occupy(t)
+	ids := h.submit(t, 3)
+	h.sched.Kick()
+	if st := h.sched.Stats(); st.Forwarded != 3 {
+		t.Fatalf("stats = %+v, want 3 forwarded", st)
+	}
+	mu.Lock()
+	dead = true
+	mu.Unlock()
+	h.sched.Kick() // failed poll 1
+	if len(h.jobs.RemoteJobs()) != 3 {
+		t.Fatalf("jobs fell back before DeadPolls tolerance")
+	}
+	h.sched.Kick() // failed poll 2 -> fallback
+	if st := h.sched.Stats(); st.Fallbacks != 3 {
+		t.Fatalf("stats = %+v, want 3 fallbacks", st)
+	}
+	for i := 0; i < 4; i++ {
+		h.gate <- struct{}{}
+	}
+	for _, id := range ids {
+		j := waitState(t, h.jobs, id, jobsvc.StateDone)
+		if !strings.HasPrefix(j.Stdout, "local:") {
+			t.Errorf("job %s = %q, want local fallback execution", id, j.Stdout)
+		}
+	}
+}
+
+func TestPressureThresholdHoldsWorkLocally(t *testing.T) {
+	h := newHarness(t, Config{Pressure: 10}, nil)
+	h.addPeer("peer1", "http://peer1/rpc", 8)
+	h.submit(t, 5) // 1 running + 4 queued, below pressure 10
+	h.sched.Kick()
+	if st := h.sched.Stats(); st.Forwarded != 0 {
+		t.Fatalf("stats = %+v: forwarded below the pressure threshold", st)
+	}
+	for i := 0; i < 5; i++ {
+		h.gate <- struct{}{}
+	}
+}
+
+func TestExpiredDelegatedSessionRenewedWithoutDuplicateRun(t *testing.T) {
+	h := newHarness(t, Config{Pressure: -1, DeadPolls: 3}, nil)
+	var mu sync.Mutex
+	logins := 0
+	phase := "running"
+	conn := &fakeConn{}
+	conn.handle = func(token, method string, params []any) (any, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		current := fmt.Sprintf("sess-%d", logins)
+		switch method {
+		case "job.stats":
+			return map[string]any{"queued": 0, "running": 0, "workers": 4}, nil
+		case "proxy.login_delegated":
+			logins++
+			return fmt.Sprintf("sess-%d", logins), nil
+		case "job.submit":
+			return "rid-1", nil
+		case "job.status":
+			if token != current {
+				return nil, &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "session expired"}
+			}
+			return map[string]any{"state": phase}, nil
+		case "job.output":
+			return map[string]any{"stdout": "remote-result", "stderr": "", "exit_code": 0}, nil
+		case "job.cancel":
+			return true, nil
+		}
+		return nil, &rpc.Fault{Code: rpc.CodeMethodNotFound, Message: method}
+	}
+	h.conns["http://renew/rpc"] = conn
+	h.peers.mu.Lock()
+	h.peers.entries = append(h.peers.entries, discovery.Entry{
+		Server: "renew", Service: "job", URL: "http://renew/rpc", Expires: time.Now().Add(time.Minute),
+	})
+	h.peers.mu.Unlock()
+
+	h.occupy(t)
+	ids := h.submit(t, 1)
+	h.sched.Kick()
+	if st := h.sched.Stats(); st.Forwarded != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Expire the delegated session: the peer now faults auth on the old
+	// token. The scheduler must renew + rebind, not requeue (the remote
+	// attempt is still running — a requeue would execute it twice).
+	mu.Lock()
+	logins++ // tokens issued so far are now stale
+	mu.Unlock()
+	h.sched.Kick()
+	if st := h.sched.Stats(); st.Fallbacks != 0 {
+		t.Fatalf("stats = %+v: fell back on an expired session", st)
+	}
+	remote := h.jobs.RemoteJobs()
+	if len(remote) != 1 || remote[0].PeerSession == "sess-1" {
+		t.Fatalf("remote = %+v, want renewed session binding", remote)
+	}
+	// With the renewed session the result flows back normally.
+	mu.Lock()
+	phase = "done"
+	mu.Unlock()
+	h.sched.Kick()
+	j, _ := h.jobs.Get(ids[0])
+	if j.State != jobsvc.StateDone || j.Stdout != "remote-result" {
+		t.Errorf("job = %+v", j)
+	}
+	if st := h.sched.Stats(); st.Fallbacks != 0 || st.PulledBack != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	h.gate <- struct{}{} // release the blocker
+}

@@ -8,6 +8,9 @@
 package proxysvc
 
 import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
 	"time"
 
 	"clarens/internal/core"
@@ -17,9 +20,22 @@ import (
 
 const bucket = "proxies"
 
+// delegationBucket stores one-time delegation secrets (hashed); the
+// federated meta-scheduler mints these to carry a job owner's identity
+// to a peer server.
+const delegationBucket = "delegations"
+
 // AttachedProxyAttr is the session attribute holding the DN of the stored
 // proxy attached to the session.
 const AttachedProxyAttr = "attached_proxy"
+
+// DelegatedIssuerAttr is the session attribute recording which issuer
+// server vouched for a session created through proxy.login_delegated.
+const DelegatedIssuerAttr = "delegated_issuer"
+
+// DefaultDelegationTTL bounds how long an unredeemed delegation secret
+// stays valid.
+const DefaultDelegationTTL = 2 * time.Minute
 
 // Service is the Clarens proxy service.
 type Service struct {
@@ -27,6 +43,23 @@ type Service struct {
 	// MaxTTL bounds how long a stored proxy is honored for login after
 	// its certificate expiry cannot be checked (defense in depth).
 	MaxTTL time.Duration
+	// TrustIssuer gates which remote issuer URLs login_delegated will
+	// call back to verify a delegation. The assembly wires it to the
+	// discovery cache (only servers the discovery network vouches for);
+	// nil refuses every remote issuer.
+	//
+	// SECURITY: the gate is only as strong as the discovery feed. This
+	// reproduction's station network ingests unauthenticated UDP, so a
+	// deployment reachable by untrusted publishers must replace
+	// TrustIssuer with a real allowlist (or authenticate the station
+	// feed): anyone who can plant a discovery record for their own URL
+	// can otherwise vouch for arbitrary DNs. See the ROADMAP's
+	// federation-hardening item (TLS peer certificates on this callback).
+	TrustIssuer func(url string) bool
+	// VerifyRemote calls a remote issuer's proxy.check_delegation and
+	// reports whether the (dn, secret) pair was vouched for. Set at
+	// assembly time (it needs an RPC client); nil refuses remote issuers.
+	VerifyRemote func(issuerURL, dn, secret string) (bool, error)
 }
 
 // record is the stored form of a proxy.
@@ -89,7 +122,158 @@ func (s *Service) Methods() []core.Method {
 			Public:    true,
 			Handler:   s.info,
 		},
+		{
+			Name:      "proxy.delegate",
+			Help:      "Mint a one-time delegation secret for the caller's DN, valid ttl_s seconds (default 120): delegate([ttl_s]). Present it to a peer server's proxy.login_delegated to act as the caller there.",
+			Signature: []string{"string int"},
+			Handler:   s.rpcDelegate,
+		},
+		{
+			Name:      "proxy.check_delegation",
+			Help:      "Validate and consume a one-time delegation secret minted by this server: check_delegation(dn, secret). Called back by peer servers during delegated login.",
+			Signature: []string{"boolean string string"},
+			Public:    true,
+			Handler:   s.rpcCheckDelegation,
+		},
+		{
+			Name:      "proxy.login_delegated",
+			Help:      "Create a session for dn from a delegation secret: login_delegated(dn, secret, [issuer_url]). With an issuer URL the secret is verified by calling the issuer back (the issuer must be known to the discovery cache); without one the secret must have been minted locally. Returns the session token.",
+			Signature: []string{"string string string string"},
+			Public:    true,
+			Handler:   s.rpcLoginDelegated,
+		},
 	}
+}
+
+// delegationRecord is the stored form of a delegation: only the SHA-256
+// of the secret persists, with the DN it vouches for and its expiry.
+type delegationRecord struct {
+	DN      string    `json:"dn"`
+	Expires time.Time `json:"expires"`
+}
+
+func hashSecret(secret string) string {
+	sum := sha256.Sum256([]byte(secret))
+	return hex.EncodeToString(sum[:])
+}
+
+// IssueDelegation mints a one-time secret that vouches for dn until ttl
+// elapses (ttl<=0 uses DefaultDelegationTTL). Redeeming it — locally via
+// login_delegated or remotely via check_delegation — consumes it. This is
+// the handoff the federated meta-scheduler uses so remote execution runs
+// as the submitting DN, in the spirit of the paper's §2.6 delegation
+// ("allows the proxy to be used on behalf of the user by others").
+func (s *Service) IssueDelegation(dn pki.DN, ttl time.Duration) (string, error) {
+	if dn.IsZero() {
+		return "", &rpc.Fault{Code: rpc.CodeInvalidParams, Message: "proxy: delegation needs a DN"}
+	}
+	if ttl <= 0 {
+		ttl = DefaultDelegationTTL
+	}
+	var b [24]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	secret := hex.EncodeToString(b[:])
+	rec := delegationRecord{DN: dn.String(), Expires: time.Now().Add(ttl)}
+	if err := s.srv.Store().PutJSON(delegationBucket, hashSecret(secret), &rec); err != nil {
+		return "", err
+	}
+	return secret, nil
+}
+
+// CheckDelegation validates a (dn, secret) pair against the local
+// delegation table and consumes the secret — each delegation is
+// single-use, so a leaked secret cannot be replayed after redemption.
+func (s *Service) CheckDelegation(dnStr, secret string) bool {
+	if secret == "" || dnStr == "" {
+		return false
+	}
+	key := hashSecret(secret)
+	var rec delegationRecord
+	found, err := s.srv.Store().GetJSON(delegationBucket, key, &rec)
+	if err != nil || !found {
+		return false
+	}
+	s.srv.Store().Delete(delegationBucket, key)
+	return rec.DN == dnStr && time.Now().Before(rec.Expires)
+}
+
+func (s *Service) rpcDelegate(ctx *core.Context, p core.Params) (any, error) {
+	if err := ctx.RequireAuthenticated(); err != nil {
+		return nil, err
+	}
+	ttlS, err := p.OptInt(0, int(DefaultDelegationTTL.Seconds()))
+	if err != nil {
+		return nil, err
+	}
+	if ttlS < 1 {
+		ttlS = 1
+	}
+	if ttlS > 3600 {
+		ttlS = 3600
+	}
+	return s.IssueDelegation(ctx.DN, time.Duration(ttlS)*time.Second)
+}
+
+func (s *Service) rpcCheckDelegation(ctx *core.Context, p core.Params) (any, error) {
+	dnStr, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	secret, err := p.String(1)
+	if err != nil {
+		return nil, err
+	}
+	return s.CheckDelegation(dnStr, secret), nil
+}
+
+func (s *Service) rpcLoginDelegated(ctx *core.Context, p core.Params) (any, error) {
+	dnStr, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	secret, err := p.String(1)
+	if err != nil {
+		return nil, err
+	}
+	issuer, err := p.OptString(2, "")
+	if err != nil {
+		return nil, err
+	}
+	dn, perr := pki.ParseDN(dnStr)
+	if perr != nil {
+		return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: perr.Error()}
+	}
+	if issuer == "" {
+		if !s.CheckDelegation(dnStr, secret) {
+			return nil, &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "proxy: delegation not recognized (expired, consumed, or never issued)"}
+		}
+	} else {
+		if s.TrustIssuer == nil || !s.TrustIssuer(issuer) {
+			return nil, &rpc.Fault{Code: rpc.CodeAccessDenied, Message: "proxy: delegation issuer is not known to this server's discovery cache"}
+		}
+		if s.VerifyRemote == nil {
+			return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: "proxy: remote delegation verification not configured"}
+		}
+		ok, err := s.VerifyRemote(issuer, dnStr, secret)
+		if err != nil {
+			return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: "proxy: delegation issuer unreachable: " + err.Error()}
+		}
+		if !ok {
+			return nil, &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "proxy: issuer refused the delegation"}
+		}
+	}
+	sess, err := s.srv.NewSessionFor(dn)
+	if err != nil {
+		return nil, err
+	}
+	if issuer != "" {
+		if err := s.srv.Sessions().SetAttr(sess.ID, DelegatedIssuerAttr, issuer); err != nil {
+			return nil, err
+		}
+	}
+	return sess.ID, nil
 }
 
 // Store validates and stores a proxy PEM bundle for its subject user.

@@ -328,3 +328,88 @@ func TestProxyStoreSurvivesRestart(t *testing.T) {
 		t.Error("stored proxy corrupted across restart")
 	}
 }
+
+func TestDelegationIssueCheckConsume(t *testing.T) {
+	f := newFixture(t)
+	secret, err := f.svc.IssueDelegation(userDN, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.svc.CheckDelegation(userDN.String(), secret) {
+		t.Fatal("freshly issued delegation must validate")
+	}
+	if f.svc.CheckDelegation(userDN.String(), secret) {
+		t.Error("delegation secrets are single-use")
+	}
+	// Wrong DN consumes without validating.
+	secret2, _ := f.svc.IssueDelegation(userDN, time.Minute)
+	if f.svc.CheckDelegation(adminDN.String(), secret2) {
+		t.Error("delegation must be bound to its DN")
+	}
+	if f.svc.CheckDelegation(userDN.String(), secret2) {
+		t.Error("a probed secret must be consumed")
+	}
+	// Expired secrets are refused.
+	secret3, _ := f.svc.IssueDelegation(userDN, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if f.svc.CheckDelegation(userDN.String(), secret3) {
+		t.Error("expired delegation must be refused")
+	}
+}
+
+func TestLoginDelegatedLocal(t *testing.T) {
+	f := newFixture(t)
+	secret, err := f.svc.IssueDelegation(userDN, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := f.call(t, "", "proxy.login_delegated", userDN.String(), secret)
+	if resp.Fault != nil {
+		t.Fatalf("login_delegated: %v", resp.Fault)
+	}
+	token, _ := resp.Result.(string)
+	sess, ok := f.srv.Sessions().Get(token)
+	if !ok || sess.DN != userDN.String() {
+		t.Fatalf("session = %+v, %v", sess, ok)
+	}
+	// Replaying the consumed secret fails.
+	if resp := f.call(t, "", "proxy.login_delegated", userDN.String(), secret); resp.Fault == nil {
+		t.Error("replayed delegation must be refused")
+	}
+}
+
+func TestLoginDelegatedRemoteIssuer(t *testing.T) {
+	f := newFixture(t)
+	// Remote issuers are refused outright until trust + verification are
+	// wired (secure default).
+	if resp := f.call(t, "", "proxy.login_delegated", userDN.String(), "s", "http://issuer/rpc"); resp.Fault == nil {
+		t.Fatal("remote issuer must be refused without TrustIssuer")
+	}
+	verified := ""
+	f.svc.TrustIssuer = func(url string) bool { return url == "http://issuer/rpc" }
+	f.svc.VerifyRemote = func(issuer, dn, secret string) (bool, error) {
+		verified = issuer + "|" + dn + "|" + secret
+		return secret == "good", nil
+	}
+	if resp := f.call(t, "", "proxy.login_delegated", userDN.String(), "good", "http://other/rpc"); resp.Fault == nil {
+		t.Error("untrusted issuer must be refused")
+	}
+	resp := f.call(t, "", "proxy.login_delegated", userDN.String(), "good", "http://issuer/rpc")
+	if resp.Fault != nil {
+		t.Fatalf("verified delegated login: %v", resp.Fault)
+	}
+	if verified != "http://issuer/rpc|"+userDN.String()+"|good" {
+		t.Errorf("verification callback saw %q", verified)
+	}
+	token, _ := resp.Result.(string)
+	sess, ok := f.srv.Sessions().Get(token)
+	if !ok || sess.DN != userDN.String() {
+		t.Fatalf("session = %+v", sess)
+	}
+	if sess.Attrs[DelegatedIssuerAttr] != "http://issuer/rpc" {
+		t.Errorf("issuer attr = %q", sess.Attrs[DelegatedIssuerAttr])
+	}
+	if resp := f.call(t, "", "proxy.login_delegated", userDN.String(), "bad", "http://issuer/rpc"); resp.Fault == nil {
+		t.Error("issuer-refused delegation must fail")
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Result of executing a command line.
@@ -53,6 +55,7 @@ func init() {
 		"head":   (*interp).head,
 		"grep":   (*interp).grep,
 		"cd":     (*interp).cd,
+		"sleep":  (*interp).sleep,
 		"true":   func(*interp, []string, *strings.Builder, *strings.Builder) int { return 0 },
 		"false":  func(*interp, []string, *strings.Builder, *strings.Builder) int { return 1 },
 		"whoami": nil, // handled by the service, which knows the local user
@@ -206,6 +209,28 @@ func (ip *interp) runSimple(segment, localUser string, allOut, allErr *strings.B
 	}
 	allErr.WriteString(errw.String())
 	return code
+}
+
+// sleepCap bounds a single sleep so a job payload cannot pin a worker
+// indefinitely (the job service's cancel path only acts between attempts).
+const sleepCap = 30 * time.Second
+
+func (ip *interp) sleep(args []string, out, errw *strings.Builder) int {
+	if len(args) != 1 {
+		fmt.Fprintln(errw, "sleep: usage: sleep SECONDS")
+		return 2
+	}
+	secs, err := strconv.ParseFloat(args[0], 64)
+	if err != nil || secs < 0 {
+		fmt.Fprintf(errw, "sleep: invalid time %q\n", args[0])
+		return 1
+	}
+	d := time.Duration(secs * float64(time.Second))
+	if d > sleepCap {
+		d = sleepCap
+	}
+	time.Sleep(d)
+	return 0
 }
 
 func (ip *interp) pwd(args []string, out, errw *strings.Builder) int {
