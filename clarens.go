@@ -27,6 +27,7 @@ import (
 	"net"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"clarens/internal/acl"
@@ -177,6 +178,17 @@ type Config struct {
 	// load polls, forwarded-job watches, and forwarding decisions
 	// (default 2s).
 	PeerPollInterval time.Duration
+	// FederationIssuers is the explicit allowlist of peer RPC endpoint
+	// URLs this server trusts to vouch for delegated logins
+	// (proxy.login_delegated with an issuer callback) — i.e. which peers
+	// may forward jobs here under their users' identities. The list is
+	// consulted only when EnableFederation is set; without federation,
+	// or with an empty list, every remote issuer is refused. Discovery
+	// deliberately plays no part in this decision: the station feed is
+	// unauthenticated UDP, so a discovered peer is never a trusted one.
+	// Peers whose addresses are only known at runtime can be added after
+	// Start with Server.TrustFederationIssuers.
+	FederationIssuers []string
 	// StationAddrs, when non-empty, enables discovery publication to
 	// these MonALISA-style station servers ("host:port" UDP addresses).
 	StationAddrs []string
@@ -236,6 +248,9 @@ type Server struct {
 	aggregator *discovery.Aggregator
 	publisher  *monalisa.Publisher
 	name       string
+
+	issuerMu       sync.RWMutex
+	trustedIssuers map[string]bool // delegation issuer URL allowlist
 }
 
 // NewServer builds and wires a server from the configuration.
@@ -258,7 +273,10 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{core: cs, name: cfg.Name}
+	s := &Server{core: cs, name: cfg.Name, trustedIssuers: make(map[string]bool, len(cfg.FederationIssuers))}
+	for _, u := range cfg.FederationIssuers {
+		s.trustedIssuers[normalizeIssuerURL(u)] = true
+	}
 	fail := func(err error) (*Server, error) {
 		s.Close()
 		return nil, err
@@ -397,14 +415,18 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 
-	// Delegation trust rides the discovery network: a peer asking this
-	// server to honor a delegated login names its issuer, and the issuer
-	// must be a server the local discovery cache vouches for. Verification
-	// calls the issuer's proxy.check_delegation back over a short-lived
-	// client.
-	if s.Proxies != nil {
-		disc := s.Discovery
-		s.Proxies.TrustIssuer = func(url string) bool { return disc.KnowsURL(url) }
+	// Delegation trust is an explicit operator decision: remote issuers
+	// are honored only when federation is on AND the issuer URL is on the
+	// configured allowlist (Config.FederationIssuers, extendable at
+	// runtime with TrustFederationIssuers). The discovery cache is never
+	// consulted — its station feed is unauthenticated UDP, and a gate fed
+	// by it would let anyone who can send one station packet register a
+	// URL and mint sessions for arbitrary DNs. Without federation both
+	// hooks stay nil and proxysvc refuses every remote issuer.
+	// Verification calls the allowlisted issuer's proxy.check_delegation
+	// back over a short-lived client.
+	if s.Proxies != nil && cfg.EnableFederation {
+		s.Proxies.TrustIssuer = s.issuerTrusted
 		s.Proxies.VerifyRemote = func(issuerURL, dn, secret string) (bool, error) {
 			c, err := Dial(issuerURL, WithTimeout(5*time.Second))
 			if err != nil {
@@ -499,6 +521,29 @@ func (s *Server) URL() string { return s.core.URL() }
 
 // RPCURL returns the full RPC endpoint URL after Start.
 func (s *Server) RPCURL() string { return s.core.URL() + s.core.RPCPath() }
+
+// TrustFederationIssuers adds peer RPC endpoint URLs to the delegation
+// issuer allowlist (see Config.FederationIssuers) — for federations whose
+// peer addresses are only known at runtime (ephemeral ports, dynamic
+// membership). The allowlist is only consulted when federation is
+// enabled; otherwise remote issuers stay refused regardless.
+func (s *Server) TrustFederationIssuers(urls ...string) {
+	s.issuerMu.Lock()
+	defer s.issuerMu.Unlock()
+	for _, u := range urls {
+		s.trustedIssuers[normalizeIssuerURL(u)] = true
+	}
+}
+
+// issuerTrusted is the proxysvc.TrustIssuer gate: allowlist membership.
+func (s *Server) issuerTrusted(url string) bool {
+	s.issuerMu.RLock()
+	defer s.issuerMu.RUnlock()
+	return s.trustedIssuers[normalizeIssuerURL(url)]
+}
+
+// normalizeIssuerURL canonicalizes an issuer URL for allowlist lookup.
+func normalizeIssuerURL(u string) string { return strings.TrimSuffix(u, "/") }
 
 // StationAddr returns the in-process station's UDP address, or "".
 func (s *Server) StationAddr() string {

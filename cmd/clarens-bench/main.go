@@ -592,6 +592,14 @@ func runFederation(jobs, servers int, jobSecs float64, csvDir string) map[string
 		defer srv.Close()
 		members[i] = srv
 	}
+	// Allowlist every member as a delegation issuer on every other.
+	urls := make([]string, len(members))
+	for i, srv := range members {
+		urls[i] = srv.RPCURL()
+	}
+	for _, srv := range members {
+		srv.TrustFederationIssuers(urls...)
+	}
 	// Wait for the peer tables to converge before saturating member 0.
 	deadline := time.Now().Add(10 * time.Second)
 	for members[0].Federation.Stats().Peers < servers-1 {

@@ -49,6 +49,7 @@ func main() {
 		federation   = flag.Bool("federation", false, "forward queued jobs to discovered peer servers (requires -jobs, -proxy, and a station network)")
 		fedPressure  = flag.Int("federation-pressure", 8, "queued-job depth above which the meta-scheduler forwards work (negative = whenever a peer is idle)")
 		peerPoll     = flag.Duration("peer-poll", 2*time.Second, "federation peer poll / remote watch period")
+		fedIssuers   = flag.String("federation-issuers", "", "comma-separated peer RPC endpoint URLs trusted to vouch for delegated logins (empty = refuse every remote issuer)")
 		publish      = flag.Bool("publish", false, "publish services to the discovery network on startup")
 		tlsID        = flag.String("tls-id", "", "server identity PEM bundle (cert+key) enabling HTTPS")
 		tlsCA        = flag.String("tls-ca", "", "CA certificate PEM for verifying client certificates")
@@ -78,6 +79,9 @@ func main() {
 	}
 	if *admins != "" {
 		cfg.AdminDNs = splitList(*admins)
+	}
+	if *fedIssuers != "" {
+		cfg.FederationIssuers = splitList(*fedIssuers)
 	}
 	if *stations != "" {
 		cfg.StationAddrs = splitList(*stations)

@@ -16,8 +16,9 @@
 //  3. watches the meta-scheduler forward the overflow: site0 polls its
 //     peers' job.stats, claims the queued jobs farthest from a local
 //     worker, logs each owner in on the peer via a one-time delegation
-//     secret (proxy.login_delegated, verified by a callback to site0),
-//     and submits the work there as the original DN,
+//     secret (proxy.login_delegated, verified by a callback to site0 —
+//     which each site only honors because site0 is on its explicit
+//     issuer allowlist), and submits the work there as the original DN,
 //
 //  4. waits for the burst to drain with job.wait on site0 — status and
 //     output for forwarded jobs proxy to the executing peer and final
@@ -99,6 +100,16 @@ func main() {
 		}
 		servers[i] = srv
 		fmt.Printf("started %-6s at %s\n", srv.Name(), srv.URL())
+	}
+
+	// Issuer trust is explicit: discovery finds peers, but each site only
+	// honors delegated logins vouched for by allowlisted peer endpoints.
+	urls := make([]string, sites)
+	for i, srv := range servers {
+		urls[i] = srv.RPCURL()
+	}
+	for _, srv := range servers {
+		srv.TrustFederationIssuers(urls...)
 	}
 
 	front := servers[0]

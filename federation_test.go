@@ -226,9 +226,28 @@ func fedConfig(t *testing.T, name, backbone string) Config {
 	}
 }
 
-// startFederation boots n servers around a shared backbone station and
+// startFederation boots n servers around a shared backbone station,
+// allowlists every member as a delegation issuer on every other, and
 // waits until every federated member sees its peers.
 func startFederation(t *testing.T, n int, mutate func(i int, cfg *Config)) []*Server {
+	t.Helper()
+	servers := bootFederation(t, n, mutate)
+	// Issuer trust is explicit and separate from discovery: each member
+	// allowlists its peers' RPC endpoints (only known after Start).
+	urls := make([]string, len(servers))
+	for i, srv := range servers {
+		urls[i] = srv.RPCURL()
+	}
+	for _, srv := range servers {
+		srv.TrustFederationIssuers(urls...)
+	}
+	waitPeersConverged(t, servers)
+	return servers
+}
+
+// bootFederation starts n servers around a shared backbone station
+// WITHOUT granting any issuer trust.
+func bootFederation(t *testing.T, n int, mutate func(i int, cfg *Config)) []*Server {
 	t.Helper()
 	backbone, err := monalisa.NewStation("fed-backbone", "127.0.0.1:0")
 	if err != nil {
@@ -262,6 +281,13 @@ func startFederation(t *testing.T, n int, mutate func(i int, cfg *Config)) []*Se
 		}
 		servers[i] = srv
 	}
+	return servers
+}
+
+// waitPeersConverged blocks until every federated member's peer table
+// sees all the other federated members.
+func waitPeersConverged(t *testing.T, servers []*Server) {
+	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for _, srv := range servers {
 		if srv.Federation == nil {
@@ -274,7 +300,6 @@ func startFederation(t *testing.T, n int, mutate func(i int, cfg *Config)) []*Se
 			time.Sleep(5 * time.Millisecond)
 		}
 	}
-	return servers
 }
 
 func countFederated(servers []*Server) int {
@@ -526,6 +551,30 @@ func TestFederationDelegationRejectedStaysLocal(t *testing.T) {
 	}
 	if jobs, _ := peer.Jobs.List("", ""); len(jobs) != 0 {
 		t.Errorf("peer accepted %d jobs despite rejected delegation", len(jobs))
+	}
+	if st := front.Federation.Stats(); st.Forwarded != 0 {
+		t.Errorf("stats = %+v, want zero forwarded", st)
+	}
+}
+
+// TestFederationUntrustedIssuerRefused: discovery alone never confers
+// issuer trust. A peer that has not allowlisted the submitting server
+// refuses its delegation handoff — even though its discovery cache knows
+// the submitter — so no work lands there and jobs complete locally.
+func TestFederationUntrustedIssuerRefused(t *testing.T) {
+	servers := bootFederation(t, 2, nil) // no TrustFederationIssuers calls
+	waitPeersConverged(t, servers)
+	front, peer := servers[0], servers[1]
+
+	_, ids := drainBurst(t, front, 8, "sleep 0.05 && echo untrusted")
+	for _, id := range ids {
+		j, _ := front.Jobs.Get(id)
+		if j.State != jobsvc.StateDone {
+			t.Errorf("job %s = %s", id, j.State)
+		}
+	}
+	if jobs, _ := peer.Jobs.List("", ""); len(jobs) != 0 {
+		t.Errorf("peer accepted %d jobs from an untrusted issuer", len(jobs))
 	}
 	if st := front.Federation.Stats(); st.Forwarded != 0 {
 		t.Errorf("stats = %+v, want zero forwarded", st)

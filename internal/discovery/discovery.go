@@ -380,22 +380,11 @@ func (s *Service) PeersFor(service, excludeServer string) []Entry {
 	return out
 }
 
-// KnowsURL reports whether any live entry in the discovery cache
-// advertises the given endpoint URL. The proxy service uses it to gate
-// delegation callbacks: only servers the discovery network vouches for
-// may act as delegation issuers.
-func (s *Service) KnowsURL(url string) bool {
-	entries, err := s.Find("*")
-	if err != nil {
-		return false
-	}
-	for _, e := range entries {
-		if e.URL == url {
-			return true
-		}
-	}
-	return false
-}
+// NOTE: there is intentionally no "does the cache know this URL?"
+// predicate here. The cache is fed by an unauthenticated UDP station
+// network — presence in it is not trust, and a predicate shaped like one
+// invites being wired into security gates (delegation issuer trust lives
+// in an explicit operator allowlist; see clarens.Config.FederationIssuers).
 
 // globMatch is path.Match with '/' treated as an ordinary character so a
 // single '*' can span server and service names.

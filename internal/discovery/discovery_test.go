@@ -305,7 +305,7 @@ func TestAggregatorSeedsFromSnapshot(t *testing.T) {
 	}
 }
 
-func TestPeersForAndKnowsURL(t *testing.T) {
+func TestPeersFor(t *testing.T) {
 	srv, err := core.NewServer(core.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -332,15 +332,5 @@ func TestPeersForAndKnowsURL(t *testing.T) {
 		if p.Server == "self" || p.Server == "gone" || p.Service != "job" {
 			t.Errorf("unexpected peer %+v", p)
 		}
-	}
-
-	if !svc.KnowsURL("http://peer1:1/rpc") {
-		t.Error("KnowsURL must see live peer1")
-	}
-	if svc.KnowsURL("http://gone:1/rpc") {
-		t.Error("KnowsURL must not vouch for expired entries")
-	}
-	if svc.KnowsURL("http://stranger:1/rpc") {
-		t.Error("KnowsURL must not vouch for unknown URLs")
 	}
 }

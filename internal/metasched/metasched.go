@@ -25,6 +25,14 @@
 // peer sees the real owner, applies its own quotas and user mapping, and
 // the owner's job.status/job.output on the submitting server proxy to the
 // executing peer transparently.
+//
+// Fallback is at-least-once, not exactly-once: a peer that was merely
+// partitioned (rather than dead) may still be running a job the
+// scheduler reclaimed after DeadPolls failed polls, so a payload can
+// execute twice in that window — payloads should be idempotent or guard
+// externally. The scheduler narrows the window by remembering the
+// orphaned (peer, remote id, session) binding and best-effort cancelling
+// the remote copy once the peer answers again.
 package metasched
 
 import (
@@ -176,10 +184,11 @@ type Scheduler struct {
 	cycleMu sync.Mutex // serializes cycles (ticker loop vs. Kick)
 
 	mu        sync.Mutex
-	table     map[string]*peer  // peer name -> scored row
-	conns     map[string]Conn   // endpoint URL -> connection
-	sessions  map[string]string // peer name + "|" + owner DN -> delegated session
-	failPolls map[string]int    // local job id -> consecutive failed watch polls
+	table     map[string]*peer    // peer name -> scored row
+	conns     map[string]Conn     // endpoint URL -> connection
+	sessions  map[string]string   // peer name + "|" + owner DN -> delegated session
+	failPolls map[string]int      // local job id -> consecutive failed watch polls
+	orphans   map[string][]orphan // endpoint URL -> reclaimed remote copies to cancel
 	stats     Stats
 
 	stopCh  chan struct{}
@@ -212,6 +221,7 @@ func New(jobs *jobsvc.Service, peers PeerSource, deleg Delegator, dial Dialer, l
 		conns:     make(map[string]Conn),
 		sessions:  make(map[string]string),
 		failPolls: make(map[string]int),
+		orphans:   make(map[string][]orphan),
 		stopCh:    make(chan struct{}),
 	}
 	jobs.SetRemoteController(s)
@@ -285,6 +295,7 @@ func (s *Scheduler) Kick() {
 	defer s.cycleMu.Unlock()
 	s.refreshPeers()
 	s.pollPeers()
+	s.reapOrphans()
 	s.watchRemote()
 	s.forward()
 }
@@ -419,7 +430,15 @@ func (s *Scheduler) watchRemote() {
 	groups := make(map[groupKey][]*jobsvc.Job)
 	for _, j := range remote {
 		if j.RemoteID == "" || j.PeerURL == "" {
-			continue // claimed but not yet forwarded (or mid-forward)
+			// A remote record with no peer binding can only predate this
+			// process: cycles are serialized (cycleMu) and forward()
+			// resolves every claim to MarkForwarded or fallback before its
+			// cycle ends, so nothing in-flight looks like this. It means a
+			// past run crashed between ClaimForward and MarkForwarded —
+			// no peer holds the job, so reclaim it for the local queue
+			// rather than skipping it forever.
+			s.fallback(j, "recovered remote record with no peer binding; re-queued locally")
+			continue
 		}
 		k := groupKey{j.PeerURL, j.PeerSession}
 		groups[k] = append(groups[k], j)
@@ -515,7 +534,86 @@ func (s *Scheduler) failJob(j *jobsvc.Job, err error) {
 	if err != nil {
 		reason = fmt.Sprintf("peer %s unreachable after %d polls (%v); re-queued locally", j.Peer, n, err)
 	}
+	// The peer may only be partitioned and still running this job
+	// (at-least-once fallback): remember the remote binding so the copy
+	// can be cancelled if the peer answers again.
+	if j.RemoteID != "" && j.PeerURL != "" {
+		s.mu.Lock()
+		s.orphans[j.PeerURL] = append(s.orphans[j.PeerURL], orphan{remoteID: j.RemoteID, token: j.PeerSession})
+		s.mu.Unlock()
+	}
 	s.fallback(j, reason)
+}
+
+// orphan is the remote copy of a job reclaimed locally after its peer
+// stopped answering; if the peer was only partitioned the copy may still
+// be running, so the control loop best-effort cancels it on return.
+type orphan struct {
+	remoteID string
+	token    string // delegated session the copy was submitted under
+	cycles   int    // reap attempts so far; dropped at orphanMaxCycles
+}
+
+// orphanMaxCycles bounds how long an orphaned remote copy is remembered
+// — the delegated session it would be cancelled under expires long
+// before a peer absent this many cycles comes back.
+const orphanMaxCycles = 150
+
+// reapOrphans tries to cancel remote copies of jobs reclaimed from
+// unresponsive peers, closing (best-effort) the duplicate-execution
+// window of the at-least-once fallback. An entry is dropped once the
+// peer answers the cancel — whatever the verdict: cancelled, already
+// terminal, unknown job, or expired session all mean there is nothing
+// further to do — and retained across cycles while the peer stays
+// unreachable, up to orphanMaxCycles.
+func (s *Scheduler) reapOrphans() {
+	s.mu.Lock()
+	pending := s.orphans
+	s.orphans = make(map[string][]orphan)
+	s.mu.Unlock()
+	for url, orphans := range pending {
+		c, err := s.conn(url)
+		if err != nil {
+			s.keepOrphans(url, orphans)
+			continue
+		}
+		for i, o := range orphans {
+			_, err := c.Call(o.token, "job.cancel", o.remoteID)
+			if err != nil && !isFault(err) {
+				// Transport failure: the peer is still unreachable. Keep
+				// this and the remaining copies for a later cycle.
+				s.dropConn(url)
+				s.keepOrphans(url, orphans[i:])
+				break
+			}
+			if err != nil {
+				// The peer answered with a fault — unknown job, already
+				// terminal, expired session. Nothing left to cancel, but
+				// the copy may have run to completion there: say so.
+				s.logger.Printf("metasched: orphaned remote copy %s on %s not cancelled (%v); it may have completed remotely", o.remoteID, url, err)
+				continue
+			}
+			s.logger.Printf("metasched: cancelled orphaned remote copy %s on %s", o.remoteID, url)
+		}
+	}
+}
+
+// keepOrphans re-files orphans that could not be reaped this cycle,
+// aging each and dropping the ones past orphanMaxCycles.
+func (s *Scheduler) keepOrphans(url string, orphans []orphan) {
+	var keep []orphan
+	for _, o := range orphans {
+		o.cycles++
+		if o.cycles < orphanMaxCycles {
+			keep = append(keep, o)
+		}
+	}
+	if len(keep) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.orphans[url] = append(s.orphans[url], keep...)
+	s.mu.Unlock()
 }
 
 // fallback returns one forwarded job to the local queue.
@@ -660,6 +758,13 @@ func isAuthFault(err error) bool {
 		return f.Code == rpc.CodeNotAuthorized || f.Code == rpc.CodeAccessDenied
 	}
 	return false
+}
+
+// isFault reports whether err is a structured RPC fault — i.e. the peer
+// answered, as opposed to a transport-level failure.
+func isFault(err error) bool {
+	var f *rpc.Fault
+	return errors.As(err, &f)
 }
 
 // delegate returns a session on the named peer acting as owner,

@@ -521,3 +521,82 @@ func TestExpiredDelegatedSessionRenewedWithoutDuplicateRun(t *testing.T) {
 	}
 	h.gate <- struct{}{} // release the blocker
 }
+
+// TestRecoveredUnboundRemoteRecordRequeued: a remote record with no peer
+// binding (a past process crashed between ClaimForward and MarkForwarded)
+// must be reclaimed by the watch loop, not skipped forever.
+func TestRecoveredUnboundRemoteRecordRequeued(t *testing.T) {
+	h := newHarness(t, Config{Pressure: 10}, nil) // high pressure: no forwarding
+	h.occupy(t)
+	ids := h.submit(t, 1)
+	// Simulate the crash: claim the job for a peer but never bind it.
+	if claimed := h.jobs.ClaimForward(1, "ghost"); len(claimed) != 1 {
+		t.Fatalf("claimed %d jobs, want 1", len(claimed))
+	}
+	h.sched.Kick()
+	if st := h.sched.Stats(); st.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want the unbound record reclaimed", st)
+	}
+	h.gate <- struct{}{}
+	h.gate <- struct{}{}
+	j := waitState(t, h.jobs, ids[0], jobsvc.StateDone)
+	if !strings.HasPrefix(j.Stdout, "local:") {
+		t.Errorf("job ran %q, want local execution", j.Stdout)
+	}
+}
+
+// TestPartitionedPeerOrphanCancelledOnReturn: after the at-least-once
+// fallback reclaims a job from an unresponsive peer, the remote copy is
+// remembered and best-effort cancelled once the peer answers again.
+func TestPartitionedPeerOrphanCancelledOnReturn(t *testing.T) {
+	h := newHarness(t, Config{Pressure: -1, DeadPolls: 2}, nil)
+	conn := h.addPeer("island", "http://island/rpc", 4)
+	base := conn.handle
+	var mu sync.Mutex
+	partitioned := false
+	conn.handle = func(token, method string, params []any) (any, error) {
+		mu.Lock()
+		p := partitioned
+		mu.Unlock()
+		if p {
+			return nil, fmt.Errorf("network partition")
+		}
+		if method == "job.status" || method == "job.output" {
+			// The peer holds the job but never finishes it.
+			return map[string]any{"state": "running"}, nil
+		}
+		return base(token, method, params)
+	}
+	h.occupy(t)
+	ids := h.submit(t, 1)
+	h.sched.Kick()
+	if st := h.sched.Stats(); st.Forwarded != 1 {
+		t.Fatalf("stats = %+v, want 1 forwarded", st)
+	}
+	mu.Lock()
+	partitioned = true
+	mu.Unlock()
+	h.sched.Kick() // failed poll 1
+	h.sched.Kick() // failed poll 2 -> fallback, orphan remembered
+	if st := h.sched.Stats(); st.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 fallback", st)
+	}
+	if got := conn.callCount("job.cancel"); got != 0 {
+		t.Fatalf("job.cancel called %d times while the peer was unreachable", got)
+	}
+	// Drain the reclaimed job locally before the partition heals so the
+	// healed cycle has nothing to re-forward.
+	h.gate <- struct{}{}
+	h.gate <- struct{}{}
+	j := waitState(t, h.jobs, ids[0], jobsvc.StateDone)
+	if !strings.HasPrefix(j.Stdout, "local:") {
+		t.Errorf("job ran %q, want local fallback execution", j.Stdout)
+	}
+	mu.Lock()
+	partitioned = false
+	mu.Unlock()
+	h.sched.Kick() // peer answers again: the orphaned copy is cancelled
+	if got := conn.callCount("job.cancel"); got != 1 {
+		t.Errorf("job.cancel = %d calls after the peer returned, want 1", got)
+	}
+}

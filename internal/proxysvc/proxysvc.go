@@ -11,6 +11,8 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"sync"
 	"time"
 
 	"clarens/internal/core"
@@ -37,6 +39,10 @@ const DelegatedIssuerAttr = "delegated_issuer"
 // stays valid.
 const DefaultDelegationTTL = 2 * time.Minute
 
+// delegationSweepInterval rate-limits garbage collection of expired
+// delegation records.
+const delegationSweepInterval = time.Minute
+
 // Service is the Clarens proxy service.
 type Service struct {
 	srv *core.Server
@@ -44,22 +50,26 @@ type Service struct {
 	// its certificate expiry cannot be checked (defense in depth).
 	MaxTTL time.Duration
 	// TrustIssuer gates which remote issuer URLs login_delegated will
-	// call back to verify a delegation. The assembly wires it to the
-	// discovery cache (only servers the discovery network vouches for);
-	// nil refuses every remote issuer.
+	// call back to verify a delegation; nil (the default) refuses every
+	// remote issuer. The assembly wires it only when federation is
+	// enabled, and only to an explicit operator-configured allowlist of
+	// peer URLs (clarens.Config.FederationIssuers /
+	// Server.TrustFederationIssuers).
 	//
-	// SECURITY: the gate is only as strong as the discovery feed. This
-	// reproduction's station network ingests unauthenticated UDP, so a
-	// deployment reachable by untrusted publishers must replace
-	// TrustIssuer with a real allowlist (or authenticate the station
-	// feed): anyone who can plant a discovery record for their own URL
-	// can otherwise vouch for arbitrary DNs. See the ROADMAP's
-	// federation-hardening item (TLS peer certificates on this callback).
+	// SECURITY: never wire this to the discovery cache. The station
+	// network ingests unauthenticated UDP, so anyone who can plant a
+	// discovery record for their own URL could vouch for arbitrary DNs —
+	// the callback would ask the attacker whether the attacker is
+	// trustworthy. Production can harden further with TLS peer
+	// certificates on this callback (ROADMAP federation-hardening item).
 	TrustIssuer func(url string) bool
 	// VerifyRemote calls a remote issuer's proxy.check_delegation and
 	// reports whether the (dn, secret) pair was vouched for. Set at
 	// assembly time (it needs an RPC client); nil refuses remote issuers.
 	VerifyRemote func(issuerURL, dn, secret string) (bool, error)
+
+	sweepMu   sync.Mutex
+	lastSweep time.Time // last delegation-bucket GC pass
 }
 
 // record is the stored form of a proxy.
@@ -137,7 +147,7 @@ func (s *Service) Methods() []core.Method {
 		},
 		{
 			Name:      "proxy.login_delegated",
-			Help:      "Create a session for dn from a delegation secret: login_delegated(dn, secret, [issuer_url]). With an issuer URL the secret is verified by calling the issuer back (the issuer must be known to the discovery cache); without one the secret must have been minted locally. Returns the session token.",
+			Help:      "Create a session for dn from a delegation secret: login_delegated(dn, secret, [issuer_url]). With an issuer URL the secret is verified by calling the issuer back (the issuer must be on this server's configured allowlist); without one the secret must have been minted locally. Returns the session token.",
 			Signature: []string{"string string string string"},
 			Public:    true,
 			Handler:   s.rpcLoginDelegated,
@@ -170,6 +180,7 @@ func (s *Service) IssueDelegation(dn pki.DN, ttl time.Duration) (string, error) 
 	if ttl <= 0 {
 		ttl = DefaultDelegationTTL
 	}
+	s.sweepDelegations(time.Now())
 	var b [24]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		return "", err
@@ -197,6 +208,33 @@ func (s *Service) CheckDelegation(dnStr, secret string) bool {
 	}
 	s.srv.Store().Delete(delegationBucket, key)
 	return rec.DN == dnStr && time.Now().Before(rec.Expires)
+}
+
+// sweepDelegations garbage-collects expired delegation records. Secrets
+// are only deleted eagerly when redeemed, and many are minted but never
+// redeemed (every failed forward handoff leaves one), so without a sweep
+// the bucket grows forever. Runs from IssueDelegation at most once per
+// delegationSweepInterval — the table can only grow while delegations
+// are being minted, so that is also when it needs collecting.
+func (s *Service) sweepDelegations(now time.Time) {
+	s.sweepMu.Lock()
+	if now.Sub(s.lastSweep) < delegationSweepInterval {
+		s.sweepMu.Unlock()
+		return
+	}
+	s.lastSweep = now
+	s.sweepMu.Unlock()
+	var expired []string
+	s.srv.Store().ForEach(delegationBucket, func(key string, value []byte) error {
+		var rec delegationRecord
+		if json.Unmarshal(value, &rec) != nil || now.After(rec.Expires) {
+			expired = append(expired, key)
+		}
+		return nil
+	})
+	for _, key := range expired {
+		s.srv.Store().Delete(delegationBucket, key)
+	}
 }
 
 func (s *Service) rpcDelegate(ctx *core.Context, p core.Params) (any, error) {
@@ -251,7 +289,7 @@ func (s *Service) rpcLoginDelegated(ctx *core.Context, p core.Params) (any, erro
 		}
 	} else {
 		if s.TrustIssuer == nil || !s.TrustIssuer(issuer) {
-			return nil, &rpc.Fault{Code: rpc.CodeAccessDenied, Message: "proxy: delegation issuer is not known to this server's discovery cache"}
+			return nil, &rpc.Fault{Code: rpc.CodeAccessDenied, Message: "proxy: delegation issuer is not on this server's trusted-issuer allowlist"}
 		}
 		if s.VerifyRemote == nil {
 			return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: "proxy: remote delegation verification not configured"}

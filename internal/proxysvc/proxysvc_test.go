@@ -413,3 +413,38 @@ func TestLoginDelegatedRemoteIssuer(t *testing.T) {
 		t.Error("issuer-refused delegation must fail")
 	}
 }
+
+func TestDelegationSweepCollectsExpired(t *testing.T) {
+	f := newFixture(t)
+	count := func() int {
+		n := 0
+		f.srv.Store().ForEach(delegationBucket, func(string, []byte) error {
+			n++
+			return nil
+		})
+		return n
+	}
+	// Three secrets that expire immediately (minted but never redeemed —
+	// the residue every failed forward handoff leaves) plus one live one.
+	for i := 0; i < 3; i++ {
+		if _, err := f.svc.IssueDelegation(userDN, time.Nanosecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live, err := f.svc.IssueDelegation(userDN, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := count(); got != 4 {
+		t.Fatalf("delegation records = %d, want 4", got)
+	}
+	// IssueDelegation already swept once this minute; a future-stamped
+	// sweep bypasses the rate limit and collects the expired records.
+	f.svc.sweepDelegations(time.Now().Add(2 * delegationSweepInterval))
+	if got := count(); got != 1 {
+		t.Errorf("delegation records after sweep = %d, want 1 (the live one)", got)
+	}
+	if !f.svc.CheckDelegation(userDN.String(), live) {
+		t.Error("live delegation must survive the sweep")
+	}
+}
