@@ -23,6 +23,7 @@ package clarens
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"path/filepath"
@@ -163,6 +164,15 @@ type Config struct {
 	// JobAgeStep is the priority increment per elapsed JobAgeInterval
 	// (default 1).
 	JobAgeStep int
+	// JobSpoolLimit bounds the bytes of one job output stream (or
+	// collected sandbox file) staged to the artifact tree (default
+	// 256 MiB). Requires FileRoot: artifacts live under the file
+	// service's /jobs/<id>/ namespace, read-ACL'd to the submitting DN.
+	JobSpoolLimit int64
+	// JobArtifactRetention, when positive, garbage-collects terminal
+	// jobs' artifact trees this long after they finish (records keep
+	// their inline output heads). Zero keeps artifacts until job.delete.
+	JobArtifactRetention time.Duration
 	// EnableFederation starts the peer-aware meta-scheduler: job services
 	// on peer servers are discovered through the discovery network, their
 	// load polled, and queued work beyond FederationPressure forwarded to
@@ -376,14 +386,9 @@ func NewServer(cfg Config) (*Server, error) {
 			return fail(fmt.Errorf("clarens: job service requires ShellUserMap (payloads run in the shell sandbox)"))
 		}
 		shell := s.Shell
-		exec := func(owner pki.DN, command string) (jobsvc.ExecResult, error) {
-			res, user, err := shell.ExecAs(owner, command)
-			return jobsvc.ExecResult{
-				Stdout:    res.Stdout,
-				Stderr:    res.Stderr,
-				ExitCode:  res.ExitCode,
-				LocalUser: user,
-			}, err
+		exec := func(owner pki.DN, command string, stdout, stderr io.Writer) (jobsvc.ExecStatus, error) {
+			code, user, err := shell.ExecStreamAs(owner, command, stdout, stderr)
+			return jobsvc.ExecStatus{ExitCode: code, LocalUser: user}, err
 		}
 		var notify jobsvc.Notifier
 		if s.Messages != nil {
@@ -393,12 +398,36 @@ func NewServer(cfg Config) (*Server, error) {
 		if s.publisher != nil {
 			gauges = s.publisher
 		}
+		// With a file service present, job results stage as artifacts:
+		// stdout/stderr spool to the per-owner-ACL'd /jobs/<id>/ trees and
+		// sandbox files matched by a job's collect globs ride along.
+		var stager jobsvc.ArtifactStager
+		var collector jobsvc.Collector
+		if s.Files != nil {
+			store, err := s.Files.EnableJobArtifacts()
+			if err != nil {
+				return fail(err)
+			}
+			stager = store
+			collector = func(owner pki.DN, patterns []string, destDir string, fileLimit int64) ([]jobsvc.CollectedFile, []string, error) {
+				files, skipped, err := shell.CollectInto(owner, patterns, destDir, fileLimit)
+				out := make([]jobsvc.CollectedFile, len(files))
+				for i, f := range files {
+					out[i] = jobsvc.CollectedFile{Name: f.Name, Size: f.Size, MD5: f.MD5}
+				}
+				return out, skipped, err
+			}
+		}
 		js, err := jobsvc.New(cs, jobsvc.Config{
 			Workers:           cfg.JobWorkers,
 			MaxPerOwner:       cfg.JobMaxPerOwner,
 			MaxQueuedPerOwner: cfg.JobMaxQueuedPerOwner,
 			AgeInterval:       cfg.JobAgeInterval,
 			AgeStep:           cfg.JobAgeStep,
+			SpoolLimit:        cfg.JobSpoolLimit,
+			ArtifactRetention: cfg.JobArtifactRetention,
+			Artifacts:         stager,
+			Collector:         collector,
 		}, exec, notify, gauges, cfg.Name)
 		if err != nil {
 			return fail(err)

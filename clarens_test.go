@@ -182,11 +182,11 @@ func TestShellEndToEnd(t *testing.T) {
 	}
 	// The sandbox is visible through the file service, as the paper says.
 	sandbox := res["sandbox"].(string)
-	data, err := c.CallBytes("file.read", sandbox+"/hello.txt", 0, -1)
+	data, err := c.FileRead(sandbox+"/hello.txt", 0, -1)
 	if err != nil {
 		// requires a read grant: admins bypass; grant the user.
 		srv.Files.Grant(sandbox, 0, []string{userDN.String()}, nil)
-		data, err = c.CallBytes("file.read", sandbox+"/hello.txt", 0, -1)
+		data, err = c.FileRead(sandbox+"/hello.txt", 0, -1)
 		if err != nil {
 			t.Fatalf("file.read of sandbox: %v", err)
 		}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -384,31 +385,116 @@ func (c *Client) CallStruct(method string, params ...any) (map[string]any, error
 
 // File access conveniences mirroring the paper's file service interface.
 
+// FileReadChunk reads one file.read chunk: up to length bytes from name
+// starting at offset (length -1 reads to the per-call cap). eof reports
+// whether the chunk reached the end of the file, so iterating callers
+// terminate without a zero-byte probe call.
+func (c *Client) FileReadChunk(name string, offset int64, length int) (data []byte, eof bool, err error) {
+	v, err := c.Call("file.read", name, int(offset), length)
+	if err != nil {
+		return nil, false, err
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, false, fmt.Errorf("clarens: file.read returned %T, want struct", v)
+	}
+	if m["data"] != nil {
+		var ok bool
+		if data, ok = rpc.CoerceBytes(m["data"]); !ok {
+			return nil, false, fmt.Errorf("clarens: file.read data is %T", m["data"])
+		}
+	}
+	eof, _ = m["eof"].(bool)
+	return data, eof, nil
+}
+
 // FileRead reads length bytes from name starting at offset (length -1
 // reads to the per-call cap).
 func (c *Client) FileRead(name string, offset, length int) ([]byte, error) {
-	return c.CallBytes("file.read", name, offset, length)
+	data, _, err := c.FileReadChunk(name, int64(offset), length)
+	return data, err
+}
+
+// FetchFile streams a server file into w by chunk-iterating file.read
+// from offset until the server signals EOF, returning the bytes copied.
+// This is the RPC artifact-fetch path; for the zero-copy transfer use
+// FetchFileHTTP.
+func (c *Client) FetchFile(name string, offset int64, w io.Writer) (int64, error) {
+	var copied int64
+	for {
+		data, eof, err := c.FileReadChunk(name, offset+copied, -1)
+		if err != nil {
+			return copied, err
+		}
+		if len(data) > 0 {
+			if _, err := w.Write(data); err != nil {
+				return copied, err
+			}
+			copied += int64(len(data))
+		}
+		if eof {
+			return copied, nil
+		}
+		if len(data) == 0 {
+			return copied, fmt.Errorf("clarens: file.read returned no data and no eof at offset %d", offset+copied)
+		}
+	}
+}
+
+// FetchFileHTTP streams a server file into w over the streaming HTTP GET
+// endpoint (/files/), resuming at offset via a Range request — the
+// sendfile path for bulky artifacts, with restart-at-offset for
+// interrupted transfers. The current session token authenticates the
+// request. Returns the bytes copied.
+func (c *Client) FetchFileHTTP(name string, offset int64, w io.Writer) (int64, error) {
+	url := c.FileURL(name)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	if sid := c.Session(); sid != "" {
+		req.Header.Set(core.SessionHeader, sid)
+	}
+	if offset > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", offset))
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case offset > 0 && resp.StatusCode == http.StatusPartialContent:
+	case offset == 0 && resp.StatusCode == http.StatusOK:
+	case offset > 0 && resp.StatusCode == http.StatusOK:
+		// The server ignored the Range header; discard the prefix so the
+		// caller still gets exactly the resumed tail.
+		if _, err := io.CopyN(io.Discard, resp.Body, offset); err != nil {
+			return 0, err
+		}
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 200))
+		return 0, fmt.Errorf("clarens: GET %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	return io.Copy(w, resp.Body)
+}
+
+// FileURL returns the HTTP GET URL serving the named server file.
+func (c *Client) FileURL(name string) string {
+	base := strings.TrimSuffix(c.url, "/rpc")
+	if !strings.HasPrefix(name, "/") {
+		name = "/" + name
+	}
+	return base + "/files" + name
 }
 
 // FileReadAll iterates file.read until EOF, returning the whole file.
 func (c *Client) FileReadAll(name string) ([]byte, error) {
-	size, err := c.CallInt("file.size", name)
-	if err != nil {
+	var buf bytes.Buffer
+	if _, err := c.FetchFile(name, 0, &buf); err != nil {
 		return nil, err
 	}
-	out := make([]byte, 0, size)
-	for offset := 0; offset < size; {
-		chunk, err := c.FileRead(name, offset, size-offset)
-		if err != nil {
-			return nil, err
-		}
-		if len(chunk) == 0 {
-			break
-		}
-		out = append(out, chunk...)
-		offset += len(chunk)
-	}
-	return out, nil
+	return buf.Bytes(), nil
 }
 
 // FileLs lists a directory.
@@ -450,6 +536,116 @@ func (c *Client) JobWait(id string, timeout time.Duration) (map[string]any, erro
 		secs = 1
 	}
 	return c.CallStruct("job.wait", id, secs)
+}
+
+// JobArtifact is a staged output file referenced by a job record.
+type JobArtifact struct {
+	Name string // "stdout", "stderr", or a collected sandbox file
+	Path string // virtual fileservice path, fetchable via file.read / HTTP GET
+	Size int64
+	MD5  string
+	// Partial marks a stream the server's spool byte cap cut short: the
+	// staged file holds only the first Size bytes.
+	Partial bool
+}
+
+// JobOutputResult is a job's resolved output.
+type JobOutputResult struct {
+	Stdout   string
+	Stderr   string
+	ExitCode int
+	State    string
+	// Truncated reports whether Stdout or Stderr in THIS result is still
+	// an incomplete head: false when the full streams were inline or were
+	// fetched transparently from their artifacts. The per-stream flags
+	// say which stream is affected.
+	Truncated       bool
+	StdoutTruncated bool
+	StderrTruncated bool
+	Artifacts       []JobArtifact
+}
+
+// JobOutputHead fetches a job's output record without following
+// artifact references: inline heads, truncation flag, and the artifact
+// list. Callers that want the full streams use JobOutput (in-memory) or
+// stream each artifact's Path themselves with FetchFile/FetchFileHTTP.
+func (c *Client) JobOutputHead(id string) (*JobOutputResult, error) {
+	m, err := c.CallStruct("job.output", id)
+	if err != nil {
+		return nil, err
+	}
+	res := &JobOutputResult{}
+	res.Stdout, _ = m["stdout"].(string)
+	res.Stderr, _ = m["stderr"].(string)
+	res.ExitCode, _ = rpc.CoerceInt(m["exit_code"])
+	res.State, _ = m["state"].(string)
+	res.Truncated, _ = m["truncated"].(bool)
+	res.StdoutTruncated, _ = m["stdout_truncated"].(bool)
+	res.StderrTruncated, _ = m["stderr_truncated"].(bool)
+	if res.Truncated && !res.StdoutTruncated && !res.StderrTruncated {
+		// A server that only reports the aggregate: assume either stream
+		// may be the incomplete one.
+		res.StdoutTruncated, res.StderrTruncated = true, true
+	}
+	if arts, ok := m["artifacts"].([]any); ok {
+		for _, e := range arts {
+			am, _ := e.(map[string]any)
+			if am == nil {
+				continue
+			}
+			a := JobArtifact{}
+			a.Name, _ = am["name"].(string)
+			a.Path, _ = am["path"].(string)
+			if n, ok := rpc.CoerceInt(am["size"]); ok {
+				a.Size = int64(n)
+			}
+			a.MD5, _ = am["md5"].(string)
+			a.Partial, _ = am["partial"].(bool)
+			res.Artifacts = append(res.Artifacts, a)
+		}
+	}
+	return res, nil
+}
+
+// JobOutput fetches a job's output, following artifact references
+// transparently: when the server reports truncated inline heads and the
+// record carries staged stdout/stderr artifacts, the full streams are
+// fetched by chunk-iterating file.read. The resolved streams are held in
+// memory — for very large artifacts prefer JobOutputHead plus
+// FetchFile/FetchFileHTTP into a destination of your choosing.
+// Collected sandbox artifacts are listed but never fetched here.
+func (c *Client) JobOutput(id string) (*JobOutputResult, error) {
+	res, err := c.JobOutputHead(id)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Truncated {
+		return res, nil
+	}
+	// A stream that outgrew its head has exactly one staged artifact
+	// named after it; fetching it resolves that stream. A stream stays
+	// truncated when its artifact is missing (GC'd, staging disabled
+	// server-side, or skipped by the federation pull-back) or is itself
+	// Partial (cut by the server's spool cap) — resolution is tracked
+	// PER STREAM so a fetched stderr never masks a still-truncated stdout.
+	for _, a := range res.Artifacts {
+		if a.Name != "stdout" && a.Name != "stderr" {
+			continue
+		}
+		var buf bytes.Buffer
+		if _, err := c.FetchFile(a.Path, 0, &buf); err != nil {
+			return nil, fmt.Errorf("clarens: fetch %s artifact of job %s: %w", a.Name, id, err)
+		}
+		if a.Name == "stdout" {
+			res.Stdout = buf.String()
+			res.StdoutTruncated = a.Partial
+		} else {
+			res.Stderr = buf.String()
+			res.StderrTruncated = a.Partial
+		}
+	}
+	res.Truncated = res.StdoutTruncated || res.StderrTruncated
+	return res, nil
 }
 
 // Discover queries the server's discovery cache.

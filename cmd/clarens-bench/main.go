@@ -12,6 +12,12 @@
 //	-experiment federation meta-scheduler: a burst of jobs drained by one
 //	                       server versus a 3-server federation forwarding
 //	                       queued work to idle peers
+//	-experiment staging    job result staging: a multi-MB job output
+//	                       retrieved via the inline job.output envelope
+//	                       (head only since PR 5) versus the staged
+//	                       artifact paths — file.read chunk iteration and
+//	                       zero-copy HTTP GET — locally and across a
+//	                       2-server federation pull-back
 //	-experiment all        run everything
 //
 // Results print as aligned tables; -csv DIR additionally writes one CSV
@@ -22,6 +28,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/md5"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -67,6 +75,7 @@ func main() {
 		fedJobs    = flag.Int("federation-jobs", 48, "federation: burst size")
 		fedServers = flag.Int("federation-servers", 3, "federation: servers in the federation")
 		fedJobSecs = flag.Float64("federation-job-secs", 0.15, "federation: per-job sleep payload (seconds)")
+		stagingMB  = flag.Int("staging-mb", 8, "staging: approximate job output size in MiB")
 		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
 		jsonOut    = flag.String("json", "", "file for a JSON summary of all results (optional)")
 	)
@@ -92,12 +101,15 @@ func main() {
 		rep.Experiments["streaming"] = runStreaming(*streamMB, *csvDir)
 	case "federation":
 		rep.Experiments["federation"] = runFederation(*fedJobs, *fedServers, *fedJobSecs, *csvDir)
+	case "staging":
+		rep.Experiments["staging"] = runStaging(*stagingMB, *csvDir)
 	case "all":
 		rep.Experiments["figure4"] = runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
 		rep.Experiments["tls"] = runTLS(*calls, *repeats, *csvDir)
 		rep.Experiments["globus"] = runGlobus(*trivial, *csvDir)
 		rep.Experiments["streaming"] = runStreaming(*streamMB, *csvDir)
 		rep.Experiments["federation"] = runFederation(*fedJobs, *fedServers, *fedJobSecs, *csvDir)
+		rep.Experiments["staging"] = runStaging(*stagingMB, *csvDir)
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
 	}
@@ -482,7 +494,7 @@ func runStreaming(sizeMB int, csvDir string) map[string]any {
 // fedMember starts one federation member: job service over the shell
 // sandbox, proxy service (delegation), and a local station publishing to
 // the shared backbone.
-func fedMember(name, backbone string, workers int, federate bool) *clarens.Server {
+func fedMember(name, backbone string, workers int, federate bool, pressure int) *clarens.Server {
 	dir, err := os.MkdirTemp("", "clarens-fed-"+name)
 	if err != nil {
 		log.Fatal(err)
@@ -499,7 +511,7 @@ func fedMember(name, backbone string, workers int, federate bool) *clarens.Serve
 		EnableJobs:         true,
 		JobWorkers:         workers,
 		EnableFederation:   federate,
-		FederationPressure: 1,
+		FederationPressure: pressure,
 		PeerPollInterval:   50 * time.Millisecond,
 	}
 	if backbone != "" {
@@ -568,7 +580,7 @@ func runFederation(jobs, servers int, jobSecs float64, csvDir string) map[string
 		jobs, jobSecs, servers)
 
 	// Baseline: one server drains the whole burst.
-	solo := fedMember("fed-solo", "", 2, false)
+	solo := fedMember("fed-solo", "", 2, false, 1)
 	soloTime := fedDrain(solo, jobs, jobSecs)
 	solo.Close()
 
@@ -580,7 +592,7 @@ func runFederation(jobs, servers int, jobSecs float64, csvDir string) map[string
 	defer backbone.Close()
 	members := make([]*clarens.Server, servers)
 	for i := range members {
-		srv := fedMember(fmt.Sprintf("fed-site%d", i), backbone.Addr().String(), 2, true)
+		srv := fedMember(fmt.Sprintf("fed-site%d", i), backbone.Addr().String(), 2, true, 1)
 		udp, err := net.ResolveUDPAddr("udp", srv.StationAddr())
 		if err != nil {
 			log.Fatal(err)
@@ -633,5 +645,193 @@ func runFederation(jobs, servers int, jobSecs float64, csvDir string) map[string
 		"forwarded":         st.Forwarded,
 		"pulled_back":       st.PulledBack,
 		"fallbacks":         st.Fallbacks,
+	}
+}
+
+// runStaging measures the job result path the staging refactor opened:
+// a job whose stdout is ~sizeMB MiB, retrieved through (a) the inline
+// job.output envelope (which since the refactor carries only the 64 KiB
+// head plus an artifact reference), (b) file.read chunk iteration over
+// the staged artifact, and (c) the zero-copy HTTP GET path — first
+// locally, then for a job the federation executed on a peer and whose
+// artifact was pulled back and re-staged on the submitting server.
+func runStaging(sizeMB int, csvDir string) map[string]any {
+	fmt.Println("== Experiment E6: job result staging (inline vs artifact paths) ==")
+	lines := sizeMB * 150_000 // ~7 bytes/line at 6-7 digit numbers
+	payload := fmt.Sprintf("seq %d", lines)
+
+	type fetch struct {
+		bytes   int64
+		seconds float64
+		md5ok   bool
+	}
+	measure := func(c *clarens.Client, id string) (head fetch, rpcF fetch, httpF fetch, size int64) {
+		// Inline envelope: one job.output round trip (head + reference).
+		start := time.Now()
+		out, err := c.CallStruct("job.output", id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		headStr, _ := out["stdout"].(string)
+		head = fetch{bytes: int64(len(headStr)), seconds: time.Since(start).Seconds(), md5ok: true}
+		arts, _ := out["artifacts"].([]any)
+		if len(arts) == 0 {
+			log.Fatalf("job %s staged no artifact (output %d bytes)", id, len(headStr))
+		}
+		ref := arts[0].(map[string]any)
+		path, _ := ref["path"].(string)
+		wantMD5, _ := ref["md5"].(string)
+		szInt, _ := rpc.CoerceInt(ref["size"])
+		size = int64(szInt)
+
+		// Staged path 1: file.read chunk iteration (RPC envelopes).
+		h := md5.New()
+		start = time.Now()
+		n, err := c.FetchFile(path, 0, h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rpcF = fetch{bytes: n, seconds: time.Since(start).Seconds(), md5ok: hex.EncodeToString(h.Sum(nil)) == wantMD5}
+
+		// Staged path 2: HTTP GET (sendfile).
+		h = md5.New()
+		start = time.Now()
+		n, err = c.FetchFileHTTP(path, 0, h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		httpF = fetch{bytes: n, seconds: time.Since(start).Seconds(), md5ok: hex.EncodeToString(h.Sum(nil)) == wantMD5}
+		return head, rpcF, httpF, size
+	}
+	mbps := func(f fetch) float64 {
+		if f.seconds <= 0 {
+			return 0
+		}
+		return float64(f.bytes) / (1 << 20) / f.seconds
+	}
+
+	benchDN := pki.MustParseDN("/O=bench/OU=People/CN=Bench User")
+	runJob := func(srv *clarens.Server, command string) (*clarens.Client, string) {
+		c, err := clarens.Dial(srv.URL())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess, err := srv.NewSessionFor(benchDN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.SetSession(sess.ID)
+		id, err := c.JobSubmit(command, 0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st, err := c.JobWait(id, 120*time.Second); err != nil || st["state"] != "done" {
+			log.Fatalf("job = %v, %v", st, err)
+		}
+		return c, id
+	}
+
+	// Local leg.
+	local := fedMember("staging-local", "", 2, false, 1)
+	defer local.Close()
+	c, id := runJob(local, payload)
+	head, rpcF, httpF, size := measure(c, id)
+	c.Close()
+	fmt.Printf("local job output: %d bytes staged (inline head %d bytes)\n", size, head.bytes)
+	fmt.Printf("%-40s %10.2f MiB/s  (%.4fs, digest ok=%v)\n", "staged fetch, file.read chunks", mbps(rpcF), rpcF.seconds, rpcF.md5ok)
+	fmt.Printf("%-40s %10.2f MiB/s  (%.4fs, digest ok=%v)\n", "staged fetch, HTTP GET", mbps(httpF), httpF.seconds, httpF.md5ok)
+	fmt.Printf("%-40s %10.4f s     (head only: the envelope no longer carries the stream)\n", "inline job.output round trip", head.seconds)
+
+	// Federated leg: 2 members, the job forwarded to the idle peer, the
+	// artifact pulled back and re-staged, then fetched from the
+	// submitting server.
+	backbone, err := monalisa.NewStation("staging-backbone", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer backbone.Close()
+	members := make([]*clarens.Server, 2)
+	for i := range members {
+		srv := fedMember(fmt.Sprintf("staging-site%d", i), backbone.Addr().String(), 2, true, -1)
+		udp, err := net.ResolveUDPAddr("udp", srv.StationAddr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		backbone.Peer(udp)
+		if err := srv.PublishServices(); err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		members[i] = srv
+	}
+	urls := []string{members[0].RPCURL(), members[1].RPCURL()}
+	for _, srv := range members {
+		srv.TrustFederationIssuers(urls...)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for members[0].Federation.Stats().Peers < 1 {
+		if time.Now().After(deadline) {
+			log.Fatal("staging federation never converged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Park site0's workers so the artifact job must execute on site1.
+	c0, err := clarens.Dial(members[0].URL())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := members[0].NewSessionFor(benchDN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c0.SetSession(sess.ID)
+	for i := 0; i < 2; i++ {
+		if _, err := c0.JobSubmit("sleep 5", 100, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fedStart := time.Now()
+	fid, err := c0.JobSubmit(payload, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := c0.JobWait(fid, 120*time.Second)
+	if err != nil || st["state"] != "done" {
+		log.Fatalf("federated job = %v, %v", st, err)
+	}
+	fedRoundTrip := time.Since(fedStart).Seconds()
+	peer, _ := st["peer"].(string)
+	fHead, fRPC, fHTTP, fSize := measure(c0, fid)
+	c0.Close()
+	pulled := members[0].Federation.Stats().ArtifactBytes
+	fmt.Printf("federated job executed on %q: %d bytes staged, %d pulled back over file.read, %.2fs submit->terminal\n",
+		peer, fSize, pulled, fedRoundTrip)
+	fmt.Printf("%-40s %10.2f MiB/s  (%.4fs, digest ok=%v)\n", "federated staged fetch, file.read", mbps(fRPC), fRPC.seconds, fRPC.md5ok)
+	fmt.Printf("%-40s %10.2f MiB/s  (%.4fs, digest ok=%v)\n", "federated staged fetch, HTTP GET", mbps(fHTTP), fHTTP.seconds, fHTTP.md5ok)
+	fmt.Printf("speedup HTTP GET vs file.read chunks: %.2fx local, %.2fx federated\n",
+		mbps(httpF)/mbps(rpcF), mbps(fHTTP)/mbps(fRPC))
+	fmt.Println("paper: bulky results belong on the streaming file paths, not in RPC envelopes (§2.3)")
+	if out := csvFile(csvDir, "staging.csv"); out != nil {
+		fmt.Fprintln(out, "leg,path,bytes,seconds,mib_per_s")
+		fmt.Fprintf(out, "local,file_read,%d,%.4f,%.2f\nlocal,http_get,%d,%.4f,%.2f\n",
+			rpcF.bytes, rpcF.seconds, mbps(rpcF), httpF.bytes, httpF.seconds, mbps(httpF))
+		fmt.Fprintf(out, "federated,file_read,%d,%.4f,%.2f\nfederated,http_get,%d,%.4f,%.2f\n",
+			fRPC.bytes, fRPC.seconds, mbps(fRPC), fHTTP.bytes, fHTTP.seconds, mbps(fHTTP))
+		out.Close()
+	}
+	fmt.Println()
+	_ = fHead
+	return map[string]any{
+		"output_bytes":           size,
+		"inline_head_bytes":      head.bytes,
+		"inline_roundtrip_s":     head.seconds,
+		"local_fileread_mibps":   mbps(rpcF),
+		"local_httpget_mibps":    mbps(httpF),
+		"digests_ok":             rpcF.md5ok && httpF.md5ok && fRPC.md5ok && fHTTP.md5ok,
+		"federated_peer":         peer,
+		"federated_roundtrip_s":  fedRoundTrip,
+		"federated_pulled_bytes": pulled,
+		"fed_fileread_mibps":     mbps(fRPC),
+		"fed_httpget_mibps":      mbps(fHTTP),
 	}
 }

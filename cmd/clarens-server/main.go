@@ -46,6 +46,8 @@ func main() {
 		jobQueued    = flag.Int("job-max-queued-per-owner", 0, "cap on queued jobs per owner DN (0 = quarter of the queue bound, negative = unlimited)")
 		jobAge       = flag.Duration("job-age-interval", 0, "priority aging period for queued jobs (0 = strict priority)")
 		jobAgeStep   = flag.Int("job-age-step", 1, "effective-priority increment per elapsed aging period")
+		jobSpool     = flag.Int64("job-spool-limit", 0, "per-stream byte cap for staged job artifacts (0 = 256 MiB default; requires -fileroot)")
+		jobRetention = flag.Duration("job-artifact-retention", 0, "garbage-collect terminal jobs' artifact trees after this long (0 = keep until job.delete)")
 		federation   = flag.Bool("federation", false, "forward queued jobs to discovered peer servers (requires -jobs, -proxy, and a station network)")
 		fedPressure  = flag.Int("federation-pressure", 8, "queued-job depth above which the meta-scheduler forwards work (negative = whenever a peer is idle)")
 		peerPoll     = flag.Duration("peer-poll", 2*time.Second, "federation peer poll / remote watch period")
@@ -70,6 +72,8 @@ func main() {
 		JobMaxQueuedPerOwner: *jobQueued,
 		JobAgeInterval:       *jobAge,
 		JobAgeStep:           *jobAgeStep,
+		JobSpoolLimit:        *jobSpool,
+		JobArtifactRetention: *jobRetention,
 		EnableFederation:     *federation,
 		FederationPressure:   *fedPressure,
 		PeerPollInterval:     *peerPoll,

@@ -283,18 +283,46 @@ func runJob(c *clarens.Client, args []string) error {
 		if len(args) < 2 {
 			return fmt.Errorf("usage: job output <id>")
 		}
-		out, err := c.CallStruct("job.output", args[1])
+		// Outputs past the server's inline limit stream straight from
+		// their staged artifacts to stdout/stderr — never buffered whole.
+		out, err := c.JobOutputHead(args[1])
 		if err != nil {
 			return err
 		}
-		if s, _ := out["stdout"].(string); s != "" {
-			fmt.Print(s)
+		streamed := map[string]bool{}
+		if out.Truncated {
+			for _, a := range out.Artifacts {
+				switch a.Name {
+				case "stdout":
+					if _, err := c.FetchFile(a.Path, 0, os.Stdout); err != nil {
+						return err
+					}
+				case "stderr":
+					if _, err := c.FetchFile(a.Path, 0, os.Stderr); err != nil {
+						return err
+					}
+				default:
+					continue
+				}
+				streamed[a.Name] = true
+				if a.Partial {
+					fmt.Fprintf(os.Stderr, "[%s cut at the server's spool limit: first %d bytes only]\n", a.Name, a.Size)
+				}
+			}
 		}
-		if s, _ := out["stderr"].(string); s != "" {
-			fmt.Fprint(os.Stderr, s)
+		if !streamed["stdout"] && out.Stdout != "" {
+			fmt.Print(out.Stdout)
 		}
-		if code, _ := out["exit_code"].(int); code != 0 {
-			os.Exit(code)
+		if !streamed["stderr"] && out.Stderr != "" {
+			fmt.Fprint(os.Stderr, out.Stderr)
+		}
+		for _, a := range out.Artifacts {
+			if a.Name != "stdout" && a.Name != "stderr" {
+				fmt.Fprintf(os.Stderr, "[artifact %s: %s, %d bytes, md5 %s]\n", a.Name, a.Path, a.Size, a.MD5)
+			}
+		}
+		if out.ExitCode != 0 {
+			os.Exit(out.ExitCode)
 		}
 		return nil
 	case "cancel":

@@ -19,7 +19,14 @@
 //     polling,
 //
 //  5. gathers per-shard results with job.output and prints the aggregate
-//     plus the scheduler's own job.stats counters.
+//     plus the scheduler's own job.stats counters,
+//
+//  6. runs a merge job whose output far exceeds the inline limit: the
+//     full stream is staged as a fileservice artifact under
+//     /jobs/<id>/, read-ACL'd to the submitting DN, and fetched back
+//     over the streaming path (Client.JobOutput follows the reference
+//     transparently; file.read chunk iteration / HTTP GET under the
+//     hood) instead of riding an RPC envelope.
 //
 //     go run ./examples/job-pipeline
 package main
@@ -117,26 +124,59 @@ func main() {
 	// terminal state.
 	waitTerminal(c, pending)
 
-	// Gather per-shard trigger counts.
+	// Gather per-shard trigger counts. JobOutput follows staged-artifact
+	// references transparently, so this loop is oblivious to whether a
+	// shard's output fit inline.
 	total := 0
 	for id, s := range shardOf {
-		out, err := c.CallStruct("job.output", id)
+		out, err := c.JobOutput(id)
 		if err != nil {
 			log.Fatal(err)
 		}
-		stdout, _ := out["stdout"].(string)
-		hits := strings.Count(stdout, "TRIGGER")
+		hits := strings.Count(out.Stdout, "TRIGGER")
 		total += hits
-		fmt.Printf("  shard %d: %2d trigger hits (job %s, exit %v)\n", s, hits, short(id), out["exit_code"])
+		fmt.Printf("  shard %d: %2d trigger hits (job %s, exit %d)\n", s, hits, short(id), out.ExitCode)
 	}
 	fmt.Printf("total trigger hits: %d\n", total)
+
+	// Merge step: concatenate every shard plus a large synthetic event
+	// dump — way past the 64 KiB inline limit — and collect the shard
+	// files themselves as artifacts. The result comes back over the
+	// streaming artifact path, not the RPC envelope.
+	mergeCmd := "cat"
+	for s := 0; s < shards; s++ {
+		mergeCmd += fmt.Sprintf(" shard%d.dat", s)
+	}
+	mergeID, err := c.CallString("job.submit", mergeCmd+" && seq 300000", 10, 0,
+		[]any{"shard*.dat"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	waitTerminal(c, map[string]bool{mergeID: true})
+	merged, err := c.JobOutput(mergeID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merge job %s: %d bytes of stdout fetched via the artifact path (truncated=%v)\n",
+		short(mergeID), len(merged.Stdout), merged.Truncated)
+	for _, a := range merged.Artifacts {
+		fmt.Printf("  artifact %-12s %8d bytes  md5 %s  %s\n", a.Name, a.Size, a.MD5[:8], a.Path)
+	}
+	// The same bytes are one HTTP GET away (zero-copy sendfile path).
+	if len(merged.Artifacts) > 0 {
+		var buf strings.Builder
+		if _, err := c.FetchFileHTTP(merged.Artifacts[0].Path, 0, &buf); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("HTTP GET %s -> %d bytes\n", c.FileURL(merged.Artifacts[0].Path), buf.Len())
+	}
 
 	stats, err := c.CallStruct("job.stats")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("scheduler: %v done, %v failed, %v workers, %.1f jobs/s\n",
-		stats["done"], stats["failed"], stats["workers"], stats["throughput_per_s"])
+	fmt.Printf("scheduler: %v done, %v failed, %v workers, %.1f jobs/s, %v artifact bytes staged\n",
+		stats["done"], stats["failed"], stats["workers"], stats["throughput_per_s"], stats["artifact_bytes"])
 }
 
 // waitTerminal drains job.* notifications via message.wait until every id

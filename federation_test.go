@@ -1,6 +1,9 @@
 package clarens
 
 import (
+	"bytes"
+	"crypto/md5"
+	"encoding/hex"
 	"fmt"
 	"net"
 	"os"
@@ -146,7 +149,7 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 						return
 					}
 				case 1:
-					if _, err := cl.CallBytes("file.read", "/data/events.bin", 0, 128); err != nil {
+					if _, err := cl.FileRead("/data/events.bin", 0, 128); err != nil {
 						errs <- fmt.Errorf("%s read: %w", proto, err)
 						return
 					}
@@ -578,5 +581,110 @@ func TestFederationUntrustedIssuerRefused(t *testing.T) {
 	}
 	if st := front.Federation.Stats(); st.Forwarded != 0 {
 		t.Errorf("stats = %+v, want zero forwarded", st)
+	}
+}
+
+// TestFederationArtifactPullBack is the federated staging acceptance
+// path: a job with multi-hundred-KiB output executes on a peer, the
+// watch loop re-stages the peer's artifact locally, and the submitting
+// server serves the full stream — digest-checked — through both
+// file.read chunk iteration and HTTP GET, under the owner's session.
+func TestFederationArtifactPullBack(t *testing.T) {
+	servers := startFederation(t, 2, func(i int, cfg *Config) {
+		cfg.FederationPressure = -1 // forward whenever a peer is idle
+	})
+	site0, site1 := servers[0], servers[1]
+
+	c, err := Dial(site0.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	sess, err := site0.NewSessionFor(userDN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSession(sess.ID)
+
+	// Park site0's two workers so the artifact job must forward.
+	blockers := make([]string, 2)
+	for i := range blockers {
+		id, err := c.CallString("job.submit", "sleep 3", 100, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockers[i] = id
+	}
+	waitFor := time.Now().Add(5 * time.Second)
+	for site0.Jobs.Stats().Running < 2 {
+		if time.Now().After(waitFor) {
+			t.Fatal("blockers never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	id, err := c.CallString("job.submit", "seq 120000") // ~810 KiB stdout
+	if err != nil {
+		t.Fatal(err)
+	}
+	// job.wait observes the LOCAL record, so a terminal answer means the
+	// result (artifacts included) has been pulled back and re-staged.
+	st, err := c.JobWait(id, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["state"] != "done" {
+		t.Fatalf("status = %v", st)
+	}
+	if st["peer"] != "site1" {
+		t.Fatalf("peer = %v, want the job executed on site1", st["peer"])
+	}
+	if n := site1.Jobs.Stats().Done; n == 0 {
+		t.Error("site1 reports no completed jobs")
+	}
+
+	out, err := c.CallStruct("job.output", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr, _ := out["truncated"].(bool); !tr {
+		t.Fatalf("output = %v, want truncated with artifact", out)
+	}
+	arts, _ := out["artifacts"].([]any)
+	if len(arts) != 1 {
+		t.Fatalf("artifacts = %#v", out["artifacts"])
+	}
+	ref, _ := arts[0].(map[string]any)
+	path, _ := ref["path"].(string)
+	wantMD5, _ := ref["md5"].(string)
+	size, _ := ref["size"].(int)
+	// The reference names the LOCAL re-staged tree, scoped to this job's
+	// local id — shadow records converge to the local artifact shape.
+	if path != "/jobs/"+id+"/stdout" {
+		t.Fatalf("artifact path = %q, want the local tree", path)
+	}
+
+	var viaRPC bytes.Buffer
+	if n, err := c.FetchFile(path, 0, &viaRPC); err != nil || int(n) != size {
+		t.Fatalf("FetchFile = %d, %v (want %d)", n, err, size)
+	}
+	sum := md5.Sum(viaRPC.Bytes())
+	if hex.EncodeToString(sum[:]) != wantMD5 {
+		t.Error("re-staged artifact digest mismatch")
+	}
+	var viaHTTP bytes.Buffer
+	if _, err := c.FetchFileHTTP(path, 0, &viaHTTP); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaHTTP.Bytes(), viaRPC.Bytes()) {
+		t.Error("HTTP GET and file.read disagree on the re-staged artifact")
+	}
+	// And the transparent helper sees the full stream.
+	full, err := c.JobOutput(id)
+	if err != nil || full.Truncated || len(full.Stdout) != size {
+		t.Errorf("JobOutput = %d bytes truncated=%v, %v", len(full.Stdout), full.Truncated, err)
+	}
+	if st := site0.Federation.Stats(); st.ArtifactBytes == 0 {
+		t.Error("federation ArtifactBytes gauge never moved")
 	}
 }

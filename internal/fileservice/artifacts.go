@@ -1,0 +1,135 @@
+package fileservice
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"clarens/internal/acl"
+	"clarens/internal/pki"
+)
+
+// ArtifactNamespace is the virtual directory under which per-job output
+// artifact trees are staged ("/jobs/<job-id>/stdout", ...). The job
+// service writes the trees directly on disk; clients fetch them through
+// the ordinary file.read / HTTP GET streaming paths, which is the whole
+// point — bulky analysis results move over streaming transfers, not RPC
+// envelopes (paper §2.3, and the GAE resource-management pattern of
+// staging job sandboxes through the data service).
+const ArtifactNamespace = "/jobs"
+
+// ArtifactStore manages the per-job artifact namespace on behalf of the
+// job service. It implements jobsvc.ArtifactStager without the job
+// service importing this package (the interface is declared there).
+type ArtifactStore struct {
+	fs *Service
+}
+
+// EnableJobArtifacts initializes the artifact namespace: the backing
+// directory is created and the whole namespace is locked down (read and
+// write denied for everyone, admins excepted as always) so that only the
+// per-job ACLs installed by Create open individual trees to their
+// owners. Idempotent; called at assembly time when both the file and job
+// services are enabled.
+func (s *Service) EnableJobArtifacts() (*ArtifactStore, error) {
+	real, _, err := s.resolve(ArtifactNamespace)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(real, 0o755); err != nil {
+		return nil, fmt.Errorf("fileservice: artifact root: %w", err)
+	}
+	// Default-deny at the namespace level for both kinds: without a
+	// lower-level opinion nothing under /jobs is readable or writable,
+	// whatever grants exist at "/" (deployments often open "/" for data
+	// distribution; job outputs must not ride along).
+	lockdown := &acl.ACL{DenyDNs: []string{acl.EntryAny, acl.EntryAnonymous}}
+	if err := s.SetACL(ArtifactNamespace, Read, lockdown); err != nil {
+		return nil, err
+	}
+	if err := s.SetACL(ArtifactNamespace, Write, lockdown); err != nil {
+		return nil, err
+	}
+	return &ArtifactStore{fs: s}, nil
+}
+
+// jobDir validates a job id and returns its real and virtual paths.
+// Job ids are minted by the job service (digits, dash, hex), but the id
+// also arrives from RPC surfaces and federation peers, so path metas are
+// rejected outright rather than resolved.
+func (a *ArtifactStore) jobDir(jobID string) (real, virtual string, err error) {
+	if jobID == "" || strings.ContainsAny(jobID, "/\\") || strings.Contains(jobID, "..") {
+		return "", "", fmt.Errorf("fileservice: invalid artifact job id %q", jobID)
+	}
+	virtual = ArtifactNamespace + "/" + jobID
+	real, virtual, err = a.fs.resolve(virtual)
+	return real, virtual, err
+}
+
+// Create makes (or re-uses) the artifact directory for a job and scopes
+// its read ACL to the submitting owner: deny,allow with an explicit
+// owner allow means the owner is admitted at this level before the
+// namespace lockdown is consulted, everyone else is refused, and server
+// admins bypass ACLs entirely in Authorize. The real directory and the
+// virtual prefix ("/jobs/<id>") are returned.
+func (a *ArtifactStore) Create(jobID string, owner pki.DN) (string, string, error) {
+	real, virtual, err := a.jobDir(jobID)
+	if err != nil {
+		return "", "", err
+	}
+	if err := os.MkdirAll(real, 0o755); err != nil {
+		return "", "", fmt.Errorf("fileservice: artifact dir: %w", err)
+	}
+	if !owner.IsZero() {
+		scoped := &acl.ACL{
+			Order:    acl.DenyAllow,
+			AllowDNs: []string{owner.String()},
+			DenyDNs:  []string{acl.EntryAny, acl.EntryAnonymous},
+		}
+		if err := a.fs.SetACL(virtual, Read, scoped); err != nil {
+			return "", "", err
+		}
+	}
+	return real, virtual, nil
+}
+
+// Remove deletes a job's artifact tree and its ACL entry.
+func (a *ArtifactStore) Remove(jobID string) error {
+	real, virtual, err := a.jobDir(jobID)
+	if err != nil {
+		return err
+	}
+	if err := os.RemoveAll(real); err != nil {
+		return err
+	}
+	return a.fs.DeleteACL(virtual)
+}
+
+// List returns the job ids that currently have artifact trees on disk,
+// for the job service's orphan sweep at recovery time.
+func (a *ArtifactStore) List() ([]string, error) {
+	real, _, err := a.fs.resolve(ArtifactNamespace)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(real)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	ids := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	return ids, nil
+}
+
+// Root returns the artifact namespace's real directory.
+func (a *ArtifactStore) Root() string {
+	return filepath.Join(a.fs.root, filepath.FromSlash(ArtifactNamespace))
+}

@@ -194,8 +194,8 @@ func (s *Service) Methods() []core.Method {
 	return []core.Method{
 		{
 			Name:      "file.read",
-			Help:      "Read up to `length` bytes from `name` starting at `offset`; returns binary data. length -1 reads to EOF (capped per call).",
-			Signature: []string{"base64 string int int"},
+			Help:      "Read up to `length` bytes from `name` starting at `offset`; returns {data, eof, size}. length -1 reads to EOF (capped per call); eof tells chunk-iterating clients when to stop without a zero-byte probe.",
+			Signature: []string{"struct string int int"},
 			Public:    true,
 			Handler:   s.read,
 		},
@@ -304,6 +304,10 @@ func (s *Service) read(ctx *core.Context, p core.Params) (any, error) {
 		return nil, pathFault(err)
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, pathFault(err)
+	}
 	if offset > 0 {
 		if _, err := f.Seek(int64(offset), io.SeekStart); err != nil {
 			return nil, pathFault(err)
@@ -317,7 +321,14 @@ func (s *Service) read(ctx *core.Context, p core.Params) (any, error) {
 	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
 		return nil, pathFault(err)
 	}
-	return buf[:n], nil
+	// eof signals that this chunk reached the end of the file as it was
+	// when read, so iterating clients (the job-artifact fetcher, the
+	// federation pull-back) terminate without a zero-byte probe call.
+	return map[string]any{
+		"data": buf[:n],
+		"eof":  int64(offset)+int64(n) >= fi.Size(),
+		"size": int(fi.Size()),
+	}, nil
 }
 
 func (s *Service) write(ctx *core.Context, p core.Params) (any, error) {

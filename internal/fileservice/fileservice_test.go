@@ -88,31 +88,51 @@ func (f *fixture) call(t *testing.T, dn pki.DN, method string, params ...any) *r
 	return resp
 }
 
-func TestReadFull(t *testing.T) {
-	f := newFixture(t)
-	resp := f.call(t, readerDN, "file.read", "/data/events.bin", 0, -1)
+// readChunk unpacks a file.read response into (data, eof).
+func readChunk(t *testing.T, resp *rpc.Response) ([]byte, bool) {
+	t.Helper()
 	if resp.Fault != nil {
 		t.Fatalf("fault: %v", resp.Fault)
 	}
-	if !rpc.Equal(resp.Result, []byte("0123456789abcdef")) {
-		t.Errorf("read = %#v", resp.Result)
+	m, ok := resp.Result.(map[string]any)
+	if !ok {
+		t.Fatalf("file.read result = %#v, want struct", resp.Result)
+	}
+	data, _ := m["data"].([]byte)
+	eof, _ := m["eof"].(bool)
+	return data, eof
+}
+
+func TestReadFull(t *testing.T) {
+	f := newFixture(t)
+	data, eof := readChunk(t, f.call(t, readerDN, "file.read", "/data/events.bin", 0, -1))
+	if !rpc.Equal(data, []byte("0123456789abcdef")) {
+		t.Errorf("read = %#v", data)
+	}
+	if !eof {
+		t.Error("full read must signal eof")
 	}
 }
 
 func TestReadOffsetLength(t *testing.T) {
 	f := newFixture(t)
 	// The paper's signature: file.read(filename, offset, bytes).
-	resp := f.call(t, readerDN, "file.read", "/data/events.bin", 4, 6)
-	if resp.Fault != nil {
-		t.Fatalf("fault: %v", resp.Fault)
+	data, eof := readChunk(t, f.call(t, readerDN, "file.read", "/data/events.bin", 4, 6))
+	if !rpc.Equal(data, []byte("456789")) {
+		t.Errorf("read(4,6) = %#v", data)
 	}
-	if !rpc.Equal(resp.Result, []byte("456789")) {
-		t.Errorf("read(4,6) = %#v", resp.Result)
+	if eof {
+		t.Error("mid-file read must not signal eof")
 	}
-	// Offset beyond EOF returns empty.
-	resp = f.call(t, readerDN, "file.read", "/data/events.bin", 100, 10)
-	if resp.Fault != nil || len(resp.Result.([]byte)) != 0 {
-		t.Errorf("read past EOF = %#v %v", resp.Result, resp.Fault)
+	// The final chunk carries eof even when it fills the requested length.
+	data, eof = readChunk(t, f.call(t, readerDN, "file.read", "/data/events.bin", 10, 6))
+	if string(data) != "abcdef" || !eof {
+		t.Errorf("tail read = %q eof=%v, want abcdef eof", data, eof)
+	}
+	// Offset beyond EOF returns empty with eof set.
+	data, eof = readChunk(t, f.call(t, readerDN, "file.read", "/data/events.bin", 100, 10))
+	if len(data) != 0 || !eof {
+		t.Errorf("read past EOF = %q eof=%v", data, eof)
 	}
 }
 
@@ -288,8 +308,10 @@ func TestPathEscapeBlocked(t *testing.T) {
 	} {
 		resp := f.call(t, adminDN, "file.read", evil)
 		if resp.Fault == nil {
-			if b, ok := resp.Result.([]byte); ok && string(b) == "secret" {
-				t.Errorf("path escape succeeded via %q", evil)
+			if m, ok := resp.Result.(map[string]any); ok {
+				if b, ok := m["data"].([]byte); ok && string(b) == "secret" {
+					t.Errorf("path escape succeeded via %q", evil)
+				}
 			}
 		}
 	}
@@ -400,17 +422,150 @@ func TestReadChunkCap(t *testing.T) {
 	big := filepath.Join(f.root, "data", "big.bin")
 	payload := bytes.Repeat([]byte("x"), MaxReadChunk+1024)
 	os.WriteFile(big, payload, 0o644)
-	resp := f.call(t, readerDN, "file.read", "/data/big.bin", 0, -1)
-	if resp.Fault != nil {
-		t.Fatalf("fault: %v", resp.Fault)
+	data, eof := readChunk(t, f.call(t, readerDN, "file.read", "/data/big.bin", 0, -1))
+	if len(data) != MaxReadChunk {
+		t.Errorf("chunk = %d, want cap %d", len(data), MaxReadChunk)
 	}
-	if got := len(resp.Result.([]byte)); got != MaxReadChunk {
-		t.Errorf("chunk = %d, want cap %d", got, MaxReadChunk)
+	// The capped read must NOT claim eof: more bytes remain.
+	if eof {
+		t.Error("capped chunk wrongly signalled eof")
 	}
-	// The remainder is reachable with an explicit offset.
-	resp = f.call(t, readerDN, "file.read", "/data/big.bin", MaxReadChunk, -1)
-	if got := len(resp.Result.([]byte)); got != 1024 {
-		t.Errorf("tail = %d", got)
+	// The remainder is reachable with an explicit offset, and the last
+	// chunk carries the eof signal — no zero-byte probe needed.
+	data, eof = readChunk(t, f.call(t, readerDN, "file.read", "/data/big.bin", MaxReadChunk, -1))
+	if len(data) != 1024 || !eof {
+		t.Errorf("tail = %d eof=%v", len(data), eof)
+	}
+}
+
+// TestArtifactStoreACLScoping: per-job trees are readable by the
+// submitting owner (and admins) only, and the namespace itself is locked
+// down even when "/" is wide open.
+func TestArtifactStoreACLScoping(t *testing.T) {
+	f := newFixture(t)
+	// A deployment that opened the whole root for data distribution.
+	if err := f.fs.Grant("/", Read, []string{acl.EntryAny, acl.EntryAnonymous}, nil); err != nil {
+		t.Fatal(err)
+	}
+	store, err := f.fs.EnableJobArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, virtual, err := store.Create("00001-abcd", readerDN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if virtual != "/jobs/00001-abcd" {
+		t.Errorf("virtual = %q", virtual)
+	}
+	os.WriteFile(filepath.Join(dir, "stdout"), []byte("job output"), 0o644)
+
+	data, _ := readChunk(t, f.call(t, readerDN, "file.read", virtual+"/stdout", 0, -1))
+	if string(data) != "job output" {
+		t.Errorf("owner read = %q", data)
+	}
+	// Another authenticated principal and anonymous are refused despite
+	// the open "/" grant; admins pass.
+	for _, dn := range []pki.DN{otherDN, nil} {
+		resp := f.call(t, dn, "file.read", virtual+"/stdout")
+		if resp.Fault == nil || resp.Fault.Code != rpc.CodeAccessDenied {
+			t.Errorf("dn=%v fault = %+v, want access denied", dn, resp.Fault)
+		}
+	}
+	if resp := f.call(t, adminDN, "file.read", virtual+"/stdout"); resp.Fault != nil {
+		t.Errorf("admin read fault: %v", resp.Fault)
+	}
+	// file.write into the namespace is refused even for the owner: the
+	// trees are server-written.
+	if resp := f.call(t, readerDN, "file.write", virtual+"/stdout", []byte("tamper")); resp.Fault == nil {
+		t.Error("owner must not write into the artifact tree")
+	}
+
+	// Lifecycle: List sees the tree, Remove clears tree + ACL.
+	ids, err := store.List()
+	if err != nil || len(ids) != 1 || ids[0] != "00001-abcd" {
+		t.Fatalf("List = %v, %v", ids, err)
+	}
+	if err := store.Remove("00001-abcd"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Error("artifact tree not removed")
+	}
+	if e, _ := f.fs.GetACL(virtual); e != nil {
+		t.Error("per-job ACL not removed")
+	}
+	// Hostile ids never resolve.
+	for _, evil := range []string{"", "../data", "a/b", `a\b`, ".."} {
+		if _, _, err := store.Create(evil, readerDN); err == nil {
+			t.Errorf("Create(%q) must be rejected", evil)
+		}
+	}
+}
+
+// TestArtifactHTTPStreaming exercises the HTTP GET path under the
+// artifact namespace in-process: large-file round trip, Range resume at
+// an offset, and the unauthorized 403.
+func TestArtifactHTTPStreaming(t *testing.T) {
+	f := newFixture(t)
+	store, err := f.fs.EnableJobArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, virtual, err := store.Create("00002-beef", readerDN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A payload bigger than one RPC read chunk, patterned so offsets are
+	// position-sensitive.
+	payload := make([]byte, MaxReadChunk+512*1024)
+	for i := range payload {
+		payload[i] = byte(i * 2654435761)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stdout"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := f.srv.NewSessionFor(readerDN)
+
+	get := func(ranged string, sid string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, "/files"+virtual+"/stdout", nil)
+		if sid != "" {
+			req.Header.Set(core.SessionHeader, sid)
+		}
+		if ranged != "" {
+			req.Header.Set("Range", ranged)
+		}
+		w := httptest.NewRecorder()
+		f.srv.Handler().ServeHTTP(w, req)
+		return w
+	}
+
+	// Large round trip, digest-checked.
+	w := get("", sess.ID)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET = %d", w.Code)
+	}
+	if got, want := md5.Sum(w.Body.Bytes()), md5.Sum(payload); got != want {
+		t.Errorf("round-trip digest mismatch (%d bytes)", w.Body.Len())
+	}
+
+	// Resume at an offset via Range, as an interrupted fetch would.
+	off := len(payload) - 100_000
+	w = get(fmt.Sprintf("bytes=%d-", off), sess.ID)
+	if w.Code != http.StatusPartialContent {
+		t.Fatalf("Range GET = %d", w.Code)
+	}
+	if !bytes.Equal(w.Body.Bytes(), payload[off:]) {
+		t.Errorf("Range resume returned %d wrong bytes", w.Body.Len())
+	}
+
+	// Unauthorized DNs get the paper's XML-encoded 403.
+	osess, _ := f.srv.NewSessionFor(otherDN)
+	for _, sid := range []string{"", osess.ID} {
+		w = get("", sid)
+		if w.Code != http.StatusForbidden || !strings.Contains(w.Body.String(), "<error>") {
+			t.Errorf("unauthorized GET (sid=%q) = %d %q", sid, w.Code, w.Body.String())
+		}
 	}
 }
 

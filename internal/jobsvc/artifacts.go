@@ -1,0 +1,375 @@
+package jobsvc
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"clarens/internal/pki"
+)
+
+// Artifact is a staged output file reference carried on the job record:
+// the fileservice virtual path clients fetch with file.read / HTTP GET,
+// plus size and digest for integrity checking. Artifacts replace the old
+// inline-output contract — job records keep only a bounded head of each
+// stream, the full bytes live on disk under the file service's
+// per-owner-ACL'd /jobs/<id>/ namespace.
+type Artifact struct {
+	Name string `json:"name"` // "stdout", "stderr", or a collected sandbox file
+	Path string `json:"path"` // virtual fileservice path
+	Size int64  `json:"size"`
+	MD5  string `json:"md5"`
+	// Partial marks a stream the spool byte cap cut short: the staged
+	// file (and its digest) cover only the first Size bytes. Clients
+	// must not treat a fetched partial artifact as the complete stream.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// ArtifactStager manages per-job artifact trees; implemented by
+// fileservice.ArtifactStore. jobsvc stays decoupled from the file
+// service package: it writes into the real directory the stager hands
+// back, and access control rides the file service's ACL machinery.
+type ArtifactStager interface {
+	// Create makes (or re-uses) the artifact directory for a job,
+	// scoping read access to the owner; returns the real directory and
+	// the virtual prefix clients use to fetch.
+	Create(jobID string, owner pki.DN) (dir, virtual string, err error)
+	// Remove deletes a job's artifact tree (and its ACL scope).
+	Remove(jobID string) error
+	// List returns the job ids that currently have artifact trees, for
+	// the orphan sweep at recovery.
+	List() ([]string, error)
+}
+
+// CollectedFile describes one sandbox file a Collector staged: the
+// destination base name plus size and MD5 computed during the copy.
+type CollectedFile struct {
+	Name string
+	Size int64
+	MD5  string
+}
+
+// Collector stages sandbox files matching the job's collect globs into
+// the artifact directory (implemented over shellsvc.CollectInto at
+// assembly time). fileLimit caps each file; files skipped for exceeding
+// it come back in skipped so the scheduler can surface the gap.
+type Collector func(owner pki.DN, patterns []string, destDir string, fileLimit int64) (staged []CollectedFile, skipped []string, err error)
+
+// capture tees one output stream as an executor produces it: the first
+// headLimit bytes are retained in memory for the job record's inline
+// head, and — when a spool file is attached — the full stream up to
+// limit bytes goes to disk with a running MD5. Write never fails the
+// stream: spool write errors degrade to head-only capture (recorded so
+// the artifact is withheld rather than published corrupt).
+type capture struct {
+	head      []byte
+	headLimit int
+	total     int64 // bytes offered by the executor
+
+	f       *os.File
+	h       hash.Hash
+	spooled int64 // bytes accepted by the spool (≤ limit)
+	limit   int64
+	spoolOK bool
+}
+
+func newCapture(headLimit int, f *os.File, limit int64) *capture {
+	c := &capture{headLimit: headLimit, f: f, limit: limit, spoolOK: f != nil}
+	if f != nil {
+		c.h = md5.New()
+	}
+	return c
+}
+
+// Write implements io.Writer for the executor's stdout/stderr.
+func (c *capture) Write(p []byte) (int, error) {
+	if want := c.headLimit - len(c.head); want > 0 {
+		if want > len(p) {
+			want = len(p)
+		}
+		c.head = append(c.head, p[:want]...)
+	}
+	c.total += int64(len(p))
+	if c.spoolOK {
+		chunk := p
+		if room := c.limit - c.spooled; int64(len(chunk)) > room {
+			chunk = chunk[:room]
+		}
+		if len(chunk) > 0 {
+			if _, err := c.f.Write(chunk); err != nil {
+				c.spoolOK = false
+			} else {
+				c.h.Write(chunk)
+				c.spooled += int64(len(chunk))
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// truncated reports whether the inline head is a strict prefix of the
+// stream.
+func (c *capture) truncated() bool { return c.total > int64(len(c.head)) }
+
+// close finalizes the spool file; it returns whether the file holds a
+// publishable artifact (spool healthy and the stream outgrew the head).
+func (c *capture) close() bool {
+	if c.f == nil {
+		return false
+	}
+	if err := c.f.Close(); err != nil {
+		c.spoolOK = false
+	}
+	return c.spoolOK && c.truncated()
+}
+
+func (c *capture) digest() string { return hex.EncodeToString(c.h.Sum(nil)) }
+
+// spool is one attempt's output capture set.
+type spool struct {
+	dir     string // real artifact directory ("" when staging is off)
+	virtual string
+	stdout  *capture
+	stderr  *capture
+}
+
+// reservedArtifactNames are artifact file names owned by the output
+// spools; collected sandbox files must not shadow them.
+var reservedArtifactNames = map[string]bool{"stdout": true, "stderr": true}
+
+// newSpool prepares the capture set for one attempt. With a stager, the
+// job's artifact directory is created (emptied of any previous attempt's
+// files) and the stdout/stderr spool files opened; without one, capture
+// is head-only, preserving the pre-staging contract.
+func (s *Service) newSpool(j *Job, owner pki.DN) *spool {
+	headLimit := s.cfg.OutputLimit
+	if s.stager == nil {
+		return &spool{
+			stdout: newCapture(headLimit, nil, 0),
+			stderr: newCapture(headLimit, nil, 0),
+		}
+	}
+	dir, virtual, err := s.stager.Create(j.ID, owner)
+	if err == nil {
+		err = clearDir(dir)
+	}
+	var outF, errF *os.File
+	if err == nil {
+		outF, err = os.OpenFile(filepath.Join(dir, "stdout"), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	}
+	if err == nil {
+		errF, err = os.OpenFile(filepath.Join(dir, "stderr"), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			outF.Close()
+		}
+	}
+	if err != nil {
+		// Degrade to head-only capture rather than failing the attempt:
+		// the job still runs, the record just cannot reference artifacts.
+		s.srv.Logger().Printf("jobsvc: spool setup for %s: %v", j.ID, err)
+		return &spool{
+			stdout: newCapture(headLimit, nil, 0),
+			stderr: newCapture(headLimit, nil, 0),
+		}
+	}
+	return &spool{
+		dir:     dir,
+		virtual: virtual,
+		stdout:  newCapture(headLimit, outF, s.cfg.SpoolLimit),
+		stderr:  newCapture(headLimit, errF, s.cfg.SpoolLimit),
+	}
+}
+
+// finalize closes the spools and assembles the attempt's ExecResult:
+// inline heads, the truncated flag, stdout/stderr artifacts for streams
+// that outgrew their heads (small streams keep inline-only records and
+// their spool files are deleted), plus any sandbox files matched by the
+// job's collect globs. An artifact tree left empty is removed outright.
+func (s *Service) finalize(j *Job, owner pki.DN, sp *spool, status ExecStatus, execErr error) ExecResult {
+	res := ExecResult{
+		Stdout:          string(sp.stdout.head),
+		Stderr:          string(sp.stderr.head),
+		ExitCode:        status.ExitCode,
+		LocalUser:       status.LocalUser,
+		StdoutTruncated: sp.stdout.truncated(),
+		StderrTruncated: sp.stderr.truncated(),
+	}
+	res.Truncated = res.StdoutTruncated || res.StderrTruncated
+	if sp.dir == "" {
+		sp.stdout.close()
+		sp.stderr.close()
+		return res
+	}
+	var staged int64
+	for _, c := range []*capture{sp.stdout, sp.stderr} {
+		name := "stdout"
+		if c == sp.stderr {
+			name = "stderr"
+		}
+		if c.close() {
+			res.Artifacts = append(res.Artifacts, Artifact{
+				Name:    name,
+				Path:    sp.virtual + "/" + name,
+				Size:    c.spooled,
+				MD5:     c.digest(),
+				Partial: c.total > c.spooled,
+			})
+			staged += c.spooled
+		} else {
+			os.Remove(filepath.Join(sp.dir, name))
+		}
+	}
+	if len(j.Collect) > 0 && s.collect != nil && execErr == nil {
+		files, skipped, err := s.collect(owner, j.Collect, sp.dir, s.cfg.SpoolLimit)
+		if err != nil {
+			s.srv.Logger().Printf("jobsvc: collect for %s: %v", j.ID, err)
+		}
+		for _, name := range skipped {
+			s.srv.Logger().Printf("jobsvc: collect for %s: %q exceeds the spool limit %d; not staged", j.ID, name, s.cfg.SpoolLimit)
+		}
+		for _, cf := range files {
+			if reservedArtifactNames[cf.Name] {
+				continue
+			}
+			res.Artifacts = append(res.Artifacts, Artifact{
+				Name: cf.Name,
+				Path: sp.virtual + "/" + cf.Name,
+				Size: cf.Size,
+				MD5:  cf.MD5,
+			})
+			staged += cf.Size
+		}
+	}
+	if len(res.Artifacts) == 0 {
+		// Nothing staged: drop the empty tree (and its ACL scope).
+		if err := s.stager.Remove(j.ID); err != nil {
+			s.srv.Logger().Printf("jobsvc: remove empty artifact tree %s: %v", j.ID, err)
+		}
+	} else {
+		s.addArtifactBytes(staged)
+	}
+	return res
+}
+
+// clearDir removes every entry of dir (a fresh attempt must not inherit
+// a previous attempt's files).
+func clearDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validArtifactName gates artifact file names that arrive from outside
+// (federation peers naming artifacts in job.output): plain base names
+// only, no path metas.
+func validArtifactName(name string) bool {
+	return name != "" && name != "." && name != ".." &&
+		!strings.ContainsAny(name, "/\\") && len(name) <= 255
+}
+
+// StageRemoteArtifact streams r into the named file of a remote shadow
+// job's local artifact tree, creating the tree (scoped to the job's
+// owner) on first use. The federation pull-back uses it to re-stage
+// artifacts fetched from the executing peer, so shadow records converge
+// to the same artifact shape as locally executed jobs. The staged
+// reference is returned; content is capped at SpoolLimit.
+func (s *Service) StageRemoteArtifact(jobID, name string, r io.Reader) (Artifact, error) {
+	if !validArtifactName(name) {
+		return Artifact{}, fmt.Errorf("jobsvc: invalid artifact name %q", name)
+	}
+	if s.stager == nil {
+		return Artifact{}, fmt.Errorf("jobsvc: artifact staging is not enabled")
+	}
+	j, ok := s.Get(jobID)
+	if !ok {
+		return Artifact{}, fmt.Errorf("jobsvc: no such job %q", jobID)
+	}
+	if j.State != StateRemote {
+		return Artifact{}, fmt.Errorf("jobsvc: job %s is %s, not remote", jobID, j.State)
+	}
+	owner, err := pki.ParseDN(j.Owner)
+	if err != nil {
+		return Artifact{}, err
+	}
+	dir, virtual, err := s.stager.Create(jobID, owner)
+	if err != nil {
+		return Artifact{}, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return Artifact{}, err
+	}
+	h := md5.New()
+	n, err := io.Copy(f, io.TeeReader(io.LimitReader(r, s.cfg.SpoolLimit), h))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(filepath.Join(dir, name))
+		return Artifact{}, err
+	}
+	s.addArtifactBytes(n)
+	return Artifact{
+		Name: name,
+		Path: virtual + "/" + name,
+		Size: n,
+		MD5:  hex.EncodeToString(h.Sum(nil)),
+	}, nil
+}
+
+// StagingEnabled reports whether an artifact stager is installed (the
+// federation pull-back skips artifact transfers when the local server
+// has nowhere to stage them).
+func (s *Service) StagingEnabled() bool { return s.stager != nil }
+
+// SpoolLimit returns the per-stream staging byte cap, so the federation
+// pull-back can refuse up front a peer artifact that could never verify
+// locally instead of truncating it into a guaranteed digest mismatch.
+func (s *Service) SpoolLimit() int64 { return s.cfg.SpoolLimit }
+
+func (s *Service) addArtifactBytes(n int64) {
+	s.mu.Lock()
+	s.artifactBytes += uint64(n)
+	s.mu.Unlock()
+}
+
+// DiscardRemoteStage drops a partially re-staged artifact tree for a
+// remote shadow job (a pull-back that failed mid-transfer retries from
+// scratch next cycle).
+func (s *Service) DiscardRemoteStage(jobID string) {
+	if s.stager == nil {
+		return
+	}
+	if err := s.stager.Remove(jobID); err != nil {
+		s.srv.Logger().Printf("jobsvc: discard partial stage %s: %v", jobID, err)
+	}
+}
+
+// gcArtifacts removes the artifact tree of one job and bumps the GC
+// counter. Deliberately NOT called under s.mu: removing a multi-hundred-
+// MiB tree can take a while on a slow disk, and s.mu is the scheduler's
+// dispatch mutex.
+func (s *Service) gcArtifacts(id string) {
+	if s.stager == nil {
+		return
+	}
+	if err := s.stager.Remove(id); err != nil {
+		s.srv.Logger().Printf("jobsvc: gc artifact tree %s: %v", id, err)
+		return
+	}
+	s.mu.Lock()
+	s.artifactGC++
+	s.mu.Unlock()
+}

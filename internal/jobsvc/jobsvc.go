@@ -26,6 +26,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -75,11 +76,23 @@ type Job struct {
 	Submitted  time.Time `json:"submitted"`
 	Started    time.Time `json:"started,omitempty"`
 	Finished   time.Time `json:"finished,omitempty"`
-	Stdout     string    `json:"stdout,omitempty"`
-	Stderr     string    `json:"stderr,omitempty"`
-	ExitCode   int       `json:"exit_code"`
-	Error      string    `json:"error,omitempty"`
-	LocalUser  string    `json:"local_user,omitempty"`
+	// Stdout/Stderr hold only the inline head of each stream (at most
+	// OutputLimit bytes) — enough for job.output to stay wire-compatible
+	// for small results. When a stream outgrew its head, its per-stream
+	// truncated flag is set (Truncated is the aggregate) and the full
+	// bytes are on disk as a staged Artifact.
+	Stdout          string     `json:"stdout,omitempty"`
+	Stderr          string     `json:"stderr,omitempty"`
+	Truncated       bool       `json:"truncated,omitempty"`
+	StdoutTruncated bool       `json:"stdout_truncated,omitempty"`
+	StderrTruncated bool       `json:"stderr_truncated,omitempty"`
+	Artifacts       []Artifact `json:"artifacts,omitempty"`
+	// Collect carries the sandbox glob patterns whose matches are staged
+	// into the artifact tree after a successful attempt.
+	Collect   []string `json:"collect,omitempty"`
+	ExitCode  int      `json:"exit_code"`
+	Error     string   `json:"error,omitempty"`
+	LocalUser string   `json:"local_user,omitempty"`
 	// Cancel marks a cancellation request observed while running; the
 	// worker honors it when the in-flight attempt returns.
 	Cancel bool `json:"cancel,omitempty"`
@@ -95,18 +108,38 @@ type Job struct {
 	PeerSession string `json:"peer_session,omitempty"`
 }
 
-// ExecResult is what an Executor captured from one job attempt.
-type ExecResult struct {
-	Stdout    string
-	Stderr    string
+// ExecStatus is what an Executor reports about one attempt; the output
+// streams themselves go to the writers the scheduler hands it.
+type ExecStatus struct {
 	ExitCode  int
 	LocalUser string
 }
 
-// Executor runs a job payload on behalf of its owner. A returned error
-// means the attempt could not run at all (as opposed to running with a
-// nonzero exit code); both count against the retry budget.
-type Executor func(owner pki.DN, command string) (ExecResult, error)
+// ExecResult is the completed shape of one attempt's outputs: inline
+// heads (bounded by OutputLimit), the truncated flag, and staged
+// artifact references. The worker assembles it from the attempt's spool;
+// the federation pull-back assembles it from a peer's job.output plus
+// locally re-staged artifacts.
+type ExecResult struct {
+	Stdout    string // inline head
+	Stderr    string // inline head
+	ExitCode  int
+	LocalUser string
+	// Truncated is the aggregate of the per-stream flags; clients that
+	// need to know WHICH stream is incomplete read the specific ones.
+	Truncated       bool
+	StdoutTruncated bool
+	StderrTruncated bool
+	Artifacts       []Artifact
+}
+
+// Executor runs a job payload on behalf of its owner, streaming stdout
+// and stderr into the supplied writers as they are produced — the
+// scheduler spools them to per-job artifact files with byte caps, so an
+// attempt's output never accumulates in memory. A returned error means
+// the attempt could not run at all (as opposed to running with a nonzero
+// exit code); both count against the retry budget.
+type Executor func(owner pki.DN, command string, stdout, stderr io.Writer) (ExecStatus, error)
 
 // Notifier delivers terminal-state notifications to job owners
 // (implemented by messaging.Service).
@@ -133,9 +166,30 @@ type Config struct {
 	MaxPerOwner int
 	// RetryLimit caps the per-job max_retries request (default 3).
 	RetryLimit int
-	// OutputLimit bounds the retained bytes of each output stream
-	// (default 64 KiB).
+	// OutputLimit bounds the inline head of each output stream retained
+	// on the job record (default 64 KiB). With artifact staging enabled,
+	// streams beyond it live on disk in full (up to SpoolLimit) and
+	// job.output carries a reference; without staging this is the old
+	// hard truncation point.
 	OutputLimit int
+	// SpoolLimit bounds the bytes of one output stream (or collected
+	// file) spooled to the artifact tree per attempt (default 256 MiB).
+	SpoolLimit int64
+	// Artifacts, when set, enables result staging: each attempt's
+	// stdout/stderr stream to per-job spool files under the stager's
+	// namespace, and job records reference them instead of retaining
+	// output inline (fileservice.ArtifactStore in the assembled server).
+	Artifacts ArtifactStager
+	// Collector stages sandbox files matching a job's collect globs into
+	// its artifact tree after a successful attempt (wired to the shell
+	// service's sandbox at assembly time).
+	Collector Collector
+	// ArtifactRetention, when positive, garbage-collects the artifact
+	// trees of terminal jobs this long after they finish (the records
+	// keep their inline heads). Zero keeps artifacts until job.delete.
+	ArtifactRetention time.Duration
+	// GCInterval is the retention sweep period (default 1m).
+	GCInterval time.Duration
 	// MetricsInterval is the gauge publication period (default 2s).
 	MetricsInterval time.Duration
 	// MaxQueuedPerOwner bounds the number of one owner's jobs sitting in
@@ -170,6 +224,12 @@ func (c *Config) fill() {
 	}
 	if c.OutputLimit <= 0 {
 		c.OutputLimit = 64 << 10
+	}
+	if c.SpoolLimit <= 0 {
+		c.SpoolLimit = 256 << 20
+	}
+	if c.GCInterval <= 0 {
+		c.GCInterval = time.Minute
 	}
 	if c.MetricsInterval <= 0 {
 		c.MetricsInterval = 2 * time.Second
@@ -238,20 +298,24 @@ type Service struct {
 	exec    Executor
 	notify  Notifier
 	metrics MetricsPublisher
+	stager  ArtifactStager
+	collect Collector
 	name    string // server name, used as the gauge farm
 
-	mu           sync.Mutex
-	cond         *sync.Cond
-	queue        jobHeap
-	ownerRunning map[string]int
-	ownerQueued  map[string]int
-	runningCount int
-	remoteCount  int
-	doneCount    uint64
-	failedCount  uint64
-	cancelCount  uint64
-	stopped      bool
-	remote       RemoteController
+	mu            sync.Mutex
+	cond          *sync.Cond
+	queue         jobHeap
+	ownerRunning  map[string]int
+	ownerQueued   map[string]int
+	runningCount  int
+	remoteCount   int
+	doneCount     uint64
+	failedCount   uint64
+	cancelCount   uint64
+	artifactBytes uint64 // cumulative bytes staged into artifact trees
+	artifactGC    uint64 // artifact trees garbage-collected
+	stopped       bool
+	remote        RemoteController
 
 	started time.Time
 	wg      sync.WaitGroup
@@ -272,6 +336,8 @@ func New(srv *core.Server, cfg Config, exec Executor, notify Notifier, metrics M
 		exec:         exec,
 		notify:       notify,
 		metrics:      metrics,
+		stager:       cfg.Artifacts,
+		collect:      cfg.Collector,
 		name:         serverName,
 		ownerRunning: make(map[string]int),
 		ownerQueued:  make(map[string]int),
@@ -282,6 +348,7 @@ func New(srv *core.Server, cfg Config, exec Executor, notify Notifier, metrics M
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
+	s.sweepOrphanArtifacts()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -294,7 +361,81 @@ func New(srv *core.Server, cfg Config, exec Executor, notify Notifier, metrics M
 		s.wg.Add(1)
 		go s.ageLoop()
 	}
+	if s.stager != nil && cfg.ArtifactRetention > 0 {
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
 	return s, nil
+}
+
+// sweepOrphanArtifacts removes artifact trees whose job record is gone —
+// leftovers of a crash between tree creation and record persistence, or
+// of a record deleted while its Remove failed. Runs once at startup,
+// after recovery rebuilt the queue.
+func (s *Service) sweepOrphanArtifacts() {
+	if s.stager == nil {
+		return
+	}
+	ids, err := s.stager.List()
+	if err != nil {
+		s.srv.Logger().Printf("jobsvc: artifact orphan sweep: %v", err)
+		return
+	}
+	for _, id := range ids {
+		if _, ok := s.Get(id); ok {
+			continue
+		}
+		s.gcArtifacts(id)
+	}
+}
+
+// gcLoop enforces ArtifactRetention: terminal jobs keep their staged
+// trees for the retention window after finishing, then the trees are
+// collected and the records drop their references (inline heads stay).
+func (s *Service) gcLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			s.gcExpiredArtifacts(time.Now())
+		}
+	}
+}
+
+// gcExpiredArtifacts runs one retention sweep; exposed (with an explicit
+// clock) for tests.
+func (s *Service) gcExpiredArtifacts(now time.Time) {
+	jobs, err := s.List("", "")
+	if err != nil {
+		return
+	}
+	cutoff := now.Add(-s.cfg.ArtifactRetention)
+	for _, j := range jobs {
+		if !Terminal(j.State) || len(j.Artifacts) == 0 || j.Finished.IsZero() || j.Finished.After(cutoff) {
+			continue
+		}
+		// Drop the references under the lock; do the (potentially large)
+		// tree removal outside it. A crash in between leaves an orphan
+		// tree, which the startup sweep collects.
+		s.mu.Lock()
+		cur, ok := s.Get(j.ID)
+		if !ok || !Terminal(cur.State) || len(cur.Artifacts) == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		cur.Artifacts = nil
+		if err := s.put(cur); err != nil {
+			s.srv.Logger().Printf("jobsvc: persist artifact gc of %s: %v", j.ID, err)
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+		s.gcArtifacts(j.ID)
+	}
 }
 
 // SetRemoteController installs the proxy for jobs executing on peers.
@@ -455,7 +596,9 @@ func (s *Service) Get(id string) (*Job, bool) {
 
 // Submit queues a command for owner and returns the new job. priority
 // orders the queue (higher first); maxRetries is clamped to RetryLimit.
-func (s *Service) Submit(owner pki.DN, command string, priority, maxRetries int) (*Job, error) {
+// Optional collect globs name sandbox files to stage into the job's
+// artifact tree after a successful attempt.
+func (s *Service) Submit(owner pki.DN, command string, priority, maxRetries int, collect ...string) (*Job, error) {
 	if owner.IsZero() {
 		return nil, &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "job: authentication required"}
 	}
@@ -467,6 +610,9 @@ func (s *Service) Submit(owner pki.DN, command string, priority, maxRetries int)
 	}
 	if maxRetries > s.cfg.RetryLimit {
 		maxRetries = s.cfg.RetryLimit
+	}
+	if len(collect) > maxCollectPatterns {
+		return nil, &rpc.Fault{Code: rpc.CodeInvalidParams, Message: fmt.Sprintf("job: at most %d collect patterns", maxCollectPatterns)}
 	}
 	now := time.Now()
 	id, err := newID(now)
@@ -481,6 +627,7 @@ func (s *Service) Submit(owner pki.DN, command string, priority, maxRetries int)
 		State:      StateQueued,
 		MaxRetries: maxRetries,
 		Submitted:  now,
+		Collect:    collect,
 	}
 	s.mu.Lock()
 	if s.stopped {
@@ -767,10 +914,7 @@ func (s *Service) CompleteRemote(id, state string, res ExecResult, errMsg string
 	s.remoteCount--
 	j.State = state
 	j.Finished = time.Now()
-	j.Stdout = truncated(res.Stdout, s.cfg.OutputLimit)
-	j.Stderr = truncated(res.Stderr, s.cfg.OutputLimit)
-	j.ExitCode = res.ExitCode
-	j.LocalUser = res.LocalUser
+	s.applyResult(j, res)
 	j.Error = errMsg
 	switch state {
 	case StateDone:
@@ -863,6 +1007,9 @@ func (s *Service) next() *Job {
 	}
 }
 
+// maxCollectPatterns bounds the per-job collect glob list.
+const maxCollectPatterns = 32
+
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for {
@@ -870,20 +1017,75 @@ func (s *Service) worker() {
 		if j == nil {
 			return
 		}
-		owner, err := pki.ParseDN(j.Owner)
-		var res ExecResult
-		if err == nil {
-			res, err = s.exec(owner, j.Command)
-		}
+		res, err := s.runAttempt(j)
 		s.finish(j, res, err)
 	}
 }
 
-func truncated(s string, n int) string {
-	if len(s) > n {
-		return s[:n] + "\n...[truncated]"
+// runAttempt executes one attempt with its output spooled: stdout/stderr
+// stream to the job's artifact files (or head-only buffers without a
+// stager) and the finalized ExecResult carries heads + artifact refs.
+func (s *Service) runAttempt(j *Job) (ExecResult, error) {
+	owner, err := pki.ParseDN(j.Owner)
+	if err != nil {
+		return ExecResult{}, err
 	}
-	return s
+	sp := s.newSpool(j, owner)
+	status, execErr := s.exec(owner, j.Command, sp.stdout, sp.stderr)
+	return s.finalize(j, owner, sp, status, execErr), execErr
+}
+
+// clampHead bounds an inline head to n bytes (results arriving from
+// peers may have been captured under a larger OutputLimit).
+func clampHead(s string, n int) (string, bool) {
+	if len(s) > n {
+		return s[:n], true
+	}
+	return s, false
+}
+
+// applyResult folds an attempt's outputs into the record: inline heads
+// clamped to OutputLimit, the truncated flag, artifact references.
+// Callers hold s.mu.
+func (s *Service) applyResult(j *Job, res ExecResult) {
+	var outClamped, errClamped bool
+	j.Stdout, outClamped = clampHead(res.Stdout, s.cfg.OutputLimit)
+	j.Stderr, errClamped = clampHead(res.Stderr, s.cfg.OutputLimit)
+	j.StdoutTruncated = res.StdoutTruncated || outClamped
+	j.StderrTruncated = res.StderrTruncated || errClamped
+	j.Truncated = res.Truncated || j.StdoutTruncated || j.StderrTruncated
+	j.Artifacts = res.Artifacts
+	j.ExitCode = res.ExitCode
+	j.LocalUser = res.LocalUser
+}
+
+// Delete removes a terminal job record together with its staged artifact
+// tree. Running, queued, and remote jobs must be cancelled first.
+func (s *Service) Delete(id string) error {
+	s.mu.Lock()
+	j, ok := s.Get(id)
+	if !ok {
+		s.mu.Unlock()
+		return &rpc.Fault{Code: rpc.CodeApplication, Message: fmt.Sprintf("job: no such job %q", id)}
+	}
+	if !Terminal(j.State) {
+		s.mu.Unlock()
+		return &rpc.Fault{Code: rpc.CodeApplication, Message: fmt.Sprintf("job: job %s is %s; cancel it before deleting", id, j.State)}
+	}
+	err := s.srv.Store().Delete(bucket, id)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Tree removal happens off the dispatch mutex; a crash here leaves an
+	// orphan tree the startup sweep collects.
+	if len(j.Artifacts) > 0 {
+		s.gcArtifacts(id)
+	} else if s.stager != nil {
+		// No references, but a tree may exist (partial stage): best effort.
+		s.stager.Remove(id)
+	}
+	return nil
 }
 
 // finish records the attempt outcome: success → done; failure → requeue
@@ -902,10 +1104,7 @@ func (s *Service) finish(j *Job, res ExecResult, execErr error) {
 	}
 	s.runningCount--
 
-	j.Stdout = truncated(res.Stdout, s.cfg.OutputLimit)
-	j.Stderr = truncated(res.Stderr, s.cfg.OutputLimit)
-	j.ExitCode = res.ExitCode
-	j.LocalUser = res.LocalUser
+	s.applyResult(j, res)
 	j.Error = ""
 	if execErr != nil {
 		j.Error = execErr.Error()
@@ -924,6 +1123,10 @@ func (s *Service) finish(j *Job, res ExecResult, execErr error) {
 		s.doneCount++
 	case j.Attempts <= j.MaxRetries:
 		j.State = StateQueued
+		// The next attempt's spool setup empties the artifact tree, so
+		// references from this failed attempt must not linger on a queued
+		// record where clients could fetch soon-to-vanish files.
+		j.Artifacts = nil
 		s.pushQueue(j)
 	default:
 		j.State = StateFailed
@@ -966,14 +1169,16 @@ func (s *Service) notifyDone(j *Job) {
 
 // Snapshot reports the scheduler counters.
 type Snapshot struct {
-	Queued    int
-	Running   int
-	Remote    int // jobs forwarded to peers, awaiting pull-back
-	Done      uint64
-	Failed    uint64
-	Cancelled uint64
-	Workers   int
-	Uptime    time.Duration
+	Queued        int
+	Running       int
+	Remote        int // jobs forwarded to peers, awaiting pull-back
+	Done          uint64
+	Failed        uint64
+	Cancelled     uint64
+	Workers       int
+	Uptime        time.Duration
+	ArtifactBytes uint64 // cumulative bytes staged into artifact trees
+	ArtifactGC    uint64 // artifact trees garbage-collected
 }
 
 // Throughput is completed jobs (any terminal state) per second of uptime.
@@ -994,14 +1199,16 @@ func (s *Service) Stats() Snapshot {
 	// approximation is fine for gauges, but queued = heap minus nothing
 	// here since cancellation rewrites state and workers skip stale items.
 	return Snapshot{
-		Queued:    len(s.queue),
-		Running:   s.runningCount,
-		Remote:    s.remoteCount,
-		Done:      s.doneCount,
-		Failed:    s.failedCount,
-		Cancelled: s.cancelCount,
-		Workers:   s.cfg.Workers,
-		Uptime:    time.Since(s.started),
+		Queued:        len(s.queue),
+		Running:       s.runningCount,
+		Remote:        s.remoteCount,
+		Done:          s.doneCount,
+		Failed:        s.failedCount,
+		Cancelled:     s.cancelCount,
+		Workers:       s.cfg.Workers,
+		Uptime:        time.Since(s.started),
+		ArtifactBytes: s.artifactBytes,
+		ArtifactGC:    s.artifactGC,
 	}
 }
 
@@ -1028,14 +1235,16 @@ func (s *Service) publishGauges() {
 		Cluster: "jobs",
 		Node:    "scheduler",
 		Params: map[string]float64{
-			"queued":     float64(sn.Queued),
-			"running":    float64(sn.Running),
-			"remote":     float64(sn.Remote),
-			"done":       float64(sn.Done),
-			"failed":     float64(sn.Failed),
-			"cancelled":  float64(sn.Cancelled),
-			"workers":    float64(sn.Workers),
-			"throughput": sn.Throughput(),
+			"queued":         float64(sn.Queued),
+			"running":        float64(sn.Running),
+			"remote":         float64(sn.Remote),
+			"done":           float64(sn.Done),
+			"failed":         float64(sn.Failed),
+			"cancelled":      float64(sn.Cancelled),
+			"workers":        float64(sn.Workers),
+			"throughput":     sn.Throughput(),
+			"artifact_bytes": float64(sn.ArtifactBytes),
+			"artifact_gc":    float64(sn.ArtifactGC),
 		},
 	})
 }
@@ -1051,8 +1260,8 @@ func (s *Service) Methods() []core.Method {
 	return []core.Method{
 		{
 			Name:      "job.submit",
-			Help:      "Queue a sandboxed command for asynchronous execution: submit(command, [priority], [max_retries]); returns the job id.",
-			Signature: []string{"string string int int"},
+			Help:      "Queue a sandboxed command for asynchronous execution: submit(command, [priority], [max_retries], [collect_globs]); returns the job id. collect_globs name sandbox files to stage as artifacts after a successful run.",
+			Signature: []string{"string string int int array"},
 			Handler:   s.rpcSubmit,
 		},
 		{
@@ -1075,9 +1284,15 @@ func (s *Service) Methods() []core.Method {
 		},
 		{
 			Name:      "job.output",
-			Help:      "Return {stdout, stderr, exit_code, state} for a job (owner or server admin only). Jobs executing on a federation peer are proxied transparently.",
+			Help:      "Return {stdout, stderr, exit_code, state, truncated, artifacts} for a job (owner or server admin only). stdout/stderr are bounded heads; when truncated, the artifacts array references the full streams for file.read / HTTP GET fetching. Jobs executing on a federation peer are proxied transparently.",
 			Signature: []string{"struct string"},
 			Handler:   s.rpcOutput,
+		},
+		{
+			Name:      "job.delete",
+			Help:      "Delete a terminal job record and its staged artifacts (owner or server admin only); returns true.",
+			Signature: []string{"boolean string"},
+			Handler:   s.rpcDelete,
 		},
 		{
 			Name:      "job.wait",
@@ -1143,7 +1358,30 @@ func jobStruct(j *Job) map[string]any {
 	if j.RemoteID != "" {
 		m["remote_id"] = j.RemoteID
 	}
+	if j.Truncated {
+		m["truncated"] = true
+	}
+	if len(j.Artifacts) > 0 {
+		m["artifacts"] = artifactList(j.Artifacts)
+	}
 	return m
+}
+
+func artifactList(arts []Artifact) []any {
+	out := make([]any, len(arts))
+	for i, a := range arts {
+		m := map[string]any{
+			"name": a.Name,
+			"path": a.Path,
+			"size": int(a.Size),
+			"md5":  a.MD5,
+		}
+		if a.Partial {
+			m["partial"] = true
+		}
+		out[i] = m
+	}
+	return out
 }
 
 // liveRemote returns the freshest view of j: for remote jobs with an
@@ -1180,7 +1418,14 @@ func (s *Service) rpcSubmit(ctx *core.Context, p core.Params) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	j, err := s.Submit(ctx.DN, command, priority, retries)
+	var collect []string
+	if len(p) > 3 {
+		collect, err = p.StringSlice(3)
+		if err != nil {
+			return nil, err
+		}
+	}
+	j, err := s.Submit(ctx.DN, command, priority, retries, collect...)
 	if err != nil {
 		return nil, err
 	}
@@ -1269,11 +1514,29 @@ func (s *Service) rpcOutput(ctx *core.Context, p core.Params) (any, error) {
 	}
 	j = s.liveRemote(j)
 	return map[string]any{
-		"stdout":    j.Stdout,
-		"stderr":    j.Stderr,
-		"exit_code": j.ExitCode,
-		"state":     j.State,
+		"stdout":           j.Stdout,
+		"stderr":           j.Stderr,
+		"exit_code":        j.ExitCode,
+		"state":            j.State,
+		"truncated":        j.Truncated,
+		"stdout_truncated": j.StdoutTruncated,
+		"stderr_truncated": j.StderrTruncated,
+		"artifacts":        artifactList(j.Artifacts),
 	}, nil
+}
+
+func (s *Service) rpcDelete(ctx *core.Context, p core.Params) (any, error) {
+	id, err := p.String(0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.authorized(ctx, id); err != nil {
+		return nil, err
+	}
+	if err := s.Delete(id); err != nil {
+		return nil, err
+	}
+	return true, nil
 }
 
 func (s *Service) rpcStats(ctx *core.Context, p core.Params) (any, error) {
@@ -1288,6 +1551,8 @@ func (s *Service) rpcStats(ctx *core.Context, p core.Params) (any, error) {
 		"workers":          sn.Workers,
 		"uptime_s":         int(sn.Uptime.Seconds()),
 		"throughput_per_s": sn.Throughput(),
+		"artifact_bytes":   int(sn.ArtifactBytes),
+		"artifact_gc":      int(sn.ArtifactGC),
 	}, nil
 }
 

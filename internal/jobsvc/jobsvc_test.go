@@ -2,6 +2,8 @@ package jobsvc
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -30,16 +32,18 @@ func testServer(t *testing.T, dir string) *core.Server {
 
 // echoExec is a fake executor: "echo X" succeeds with X on stdout,
 // "fail" exits 1, "error" cannot run at all.
-func echoExec(owner pki.DN, command string) (ExecResult, error) {
+func echoExec(owner pki.DN, command string, stdout, stderr io.Writer) (ExecStatus, error) {
 	switch {
 	case strings.HasPrefix(command, "echo "):
-		return ExecResult{Stdout: strings.TrimPrefix(command, "echo ") + "\n", LocalUser: "fake"}, nil
+		io.WriteString(stdout, strings.TrimPrefix(command, "echo ")+"\n")
+		return ExecStatus{LocalUser: "fake"}, nil
 	case command == "fail":
-		return ExecResult{Stderr: "boom\n", ExitCode: 1, LocalUser: "fake"}, nil
+		io.WriteString(stderr, "boom\n")
+		return ExecStatus{ExitCode: 1, LocalUser: "fake"}, nil
 	case command == "error":
-		return ExecResult{}, fmt.Errorf("executor unavailable")
+		return ExecStatus{}, fmt.Errorf("executor unavailable")
 	}
-	return ExecResult{LocalUser: "fake"}, nil
+	return ExecStatus{LocalUser: "fake"}, nil
 }
 
 func newService(t *testing.T, srv *core.Server, cfg Config, exec Executor) *Service {
@@ -100,12 +104,13 @@ type gateExec struct {
 	gate    chan struct{}
 }
 
-func (g *gateExec) exec(owner pki.DN, command string) (ExecResult, error) {
+func (g *gateExec) exec(owner pki.DN, command string, stdout, stderr io.Writer) (ExecStatus, error) {
 	g.mu.Lock()
 	g.started = append(g.started, command)
 	g.mu.Unlock()
 	<-g.gate
-	return ExecResult{Stdout: command}, nil
+	io.WriteString(stdout, command)
+	return ExecStatus{}, nil
 }
 
 func (g *gateExec) order() []string {
@@ -177,9 +182,10 @@ func TestFairShareQuota(t *testing.T) {
 func TestRetriesThenFailure(t *testing.T) {
 	srv := testServer(t, "")
 	var attempts atomic.Int32
-	exec := func(owner pki.DN, command string) (ExecResult, error) {
+	exec := func(owner pki.DN, command string, stdout, stderr io.Writer) (ExecStatus, error) {
 		attempts.Add(1)
-		return ExecResult{ExitCode: 1, Stderr: "always fails\n"}, nil
+		io.WriteString(stderr, "always fails\n")
+		return ExecStatus{ExitCode: 1}, nil
 	}
 	s := newService(t, srv, Config{Workers: 1}, exec)
 	j, err := s.Submit(alice, "doomed", 0, 2)
@@ -198,11 +204,12 @@ func TestRetriesThenFailure(t *testing.T) {
 func TestRetrySucceedsOnSecondAttempt(t *testing.T) {
 	srv := testServer(t, "")
 	var attempts atomic.Int32
-	exec := func(owner pki.DN, command string) (ExecResult, error) {
+	exec := func(owner pki.DN, command string, stdout, stderr io.Writer) (ExecStatus, error) {
 		if attempts.Add(1) == 1 {
-			return ExecResult{ExitCode: 1}, nil
+			return ExecStatus{ExitCode: 1}, nil
 		}
-		return ExecResult{Stdout: "recovered\n"}, nil
+		io.WriteString(stdout, "recovered\n")
+		return ExecStatus{}, nil
 	}
 	s := newService(t, srv, Config{Workers: 1}, exec)
 	j, err := s.Submit(alice, "flaky", 0, 3)
@@ -733,6 +740,298 @@ func TestRequeueAllRemote(t *testing.T) {
 	}
 	close(g.gate)
 	s.Wait(hold.ID, 5*time.Second)
+}
+
+// dirStager is a minimal ArtifactStager over a temp directory, standing
+// in for fileservice.ArtifactStore in unit tests.
+type dirStager struct {
+	root    string
+	mu      sync.Mutex
+	created map[string]string // jobID -> owner DN
+	removed []string
+}
+
+func newDirStager(t *testing.T) *dirStager {
+	return &dirStager{root: t.TempDir(), created: make(map[string]string)}
+}
+
+func (d *dirStager) Create(jobID string, owner pki.DN) (string, string, error) {
+	if strings.ContainsAny(jobID, "/\\") {
+		return "", "", fmt.Errorf("bad id")
+	}
+	dir := d.root + "/" + jobID
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", err
+	}
+	d.mu.Lock()
+	d.created[jobID] = owner.String()
+	d.mu.Unlock()
+	return dir, "/jobs/" + jobID, nil
+}
+
+func (d *dirStager) Remove(jobID string) error {
+	d.mu.Lock()
+	d.removed = append(d.removed, jobID)
+	d.mu.Unlock()
+	return os.RemoveAll(d.root + "/" + jobID)
+}
+
+func (d *dirStager) List() ([]string, error) {
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		ids = append(ids, e.Name())
+	}
+	return ids, nil
+}
+
+func (d *dirStager) ownerOf(jobID string) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.created[jobID]
+}
+
+// bulkExec emits n bytes of patterned stdout.
+func bulkExec(n int) Executor {
+	return func(owner pki.DN, command string, stdout, stderr io.Writer) (ExecStatus, error) {
+		chunk := make([]byte, 8192)
+		for i := range chunk {
+			chunk[i] = byte('a' + i%26)
+		}
+		for written := 0; written < n; {
+			c := chunk
+			if n-written < len(c) {
+				c = c[:n-written]
+			}
+			stdout.Write(c)
+			written += len(c)
+		}
+		io.WriteString(stderr, "small stderr\n")
+		return ExecStatus{LocalUser: "fake"}, nil
+	}
+}
+
+// TestArtifactStagingLargeOutput: output past OutputLimit keeps a clean
+// head inline, sets truncated, and references a staged artifact holding
+// the full stream.
+func TestArtifactStagingLargeOutput(t *testing.T) {
+	srv := testServer(t, "")
+	stager := newDirStager(t)
+	const total = 200_000
+	s := newService(t, srv, Config{Workers: 1, OutputLimit: 1024, Artifacts: stager}, bulkExec(total))
+	j, err := s.Submit(alice, "bulk", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Wait(j.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || !got.Truncated {
+		t.Fatalf("job = state %s truncated %v", got.State, got.Truncated)
+	}
+	if len(got.Stdout) != 1024 {
+		t.Errorf("head = %d bytes, want 1024", len(got.Stdout))
+	}
+	if len(got.Artifacts) != 1 || got.Artifacts[0].Name != "stdout" {
+		t.Fatalf("artifacts = %+v (stderr fit inline, must not be staged)", got.Artifacts)
+	}
+	if got.Artifacts[0].Partial {
+		t.Error("fully spooled artifact wrongly marked Partial")
+	}
+	a := got.Artifacts[0]
+	if a.Size != total || a.Path != "/jobs/"+j.ID+"/stdout" || a.MD5 == "" {
+		t.Errorf("artifact = %+v", a)
+	}
+	data, err := os.ReadFile(stager.root + "/" + j.ID + "/stdout")
+	if err != nil || int64(len(data)) != total {
+		t.Fatalf("staged file = %d bytes, %v", len(data), err)
+	}
+	if !strings.HasPrefix(string(data), got.Stdout) {
+		t.Error("inline head is not a prefix of the staged stream")
+	}
+	if stager.ownerOf(j.ID) != alice.String() {
+		t.Errorf("tree scoped to %q, want alice", stager.ownerOf(j.ID))
+	}
+	if sn := s.Stats(); sn.ArtifactBytes < total {
+		t.Errorf("ArtifactBytes = %d, want >= %d", sn.ArtifactBytes, total)
+	}
+	// stderr fit inline: its spool file must be gone.
+	if _, err := os.ReadFile(stager.root + "/" + j.ID + "/stderr"); err == nil {
+		t.Error("small stderr stream must not leave a spool file")
+	}
+}
+
+// TestSmallOutputStaysInline: outputs under the limit keep the old
+// inline contract and leave no artifact tree behind.
+func TestSmallOutputStaysInline(t *testing.T) {
+	srv := testServer(t, "")
+	stager := newDirStager(t)
+	s := newService(t, srv, Config{Workers: 1, Artifacts: stager}, echoExec)
+	j, _ := s.Submit(alice, "echo tiny", 0, 0)
+	got, err := s.Wait(j.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Truncated || len(got.Artifacts) != 0 || got.Stdout != "tiny\n" {
+		t.Errorf("job = %+v", got)
+	}
+	if ids, _ := stager.List(); len(ids) != 0 {
+		t.Errorf("empty tree left behind: %v", ids)
+	}
+}
+
+// TestSpoolLimitCapsArtifact: the on-disk spool is capped at SpoolLimit
+// while the byte count keeps the head/truncation bookkeeping honest.
+func TestSpoolLimitCapsArtifact(t *testing.T) {
+	srv := testServer(t, "")
+	stager := newDirStager(t)
+	s := newService(t, srv, Config{Workers: 1, OutputLimit: 512, SpoolLimit: 4096, Artifacts: stager}, bulkExec(100_000))
+	j, _ := s.Submit(alice, "bulk", 0, 0)
+	got, err := s.Wait(j.ID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Artifacts) != 1 || got.Artifacts[0].Size != 4096 {
+		t.Fatalf("artifacts = %+v, want stdout capped at 4096", got.Artifacts)
+	}
+	if !got.Artifacts[0].Partial {
+		t.Error("a spool-capped artifact must be marked Partial")
+	}
+	data, _ := os.ReadFile(stager.root + "/" + j.ID + "/stdout")
+	if len(data) != 4096 {
+		t.Errorf("spool = %d bytes", len(data))
+	}
+}
+
+// TestDeleteRemovesArtifacts: job.delete's backing method clears record
+// and tree; non-terminal jobs are refused.
+func TestDeleteRemovesArtifacts(t *testing.T) {
+	srv := testServer(t, "")
+	stager := newDirStager(t)
+	s := newService(t, srv, Config{Workers: 1, OutputLimit: 64, Artifacts: stager}, bulkExec(10_000))
+	j, _ := s.Submit(alice, "bulk", 0, 0)
+	if _, err := s.Wait(j.ID, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(j.ID); ok {
+		t.Error("record survived delete")
+	}
+	if ids, _ := stager.List(); len(ids) != 0 {
+		t.Errorf("tree survived delete: %v", ids)
+	}
+	if sn := s.Stats(); sn.ArtifactGC != 1 {
+		t.Errorf("ArtifactGC = %d, want 1", sn.ArtifactGC)
+	}
+	// Non-terminal jobs are refused.
+	g := &gateExec{gate: make(chan struct{})}
+	defer close(g.gate)
+	s2 := newService(t, srv, Config{Workers: 1}, g.exec)
+	running, _ := s2.Submit(alice, "hold", 0, 0)
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	if err := s2.Delete(running.ID); err == nil {
+		t.Error("delete of a running job must be refused")
+	}
+}
+
+// TestRetentionSweep: terminal jobs' trees are collected after the
+// retention window; records keep their heads but drop the references.
+func TestRetentionSweep(t *testing.T) {
+	srv := testServer(t, "")
+	stager := newDirStager(t)
+	s := newService(t, srv, Config{Workers: 1, OutputLimit: 64, Artifacts: stager, ArtifactRetention: time.Hour}, bulkExec(10_000))
+	j, _ := s.Submit(alice, "bulk", 0, 0)
+	if _, err := s.Wait(j.ID, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// A sweep "now" keeps the fresh tree; a sweep from the far future
+	// collects it.
+	s.gcExpiredArtifacts(time.Now())
+	if got, _ := s.Get(j.ID); len(got.Artifacts) != 1 {
+		t.Fatalf("fresh artifacts swept: %+v", got.Artifacts)
+	}
+	s.gcExpiredArtifacts(time.Now().Add(2 * time.Hour))
+	got, _ := s.Get(j.ID)
+	if len(got.Artifacts) != 0 || !got.Truncated || got.Stdout == "" {
+		t.Errorf("after sweep: %+v", got)
+	}
+	if ids, _ := stager.List(); len(ids) != 0 {
+		t.Errorf("tree survived sweep: %v", ids)
+	}
+	if sn := s.Stats(); sn.ArtifactGC != 1 {
+		t.Errorf("ArtifactGC = %d", sn.ArtifactGC)
+	}
+}
+
+// TestOrphanSweepAtStartup: artifact trees with no job record are
+// removed when the scheduler rebuilds.
+func TestOrphanSweepAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	stager := newDirStager(t)
+	if _, _, err := stager.Create("00000000000000000001-dead", alice); err != nil {
+		t.Fatal(err)
+	}
+	srv := testServer(t, dir)
+	s := newService(t, srv, Config{Workers: 1, Artifacts: stager}, echoExec)
+	if ids, _ := stager.List(); len(ids) != 0 {
+		t.Errorf("orphan tree survived recovery: %v", ids)
+	}
+	if sn := s.Stats(); sn.ArtifactGC != 1 {
+		t.Errorf("ArtifactGC = %d", sn.ArtifactGC)
+	}
+}
+
+// TestStageRemoteArtifact: the federation pull-back path re-stages peer
+// content into the local tree for a remote shadow record.
+func TestStageRemoteArtifact(t *testing.T) {
+	srv := testServer(t, "")
+	stager := newDirStager(t)
+	g := &gateExec{gate: make(chan struct{})}
+	defer close(g.gate)
+	s := newService(t, srv, Config{Workers: 1, Artifacts: stager}, g.exec)
+	s.Submit(alice, "hold", 0, 0)
+	waitFor(t, func() bool { return len(g.order()) == 1 })
+	j, _ := s.Submit(alice, "echo remote", 0, 0)
+	if n := len(s.ClaimForward(1, "peer")); n != 1 {
+		t.Fatalf("claimed %d", n)
+	}
+	content := strings.Repeat("remote-bytes.", 1000)
+	a, err := s.StageRemoteArtifact(j.ID, "stdout", strings.NewReader(content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size != int64(len(content)) || a.Path != "/jobs/"+j.ID+"/stdout" {
+		t.Errorf("artifact = %+v", a)
+	}
+	data, err := os.ReadFile(stager.root + "/" + j.ID + "/stdout")
+	if err != nil || string(data) != content {
+		t.Errorf("staged content mismatch (%d bytes, %v)", len(data), err)
+	}
+	if stager.ownerOf(j.ID) != alice.String() {
+		t.Errorf("remote stage scoped to %q", stager.ownerOf(j.ID))
+	}
+	// Hostile names refused; non-remote jobs refused.
+	for _, evil := range []string{"", "..", "a/b", `a\b`} {
+		if _, err := s.StageRemoteArtifact(j.ID, evil, strings.NewReader("x")); err == nil {
+			t.Errorf("name %q must be refused", evil)
+		}
+	}
+	if err := s.CompleteRemote(j.ID, StateDone, ExecResult{Stdout: "head", Truncated: true, Artifacts: []Artifact{a}}, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(j.ID)
+	if !got.Truncated || len(got.Artifacts) != 1 || got.Artifacts[0].MD5 != a.MD5 {
+		t.Errorf("finalized shadow = %+v", got)
+	}
+	if _, err := s.StageRemoteArtifact(j.ID, "late", strings.NewReader("x")); err == nil {
+		t.Error("staging into a terminal job must be refused")
+	}
 }
 
 func TestCompleteRemoteHonorsCancelFlag(t *testing.T) {

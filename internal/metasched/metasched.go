@@ -38,6 +38,7 @@ package metasched
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"sort"
 	"sync"
@@ -167,10 +168,11 @@ func (p *peer) free() int {
 
 // Stats is a snapshot of the scheduler's counters.
 type Stats struct {
-	Peers      int    // live peers in the table
-	Forwarded  uint64 // jobs accepted by peers
-	PulledBack uint64 // remote results finalized locally
-	Fallbacks  uint64 // jobs returned to the local queue after a failure
+	Peers         int    // live peers in the table
+	Forwarded     uint64 // jobs accepted by peers
+	PulledBack    uint64 // remote results finalized locally
+	Fallbacks     uint64 // jobs returned to the local queue after a failure
+	ArtifactBytes uint64 // artifact bytes fetched from peers and re-staged
 }
 
 // Scheduler is the per-server federated meta-scheduler.
@@ -488,7 +490,14 @@ func (s *Scheduler) watchRemote() {
 }
 
 // pullBack fetches a terminal remote job's output and finalizes the local
-// shadow record.
+// shadow record. Inline heads come back in the job.output envelope;
+// staged artifacts are fetched from the executing peer by chunk-iterating
+// its file.read under the job owner's delegated session (the peer's
+// artifact ACL is scoped to exactly that DN) and re-staged into the local
+// artifact tree, so the shadow record converges to the same shape as a
+// locally executed job. A failed transfer leaves the record remote and
+// retries next cycle; persistent failure degrades through the usual
+// DeadPolls fallback.
 func (s *Scheduler) pullBack(c Conn, token string, j *jobsvc.Job, state string) {
 	v, err := c.Call(token, "job.output", j.RemoteID)
 	out, _ := v.(map[string]any)
@@ -500,6 +509,21 @@ func (s *Scheduler) pullBack(c Conn, token string, j *jobsvc.Job, state string) 
 	res.Stdout, _ = out["stdout"].(string)
 	res.Stderr, _ = out["stderr"].(string)
 	res.ExitCode, _ = rpc.CoerceInt(out["exit_code"])
+	res.Truncated, _ = out["truncated"].(bool)
+	res.StdoutTruncated, _ = out["stdout_truncated"].(bool)
+	res.StderrTruncated, _ = out["stderr_truncated"].(bool)
+	if arts, ok := out["artifacts"].([]any); ok && len(arts) > 0 && s.jobs.StagingEnabled() {
+		staged, pulled, err := s.pullArtifacts(c, token, j, arts)
+		if err != nil {
+			s.jobs.DiscardRemoteStage(j.ID)
+			s.failJob(j, fmt.Errorf("artifact pull-back from %s: %w", j.Peer, err))
+			return
+		}
+		res.Artifacts = staged
+		s.mu.Lock()
+		s.stats.ArtifactBytes += uint64(pulled)
+		s.mu.Unlock()
+	}
 	errMsg := ""
 	if state == jobsvc.StateFailed || state == jobsvc.StateCancelled {
 		errMsg = fmt.Sprintf("remote %s on peer %s", state, j.Peer)
@@ -512,6 +536,100 @@ func (s *Scheduler) pullBack(c Conn, token string, j *jobsvc.Job, state string) 
 	s.stats.PulledBack++
 	delete(s.failPolls, j.ID)
 	s.mu.Unlock()
+}
+
+// artifactChunk is the file.read chunk size used for artifact transfers.
+const artifactChunk = 1 << 20
+
+// pullArtifacts fetches every artifact referenced by a peer's job.output
+// and re-stages it locally, verifying digests. Returns the local
+// references and total bytes transferred.
+func (s *Scheduler) pullArtifacts(c Conn, token string, j *jobsvc.Job, arts []any) ([]jobsvc.Artifact, int64, error) {
+	out := make([]jobsvc.Artifact, 0, len(arts))
+	var pulled int64
+	for _, e := range arts {
+		m, _ := e.(map[string]any)
+		if m == nil {
+			continue
+		}
+		name, _ := m["name"].(string)
+		path, _ := m["path"].(string)
+		wantMD5, _ := m["md5"].(string)
+		if name == "" || path == "" {
+			continue
+		}
+		// An artifact bigger than the local spool cap could never verify
+		// here — transferring it would truncate into a guaranteed digest
+		// mismatch and a futile retry loop. Skip it explicitly; the
+		// record keeps its truncated heads.
+		if sz, ok := rpc.CoerceInt(m["size"]); ok && int64(sz) > s.jobs.SpoolLimit() {
+			s.logger.Printf("metasched: skipping artifact %q of %s: %d bytes exceeds the local spool limit %d", name, j.ID, sz, s.jobs.SpoolLimit())
+			continue
+		}
+		r := &remoteFileReader{c: c, token: token, path: path}
+		a, err := s.jobs.StageRemoteArtifact(j.ID, name, r)
+		if err != nil {
+			return nil, 0, fmt.Errorf("stage %q: %w", name, err)
+		}
+		if wantMD5 != "" && a.MD5 != wantMD5 {
+			return nil, 0, fmt.Errorf("artifact %q digest mismatch (got %s, peer reported %s)", name, a.MD5, wantMD5)
+		}
+		// A stream the peer's own spool cap cut short stays marked: the
+		// re-staged copy is byte-identical but still not the full stream.
+		a.Partial, _ = m["partial"].(bool)
+		out = append(out, a)
+		pulled += a.Size
+	}
+	return out, pulled, nil
+}
+
+// remoteFileReader adapts a peer's chunk-iterated file.read to
+// io.Reader, terminating on the response's eof flag (no zero-byte probe
+// round trip).
+type remoteFileReader struct {
+	c      Conn
+	token  string
+	path   string
+	offset int
+	buf    []byte
+	eof    bool
+	err    error
+}
+
+func (r *remoteFileReader) Read(p []byte) (int, error) {
+	for len(r.buf) == 0 {
+		if r.err != nil {
+			return 0, r.err
+		}
+		if r.eof {
+			return 0, io.EOF
+		}
+		v, err := r.c.Call(r.token, "file.read", r.path, r.offset, artifactChunk)
+		if err != nil {
+			r.err = err
+			return 0, err
+		}
+		m, ok := v.(map[string]any)
+		if !ok {
+			r.err = fmt.Errorf("file.read returned %T", v)
+			return 0, r.err
+		}
+		data, _ := rpc.CoerceBytes(m["data"])
+		r.eof, _ = m["eof"].(bool)
+		r.offset += len(data)
+		r.buf = data
+		if len(data) == 0 {
+			if r.eof {
+				return 0, io.EOF
+			}
+			// Empty chunk without eof would loop at this offset forever.
+			r.err = fmt.Errorf("file.read returned no data and no eof at offset %d", r.offset)
+			return 0, r.err
+		}
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
 }
 
 // failGroup records one failed watch poll for every job in a group and
@@ -703,7 +821,15 @@ func (s *Scheduler) forwardTo(p *peer, claimed []*jobsvc.Job) {
 		}
 		calls := make([]Call, len(jobs))
 		for i, j := range jobs {
-			calls[i] = Call{Method: "job.submit", Params: []any{j.Command, j.Priority, j.MaxRetries}}
+			params := []any{j.Command, j.Priority, j.MaxRetries}
+			if len(j.Collect) > 0 {
+				collect := make([]any, len(j.Collect))
+				for k, pat := range j.Collect {
+					collect[k] = pat
+				}
+				params = append(params, collect)
+			}
+			calls[i] = Call{Method: "job.submit", Params: params}
 		}
 		results, err := c.Batch(token, calls)
 		if err != nil || len(results) != len(jobs) {
@@ -883,6 +1009,15 @@ func (s *Scheduler) Refresh(j *jobsvc.Job) (*jobsvc.Job, error) {
 			live.Stdout, _ = out["stdout"].(string)
 			live.Stderr, _ = out["stderr"].(string)
 			live.ExitCode, _ = rpc.CoerceInt(out["exit_code"])
+			live.Truncated, _ = out["truncated"].(bool)
+			live.StdoutTruncated, _ = out["stdout_truncated"].(bool)
+			live.StderrTruncated, _ = out["stderr_truncated"].(bool)
+			// Artifact references are NOT surfaced from the live peer
+			// view: they name the peer's namespace, which the submitting
+			// server's clients cannot fetch through. The local record
+			// gains fetchable references when the watch loop pulls the
+			// result back and re-stages the artifacts.
+			live.Artifacts = nil
 		}
 	}
 	return &live, nil

@@ -1,8 +1,14 @@
 package metasched
 
 import (
+	"bytes"
+	"crypto/md5"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -116,6 +122,10 @@ type harness struct {
 }
 
 func newHarness(t *testing.T, cfg Config, dialErr map[string]error) *harness {
+	return newHarnessJobs(t, cfg, jobsvc.Config{Workers: 1}, dialErr)
+}
+
+func newHarnessJobs(t *testing.T, cfg Config, jcfg jobsvc.Config, dialErr map[string]error) *harness {
 	t.Helper()
 	srv, err := core.NewServer(core.Config{})
 	if err != nil {
@@ -128,14 +138,15 @@ func newHarness(t *testing.T, cfg Config, dialErr map[string]error) *harness {
 		conns: map[string]*fakeConn{},
 		gate:  make(chan struct{}, 1024),
 	}
-	exec := func(owner pki.DN, command string) (jobsvc.ExecResult, error) {
+	exec := func(owner pki.DN, command string, stdout, stderr io.Writer) (jobsvc.ExecStatus, error) {
 		<-h.gate
 		h.mu.Lock()
 		h.ranHere = append(h.ranHere, command)
 		h.mu.Unlock()
-		return jobsvc.ExecResult{Stdout: "local:" + command}, nil
+		io.WriteString(stdout, "local:"+command)
+		return jobsvc.ExecStatus{}, nil
 	}
-	h.jobs, err = jobsvc.New(srv, jobsvc.Config{Workers: 1}, exec, nil, nil, "local")
+	h.jobs, err = jobsvc.New(srv, jcfg, exec, nil, nil, "local")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -599,4 +610,189 @@ func TestPartitionedPeerOrphanCancelledOnReturn(t *testing.T) {
 	if got := conn.callCount("job.cancel"); got != 1 {
 		t.Errorf("job.cancel = %d calls after the peer returned, want 1", got)
 	}
+}
+
+// tempStager is a minimal jobsvc.ArtifactStager over a temp directory.
+type tempStager struct {
+	root string
+}
+
+func (d *tempStager) Create(jobID string, owner pki.DN) (string, string, error) {
+	dir := filepath.Join(d.root, jobID)
+	return dir, "/jobs/" + jobID, os.MkdirAll(dir, 0o755)
+}
+func (d *tempStager) Remove(jobID string) error { return os.RemoveAll(filepath.Join(d.root, jobID)) }
+func (d *tempStager) List() ([]string, error) {
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		ids = append(ids, e.Name())
+	}
+	return ids, nil
+}
+
+// TestPullBackRestagesArtifacts: a peer that staged a multi-chunk output
+// reports truncated heads plus an artifact reference; the watch loop must
+// fetch the artifact via chunk-iterated file.read under the delegated
+// session and re-stage it locally, digest-checked, so the shadow record
+// converges to a locally fetchable artifact.
+func TestPullBackRestagesArtifacts(t *testing.T) {
+	stager := &tempStager{root: t.TempDir()}
+	h := newHarnessJobs(t, Config{Pressure: -1}, jobsvc.Config{Workers: 1, Artifacts: stager}, nil)
+	conn := h.addPeer("peer1", "http://peer1/rpc", 4)
+
+	// The peer's staged stream: 2.5 chunks of patterned bytes.
+	content := make([]byte, artifactChunk*2+artifactChunk/2)
+	for i := range content {
+		content[i] = byte(i * 31)
+	}
+	sum := md5.Sum(content)
+	wantMD5 := hex.EncodeToString(sum[:])
+	var readTokens []string
+	base := conn.handle
+	conn.handle = func(token, method string, params []any) (any, error) {
+		switch method {
+		case "job.output":
+			return map[string]any{
+				"stdout": "head-only", "stderr": "", "exit_code": 0, "truncated": true,
+				"artifacts": []any{map[string]any{
+					"name": "stdout", "path": "/jobs/rjob/stdout",
+					"size": len(content), "md5": wantMD5,
+				}},
+			}, nil
+		case "file.read":
+			readTokens = append(readTokens, token)
+			if params[0].(string) != "/jobs/rjob/stdout" {
+				return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: "wrong path"}
+			}
+			off := params[1].(int)
+			n := params[2].(int)
+			if off > len(content) {
+				off = len(content)
+			}
+			end := off + n
+			if end > len(content) {
+				end = len(content)
+			}
+			return map[string]any{"data": content[off:end], "eof": end >= len(content)}, nil
+		}
+		return base(token, method, params)
+	}
+
+	h.occupy(t)
+	j, err := h.jobs.Submit(ownerDN, "big-output", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.sched.Kick() // forward
+	if st := h.sched.Stats(); st.Forwarded != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	h.sched.Kick() // watch: terminal on peer -> pull back + re-stage
+	got := waitState(t, h.jobs, j.ID, jobsvc.StateDone)
+	if !got.Truncated || got.Stdout != "head-only" {
+		t.Errorf("shadow record = %+v", got)
+	}
+	if len(got.Artifacts) != 1 {
+		t.Fatalf("artifacts = %+v", got.Artifacts)
+	}
+	a := got.Artifacts[0]
+	if a.Path != "/jobs/"+j.ID+"/stdout" || a.Size != int64(len(content)) || a.MD5 != wantMD5 {
+		t.Errorf("re-staged artifact = %+v", a)
+	}
+	data, err := os.ReadFile(filepath.Join(stager.root, j.ID, "stdout"))
+	if err != nil || !bytes.Equal(data, content) {
+		t.Fatalf("re-staged bytes differ (%d vs %d, %v)", len(data), len(content), err)
+	}
+	// Transfers ran under the owner's delegated session, chunked.
+	if len(readTokens) < 3 {
+		t.Errorf("file.read calls = %d, want chunk iteration", len(readTokens))
+	}
+	for _, tok := range readTokens {
+		if tok != "sess-peer1" {
+			t.Errorf("file.read under token %q, want the delegated session", tok)
+		}
+	}
+	if st := h.sched.Stats(); st.ArtifactBytes != uint64(len(content)) {
+		t.Errorf("ArtifactBytes = %d, want %d", st.ArtifactBytes, len(content))
+	}
+	h.gate <- struct{}{} // let the blocker finish
+}
+
+// TestPullBackDigestMismatchRetries: a corrupted transfer must not
+// finalize the shadow record.
+func TestPullBackDigestMismatchRetries(t *testing.T) {
+	stager := &tempStager{root: t.TempDir()}
+	h := newHarnessJobs(t, Config{Pressure: -1}, jobsvc.Config{Workers: 1, Artifacts: stager}, nil)
+	conn := h.addPeer("peer1", "http://peer1/rpc", 4)
+	base := conn.handle
+	conn.handle = func(token, method string, params []any) (any, error) {
+		switch method {
+		case "job.output":
+			return map[string]any{
+				"stdout": "h", "stderr": "", "exit_code": 0, "truncated": true,
+				"artifacts": []any{map[string]any{
+					"name": "stdout", "path": "/jobs/rjob/stdout", "size": 4, "md5": "00000000000000000000000000000000",
+				}},
+			}, nil
+		case "file.read":
+			return map[string]any{"data": []byte("data"), "eof": true}, nil
+		}
+		return base(token, method, params)
+	}
+	h.occupy(t)
+	j, err := h.jobs.Submit(ownerDN, "corrupt", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.sched.Kick() // forward
+	h.sched.Kick() // pull-back attempt: digest mismatch
+	if got, _ := h.jobs.Get(j.ID); got.State != jobsvc.StateRemote {
+		t.Errorf("state = %s, want still remote (retry next cycle)", got.State)
+	}
+	// The partial stage was discarded.
+	if _, err := os.Stat(filepath.Join(stager.root, j.ID)); !os.IsNotExist(err) {
+		t.Error("partial artifact tree not discarded")
+	}
+	h.gate <- struct{}{}
+}
+
+// TestPullBackSkipsOversizedArtifact: a peer artifact beyond the local
+// spool cap is skipped up front (it could never digest-verify here); the
+// job still finalizes with its truncated heads.
+func TestPullBackSkipsOversizedArtifact(t *testing.T) {
+	stager := &tempStager{root: t.TempDir()}
+	h := newHarnessJobs(t, Config{Pressure: -1}, jobsvc.Config{Workers: 1, Artifacts: stager, SpoolLimit: 1024}, nil)
+	conn := h.addPeer("peer1", "http://peer1/rpc", 4)
+	base := conn.handle
+	conn.handle = func(token, method string, params []any) (any, error) {
+		switch method {
+		case "job.output":
+			return map[string]any{
+				"stdout": "head", "stderr": "", "exit_code": 0, "truncated": true,
+				"artifacts": []any{map[string]any{
+					"name": "stdout", "path": "/jobs/rjob/stdout", "size": 10_000_000, "md5": "ff",
+				}},
+			}, nil
+		case "file.read":
+			t.Error("oversized artifact must not be transferred at all")
+			return nil, &rpc.Fault{Code: rpc.CodeApplication, Message: "unexpected"}
+		}
+		return base(token, method, params)
+	}
+	h.occupy(t)
+	j, err := h.jobs.Submit(ownerDN, "huge-output", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.sched.Kick() // forward
+	h.sched.Kick() // pull back, skipping the artifact
+	got := waitState(t, h.jobs, j.ID, jobsvc.StateDone)
+	if !got.Truncated || len(got.Artifacts) != 0 || got.Stdout != "head" {
+		t.Errorf("finalized = truncated %v artifacts %+v stdout %q", got.Truncated, got.Artifacts, got.Stdout)
+	}
+	h.gate <- struct{}{}
 }

@@ -190,6 +190,19 @@ func CoerceInt(v any) (int, bool) {
 	return 0, false
 }
 
+// CoerceBytes accepts a binary payload however the codec delivered it:
+// []byte from the base64-aware decoders, string from codecs (or peers)
+// that surface binary as text.
+func CoerceBytes(v any) ([]byte, bool) {
+	switch b := v.(type) {
+	case []byte:
+		return b, true
+	case string:
+		return []byte(b), true
+	}
+	return nil, false
+}
+
 // NormalizeParams normalizes every parameter in place-compatible fashion.
 func NormalizeParams(params []any) ([]any, error) {
 	out := make([]any, len(params))

@@ -1,7 +1,11 @@
 package shellsvc
 
 import (
+	"bufio"
+	"crypto/md5"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -10,7 +14,9 @@ import (
 	"time"
 )
 
-// Result of executing a command line.
+// Result of executing a command line with buffered capture (shell.cmd).
+// The job service's asynchronous path streams instead — see ExecStreamAs
+// — so multi-megabyte outputs never live in memory as strings.
 type Result struct {
 	Stdout   string
 	Stderr   string
@@ -19,7 +25,10 @@ type Result struct {
 
 // interp is the safe built-in command interpreter. Commands operate
 // strictly inside the sandbox directory; path arguments are confined the
-// same way the file service confines its virtual root.
+// same way the file service confines its virtual root. Output is written
+// straight to the supplied writers: a command like `seq 1000000` streams
+// to its destination (spool file or response buffer) without the
+// interpreter ever holding the whole stream.
 type interp struct {
 	sandbox string
 	cwd     string // current dir, absolute, inside sandbox
@@ -36,7 +45,7 @@ func BuiltinCommands() []string {
 	return cmds
 }
 
-type builtinFunc func(ip *interp, args []string, out, errw *strings.Builder) int
+type builtinFunc func(ip *interp, args []string, out, errw io.Writer) int
 
 var builtins map[string]builtinFunc
 
@@ -56,8 +65,9 @@ func init() {
 		"grep":   (*interp).grep,
 		"cd":     (*interp).cd,
 		"sleep":  (*interp).sleep,
-		"true":   func(*interp, []string, *strings.Builder, *strings.Builder) int { return 0 },
-		"false":  func(*interp, []string, *strings.Builder, *strings.Builder) int { return 1 },
+		"seq":    (*interp).seq,
+		"true":   func(*interp, []string, io.Writer, io.Writer) int { return 0 },
+		"false":  func(*interp, []string, io.Writer, io.Writer) int { return 1 },
 		"whoami": nil, // handled by the service, which knows the local user
 	}
 }
@@ -128,30 +138,27 @@ func tokenize(line string) ([]string, error) {
 }
 
 // run executes a command line: one or more simple commands joined by "&&",
-// each optionally ending with "> file" or ">> file" redirection.
-func (ip *interp) run(line string, localUser string) Result {
-	var res Result
-	var allOut, allErr strings.Builder
+// each optionally ending with "> file" or ">> file" redirection. Output is
+// streamed to stdout/stderr as it is produced.
+func (ip *interp) run(line, localUser string, stdout, stderr io.Writer) int {
+	code := 0
 	for _, segment := range strings.Split(line, "&&") {
 		segment = strings.TrimSpace(segment)
 		if segment == "" {
 			continue
 		}
-		code := ip.runSimple(segment, localUser, &allOut, &allErr)
-		res.ExitCode = code
+		code = ip.runSimple(segment, localUser, stdout, stderr)
 		if code != 0 {
 			break
 		}
 	}
-	res.Stdout = allOut.String()
-	res.Stderr = allErr.String()
-	return res
+	return code
 }
 
-func (ip *interp) runSimple(segment, localUser string, allOut, allErr *strings.Builder) int {
+func (ip *interp) runSimple(segment, localUser string, stdout, stderr io.Writer) int {
 	tokens, err := tokenize(segment)
 	if err != nil {
-		fmt.Fprintf(allErr, "sh: %v\n", err)
+		fmt.Fprintf(stderr, "sh: %v\n", err)
 		return 2
 	}
 	if len(tokens) == 0 {
@@ -170,25 +177,11 @@ func (ip *interp) runSimple(segment, localUser string, allOut, allErr *strings.B
 	name := tokens[0]
 	args := tokens[1:]
 
-	var out, errw strings.Builder
-	var code int
-	switch {
-	case name == "whoami":
-		fmt.Fprintln(&out, localUser)
-	default:
-		fn, ok := builtins[name]
-		if !ok || fn == nil {
-			fmt.Fprintf(&errw, "sh: %s: command not found\n", name)
-			code = 127
-		} else {
-			code = fn(ip, args, &out, &errw)
-		}
-	}
-
-	if redirect != "" && code == 0 {
+	out := stdout
+	if redirect != "" {
 		abs, err := ip.resolvePath(redirect)
 		if err != nil {
-			fmt.Fprintf(allErr, "sh: %v\n", err)
+			fmt.Fprintf(stderr, "sh: %v\n", err)
 			return 1
 		}
 		flags := os.O_CREATE | os.O_WRONLY
@@ -199,23 +192,32 @@ func (ip *interp) runSimple(segment, localUser string, allOut, allErr *strings.B
 		}
 		f, err := os.OpenFile(abs, flags, 0o644)
 		if err != nil {
-			fmt.Fprintf(allErr, "sh: %s: %v\n", redirect, err)
+			fmt.Fprintf(stderr, "sh: %s: %v\n", redirect, err)
 			return 1
 		}
-		f.WriteString(out.String())
-		f.Close()
-	} else {
-		allOut.WriteString(out.String())
+		defer f.Close()
+		out = f
 	}
-	allErr.WriteString(errw.String())
-	return code
+
+	switch {
+	case name == "whoami":
+		fmt.Fprintln(out, localUser)
+		return 0
+	default:
+		fn, ok := builtins[name]
+		if !ok || fn == nil {
+			fmt.Fprintf(stderr, "sh: %s: command not found\n", name)
+			return 127
+		}
+		return fn(ip, args, out, stderr)
+	}
 }
 
 // sleepCap bounds a single sleep so a job payload cannot pin a worker
 // indefinitely (the job service's cancel path only acts between attempts).
 const sleepCap = 30 * time.Second
 
-func (ip *interp) sleep(args []string, out, errw *strings.Builder) int {
+func (ip *interp) sleep(args []string, out, errw io.Writer) int {
 	if len(args) != 1 {
 		fmt.Fprintln(errw, "sleep: usage: sleep SECONDS")
 		return 2
@@ -233,17 +235,70 @@ func (ip *interp) sleep(args []string, out, errw *strings.Builder) int {
 	return 0
 }
 
-func (ip *interp) pwd(args []string, out, errw *strings.Builder) int {
+// seqCap bounds the number of lines one seq invocation may emit
+// (~80 MiB of digits at the cap), so a job payload cannot spin forever.
+const seqCap = 10_000_000
+
+// seq prints the integers first..last, one per line — the interpreter's
+// bulk-output generator (analysis jobs use it to synthesize event-sized
+// result streams, and the staging benchmark drives multi-MB outputs
+// through it). Usage: seq LAST or seq FIRST LAST.
+func (ip *interp) seq(args []string, out, errw io.Writer) int {
+	first, last := 1, 0
+	var err error
+	switch len(args) {
+	case 1:
+		last, err = strconv.Atoi(args[0])
+	case 2:
+		first, err = strconv.Atoi(args[0])
+		if err == nil {
+			last, err = strconv.Atoi(args[1])
+		}
+	default:
+		fmt.Fprintln(errw, "seq: usage: seq [FIRST] LAST")
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(errw, "seq: invalid number: %v\n", err)
+		return 1
+	}
+	// Overflow-safe clamp: compare the span without computing last-first
+	// on hostile extremes (math.MinInt..math.MaxInt would wrap).
+	if last > first && uint64(last)-uint64(first) >= seqCap {
+		last = first + seqCap - 1
+	}
+	// Buffer lines locally so a multi-million-line sequence does not pay
+	// one Write syscall per line when out is a spool file.
+	var buf []byte
+	for i := first; i <= last; i++ {
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = append(buf, '\n')
+		if len(buf) >= 32<<10 {
+			if _, werr := out.Write(buf); werr != nil {
+				return 1
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, werr := out.Write(buf); werr != nil {
+			return 1
+		}
+	}
+	return 0
+}
+
+func (ip *interp) pwd(args []string, out, errw io.Writer) int {
 	fmt.Fprintln(out, ip.virtual(ip.cwd))
 	return 0
 }
 
-func (ip *interp) echo(args []string, out, errw *strings.Builder) int {
+func (ip *interp) echo(args []string, out, errw io.Writer) int {
 	fmt.Fprintln(out, strings.Join(args, " "))
 	return 0
 }
 
-func (ip *interp) cd(args []string, out, errw *strings.Builder) int {
+func (ip *interp) cd(args []string, out, errw io.Writer) int {
 	target := "/"
 	if len(args) > 0 {
 		target = args[0]
@@ -262,7 +317,7 @@ func (ip *interp) cd(args []string, out, errw *strings.Builder) int {
 	return 0
 }
 
-func (ip *interp) ls(args []string, out, errw *strings.Builder) int {
+func (ip *interp) ls(args []string, out, errw io.Writer) int {
 	target := "."
 	if len(args) > 0 {
 		target = args[0]
@@ -287,7 +342,7 @@ func (ip *interp) ls(args []string, out, errw *strings.Builder) int {
 	return 0
 }
 
-func (ip *interp) cat(args []string, out, errw *strings.Builder) int {
+func (ip *interp) cat(args []string, out, errw io.Writer) int {
 	if len(args) == 0 {
 		fmt.Fprintln(errw, "cat: missing operand")
 		return 1
@@ -298,17 +353,22 @@ func (ip *interp) cat(args []string, out, errw *strings.Builder) int {
 			fmt.Fprintf(errw, "cat: %v\n", err)
 			return 1
 		}
-		data, err := os.ReadFile(abs)
+		f, err := os.Open(abs)
 		if err != nil {
 			fmt.Fprintf(errw, "cat: %s: %v\n", a, errShort(err))
 			return 1
 		}
-		out.Write(data)
+		_, err = io.Copy(out, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(errw, "cat: %s: %v\n", a, errShort(err))
+			return 1
+		}
 	}
 	return 0
 }
 
-func (ip *interp) mkdir(args []string, out, errw *strings.Builder) int {
+func (ip *interp) mkdir(args []string, out, errw io.Writer) int {
 	if len(args) == 0 {
 		fmt.Fprintln(errw, "mkdir: missing operand")
 		return 1
@@ -327,7 +387,7 @@ func (ip *interp) mkdir(args []string, out, errw *strings.Builder) int {
 	return 0
 }
 
-func (ip *interp) rm(args []string, out, errw *strings.Builder) int {
+func (ip *interp) rm(args []string, out, errw io.Writer) int {
 	recursive := false
 	var paths []string
 	for _, a := range args {
@@ -364,7 +424,7 @@ func (ip *interp) rm(args []string, out, errw *strings.Builder) int {
 	return 0
 }
 
-func (ip *interp) cp(args []string, out, errw *strings.Builder) int {
+func (ip *interp) cp(args []string, out, errw io.Writer) int {
 	if len(args) != 2 {
 		fmt.Fprintln(errw, "cp: want source and destination")
 		return 1
@@ -379,22 +439,48 @@ func (ip *interp) cp(args []string, out, errw *strings.Builder) int {
 		fmt.Fprintf(errw, "cp: %v\n", err)
 		return 1
 	}
-	data, err := os.ReadFile(src)
-	if err != nil {
-		fmt.Fprintf(errw, "cp: %s: %v\n", args[0], errShort(err))
-		return 1
-	}
 	if fi, statErr := os.Stat(dst); statErr == nil && fi.IsDir() {
 		dst = filepath.Join(dst, filepath.Base(src))
 	}
-	if err := os.WriteFile(dst, data, 0o644); err != nil {
-		fmt.Fprintf(errw, "cp: %s: %v\n", args[1], errShort(err))
+	if err := copyFile(src, dst); err != nil {
+		fmt.Fprintf(errw, "cp: %v\n", errShort(err))
 		return 1
 	}
 	return 0
 }
 
-func (ip *interp) mv(args []string, out, errw *strings.Builder) int {
+// copyFile streams src into dst (create/truncate) without buffering the
+// whole file in memory.
+func copyFile(src, dst string) error {
+	_, _, err := copyFileHash(src, dst)
+	return err
+}
+
+// copyFileHash is copyFile additionally returning the copied byte count
+// and hex MD5, computed while the copy streams — so artifact staging
+// never reads a file twice to describe it.
+func copyFileHash(src, dst string) (int64, string, error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return 0, "", err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, "", err
+	}
+	h := md5.New()
+	n, err := io.Copy(out, io.TeeReader(in, h))
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return n, "", err
+	}
+	return n, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func (ip *interp) mv(args []string, out, errw io.Writer) int {
 	if len(args) != 2 {
 		fmt.Fprintln(errw, "mv: want source and destination")
 		return 1
@@ -419,7 +505,7 @@ func (ip *interp) mv(args []string, out, errw *strings.Builder) int {
 	return 0
 }
 
-func (ip *interp) touch(args []string, out, errw *strings.Builder) int {
+func (ip *interp) touch(args []string, out, errw io.Writer) int {
 	if len(args) == 0 {
 		fmt.Fprintln(errw, "touch: missing operand")
 		return 1
@@ -440,7 +526,9 @@ func (ip *interp) touch(args []string, out, errw *strings.Builder) int {
 	return 0
 }
 
-func (ip *interp) wc(args []string, out, errw *strings.Builder) int {
+// wc counts in constant memory: the spool path may put multi-hundred-MiB
+// files in the sandbox, and wc must not load them whole.
+func (ip *interp) wc(args []string, out, errw io.Writer) int {
 	if len(args) == 0 {
 		fmt.Fprintln(errw, "wc: missing operand")
 		return 1
@@ -450,18 +538,43 @@ func (ip *interp) wc(args []string, out, errw *strings.Builder) int {
 		fmt.Fprintf(errw, "wc: %v\n", err)
 		return 1
 	}
-	data, err := os.ReadFile(abs)
+	f, err := os.Open(abs)
 	if err != nil {
 		fmt.Fprintf(errw, "wc: %v\n", errShort(err))
 		return 1
 	}
-	lines := strings.Count(string(data), "\n")
-	words := len(strings.Fields(string(data)))
-	fmt.Fprintf(out, "%d %d %d %s\n", lines, words, len(data), args[len(args)-1])
+	defer f.Close()
+	var lines, words, bytes int64
+	inWord := false
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := f.Read(buf)
+		bytes += int64(n)
+		for _, c := range buf[:n] {
+			if c == '\n' {
+				lines++
+			}
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f' {
+				inWord = false
+			} else if !inWord {
+				inWord = true
+				words++
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			fmt.Fprintf(errw, "wc: %v\n", errShort(rerr))
+			return 1
+		}
+	}
+	fmt.Fprintf(out, "%d %d %d %s\n", lines, words, bytes, args[len(args)-1])
 	return 0
 }
 
-func (ip *interp) head(args []string, out, errw *strings.Builder) int {
+// head streams the first n lines without reading past them.
+func (ip *interp) head(args []string, out, errw io.Writer) int {
 	n := 10
 	var file string
 	for i := 0; i < len(args); i++ {
@@ -481,19 +594,30 @@ func (ip *interp) head(args []string, out, errw *strings.Builder) int {
 		fmt.Fprintf(errw, "head: %v\n", err)
 		return 1
 	}
-	data, err := os.ReadFile(abs)
+	f, err := os.Open(abs)
 	if err != nil {
 		fmt.Fprintf(errw, "head: %v\n", errShort(err))
 		return 1
 	}
-	lines := strings.SplitAfter(string(data), "\n")
-	for i := 0; i < len(lines) && i < n; i++ {
-		out.WriteString(lines[i])
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for i := 0; i < n; i++ {
+		line, rerr := r.ReadString('\n')
+		if line != "" {
+			io.WriteString(out, line)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			fmt.Fprintf(errw, "head: %v\n", errShort(rerr))
+			return 1
+		}
 	}
 	return 0
 }
 
-func (ip *interp) grep(args []string, out, errw *strings.Builder) int {
+func (ip *interp) grep(args []string, out, errw io.Writer) int {
 	if len(args) < 2 {
 		fmt.Fprintln(errw, "grep: want pattern and file")
 		return 2

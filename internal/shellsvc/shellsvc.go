@@ -2,9 +2,11 @@ package shellsvc
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"clarens/internal/core"
@@ -108,33 +110,142 @@ func (s *Service) SandboxVirtual(localUser string) string {
 	return "/" + filepath.ToSlash(filepath.Join(filepath.Base(s.sandboxRoot), localUser))
 }
 
-// ExecAs runs a command line in dn's sandbox exactly as shell.cmd would,
-// without an RPC context: the DN is resolved through the user map, the
-// per-user sandbox is created or re-used, and the line runs under the
-// built-in interpreter (or /bin/sh when AllowRealExec is set). It is the
-// execution backend for the asynchronous job service, which schedules
-// payloads on behalf of authenticated owners. The mapped local user is
-// returned alongside the result.
-func (s *Service) ExecAs(dn pki.DN, line string) (Result, string, error) {
+// ExecStreamAs runs a command line in dn's sandbox, streaming stdout and
+// stderr into the supplied writers as the command produces them: the DN
+// is resolved through the user map, the per-user sandbox is created or
+// re-used, and the line runs under the built-in interpreter (or /bin/sh
+// when AllowRealExec is set). It is the execution backend for the
+// asynchronous job service, which spools job outputs to per-job artifact
+// files instead of retaining them as strings — nothing in this path
+// buffers the full stream in memory. The exit code and mapped local user
+// are returned.
+func (s *Service) ExecStreamAs(dn pki.DN, line string, stdout, stderr io.Writer) (int, string, error) {
 	if dn.IsZero() {
-		return Result{}, "", &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "shell: authentication required"}
+		return 0, "", &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "shell: authentication required"}
 	}
 	user, ok := s.userMap.Resolve(dn, s.srv.VO())
 	if !ok {
-		return Result{}, "", &rpc.Fault{
+		return 0, "", &rpc.Fault{
 			Code:    rpc.CodeAccessDenied,
 			Message: fmt.Sprintf("shell: no %s entry maps %q to a local user", UserMapFileName, dn.String()),
 		}
 	}
 	sandbox, err := s.Sandbox(user)
 	if err != nil {
-		return Result{}, "", err
+		return 0, "", err
 	}
 	if s.AllowRealExec {
-		return s.realExec(line, sandbox), user, nil
+		return s.realExec(line, sandbox, stdout, stderr), user, nil
 	}
 	ip := &interp{sandbox: sandbox, cwd: sandbox}
-	return ip.run(line, user), user, nil
+	return ip.run(line, user, stdout, stderr), user, nil
+}
+
+// ExecAs is ExecStreamAs with buffered capture, for callers that want the
+// whole (small) output as strings — shell.cmd's interactive round trip.
+func (s *Service) ExecAs(dn pki.DN, line string) (Result, string, error) {
+	var out, errw strings.Builder
+	code, user, err := s.ExecStreamAs(dn, line, &out, &errw)
+	if err != nil {
+		return Result{}, "", err
+	}
+	return Result{Stdout: out.String(), Stderr: errw.String(), ExitCode: code}, user, nil
+}
+
+// CollectedFile describes one sandbox file staged by CollectInto: its
+// base name in the destination plus the size and MD5 computed while the
+// copy streamed (so callers never re-read the file to describe it).
+type CollectedFile struct {
+	Name string
+	Size int64
+	MD5  string
+}
+
+// CollectInto copies sandbox files matching the glob patterns into
+// destDir, making the job's working files a collectable artifact set:
+// the job service calls it after an attempt so analysis outputs written
+// to the sandbox (histograms, skimmed event files) stage alongside the
+// stdout/stderr spools. Patterns resolve relative to the sandbox root
+// and may name subdirectories ("results/*.dat"). Symlinks are never
+// followed — neither as matches nor through parent directories — so a
+// payload cannot stage server files from outside its sandbox.
+// fileLimit bounds EACH file (<= 0: unlimited); oversized files are
+// reported in skipped, not split. The destination file names are the
+// matches' base names (first match wins on collision, and a file already
+// present in destDir — e.g. an output spool — is never overwritten);
+// staged files come back name-sorted with sizes and digests.
+func (s *Service) CollectInto(dn pki.DN, patterns []string, destDir string, fileLimit int64) (staged []CollectedFile, skipped []string, err error) {
+	if dn.IsZero() {
+		return nil, nil, &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "shell: authentication required"}
+	}
+	user, ok := s.userMap.Resolve(dn, s.srv.VO())
+	if !ok {
+		return nil, nil, &rpc.Fault{
+			Code:    rpc.CodeAccessDenied,
+			Message: fmt.Sprintf("shell: no %s entry maps %q to a local user", UserMapFileName, dn.String()),
+		}
+	}
+	sandbox, err := s.Sandbox(user)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Containment is checked on the RESOLVED path: a match that passes the
+	// lexical prefix test can still point outside the sandbox through a
+	// symlinked parent directory or be a symlink itself.
+	sandboxReal, err := filepath.EvalSymlinks(sandbox)
+	if err != nil {
+		return nil, nil, err
+	}
+	byName := make(map[string]CollectedFile)
+	for _, pattern := range patterns {
+		clean := filepath.Clean(filepath.FromSlash(pattern))
+		if clean == "." || filepath.IsAbs(clean) || strings.HasPrefix(clean, "..") {
+			continue // pattern escapes (or is) the sandbox root
+		}
+		matches, err := filepath.Glob(filepath.Join(sandbox, clean))
+		if err != nil {
+			return nil, nil, fmt.Errorf("shell: bad collect pattern %q: %v", pattern, err)
+		}
+		for _, m := range matches {
+			if !strings.HasPrefix(m, sandbox+string(filepath.Separator)) {
+				continue
+			}
+			real, rerr := filepath.EvalSymlinks(m)
+			if rerr != nil || (real != sandboxReal && !strings.HasPrefix(real, sandboxReal+string(filepath.Separator))) {
+				continue // resolves outside the sandbox (symlink escape)
+			}
+			fi, serr := os.Lstat(m)
+			if serr != nil || !fi.Mode().IsRegular() {
+				continue // symlinks and specials are never staged
+			}
+			name := filepath.Base(m)
+			if _, dup := byName[name]; dup {
+				continue
+			}
+			if _, serr := os.Lstat(filepath.Join(destDir, name)); serr == nil {
+				// Never overwrite a file already in the destination — the
+				// job service's stdout/stderr spools live there, and a
+				// sandbox file of the same name must not clobber a spool
+				// whose size/digest were already published.
+				continue
+			}
+			if fileLimit > 0 && fi.Size() > fileLimit {
+				skipped = append(skipped, name)
+				continue
+			}
+			size, digest, cerr := copyFileHash(real, filepath.Join(destDir, name))
+			if cerr != nil {
+				return nil, nil, fmt.Errorf("shell: collect %q: %v", name, cerr)
+			}
+			byName[name] = CollectedFile{Name: name, Size: size, MD5: digest}
+		}
+	}
+	for _, cf := range byName {
+		staged = append(staged, cf)
+	}
+	sort.Slice(staged, func(i, j int) bool { return staged[i].Name < staged[j].Name })
+	sort.Strings(skipped)
+	return staged, skipped, nil
 }
 
 func (s *Service) cmd(ctx *core.Context, p core.Params) (any, error) {
@@ -155,16 +266,16 @@ func (s *Service) cmd(ctx *core.Context, p core.Params) (any, error) {
 	}, nil
 }
 
-// realExec runs the command under /bin/sh in the sandbox directory. This
-// is the opt-in mode closest to the original service (which additionally
-// switched to the mapped Unix uid).
-func (s *Service) realExec(line, sandbox string) Result {
+// realExec runs the command under /bin/sh in the sandbox directory,
+// wiring the process's stdout/stderr straight to the capture writers.
+// This is the opt-in mode closest to the original service (which
+// additionally switched to the mapped Unix uid).
+func (s *Service) realExec(line, sandbox string, stdout, stderr io.Writer) int {
 	cmd := exec.Command("/bin/sh", "-c", line)
 	cmd.Dir = sandbox
 	cmd.Env = []string{"HOME=" + sandbox, "PATH=/usr/bin:/bin"}
-	var out, errw strings.Builder
-	cmd.Stdout = &out
-	cmd.Stderr = &errw
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
 	err := cmd.Run()
 	code := 0
 	if err != nil {
@@ -173,7 +284,7 @@ func (s *Service) realExec(line, sandbox string) Result {
 			code = ee.ExitCode()
 		}
 	}
-	return Result{Stdout: out.String(), Stderr: errw.String(), ExitCode: code}
+	return code
 }
 
 func (s *Service) cmdInfo(ctx *core.Context, p core.Params) (any, error) {

@@ -2,12 +2,15 @@ package shellsvc
 
 import (
 	"bytes"
+	"crypto/md5"
+	"encoding/hex"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"clarens/internal/acl"
 	"clarens/internal/core"
@@ -360,5 +363,140 @@ func TestNewValidation(t *testing.T) {
 	defer srv.Close()
 	if _, err := New(srv, nil, t.TempDir()); err == nil {
 		t.Error("nil user map must be rejected")
+	}
+}
+
+func TestSeqStreamsLargeOutput(t *testing.T) {
+	f := newFixture(t)
+	// seq streams straight to the supplied writer — the job service's
+	// spool path; exercise it through ExecStreamAs.
+	var out, errw strings.Builder
+	code, user, err := f.svc.ExecStreamAs(joeDN, "seq 3", &out, &errw)
+	if err != nil || code != 0 || user != "joe" {
+		t.Fatalf("seq = code %d user %q err %v", code, user, err)
+	}
+	if out.String() != "1\n2\n3\n" {
+		t.Errorf("seq 3 = %q", out.String())
+	}
+	// FIRST LAST form plus redirection into a sandbox file.
+	if code, _, _ := f.svc.ExecStreamAs(joeDN, "seq 5 7 > r.txt && cat r.txt", &out, &errw); code != 0 {
+		t.Fatalf("redirect exit %d, stderr %q", code, errw.String())
+	}
+	if !strings.HasSuffix(out.String(), "5\n6\n7\n") {
+		t.Errorf("redirected seq = %q", out.String())
+	}
+	m := cmdResult(t, f.call(t, joeDN, "shell.cmd", "seq bogus"))
+	if m["exit_code"] == 0 {
+		t.Error("seq with a non-number must fail")
+	}
+}
+
+// countingWriter proves streaming: output arrives incrementally without
+// a terminal buffer.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) { w.n += int64(len(p)); return len(p), nil }
+
+func TestExecStreamDoesNotBuffer(t *testing.T) {
+	f := newFixture(t)
+	w := &countingWriter{}
+	var errw strings.Builder
+	code, _, err := f.svc.ExecStreamAs(joeDN, "seq 100000", w, &errw)
+	if err != nil || code != 0 {
+		t.Fatalf("code %d err %v (%s)", code, err, errw.String())
+	}
+	if w.n < 500_000 {
+		t.Errorf("streamed %d bytes, want the full sequence", w.n)
+	}
+}
+
+func TestCollectInto(t *testing.T) {
+	f := newFixture(t)
+	dest := t.TempDir()
+	cmdResult(t, f.call(t, joeDN, "shell.cmd",
+		"mkdir results && echo alpha > results/a.dat && echo beta > results/b.dat && echo skip > results/c.txt && echo top > top.dat"))
+	files, skipped, err := f.svc.CollectInto(joeDN, []string{"results/*.dat", "top.dat"}, dest, 0)
+	if err != nil || len(skipped) != 0 {
+		t.Fatal(err, skipped)
+	}
+	var names []string
+	for _, cf := range files {
+		names = append(names, cf.Name)
+	}
+	if strings.Join(names, ",") != "a.dat,b.dat,top.dat" {
+		t.Fatalf("collected = %v", names)
+	}
+	data, err := os.ReadFile(filepath.Join(dest, "a.dat"))
+	if err != nil || string(data) != "alpha\n" {
+		t.Errorf("a.dat = %q, %v", data, err)
+	}
+	// Size and digest are computed during the copy.
+	sum := md5.Sum([]byte("alpha\n"))
+	if files[0].Size != 6 || files[0].MD5 != hex.EncodeToString(sum[:]) {
+		t.Errorf("a.dat described as %+v", files[0])
+	}
+	// Escaping patterns are ignored, not an error — and collect nothing.
+	files, skipped, err = f.svc.CollectInto(joeDN, []string{"../*", "/etc/passwd", "../../*"}, t.TempDir(), 0)
+	if err != nil || len(files) != 0 || len(skipped) != 0 {
+		t.Errorf("escape patterns collected %v, %v, %v", files, skipped, err)
+	}
+	// The per-file cap skips oversized files and reports them.
+	files, skipped, err = f.svc.CollectInto(joeDN, []string{"results/*.dat"}, t.TempDir(), 3)
+	if err != nil || len(files) != 0 {
+		t.Errorf("capped collect = %v, %v", files, err)
+	}
+	if strings.Join(skipped, ",") != "a.dat,b.dat" {
+		t.Errorf("skipped = %v", skipped)
+	}
+}
+
+func TestCollectIntoRefusesSymlinkEscapes(t *testing.T) {
+	f := newFixture(t)
+	// A payload plants symlinks pointing outside the sandbox (possible
+	// under AllowRealExec); collection must not follow them.
+	secretDir := t.TempDir()
+	secret := filepath.Join(secretDir, "secret.dat")
+	os.WriteFile(secret, []byte("server-only"), 0o600)
+	sandbox, err := f.svc.Sandbox("joe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink(secret, filepath.Join(sandbox, "leak.dat")); err != nil {
+		t.Skip("symlinks unavailable:", err)
+	}
+	if err := os.Symlink(secretDir, filepath.Join(sandbox, "leakdir")); err != nil {
+		t.Fatal(err)
+	}
+	dest := t.TempDir()
+	files, _, err := f.svc.CollectInto(joeDN, []string{"*.dat", "leakdir/*.dat", "leakdir"}, dest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("symlinked content collected: %+v", files)
+	}
+	if entries, _ := os.ReadDir(dest); len(entries) != 0 {
+		t.Errorf("destination not empty: %v", entries)
+	}
+}
+
+func TestSeqOverflowClamped(t *testing.T) {
+	f := newFixture(t)
+	// Hostile extremes must hit the cap, not wrap the span computation
+	// and run ~1.8e19 iterations.
+	w := &countingWriter{}
+	var errw strings.Builder
+	done := make(chan int, 1)
+	go func() {
+		code, _, _ := f.svc.ExecStreamAs(joeDN, "seq -9000000000000000000 9000000000000000000", w, &errw)
+		done <- code
+	}()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("clamped seq exit = %d (%s)", code, errw.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("seq with overflowing bounds did not terminate: clamp bypassed")
 	}
 }

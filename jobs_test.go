@@ -1,6 +1,10 @@
 package clarens
 
 import (
+	"bytes"
+	"crypto/md5"
+	"encoding/hex"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -303,5 +307,164 @@ func TestJobRecoveryRequeuesInterrupted(t *testing.T) {
 	}
 	if a, _ := st["attempts"].(int); a != 2 {
 		t.Errorf("attempts = %v, want 2 (interrupted attempt counted)", st["attempts"])
+	}
+}
+
+// TestJobArtifactStagingEndToEnd is the staging acceptance path: a job
+// whose output exceeds the inline limit keeps the full stream on disk —
+// job.output returns the head with truncated=true plus an artifact
+// reference, and fetching that reference via file.read chunk iteration
+// and via HTTP GET yields byte-identical, digest-checked content.
+func TestJobArtifactStagingEndToEnd(t *testing.T) {
+	cfg := jobConfig(t, t.TempDir())
+	srv, c := startJobServer(t, cfg)
+	sess, err := srv.NewSessionFor(userDN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSession(sess.ID)
+
+	// ~1.4 MiB of stdout: far past the 64 KiB inline limit.
+	id, err := c.CallString("job.submit", "seq 200000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.JobWait(id, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := c.CallStruct("job.output", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, _ := out["stdout"].(string)
+	if tr, _ := out["truncated"].(bool); !tr {
+		t.Fatalf("truncated = %v, want true (head %d bytes)", out["truncated"], len(head))
+	}
+	if len(head) != 64<<10 {
+		t.Errorf("head = %d bytes, want the 64 KiB inline limit", len(head))
+	}
+	arts, _ := out["artifacts"].([]any)
+	if len(arts) != 1 {
+		t.Fatalf("artifacts = %#v", out["artifacts"])
+	}
+	ref, _ := arts[0].(map[string]any)
+	path, _ := ref["path"].(string)
+	wantMD5, _ := ref["md5"].(string)
+	size, _ := ref["size"].(int)
+	if ref["name"] != "stdout" || path != "/jobs/"+id+"/stdout" || wantMD5 == "" || size <= 64<<10 {
+		t.Fatalf("artifact ref = %#v", ref)
+	}
+
+	// Path 1: file.read chunk iteration (terminates on the eof flag).
+	var viaRPC bytes.Buffer
+	n, err := c.FetchFile(path, 0, &viaRPC)
+	if err != nil || int(n) != size {
+		t.Fatalf("FetchFile = %d bytes, %v (want %d)", n, err, size)
+	}
+	sum := md5.Sum(viaRPC.Bytes())
+	if hex.EncodeToString(sum[:]) != wantMD5 {
+		t.Error("file.read fetch digest mismatch")
+	}
+	if !strings.HasPrefix(viaRPC.String(), head) {
+		t.Error("inline head is not a prefix of the staged stream")
+	}
+
+	// Path 2: HTTP GET streaming, byte-identical.
+	var viaHTTP bytes.Buffer
+	n, err = c.FetchFileHTTP(path, 0, &viaHTTP)
+	if err != nil || int(n) != size {
+		t.Fatalf("FetchFileHTTP = %d bytes, %v", n, err)
+	}
+	if !bytes.Equal(viaHTTP.Bytes(), viaRPC.Bytes()) {
+		t.Error("HTTP GET and file.read fetches differ")
+	}
+	// Resume at an offset via Range.
+	var tail bytes.Buffer
+	off := int64(size - 12345)
+	if _, err := c.FetchFileHTTP(path, off, &tail); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tail.Bytes(), viaRPC.Bytes()[off:]) {
+		t.Error("Range resume returned wrong bytes")
+	}
+
+	// The transparent client helper resolves the truncation.
+	full, err := c.JobOutput(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated || len(full.Stdout) != size {
+		t.Errorf("JobOutput = truncated %v, %d bytes", full.Truncated, len(full.Stdout))
+	}
+
+	// Access control: another authenticated DN can reach neither path.
+	stranger, err := Dial(srv.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stranger.Close()
+	ssess, _ := srv.NewSessionFor(MustParseDN("/O=grid/OU=People/CN=Stranger"))
+	stranger.SetSession(ssess.ID)
+	if _, _, err := stranger.FileReadChunk(path, 0, 64); err == nil {
+		t.Error("stranger fetched another owner's artifact via file.read")
+	}
+	if _, err := stranger.FetchFileHTTP(path, 0, io.Discard); err == nil || !strings.Contains(err.Error(), "403") {
+		t.Errorf("stranger HTTP GET = %v, want 403", err)
+	}
+
+	// job.delete clears the record and the artifact tree.
+	if ok, err := c.CallBool("job.delete", id); err != nil || !ok {
+		t.Fatalf("job.delete = %v, %v", ok, err)
+	}
+	if _, err := c.CallStruct("job.status", id); err == nil {
+		t.Error("record survived job.delete")
+	}
+	if _, _, err := c.FileReadChunk(path, 0, 64); err == nil {
+		t.Error("artifact survived job.delete")
+	}
+}
+
+// TestJobCollectsSandboxArtifacts: collect globs stage job-written
+// sandbox files into the artifact tree.
+func TestJobCollectsSandboxArtifacts(t *testing.T) {
+	cfg := jobConfig(t, t.TempDir())
+	srv, c := startJobServer(t, cfg)
+	sess, _ := srv.NewSessionFor(userDN)
+	c.SetSession(sess.ID)
+
+	id, err := c.CallString("job.submit",
+		"mkdir results && seq 50000 > results/hist.dat && echo summary-line > results/summary.txt",
+		0, 0, []any{"results/*.dat", "results/*.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.JobWait(id, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.JobOutput(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]JobArtifact{}
+	for _, a := range out.Artifacts {
+		byName[a.Name] = a
+	}
+	hist, ok := byName["hist.dat"]
+	if !ok || hist.Size == 0 {
+		t.Fatalf("artifacts = %+v, want collected hist.dat", out.Artifacts)
+	}
+	data, err := c.FileReadAll(hist.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := md5.Sum(data)
+	if hex.EncodeToString(sum[:]) != hist.MD5 || int64(len(data)) != hist.Size {
+		t.Error("collected artifact content does not match its reference")
+	}
+	if sm, ok := byName["summary.txt"]; !ok {
+		t.Error("summary.txt not collected")
+	} else if b, err := c.FileReadAll(sm.Path); err != nil || string(b) != "summary-line\n" {
+		t.Errorf("summary = %q, %v", b, err)
 	}
 }
