@@ -31,10 +31,18 @@ func (c *Client) Batch() *Batch { return &Batch{c: c} }
 
 // Add appends one sub-call and returns the batch for chaining.
 func (b *Batch) Add(method string, params ...any) *Batch {
+	return b.AddTrace("", method, params...)
+}
+
+// AddTrace appends one sub-call carrying its own trace identifier: the
+// server dispatches the sub-call under that trace instead of the batch's
+// (how a federation peer keeps each forwarded job on the trace of the
+// request that originated it). An empty trace behaves like Add.
+func (b *Batch) AddTrace(trace, method string, params ...any) *Batch {
 	if params == nil {
 		params = []any{}
 	}
-	b.calls = append(b.calls, rpc.SubCall{Method: method, Params: params})
+	b.calls = append(b.calls, rpc.SubCall{Method: method, Params: params, Trace: trace})
 	return b
 }
 

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"path/filepath"
 	"strings"
@@ -82,6 +83,8 @@ type (
 // Named dispatch-pipeline anchors for Server.UseBefore, re-exported.
 const (
 	AnchorRecover  = core.AnchorRecover
+	AnchorTrace    = core.AnchorTrace
+	AnchorMetrics  = core.AnchorMetrics
 	AnchorStats    = core.AnchorStats
 	AnchorAuth     = core.AnchorAuth
 	AnchorDeadline = core.AnchorDeadline
@@ -229,6 +232,25 @@ type Config struct {
 	// in submission order. 0 or 1 keeps sub-call execution sequential —
 	// the safe default for clients batching dependent calls.
 	BatchParallelism int
+	// EnableMetrics mounts a Prometheus text-format scrape endpoint at
+	// /metrics: per-method request/fault counters and latency quantiles,
+	// an aggregate latency histogram, and every registered gauge.
+	EnableMetrics bool
+	// EnablePprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/. Off by default — the endpoints expose heap and CPU
+	// profiles, so enable them only on trusted networks.
+	EnablePprof bool
+	// RequestLog, when set, receives one structured entry per RPC
+	// dispatch (method, trace and span IDs, duration, caller DN, fault)
+	// and per job lifecycle transition. Nil disables request logging
+	// with no dispatch overhead.
+	RequestLog *slog.Logger
+	// TelemetryInterval is the period for republishing aggregate RPC and
+	// gauge telemetry into the MonALISA station network, so the same
+	// stations that carry service discovery also carry load data
+	// (default 10s; negative disables). Requires StationAddrs or
+	// LocalStation.
+	TelemetryInterval time.Duration
 	// Logger receives framework logs (nil discards).
 	Logger *log.Logger
 }
@@ -259,6 +281,9 @@ type Server struct {
 	publisher  *monalisa.Publisher
 	name       string
 
+	telemetryStop chan struct{}
+	telemetryWG   sync.WaitGroup
+
 	issuerMu       sync.RWMutex
 	trustedIssuers map[string]bool // delegation issuer URL allowlist
 }
@@ -278,10 +303,17 @@ func NewServer(cfg Config) (*Server, error) {
 		MethodTimeout:    cfg.MethodTimeout,
 		MaxBatchCalls:    cfg.MaxBatchCalls,
 		BatchParallelism: cfg.BatchParallelism,
+		RequestLog:       cfg.RequestLog,
 		Logger:           cfg.Logger,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.EnableMetrics {
+		cs.MountMetrics("/metrics")
+	}
+	if cfg.EnablePprof {
+		cs.MountPprof()
 	}
 	s := &Server{core: cs, name: cfg.Name, trustedIssuers: make(map[string]bool, len(cfg.FederationIssuers))}
 	for _, u := range cfg.FederationIssuers {
@@ -428,6 +460,8 @@ func NewServer(cfg Config) (*Server, error) {
 			ArtifactRetention: cfg.JobArtifactRetention,
 			Artifacts:         stager,
 			Collector:         collector,
+			Telemetry:         cs.Telemetry(),
+			Events:            cs.RequestLog(),
 		}, exec, notify, gauges, cfg.Name)
 		if err != nil {
 			return fail(err)
@@ -442,6 +476,28 @@ func NewServer(cfg Config) (*Server, error) {
 		if err := cs.MethodACL().Set("job", &acl.ACL{AllowDNs: []string{acl.EntryAny}, AllowGroups: []string{vo.AdminsGroup}}); err != nil {
 			return fail(err)
 		}
+		reg := cs.Telemetry()
+		reg.RegisterGauge("clarens.job.queued", "jobs waiting in the local queue", func() float64 { return float64(js.Stats().Queued) })
+		reg.RegisterGauge("clarens.job.running", "jobs currently executing", func() float64 { return float64(js.Stats().Running) })
+		reg.RegisterGauge("clarens.job.remote", "jobs forwarded to peers, awaiting pull-back", func() float64 { return float64(js.Stats().Remote) })
+		reg.RegisterGauge("clarens.job.done", "jobs completed successfully", func() float64 { return float64(js.Stats().Done) })
+		reg.RegisterGauge("clarens.job.failed", "jobs that exhausted retries", func() float64 { return float64(js.Stats().Failed) })
+		reg.RegisterGauge("clarens.job.artifact_bytes", "cumulative bytes staged into artifact trees", func() float64 { return float64(js.Stats().ArtifactBytes) })
+		cs.RegisterStatsSection("jobs", func() map[string]any {
+			sn := js.Stats()
+			return map[string]any{
+				"queued": sn.Queued, "running": sn.Running, "remote": sn.Remote,
+				"done": sn.Done, "failed": sn.Failed, "cancelled": sn.Cancelled,
+				"workers": sn.Workers, "artifact_bytes": sn.ArtifactBytes,
+				"throughput_per_s": sn.Throughput(),
+			}
+		})
+		cs.RegisterHealthCheck("jobs", func() error {
+			if js.Stats().Workers <= 0 {
+				return fmt.Errorf("no job workers")
+			}
+			return nil
+		})
 	}
 
 	// Delegation trust is an explicit operator decision: remote issuers
@@ -483,6 +539,19 @@ func NewServer(cfg Config) (*Server, error) {
 			return fail(err)
 		}
 		s.Federation = ms
+		reg := cs.Telemetry()
+		reg.RegisterGauge("clarens.federation.peers", "live job-service peers in the federation table", func() float64 { return float64(ms.Stats().Peers) })
+		reg.RegisterGauge("clarens.federation.forwarded", "jobs accepted by peers", func() float64 { return float64(ms.Stats().Forwarded) })
+		reg.RegisterGauge("clarens.federation.pulled_back", "remote results finalized locally", func() float64 { return float64(ms.Stats().PulledBack) })
+		reg.RegisterGauge("clarens.federation.fallbacks", "jobs returned to the local queue after a peer failure", func() float64 { return float64(ms.Stats().Fallbacks) })
+		reg.RegisterGauge("clarens.federation.artifact_bytes", "artifact bytes fetched from peers and re-staged", func() float64 { return float64(ms.Stats().ArtifactBytes) })
+		cs.RegisterStatsSection("federation", func() map[string]any {
+			st := ms.Stats()
+			return map[string]any{
+				"peers": st.Peers, "forwarded": st.Forwarded, "pulled_back": st.PulledBack,
+				"fallbacks": st.Fallbacks, "artifact_bytes": st.ArtifactBytes,
+			}
+		})
 		ms.Start()
 	} else if s.Jobs != nil {
 		// Remote shadow records recovered from a previous federated run
@@ -496,7 +565,73 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.EnablePortal {
 		portal.New(cs, "/portal/").Mount()
 	}
+
+	// Telemetry republication: the stations that carry service discovery
+	// also carry load/latency data, so any JClarens-style aggregator can
+	// watch the whole federation's health from one station feed.
+	if s.publisher != nil && cfg.TelemetryInterval >= 0 {
+		every := cfg.TelemetryInterval
+		if every == 0 {
+			every = 10 * time.Second
+		}
+		s.telemetryStop = make(chan struct{})
+		s.telemetryWG.Add(1)
+		go s.republishTelemetry(every)
+	}
 	return s, nil
+}
+
+// republishTelemetry periodically publishes one RPC-aggregate record and
+// one gauge record into the station network until Close.
+func (s *Server) republishTelemetry(every time.Duration) {
+	defer s.telemetryWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.telemetryStop:
+			return
+		case <-t.C:
+			s.PublishTelemetry()
+		}
+	}
+}
+
+// PublishTelemetry publishes one snapshot of the RPC aggregate latency
+// and every registered gauge to the configured stations, under
+// Farm=<server name>, Cluster="telemetry". It is called periodically
+// when TelemetryInterval is enabled and may also be invoked directly
+// (tests, forced flushes). Returns an error when no stations are
+// configured or a publish fails.
+func (s *Server) PublishTelemetry() error {
+	if s.publisher == nil {
+		return fmt.Errorf("clarens: no station servers configured")
+	}
+	reg := s.core.Telemetry()
+	agg := reg.RPCAggregate()
+	rpcRec := &monalisa.Record{
+		Farm:    s.name,
+		Cluster: "telemetry",
+		Node:    "rpc",
+		Params: map[string]float64{
+			"clarens.rpc.requests":       float64(agg.Count),
+			"clarens.rpc.latency_p50_ms": agg.Quantile(0.5).Seconds() * 1e3,
+			"clarens.rpc.latency_p95_ms": agg.Quantile(0.95).Seconds() * 1e3,
+			"clarens.rpc.latency_p99_ms": agg.Quantile(0.99).Seconds() * 1e3,
+		},
+	}
+	err := s.publisher.Publish(rpcRec)
+	if gauges := reg.GaugeValues(); len(gauges) > 0 {
+		if e := s.publisher.Publish(&monalisa.Record{
+			Farm:    s.name,
+			Cluster: "telemetry",
+			Node:    "gauges",
+			Params:  gauges,
+		}); err == nil {
+			err = e
+		}
+	}
+	return err
 }
 
 func resolveUDP(addrs []string) ([]*net.UDPAddr, error) {
@@ -617,6 +752,11 @@ func (s *Server) GrantMethod(path string, dns []string, groups []string) error {
 
 // Close shuts everything down.
 func (s *Server) Close() error {
+	if s.telemetryStop != nil {
+		close(s.telemetryStop)
+		s.telemetryWG.Wait()
+		s.telemetryStop = nil
+	}
 	if s.Federation != nil {
 		s.Federation.Stop()
 	}

@@ -19,6 +19,7 @@ import (
 	"clarens/internal/rpc/jsonrpc"
 	"clarens/internal/rpc/soaprpc"
 	"clarens/internal/rpc/xmlrpc"
+	"clarens/internal/telemetry"
 )
 
 // Client invokes methods on a Clarens server over any of the three wire
@@ -32,8 +33,29 @@ type Client struct {
 
 	sessionMu sync.RWMutex
 	session   string
+	trace     string
 
 	nextID atomic.Int64
+}
+
+// TraceHeader is the HTTP header carrying a request's trace identifier
+// (see Client.SetTrace and ContextWithTrace). Servers adopt a valid
+// inbound value and mint one otherwise, so a caller that sets it can
+// follow its request through every server it touches.
+const TraceHeader = telemetry.TraceHeader
+
+// NewTraceID mints a fresh 128-bit trace identifier, for callers that
+// want to stamp and correlate their own requests.
+func NewTraceID() string { return telemetry.NewTraceID() }
+
+// traceCtxKey carries a per-call trace ID override in a context.
+type traceCtxKey struct{}
+
+// ContextWithTrace returns a context that stamps the given trace ID on
+// every call issued with it (CallCtx, Batch.RunCtx), overriding the
+// client-level trace. Invalid IDs are dropped server-side.
+func ContextWithTrace(ctx context.Context, trace string) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, trace)
 }
 
 // ClientOption configures Dial.
@@ -45,6 +67,7 @@ type clientOptions struct {
 	rootCAs     *x509.CertPool
 	timeout     time.Duration
 	session     string
+	trace       string
 	maxConns    int
 	insecureTLS bool
 }
@@ -72,6 +95,13 @@ func WithTimeout(d time.Duration) ClientOption {
 // WithSession presents an existing session token.
 func WithSession(id string) ClientOption {
 	return func(o *clientOptions) { o.session = id }
+}
+
+// WithTrace stamps every call with the given trace identifier (the
+// X-Clarens-Trace header), so all requests from this client correlate
+// under one trace in the servers' logs.
+func WithTrace(id string) ClientOption {
+	return func(o *clientOptions) { o.trace = id }
 }
 
 // WithMaxConns sizes the keep-alive pool (default 128), bounding the
@@ -129,6 +159,7 @@ func Dial(url string, opts ...ClientOption) (*Client, error) {
 		transport: transport,
 		http:      &http.Client{Transport: transport, Timeout: o.timeout},
 		session:   o.session,
+		trace:     o.trace,
 	}
 	return c, nil
 }
@@ -168,6 +199,31 @@ func (c *Client) SetSession(id string) {
 	c.sessionMu.Unlock()
 }
 
+// Trace returns the client-level trace identifier ("" when unset).
+func (c *Client) Trace() string {
+	c.sessionMu.RLock()
+	defer c.sessionMu.RUnlock()
+	return c.trace
+}
+
+// SetTrace installs a trace identifier stamped on subsequent calls; ""
+// clears it (servers then mint a fresh trace per request). A per-call
+// ContextWithTrace value takes precedence.
+func (c *Client) SetTrace(id string) {
+	c.sessionMu.Lock()
+	c.trace = id
+	c.sessionMu.Unlock()
+}
+
+// callTrace resolves the trace ID for one call: context override first,
+// then the client-level trace.
+func (c *Client) callTrace(ctx context.Context) string {
+	if t, ok := ctx.Value(traceCtxKey{}).(string); ok && t != "" {
+		return t
+	}
+	return c.Trace()
+}
+
 // Call invokes a method and returns its decoded result. Server faults
 // come back as *rpc.Fault errors (errors.As-compatible).
 func (c *Client) Call(method string, params ...any) (any, error) {
@@ -193,6 +249,9 @@ func (c *Client) CallCtx(ctx context.Context, method string, params ...any) (any
 	}
 	if sid := c.Session(); sid != "" {
 		httpReq.Header.Set(core.SessionHeader, sid)
+	}
+	if tr := c.callTrace(ctx); tr != "" {
+		httpReq.Header.Set(TraceHeader, tr)
 	}
 	httpResp, err := c.http.Do(httpReq)
 	if err != nil {
@@ -454,6 +513,9 @@ func (c *Client) FetchFileHTTP(name string, offset int64, w io.Writer) (int64, e
 	}
 	if sid := c.Session(); sid != "" {
 		req.Header.Set(core.SessionHeader, sid)
+	}
+	if tr := c.Trace(); tr != "" {
+		req.Header.Set(TraceHeader, tr)
 	}
 	if offset > 0 {
 		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", offset))

@@ -41,6 +41,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"clarens"
@@ -90,28 +91,33 @@ func main() {
 		Date:        time.Now().UTC().Format(time.RFC3339),
 		Experiments: map[string]any{},
 	}
-	switch *experiment {
-	case "figure4":
-		rep.Experiments["figure4"] = runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
-	case "tls":
-		rep.Experiments["tls"] = runTLS(*calls, *repeats, *csvDir)
-	case "globus":
-		rep.Experiments["globus"] = runGlobus(*trivial, *csvDir)
-	case "streaming":
-		rep.Experiments["streaming"] = runStreaming(*streamMB, *csvDir)
-	case "federation":
-		rep.Experiments["federation"] = runFederation(*fedJobs, *fedServers, *fedJobSecs, *csvDir)
-	case "staging":
-		rep.Experiments["staging"] = runStaging(*stagingMB, *csvDir)
-	case "all":
-		rep.Experiments["figure4"] = runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
-		rep.Experiments["tls"] = runTLS(*calls, *repeats, *csvDir)
-		rep.Experiments["globus"] = runGlobus(*trivial, *csvDir)
-		rep.Experiments["streaming"] = runStreaming(*streamMB, *csvDir)
-		rep.Experiments["federation"] = runFederation(*fedJobs, *fedServers, *fedJobSecs, *csvDir)
-		rep.Experiments["staging"] = runStaging(*stagingMB, *csvDir)
-	default:
-		log.Fatalf("unknown experiment %q", *experiment)
+	// -experiment accepts a comma-separated list ("figure4,federation")
+	// so one run — and one committed JSON — covers several experiments.
+	for _, exp := range strings.Split(*experiment, ",") {
+		switch strings.TrimSpace(exp) {
+		case "figure4":
+			rep.Experiments["figure4"] = runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
+		case "tls":
+			rep.Experiments["tls"] = runTLS(*calls, *repeats, *csvDir)
+		case "globus":
+			rep.Experiments["globus"] = runGlobus(*trivial, *csvDir)
+		case "streaming":
+			rep.Experiments["streaming"] = runStreaming(*streamMB, *csvDir)
+		case "federation":
+			rep.Experiments["federation"] = runFederation(*fedJobs, *fedServers, *fedJobSecs, *csvDir)
+		case "staging":
+			rep.Experiments["staging"] = runStaging(*stagingMB, *csvDir)
+		case "all":
+			rep.Experiments["figure4"] = runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
+			rep.Experiments["tls"] = runTLS(*calls, *repeats, *csvDir)
+			rep.Experiments["globus"] = runGlobus(*trivial, *csvDir)
+			rep.Experiments["streaming"] = runStreaming(*streamMB, *csvDir)
+			rep.Experiments["federation"] = runFederation(*fedJobs, *fedServers, *fedJobSecs, *csvDir)
+			rep.Experiments["staging"] = runStaging(*stagingMB, *csvDir)
+		case "":
+		default:
+			log.Fatalf("unknown experiment %q", exp)
+		}
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -137,6 +143,27 @@ func startServer() *clarens.Server {
 		log.Fatal(err)
 	}
 	return srv
+}
+
+// rpcLatency extracts per-method dispatch latency quantiles from a
+// server's telemetry registry — the same numbers /metrics exposes — so
+// the committed BENCH_PRn.json tracks server-side tail latency alongside
+// client-observed throughput.
+func rpcLatency(srv *clarens.Server) map[string]any {
+	out := map[string]any{}
+	for _, m := range srv.Core().Telemetry().MethodSnapshots() {
+		if m.Requests == 0 {
+			continue
+		}
+		out[m.Method] = map[string]any{
+			"count":  m.Requests,
+			"faults": m.Faults,
+			"p50_ms": m.Latency.Quantile(0.5).Seconds() * 1e3,
+			"p95_ms": m.Latency.Quantile(0.95).Seconds() * 1e3,
+			"p99_ms": m.Latency.Quantile(0.99).Seconds() * 1e3,
+		}
+	}
+	return out
 }
 
 func csvFile(dir, name string) *os.File {
@@ -198,6 +225,11 @@ func runFigure4(minC, maxC, step, calls, repeats int, csvDir string) map[string]
 	}
 	fmt.Printf("average: %.0f requests/second over %d completed requests, %d errors\n",
 		sum/count, totalCalls, totalErrs)
+	lat := rpcLatency(srv)
+	if lm, ok := lat["system.list_methods"].(map[string]any); ok {
+		fmt.Printf("server-side dispatch latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+			lm["p50_ms"], lm["p95_ms"], lm["p99_ms"])
+	}
 	fmt.Println("paper: ~1450 req/s average on a dual 2.8 GHz Xeon, flat across 1..79 clients, zero errors")
 	fmt.Println()
 	return map[string]any{
@@ -205,6 +237,7 @@ func runFigure4(minC, maxC, step, calls, repeats int, csvDir string) map[string]
 		"total_calls":                 totalCalls,
 		"total_errors":                totalErrs,
 		"points":                      jsonPoints,
+		"rpc_latency":                 lat,
 	}
 }
 
@@ -645,6 +678,7 @@ func runFederation(jobs, servers int, jobSecs float64, csvDir string) map[string
 		"forwarded":         st.Forwarded,
 		"pulled_back":       st.PulledBack,
 		"fallbacks":         st.Fallbacks,
+		"rpc_latency":       rpcLatency(members[0]),
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -53,6 +54,10 @@ func main() {
 		peerPoll     = flag.Duration("peer-poll", 2*time.Second, "federation peer poll / remote watch period")
 		fedIssuers   = flag.String("federation-issuers", "", "comma-separated peer RPC endpoint URLs trusted to vouch for delegated logins (empty = refuse every remote issuer)")
 		publish      = flag.Bool("publish", false, "publish services to the discovery network on startup")
+		metrics      = flag.Bool("metrics", true, "serve Prometheus text metrics at /metrics")
+		pprofFlag    = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (trusted networks only)")
+		reqLog       = flag.Bool("request-log", false, "emit one JSON log line per RPC dispatch and job lifecycle event to stderr")
+		telemetryInt = flag.Duration("telemetry-interval", 10*time.Second, "period for republishing RPC/gauge telemetry to the station network (negative = off)")
 		tlsID        = flag.String("tls-id", "", "server identity PEM bundle (cert+key) enabling HTTPS")
 		tlsCA        = flag.String("tls-ca", "", "CA certificate PEM for verifying client certificates")
 		requireCert  = flag.Bool("tls-require-cert", false, "require a verified client certificate")
@@ -79,7 +84,13 @@ func main() {
 		PeerPollInterval:     *peerPoll,
 		EnablePortal:         *portal,
 		LocalStation:         *localStation,
+		EnableMetrics:        *metrics,
+		EnablePprof:          *pprofFlag,
+		TelemetryInterval:    *telemetryInt,
 		Logger:               log.New(os.Stderr, "clarens: ", log.LstdFlags),
+	}
+	if *reqLog {
+		cfg.RequestLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	if *admins != "" {
 		cfg.AdminDNs = splitList(*admins)
@@ -125,6 +136,12 @@ func main() {
 		log.Fatalf("start: %v", err)
 	}
 	fmt.Printf("%s\nserving at %s (rpc endpoint %s)\n", clarens.Version, srv.URL(), srv.RPCURL())
+	if *metrics {
+		fmt.Printf("metrics at %s/metrics\n", srv.URL())
+	}
+	if *pprofFlag {
+		fmt.Printf("pprof at %s/debug/pprof/\n", srv.URL())
+	}
 	if srv.StationAddr() != "" {
 		fmt.Printf("station server on udp://%s\n", srv.StationAddr())
 	}

@@ -1,6 +1,7 @@
 package clarens
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -18,11 +19,15 @@ type federationConn struct {
 	c  *Client
 }
 
-func (a *federationConn) Call(token, method string, params ...any) (any, error) {
+func (a *federationConn) Call(token, trace, method string, params ...any) (any, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.c.SetSession(token)
-	return a.c.Call(method, params...)
+	ctx := context.Background()
+	if trace != "" {
+		ctx = ContextWithTrace(ctx, trace)
+	}
+	return a.c.CallCtx(ctx, method, params...)
 }
 
 func (a *federationConn) Batch(token string, calls []metasched.Call) ([]metasched.Result, error) {
@@ -31,7 +36,9 @@ func (a *federationConn) Batch(token string, calls []metasched.Call) ([]metasche
 	a.c.SetSession(token)
 	b := a.c.Batch()
 	for _, cl := range calls {
-		b.Add(cl.Method, cl.Params...)
+		// Per-sub-call traces ride the multicall entries, so one batched
+		// POST carries each job's own trace to the peer.
+		b.AddTrace(cl.Trace, cl.Method, cl.Params...)
 	}
 	rs, err := b.Run()
 	if err != nil {

@@ -107,6 +107,15 @@ type Context struct {
 	// depth counts multicall nesting (0 for a directly POSTed call).
 	depth int
 
+	// trace is the request's trace identifier: accepted from the
+	// X-Clarens-Trace header (or a multicall sub-call's trace field) when
+	// valid, minted otherwise. span identifies this dispatch within the
+	// trace; parentSpan is the enclosing dispatch's span for multicall
+	// sub-calls (empty at the trace root on this server).
+	trace      string
+	span       string
+	parentSpan string
+
 	srv *Server
 }
 
@@ -129,6 +138,22 @@ func (c *Context) HTTPRequest() *http.Request { return c.httpReq }
 // CallDepth reports multicall nesting: 0 for a directly POSTed call, 1
 // for a sub-call executed inside a system.multicall batch.
 func (c *Context) CallDepth() int { return c.depth }
+
+// TraceID returns the request's trace identifier: the inbound
+// X-Clarens-Trace value when the caller supplied a valid one, a minted
+// 128-bit hex ID otherwise. Multicall sub-calls share the batch's trace
+// unless the sub-call entry carried its own (a forwarding peer stitching
+// per-job traces through one batched POST). Set by the trace pipeline
+// stage; empty only before that stage runs.
+func (c *Context) TraceID() string { return c.trace }
+
+// SpanID identifies this dispatch within its trace; each multicall
+// sub-call gets its own span.
+func (c *Context) SpanID() string { return c.span }
+
+// ParentSpanID returns the enclosing dispatch's span for multicall
+// sub-calls, or "" at the trace root on this server.
+func (c *Context) ParentSpanID() string { return c.parentSpan }
 
 // Authenticated reports whether the caller presented a valid identity.
 func (c *Context) Authenticated() bool { return !c.DN.IsZero() }

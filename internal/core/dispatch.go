@@ -3,11 +3,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"time"
 
 	"clarens/internal/acl"
 	"clarens/internal/rpc"
+	"clarens/internal/telemetry"
 )
 
 // This file implements the dispatch pipeline as a composable interceptor
@@ -28,6 +31,8 @@ type pipelineStage struct {
 // named stage.
 const (
 	AnchorRecover  = "recover"
+	AnchorTrace    = "trace"
+	AnchorMetrics  = "metrics"
 	AnchorStats    = "stats"
 	AnchorAuth     = "auth"
 	AnchorDeadline = "deadline"
@@ -35,7 +40,7 @@ const (
 )
 
 // anchorNames lists the valid UseBefore anchors for error messages.
-const anchorNames = "recover, stats, auth, deadline, acl"
+const anchorNames = "recover, trace, metrics, stats, auth, deadline, acl"
 
 // Use appends interceptors to the dispatch pipeline. Interceptors run in
 // registration order, outermost first; the built-in stages (panic
@@ -144,6 +149,85 @@ func (s *Server) recoverInterceptor(next Handler) Handler {
 	}
 }
 
+// traceInterceptor establishes the dispatch's trace identity and, when a
+// request log is configured, emits one structured entry per dispatched
+// call. A directly POSTed call adopts a valid inbound X-Clarens-Trace
+// header or mints a fresh trace ID; multicall sub-calls arrive with
+// their trace and span already derived by Invoke and keep them. Sitting
+// just inside the recovery stage, it observes every call — including
+// unknown methods and ACL denials — so a trace never goes dark at a
+// fault.
+func (s *Server) traceInterceptor(next Handler) Handler {
+	return func(ctx *Context, params Params) (any, error) {
+		if ctx.span == "" {
+			if ctx.trace == "" {
+				if ctx.httpReq != nil {
+					if t := ctx.httpReq.Header.Get(telemetry.TraceHeader); telemetry.ValidTraceID(t) {
+						ctx.trace = t
+					}
+				}
+				if ctx.trace == "" {
+					ctx.trace = telemetry.NewTraceID()
+				}
+			}
+			ctx.span = telemetry.NewSpanID()
+		}
+		lg := s.requestLog
+		if lg == nil {
+			return next(ctx, params)
+		}
+		start := time.Now()
+		result, err := next(ctx, params)
+		attrs := make([]slog.Attr, 0, 10)
+		attrs = append(attrs,
+			slog.String("method", ctx.methodName),
+			slog.String("trace", ctx.trace),
+			slog.String("span", ctx.span),
+			slog.String("proto", ctx.Protocol),
+			slog.Float64("dur_ms", float64(time.Since(start))/float64(time.Millisecond)),
+		)
+		if ctx.parentSpan != "" {
+			attrs = append(attrs, slog.String("parent_span", ctx.parentSpan), slog.Int("depth", ctx.depth))
+		}
+		if !ctx.DN.IsZero() {
+			attrs = append(attrs, slog.String("dn", ctx.DN.String()))
+		}
+		if ctx.RemoteAddr != "" {
+			attrs = append(attrs, slog.String("remote", ctx.RemoteAddr))
+		}
+		if err != nil {
+			code := rpc.CodeApplication
+			if f, ok := err.(*rpc.Fault); ok {
+				code = f.Code
+			}
+			attrs = append(attrs, slog.Int("fault", code), slog.String("error", err.Error()))
+		}
+		lg.LogAttrs(ctx.Context, slog.LevelInfo, "rpc", attrs...)
+		return result, err
+	}
+}
+
+// metricsInterceptor times every dispatch into the telemetry registry's
+// per-method histograms and request/fault counters — the numbers behind
+// /metrics, the system.stats latency section, and the MonALISA
+// republication. A panic further down is observed as a fault with the
+// duration up to the unwind, then re-raised for the recovery stage.
+func (s *Server) metricsInterceptor(next Handler) Handler {
+	return func(ctx *Context, params Params) (any, error) {
+		start := time.Now()
+		recorded := false
+		defer func() {
+			if !recorded {
+				s.telemetry.ObserveRPC(ctx.methodName, true, time.Since(start))
+			}
+		}()
+		result, err := next(ctx, params)
+		recorded = true
+		s.telemetry.ObserveRPC(ctx.methodName, err != nil, time.Since(start))
+		return result, err
+	}
+}
+
 // statsInterceptor records the per-method dispatch counters reported by
 // system.stats. A panic further down the chain is counted as a fault and
 // re-raised for the recovery stage to convert.
@@ -219,14 +303,18 @@ func (s *Server) aclInterceptor(next Handler) Handler {
 
 // registerBuiltinInterceptors installs the default pipeline. Order
 // matters: recovery outermost (a panic anywhere still yields a fault),
-// stats next (counts denied and unknown-method calls), then identity,
-// deadline, and authorization. Custom interceptors appended later via Use
-// run inside all of these; UseBefore positions them against the anchor
-// names registered here.
+// then trace (every call — even one that faults below — carries an ID
+// and reaches the request log), metrics (latency histograms observe
+// denied and unknown-method calls too), stats, identity, deadline, and
+// authorization. Custom interceptors appended later via Use run inside
+// all of these; UseBefore positions them against the anchor names
+// registered here.
 func (s *Server) registerBuiltinInterceptors() {
 	s.dispatchMu.Lock()
 	s.interceptors = append(s.interceptors,
 		pipelineStage{name: AnchorRecover, ic: s.recoverInterceptor},
+		pipelineStage{name: AnchorTrace, ic: s.traceInterceptor},
+		pipelineStage{name: AnchorMetrics, ic: s.metricsInterceptor},
 		pipelineStage{name: AnchorStats, ic: s.statsInterceptor},
 		pipelineStage{name: AnchorAuth, ic: s.authInterceptor},
 		pipelineStage{name: AnchorDeadline, ic: s.deadlineInterceptor},
@@ -274,9 +362,22 @@ func (s *Server) DispatchContext(base context.Context, r *http.Request, protocol
 // request, so the auth stage keeps the inherited DN while the ACL stage
 // authorizes the sub-method independently.
 func (s *Server) Invoke(parent *Context, method string, params []any) *rpc.Response {
+	return s.InvokeTrace(parent, "", method, params)
+}
+
+// InvokeTrace is Invoke for a sub-call that carries its own trace
+// identifier (the multicall entry's optional trace field): a forwarding
+// peer batches many jobs into one POST, and each sub-call keeps the
+// trace of the request that originated it. An empty or invalid trace
+// falls back to the parent's, and the sub-call always becomes a child
+// span of the enclosing dispatch.
+func (s *Server) InvokeTrace(parent *Context, trace, method string, params []any) *rpc.Response {
 	base := parent.Context
 	if base == nil {
 		base = context.Background()
+	}
+	if !telemetry.ValidTraceID(trace) {
+		trace = parent.trace
 	}
 	ctx := &Context{
 		Context:    base,
@@ -286,7 +387,12 @@ func (s *Server) Invoke(parent *Context, method string, params []any) *rpc.Respo
 		RemoteAddr: parent.RemoteAddr,
 		methodName: method,
 		depth:      parent.depth + 1,
+		trace:      trace,
+		parentSpan: parent.span,
 		srv:        s,
+	}
+	if ctx.trace != "" {
+		ctx.span = telemetry.NewSpanID()
 	}
 	ctx.method, _ = s.registry.lookup(method)
 	return s.run(ctx, &rpc.Request{Method: method, Params: params})

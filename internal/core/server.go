@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -22,6 +24,7 @@ import (
 	"clarens/internal/rpc/soaprpc"
 	"clarens/internal/rpc/xmlrpc"
 	"clarens/internal/session"
+	"clarens/internal/telemetry"
 	"clarens/internal/vo"
 )
 
@@ -65,6 +68,12 @@ type Config struct {
 	TLS *TLSConfig
 	// Logger receives framework logs; nil discards them.
 	Logger *log.Logger
+	// RequestLog, when non-nil, receives one structured entry per
+	// dispatched call (including multicall sub-calls): method, protocol,
+	// trace/span identifiers, caller DN, duration, and fault code. Nil
+	// disables request logging entirely, keeping the dispatch hot path
+	// free of formatting work.
+	RequestLog *slog.Logger
 }
 
 // TLSConfig carries the server identity and client-auth trust anchors.
@@ -90,6 +99,15 @@ type Server struct {
 	codecs   []rpc.Codec
 	stats    Stats
 	logger   *log.Logger
+
+	telemetry  *telemetry.Registry
+	requestLog *slog.Logger
+
+	// health checks and extra system.stats sections contributed by the
+	// assembled services (job queue depths, federation peer health, ...).
+	healthMu sync.RWMutex
+	health   []namedCheck
+	sections []namedSection
 
 	// dispatch pipeline: registered stages (built-ins carry anchor names,
 	// custom interceptors are unnamed) and the cached composition (folded
@@ -125,19 +143,27 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.RPCPath = "/rpc"
 	}
 	s := &Server{
-		cfg:      cfg,
-		store:    store,
-		sessions: session.NewManager(store, cfg.SessionTTL),
-		vom:      vom,
-		methACL:  acl.NewManager(store, "acl_methods", vom),
-		registry: newRegistry(store),
-		codecs:   []rpc.Codec{xmlrpc.New(), jsonrpc.New(), soaprpc.New()},
-		logger:   logger,
-		mux:      http.NewServeMux(),
-		started:  time.Now(),
+		cfg:        cfg,
+		store:      store,
+		sessions:   session.NewManager(store, cfg.SessionTTL),
+		vom:        vom,
+		methACL:    acl.NewManager(store, "acl_methods", vom),
+		registry:   newRegistry(store),
+		codecs:     []rpc.Codec{xmlrpc.New(), jsonrpc.New(), soaprpc.New()},
+		logger:     logger,
+		telemetry:  telemetry.New(),
+		requestLog: cfg.RequestLog,
+		mux:        http.NewServeMux(),
+		started:    time.Now(),
 	}
 	s.stats.StartTime = s.started
 	s.registerBuiltinInterceptors()
+	s.telemetry.RegisterGauge("clarens.core.sessions", "Active sessions.",
+		func() float64 { return float64(s.sessions.Count()) })
+	s.telemetry.RegisterGauge("clarens.core.methods", "Registered RPC methods.",
+		func() float64 { return float64(s.registry.count()) })
+	s.telemetry.RegisterGauge("clarens.core.uptime_seconds", "Seconds since server start.",
+		func() float64 { return time.Since(s.started).Seconds() })
 
 	s.mux.HandleFunc(cfg.RPCPath, s.handleRPC)
 	if cfg.RPCPath != "/" {
@@ -188,8 +214,108 @@ func (s *Server) MethodACL() *acl.Manager { return s.methACL }
 // Stats returns the live dispatch counters.
 func (s *Server) Stats() *Stats { return &s.stats }
 
+// Telemetry returns the server's metrics registry: per-method latency
+// histograms fed by the dispatch pipeline, plus the counters, gauges,
+// and histograms services register. Rendered by the /metrics endpoint,
+// system.stats, and the MonALISA republication.
+func (s *Server) Telemetry() *telemetry.Registry { return s.telemetry }
+
+// RequestLog returns the structured request logger, or nil when request
+// logging is disabled.
+func (s *Server) RequestLog() *slog.Logger { return s.requestLog }
+
 // Logger returns the server's logger.
 func (s *Server) Logger() *log.Logger { return s.logger }
+
+// namedCheck is one registered health probe.
+type namedCheck struct {
+	name string
+	fn   func() error
+}
+
+// namedSection is one registered system.stats contributor.
+type namedSection struct {
+	name string
+	fn   func() map[string]any
+}
+
+// RegisterHealthCheck adds a named probe to system.health. The probe
+// returns nil when healthy; a non-nil error marks the overall status
+// degraded and surfaces the error text under the check's name.
+func (s *Server) RegisterHealthCheck(name string, fn func() error) {
+	s.healthMu.Lock()
+	s.health = append(s.health, namedCheck{name, fn})
+	s.healthMu.Unlock()
+}
+
+// RegisterStatsSection adds a named struct to the system.stats response
+// (queue depths, artifact bytes, peer health, ...). The callback runs on
+// every system.stats call and must be safe for concurrent use.
+func (s *Server) RegisterStatsSection(name string, fn func() map[string]any) {
+	s.healthMu.Lock()
+	s.sections = append(s.sections, namedSection{name, fn})
+	s.healthMu.Unlock()
+}
+
+// runHealthChecks evaluates every registered probe; ok reports whether
+// all passed, and results maps check name to "ok" or the error text.
+func (s *Server) runHealthChecks() (ok bool, results map[string]any) {
+	s.healthMu.RLock()
+	checks := append([]namedCheck(nil), s.health...)
+	s.healthMu.RUnlock()
+	ok = true
+	results = make(map[string]any, len(checks))
+	for _, c := range checks {
+		if err := c.fn(); err != nil {
+			ok = false
+			results[c.name] = err.Error()
+		} else {
+			results[c.name] = "ok"
+		}
+	}
+	return ok, results
+}
+
+// statsSections evaluates every registered contributor.
+func (s *Server) statsSections() map[string]any {
+	s.healthMu.RLock()
+	sections := append([]namedSection(nil), s.sections...)
+	s.healthMu.RUnlock()
+	out := make(map[string]any, len(sections))
+	for _, sec := range sections {
+		out[sec.name] = sec.fn()
+	}
+	return out
+}
+
+// MountMetrics exposes the telemetry registry in Prometheus text format
+// at path ("/metrics" when empty) on the server's mux. The endpoint is
+// read-only and unauthenticated, like the GET banner: it carries
+// aggregate latency numbers, not request payloads.
+func (s *Server) MountMetrics(path string) {
+	if path == "" {
+		path = "/metrics"
+	}
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "metrics endpoint accepts GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.telemetry.WritePrometheus(w)
+	})
+}
+
+// MountPprof exposes net/http/pprof under /debug/pprof/ on the server's
+// mux. Opt-in: profiling endpoints reveal goroutine stacks and heap
+// contents, so deployments enable them deliberately.
+func (s *Server) MountPprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // Register adds a service's methods to the registry. Every new top-level
 // module receives a default ACL granting the root admins group, unless an

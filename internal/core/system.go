@@ -96,9 +96,16 @@ func (sv systemService) Methods() []Method {
 		},
 		{
 			Name:      "system.stats",
-			Help:      "Return dispatch counters: requests, faults, uptime seconds, per-method counts.",
+			Help:      "Return dispatch counters: requests, faults, uptime seconds, per-method counts and latency quantiles, plus per-service sections (queue depths, peer health).",
 			Signature: []string{"struct"},
 			Handler:   sv.stats,
+		},
+		{
+			Name:      "system.health",
+			Help:      "Liveness and readiness summary: overall status, uptime, version, and the result of each registered health check.",
+			Signature: []string{"struct"},
+			Public:    true,
+			Handler:   sv.health,
 		},
 		{
 			Name: "system.multicall",
@@ -262,11 +269,28 @@ func (sv systemService) runSubCall(ctx *Context, entry any) any {
 	if fault != nil {
 		return rpc.MulticallFault(fault)
 	}
-	resp := sv.s.Invoke(ctx, call.Method, call.Params)
+	resp := sv.s.InvokeTrace(ctx, call.Trace, call.Method, call.Params)
 	if resp.Fault != nil {
 		return rpc.MulticallFault(resp.Fault)
 	}
 	return rpc.MulticallValue(resp.Result)
+}
+
+// health is the public liveness/readiness probe: overall status ("ok"
+// or "degraded"), uptime, version, and each registered check's result.
+func (sv systemService) health(ctx *Context, p Params) (any, error) {
+	ok, checks := sv.s.runHealthChecks()
+	status := "ok"
+	if !ok {
+		status = "degraded"
+	}
+	return map[string]any{
+		"status":         status,
+		"version":        Version,
+		"uptime_seconds": int(time.Since(sv.s.started).Seconds()),
+		"time":           time.Now().UTC(),
+		"checks":         checks,
+	}, nil
 }
 
 func (sv systemService) stats(ctx *Context, p Params) (any, error) {
@@ -278,12 +302,31 @@ func (sv systemService) stats(ctx *Context, p Params) (any, error) {
 	for k, v := range byMethod {
 		perMethod[k] = int(v)
 	}
-	return map[string]any{
+	// Per-method latency quantiles and fault counts from the telemetry
+	// registry (the same numbers the /metrics endpoint exposes).
+	latency := make(map[string]any)
+	for _, m := range sv.s.telemetry.MethodSnapshots() {
+		latency[m.Method] = map[string]any{
+			"count":  int(m.Requests),
+			"faults": int(m.Faults),
+			"p50_ms": float64(m.Latency.Quantile(0.5)) / float64(time.Millisecond),
+			"p95_ms": float64(m.Latency.Quantile(0.95)) / float64(time.Millisecond),
+			"p99_ms": float64(m.Latency.Quantile(0.99)) / float64(time.Millisecond),
+		}
+	}
+	out := map[string]any{
 		"requests":       int(requests),
 		"faults":         int(faults),
 		"uptime_seconds": int(time.Since(sv.s.started).Seconds()),
 		"methods":        sv.s.registry.count(),
 		"sessions":       sv.s.sessions.Count(),
 		"by_method":      perMethod,
-	}, nil
+		"latency":        latency,
+	}
+	// Service-contributed sections: job queue depths, artifact bytes,
+	// federation peer health — whatever the assembly registered.
+	for name, section := range sv.s.statsSections() {
+		out[name] = section
+	}
+	return out, nil
 }

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -35,6 +36,7 @@ import (
 	"clarens/internal/monalisa"
 	"clarens/internal/pki"
 	"clarens/internal/rpc"
+	"clarens/internal/telemetry"
 )
 
 // bucket is the db.Store bucket holding the durable job table. Keys embed
@@ -106,6 +108,12 @@ type Job struct {
 	PeerURL     string `json:"peer_url,omitempty"`
 	RemoteID    string `json:"remote_id,omitempty"`
 	PeerSession string `json:"peer_session,omitempty"`
+
+	// Trace is the trace identifier of the request that submitted the
+	// job. It rides every lifecycle log event and every federation call
+	// about the job (forwarding, status polls, pull-back), so one job's
+	// path across servers correlates under one ID.
+	Trace string `json:"trace,omitempty"`
 }
 
 // ExecStatus is what an Executor reports about one attempt; the output
@@ -205,6 +213,15 @@ type Config struct {
 	// AgeStep is the priority increment per elapsed AgeInterval
 	// (default 1).
 	AgeStep int
+	// Telemetry, when set, receives job lifecycle latency histograms:
+	// queue wait (submitted→started), run duration (started→finished),
+	// and per-attempt output staging time.
+	Telemetry *telemetry.Registry
+	// Events, when set, receives one structured log entry per job state
+	// transition (queued, running, done/failed/cancelled) carrying the
+	// job's trace ID and the transition's duration. Nil disables
+	// lifecycle logging.
+	Events *slog.Logger
 }
 
 func (c *Config) fill() {
@@ -317,6 +334,12 @@ type Service struct {
 	stopped       bool
 	remote        RemoteController
 
+	// lifecycle telemetry (nil without Config.Telemetry)
+	queueWaitHist *telemetry.Histogram
+	runHist       *telemetry.Histogram
+	stageHist     *telemetry.Histogram
+	events        *slog.Logger
+
 	started time.Time
 	wg      sync.WaitGroup
 	stopCh  chan struct{}
@@ -341,8 +364,17 @@ func New(srv *core.Server, cfg Config, exec Executor, notify Notifier, metrics M
 		name:         serverName,
 		ownerRunning: make(map[string]int),
 		ownerQueued:  make(map[string]int),
+		events:       cfg.Events,
 		started:      time.Now(),
 		stopCh:       make(chan struct{}),
+	}
+	if cfg.Telemetry != nil {
+		s.queueWaitHist = cfg.Telemetry.Histogram("clarens.job.queue_wait_seconds",
+			"Time jobs spend queued before a worker claims them.")
+		s.runHist = cfg.Telemetry.Histogram("clarens.job.run_seconds",
+			"Wall-clock duration of terminal jobs, claim to finish.")
+		s.stageHist = cfg.Telemetry.Histogram("clarens.job.stage_seconds",
+			"Per-attempt output finalization and artifact staging time.")
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if err := s.recover(); err != nil {
@@ -599,6 +631,13 @@ func (s *Service) Get(id string) (*Job, bool) {
 // Optional collect globs name sandbox files to stage into the job's
 // artifact tree after a successful attempt.
 func (s *Service) Submit(owner pki.DN, command string, priority, maxRetries int, collect ...string) (*Job, error) {
+	return s.SubmitTraced(owner, "", command, priority, maxRetries, collect...)
+}
+
+// SubmitTraced is Submit with the submitting request's trace identifier
+// attached to the job record, so lifecycle events and federation calls
+// about the job correlate with the RPC that created it.
+func (s *Service) SubmitTraced(owner pki.DN, trace, command string, priority, maxRetries int, collect ...string) (*Job, error) {
 	if owner.IsZero() {
 		return nil, &rpc.Fault{Code: rpc.CodeNotAuthorized, Message: "job: authentication required"}
 	}
@@ -628,6 +667,7 @@ func (s *Service) Submit(owner pki.DN, command string, priority, maxRetries int,
 		MaxRetries: maxRetries,
 		Submitted:  now,
 		Collect:    collect,
+		Trace:      trace,
 	}
 	s.mu.Lock()
 	if s.stopped {
@@ -652,7 +692,33 @@ func (s *Service) Submit(owner pki.DN, command string, priority, maxRetries int,
 	s.pushQueue(j)
 	s.cond.Signal()
 	s.mu.Unlock()
+	s.logEvent(j, StateQueued, 0)
 	return j, nil
+}
+
+// logEvent emits one structured lifecycle entry (nil-safe); dur carries
+// the transition's duration where one is meaningful (queue wait for
+// running, run time for terminal states).
+func (s *Service) logEvent(j *Job, state string, dur time.Duration) {
+	if s.events == nil {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 6)
+	attrs = append(attrs,
+		slog.String("job", j.ID),
+		slog.String("state", state),
+		slog.String("owner", j.Owner),
+	)
+	if j.Trace != "" {
+		attrs = append(attrs, slog.String("trace", j.Trace))
+	}
+	if dur > 0 {
+		attrs = append(attrs, slog.Float64("dur_s", dur.Seconds()))
+	}
+	if j.Peer != "" {
+		attrs = append(attrs, slog.String("peer", j.Peer))
+	}
+	s.events.LogAttrs(context.Background(), slog.LevelInfo, "job", attrs...)
 }
 
 // Cancel stops a job: queued jobs become cancelled immediately; running
@@ -1001,6 +1067,11 @@ func (s *Service) next() *Job {
 			}
 			s.ownerRunning[picked.Owner]++
 			s.runningCount++
+			wait := picked.Started.Sub(picked.Submitted)
+			if s.queueWaitHist != nil {
+				s.queueWaitHist.Observe(wait)
+			}
+			s.logEvent(picked, StateRunning, wait)
 			return picked
 		}
 		s.cond.Wait()
@@ -1032,7 +1103,12 @@ func (s *Service) runAttempt(j *Job) (ExecResult, error) {
 	}
 	sp := s.newSpool(j, owner)
 	status, execErr := s.exec(owner, j.Command, sp.stdout, sp.stderr)
-	return s.finalize(j, owner, sp, status, execErr), execErr
+	stageStart := time.Now()
+	res := s.finalize(j, owner, sp, status, execErr)
+	if s.stageHist != nil {
+		s.stageHist.Observe(time.Since(stageStart))
+	}
+	return res, execErr
 }
 
 // clampHead bounds an inline head to n bytes (results arriving from
@@ -1140,6 +1216,11 @@ func (s *Service) finish(j *Job, res ExecResult, execErr error) {
 		s.srv.Logger().Printf("jobsvc: persist %s state of %s: %v", j.State, j.ID, err)
 	}
 	if Terminal(j.State) {
+		run := j.Finished.Sub(j.Started)
+		if s.runHist != nil {
+			s.runHist.Observe(run)
+		}
+		s.logEvent(j, j.State, run)
 		s.notifyDone(j)
 	}
 	// A finished job frees quota; wake workers parked on fair share, and
@@ -1230,22 +1311,31 @@ func (s *Service) metricsLoop() {
 
 func (s *Service) publishGauges() {
 	sn := s.Stats()
+	// Canonical parameter keys follow the unified clarens.<subsystem>.<name>
+	// scheme shared by every publishing subsystem; the bare legacy keys
+	// are kept as aliases for one release so existing station dashboards
+	// keep working, and will be dropped next release.
+	params := make(map[string]float64, 20)
+	for name, v := range map[string]float64{
+		"queued":         float64(sn.Queued),
+		"running":        float64(sn.Running),
+		"remote":         float64(sn.Remote),
+		"done":           float64(sn.Done),
+		"failed":         float64(sn.Failed),
+		"cancelled":      float64(sn.Cancelled),
+		"workers":        float64(sn.Workers),
+		"throughput":     sn.Throughput(),
+		"artifact_bytes": float64(sn.ArtifactBytes),
+		"artifact_gc":    float64(sn.ArtifactGC),
+	} {
+		params["clarens.job."+name] = v
+		params[name] = v // deprecated alias
+	}
 	s.metrics.Publish(&monalisa.Record{
 		Farm:    s.name,
 		Cluster: "jobs",
 		Node:    "scheduler",
-		Params: map[string]float64{
-			"queued":         float64(sn.Queued),
-			"running":        float64(sn.Running),
-			"remote":         float64(sn.Remote),
-			"done":           float64(sn.Done),
-			"failed":         float64(sn.Failed),
-			"cancelled":      float64(sn.Cancelled),
-			"workers":        float64(sn.Workers),
-			"throughput":     sn.Throughput(),
-			"artifact_bytes": float64(sn.ArtifactBytes),
-			"artifact_gc":    float64(sn.ArtifactGC),
-		},
+		Params:  params,
 	})
 }
 
@@ -1425,7 +1515,7 @@ func (s *Service) rpcSubmit(ctx *core.Context, p core.Params) (any, error) {
 			return nil, err
 		}
 	}
-	j, err := s.Submit(ctx.DN, command, priority, retries, collect...)
+	j, err := s.SubmitTraced(ctx.DN, ctx.TraceID(), command, priority, retries, collect...)
 	if err != nil {
 		return nil, err
 	}

@@ -51,10 +51,13 @@ import (
 	"clarens/internal/rpc"
 )
 
-// Call is one sub-call in a batched peer request.
+// Call is one sub-call in a batched peer request. Trace optionally
+// carries the originating request's trace identifier, so a batched
+// forward keeps each job on its own trace on the peer.
 type Call struct {
 	Method string
 	Params []any
+	Trace  string
 }
 
 // Result is one sub-call outcome from a batched peer request.
@@ -68,8 +71,9 @@ type Result struct {
 // (the public clarens.Client is adapted to this at assembly time).
 type Conn interface {
 	// Call invokes one method under the given session token ("" =
-	// anonymous).
-	Call(token, method string, params ...any) (any, error)
+	// anonymous), stamping the outbound request with trace when non-empty
+	// so the peer's logs correlate with the originating request.
+	Call(token, trace, method string, params ...any) (any, error)
 	// Batch executes sub-calls in a single system.multicall round trip
 	// under token; per-call faults come back in each Result.
 	Batch(token string, calls []Call) ([]Result, error)
@@ -389,7 +393,7 @@ func (s *Scheduler) pollPeers() {
 			s.setAlive(p, false)
 			continue
 		}
-		v, err := c.Call("", "job.stats")
+		v, err := c.Call("", "", "job.stats")
 		if err != nil {
 			s.dropConn(p.url)
 			s.setAlive(p, false)
@@ -453,7 +457,7 @@ func (s *Scheduler) watchRemote() {
 		}
 		calls := make([]Call, len(jobs))
 		for i, j := range jobs {
-			calls[i] = Call{Method: "job.status", Params: []any{j.RemoteID}}
+			calls[i] = Call{Method: "job.status", Params: []any{j.RemoteID}, Trace: j.Trace}
 		}
 		results, err := c.Batch(k.token, calls)
 		if err != nil || len(results) != len(jobs) {
@@ -499,7 +503,7 @@ func (s *Scheduler) watchRemote() {
 // retries next cycle; persistent failure degrades through the usual
 // DeadPolls fallback.
 func (s *Scheduler) pullBack(c Conn, token string, j *jobsvc.Job, state string) {
-	v, err := c.Call(token, "job.output", j.RemoteID)
+	v, err := c.Call(token, j.Trace, "job.output", j.RemoteID)
 	out, _ := v.(map[string]any)
 	if err != nil || out == nil {
 		s.failJob(j, err)
@@ -566,7 +570,7 @@ func (s *Scheduler) pullArtifacts(c Conn, token string, j *jobsvc.Job, arts []an
 			s.logger.Printf("metasched: skipping artifact %q of %s: %d bytes exceeds the local spool limit %d", name, j.ID, sz, s.jobs.SpoolLimit())
 			continue
 		}
-		r := &remoteFileReader{c: c, token: token, path: path}
+		r := &remoteFileReader{c: c, token: token, trace: j.Trace, path: path}
 		a, err := s.jobs.StageRemoteArtifact(j.ID, name, r)
 		if err != nil {
 			return nil, 0, fmt.Errorf("stage %q: %w", name, err)
@@ -589,6 +593,7 @@ func (s *Scheduler) pullArtifacts(c Conn, token string, j *jobsvc.Job, arts []an
 type remoteFileReader struct {
 	c      Conn
 	token  string
+	trace  string
 	path   string
 	offset int
 	buf    []byte
@@ -604,7 +609,7 @@ func (r *remoteFileReader) Read(p []byte) (int, error) {
 		if r.eof {
 			return 0, io.EOF
 		}
-		v, err := r.c.Call(r.token, "file.read", r.path, r.offset, artifactChunk)
+		v, err := r.c.Call(r.token, r.trace, "file.read", r.path, r.offset, artifactChunk)
 		if err != nil {
 			r.err = err
 			return 0, err
@@ -657,7 +662,7 @@ func (s *Scheduler) failJob(j *jobsvc.Job, err error) {
 	// can be cancelled if the peer answers again.
 	if j.RemoteID != "" && j.PeerURL != "" {
 		s.mu.Lock()
-		s.orphans[j.PeerURL] = append(s.orphans[j.PeerURL], orphan{remoteID: j.RemoteID, token: j.PeerSession})
+		s.orphans[j.PeerURL] = append(s.orphans[j.PeerURL], orphan{remoteID: j.RemoteID, token: j.PeerSession, trace: j.Trace})
 		s.mu.Unlock()
 	}
 	s.fallback(j, reason)
@@ -669,6 +674,7 @@ func (s *Scheduler) failJob(j *jobsvc.Job, err error) {
 type orphan struct {
 	remoteID string
 	token    string // delegated session the copy was submitted under
+	trace    string // the job's trace, kept on the cancel call
 	cycles   int    // reap attempts so far; dropped at orphanMaxCycles
 }
 
@@ -696,7 +702,7 @@ func (s *Scheduler) reapOrphans() {
 			continue
 		}
 		for i, o := range orphans {
-			_, err := c.Call(o.token, "job.cancel", o.remoteID)
+			_, err := c.Call(o.token, o.trace, "job.cancel", o.remoteID)
 			if err != nil && !isFault(err) {
 				// Transport failure: the peer is still unreachable. Keep
 				// this and the remaining copies for a later cycle.
@@ -829,7 +835,7 @@ func (s *Scheduler) forwardTo(p *peer, claimed []*jobsvc.Job) {
 				}
 				params = append(params, collect)
 			}
-			calls[i] = Call{Method: "job.submit", Params: params}
+			calls[i] = Call{Method: "job.submit", Params: params, Trace: j.Trace}
 		}
 		results, err := c.Batch(token, calls)
 		if err != nil || len(results) != len(jobs) {
@@ -860,7 +866,7 @@ func (s *Scheduler) forwardTo(p *peer, claimed []*jobsvc.Job) {
 				// record forever. Withdraw the remote copy best-effort
 				// and run the job locally instead.
 				s.logger.Printf("metasched: bind %s->%s@%s: %v", j.ID, rid, p.name, err)
-				c.Call(token, "job.cancel", rid)
+				c.Call(token, j.Trace, "job.cancel", rid)
 				s.fallback(j, fmt.Sprintf("could not record forwarding to %s: %v", p.name, err))
 				continue
 			}
@@ -918,7 +924,7 @@ func (s *Scheduler) loginDelegated(c Conn, key, owner string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	v, err := c.Call("", "proxy.login_delegated", owner, secret, s.cfg.SelfURL())
+	v, err := c.Call("", "", "proxy.login_delegated", owner, secret, s.cfg.SelfURL())
 	if err != nil {
 		return "", err
 	}
@@ -978,8 +984,8 @@ func (s *Scheduler) Refresh(j *jobsvc.Job) (*jobsvc.Job, error) {
 		return nil, err
 	}
 	results, err := c.Batch(j.PeerSession, []Call{
-		{Method: "job.status", Params: []any{j.RemoteID}},
-		{Method: "job.output", Params: []any{j.RemoteID}},
+		{Method: "job.status", Params: []any{j.RemoteID}, Trace: j.Trace},
+		{Method: "job.output", Params: []any{j.RemoteID}, Trace: j.Trace},
 	})
 	if err != nil || len(results) != 2 {
 		s.dropConn(j.PeerURL)
@@ -1032,7 +1038,7 @@ func (s *Scheduler) CancelRemote(j *jobsvc.Job) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	v, err := c.Call(j.PeerSession, "job.cancel", j.RemoteID)
+	v, err := c.Call(j.PeerSession, j.Trace, "job.cancel", j.RemoteID)
 	if err != nil {
 		return false, err
 	}

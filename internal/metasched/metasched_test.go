@@ -31,7 +31,7 @@ type fakeConn struct {
 	closed bool
 }
 
-func (c *fakeConn) Call(token, method string, params ...any) (any, error) {
+func (c *fakeConn) Call(token, trace, method string, params ...any) (any, error) {
 	c.mu.Lock()
 	c.calls = append(c.calls, method)
 	h := c.handle
@@ -42,7 +42,7 @@ func (c *fakeConn) Call(token, method string, params ...any) (any, error) {
 func (c *fakeConn) Batch(token string, calls []Call) ([]Result, error) {
 	out := make([]Result, len(calls))
 	for i, cl := range calls {
-		v, err := c.Call(token, cl.Method, cl.Params...)
+		v, err := c.Call(token, cl.Trace, cl.Method, cl.Params...)
 		if err != nil {
 			var f *rpc.Fault
 			if !errors.As(err, &f) {

@@ -14,6 +14,7 @@ const (
 
 	multicallMethodKey = "methodName"
 	multicallParamsKey = "params"
+	multicallTraceKey  = "trace"
 	faultCodeKey       = "faultCode"
 	faultStringKey     = "faultString"
 )
@@ -22,6 +23,12 @@ const (
 type SubCall struct {
 	Method string
 	Params []any
+	// Trace optionally carries a per-sub-call trace identifier: a
+	// federation peer batching many forwarded jobs into one POST keeps
+	// each job on the trace of the request that originated it. Encoded
+	// as an extra "trace" struct member, which servers without trace
+	// support simply ignore (and absent entries decode to "").
+	Trace string
 }
 
 // MulticallParams encodes sub-calls as the positional parameter list of a
@@ -33,10 +40,14 @@ func MulticallParams(calls []SubCall) []any {
 		if params == nil {
 			params = []any{}
 		}
-		entries[i] = map[string]any{
+		entry := map[string]any{
 			multicallMethodKey: c.Method,
 			multicallParamsKey: params,
 		}
+		if c.Trace != "" {
+			entry[multicallTraceKey] = c.Trace
+		}
+		entries[i] = entry
 	}
 	return []any{entries}
 }
@@ -67,6 +78,9 @@ func ParseSubCall(entry any) (SubCall, *Fault) {
 		return SubCall{}, &Fault{Code: CodeInvalidParams, Message: "multicall entry missing methodName"}
 	}
 	call := SubCall{Method: method}
+	if t, ok := st[multicallTraceKey].(string); ok {
+		call.Trace = t
+	}
 	if raw, present := st[multicallParamsKey]; present && raw != nil {
 		params, ok := raw.([]any)
 		if !ok {

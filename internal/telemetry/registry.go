@@ -1,0 +1,354 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MethodStats aggregates one RPC method's dispatch counters and latency
+// histogram. All fields are atomically updated; read them through
+// Registry.MethodSnapshots for consistent views.
+type MethodStats struct {
+	Requests Counter
+	Faults   Counter
+	Latency  Histogram
+}
+
+// MethodSnapshot is a point-in-time copy of one method's stats.
+type MethodSnapshot struct {
+	Method   string
+	Requests uint64
+	Faults   uint64
+	Latency  HistogramSnapshot
+}
+
+// Registry collects the process's metrics: per-RPC-method stats, named
+// counters, named duration histograms, and callback gauges. Canonical
+// metric names are dotted (`clarens.<subsystem>.<name>`) — the style the
+// MonALISA republication uses — and are sanitized to underscore form for
+// Prometheus exposition.
+type Registry struct {
+	start time.Time
+
+	methods sync.Map // method name -> *MethodStats
+	allRPC  Histogram
+
+	mu       sync.RWMutex
+	gauges   map[string]*gaugeEntry
+	counters map[string]*counterEntry
+	hists    map[string]*histEntry
+}
+
+type gaugeEntry struct {
+	help string
+	fn   func() float64
+}
+
+type counterEntry struct {
+	help string
+	c    Counter
+}
+
+type histEntry struct {
+	help string
+	h    Histogram
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		gauges:   make(map[string]*gaugeEntry),
+		counters: make(map[string]*counterEntry),
+		hists:    make(map[string]*histEntry),
+	}
+}
+
+// Start returns the registry's creation time (the process start for the
+// server-owned registry).
+func (r *Registry) Start() time.Time { return r.start }
+
+// Method returns the stats cell for an RPC method, creating it on first
+// use. The steady-state path is a single lock-free sync.Map load.
+func (r *Registry) Method(name string) *MethodStats {
+	if v, ok := r.methods.Load(name); ok {
+		return v.(*MethodStats)
+	}
+	v, _ := r.methods.LoadOrStore(name, &MethodStats{})
+	return v.(*MethodStats)
+}
+
+// ObserveRPC records one dispatched call: per-method request/fault
+// counters and latency, plus the cross-method aggregate histogram.
+func (r *Registry) ObserveRPC(method string, fault bool, d time.Duration) {
+	ms := r.Method(method)
+	ms.Requests.Inc()
+	if fault {
+		ms.Faults.Inc()
+	}
+	ms.Latency.Observe(d)
+	r.allRPC.Observe(d)
+}
+
+// RPCAggregate returns the cross-method latency histogram snapshot.
+func (r *Registry) RPCAggregate() HistogramSnapshot { return r.allRPC.Snapshot() }
+
+// MethodSnapshots returns a consistent copy of every method's stats,
+// sorted by method name.
+func (r *Registry) MethodSnapshots() []MethodSnapshot {
+	var out []MethodSnapshot
+	r.methods.Range(func(k, v any) bool {
+		ms := v.(*MethodStats)
+		out = append(out, MethodSnapshot{
+			Method:   k.(string),
+			Requests: ms.Requests.Value(),
+			Faults:   ms.Faults.Value(),
+			Latency:  ms.Latency.Snapshot(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Method < out[j].Method })
+	return out
+}
+
+// RegisterGauge registers a callback gauge under a dotted canonical name
+// (e.g. "clarens.job.queued"). Re-registering a name replaces the
+// callback. The callback must be safe for concurrent use; it runs on
+// every scrape and republication.
+func (r *Registry) RegisterGauge(name, help string, fn func() float64) {
+	r.mu.Lock()
+	r.gauges[name] = &gaugeEntry{help: help, fn: fn}
+	r.mu.Unlock()
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.RLock()
+	e := r.counters[name]
+	r.mu.RUnlock()
+	if e != nil {
+		return &e.c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.counters[name]; e != nil {
+		return &e.c
+	}
+	e = &counterEntry{help: help}
+	r.counters[name] = e
+	return &e.c
+}
+
+// Histogram returns the named duration histogram, creating it on first
+// use (e.g. "clarens.job.queue_wait_seconds" for scheduler queue waits).
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.RLock()
+	e := r.hists[name]
+	r.mu.RUnlock()
+	if e != nil {
+		return &e.h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.hists[name]; e != nil {
+		return &e.h
+	}
+	e = &histEntry{help: help}
+	r.hists[name] = e
+	return &e.h
+}
+
+// GaugeValues evaluates every registered gauge and returns dotted name →
+// value, the map shape the MonALISA republication publishes.
+func (r *Registry) GaugeValues() map[string]float64 {
+	r.mu.RLock()
+	fns := make(map[string]func() float64, len(r.gauges))
+	for name, e := range r.gauges {
+		fns[name] = e.fn
+	}
+	r.mu.RUnlock()
+	out := make(map[string]float64, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}
+
+// CounterValues returns dotted name → value for every named counter.
+func (r *Registry) CounterValues() map[string]uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]uint64, len(r.counters))
+	for name, e := range r.counters {
+		out[name] = e.c.Value()
+	}
+	return out
+}
+
+// HistogramSnapshots returns dotted name → snapshot for every named
+// histogram.
+func (r *Registry) HistogramSnapshots() map[string]HistogramSnapshot {
+	r.mu.RLock()
+	hs := make(map[string]*histEntry, len(r.hists))
+	for name, e := range r.hists {
+		hs[name] = e
+	}
+	r.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(hs))
+	for name, e := range hs {
+		out[name] = e.h.Snapshot()
+	}
+	return out
+}
+
+// PromName sanitizes a dotted canonical name into a legal Prometheus
+// metric name: every character outside [a-zA-Z0-9_] becomes '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// quantiles exposed on every summary family.
+var summaryQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
+}
+
+func promFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): per-method request/fault counters, per-method
+// latency summaries with p50/p95/p99 quantiles, one cross-method latency
+// histogram with log2 `le` buckets, and every named counter, gauge, and
+// duration histogram. Output is deterministically ordered.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	methods := r.MethodSnapshots()
+
+	var b strings.Builder
+
+	// Per-method dispatch counters.
+	b.WriteString("# HELP clarens_rpc_requests_total RPC dispatches by method, including multicall sub-calls.\n")
+	b.WriteString("# TYPE clarens_rpc_requests_total counter\n")
+	for _, m := range methods {
+		fmt.Fprintf(&b, "clarens_rpc_requests_total{method=%q} %d\n", m.Method, m.Requests)
+	}
+	b.WriteString("# HELP clarens_rpc_faults_total RPC dispatches that returned a fault, by method.\n")
+	b.WriteString("# TYPE clarens_rpc_faults_total counter\n")
+	for _, m := range methods {
+		fmt.Fprintf(&b, "clarens_rpc_faults_total{method=%q} %d\n", m.Method, m.Faults)
+	}
+
+	// Per-method latency summaries.
+	b.WriteString("# HELP clarens_rpc_latency_seconds RPC dispatch latency by method.\n")
+	b.WriteString("# TYPE clarens_rpc_latency_seconds summary\n")
+	for _, m := range methods {
+		for _, sq := range summaryQuantiles {
+			fmt.Fprintf(&b, "clarens_rpc_latency_seconds{method=%q,quantile=%q} %s\n",
+				m.Method, sq.label, promFloat(seconds(m.Latency.Quantile(sq.q))))
+		}
+		fmt.Fprintf(&b, "clarens_rpc_latency_seconds_sum{method=%q} %s\n", m.Method, promFloat(seconds(m.Latency.Sum)))
+		fmt.Fprintf(&b, "clarens_rpc_latency_seconds_count{method=%q} %d\n", m.Method, m.Latency.Count)
+	}
+
+	// Cross-method aggregate as a native histogram family (cumulative
+	// log2 buckets); one family keeps the series count bounded while the
+	// summaries above carry the per-method quantiles.
+	agg := r.RPCAggregate()
+	b.WriteString("# HELP clarens_rpc_latency_all_seconds RPC dispatch latency across all methods.\n")
+	b.WriteString("# TYPE clarens_rpc_latency_all_seconds histogram\n")
+	writePromHistogram(&b, "clarens_rpc_latency_all_seconds", &agg)
+
+	// Named counters.
+	r.mu.RLock()
+	counterNames := sortedKeys(r.counters)
+	for _, name := range counterNames {
+		e := r.counters[name]
+		pn := PromName(name)
+		if e.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", pn, e.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, e.c.Value())
+	}
+	histNames := sortedKeys(r.hists)
+	histHelp := make(map[string]string, len(histNames))
+	for _, name := range histNames {
+		histHelp[name] = r.hists[name].help
+	}
+	r.mu.RUnlock()
+
+	// Callback gauges (evaluated outside the registry lock).
+	gauges := r.GaugeValues()
+	for _, name := range sortedKeys(gauges) {
+		pn := PromName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(gauges[name]))
+	}
+
+	// Named duration histograms as summaries.
+	snaps := r.HistogramSnapshots()
+	for _, name := range histNames {
+		s := snaps[name]
+		pn := PromName(name)
+		if help := histHelp[name]; help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", pn, help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s summary\n", pn)
+		for _, sq := range summaryQuantiles {
+			fmt.Fprintf(&b, "%s{quantile=%q} %s\n", pn, sq.label, promFloat(seconds(s.Quantile(sq.q))))
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", pn, promFloat(seconds(s.Sum)), pn, s.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram emits cumulative le-bucket lines for a snapshot,
+// stopping after the highest populated bucket.
+func writePromHistogram(b *strings.Builder, name string, s *HistogramSnapshot) {
+	last := -1
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] > 0 {
+			last = i
+			break
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += s.Buckets[i]
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, promFloat(seconds(BucketUpper(i))), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(b, "%s_sum %s\n%s_count %d\n", name, promFloat(seconds(s.Sum)), name, s.Count)
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

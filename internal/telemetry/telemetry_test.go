@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations and 10 slow ones: p50 must land in the fast
+	// band, p99 in the slow band.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 50*time.Microsecond || p50 > 200*time.Microsecond {
+		t.Errorf("p50 = %v, want within the 100µs log2 bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 40*time.Millisecond || p99 > 160*time.Millisecond {
+		t.Errorf("p99 = %v, want within the 80ms log2 bucket", p99)
+	}
+	if sum := h.Sum(); sum != 90*100*time.Microsecond+10*80*time.Millisecond {
+		t.Errorf("Sum = %v", sum)
+	}
+}
+
+func TestHistogramEmptyAndEdges(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(time.Duration(1) << 62) // beyond the last bucket bound
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if q := h.Quantile(1); q < BucketUpper(NumBuckets-2) {
+		t.Errorf("max quantile = %v, want capped at the top bucket", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestTraceIDs(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("trace ID lengths %d/%d, want 32", len(a), len(b))
+	}
+	if a == b {
+		t.Fatalf("two minted trace IDs collided: %s", a)
+	}
+	if !ValidTraceID(a) {
+		t.Errorf("minted trace ID %q not valid", a)
+	}
+	if sp := NewSpanID(); len(sp) != 16 || !ValidTraceID(sp) {
+		t.Errorf("span ID %q invalid", sp)
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", strings.Repeat("a", 129), "new\nline"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+	for _, good := range []string{"abc", "550e8400-e29b-41d4-a716-446655440000", "trace_1.retry"} {
+		if !ValidTraceID(good) {
+			t.Errorf("ValidTraceID(%q) = false, want true", good)
+		}
+	}
+}
+
+func TestRegistryRPCAndPrometheus(t *testing.T) {
+	r := New()
+	for i := 0; i < 20; i++ {
+		r.ObserveRPC("system.echo", false, 50*time.Microsecond)
+	}
+	r.ObserveRPC("job.submit", true, 2*time.Millisecond)
+	r.RegisterGauge("clarens.job.queued", "Queued jobs.", func() float64 { return 7 })
+	r.Counter("clarens.job.submitted_total", "Jobs submitted.").Add(3)
+	r.Histogram("clarens.job.queue_wait_seconds", "Queue wait.").Observe(10 * time.Millisecond)
+
+	snaps := r.MethodSnapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("MethodSnapshots len = %d, want 2", len(snaps))
+	}
+	if snaps[0].Method != "job.submit" || snaps[0].Faults != 1 {
+		t.Errorf("snapshot[0] = %+v", snaps[0])
+	}
+	if snaps[1].Requests != 20 || snaps[1].Faults != 0 {
+		t.Errorf("snapshot[1] = %+v", snaps[1])
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`clarens_rpc_requests_total{method="system.echo"} 20`,
+		`clarens_rpc_faults_total{method="job.submit"} 1`,
+		`# TYPE clarens_rpc_latency_seconds summary`,
+		`clarens_rpc_latency_seconds{method="system.echo",quantile="0.5"}`,
+		`clarens_rpc_latency_seconds_count{method="system.echo"} 20`,
+		`# TYPE clarens_rpc_latency_all_seconds histogram`,
+		`clarens_rpc_latency_all_seconds_bucket{le="+Inf"} 21`,
+		`# TYPE clarens_job_queued gauge`,
+		`clarens_job_queued 7`,
+		`clarens_job_submitted_total 3`,
+		`# TYPE clarens_job_queue_wait_seconds summary`,
+		`clarens_job_queue_wait_seconds_count 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	if got := PromName("clarens.job.queue_wait_seconds"); got != "clarens_job_queue_wait_seconds" {
+		t.Errorf("PromName = %q", got)
+	}
+	if got := PromName("9lives"); got != "_lives" {
+		t.Errorf("PromName leading digit = %q", got)
+	}
+}
+
+func TestGaugeAndCounterValues(t *testing.T) {
+	r := New()
+	r.RegisterGauge("clarens.core.sessions", "", func() float64 { return 2 })
+	r.Counter("clarens.rpc.total", "").Inc()
+	if v := r.GaugeValues()["clarens.core.sessions"]; v != 2 {
+		t.Errorf("gauge = %v", v)
+	}
+	if v := r.CounterValues()["clarens.rpc.total"]; v != 1 {
+		t.Errorf("counter = %v", v)
+	}
+	if _, ok := r.HistogramSnapshots()["missing"]; ok {
+		t.Error("unexpected histogram")
+	}
+}
+
+func BenchmarkObserveRPC(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.ObserveRPC("system.echo", false, 123*time.Microsecond)
+		}
+	})
+}
+
+func BenchmarkNewTraceID(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NewTraceID()
+	}
+}

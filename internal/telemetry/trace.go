@@ -1,0 +1,60 @@
+package telemetry
+
+import "math/rand/v2"
+
+// TraceHeader is the HTTP header carrying a request's trace identifier.
+// A server accepts a valid inbound value (so a caller — or a forwarding
+// peer — can stitch its own ID through the system) and mints one
+// otherwise; clients and federation connections propagate it on every
+// outbound call, so a forwarded job logs the same trace ID on both
+// peers.
+const TraceHeader = "X-Clarens-Trace"
+
+// maxTraceIDLen bounds accepted inbound trace IDs; anything longer is
+// treated as absent rather than copied into every log line.
+const maxTraceIDLen = 128
+
+const hexDigits = "0123456789abcdef"
+
+// randHex writes n random lower-case hex digits. math/rand/v2's global
+// generator is lock-free per-P, keeping ID minting in the per-dispatch
+// nanosecond budget; trace IDs are correlation handles, not secrets, so
+// crypto/rand's syscall cost buys nothing here.
+func randHex(n int) string {
+	buf := make([]byte, n)
+	for i := 0; i < n; {
+		v := rand.Uint64()
+		for j := 0; j < 16 && i < n; j++ {
+			buf[i] = hexDigits[v&0xf]
+			v >>= 4
+			i++
+		}
+	}
+	return string(buf)
+}
+
+// NewTraceID mints a 128-bit trace identifier (32 hex digits).
+func NewTraceID() string { return randHex(32) }
+
+// NewSpanID mints a 64-bit span identifier (16 hex digits).
+func NewSpanID() string { return randHex(16) }
+
+// ValidTraceID reports whether s is acceptable as an inbound trace ID:
+// 1..128 characters drawn from letters, digits, '-', '_', and '.', which
+// admits W3C-style hex IDs as well as UUIDs and human-chosen markers
+// while keeping log lines shell- and injection-safe.
+func ValidTraceID(s string) bool {
+	if len(s) == 0 || len(s) > maxTraceIDLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
