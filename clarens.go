@@ -43,6 +43,7 @@ import (
 	"clarens/internal/pki"
 	"clarens/internal/portal"
 	"clarens/internal/proxysvc"
+	"clarens/internal/pubsub"
 	"clarens/internal/session"
 	"clarens/internal/shellsvc"
 	"clarens/internal/vo"
@@ -78,6 +79,9 @@ type (
 	CA = pki.CA
 	// DiscoveryEntry describes one service on one server.
 	DiscoveryEntry = discovery.Entry
+	// Bus is the server's push-event bus; services publish typed tagged
+	// events, /ws subscribers and in-process Subscriptions receive them.
+	Bus = pubsub.Bus
 )
 
 // Named dispatch-pipeline anchors for Server.UseBefore, re-exported.
@@ -240,6 +244,11 @@ type Config struct {
 	// /debug/pprof/. Off by default — the endpoints expose heap and CPU
 	// profiles, so enable them only on trusted networks.
 	EnablePprof bool
+	// DisablePush skips mounting the push-event WebSocket endpoint at
+	// /ws. The in-process event bus still runs (services publish either
+	// way); only the network surface is withheld. Peers watching this
+	// server's jobs then fall back to batch polling.
+	DisablePush bool
 	// RequestLog, when set, receives one structured entry per RPC
 	// dispatch (method, trace and span IDs, duration, caller DN, fault)
 	// and per job lifecycle transition. Nil disables request logging
@@ -314,6 +323,9 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.EnablePprof {
 		cs.MountPprof()
+	}
+	if !cfg.DisablePush {
+		cs.MountWS("/ws")
 	}
 	s := &Server{core: cs, name: cfg.Name, trustedIssuers: make(map[string]bool, len(cfg.FederationIssuers))}
 	for _, u := range cfg.FederationIssuers {
@@ -426,10 +438,14 @@ func NewServer(cfg Config) (*Server, error) {
 		if s.Messages != nil {
 			notify = s.Messages
 		}
-		var gauges jobsvc.MetricsPublisher
+		// Gauge records tee onto the event bus (always) and the station
+		// network (when configured), so /ws subscribers see the same load
+		// feed a MonALISA aggregator would.
+		var next jobsvc.MetricsPublisher
 		if s.publisher != nil {
-			gauges = s.publisher
+			next = s.publisher
 		}
+		gauges := &busMetrics{bus: cs.Events(), next: next}
 		// With a file service present, job results stage as artifacts:
 		// stdout/stderr spool to the per-owner-ACL'd /jobs/<id>/ trees and
 		// sandbox files matched by a job's collect globs ride along.
@@ -534,6 +550,7 @@ func NewServer(cfg Config) (*Server, error) {
 			SelfURL:      s.RPCURL,
 			Pressure:     cfg.FederationPressure,
 			PollInterval: cfg.PeerPollInterval,
+			EventDial:    federationEventDialer,
 		})
 		if err != nil {
 			return fail(err)
@@ -545,11 +562,15 @@ func NewServer(cfg Config) (*Server, error) {
 		reg.RegisterGauge("clarens.federation.pulled_back", "remote results finalized locally", func() float64 { return float64(ms.Stats().PulledBack) })
 		reg.RegisterGauge("clarens.federation.fallbacks", "jobs returned to the local queue after a peer failure", func() float64 { return float64(ms.Stats().Fallbacks) })
 		reg.RegisterGauge("clarens.federation.artifact_bytes", "artifact bytes fetched from peers and re-staged", func() float64 { return float64(ms.Stats().ArtifactBytes) })
+		reg.RegisterGauge("clarens.federation.status_rpcs", "job.status calls issued by the remote watch loop", func() float64 { return float64(ms.Stats().StatusRPCs) })
+		reg.RegisterGauge("clarens.federation.push_events", "peer job events received over push subscriptions", func() float64 { return float64(ms.Stats().PushEvents) })
 		cs.RegisterStatsSection("federation", func() map[string]any {
 			st := ms.Stats()
 			return map[string]any{
 				"peers": st.Peers, "forwarded": st.Forwarded, "pulled_back": st.PulledBack,
 				"fallbacks": st.Fallbacks, "artifact_bytes": st.ArtifactBytes,
+				"status_rpcs": st.StatusRPCs, "push_events": st.PushEvents,
+				"push_watches": st.PushWatches,
 			}
 		})
 		ms.Start()
@@ -580,6 +601,45 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+// EventMonALISA is the bus event type carrying one MonALISA-style
+// telemetry record (gauge or RPC-aggregate snapshot); the record's
+// Farm/Cluster/Node become tags and its Params the event data.
+const EventMonALISA = "monalisa.record"
+
+// busMetrics tees MonALISA records onto the push-event bus ahead of the
+// real station publisher (which may be absent), so /ws subscribers get
+// the same load feed the station network carries.
+type busMetrics struct {
+	bus  *pubsub.Bus
+	next jobsvc.MetricsPublisher
+}
+
+func (b *busMetrics) Publish(rec *monalisa.Record) error {
+	b.bus.Publish(recordEvent(rec))
+	if b.next != nil {
+		return b.next.Publish(rec)
+	}
+	return nil
+}
+
+// recordEvent converts a MonALISA record to its bus event form.
+func recordEvent(rec *monalisa.Record) pubsub.Event {
+	data := make(map[string]any, len(rec.Params))
+	for k, v := range rec.Params {
+		data[k] = v
+	}
+	return pubsub.Event{
+		Type: EventMonALISA,
+		Tags: map[string]string{"service": "monalisa", "farm": rec.Farm, "cluster": rec.Cluster, "node": rec.Node},
+		Data: data,
+	}
+}
+
+// Events returns the server's push-event bus, for in-process publishers
+// and subscribers (custom services emitting their own events, local
+// observers that skip the WebSocket hop).
+func (s *Server) Events() *Bus { return s.core.Events() }
 
 // republishTelemetry periodically publishes one RPC-aggregate record and
 // one gauge record into the station network until Close.
@@ -620,14 +680,17 @@ func (s *Server) PublishTelemetry() error {
 			"clarens.rpc.latency_p99_ms": agg.Quantile(0.99).Seconds() * 1e3,
 		},
 	}
+	s.core.Events().Publish(recordEvent(rpcRec))
 	err := s.publisher.Publish(rpcRec)
 	if gauges := reg.GaugeValues(); len(gauges) > 0 {
-		if e := s.publisher.Publish(&monalisa.Record{
+		gaugeRec := &monalisa.Record{
 			Farm:    s.name,
 			Cluster: "telemetry",
 			Node:    "gauges",
 			Params:  gauges,
-		}); err == nil {
+		}
+		s.core.Events().Publish(recordEvent(gaugeRec))
+		if e := s.publisher.Publish(gaugeRec); err == nil {
 			err = e
 		}
 	}

@@ -18,6 +18,11 @@
 //	                       artifact paths — file.read chunk iteration and
 //	                       zero-copy HTTP GET — locally and across a
 //	                       2-server federation pull-back
+//	-experiment push       push events: WebSocket fan-out latency from
+//	                       publish to client receipt across concurrent
+//	                       subscribers, and the job.status RPC reduction
+//	                       the federation watch loop gains by subscribing
+//	                       to peer job events instead of batch polling
 //	-experiment all        run everything
 //
 // Results print as aligned tables; -csv DIR additionally writes one CSV
@@ -42,6 +47,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"clarens"
@@ -65,7 +71,7 @@ type report struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "figure4", "figure4 | tls | globus | streaming | all")
+		experiment = flag.String("experiment", "figure4", "figure4 | tls | globus | streaming | federation | staging | push | all")
 		minClients = flag.Int("min-clients", 1, "figure4: first client count")
 		maxClients = flag.Int("max-clients", 79, "figure4: last client count (paper: 79)")
 		step       = flag.Int("step", 6, "figure4: client count step")
@@ -77,6 +83,8 @@ func main() {
 		fedServers = flag.Int("federation-servers", 3, "federation: servers in the federation")
 		fedJobSecs = flag.Float64("federation-job-secs", 0.15, "federation: per-job sleep payload (seconds)")
 		stagingMB  = flag.Int("staging-mb", 8, "staging: approximate job output size in MiB")
+		pushSubs   = flag.Int("push-subscribers", 16, "push: concurrent WS subscribers")
+		pushEvents = flag.Int("push-events", 200, "push: events fanned out to every subscriber")
 		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
 		jsonOut    = flag.String("json", "", "file for a JSON summary of all results (optional)")
 	)
@@ -107,6 +115,8 @@ func main() {
 			rep.Experiments["federation"] = runFederation(*fedJobs, *fedServers, *fedJobSecs, *csvDir)
 		case "staging":
 			rep.Experiments["staging"] = runStaging(*stagingMB, *csvDir)
+		case "push":
+			rep.Experiments["push"] = runPush(*pushSubs, *pushEvents, *fedJobs, *fedJobSecs, *csvDir)
 		case "all":
 			rep.Experiments["figure4"] = runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
 			rep.Experiments["tls"] = runTLS(*calls, *repeats, *csvDir)
@@ -114,6 +124,7 @@ func main() {
 			rep.Experiments["streaming"] = runStreaming(*streamMB, *csvDir)
 			rep.Experiments["federation"] = runFederation(*fedJobs, *fedServers, *fedJobSecs, *csvDir)
 			rep.Experiments["staging"] = runStaging(*stagingMB, *csvDir)
+			rep.Experiments["push"] = runPush(*pushSubs, *pushEvents, *fedJobs, *fedJobSecs, *csvDir)
 		case "":
 		default:
 			log.Fatalf("unknown experiment %q", exp)
@@ -526,8 +537,8 @@ func runStreaming(sizeMB int, csvDir string) map[string]any {
 
 // fedMember starts one federation member: job service over the shell
 // sandbox, proxy service (delegation), and a local station publishing to
-// the shared backbone.
-func fedMember(name, backbone string, workers int, federate bool, pressure int) *clarens.Server {
+// the shared backbone. Optional mutators adjust the config before boot.
+func fedMember(name, backbone string, workers int, federate bool, pressure int, opts ...func(*clarens.Config)) *clarens.Server {
 	dir, err := os.MkdirTemp("", "clarens-fed-"+name)
 	if err != nil {
 		log.Fatal(err)
@@ -550,6 +561,9 @@ func fedMember(name, backbone string, workers int, federate bool, pressure int) 
 	if backbone != "" {
 		cfg.LocalStation = "127.0.0.1:0"
 		cfg.StationAddrs = []string{backbone}
+	}
+	for _, opt := range opts {
+		opt(&cfg)
 	}
 	srv, err := clarens.NewServer(cfg)
 	if err != nil {
@@ -867,5 +881,182 @@ func runStaging(sizeMB int, csvDir string) map[string]any {
 		"federated_pulled_bytes": pulled,
 		"fed_fileread_mibps":     mbps(fRPC),
 		"fed_httpget_mibps":      mbps(fHTTP),
+	}
+}
+
+// pushFedLeg drives one saturated federated burst between two members
+// and reports the submitting side's watch-loop stats — with the peer's
+// /ws up (push subscriptions) or down (batch-poll fallback).
+func pushFedLeg(peerPush bool, jobs int, jobSecs float64) (statusRPCs, pushEvents, forwarded uint64, drain time.Duration) {
+	backbone, err := monalisa.NewStation("push-backbone", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer backbone.Close()
+	members := make([]*clarens.Server, 2)
+	for i := range members {
+		var opts []func(*clarens.Config)
+		if i == 1 && !peerPush {
+			opts = append(opts, func(cfg *clarens.Config) { cfg.DisablePush = true })
+		}
+		srv := fedMember(fmt.Sprintf("push-site%d", i), backbone.Addr().String(), 2, true, 1, opts...)
+		udp, err := net.ResolveUDPAddr("udp", srv.StationAddr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		backbone.Peer(udp)
+		if err := srv.PublishServices(); err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		members[i] = srv
+	}
+	urls := []string{members[0].RPCURL(), members[1].RPCURL()}
+	for _, srv := range members {
+		srv.TrustFederationIssuers(urls...)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for members[0].Federation.Stats().Peers < 1 {
+		if time.Now().After(deadline) {
+			log.Fatal("push federation never converged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	drain = fedDrain(members[0], jobs, jobSecs)
+	// Let the last pull-backs finalize before reading the counters.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		st := members[0].Federation.Stats()
+		if st.PulledBack+st.Fallbacks >= st.Forwarded || time.Now().After(deadline) {
+			return st.StatusRPCs, st.PushEvents, st.Forwarded, drain
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// runPush measures the push-event subsystem: publish-to-receipt fan-out
+// latency across concurrent WebSocket subscribers, and the job.status
+// RPC reduction the federation watch loop gets from subscribing to peer
+// job events instead of batch polling.
+func runPush(subscribers, events, fedJobs int, jobSecs float64, csvDir string) map[string]any {
+	fmt.Println("== Experiment E7: push events (WS fan-out + federation RPC reduction) ==")
+	fmt.Printf("workload: %d events fanned out to %d subscribers, then a %d-job federated burst push vs poll\n",
+		events, subscribers, fedJobs)
+
+	benchDN := pki.MustParseDN("/O=bench/OU=People/CN=Bench User")
+	srv, err := clarens.NewServer(clarens.Config{Name: "bench-push", AdminDNs: []string{benchDN.String()}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := clarens.Dial(srv.URL())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := srv.NewSessionFor(benchDN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.SetSession(sess.ID)
+
+	var mu sync.Mutex
+	var lats []float64 // milliseconds, publish -> client receipt
+	var wg sync.WaitGroup
+	subs := make([]*clarens.Subscription, subscribers)
+	for i := range subs {
+		sub, err := c.Subscribe("type=bench.tick")
+		if err != nil {
+			log.Fatal(err)
+		}
+		subs[i] = sub
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ev := range sub.Events() {
+				if ev.Type == clarens.EventLagged {
+					continue
+				}
+				l := time.Since(ev.Time).Seconds() * 1e3
+				mu.Lock()
+				lats = append(lats, l)
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		srv.Events().Publish(clarens.Event{Type: "bench.tick", Tags: map[string]string{"i": fmt.Sprint(i)}})
+		time.Sleep(500 * time.Microsecond) // pace below the per-sub buffer drain rate
+	}
+	// Wait for full fan-out (or give slow receivers a bounded grace).
+	want := subscribers * events
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		mu.Lock()
+		n := len(lats)
+		mu.Unlock()
+		if n >= want || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(start).Seconds()
+	for _, sub := range subs {
+		sub.Close()
+	}
+	wg.Wait()
+	sort.Float64s(lats)
+	q := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(p*float64(len(lats)-1))]
+	}
+	delivered := len(lats)
+	rate := float64(delivered) / elapsed
+	fmt.Printf("fan-out: %d/%d deliveries in %.2fs = %.0f events/s to clients\n", delivered, want, elapsed, rate)
+	fmt.Printf("publish->receipt latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n", q(0.5), q(0.95), q(0.99))
+
+	pushRPCs, pushEvs, pushFwd, pushDrain := pushFedLeg(true, fedJobs, jobSecs)
+	pollRPCs, _, pollFwd, pollDrain := pushFedLeg(false, fedJobs, jobSecs)
+	reduction := 0.0
+	if pollRPCs > 0 {
+		reduction = 100 * (1 - float64(pushRPCs)/float64(pollRPCs))
+	}
+	fmt.Printf("federated watch loop, peer /ws up:   %4d status RPCs, %d push events, %d forwarded, drain %.2fs\n",
+		pushRPCs, pushEvs, pushFwd, pushDrain.Seconds())
+	fmt.Printf("federated watch loop, peer /ws down: %4d status RPCs (batch-poll fallback), %d forwarded, drain %.2fs\n",
+		pollRPCs, pollFwd, pollDrain.Seconds())
+	fmt.Printf("status-RPC reduction from push: %.0f%%\n", reduction)
+	fmt.Println("the polling surfaces (message.wait, job.status sweeps, gauge scrapes) now ride the event bus")
+	if out := csvFile(csvDir, "push.csv"); out != nil {
+		fmt.Fprintln(out, "metric,value")
+		fmt.Fprintf(out, "subscribers,%d\nevents,%d\ndelivered,%d\nfanout_events_per_second,%.1f\n",
+			subscribers, events, delivered, rate)
+		fmt.Fprintf(out, "latency_p50_ms,%.3f\nlatency_p95_ms,%.3f\nlatency_p99_ms,%.3f\n", q(0.5), q(0.95), q(0.99))
+		fmt.Fprintf(out, "push_status_rpcs,%d\npoll_status_rpcs,%d\nrpc_reduction_pct,%.1f\npush_events,%d\n",
+			pushRPCs, pollRPCs, reduction, pushEvs)
+		out.Close()
+	}
+	fmt.Println()
+	return map[string]any{
+		"subscribers":              subscribers,
+		"events":                   events,
+		"delivered":                delivered,
+		"fanout_events_per_second": rate,
+		"latency_p50_ms":           q(0.5),
+		"latency_p95_ms":           q(0.95),
+		"latency_p99_ms":           q(0.99),
+		"fed_jobs":                 fedJobs,
+		"push_status_rpcs":         pushRPCs,
+		"poll_status_rpcs":         pollRPCs,
+		"rpc_reduction_pct":        reduction,
+		"push_events":              pushEvs,
+		"push_drain_s":             pushDrain.Seconds(),
+		"poll_drain_s":             pollDrain.Seconds(),
 	}
 }

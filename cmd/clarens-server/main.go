@@ -55,6 +55,8 @@ func main() {
 		fedIssuers   = flag.String("federation-issuers", "", "comma-separated peer RPC endpoint URLs trusted to vouch for delegated logins (empty = refuse every remote issuer)")
 		publish      = flag.Bool("publish", false, "publish services to the discovery network on startup")
 		metrics      = flag.Bool("metrics", true, "serve Prometheus text metrics at /metrics")
+		push         = flag.Bool("push", true, "serve the push-event WebSocket endpoint at /ws")
+		mintSession  = flag.String("mint-session", "", "mint a session for this DN on startup and print the token (bootstrap/smoke tests)")
 		pprofFlag    = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (trusted networks only)")
 		reqLog       = flag.Bool("request-log", false, "emit one JSON log line per RPC dispatch and job lifecycle event to stderr")
 		telemetryInt = flag.Duration("telemetry-interval", 10*time.Second, "period for republishing RPC/gauge telemetry to the station network (negative = off)")
@@ -86,6 +88,7 @@ func main() {
 		LocalStation:         *localStation,
 		EnableMetrics:        *metrics,
 		EnablePprof:          *pprofFlag,
+		DisablePush:          !*push,
 		TelemetryInterval:    *telemetryInt,
 		Logger:               log.New(os.Stderr, "clarens: ", log.LstdFlags),
 	}
@@ -141,6 +144,20 @@ func main() {
 	}
 	if *pprofFlag {
 		fmt.Printf("pprof at %s/debug/pprof/\n", srv.URL())
+	}
+	if *push {
+		fmt.Printf("push events at %s/ws\n", srv.URL())
+	}
+	if *mintSession != "" {
+		dn, err := clarens.ParseDN(*mintSession)
+		if err != nil {
+			log.Fatalf("parse -mint-session DN: %v", err)
+		}
+		sess, err := srv.NewSessionFor(dn)
+		if err != nil {
+			log.Fatalf("mint session: %v", err)
+		}
+		fmt.Printf("session %s minted for %s\n", sess.ID, dn)
 	}
 	if srv.StationAddr() != "" {
 		fmt.Printf("station server on udp://%s\n", srv.StationAddr())

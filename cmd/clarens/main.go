@@ -20,6 +20,7 @@
 //	job status|output|cancel <id>  inspect or stop a job
 //	job list [state]               list jobs (queued|running|done|failed|cancelled)
 //	job stats                      scheduler counters
+//	watch <query> [-n count] [-for duration]   stream push events as JSON lines
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"time"
 
 	"flag"
 
@@ -123,6 +125,8 @@ func run(c *clarens.Client, args []string) error {
 		return runVO(c, args[1:])
 	case "job":
 		return runJob(c, args[1:])
+	case "watch":
+		return runWatch(c, args[1:])
 	case "shell":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: shell <command line>")
@@ -403,5 +407,73 @@ func jsonSafe(v any) any {
 		return out
 	default:
 		return v
+	}
+}
+
+// runWatch streams push events matching a query to stdout, one JSON
+// object per line, until interrupted (or -n events / -for duration for
+// bounded runs, e.g. in scripts and smoke tests).
+func runWatch(c *clarens.Client, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: watch <query> [-n count] [-for duration]")
+	}
+	query := args[0]
+	count := 0
+	var timeout time.Duration
+	for i := 1; i < len(args); i++ {
+		switch args[i] {
+		case "-n":
+			if i+1 >= len(args) {
+				return fmt.Errorf("watch: -n needs a value")
+			}
+			n, err := strconv.Atoi(args[i+1])
+			if err != nil {
+				return fmt.Errorf("watch: -n %q: %v", args[i+1], err)
+			}
+			count = n
+			i++
+		case "-for":
+			if i+1 >= len(args) {
+				return fmt.Errorf("watch: -for needs a value")
+			}
+			d, err := time.ParseDuration(args[i+1])
+			if err != nil {
+				return fmt.Errorf("watch: -for %q: %v", args[i+1], err)
+			}
+			timeout = d
+			i++
+		default:
+			return fmt.Errorf("watch: unknown option %q", args[i])
+		}
+	}
+	sub, err := c.Subscribe(query)
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+	var expire <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expire = t.C
+	}
+	enc := json.NewEncoder(os.Stdout)
+	seen := 0
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return sub.Err()
+			}
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+			seen++
+			if count > 0 && seen >= count {
+				return nil
+			}
+		case <-expire:
+			return nil
+		}
 	}
 }

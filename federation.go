@@ -63,3 +63,39 @@ func federationDialer(url string) (metasched.Conn, error) {
 	}
 	return &federationConn{c: c}, nil
 }
+
+// fedEventStream adapts a client push Subscription to the scheduler's
+// EventStream; closing tears down both the subscription and its client.
+type fedEventStream struct {
+	st *Subscription
+	c  *Client
+}
+
+func (f *fedEventStream) Events() <-chan Event { return f.st.Events() }
+
+func (f *fedEventStream) Close() error {
+	err := f.st.Close()
+	// The event channel closes once the subscription's pump goroutine has
+	// fully stopped; only then is the client safe to tear down.
+	for range f.st.Events() {
+	}
+	f.c.Close()
+	return err
+}
+
+// federationEventDialer subscribes the meta-scheduler to a peer's /ws
+// under the owner's delegated session, so forwarded jobs report their
+// transitions by push instead of being batch-polled. An error (peer
+// without /ws, typically) makes the scheduler fall back to polling.
+func federationEventDialer(rpcURL, token, query string) (metasched.EventStream, error) {
+	c, err := Dial(rpcURL, WithTimeout(5*time.Second), WithSession(token), WithMaxConns(2))
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.Subscribe(query)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &fedEventStream{st: st, c: c}, nil
+}

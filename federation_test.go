@@ -288,10 +288,12 @@ func bootFederation(t *testing.T, n int, mutate func(i int, cfg *Config)) []*Ser
 }
 
 // waitPeersConverged blocks until every federated member's peer table
-// sees all the other federated members.
+// sees all the other federated members. Station gossip rides
+// unacknowledged UDP, so a publish can be lost under load (the race
+// detector makes this common); keep republishing while waiting.
 func waitPeersConverged(t *testing.T, servers []*Server) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(30 * time.Second)
 	for _, srv := range servers {
 		if srv.Federation == nil {
 			continue
@@ -300,7 +302,10 @@ func waitPeersConverged(t *testing.T, servers []*Server) {
 			if time.Now().After(deadline) {
 				t.Fatalf("%s sees %d peers", srv.Name(), srv.Federation.Stats().Peers)
 			}
-			time.Sleep(5 * time.Millisecond)
+			for _, s := range servers {
+				s.PublishServices()
+			}
+			time.Sleep(100 * time.Millisecond)
 		}
 	}
 }

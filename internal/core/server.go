@@ -19,6 +19,7 @@ import (
 	"clarens/internal/acl"
 	"clarens/internal/db"
 	"clarens/internal/pki"
+	"clarens/internal/pubsub"
 	"clarens/internal/rpc"
 	"clarens/internal/rpc/jsonrpc"
 	"clarens/internal/rpc/soaprpc"
@@ -26,6 +27,7 @@ import (
 	"clarens/internal/session"
 	"clarens/internal/telemetry"
 	"clarens/internal/vo"
+	"clarens/internal/ws"
 )
 
 // Config configures a Server.
@@ -120,6 +122,12 @@ type Server struct {
 	httpSrv  *http.Server
 	listener net.Listener
 
+	events *pubsub.Bus
+
+	wsMu     sync.Mutex
+	wsConns  map[*ws.Conn]struct{}
+	wsClosed bool
+
 	started time.Time
 }
 
@@ -154,9 +162,11 @@ func NewServer(cfg Config) (*Server, error) {
 		telemetry:  telemetry.New(),
 		requestLog: cfg.RequestLog,
 		mux:        http.NewServeMux(),
+		events:     pubsub.New(),
 		started:    time.Now(),
 	}
 	s.stats.StartTime = s.started
+	s.events.Instrument(s.telemetry)
 	s.registerBuiltinInterceptors()
 	s.telemetry.RegisterGauge("clarens.core.sessions", "Active sessions.",
 		func() float64 { return float64(s.sessions.Count()) })
@@ -585,8 +595,12 @@ func (s *Server) URL() string {
 // RPCPath returns the configured POST endpoint path.
 func (s *Server) RPCPath() string { return s.cfg.RPCPath }
 
-// Close shuts the server down and closes the database.
+// Close shuts the server down and closes the database. Live WebSocket
+// sessions are told the server is going away (a "closing" frame) before
+// the bus and listener are torn down.
 func (s *Server) Close() error {
+	s.closeWS()
+	s.events.Close()
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
 	}

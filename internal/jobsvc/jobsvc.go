@@ -35,6 +35,7 @@ import (
 	"clarens/internal/core"
 	"clarens/internal/monalisa"
 	"clarens/internal/pki"
+	"clarens/internal/pubsub"
 	"clarens/internal/rpc"
 	"clarens/internal/telemetry"
 )
@@ -566,6 +567,7 @@ func (s *Service) recover() error {
 				}
 				s.cancelCount++
 				s.notifyDone(&j)
+				s.publishState(&j, j.State, 0)
 			} else if j.Attempts <= j.MaxRetries {
 				j.State = StateQueued
 				j.Error = fmt.Sprintf("attempt %d interrupted by server restart; re-queued", j.Attempts)
@@ -573,6 +575,7 @@ func (s *Service) recover() error {
 					return err
 				}
 				s.pushQueue(&j)
+				s.publishState(&j, StateQueued, 0)
 			} else {
 				j.State = StateFailed
 				j.Finished = time.Now()
@@ -582,6 +585,7 @@ func (s *Service) recover() error {
 				}
 				s.failedCount++
 				s.notifyDone(&j)
+				s.publishState(&j, j.State, 0)
 			}
 		}
 		return nil
@@ -696,10 +700,69 @@ func (s *Service) SubmitTraced(owner pki.DN, trace, command string, priority, ma
 	return j, nil
 }
 
-// logEvent emits one structured lifecycle entry (nil-safe); dur carries
-// the transition's duration where one is meaningful (queue wait for
-// running, run time for terminal states).
+// publishState announces one job state transition on the server's event
+// bus (the push plane behind /ws): tagged for query matching and owner
+// scoping, carrying the job's trace ID. Publishing never blocks, so it
+// is safe under s.mu.
+func (s *Service) publishState(j *Job, state string, dur time.Duration) {
+	tags := map[string]string{
+		"service": "job",
+		"job_id":  j.ID,
+		"owner":   j.Owner,
+		"state":   state,
+	}
+	if j.Peer != "" {
+		tags["peer"] = j.Peer
+	}
+	data := map[string]any{
+		"command":  j.Command,
+		"attempts": j.Attempts,
+	}
+	if Terminal(state) {
+		data["exit_code"] = j.ExitCode
+		if j.Error != "" {
+			data["error"] = j.Error
+		}
+	}
+	if dur > 0 {
+		data["dur_s"] = dur.Seconds()
+	}
+	s.srv.Events().Publish(pubsub.Event{
+		Type:  "job.state",
+		Trace: j.Trace,
+		Tags:  tags,
+		Data:  data,
+	})
+}
+
+// publishArtifact announces a staged artifact reference on the event
+// bus, so result consumers can start fetching without polling
+// job.output. Callers hold s.mu (publishing never blocks).
+func (s *Service) publishArtifact(j *Job, a Artifact) {
+	s.srv.Events().Publish(pubsub.Event{
+		Type:  "job.artifact",
+		Trace: j.Trace,
+		Tags: map[string]string{
+			"service": "job",
+			"job_id":  j.ID,
+			"owner":   j.Owner,
+			"name":    a.Name,
+		},
+		Data: map[string]any{
+			"path":    a.Path,
+			"size":    a.Size,
+			"md5":     a.MD5,
+			"partial": a.Partial,
+		},
+	})
+}
+
+// logEvent emits one structured lifecycle entry (nil-safe) and mirrors
+// the transition onto the event bus; dur carries the transition's
+// duration where one is meaningful (queue wait for running, run time
+// for terminal states).
 func (s *Service) logEvent(j *Job, state string, dur time.Duration) {
+	s.publishState(j, state, dur)
 	if s.events == nil {
 		return
 	}
@@ -753,6 +816,7 @@ func (s *Service) Cancel(id string) (bool, error) {
 			return false, err
 		}
 		s.notifyDone(j)
+		s.publishState(j, StateCancelled, 0)
 		s.mu.Unlock()
 		return true, nil
 	case StateRunning:
@@ -882,6 +946,7 @@ func (s *Service) ClaimForward(max int, peer string) []*Job {
 		s.remoteCount++
 		claimed[it.id] = true
 		out = append(out, j)
+		s.publishState(j, StateRemote, 0)
 	}
 	if len(claimed) > 0 {
 		kept := s.queue[:0]
@@ -941,6 +1006,7 @@ func (s *Service) RequeueLocal(id, reason string) error {
 		}
 		s.cancelCount++
 		s.notifyDone(j)
+		s.publishState(j, StateCancelled, 0)
 		return nil
 	}
 	j.State = StateQueued
@@ -950,6 +1016,7 @@ func (s *Service) RequeueLocal(id, reason string) error {
 	}
 	s.pushQueue(j)
 	s.cond.Signal()
+	s.publishState(j, StateQueued, 0)
 	return nil
 }
 
@@ -994,6 +1061,7 @@ func (s *Service) CompleteRemote(id, state string, res ExecResult, errMsg string
 		return err
 	}
 	s.notifyDone(j)
+	s.publishState(j, state, 0)
 	return nil
 }
 
@@ -1133,6 +1201,9 @@ func (s *Service) applyResult(j *Job, res ExecResult) {
 	j.Artifacts = res.Artifacts
 	j.ExitCode = res.ExitCode
 	j.LocalUser = res.LocalUser
+	for _, a := range j.Artifacts {
+		s.publishArtifact(j, a)
+	}
 }
 
 // Delete removes a terminal job record together with its staged artifact
@@ -1222,6 +1293,8 @@ func (s *Service) finish(j *Job, res ExecResult, execErr error) {
 		}
 		s.logEvent(j, j.State, run)
 		s.notifyDone(j)
+	} else if j.State == StateQueued {
+		s.publishState(j, StateQueued, 0)
 	}
 	// A finished job frees quota; wake workers parked on fair share, and
 	// a requeued job needs a worker too.
@@ -1311,11 +1384,10 @@ func (s *Service) metricsLoop() {
 
 func (s *Service) publishGauges() {
 	sn := s.Stats()
-	// Canonical parameter keys follow the unified clarens.<subsystem>.<name>
-	// scheme shared by every publishing subsystem; the bare legacy keys
-	// are kept as aliases for one release so existing station dashboards
-	// keep working, and will be dropped next release.
-	params := make(map[string]float64, 20)
+	// Parameter keys follow the unified clarens.<subsystem>.<name> scheme
+	// shared by every publishing subsystem (the bare legacy aliases were
+	// dropped after their one-release grace period).
+	params := make(map[string]float64, 10)
 	for name, v := range map[string]float64{
 		"queued":         float64(sn.Queued),
 		"running":        float64(sn.Running),
@@ -1329,7 +1401,6 @@ func (s *Service) publishGauges() {
 		"artifact_gc":    float64(sn.ArtifactGC),
 	} {
 		params["clarens.job."+name] = v
-		params[name] = v // deprecated alias
 	}
 	s.metrics.Publish(&monalisa.Record{
 		Farm:    s.name,

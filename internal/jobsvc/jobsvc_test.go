@@ -526,7 +526,7 @@ func TestMetricsGauges(t *testing.T) {
 		g.mu.Lock()
 		defer g.mu.Unlock()
 		for _, p := range g.recs {
-			if p["done"] == 1 {
+			if p["clarens.job.done"] == 1 {
 				return true
 			}
 		}
@@ -537,7 +537,7 @@ func TestMetricsGauges(t *testing.T) {
 	g.mu.Lock()
 	last := g.recs[len(g.recs)-1]
 	g.mu.Unlock()
-	if last["done"] != 1 || last["workers"] != 1 || last["throughput"] <= 0 {
+	if last["clarens.job.done"] != 1 || last["clarens.job.workers"] != 1 || last["clarens.job.throughput"] <= 0 {
 		t.Errorf("final gauges = %v", last)
 	}
 }

@@ -20,11 +20,11 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"clarens/internal/core"
 	"clarens/internal/pki"
+	"clarens/internal/pubsub"
 	"clarens/internal/rpc"
 )
 
@@ -46,18 +46,20 @@ const DefaultTTL = 24 * time.Hour
 // MaxBody bounds a message body.
 const MaxBody = 256 << 10
 
+// EventDelivered is the bus event type published for every queued
+// message, tagged to/from; message.wait parks on it instead of a
+// bespoke waiter list.
+const EventDelivered = "message.delivered"
+
 // Service is the store-and-forward messaging service.
 type Service struct {
 	srv *core.Server
 	TTL time.Duration
-
-	mu      sync.Mutex
-	waiters map[string][]chan struct{} // recipient DN -> wakeups
 }
 
 // New creates the messaging service.
 func New(srv *core.Server) *Service {
-	return &Service{srv: srv, TTL: DefaultTTL, waiters: make(map[string][]chan struct{})}
+	return &Service{srv: srv, TTL: DefaultTTL}
 }
 
 // Name implements core.Service.
@@ -133,18 +135,14 @@ func (s *Service) Send(from, to pki.DN, subject, body string) (string, error) {
 	if err := s.srv.Store().PutJSON(bucket, msgKey(m.To, m.Sent, m.ID), &m); err != nil {
 		return "", err
 	}
-	s.wake(m.To)
+	// Announce on the event bus: wakes parked message.wait calls and
+	// feeds /ws subscribers (delivery is scoped to the to/from DNs).
+	s.srv.Events().Publish(pubsub.Event{
+		Type: EventDelivered,
+		Tags: map[string]string{"service": "message", "to": m.To, "from": m.From},
+		Data: map[string]any{"id": m.ID, "subject": m.Subject},
+	})
 	return m.ID, nil
-}
-
-func (s *Service) wake(to string) {
-	s.mu.Lock()
-	ws := s.waiters[to]
-	delete(s.waiters, to)
-	s.mu.Unlock()
-	for _, ch := range ws {
-		close(ch)
-	}
 }
 
 // Queue returns up to max queued messages for dn, oldest first (0 = all).
@@ -253,46 +251,65 @@ func (s *Service) wait(ctx *core.Context, p core.Params) (any, error) {
 		timeoutMS = 120000
 	}
 	deadline := time.Now().Add(time.Duration(timeoutMS) * time.Millisecond)
+	// Fast path: messages already queued are returned without arming any
+	// waiter state — nothing to register, nothing to leak.
+	msgs, err := s.Queue(ctx.DN, max)
+	if err != nil {
+		return nil, err
+	}
+	if len(msgs) > 0 {
+		return messageStructs(msgs), nil
+	}
+	// Park on the event bus. Subscribing BEFORE the re-check closes the
+	// old missed-wakeup window: a message landing between the fast path
+	// and here is either seen by the re-check or delivered on the
+	// subscription — never both missed. Cancel on every exit, so no
+	// waiter outlives its call (the old waiter list leaked an armed
+	// channel whenever the re-check returned messages).
+	dn := ctx.DN.String()
+	sub := s.srv.Events().Subscribe("message.wait:"+dn, func(ev *pubsub.Event) bool {
+		return ev.Type == EventDelivered && ev.Tags["to"] == dn
+	}, 16)
+	defer sub.Cancel()
 	for {
 		msgs, err := s.Queue(ctx.DN, max)
 		if err != nil {
 			return nil, err
 		}
 		if len(msgs) > 0 {
-			out := make([]any, len(msgs))
-			for i, m := range msgs {
-				out[i] = messageStruct(m)
-			}
-			return out, nil
+			return messageStructs(msgs), nil
 		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			return []any{}, nil
 		}
-		// Register a waiter before re-checking to avoid missed wakeups.
-		ch := make(chan struct{})
-		s.mu.Lock()
-		s.waiters[ctx.DN.String()] = append(s.waiters[ctx.DN.String()], ch)
-		s.mu.Unlock()
-		// Re-check: a message may have landed between Queue and register.
-		if msgs, _ := s.Queue(ctx.DN, max); len(msgs) > 0 {
-			out := make([]any, len(msgs))
-			for i, m := range msgs {
-				out[i] = messageStruct(m)
-			}
-			return out, nil
-		}
+		timer := time.NewTimer(remaining)
 		select {
-		case <-ch:
-		case <-time.After(remaining):
+		case _, ok := <-sub.Events():
+			timer.Stop()
+			if !ok {
+				// Bus closed: the server is shutting down; answer like a
+				// timeout so clients simply retry.
+				return []any{}, nil
+			}
+		case <-timer.C:
 			return []any{}, nil
 		case <-ctx.Done():
 			// Request cancelled or method deadline hit mid-poll: end the
 			// long poll with the same empty answer as a timeout, so
 			// clients that outlive the server-side bound simply retry.
+			timer.Stop()
 			return []any{}, nil
 		}
 	}
+}
+
+func messageStructs(msgs []Message) []any {
+	out := make([]any, len(msgs))
+	for i, m := range msgs {
+		out[i] = messageStruct(m)
+	}
+	return out
 }
 
 func (s *Service) ack(ctx *core.Context, p core.Params) (any, error) {

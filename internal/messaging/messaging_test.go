@@ -225,6 +225,27 @@ func TestWaitReturnsImmediatelyWhenQueued(t *testing.T) {
 	}
 }
 
+// The send-before-wait fast path must answer without arming a bus
+// subscription, and a parked wait must cancel its subscription on the
+// way out — the old waiter list leaked an armed channel whenever the
+// re-check found messages.
+func TestWaitLeavesNoSubscriberBehind(t *testing.T) {
+	f := newFixture(t)
+	base := f.srv.Events().Subscribers()
+	f.call(t, userDN, "message.send", jobDN.String(), "queued-first", "")
+	if resp := f.call(t, jobDN, "message.wait", 0, 5000); len(resp.Result.([]any)) != 1 {
+		t.Fatalf("wait = %#v", resp.Result)
+	}
+	if n := f.srv.Events().Subscribers(); n != base {
+		t.Errorf("fast-path wait armed %d subscription(s)", n-base)
+	}
+	// A wait that parks and times out must clean up too.
+	f.call(t, userDN, "message.wait", 0, 50)
+	if n := f.srv.Events().Subscribers(); n != base {
+		t.Errorf("timed-out wait leaked %d subscription(s)", n-base)
+	}
+}
+
 func TestTTLExpiry(t *testing.T) {
 	f := newFixture(t)
 	f.svc.TTL = 10 * time.Millisecond

@@ -48,6 +48,7 @@ import (
 	"clarens/internal/jobsvc"
 	"clarens/internal/pki"
 	"clarens/internal/proxysvc"
+	"clarens/internal/pubsub"
 	"clarens/internal/rpc"
 )
 
@@ -82,6 +83,20 @@ type Conn interface {
 
 // Dialer opens a Conn to a peer RPC endpoint URL.
 type Dialer func(url string) (Conn, error)
+
+// EventStream is a live push subscription to a peer's event bus; the
+// channel closes when the subscription is torn down.
+type EventStream interface {
+	Events() <-chan pubsub.Event
+	Close() error
+}
+
+// EventDialer opens a push subscription to the /ws endpoint of the
+// server at rpcURL, authenticated by the delegated session token and
+// filtered by query. An error means the peer has no push plane (no /ws
+// endpoint, or the dial failed); the scheduler then keeps batch-polling
+// that peer as before.
+type EventDialer func(rpcURL, token, query string) (EventStream, error)
 
 // PeerSource lists live peer job services (implemented by
 // discovery.Service).
@@ -123,6 +138,17 @@ type Config struct {
 	// PenaltyCycles is how many cycles a peer sits out after a failed
 	// forward or delegation handoff (default 5).
 	PenaltyCycles int
+	// EventDial, when set, lets the watch loop subscribe to peer job
+	// events over /ws instead of batch-polling job.status every cycle:
+	// push-covered jobs are only polled once when the subscription is
+	// established, once when a terminal event arrives (to pull the
+	// result back), and on the safety-net interval. Nil keeps the pure
+	// polling behavior.
+	EventDial EventDialer
+	// WatchSafetyInterval is how often a push-covered remote job is
+	// still status-polled as a safety net against missed events
+	// (default 15x PollInterval, min 2s).
+	WatchSafetyInterval time.Duration
 }
 
 func (c *Config) fill() {
@@ -145,6 +171,12 @@ func (c *Config) fill() {
 	}
 	if c.PenaltyCycles <= 0 {
 		c.PenaltyCycles = 5
+	}
+	if c.WatchSafetyInterval <= 0 {
+		c.WatchSafetyInterval = 15 * c.PollInterval
+		if c.WatchSafetyInterval < 2*time.Second {
+			c.WatchSafetyInterval = 2 * time.Second
+		}
 	}
 }
 
@@ -177,6 +209,9 @@ type Stats struct {
 	PulledBack    uint64 // remote results finalized locally
 	Fallbacks     uint64 // jobs returned to the local queue after a failure
 	ArtifactBytes uint64 // artifact bytes fetched from peers and re-staged
+	StatusRPCs    uint64 // job.status calls issued by the watch loop
+	PushEvents    uint64 // peer job events received over push subscriptions
+	PushWatches   int    // live peer push subscriptions
 }
 
 // Scheduler is the per-server federated meta-scheduler.
@@ -195,11 +230,30 @@ type Scheduler struct {
 	sessions  map[string]string   // peer name + "|" + owner DN -> delegated session
 	failPolls map[string]int      // local job id -> consecutive failed watch polls
 	orphans   map[string][]orphan // endpoint URL -> reclaimed remote copies to cancel
+	watches   map[watchKey]*peerWatch
+	noWS      map[string]time.Time // endpoint URL -> next push-dial retry
+	lastPoll  map[string]time.Time // local job id -> last watch status poll
 	stats     Stats
 
+	wakeCh  chan struct{} // push events nudge the loop to run a cycle now
 	stopCh  chan struct{}
 	stopped bool
 	wg      sync.WaitGroup
+}
+
+// watchKey identifies one push subscription: the peer endpoint plus the
+// delegated session it authenticates as (one watch per owner per peer —
+// the peer's owner scoping admits exactly that owner's job events).
+type watchKey struct{ url, token string }
+
+// peerWatch is one live push subscription to a peer's event bus.
+type peerWatch struct {
+	stream EventStream
+
+	mu      sync.Mutex
+	ready   map[string]bool // remote job ids with an unconsumed terminal event
+	pollAll bool            // stream ended: next cycle polls everything once
+	lost    bool            // stream ended permanently; prune and re-dial
 }
 
 // New builds a scheduler and installs it as the job service's remote
@@ -228,6 +282,10 @@ func New(jobs *jobsvc.Service, peers PeerSource, deleg Delegator, dial Dialer, l
 		sessions:  make(map[string]string),
 		failPolls: make(map[string]int),
 		orphans:   make(map[string][]orphan),
+		watches:   make(map[watchKey]*peerWatch),
+		noWS:      make(map[string]time.Time),
+		lastPoll:  make(map[string]time.Time),
+		wakeCh:    make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
 	}
 	jobs.SetRemoteController(s)
@@ -255,7 +313,14 @@ func (s *Scheduler) Stop() {
 	}
 	s.stopped = true
 	close(s.stopCh)
+	watches := s.watches
+	s.watches = make(map[watchKey]*peerWatch)
 	s.mu.Unlock()
+	// Close push streams first so their runWatch goroutines unblock and
+	// the wg.Wait below can finish.
+	for _, w := range watches {
+		w.stream.Close()
+	}
 	s.wg.Wait()
 	s.mu.Lock()
 	for _, c := range s.conns {
@@ -276,6 +341,7 @@ func (s *Scheduler) Stats() Stats {
 			st.Peers++
 		}
 	}
+	st.PushWatches = len(s.watches)
 	return st
 }
 
@@ -289,7 +355,19 @@ func (s *Scheduler) loop() {
 			return
 		case <-t.C:
 			s.Kick()
+		case <-s.wakeCh:
+			// A push event (usually a terminal state) arrived: react now
+			// instead of waiting out the poll interval.
+			s.Kick()
 		}
+	}
+}
+
+// wake nudges the control loop to run a cycle as soon as possible.
+func (s *Scheduler) wake() {
+	select {
+	case s.wakeCh <- struct{}{}:
+	default:
 	}
 }
 
@@ -422,18 +500,22 @@ func (s *Scheduler) setAlive(p *peer, alive bool) {
 	s.mu.Unlock()
 }
 
-// watchRemote polls forwarded jobs on their executing peers, pulls back
-// terminal results, and falls back to local execution when a peer stops
-// answering.
+// watchRemote tracks forwarded jobs on their executing peers, pulls
+// back terminal results, and falls back to local execution when a peer
+// stops answering. With a push subscription (Config.EventDial) to a
+// peer, its jobs are status-polled only when an event says something
+// happened (plus a coarse safety-net sweep); without one — or when the
+// peer lacks /ws — every job is batch-polled each cycle as before.
 func (s *Scheduler) watchRemote() {
 	remote := s.jobs.RemoteJobs()
 	if len(remote) == 0 {
+		s.pruneWatches(nil)
 		return
 	}
-	// Group by (endpoint, delegated session): each group is one batched
-	// status sweep under the owner's identity.
-	type groupKey struct{ url, token string }
-	groups := make(map[groupKey][]*jobsvc.Job)
+	// Group by (endpoint, delegated session): each group is one push
+	// subscription, and one batched status sweep under the owner's
+	// identity for whatever jobs are due.
+	groups := make(map[watchKey][]*jobsvc.Job)
 	for _, j := range remote {
 		if j.RemoteID == "" || j.PeerURL == "" {
 			// A remote record with no peer binding can only predate this
@@ -446,27 +528,48 @@ func (s *Scheduler) watchRemote() {
 			s.fallback(j, "recovered remote record with no peer binding; re-queued locally")
 			continue
 		}
-		k := groupKey{j.PeerURL, j.PeerSession}
+		k := watchKey{j.PeerURL, j.PeerSession}
 		groups[k] = append(groups[k], j)
 	}
+	s.pruneWatches(groups)
 	for k, jobs := range groups {
+		// Establish the push subscription BEFORE polling: any transition
+		// after this point raises an event, and the initial poll below
+		// covers everything that happened before it. No gap.
+		w := s.ensureWatch(k)
+		due := s.pollDue(w, jobs)
+		if len(due) == 0 {
+			continue
+		}
 		c, err := s.conn(k.url)
 		if err != nil {
-			s.failGroup(jobs, err)
+			s.failGroup(due, err)
 			continue
 		}
-		calls := make([]Call, len(jobs))
-		for i, j := range jobs {
+		calls := make([]Call, len(due))
+		for i, j := range due {
 			calls[i] = Call{Method: "job.status", Params: []any{j.RemoteID}, Trace: j.Trace}
 		}
+		s.mu.Lock()
+		s.stats.StatusRPCs += uint64(len(calls))
+		s.mu.Unlock()
 		results, err := c.Batch(k.token, calls)
-		if err != nil || len(results) != len(jobs) {
+		if err != nil || len(results) != len(due) {
 			s.dropConn(k.url)
-			s.failGroup(jobs, err)
+			s.failGroup(due, err)
 			continue
 		}
+		now := time.Now()
 		for i, r := range results {
-			j := jobs[i]
+			j := due[i]
+			s.mu.Lock()
+			s.lastPoll[j.ID] = now
+			s.mu.Unlock()
+			if w != nil {
+				w.mu.Lock()
+				delete(w.ready, j.RemoteID)
+				w.mu.Unlock()
+			}
 			if r.Err != nil {
 				if isAuthFault(r.Err) {
 					// The delegated session expired while the job was
@@ -490,6 +593,167 @@ func (s *Scheduler) watchRemote() {
 			}
 			s.pullBack(c, k.token, j, state)
 		}
+	}
+}
+
+// ensureWatch returns the live push subscription for a group, dialing
+// one if the peer supports it. nil means no push coverage this cycle
+// (no EventDialer configured, the peer has no /ws, or the last dial
+// failed and its backoff has not elapsed) — the caller then polls every
+// job in the group.
+func (s *Scheduler) ensureWatch(k watchKey) *peerWatch {
+	if s.cfg.EventDial == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	if w, ok := s.watches[k]; ok {
+		w.mu.Lock()
+		lost := w.lost
+		w.mu.Unlock()
+		if !lost {
+			s.mu.Unlock()
+			return w
+		}
+		delete(s.watches, k)
+	}
+	if until, ok := s.noWS[k.url]; ok {
+		if time.Now().Before(until) {
+			s.mu.Unlock()
+			return nil
+		}
+		delete(s.noWS, k.url)
+	}
+	s.mu.Unlock()
+
+	st, err := s.cfg.EventDial(k.url, k.token, "type=job.state")
+	if err != nil {
+		// Peer without a push plane (or dial failure): back off before
+		// probing again, and keep batch-polling in the meantime.
+		backoff := 30 * s.cfg.PollInterval
+		if backoff < 5*time.Second {
+			backoff = 5 * time.Second
+		}
+		s.mu.Lock()
+		s.noWS[k.url] = time.Now().Add(backoff)
+		s.mu.Unlock()
+		s.logger.Printf("metasched: no push events from %s (%v); falling back to polling", k.url, err)
+		return nil
+	}
+	w := &peerWatch{stream: st, ready: make(map[string]bool)}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		st.Close()
+		return nil
+	}
+	if existing, ok := s.watches[k]; ok {
+		s.mu.Unlock()
+		st.Close()
+		return existing
+	}
+	s.watches[k] = w
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.runWatch(w)
+	s.logger.Printf("metasched: watching %s over push events", k.url)
+	return w
+}
+
+// runWatch drains one push subscription, marking jobs whose terminal
+// transition arrived so the next cycle polls exactly those, and nudging
+// the control loop awake for each.
+func (s *Scheduler) runWatch(w *peerWatch) {
+	defer s.wg.Done()
+	for ev := range w.stream.Events() {
+		s.mu.Lock()
+		s.stats.PushEvents++
+		s.mu.Unlock()
+		if ev.Type != "job.state" {
+			// Lag markers and anything else we cannot attribute to a
+			// specific job: poll the whole group next cycle to resync.
+			w.mu.Lock()
+			w.pollAll = true
+			w.mu.Unlock()
+			s.wake()
+			continue
+		}
+		rid := ev.Tags["job_id"]
+		if rid == "" {
+			continue
+		}
+		state := ev.Tags["state"]
+		if !jobsvc.Terminal(state) {
+			continue // progress is nice to know; only terminal states need a pull
+		}
+		w.mu.Lock()
+		w.ready[rid] = true
+		w.mu.Unlock()
+		s.wake()
+	}
+	// Stream over: whether the peer restarted or the server is shutting
+	// down, stop trusting push coverage for this group.
+	w.mu.Lock()
+	w.lost = true
+	w.pollAll = true
+	w.mu.Unlock()
+	s.wake()
+}
+
+// pollDue selects which of a group's jobs this cycle's status sweep
+// should cover. Without push coverage (w == nil) that is all of them;
+// with it, the jobs whose terminal event arrived, jobs never polled
+// since forwarding (covers transitions that predate the subscription),
+// and jobs past the safety-net interval.
+func (s *Scheduler) pollDue(w *peerWatch, jobs []*jobsvc.Job) []*jobsvc.Job {
+	if w == nil {
+		return jobs
+	}
+	w.mu.Lock()
+	pollAll := w.pollAll
+	w.pollAll = false
+	ready := make(map[string]bool, len(w.ready))
+	for id := range w.ready {
+		ready[id] = true
+	}
+	w.mu.Unlock()
+	if pollAll {
+		return jobs
+	}
+	now := time.Now()
+	var due []*jobsvc.Job
+	s.mu.Lock()
+	for _, j := range jobs {
+		last, polled := s.lastPoll[j.ID]
+		if ready[j.RemoteID] || !polled || now.Sub(last) >= s.cfg.WatchSafetyInterval {
+			due = append(due, j)
+		}
+	}
+	s.mu.Unlock()
+	return due
+}
+
+// pruneWatches closes push subscriptions for groups that no longer have
+// remote jobs (and dead streams), so watches do not outlive the work
+// they cover.
+func (s *Scheduler) pruneWatches(groups map[watchKey][]*jobsvc.Job) {
+	var drop []*peerWatch
+	s.mu.Lock()
+	for k, w := range s.watches {
+		w.mu.Lock()
+		lost := w.lost
+		w.mu.Unlock()
+		if lost || len(groups[k]) == 0 {
+			delete(s.watches, k)
+			drop = append(drop, w)
+		}
+	}
+	s.mu.Unlock()
+	for _, w := range drop {
+		w.stream.Close()
 	}
 }
 
@@ -539,6 +803,7 @@ func (s *Scheduler) pullBack(c Conn, token string, j *jobsvc.Job, state string) 
 	s.mu.Lock()
 	s.stats.PulledBack++
 	delete(s.failPolls, j.ID)
+	delete(s.lastPoll, j.ID)
 	s.mu.Unlock()
 }
 
@@ -749,6 +1014,7 @@ func (s *Scheduler) fallback(j *jobsvc.Job, reason string) {
 	s.mu.Lock()
 	s.stats.Fallbacks++
 	delete(s.failPolls, j.ID)
+	delete(s.lastPoll, j.ID)
 	s.mu.Unlock()
 }
 

@@ -1,0 +1,33 @@
+package pubsub
+
+// Frame is the JSON message exchanged over the /ws endpoint, shared by
+// the server handler and the Go client.
+//
+// Client -> server ops: "subscribe" (ID + Query), "unsubscribe" (ID),
+// "ping" (ID optional).
+// Server -> client ops: "subscribed"/"unsubscribed" (ack, echoes ID),
+// "event" (ID + Event), "lagged" (ID + Dropped: the subscription shed
+// events), "pong", "error" (Error, echoes ID when known), and
+// "closing" (server shutdown; reconnect later).
+type Frame struct {
+	Op      string `json:"op"`
+	ID      string `json:"id,omitempty"`
+	Query   string `json:"query,omitempty"`
+	Event   *Event `json:"event,omitempty"`
+	Dropped uint64 `json:"dropped,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Frame op values.
+const (
+	OpSubscribe    = "subscribe"
+	OpUnsubscribe  = "unsubscribe"
+	OpPing         = "ping"
+	OpSubscribed   = "subscribed"
+	OpUnsubscribed = "unsubscribed"
+	OpPong         = "pong"
+	OpEvent        = "event"
+	OpLagged       = "lagged"
+	OpError        = "error"
+	OpClosing      = "closing"
+)

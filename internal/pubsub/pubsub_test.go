@@ -1,0 +1,221 @@
+package pubsub
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery("type=job.state owner='/O=grid/OU=People/CN=Alice A' job_id=j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &Event{Type: "job.state", Tags: map[string]string{
+		"owner": "/O=grid/OU=People/CN=Alice A", "job_id": "j1",
+	}}
+	if !q.Match(ev) {
+		t.Errorf("query %q should match %+v", q, ev)
+	}
+	ev.Tags["job_id"] = "j2"
+	if q.Match(ev) {
+		t.Error("different job_id must not match")
+	}
+}
+
+func TestQueryTypeWildcardAndOr(t *testing.T) {
+	q, err := ParseQuery("type=job.* AND state=done state=failed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for state, want := range map[string]bool{"done": true, "failed": true, "running": false} {
+		ev := &Event{Type: "job.state", Tags: map[string]string{"state": state}}
+		if got := q.Match(ev); got != want {
+			t.Errorf("state=%s: match=%v, want %v", state, got, want)
+		}
+	}
+	if q.Match(&Event{Type: "message.delivered", Tags: map[string]string{"state": "done"}}) {
+		t.Error("type prefix must filter non-job events")
+	}
+}
+
+func TestQueryModules(t *testing.T) {
+	for query, want := range map[string]int{
+		"type=job.state":                   1,
+		"service=job":                      1,
+		"type=job.* service=message":       2,
+		"owner=x":                          0, // unpinnable: no module term
+		"type=*":                           0, // unpinnable: wildcard before the dot
+		"type=job.state type=message.*":    2,
+		"type=job.state type=job.artifact": 1,
+	} {
+		q, err := ParseQuery(query)
+		if err != nil {
+			t.Fatalf("%q: %v", query, err)
+		}
+		if got := len(q.Modules()); got != want {
+			t.Errorf("%q: %d modules (%v), want %d", query, got, q.Modules(), want)
+		}
+	}
+}
+
+func TestPublishDelivers(t *testing.T) {
+	b := New()
+	defer b.Close()
+	sub := b.Subscribe("t", func(ev *Event) bool { return ev.Type == "a" }, 4)
+	defer sub.Cancel()
+	b.Publish(Event{Type: "a"})
+	b.Publish(Event{Type: "b"})
+	b.Publish(Event{Type: "a"})
+	var seqs []uint64
+	for i := 0; i < 2; i++ {
+		select {
+		case ev := <-sub.Events():
+			if ev.Type != "a" {
+				t.Fatalf("delivered %q, want only type a", ev.Type)
+			}
+			seqs = append(seqs, ev.Seq)
+		case <-time.After(time.Second):
+			t.Fatal("timed out waiting for delivery")
+		}
+	}
+	if len(seqs) != 2 || seqs[1] <= seqs[0] {
+		t.Errorf("sequence numbers not monotonic: %v", seqs)
+	}
+}
+
+// A slow subscriber loses oldest events, sees a lagged marker with the
+// drop count, and the publisher never blocks.
+func TestSlowSubscriberOverflow(t *testing.T) {
+	b := New()
+	defer b.Close()
+	sub := b.Subscribe("slow", nil, 4)
+	defer sub.Cancel()
+	// Publish far more than the buffer holds; Publish must return
+	// promptly every time even though nothing is draining.
+	const n = 50
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			b.Publish(Event{Type: "e", Tags: map[string]string{"i": fmt.Sprint(i)}})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publisher blocked on a slow subscriber")
+	}
+	var got []Event
+	var lagged *Event
+	timeout := time.After(2 * time.Second)
+drain:
+	for {
+		select {
+		case ev := <-sub.Events():
+			if ev.Type == TypeLagged {
+				ev := ev
+				lagged = &ev
+				break drain
+			}
+			got = append(got, ev)
+		case <-timeout:
+			break drain
+		}
+	}
+	if lagged == nil {
+		t.Fatalf("no lagged marker after overflow (received %d events)", len(got))
+	}
+	dropped, _ := lagged.Data["dropped"].(uint64)
+	if dropped == 0 {
+		t.Fatal("lagged marker carries no drop count")
+	}
+	if sub.Dropped() == 0 {
+		t.Error("Dropped() should report the loss")
+	}
+	if int(dropped)+len(got) > n {
+		t.Errorf("dropped %d + delivered %d exceeds published %d", dropped, len(got), n)
+	}
+}
+
+// Cancelling a subscription while publishers are mid-flight must not
+// panic (send on closed channel) or deadlock. Run with -race.
+func TestUnsubscribeDuringPublish(t *testing.T) {
+	b := New()
+	defer b.Close()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Publish(Event{Type: "e"})
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		sub := b.Subscribe("churn", nil, 2)
+		go func() {
+			for range sub.Events() {
+			}
+		}()
+		sub.Cancel()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestCloseEndsSubscriptions(t *testing.T) {
+	b := New()
+	sub := b.Subscribe("t", nil, 4)
+	b.Publish(Event{Type: "e"})
+	b.Close()
+	// Channel must drain the buffered event then close.
+	deadline := time.After(time.Second)
+	sawEvent := false
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				if !sawEvent {
+					t.Error("buffered event lost on Close")
+				}
+				if b.Subscribers() != 0 {
+					t.Errorf("%d subscribers after Close", b.Subscribers())
+				}
+				// Publish after Close is a no-op, not a panic.
+				b.Publish(Event{Type: "late"})
+				return
+			}
+			if ev.Type == "e" {
+				sawEvent = true
+			}
+		case <-deadline:
+			t.Fatal("subscription channel never closed")
+		}
+	}
+}
+
+func TestSubscribeMatchFilter(t *testing.T) {
+	b := New()
+	defer b.Close()
+	calls := 0
+	sub := b.Subscribe("f", func(ev *Event) bool { calls++; return false }, 4)
+	defer sub.Cancel()
+	b.Publish(Event{Type: "x"})
+	if calls != 1 {
+		t.Errorf("match called %d times, want 1", calls)
+	}
+	select {
+	case ev := <-sub.Events():
+		t.Errorf("filtered event delivered: %+v", ev)
+	case <-time.After(20 * time.Millisecond):
+	}
+}

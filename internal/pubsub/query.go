@@ -1,0 +1,157 @@
+// Event subscription queries. The language is a conjunction of
+// key=value terms separated by whitespace (an optional AND keyword is
+// accepted and ignored):
+//
+//	type=job.state owner='/O=x/OU=People/CN=Joe User'
+//	type=job.* AND job_id=j-42
+//	service=message to='/O=x/CN=Me'
+//
+// The reserved key "type" matches the event type; every other key
+// matches a tag. Values may be single-quoted to include spaces (DNs).
+// A trailing '*' in a value is a prefix wildcard ("job.*" matches
+// job.state and job.artifact). Repeating a key ORs its values; distinct
+// keys AND together. An event matches when every keyed constraint is
+// satisfied.
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Query is a parsed subscription filter.
+type Query struct {
+	raw   string
+	types []string            // any-of patterns for the event type
+	tags  map[string][]string // key -> any-of patterns
+}
+
+// ParseQuery parses the query language described in the package
+// comment. The empty query matches everything (admin-only over /ws).
+func ParseQuery(s string) (*Query, error) {
+	q := &Query{raw: strings.TrimSpace(s), tags: map[string][]string{}}
+	rest := q.raw
+	for {
+		rest = strings.TrimLeft(rest, " \t\n")
+		if rest == "" {
+			return q, nil
+		}
+		// Optional AND connective between terms.
+		if len(rest) >= 3 && strings.EqualFold(rest[:3], "and") &&
+			(len(rest) == 3 || rest[3] == ' ' || rest[3] == '\t') {
+			rest = rest[3:]
+			continue
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("pubsub: bad query term %q (want key=value)", firstToken(rest))
+		}
+		key := rest[:eq]
+		if strings.ContainsAny(key, " \t'") {
+			return nil, fmt.Errorf("pubsub: bad query key %q", key)
+		}
+		rest = rest[eq+1:]
+		var val string
+		if strings.HasPrefix(rest, "'") {
+			end := strings.IndexByte(rest[1:], '\'')
+			if end < 0 {
+				return nil, fmt.Errorf("pubsub: unterminated quote in query %q", s)
+			}
+			val = rest[1 : 1+end]
+			rest = rest[end+2:]
+		} else {
+			n := strings.IndexAny(rest, " \t\n")
+			if n < 0 {
+				val, rest = rest, ""
+			} else {
+				val, rest = rest[:n], rest[n:]
+			}
+		}
+		if val == "" {
+			return nil, fmt.Errorf("pubsub: empty value for query key %q", key)
+		}
+		if key == "type" {
+			q.types = append(q.types, val)
+		} else {
+			q.tags[key] = append(q.tags[key], val)
+		}
+	}
+}
+
+func firstToken(s string) string {
+	if n := strings.IndexAny(s, " \t\n"); n >= 0 {
+		return s[:n]
+	}
+	return s
+}
+
+// Match reports whether ev satisfies every constraint of the query.
+// The lagged marker always matches: a subscriber must see its own gap
+// announcements regardless of filter.
+func (q *Query) Match(ev *Event) bool {
+	if ev.Type == TypeLagged {
+		return true
+	}
+	if len(q.types) > 0 && !anyPattern(q.types, ev.Type) {
+		return false
+	}
+	for key, pats := range q.tags {
+		v, ok := ev.Tags[key]
+		if !ok || !anyPattern(pats, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func anyPattern(pats []string, v string) bool {
+	for _, p := range pats {
+		if matchPattern(p, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchPattern(pat, v string) bool {
+	if strings.HasSuffix(pat, "*") {
+		return strings.HasPrefix(v, pat[:len(pat)-1])
+	}
+	return pat == v
+}
+
+// String returns the original query text.
+func (q *Query) String() string { return q.raw }
+
+// Modules returns the distinct service modules the query provably
+// constrains itself to — the segment before the first '.' of each type
+// pattern plus any exact service= tag values. A pattern that cannot
+// pin down its module (wildcard inside the first segment, or no type /
+// service constraint at all) contributes nothing; callers treat an
+// empty result as "unscoped" and reserve such queries for admins.
+func (q *Query) Modules() []string {
+	set := map[string]bool{}
+	for _, t := range q.types {
+		seg := t
+		if n := strings.IndexByte(seg, '.'); n >= 0 {
+			seg = seg[:n]
+		}
+		if seg == "" || strings.Contains(seg, "*") {
+			return nil // one unpinned pattern makes the whole query unscoped
+		}
+		set[seg] = true
+	}
+	for _, v := range q.tags["service"] {
+		if strings.Contains(v, "*") {
+			return nil
+		}
+		set[v] = true
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,214 @@
+package ws
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer upgrades every request and echoes text/binary messages.
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			op, data, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := conn.WriteMessage(op, data); err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHandshakeAndEcho(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(srv.URL, nil, nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, msg := range []string{"hello", "", strings.Repeat("x", 70000)} {
+		if err := conn.WriteMessage(OpText, []byte(msg)); err != nil {
+			t.Fatal(err)
+		}
+		op, data, err := conn.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op != OpText || string(data) != msg {
+			t.Fatalf("echo of %d bytes came back as op=%d %d bytes", len(msg), op, len(data))
+		}
+	}
+}
+
+func TestHandshakeRejectsPlainGET(t *testing.T) {
+	srv := echoServer(t)
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("plain GET got %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(srv.URL, nil, nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The server's ReadMessage auto-pongs our ping; interleave with a
+	// text message to prove the control frame is absorbed transparently.
+	if err := conn.Ping([]byte("kev")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WriteMessage(OpText, []byte("after-ping")); err != nil {
+		t.Fatal(err)
+	}
+	_, data, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "after-ping" {
+		t.Fatalf("got %q, want the text message (pong absorbed)", data)
+	}
+}
+
+// A fragmented client message must reassemble server-side.
+func TestFragmentationReassembly(t *testing.T) {
+	var got []byte
+	var mu sync.Mutex
+	done := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, data, err := conn.ReadMessage()
+		if err == nil {
+			mu.Lock()
+			got = append([]byte(nil), data...)
+			mu.Unlock()
+		}
+		close(done)
+	}))
+	defer srv.Close()
+	conn, err := Dial(srv.URL, nil, nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Hand-roll two fragments: text frame without FIN, then a
+	// continuation with FIN. Frames are client-to-server, so masked.
+	if err := writeRawFrame(conn, OpText, []byte("hello, "), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRawFrame(conn, OpContinuation, []byte("world"), true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never reassembled the message")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !bytes.Equal(got, []byte("hello, world")) {
+		t.Fatalf("reassembled %q, want %q", got, "hello, world")
+	}
+}
+
+// writeRawFrame emits one masked frame with explicit FIN control —
+// the production writer never fragments, so fragmentation coverage
+// builds its frames by hand (payloads under 126 bytes only).
+func writeRawFrame(c *Conn, opcode byte, payload []byte, fin bool) error {
+	hdr := []byte{opcode, 0x80 | byte(len(payload)), 0x17, 0x2a, 0x09, 0x41}
+	if fin {
+		hdr[0] |= 0x80
+	}
+	masked := make([]byte, len(payload))
+	for i, b := range payload {
+		masked[i] = b ^ hdr[2+i%4]
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(masked)
+	return err
+}
+
+func TestCloseHandshake(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(srv.URL, nil, nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reads after close fail with ErrClosed, not a hang.
+	if _, _, err := conn.ReadMessage(); err == nil {
+		t.Fatal("read after close succeeded")
+	}
+	// Double close is a no-op.
+	if err := conn.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestServerInitiatedClose(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		conn.Close()
+	}))
+	defer srv.Close()
+	conn, err := Dial(srv.URL, nil, nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, _, err := conn.ReadMessage(); err != ErrClosed {
+		t.Fatalf("read after server close: %v, want ErrClosed", err)
+	}
+}
+
+func TestOversizeMessageRejected(t *testing.T) {
+	srv := echoServer(t)
+	conn, err := Dial(srv.URL, nil, nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// The server must refuse a frame beyond MaxMessage instead of
+	// buffering it; our own read then fails (connection torn down).
+	if err := conn.WriteMessage(OpBinary, make([]byte, MaxMessage+1)); err != nil {
+		return // write-side refusal is fine too
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, _, err := conn.ReadMessage(); err == nil {
+		t.Fatal("oversized message echoed back")
+	}
+}
