@@ -22,6 +22,7 @@
 package clarens
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -34,6 +35,7 @@ import (
 
 	"clarens/internal/acl"
 	"clarens/internal/core"
+	"clarens/internal/db"
 	"clarens/internal/discovery"
 	"clarens/internal/fileservice"
 	"clarens/internal/jobsvc"
@@ -88,6 +90,7 @@ type (
 const (
 	AnchorRecover  = core.AnchorRecover
 	AnchorTrace    = core.AnchorTrace
+	AnchorShed     = core.AnchorShed
 	AnchorMetrics  = core.AnchorMetrics
 	AnchorStats    = core.AnchorStats
 	AnchorAuth     = core.AnchorAuth
@@ -134,6 +137,20 @@ type Config struct {
 	// DataDir is the persistent database directory ("" = in-memory; the
 	// paper's restart-surviving sessions need a real directory).
 	DataDir string
+	// DBFsync selects the WAL fsync policy: "always" (every
+	// acknowledged write reaches stable storage before the RPC
+	// returns — survives SIGKILL and power loss), "interval"
+	// (background fsync every DBFsyncInterval, bounding the loss
+	// window), or "never"/"" (OS page cache only, the historical
+	// behaviour).
+	DBFsync string
+	// DBFsyncInterval is the background fsync period under
+	// DBFsync="interval" (default 100ms).
+	DBFsyncInterval time.Duration
+	// MaxInFlight bounds concurrently executing top-level RPCs; beyond
+	// it new calls are shed early with the retryable "overloaded" fault
+	// instead of queueing. Zero means unlimited.
+	MaxInFlight int
 	// AdminDNs statically populates the root admins group on startup.
 	AdminDNs []string
 	// SessionTTL is the session lifetime (default 12h).
@@ -302,8 +319,14 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Name == "" {
 		cfg.Name = "clarens"
 	}
+	syncPolicy, err := db.ParseSyncPolicy(cfg.DBFsync)
+	if err != nil {
+		return nil, err
+	}
 	cs, err := core.NewServer(core.Config{
 		DataDir:          cfg.DataDir,
+		DB:               db.Options{Sync: syncPolicy, SyncInterval: cfg.DBFsyncInterval},
+		MaxInFlight:      cfg.MaxInFlight,
 		AdminDNs:         cfg.AdminDNs,
 		SessionTTL:       cfg.SessionTTL,
 		TLS:              cfg.TLS,
@@ -551,6 +574,7 @@ func NewServer(cfg Config) (*Server, error) {
 			Pressure:     cfg.FederationPressure,
 			PollInterval: cfg.PeerPollInterval,
 			EventDial:    federationEventDialer,
+			Telemetry:    cs.Telemetry(),
 		})
 		if err != nil {
 			return fail(err)
@@ -570,7 +594,7 @@ func NewServer(cfg Config) (*Server, error) {
 				"peers": st.Peers, "forwarded": st.Forwarded, "pulled_back": st.PulledBack,
 				"fallbacks": st.Fallbacks, "artifact_bytes": st.ArtifactBytes,
 				"status_rpcs": st.StatusRPCs, "push_events": st.PushEvents,
-				"push_watches": st.PushWatches,
+				"push_watches": st.PushWatches, "breaker_open": st.BreakerOpen,
 			}
 		})
 		ms.Start()
@@ -811,6 +835,53 @@ func (s *Server) NewSessionFor(dn DN) (*Session, error) {
 // hierarchy path (convenience over Core().MethodACL().Set).
 func (s *Server) GrantMethod(path string, dns []string, groups []string) error {
 	return s.core.MethodACL().Set(path, &acl.ACL{AllowDNs: dns, AllowGroups: groups})
+}
+
+// Shutdown drains the server gracefully, bounded by ctx: stop accepting
+// new RPCs (rejected with the retryable "overloaded" fault so clients
+// fail over to another peer), let in-flight calls finish, stop the
+// federation loop, drain the job workers and checkpoint the queue
+// durably, notify /ws subscribers with a "closing" frame, then compact
+// and close the database. Work that outlives ctx is abandoned to the
+// recovery path (running jobs re-queue on next start); the first error
+// encountered is returned after shutdown completes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// 1. Quiesce the RPC surface while everything below still runs, so
+	// in-flight calls (job.wait, message.wait, ...) complete normally.
+	err := s.core.Drain(ctx)
+	if s.telemetryStop != nil {
+		close(s.telemetryStop)
+		s.telemetryWG.Wait()
+		s.telemetryStop = nil
+	}
+	// 2. Stop the forwarding loop before the workers so no new
+	// delegations race the drain.
+	if s.Federation != nil {
+		s.Federation.Stop()
+	}
+	// 3. Drain workers and make the queue checkpoint durable.
+	if s.Jobs != nil {
+		if derr := s.Jobs.Drain(ctx); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	if s.Discovery != nil {
+		s.Discovery.StopPeriodic()
+	}
+	if s.aggregator != nil {
+		s.aggregator.Close()
+	}
+	if s.publisher != nil {
+		s.publisher.Close()
+	}
+	if s.station != nil {
+		s.station.Close()
+	}
+	// 4. Broadcast "closing" on /ws, stop the listener, compact + close.
+	if cerr := s.core.Shutdown(ctx); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Close shuts everything down.

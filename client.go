@@ -5,16 +5,20 @@ import (
 	"context"
 	"crypto/tls"
 	"crypto/x509"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"clarens/internal/core"
 	"clarens/internal/pki"
+	"clarens/internal/resilience"
 	"clarens/internal/rpc"
 	"clarens/internal/rpc/jsonrpc"
 	"clarens/internal/rpc/soaprpc"
@@ -30,6 +34,8 @@ type Client struct {
 	codec     rpc.Codec
 	transport *http.Transport
 	http      *http.Client
+	retry     resilience.Policy
+	breaker   *resilience.Breaker // nil unless armed via WithBreaker
 
 	sessionMu sync.RWMutex
 	session   string
@@ -70,6 +76,10 @@ type clientOptions struct {
 	trace       string
 	maxConns    int
 	insecureTLS bool
+	attempts    int
+	breaker     bool
+	breakerCfg  resilience.BreakerConfig
+	dial        func(network, addr string) (net.Conn, error)
 }
 
 // WithProtocol selects "xmlrpc" (default), "jsonrpc", or "soap".
@@ -115,11 +125,36 @@ func WithInsecureTLS() ClientOption {
 	return func(o *clientOptions) { o.insecureTLS = true }
 }
 
+// WithRetry bounds the transparent per-call retry budget (default 3
+// attempts). Retries apply to failures the server provably never acted
+// on — dial errors and CodeOverloaded shed/drain faults — plus, for
+// idempotent methods only, ambiguous transport drops mid-call. attempts
+// <= 1 disables retrying entirely.
+func WithRetry(attempts int) ClientOption {
+	return func(o *clientOptions) { o.attempts = attempts }
+}
+
+// WithBreaker arms a client-side circuit breaker over the endpoint:
+// after repeated transport-level failures calls fail fast with
+// resilience.ErrOpen instead of hammering a dead server, and a single
+// probe per cooldown rediscovers recovery. Server faults (the server
+// answered) never count against the breaker.
+func WithBreaker(cfg resilience.BreakerConfig) ClientOption {
+	return func(o *clientOptions) { o.breaker = true; o.breakerCfg = cfg }
+}
+
+// WithDialer substitutes the TCP dial function used for every
+// connection. Chaos tooling plugs a fault-injecting dialer in here; it
+// also serves proxies and test transports.
+func WithDialer(dial func(network, addr string) (net.Conn, error)) ClientOption {
+	return func(o *clientOptions) { o.dial = dial }
+}
+
 // Dial creates a client for the given RPC endpoint URL. The URL may be a
 // server base URL (the standard "/rpc" path is appended) or a full
 // endpoint URL.
 func Dial(url string, opts ...ClientOption) (*Client, error) {
-	o := clientOptions{protocol: "xmlrpc", timeout: 30 * time.Second, maxConns: 128}
+	o := clientOptions{protocol: "xmlrpc", timeout: 30 * time.Second, maxConns: 128, attempts: 3}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -146,6 +181,12 @@ func Dial(url string, opts ...ClientOption) (*Client, error) {
 		MaxConnsPerHost:     0,
 		IdleConnTimeout:     90 * time.Second,
 	}
+	if o.dial != nil {
+		dial := o.dial
+		transport.DialContext = func(_ context.Context, network, addr string) (net.Conn, error) {
+			return dial(network, addr)
+		}
+	}
 	if o.identity != nil || o.rootCAs != nil || o.insecureTLS {
 		tc := &tls.Config{RootCAs: o.rootCAs, InsecureSkipVerify: o.insecureTLS}
 		if o.identity != nil {
@@ -158,10 +199,84 @@ func Dial(url string, opts ...ClientOption) (*Client, error) {
 		codec:     codec,
 		transport: transport,
 		http:      &http.Client{Transport: transport, Timeout: o.timeout},
+		retry:     resilience.Default(classifyCallError),
 		session:   o.session,
 		trace:     o.trace,
 	}
+	if o.attempts > 0 {
+		c.retry.MaxAttempts = o.attempts
+	}
+	if o.breaker {
+		c.breaker = resilience.NewBreaker(o.breakerCfg)
+	}
 	return c, nil
+}
+
+// classifyCallError maps one attempt's failure to a retry outcome. A
+// server fault means the request executed: never retried, except for
+// CodeOverloaded, which the server raises strictly before execution.
+// Dial failures likewise never reached a handler and are always safe.
+// Anything else (connection reset mid-response, truncated body) is
+// ambiguous — the call may have run — so only idempotent methods retry.
+func classifyCallError(err error) resilience.Outcome {
+	if err == nil {
+		return resilience.Success
+	}
+	var fault *rpc.Fault
+	if errors.As(err, &fault) {
+		if rpc.Retryable(fault.Code) {
+			return resilience.RetrySafe
+		}
+		return resilience.Fatal
+	}
+	if errors.Is(err, context.Canceled) {
+		return resilience.Fatal
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Ambiguous, not fatal: this is usually the per-request HTTP
+		// timeout (a stalled connection), and the request may or may not
+		// have executed — idempotent methods retry on a fresh connection.
+		// When it is the caller's own context that expired, the retry
+		// loop's ctx check terminates before another attempt is made.
+		return resilience.RetryUnsafe
+	}
+	if isDialFailure(err) {
+		return resilience.RetrySafe
+	}
+	return resilience.RetryUnsafe
+}
+
+// isDialFailure reports whether err happened before any bytes of the
+// request left: the connection itself could not be established.
+func isDialFailure(err error) bool {
+	var op *net.OpError
+	if errors.As(err, &op) && op.Op == "dial" {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// idempotentMethod reports whether a standard-service method may be
+// retried even when a previous attempt's fate is unknown. Read-only
+// surfaces and the session plane qualify; mutations (file.write,
+// job.submit, message.send, acl.set, ...) do not.
+func idempotentMethod(method string) bool {
+	if method == "system.multicall" {
+		// A multicall batch may carry arbitrary mutations.
+		return false
+	}
+	if strings.HasPrefix(method, "system.") {
+		return true
+	}
+	switch method {
+	case "job.status", "job.wait", "job.list", "job.output", "job.stats",
+		"file.read", "file.ls", "file.stat", "file.size", "file.md5", "file.find",
+		"file.get_acl", "acl.get", "acl.list", "acl.check",
+		"message.count", "proxy.info", "proxy.check_delegation",
+		"discovery.find", "discovery.servers", "discovery.methods":
+		return true
+	}
+	return false
 }
 
 func hasRPCPath(url string) bool {
@@ -233,7 +348,43 @@ func (c *Client) Call(method string, params ...any) (any, error) {
 // CallCtx is Call bound to a context: cancelling ctx aborts the HTTP
 // round trip, and the server propagates the cancellation into the running
 // handler through its request-scoped context.
+//
+// Failed attempts retry transparently under the client's retry policy
+// (see WithRetry): dial errors and overload-shed faults always, other
+// transport drops only on idempotent methods. The error returned is the
+// last attempt's. With WithBreaker armed, calls against an endpoint
+// whose breaker is open fail fast with resilience.ErrOpen.
 func (c *Client) CallCtx(ctx context.Context, method string, params ...any) (any, error) {
+	var done func(bool)
+	if c.breaker != nil {
+		var err error
+		if done, err = c.breaker.Allow(); err != nil {
+			return nil, fmt.Errorf("clarens: %s: %s: %w", method, c.url, err)
+		}
+	}
+	var result any
+	err := c.retry.Do(ctx, idempotentMethod(method), func(ctx context.Context) error {
+		v, err := c.callOnce(ctx, method, params...)
+		if err != nil {
+			return err
+		}
+		result = v
+		return nil
+	})
+	if done != nil {
+		// A fault means the server answered: the endpoint is healthy even
+		// though the call failed, so only transport errors count against it.
+		var fault *rpc.Fault
+		done(err == nil || errors.As(err, &fault))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// callOnce performs one wire round trip with no retry involvement.
+func (c *Client) callOnce(ctx context.Context, method string, params ...any) (any, error) {
 	req := &rpc.Request{Method: method, Params: params, ID: int(c.nextID.Add(1))}
 	var buf bytes.Buffer
 	if err := c.codec.EncodeRequest(&buf, req); err != nil {

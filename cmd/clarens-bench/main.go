@@ -23,6 +23,10 @@
 //	                       subscribers, and the job.status RPC reduction
 //	                       the federation watch loop gains by subscribing
 //	                       to peer job events instead of batch polling
+//	-experiment chaos      resilience: availability and latency of a call
+//	                       stream through a fault-injecting dialer
+//	                       (dropped, reset, and refused connections),
+//	                       with the client's retry layer on versus off
 //	-experiment all        run everything
 //
 // Results print as aligned tables; -csv DIR additionally writes one CSV
@@ -52,6 +56,7 @@ import (
 
 	"clarens"
 	"clarens/internal/baseline"
+	"clarens/internal/faultinject"
 	"clarens/internal/monalisa"
 	"clarens/internal/pki"
 	"clarens/internal/rpc"
@@ -71,7 +76,7 @@ type report struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "figure4", "figure4 | tls | globus | streaming | federation | staging | push | all")
+		experiment = flag.String("experiment", "figure4", "figure4 | tls | globus | streaming | federation | staging | push | chaos | all")
 		minClients = flag.Int("min-clients", 1, "figure4: first client count")
 		maxClients = flag.Int("max-clients", 79, "figure4: last client count (paper: 79)")
 		step       = flag.Int("step", 6, "figure4: client count step")
@@ -85,6 +90,8 @@ func main() {
 		stagingMB  = flag.Int("staging-mb", 8, "staging: approximate job output size in MiB")
 		pushSubs   = flag.Int("push-subscribers", 16, "push: concurrent WS subscribers")
 		pushEvents = flag.Int("push-events", 200, "push: events fanned out to every subscriber")
+		chaosCalls = flag.Int("chaos-calls", 400, "chaos: calls per leg through the fault-injecting dialer")
+		chaosPct   = flag.Float64("chaos-fault-pct", 10, "chaos: injected fault percentage, split across dial errors, resets, and drops")
 		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
 		jsonOut    = flag.String("json", "", "file for a JSON summary of all results (optional)")
 	)
@@ -117,6 +124,8 @@ func main() {
 			rep.Experiments["staging"] = runStaging(*stagingMB, *csvDir)
 		case "push":
 			rep.Experiments["push"] = runPush(*pushSubs, *pushEvents, *fedJobs, *fedJobSecs, *csvDir)
+		case "chaos":
+			rep.Experiments["chaos"] = runChaos(*chaosCalls, *chaosPct, *csvDir)
 		case "all":
 			rep.Experiments["figure4"] = runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
 			rep.Experiments["tls"] = runTLS(*calls, *repeats, *csvDir)
@@ -125,6 +134,7 @@ func main() {
 			rep.Experiments["federation"] = runFederation(*fedJobs, *fedServers, *fedJobSecs, *csvDir)
 			rep.Experiments["staging"] = runStaging(*stagingMB, *csvDir)
 			rep.Experiments["push"] = runPush(*pushSubs, *pushEvents, *fedJobs, *fedJobSecs, *csvDir)
+			rep.Experiments["chaos"] = runChaos(*chaosCalls, *chaosPct, *csvDir)
 		case "":
 		default:
 			log.Fatalf("unknown experiment %q", exp)
@@ -1058,5 +1068,99 @@ func runPush(subscribers, events, fedJobs int, jobSecs float64, csvDir string) m
 		"push_events":              pushEvs,
 		"push_drain_s":             pushDrain.Seconds(),
 		"poll_drain_s":             pollDrain.Seconds(),
+	}
+}
+
+// runChaos measures availability under injected transport faults: a
+// stream of system.ping calls routed through a fault-injecting dialer
+// that refuses, resets, and silently drops a fraction of traffic. The
+// retry-enabled leg shows what the resilience layer recovers; the
+// retry-disabled leg shows the raw fault rate the wire delivered.
+func runChaos(calls int, faultPct float64, csvDir string) map[string]any {
+	fmt.Println("== Experiment E8: availability under injected transport faults ==")
+	fmt.Printf("workload: %d x system.ping through a dialer injecting ~%.0f%% faults (refused/reset/dropped), retries on vs off\n",
+		calls, faultPct)
+	srv := startServer()
+	defer srv.Close()
+
+	leg := func(attempts int, seed int64) map[string]any {
+		rate := faultPct / 100 / 3
+		inj := faultinject.New(faultinject.Config{
+			Seed:          seed,
+			DialErrorRate: rate,
+			ResetRate:     rate,
+			DropRate:      rate,
+		})
+		var nd net.Dialer
+		c, err := clarens.Dial(srv.URL(),
+			clarens.WithDialer(inj.Dial(nd.Dial)),
+			clarens.WithRetry(attempts),
+			clarens.WithTimeout(time.Second), // a dropped write must not stall the stream
+			clarens.WithMaxConns(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		ok, failed := 0, 0
+		var lats []float64
+		start := time.Now()
+		for i := 0; i < calls; i++ {
+			callStart := time.Now()
+			_, err := c.Call("system.ping")
+			ms := time.Since(callStart).Seconds() * 1e3
+			if err != nil {
+				failed++
+				continue
+			}
+			ok++
+			lats = append(lats, ms)
+		}
+		elapsed := time.Since(start).Seconds()
+		sort.Float64s(lats)
+		q := func(p float64) float64 {
+			if len(lats) == 0 {
+				return 0
+			}
+			return lats[int(p*float64(len(lats)-1))]
+		}
+		return map[string]any{
+			"attempts":         attempts,
+			"calls":            calls,
+			"ok":               ok,
+			"failed":           failed,
+			"availability":     float64(ok) / float64(calls),
+			"injected":         inj.Faults(),
+			"seconds":          elapsed,
+			"p50_ms":           q(0.5),
+			"p99_ms":           q(0.99),
+			"calls_per_second": float64(calls) / elapsed,
+		}
+	}
+
+	// Same seed for both legs: the two clients face an identical fault
+	// schedule, so the availability delta is the retry layer's work.
+	withRetry := leg(3, 1905)
+	noRetry := leg(1, 1905)
+
+	row := func(name string, m map[string]any) {
+		fmt.Printf("%-28s %6.2f%% available  (%d/%d ok, %d faults injected)  p50 %6.2f ms  p99 %8.2f ms\n",
+			name, 100*m["availability"].(float64), m["ok"], m["calls"], m["injected"], m["p50_ms"], m["p99_ms"])
+	}
+	row("retries on (3 attempts)", withRetry)
+	row("retries off (1 attempt)", noRetry)
+	fmt.Println("retry-safe failures (refused dials, shed faults) recover transparently; ambiguous drops retry because system.ping is idempotent")
+	if out := csvFile(csvDir, "chaos.csv"); out != nil {
+		fmt.Fprintln(out, "leg,calls,ok,failed,availability,injected_faults,p50_ms,p99_ms")
+		fmt.Fprintf(out, "retry,%d,%d,%d,%.4f,%d,%.3f,%.3f\n",
+			calls, withRetry["ok"], withRetry["failed"], withRetry["availability"], withRetry["injected"], withRetry["p50_ms"], withRetry["p99_ms"])
+		fmt.Fprintf(out, "no_retry,%d,%d,%d,%.4f,%d,%.3f,%.3f\n",
+			calls, noRetry["ok"], noRetry["failed"], noRetry["availability"], noRetry["injected"], noRetry["p50_ms"], noRetry["p99_ms"])
+		out.Close()
+	}
+	fmt.Println()
+	return map[string]any{
+		"fault_pct": faultPct,
+		"retry":     withRetry,
+		"no_retry":  noRetry,
 	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"crypto/x509"
 	"flag"
 	"fmt"
@@ -33,6 +34,10 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
 		name         = flag.String("name", "clarens", "server name for discovery")
 		dataDir      = flag.String("data", "", "persistent database directory (empty = in-memory)")
+		dbFsync      = flag.String("db-fsync", "interval", "WAL fsync policy: always (acknowledged writes survive power loss), interval (bounded loss window), never (OS page cache only)")
+		dbFsyncInt   = flag.Duration("db-fsync-interval", 100*time.Millisecond, "background fsync period under -db-fsync=interval")
+		maxInflight  = flag.Int("max-inflight", 0, "bound on concurrently executing RPCs; beyond it calls are shed with a retryable fault (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget: in-flight RPCs and running jobs get this long to finish")
 		fileRoot     = flag.String("root", "", "file service virtual root directory")
 		userMap      = flag.String("usermap", "", "path to .clarens_user_map (enables the shell service)")
 		admins       = flag.String("admins", "", "comma-separated admin DNs")
@@ -69,6 +74,9 @@ func main() {
 	cfg := clarens.Config{
 		Name:                 *name,
 		DataDir:              *dataDir,
+		DBFsync:              *dbFsync,
+		DBFsyncInterval:      *dbFsyncInt,
+		MaxInFlight:          *maxInflight,
 		FileRoot:             *fileRoot,
 		ShellUserMap:         *userMap,
 		EnableProxy:          *proxySvc,
@@ -134,7 +142,6 @@ func main() {
 	if err != nil {
 		log.Fatalf("create server: %v", err)
 	}
-	defer srv.Close()
 	if err := srv.Start(*addr); err != nil {
 		log.Fatalf("start: %v", err)
 	}
@@ -173,7 +180,24 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	fmt.Println("draining: refusing new RPCs, finishing in-flight work")
+	// A second signal skips the drain and tears down immediately.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("graceful shutdown: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+		fmt.Println("shutdown complete")
+	case <-sig:
+		fmt.Println("second signal: hard stop")
+		srv.Close()
+	}
 }
 
 func splitList(s string) []string {

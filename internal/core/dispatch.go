@@ -32,6 +32,7 @@ type pipelineStage struct {
 const (
 	AnchorRecover  = "recover"
 	AnchorTrace    = "trace"
+	AnchorShed     = "shed"
 	AnchorMetrics  = "metrics"
 	AnchorStats    = "stats"
 	AnchorAuth     = "auth"
@@ -40,7 +41,7 @@ const (
 )
 
 // anchorNames lists the valid UseBefore anchors for error messages.
-const anchorNames = "recover, trace, metrics, stats, auth, deadline, acl"
+const anchorNames = "recover, trace, shed, metrics, stats, auth, deadline, acl"
 
 // Use appends interceptors to the dispatch pipeline. Interceptors run in
 // registration order, outermost first; the built-in stages (panic
@@ -207,6 +208,42 @@ func (s *Server) traceInterceptor(next Handler) Handler {
 	}
 }
 
+// shedInterceptor is the overload valve. It gates only top-level
+// dispatches (multicall sub-calls ride their parent's admission): while
+// the server drains for shutdown, or once Config.MaxInFlight calls are
+// already executing, or when the caller's deadline has expired before
+// any work was done, it rejects immediately with CodeOverloaded — the
+// one fault code that promises the request never executed, so clients
+// retry it freely (ideally against another peer). Sitting inside trace
+// but outside metrics, rejections are traced and logged without
+// polluting the per-method latency histograms with sub-microsecond
+// refusals.
+func (s *Server) shedInterceptor(next Handler) Handler {
+	return func(ctx *Context, params Params) (any, error) {
+		if ctx.depth > 0 {
+			return next(ctx, params)
+		}
+		if s.draining.Load() {
+			s.shed.Inc()
+			return nil, &rpc.Fault{Code: rpc.CodeOverloaded, Message: "server draining: retry against another peer"}
+		}
+		// Deadline-aware early rejection: if the caller's budget is
+		// already spent, executing the call only wastes server capacity
+		// on a response nobody is waiting for.
+		if dl, ok := ctx.Context.Deadline(); ok && !time.Now().Before(dl) {
+			s.shed.Inc()
+			return nil, &rpc.Fault{Code: rpc.CodeOverloaded, Message: "deadline expired before execution"}
+		}
+		n := s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if max := s.cfg.MaxInFlight; max > 0 && n > int64(max) {
+			s.shed.Inc()
+			return nil, &rpc.Fault{Code: rpc.CodeOverloaded, Message: fmt.Sprintf("server overloaded: %d calls in flight", n-1)}
+		}
+		return next(ctx, params)
+	}
+}
+
 // metricsInterceptor times every dispatch into the telemetry registry's
 // per-method histograms and request/fault counters — the numbers behind
 // /metrics, the system.stats latency section, and the MonALISA
@@ -314,6 +351,7 @@ func (s *Server) registerBuiltinInterceptors() {
 	s.interceptors = append(s.interceptors,
 		pipelineStage{name: AnchorRecover, ic: s.recoverInterceptor},
 		pipelineStage{name: AnchorTrace, ic: s.traceInterceptor},
+		pipelineStage{name: AnchorShed, ic: s.shedInterceptor},
 		pipelineStage{name: AnchorMetrics, ic: s.metricsInterceptor},
 		pipelineStage{name: AnchorStats, ic: s.statsInterceptor},
 		pipelineStage{name: AnchorAuth, ic: s.authInterceptor},

@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"crypto/tls"
 	"crypto/x509"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -14,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clarens/internal/acl"
@@ -50,6 +53,14 @@ type Config struct {
 	// carries the deadline. Zero means no server-wide bound (individual
 	// methods may still set Method.Timeout).
 	MethodTimeout time.Duration
+	// MaxInFlight bounds concurrently executing top-level RPCs; beyond
+	// it the shed stage rejects new calls early with the retryable
+	// CodeOverloaded fault instead of letting latency collapse under
+	// queueing. Zero means unlimited.
+	MaxInFlight int
+	// DB tunes the embedded database (WAL fsync policy, fault-injection
+	// seams). The zero value preserves the historical behaviour.
+	DB db.Options
 	// MaxBatchCalls caps the number of sub-calls one system.multicall may
 	// carry, bounding the amplification a single anonymous POST can buy.
 	// Zero means DefaultMaxBatchCalls; negative means unlimited.
@@ -128,13 +139,20 @@ type Server struct {
 	wsConns  map[*ws.Conn]struct{}
 	wsClosed bool
 
+	// Load shedding and graceful drain: the shed pipeline stage counts
+	// top-level RPCs in flight and rejects work once draining is set or
+	// MaxInFlight is exceeded.
+	inflight atomic.Int64
+	draining atomic.Bool
+	shed     *telemetry.Counter
+
 	started time.Time
 }
 
 // NewServer constructs a framework instance, opens the database, boots the
 // VO tree, and registers the built-in system, vo, and acl services.
 func NewServer(cfg Config) (*Server, error) {
-	store, err := db.Open(cfg.DataDir)
+	store, err := db.OpenWith(cfg.DataDir, cfg.DB)
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +192,19 @@ func NewServer(cfg Config) (*Server, error) {
 		func() float64 { return float64(s.registry.count()) })
 	s.telemetry.RegisterGauge("clarens.core.uptime_seconds", "Seconds since server start.",
 		func() float64 { return time.Since(s.started).Seconds() })
+	s.telemetry.RegisterGauge("clarens.core.inflight", "Top-level RPCs currently executing.",
+		func() float64 { return float64(s.inflight.Load()) })
+	s.telemetry.RegisterGauge("clarens.core.draining", "1 while the server is draining for shutdown.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	s.telemetry.RegisterGauge("clarens.db.wal_fsyncs", "WAL fsyncs issued by the store.",
+		func() float64 { return float64(s.store.Fsyncs()) })
+	s.shed = s.telemetry.Counter("clarens.core.shed_total",
+		"RPCs rejected early by the load-shedding stage (overload, expired deadline, or drain).")
 
 	s.mux.HandleFunc(cfg.RPCPath, s.handleRPC)
 	if cfg.RPCPath != "/" {
@@ -605,4 +636,53 @@ func (s *Server) Close() error {
 		s.httpSrv.Close()
 	}
 	return s.store.Close()
+}
+
+// Draining reports whether the server is refusing new RPCs ahead of
+// shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight reports the number of top-level RPCs currently executing.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Drain flips the server into draining mode — every new top-level RPC
+// is rejected with the retryable CodeOverloaded fault — and waits for
+// the RPCs already executing to finish, bounded by ctx. It returns
+// ctx.Err() if in-flight work outlived the deadline (the work keeps
+// running; Shutdown proceeds regardless). Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Shutdown performs a graceful stop: reject new RPCs (retryable fault),
+// let in-flight calls finish within ctx, tell every /ws client the
+// server is closing, stop the listener, compact the database (so the
+// next open replays no WAL), and close it. The hard-stop Close remains
+// for abrupt teardown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	drainErr := s.Drain(ctx)
+	// WS connections are hijacked from the http.Server, so they are
+	// notified explicitly; the pubsub bus close unblocks their readers.
+	s.closeWS()
+	s.events.Close()
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			s.httpSrv.Close()
+		}
+	}
+	if err := s.store.Compact(); err != nil && !errors.Is(err, db.ErrClosed) {
+		s.logger.Printf("core: compact on shutdown: %v", err)
+	}
+	if err := s.store.Close(); err != nil {
+		return err
+	}
+	return drainErr
 }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"clarens/internal/rpc"
+)
+
+func blockingMethod(release chan struct{}, started chan struct{}) Method {
+	return Method{
+		Name: "t.block",
+		Handler: func(ctx *Context, p Params) (any, error) {
+			if started != nil {
+				started <- struct{}{}
+			}
+			select {
+			case <-release:
+				return "done", nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	}
+}
+
+func TestShedMaxInFlight(t *testing.T) {
+	s, err := NewServer(Config{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	registerTest(t, s, blockingMethod(release, started))
+
+	first := make(chan *rpc.Response, 1)
+	go func() { first <- s.Dispatch(nil, "test", &rpc.Request{Method: "t.block"}) }()
+	<-started
+
+	resp := s.Dispatch(nil, "test", &rpc.Request{Method: "t.block"})
+	if resp.Fault == nil || resp.Fault.Code != rpc.CodeOverloaded {
+		t.Fatalf("over-limit call not shed: %+v", resp)
+	}
+	if !rpc.Retryable(resp.Fault.Code) {
+		t.Fatal("shed fault code must be retryable")
+	}
+
+	close(release)
+	if r := <-first; r.Fault != nil {
+		t.Fatalf("admitted call failed: %v", r.Fault)
+	}
+	// Capacity freed: new calls are admitted again.
+	if r := s.Dispatch(nil, "test", &rpc.Request{Method: "system.ping"}); r.Fault != nil {
+		t.Fatalf("call after shed window failed: %v", r.Fault)
+	}
+}
+
+func TestShedExpiredDeadline(t *testing.T) {
+	s := newTestServer(t)
+	defer s.Close()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	resp := s.DispatchContext(ctx, nil, "test", &rpc.Request{Method: "system.ping"})
+	if resp.Fault == nil || resp.Fault.Code != rpc.CodeOverloaded {
+		t.Fatalf("expired-deadline call not rejected early: %+v", resp)
+	}
+}
+
+func TestDrainRejectsNewAndWaitsForInFlight(t *testing.T) {
+	s := newTestServer(t)
+	defer s.Close()
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	registerTest(t, s, blockingMethod(release, started))
+
+	inflight := make(chan *rpc.Response, 1)
+	go func() { inflight <- s.Dispatch(nil, "test", &rpc.Request{Method: "t.block"}) }()
+	<-started
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+
+	// New work is rejected the moment draining starts.
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("Drain never flipped the draining flag")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp := s.Dispatch(nil, "test", &rpc.Request{Method: "system.ping"})
+	if resp.Fault == nil || resp.Fault.Code != rpc.CodeOverloaded {
+		t.Fatalf("call during drain not rejected: %+v", resp)
+	}
+
+	// Drain must not return while the in-flight call runs.
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned with a call still in flight: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// The in-flight response was produced normally, not dropped.
+	if r := <-inflight; r.Fault != nil || r.Result != "done" {
+		t.Fatalf("in-flight call during drain: %+v", r)
+	}
+}
+
+func TestDrainDeadlineCutsShort(t *testing.T) {
+	s := newTestServer(t)
+	defer s.Close()
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	registerTest(t, s, blockingMethod(release, started))
+	go s.Dispatch(nil, "test", &rpc.Request{Method: "t.block"})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Drain with stuck call = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+}
+
+func TestMulticallSubCallsRideParentAdmission(t *testing.T) {
+	// depth>0 dispatches must not double-count against MaxInFlight: a
+	// multicall with 3 sub-calls on a MaxInFlight=1 server succeeds.
+	s, err := NewServer(Config{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	calls := []any{
+		map[string]any{"methodName": "system.ping", "params": []any{}},
+		map[string]any{"methodName": "system.ping", "params": []any{}},
+		map[string]any{"methodName": "system.ping", "params": []any{}},
+	}
+	resp := s.Dispatch(nil, "test", &rpc.Request{Method: "system.multicall", Params: []any{calls}})
+	if resp.Fault != nil {
+		t.Fatalf("multicall under MaxInFlight=1: %v", resp.Fault)
+	}
+	results, ok := resp.Result.([]any)
+	if !ok || len(results) != 3 {
+		t.Fatalf("multicall result: %+v", resp.Result)
+	}
+	for i, r := range results {
+		if m, ok := r.(map[string]any); ok {
+			if _, isFault := m["faultCode"]; isFault {
+				t.Fatalf("sub-call %d shed: %+v", i, m)
+			}
+		}
+	}
+}

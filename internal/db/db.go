@@ -26,7 +26,71 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
+
+// SyncPolicy controls when the WAL is fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncNever flushes records to the OS page cache only; a machine
+	// crash can lose acknowledged writes (a process crash cannot).
+	SyncNever SyncPolicy = iota
+	// SyncEveryInterval fsyncs on a background timer, bounding the
+	// machine-crash loss window to Options.SyncInterval.
+	SyncEveryInterval
+	// SyncAlways fsyncs before every write acknowledgement: an
+	// acknowledged Put/Delete survives even a hard power loss.
+	SyncAlways
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncEveryInterval:
+		return "interval"
+	case SyncAlways:
+		return "always"
+	}
+	return "never"
+}
+
+// ParseSyncPolicy maps the -db-fsync flag values onto a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "never", "":
+		return SyncNever, nil
+	case "interval":
+		return SyncEveryInterval, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return SyncNever, fmt.Errorf("db: unknown sync policy %q (want always, interval, or never)", s)
+}
+
+// WALFile is the write-ahead log's file handle. *os.File satisfies it;
+// the fault-injection harness substitutes an error-injecting wrapper
+// through Options.OpenWAL.
+type WALFile interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// Options tunes a store at open time. The zero value matches the
+// historical behaviour: no fsync, real files.
+type Options struct {
+	// Sync selects the WAL fsync policy.
+	Sync SyncPolicy
+	// SyncInterval is the background fsync period under
+	// SyncEveryInterval (default 100ms).
+	SyncInterval time.Duration
+	// OpenWAL, when set, opens the WAL file handle instead of
+	// os.OpenFile — the seam the fault-injection harness uses to make
+	// writes and fsyncs fail on demand.
+	OpenWAL func(path string) (WALFile, error)
+}
 
 // Store is a bucketed key/value database. A Store opened with an empty
 // directory path is purely in-memory (used in tests and benchmarks that
@@ -36,12 +100,17 @@ type Store struct {
 	data map[string]map[string][]byte // bucket -> key -> value
 	gens map[string]uint64            // bucket -> monotonic version, bumped on Put/Delete
 
-	dir     string
-	logMu   sync.Mutex
-	logF    *os.File
-	logW    *bufio.Writer
-	logSize int64
-	closed  bool
+	dir      string
+	opts     Options
+	logMu    sync.Mutex
+	logF     WALFile
+	logW     *bufio.Writer
+	logSize  int64
+	closed   bool
+	fsyncs   uint64
+	tornTail int64 // bytes truncated from a torn WAL tail at open
+	syncStop chan struct{}
+	syncDone chan struct{}
 
 	// CompactThreshold is the WAL size in bytes beyond which Put/Delete
 	// triggers an automatic snapshot compaction. Zero means never.
@@ -59,14 +128,31 @@ const (
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("db: store is closed")
 
-// Open opens (or creates) a store in the given directory. If dir is empty
-// the store is in-memory only. On open, the snapshot is loaded and the WAL
-// replayed, restoring all state written before the last shutdown or crash.
-func Open(dir string) (*Store, error) {
+// ErrCorrupt marks on-disk damage recovery cannot safely skip: a
+// checksum-mismatched or garbled record in the middle of the WAL or
+// anywhere in the snapshot. A torn *final* WAL record (the expected
+// residue of a crash mid-append) is not corruption — it is truncated
+// away and the store opens normally.
+var ErrCorrupt = errors.New("db: corrupt record")
+
+// Open opens (or creates) a store in the given directory with default
+// options. If dir is empty the store is in-memory only.
+func Open(dir string) (*Store, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith opens (or creates) a store in the given directory. On open,
+// the snapshot is loaded (every record checksum-verified) and the WAL
+// replayed, restoring all state written before the last shutdown or
+// crash; a torn final WAL record is truncated, while mid-log corruption
+// fails the open with an error wrapping ErrCorrupt.
+func OpenWith(dir string, opts Options) (*Store, error) {
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = 100 * time.Millisecond
+	}
 	s := &Store{
 		data:             make(map[string]map[string][]byte),
 		gens:             make(map[string]uint64),
 		dir:              dir,
+		opts:             opts,
 		CompactThreshold: 64 << 20,
 	}
 	if dir == "" {
@@ -81,11 +167,18 @@ func Open(dir string) (*Store, error) {
 	if err := s.replayWAL(); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	path := filepath.Join(dir, walName)
+	openWAL := opts.OpenWAL
+	if openWAL == nil {
+		openWAL = func(p string) (WALFile, error) {
+			return os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		}
+	}
+	f, err := openWAL(path)
 	if err != nil {
 		return nil, fmt.Errorf("db: open wal: %w", err)
 	}
-	st, err := f.Stat()
+	st, err := os.Stat(path)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -93,8 +186,46 @@ func Open(dir string) (*Store, error) {
 	s.logF = f
 	s.logW = bufio.NewWriterSize(f, 1<<16)
 	s.logSize = st.Size()
+	if opts.Sync == SyncEveryInterval {
+		s.syncStop = make(chan struct{})
+		s.syncDone = make(chan struct{})
+		go s.syncLoop()
+	}
 	return s, nil
 }
+
+// syncLoop fsyncs the WAL on a timer under SyncEveryInterval.
+func (s *Store) syncLoop() {
+	defer close(s.syncDone)
+	t := time.NewTicker(s.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.syncStop:
+			return
+		case <-t.C:
+			if err := s.Sync(); err != nil && !errors.Is(err, ErrClosed) {
+				// Nothing to bubble the error to from here; the next
+				// write or Close will surface persistent disk trouble.
+				continue
+			}
+		}
+	}
+}
+
+// SyncPolicy reports the store's configured fsync policy.
+func (s *Store) SyncPolicy() SyncPolicy { return s.opts.Sync }
+
+// Fsyncs reports how many WAL fsyncs the store has issued.
+func (s *Store) Fsyncs() uint64 {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	return s.fsyncs
+}
+
+// RecoveredTornBytes reports how many trailing WAL bytes were truncated
+// at open because of a torn final record (0 on a clean open).
+func (s *Store) RecoveredTornBytes() int64 { return s.tornTail }
 
 // Dir returns the directory backing the store ("" for in-memory).
 func (s *Store) Dir() string { return s.dir }
@@ -113,41 +244,79 @@ func (s *Store) loadSnapshot() error {
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 1<<16)
 	for {
-		rec, err := readRecord(r)
+		rec, _, err := readRecord(r)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("db: corrupt snapshot: %w", err)
+			// The snapshot is written whole and renamed into place, so
+			// ANY unreadable record — torn included — is corruption.
+			return fmt.Errorf("db: corrupt snapshot: %v: %w", err, ErrCorrupt)
 		}
 		if rec.op != opPut {
-			return fmt.Errorf("db: snapshot contains non-put record")
+			return fmt.Errorf("db: corrupt snapshot: contains non-put record: %w", ErrCorrupt)
 		}
 		s.applyLocked(rec)
 	}
 }
 
+// replayWAL re-applies the log on top of the snapshot. A record that
+// could not be fully written before a crash necessarily sits at the
+// tail; it is truncated away and the open succeeds. Damage anywhere
+// else — a checksum mismatch or garbled header with valid data after
+// it — means the disk lied, and the open fails with ErrCorrupt rather
+// than silently dropping every record past the damage.
 func (s *Store) replayWAL() error {
-	f, err := os.Open(filepath.Join(s.dir, walName))
+	path := filepath.Join(s.dir, walName)
+	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("db: open wal: %w", err)
 	}
-	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	total := st.Size()
 	r := bufio.NewReaderSize(f, 1<<16)
+	var off int64 // offset just past the last valid record
 	for {
-		rec, err := readRecord(r)
+		rec, rlen, err := readRecord(r)
 		if err == io.EOF {
+			f.Close()
 			return nil
 		}
 		if err != nil {
-			// A torn final record after a crash is expected: stop replay
-			// there, keeping everything before it.
+			torn := false
+			switch {
+			case errors.Is(err, errTornHeader), errors.Is(err, errTornBody):
+				// A partial record can only be the unfinished tail.
+				torn = true
+			case errors.Is(err, errBadLength):
+				// If the claimed record extends past EOF it was never
+				// fully written; lengths pointing inside the file with
+				// data beyond are damage.
+				torn = off+rlen > total
+			case errors.Is(err, errBadCRC):
+				// A checksum mismatch on the very last record is a
+				// partially-flushed tail; mid-log it is corruption.
+				torn = off+rlen == total
+			}
+			f.Close()
+			if !torn {
+				return fmt.Errorf("db: wal record at offset %d: %v: %w", off, err, ErrCorrupt)
+			}
+			s.tornTail = total - off
+			if err := os.Truncate(path, off); err != nil {
+				return fmt.Errorf("db: truncate torn wal tail: %w", err)
+			}
 			return nil
 		}
 		s.applyLocked(rec)
+		off += rlen
 	}
 }
 
@@ -183,39 +352,57 @@ func writeRecord(w io.Writer, rec record) error {
 	return err
 }
 
-func readRecord(r io.Reader) (record, error) {
+// Read-side failure modes, classified by replayWAL into "torn tail"
+// (recoverable) vs "corruption" (fatal).
+var (
+	errTornHeader = errors.New("db: torn record header")
+	errTornBody   = errors.New("db: torn record body")
+	errBadLength  = errors.New("db: implausible record lengths")
+	errBadCRC     = errors.New("db: record checksum mismatch")
+)
+
+// readRecord reads one record. size is the full on-disk length the
+// record claims (header included), valid whenever the header itself was
+// readable — the replay loop uses it to decide whether a bad record
+// could extend to EOF. A clean end of input returns io.EOF; a partial
+// header returns errTornHeader.
+func readRecord(r io.Reader) (rec record, size int64, err error) {
 	var hdr [17]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return record{}, io.EOF
+			return record{}, 0, errTornHeader
 		}
-		return record{}, err
+		return record{}, 0, err
 	}
-	rec := record{op: hdr[0]}
+	rec = record{op: hdr[0]}
 	want := binary.LittleEndian.Uint32(hdr[1:])
 	blen := binary.LittleEndian.Uint32(hdr[5:])
 	klen := binary.LittleEndian.Uint32(hdr[9:])
 	vlen := binary.LittleEndian.Uint32(hdr[13:])
+	size = 17 + int64(blen) + int64(klen) + int64(vlen)
 	const maxLen = 1 << 30
 	if blen > maxLen || klen > maxLen || vlen > maxLen {
-		return record{}, fmt.Errorf("db: implausible record lengths")
+		return record{}, size, errBadLength
 	}
 	buf := make([]byte, int(blen)+int(klen)+int(vlen))
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return record{}, err
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			return record{}, size, errTornBody
+		}
+		return record{}, size, err
 	}
 	crc := crc32.NewIEEE()
 	crc.Write(hdr[5:])
 	crc.Write(buf)
 	if crc.Sum32() != want {
-		return record{}, fmt.Errorf("db: record checksum mismatch")
+		return record{}, size, errBadCRC
 	}
 	rec.bucket = string(buf[:blen])
 	rec.key = string(buf[blen : blen+klen])
 	if vlen > 0 {
 		rec.value = buf[blen+klen:]
 	}
-	return rec, nil
+	return rec, size, nil
 }
 
 func (s *Store) applyLocked(rec record) {
@@ -260,6 +447,14 @@ func (s *Store) appendLog(rec record) error {
 	}
 	if err := s.logW.Flush(); err != nil {
 		return fmt.Errorf("db: flush wal: %w", err)
+	}
+	if s.opts.Sync == SyncAlways {
+		// The write is acknowledged only once it is on stable storage:
+		// this is what makes the SIGKILL chaos test hold.
+		if err := s.logF.Sync(); err != nil {
+			return fmt.Errorf("db: fsync wal: %w", err)
+		}
+		s.fsyncs++
 	}
 	s.logSize += int64(17 + len(rec.bucket) + len(rec.key) + len(rec.value))
 	if s.CompactThreshold > 0 && s.logSize >= s.CompactThreshold {
@@ -471,6 +666,16 @@ func (s *Store) compactLocked() error {
 	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
 		return err
 	}
+	// Fsync the directory so the rename itself survives a power loss —
+	// without it a crash can resurrect the old snapshot after the WAL
+	// below has already been truncated.
+	if d, err := os.Open(s.dir); err == nil {
+		if err := d.Sync(); err != nil {
+			d.Close()
+			return fmt.Errorf("db: fsync dir: %w", err)
+		}
+		d.Close()
+	}
 	// Truncate the WAL: everything live is now in the snapshot.
 	if err := s.logF.Truncate(0); err != nil {
 		return err
@@ -496,20 +701,31 @@ func (s *Store) Sync() error {
 	if err := s.logW.Flush(); err != nil {
 		return err
 	}
-	return s.logF.Sync()
+	if err := s.logF.Sync(); err != nil {
+		return err
+	}
+	s.fsyncs++
+	return nil
 }
 
 // Close flushes and closes the store. Further operations return ErrClosed.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	s.logMu.Lock()
-	defer s.logMu.Unlock()
 	if s.closed {
+		s.logMu.Unlock()
 		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.logMu.Unlock()
+	if s.syncStop != nil {
+		close(s.syncStop)
+		<-s.syncDone
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
 	if s.dir == "" {
 		return nil
 	}

@@ -11,6 +11,9 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"clarens/internal/faultinject"
 )
 
 func TestInMemoryBasics(t *testing.T) {
@@ -411,7 +414,7 @@ func TestRecordRoundTripProperty(t *testing.T) {
 		if err := writeRecord(&buf, rec); err != nil {
 			return false
 		}
-		got, err := readRecord(&buf)
+		got, _, err := readRecord(&buf)
 		if err != nil {
 			return false
 		}
@@ -539,5 +542,210 @@ func TestForEachSeesOneConsistentSnapshot(t *testing.T) {
 	}
 	if !sort.StringsAreSorted(keys) {
 		t.Fatalf("keys not in sorted order: %v", keys)
+	}
+}
+
+func TestMidLogCorruptionFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put("b", "first", []byte("1"))
+	s.Put("b", "second", []byte("22"))
+	s.Put("b", "third", []byte("333"))
+	s.Close()
+
+	// Flip a byte inside the FIRST record's value: valid records follow
+	// the damage, so this is corruption, not a torn tail.
+	path := filepath.Join(dir, walName)
+	data, _ := os.ReadFile(path)
+	data[17+len("b")+len("first")] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	_, err := Open(dir)
+	if err == nil {
+		t.Fatal("open succeeded over mid-log corruption")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error does not wrap ErrCorrupt: %v", err)
+	}
+}
+
+func TestTornTailVariantsRecover(t *testing.T) {
+	// Each variant appends a differently-damaged tail after one good
+	// record; all must recover by truncation, reporting the torn bytes.
+	variants := map[string]func(good []byte) []byte{
+		"short header": func([]byte) []byte { return []byte{opPut, 1, 2, 3} },
+		"short body": func(good []byte) []byte {
+			// A full header + partial payload of a second record.
+			return good[:len(good)-2]
+		},
+		"bad crc at eof": func(good []byte) []byte {
+			bad := append([]byte(nil), good...)
+			bad[len(bad)-1] ^= 0xFF
+			return bad
+		},
+		"length beyond eof": func([]byte) []byte {
+			hdr := make([]byte, 17)
+			hdr[0] = opPut
+			hdr[13] = 0xFF // vlen claims ~4GB; file ends right after
+			return hdr
+		},
+	}
+	for name, damage := range variants {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, _ := Open(dir)
+			s.Put("b", "good", []byte("value"))
+			s.Close()
+			path := filepath.Join(dir, walName)
+			whole, _ := os.ReadFile(path)
+			f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			f.Write(damage(whole))
+			f.Close()
+
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("open after torn tail (%s): %v", name, err)
+			}
+			defer s2.Close()
+			if _, ok := s2.Get("b", "good"); !ok {
+				t.Error("intact record lost after torn-tail recovery")
+			}
+			if s2.RecoveredTornBytes() == 0 {
+				t.Error("RecoveredTornBytes = 0, want > 0")
+			}
+			st, _ := os.Stat(path)
+			if st.Size() != int64(len(whole)) {
+				t.Errorf("torn tail not truncated: size %d, want %d", st.Size(), len(whole))
+			}
+		})
+	}
+}
+
+func TestCorruptSnapshotFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put("b", "k", []byte("v"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	path := filepath.Join(dir, snapshotName)
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	_, err := Open(dir)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over corrupt snapshot: err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestSyncAlwaysFsyncsEveryWrite(t *testing.T) {
+	s, err := OpenWith(t.TempDir(), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.Put("b", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Fsyncs(); got < 5 {
+		t.Errorf("Fsyncs = %d, want >= 5", got)
+	}
+}
+
+func TestSyncIntervalFsyncsInBackground(t *testing.T) {
+	s, err := OpenWith(t.TempDir(), Options{Sync: SyncEveryInterval, SyncInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put("b", "k", []byte("v"))
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Fsyncs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval sync loop never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "interval": SyncEveryInterval, "never": SyncNever, "": SyncNever,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+// TestInjectedTornWriteRecoversOnReopen drives the store through the
+// faultinject WAL seam: a scheduled partial-write failure leaves a torn
+// record on disk exactly as a crash mid-append would, and reopening must
+// recover by truncating it while keeping every acknowledged record.
+func TestInjectedTornWriteRecoversOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		OpenWAL: func(path string) (WALFile, error) {
+			return faultinject.OpenFile(path, faultinject.FileConfig{FailWriteAfter: 2, PartialWrites: true})
+		},
+	}
+	s, err := OpenWith(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", "k1", []byte("v1")); err != nil {
+		t.Fatalf("put 1: %v", err)
+	}
+	if err := s.Put("b", "k2", []byte("v2")); err != nil {
+		t.Fatalf("put 2: %v", err)
+	}
+	if err := s.Put("b", "k3", []byte("v3")); err == nil {
+		t.Fatal("put past the failure schedule succeeded")
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn write: %v", err)
+	}
+	defer s2.Close()
+	if s2.RecoveredTornBytes() == 0 {
+		t.Error("reopen did not report a recovered torn tail")
+	}
+	for _, k := range []string{"k1", "k2"} {
+		if v, ok := s2.Get("b", k); !ok || string(v) != "v"+k[1:] {
+			t.Errorf("%s = %q, %v after recovery", k, v, ok)
+		}
+	}
+	if _, ok := s2.Get("b", "k3"); ok {
+		t.Error("unacknowledged k3 visible after recovery")
+	}
+}
+
+// TestInjectedSyncFailureSurfaces: under SyncAlways a failing fsync must
+// fail the Put itself — the write cannot be acknowledged as durable.
+func TestInjectedSyncFailureSurfaces(t *testing.T) {
+	s, err := OpenWith(t.TempDir(), Options{
+		Sync: SyncAlways,
+		OpenWAL: func(path string) (WALFile, error) {
+			return faultinject.OpenFile(path, faultinject.FileConfig{FailSyncAfter: 1})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("b", "k1", []byte("v1")); err != nil {
+		t.Fatalf("first put: %v", err)
+	}
+	if err := s.Put("b", "k2", []byte("v2")); err == nil {
+		t.Fatal("put with failing fsync was acknowledged")
 	}
 }

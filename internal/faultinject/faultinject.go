@@ -1,0 +1,184 @@
+// Package faultinject provides deterministic fault injection for chaos
+// testing the Clarens stack: a net.Conn / dialer wrapper that adds
+// latency, drops, resets, and byte corruption at configurable rates,
+// and an error-injecting WAL file for exercising the db layer's
+// crash-safety paths. All randomness is seeded, so a failing chaos run
+// reproduces from its seed.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config sets injection rates (each a probability in [0,1], checked
+// independently per I/O operation) and the added latency envelope.
+type Config struct {
+	// Seed makes the fault schedule reproducible; 0 means seed 1.
+	Seed int64
+	// LatencyMin/LatencyMax delay each Read/Write by a uniform random
+	// duration in [min, max]. Zero max disables added latency.
+	LatencyMin time.Duration
+	LatencyMax time.Duration
+	// DropRate silently discards a write (the peer never sees it) —
+	// the connection then looks hung until a timeout fires.
+	DropRate float64
+	// ResetRate closes the connection mid-operation, surfacing a
+	// "connection reset"-style error to both sides.
+	ResetRate float64
+	// CorruptRate flips one byte of the payload in transit.
+	CorruptRate float64
+	// DialErrorRate fails the dial itself with a refused-style error.
+	DialErrorRate float64
+}
+
+// Injector owns the seeded fault schedule shared by every conn minted
+// from it. It is safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	faults uint64 // injected faults so far, for reporting
+}
+
+// New builds an Injector from cfg.
+func New(cfg Config) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Faults reports how many faults have been injected so far.
+func (in *Injector) Faults() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faults
+}
+
+// hit rolls one probability check, counting injected faults.
+func (in *Injector) hit(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	ok := in.rng.Float64() < rate
+	if ok {
+		in.faults++
+	}
+	in.mu.Unlock()
+	return ok
+}
+
+// latency draws one added delay from the configured envelope.
+func (in *Injector) latency() time.Duration {
+	if in.cfg.LatencyMax <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	span := in.cfg.LatencyMax - in.cfg.LatencyMin
+	d := in.cfg.LatencyMin
+	if span > 0 {
+		d += time.Duration(in.rng.Int63n(int64(span)))
+	}
+	in.mu.Unlock()
+	return d
+}
+
+// corruptIndex picks which byte of an n-byte payload to flip.
+func (in *Injector) corruptIndex(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+// Dial wraps a base dial function with fault injection. Use it as the
+// DialContext-style seam of an http.Transport or any custom dialer.
+func (in *Injector) Dial(base func(network, addr string) (net.Conn, error)) func(network, addr string) (net.Conn, error) {
+	return func(network, addr string) (net.Conn, error) {
+		if in.hit(in.cfg.DialErrorRate) {
+			return nil, &net.OpError{Op: "dial", Net: network, Err: fmt.Errorf("faultinject: injected dial failure to %s", addr)}
+		}
+		c, err := base(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return &Conn{Conn: c, in: in}, nil
+	}
+}
+
+// Conn is a net.Conn that injects faults on Read and Write.
+type Conn struct {
+	net.Conn
+	in *Injector
+
+	mu    sync.Mutex
+	reset bool
+}
+
+// errReset is returned once the conn has been force-reset.
+type errReset struct{}
+
+func (errReset) Error() string   { return "faultinject: connection reset by injector" }
+func (errReset) Timeout() bool   { return false }
+func (errReset) Temporary() bool { return false }
+
+func (c *Conn) isReset() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reset
+}
+
+func (c *Conn) doReset() error {
+	c.mu.Lock()
+	c.reset = true
+	c.mu.Unlock()
+	c.Conn.Close()
+	return errReset{}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.isReset() {
+		return 0, errReset{}
+	}
+	if d := c.in.latency(); d > 0 {
+		time.Sleep(d)
+	}
+	if c.in.hit(c.in.cfg.ResetRate) {
+		return 0, c.doReset()
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.in.hit(c.in.cfg.CorruptRate) {
+		p[c.in.corruptIndex(n)] ^= 0xff
+	}
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.isReset() {
+		return 0, errReset{}
+	}
+	if d := c.in.latency(); d > 0 {
+		time.Sleep(d)
+	}
+	if c.in.hit(c.in.cfg.ResetRate) {
+		return 0, c.doReset()
+	}
+	if c.in.hit(c.in.cfg.DropRate) {
+		// Pretend the bytes went out; the peer never sees them.
+		return len(p), nil
+	}
+	if len(p) > 0 && c.in.hit(c.in.cfg.CorruptRate) {
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[c.in.corruptIndex(len(q))] ^= 0xff
+		return c.Conn.Write(q)
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,151 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func pipeDial(server func(net.Conn)) func(network, addr string) (net.Conn, error) {
+	return func(network, addr string) (net.Conn, error) {
+		a, b := net.Pipe()
+		go server(b)
+		return a, nil
+	}
+}
+
+func TestDialErrorRate(t *testing.T) {
+	in := New(Config{Seed: 7, DialErrorRate: 1})
+	dial := in.Dial(pipeDial(func(c net.Conn) { c.Close() }))
+	if _, err := dial("tcp", "whatever:1"); err == nil {
+		t.Fatal("dial with DialErrorRate=1 succeeded")
+	}
+	var op *net.OpError
+	if _, err := dial("tcp", "whatever:1"); !errors.As(err, &op) || op.Op != "dial" {
+		t.Fatalf("injected dial error = %v, want *net.OpError{Op: dial}", err)
+	}
+	if in.Faults() == 0 {
+		t.Error("Faults() did not count injected dial failures")
+	}
+}
+
+func TestResetSurfacesError(t *testing.T) {
+	in := New(Config{Seed: 1, ResetRate: 1})
+	dial := in.Dial(pipeDial(func(c net.Conn) {
+		buf := make([]byte, 16)
+		c.Read(buf)
+	}))
+	c, err := dial("tcp", "x:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("hello")); err == nil {
+		t.Fatal("write on ResetRate=1 conn succeeded")
+	}
+	if _, err := c.Write([]byte("again")); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+}
+
+func TestCorruptionFlipsOneByte(t *testing.T) {
+	payload := []byte("clarens-payload-bytes")
+	got := make(chan []byte, 1)
+	in := New(Config{Seed: 3, CorruptRate: 1})
+	dial := in.Dial(pipeDial(func(c net.Conn) {
+		buf := make([]byte, len(payload))
+		n, _ := c.Read(buf)
+		got <- buf[:n]
+		c.Close()
+	}))
+	c, err := dial("tcp", "x:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-got:
+		if bytes.Equal(b, payload) {
+			t.Fatal("CorruptRate=1 write arrived unmodified")
+		}
+		diff := 0
+		for i := range b {
+			if b[i] != payload[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Errorf("%d bytes differ, want exactly 1", diff)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server never received the write")
+	}
+}
+
+func TestDropSwallowsWrite(t *testing.T) {
+	in := New(Config{Seed: 5, DropRate: 1})
+	received := make(chan int, 1)
+	dial := in.Dial(pipeDial(func(c net.Conn) {
+		buf := make([]byte, 16)
+		c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, _ := c.Read(buf)
+		received <- n
+	}))
+	c, err := dial("tcp", "x:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Write([]byte("vanishes"))
+	if err != nil || n != 8 {
+		t.Fatalf("dropped write reported (%d, %v), want (8, nil)", n, err)
+	}
+	if n := <-received; n != 0 {
+		t.Errorf("peer received %d bytes of a dropped write", n)
+	}
+}
+
+func TestFileWriteFailureSchedule(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	f, err := OpenFile(path, FileConfig{FailWriteAfter: 2, PartialWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("record-one")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("record-three")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write error = %v, want ErrInjected", err)
+	}
+	// The partial write left a torn prefix on disk: more than the two
+	// clean records, less than all three.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := int64(2 * len("record-one"))
+	if st.Size() <= clean || st.Size() >= clean+int64(len("record-three")) {
+		t.Errorf("file size %d after torn write, want in (%d, %d)", st.Size(), clean, clean+int64(len("record-three")))
+	}
+}
+
+func TestFileSyncFailureSchedule(t *testing.T) {
+	f, err := OpenFile(filepath.Join(t.TempDir(), "wal"), FileConfig{FailSyncAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync error = %v, want ErrInjected", err)
+	}
+}

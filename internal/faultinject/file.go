@@ -1,0 +1,79 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error surfaced by a File operation that hit its
+// configured failure point.
+var ErrInjected = errors.New("faultinject: injected I/O error")
+
+// FileConfig schedules failures on one WAL file. Counts are in
+// operations since open; 0 disables that failure.
+type FileConfig struct {
+	// FailWriteAfter makes the (N+1)th and later Write calls fail.
+	// With PartialWrites, the failing write first commits a prefix of
+	// its payload — a torn record, as a crash mid-write would leave.
+	FailWriteAfter int
+	PartialWrites  bool
+	// FailSyncAfter makes the (N+1)th and later Sync calls fail.
+	FailSyncAfter int
+}
+
+// File wraps an *os.File with scheduled failures. It satisfies the db
+// layer's WAL file seam (Write/Close/Sync/Truncate/Seek), so tests can
+// drive the store into torn-tail and failed-fsync territory without a
+// real crash.
+type File struct {
+	f   *os.File
+	cfg FileConfig
+
+	mu     sync.Mutex
+	writes int
+	syncs  int
+}
+
+// OpenFile opens path append-only (creating it if needed) behind the
+// failure schedule, mirroring the db layer's default WAL open mode.
+func OpenFile(path string, cfg FileConfig) (*File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f, cfg: cfg}, nil
+}
+
+func (w *File) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.writes++
+	fail := w.cfg.FailWriteAfter > 0 && w.writes > w.cfg.FailWriteAfter
+	partial := fail && w.cfg.PartialWrites
+	w.mu.Unlock()
+	if !fail {
+		return w.f.Write(p)
+	}
+	if partial && len(p) > 1 {
+		n, _ := w.f.Write(p[:len(p)/2]) // torn record on disk
+		return n, ErrInjected
+	}
+	return 0, ErrInjected
+}
+
+func (w *File) Sync() error {
+	w.mu.Lock()
+	w.syncs++
+	fail := w.cfg.FailSyncAfter > 0 && w.syncs > w.cfg.FailSyncAfter
+	w.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return w.f.Sync()
+}
+
+func (w *File) Truncate(size int64) error { return w.f.Truncate(size) }
+
+func (w *File) Seek(offset int64, whence int) (int64, error) { return w.f.Seek(offset, whence) }
+
+func (w *File) Close() error { return w.f.Close() }

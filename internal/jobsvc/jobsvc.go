@@ -607,6 +607,41 @@ func (s *Service) Stop() {
 	s.wg.Wait()
 }
 
+// Drain is Stop bounded by a context: workers are told to exit after
+// their current attempt, and Drain waits up to ctx for them. On a clean
+// finish the queue checkpoint is made durable with a WAL fsync, so a
+// restart resumes from exactly this state. If attempts outlive ctx they
+// keep running (their jobs are already persisted as running and will be
+// re-queued by recovery on the next start); ctx.Err() is returned so
+// the caller knows the drain was cut short.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stopCh)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	// Every queued/running job record is already in the store (Submit
+	// and claim both persist before acting); the checkpoint's job is to
+	// force the tail of the WAL onto stable storage.
+	if serr := s.srv.Store().Sync(); serr != nil && err == nil {
+		err = serr
+	}
+	return err
+}
+
 // newID mints a sortable job identifier embedding the submission time.
 func newID(at time.Time) (string, error) {
 	var b [4]byte

@@ -49,7 +49,9 @@ import (
 	"clarens/internal/pki"
 	"clarens/internal/proxysvc"
 	"clarens/internal/pubsub"
+	"clarens/internal/resilience"
 	"clarens/internal/rpc"
+	"clarens/internal/telemetry"
 )
 
 // Call is one sub-call in a batched peer request. Trace optionally
@@ -135,9 +137,17 @@ type Config struct {
 	// forwarded job tolerates before falling back to the local queue
 	// (default 3).
 	DeadPolls int
-	// PenaltyCycles is how many cycles a peer sits out after a failed
-	// forward or delegation handoff (default 5).
-	PenaltyCycles int
+	// Breaker tunes the per-peer circuit breakers that replace the old
+	// ad-hoc penalty counter: transport failures trip a peer's breaker,
+	// a failed forward or delegation handoff force-opens it, and while
+	// open the peer is skipped by forwarding and polled only by the
+	// half-open recovery probe. A zero OpenFor defaults to
+	// 5x PollInterval — the old PenaltyCycles sit-out expressed in time.
+	Breaker resilience.BreakerConfig
+	// Telemetry, when set, exports the per-peer breaker states
+	// (clarens.federation.breaker.<peer>: 0 closed, 0.5 half-open,
+	// 1 open) and the open-breaker count on /metrics.
+	Telemetry *telemetry.Registry
 	// EventDial, when set, lets the watch loop subscribe to peer job
 	// events over /ws instead of batch-polling job.status every cycle:
 	// push-covered jobs are only polled once when the subscription is
@@ -169,8 +179,8 @@ func (c *Config) fill() {
 	if c.DeadPolls <= 0 {
 		c.DeadPolls = 3
 	}
-	if c.PenaltyCycles <= 0 {
-		c.PenaltyCycles = 5
+	if c.Breaker.OpenFor <= 0 {
+		c.Breaker.OpenFor = 5 * c.PollInterval
 	}
 	if c.WatchSafetyInterval <= 0 {
 		c.WatchSafetyInterval = 15 * c.PollInterval
@@ -180,7 +190,9 @@ func (c *Config) fill() {
 	}
 }
 
-// peer is one row of the scored peer table.
+// peer is one row of the scored peer table. Health beyond the last
+// poll's alive bit lives in the scheduler's per-peer breaker (keyed by
+// URL), not here.
 type peer struct {
 	name    string
 	url     string
@@ -188,7 +200,6 @@ type peer struct {
 	running int
 	workers int
 	alive   bool // last job.stats poll succeeded
-	penalty int  // cycles left to sit out after a failed forward
 	expires time.Time
 }
 
@@ -212,17 +223,19 @@ type Stats struct {
 	StatusRPCs    uint64 // job.status calls issued by the watch loop
 	PushEvents    uint64 // peer job events received over push subscriptions
 	PushWatches   int    // live peer push subscriptions
+	BreakerOpen   int    // peers whose circuit breaker is currently open
 }
 
 // Scheduler is the per-server federated meta-scheduler.
 type Scheduler struct {
-	jobs    *jobsvc.Service
-	peers   PeerSource
-	deleg   Delegator
-	dial    Dialer
-	logger  *log.Logger
-	cfg     Config
-	cycleMu sync.Mutex // serializes cycles (ticker loop vs. Kick)
+	jobs     *jobsvc.Service
+	peers    PeerSource
+	deleg    Delegator
+	dial     Dialer
+	logger   *log.Logger
+	cfg      Config
+	breakers *resilience.Group // per-peer circuit breakers, keyed by endpoint URL
+	cycleMu  sync.Mutex        // serializes cycles (ticker loop vs. Kick)
 
 	mu        sync.Mutex
 	table     map[string]*peer    // peer name -> scored row
@@ -233,6 +246,7 @@ type Scheduler struct {
 	watches   map[watchKey]*peerWatch
 	noWS      map[string]time.Time // endpoint URL -> next push-dial retry
 	lastPoll  map[string]time.Time // local job id -> last watch status poll
+	gauged    map[string]bool      // peer names with a registered breaker gauge
 	stats     Stats
 
 	wakeCh  chan struct{} // push events nudge the loop to run a cycle now
@@ -277,6 +291,7 @@ func New(jobs *jobsvc.Service, peers PeerSource, deleg Delegator, dial Dialer, l
 		dial:      dial,
 		logger:    logger,
 		cfg:       cfg,
+		breakers:  resilience.NewGroup(cfg.Breaker),
 		table:     make(map[string]*peer),
 		conns:     make(map[string]Conn),
 		sessions:  make(map[string]string),
@@ -285,11 +300,48 @@ func New(jobs *jobsvc.Service, peers PeerSource, deleg Delegator, dial Dialer, l
 		watches:   make(map[watchKey]*peerWatch),
 		noWS:      make(map[string]time.Time),
 		lastPoll:  make(map[string]time.Time),
+		gauged:    make(map[string]bool),
 		wakeCh:    make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
 	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.RegisterGauge("clarens.federation.breaker_open",
+			"Peers whose circuit breaker is currently open.",
+			func() float64 { return float64(s.breakers.OpenCount()) })
+	}
 	jobs.SetRemoteController(s)
 	return s, nil
+}
+
+// registerBreakerGauge exports one peer's breaker state on /metrics the
+// first time the peer is seen: 0 closed, 0.5 half-open, 1 open. Called
+// with s.mu held.
+func (s *Scheduler) registerBreakerGauge(name string) {
+	if s.cfg.Telemetry == nil || s.gauged[name] {
+		return
+	}
+	s.gauged[name] = true
+	s.cfg.Telemetry.RegisterGauge("clarens.federation.breaker."+name,
+		"Circuit breaker state for peer "+name+" (0 closed, 0.5 half-open, 1 open).",
+		func() float64 {
+			s.mu.Lock()
+			p, ok := s.table[name]
+			var url string
+			if ok {
+				url = p.url
+			}
+			s.mu.Unlock()
+			if !ok {
+				return 0
+			}
+			switch s.breakers.State(url) {
+			case resilience.Open:
+				return 1
+			case resilience.HalfOpen:
+				return 0.5
+			}
+			return 0
+		})
 }
 
 type discard struct{}
@@ -342,6 +394,7 @@ func (s *Scheduler) Stats() Stats {
 		}
 	}
 	st.PushWatches = len(s.watches)
+	st.BreakerOpen = s.breakers.OpenCount()
 	return st
 }
 
@@ -439,6 +492,7 @@ func (s *Scheduler) refreshPeers() {
 		if !ok {
 			p = &peer{name: e.Server}
 			s.table[e.Server] = p
+			s.registerBreakerGauge(e.Server)
 		}
 		if p.url != e.URL {
 			p.url = e.URL // service moved: rebind (location independence)
@@ -448,6 +502,7 @@ func (s *Scheduler) refreshPeers() {
 	for name, p := range s.table {
 		if !seen[name] && now.After(p.expires) {
 			delete(s.table, name)
+			s.breakers.Forget(p.url)
 			for key := range s.sessions {
 				if len(key) > len(name) && key[:len(name)+1] == name+"|" {
 					delete(s.sessions, key)
@@ -458,6 +513,9 @@ func (s *Scheduler) refreshPeers() {
 }
 
 // pollPeers refreshes every peer's load score from its public job.stats.
+// The poll doubles as the breaker recovery path: an open breaker past
+// its cooldown admits exactly this call as the half-open probe, and a
+// successful answer re-closes it.
 func (s *Scheduler) pollPeers() {
 	s.mu.Lock()
 	peers := make([]*peer, 0, len(s.table))
@@ -466,17 +524,26 @@ func (s *Scheduler) pollPeers() {
 	}
 	s.mu.Unlock()
 	for _, p := range peers {
+		done, err := s.breakers.Allow(p.url)
+		if err != nil {
+			// Breaker open inside its cooldown: skip the peer this cycle.
+			s.setAlive(p, false)
+			continue
+		}
 		c, err := s.conn(p.url)
 		if err != nil {
+			done(false)
 			s.setAlive(p, false)
 			continue
 		}
 		v, err := c.Call("", "", "job.stats")
-		if err != nil {
+		if err != nil && !isFault(err) {
+			done(false)
 			s.dropConn(p.url)
 			s.setAlive(p, false)
 			continue
 		}
+		done(true)
 		st, ok := v.(map[string]any)
 		if !ok {
 			s.setAlive(p, false)
@@ -487,9 +554,6 @@ func (s *Scheduler) pollPeers() {
 		p.running, _ = rpc.CoerceInt(st["running"])
 		p.workers, _ = rpc.CoerceInt(st["workers"])
 		p.alive = true
-		if p.penalty > 0 {
-			p.penalty--
-		}
 		s.mu.Unlock()
 	}
 }
@@ -541,8 +605,17 @@ func (s *Scheduler) watchRemote() {
 		if len(due) == 0 {
 			continue
 		}
+		// Breaker admission: an open peer still advances each job's
+		// failed-poll count, so work on a dead peer falls back through the
+		// usual DeadPolls tolerance instead of waiting out the cooldown.
+		done, err := s.breakers.Allow(k.url)
+		if err != nil {
+			s.failGroup(due, err)
+			continue
+		}
 		c, err := s.conn(k.url)
 		if err != nil {
+			done(false)
 			s.failGroup(due, err)
 			continue
 		}
@@ -555,10 +628,12 @@ func (s *Scheduler) watchRemote() {
 		s.mu.Unlock()
 		results, err := c.Batch(k.token, calls)
 		if err != nil || len(results) != len(due) {
+			done(err == nil || isFault(err))
 			s.dropConn(k.url)
 			s.failGroup(due, err)
 			continue
 		}
+		done(true)
 		now := time.Now()
 		for i, r := range results {
 			j := due[i]
@@ -603,6 +678,11 @@ func (s *Scheduler) watchRemote() {
 // job in the group.
 func (s *Scheduler) ensureWatch(k watchKey) *peerWatch {
 	if s.cfg.EventDial == nil {
+		return nil
+	}
+	if s.breakers.State(k.url) == resilience.Open {
+		// No point dialing a push subscription at a peer the breaker
+		// already knows is down; the recovery probe re-opens the door.
 		return nil
 	}
 	s.mu.Lock()
@@ -961,16 +1041,26 @@ func (s *Scheduler) reapOrphans() {
 	s.orphans = make(map[string][]orphan)
 	s.mu.Unlock()
 	for url, orphans := range pending {
-		c, err := s.conn(url)
+		done, err := s.breakers.Allow(url)
 		if err != nil {
+			// Breaker open: the peer is known-dead, keep the copies without
+			// burning a round trip on them.
 			s.keepOrphans(url, orphans)
 			continue
 		}
+		c, err := s.conn(url)
+		if err != nil {
+			done(false)
+			s.keepOrphans(url, orphans)
+			continue
+		}
+		ok := true
 		for i, o := range orphans {
 			_, err := c.Call(o.token, o.trace, "job.cancel", o.remoteID)
 			if err != nil && !isFault(err) {
 				// Transport failure: the peer is still unreachable. Keep
 				// this and the remaining copies for a later cycle.
+				ok = false
 				s.dropConn(url)
 				s.keepOrphans(url, orphans[i:])
 				break
@@ -984,6 +1074,7 @@ func (s *Scheduler) reapOrphans() {
 			}
 			s.logger.Printf("metasched: cancelled orphaned remote copy %s on %s", o.remoteID, url)
 		}
+		done(ok)
 	}
 }
 
@@ -1034,7 +1125,9 @@ func (s *Scheduler) forward() {
 	s.mu.Lock()
 	cands := make([]*peer, 0, len(s.table))
 	for _, p := range s.table {
-		if p.alive && p.penalty == 0 && p.free() > 0 {
+		// Only fully healthy peers get new work: a half-open breaker means
+		// the peer is still proving itself on the cheap stats probe.
+		if p.alive && p.free() > 0 && s.breakers.State(p.url) == resilience.Closed {
 			cands = append(cands, p)
 		}
 	}
@@ -1144,10 +1237,12 @@ func (s *Scheduler) forwardTo(p *peer, claimed []*jobsvc.Job) {
 	}
 }
 
+// penalize force-opens a peer's breaker after a failed forward or
+// delegation handoff: the peer sits out until the cooldown elapses and
+// the job.stats recovery probe succeeds — the old fixed penalty-cycle
+// sit-out, now sharing state with the transport-level breaker.
 func (s *Scheduler) penalize(p *peer) {
-	s.mu.Lock()
-	p.penalty = s.cfg.PenaltyCycles
-	s.mu.Unlock()
+	s.breakers.For(p.url).ForceOpen()
 }
 
 func isAuthFault(err error) bool {
@@ -1245,8 +1340,13 @@ func (s *Scheduler) Refresh(j *jobsvc.Job) (*jobsvc.Job, error) {
 	if j.PeerURL == "" || j.RemoteID == "" {
 		return nil, fmt.Errorf("metasched: job %s has no remote binding", j.ID)
 	}
+	done, err := s.breakers.Allow(j.PeerURL)
+	if err != nil {
+		return nil, fmt.Errorf("metasched: refresh %s: peer %s: %w", j.ID, j.Peer, err)
+	}
 	c, err := s.conn(j.PeerURL)
 	if err != nil {
+		done(false)
 		return nil, err
 	}
 	results, err := c.Batch(j.PeerSession, []Call{
@@ -1254,9 +1354,11 @@ func (s *Scheduler) Refresh(j *jobsvc.Job) (*jobsvc.Job, error) {
 		{Method: "job.output", Params: []any{j.RemoteID}, Trace: j.Trace},
 	})
 	if err != nil || len(results) != 2 {
+		done(err == nil || isFault(err))
 		s.dropConn(j.PeerURL)
 		return nil, fmt.Errorf("metasched: refresh %s on %s: %v", j.ID, j.Peer, err)
 	}
+	done(true)
 	if results[0].Err != nil {
 		return nil, results[0].Err
 	}
@@ -1300,11 +1402,17 @@ func (s *Scheduler) CancelRemote(j *jobsvc.Job) (bool, error) {
 	if j.PeerURL == "" || j.RemoteID == "" {
 		return false, fmt.Errorf("metasched: job %s has no remote binding", j.ID)
 	}
+	done, err := s.breakers.Allow(j.PeerURL)
+	if err != nil {
+		return false, fmt.Errorf("metasched: cancel %s: peer %s: %w", j.ID, j.Peer, err)
+	}
 	c, err := s.conn(j.PeerURL)
 	if err != nil {
+		done(false)
 		return false, err
 	}
 	v, err := c.Call(j.PeerSession, j.Trace, "job.cancel", j.RemoteID)
+	done(err == nil || isFault(err))
 	if err != nil {
 		return false, err
 	}

@@ -18,6 +18,7 @@ import (
 	"clarens/internal/discovery"
 	"clarens/internal/jobsvc"
 	"clarens/internal/pki"
+	"clarens/internal/resilience"
 	"clarens/internal/rpc"
 )
 
@@ -388,10 +389,14 @@ func TestDelegationRejectedKeepsJobsLocal(t *testing.T) {
 	if got := conn.callCount("job.submit"); got != 0 {
 		t.Errorf("job.submit called %d times despite rejected delegation", got)
 	}
-	// The peer is penalized: the next cycle must not re-claim and thrash.
+	// The failed handoff force-opened the peer's breaker: the next cycle
+	// must not re-claim and thrash.
+	if open := h.sched.Stats().BreakerOpen; open != 1 {
+		t.Errorf("BreakerOpen = %d after rejected delegation, want 1", open)
+	}
 	h.sched.Kick()
 	if got := conn.callCount("proxy.login_delegated"); got != 1 {
-		t.Errorf("delegation retried %d times during penalty", got)
+		t.Errorf("delegation retried %d times while the breaker was open", got)
 	}
 	for i := 0; i < 4; i++ {
 		h.gate <- struct{}{}
@@ -560,7 +565,10 @@ func TestRecoveredUnboundRemoteRecordRequeued(t *testing.T) {
 // fallback reclaims a job from an unresponsive peer, the remote copy is
 // remembered and best-effort cancelled once the peer answers again.
 func TestPartitionedPeerOrphanCancelledOnReturn(t *testing.T) {
-	h := newHarness(t, Config{Pressure: -1, DeadPolls: 2}, nil)
+	// The partition trips the peer's breaker; a short cooldown lets the
+	// healed cycle's job.stats probe re-close it so the reap proceeds.
+	h := newHarness(t, Config{Pressure: -1, DeadPolls: 2,
+		Breaker: resilience.BreakerConfig{OpenFor: 50 * time.Millisecond}}, nil)
 	conn := h.addPeer("island", "http://island/rpc", 4)
 	base := conn.handle
 	var mu sync.Mutex
@@ -592,6 +600,9 @@ func TestPartitionedPeerOrphanCancelledOnReturn(t *testing.T) {
 	if st := h.sched.Stats(); st.Fallbacks != 1 {
 		t.Fatalf("stats = %+v, want 1 fallback", st)
 	}
+	if open := h.sched.Stats().BreakerOpen; open != 1 {
+		t.Errorf("BreakerOpen = %d during the partition, want 1", open)
+	}
 	if got := conn.callCount("job.cancel"); got != 0 {
 		t.Fatalf("job.cancel called %d times while the peer was unreachable", got)
 	}
@@ -606,9 +617,13 @@ func TestPartitionedPeerOrphanCancelledOnReturn(t *testing.T) {
 	mu.Lock()
 	partitioned = false
 	mu.Unlock()
-	h.sched.Kick() // peer answers again: the orphaned copy is cancelled
+	time.Sleep(75 * time.Millisecond) // let the breaker cooldown elapse
+	h.sched.Kick()                    // peer answers again: the orphaned copy is cancelled
 	if got := conn.callCount("job.cancel"); got != 1 {
 		t.Errorf("job.cancel = %d calls after the peer returned, want 1", got)
+	}
+	if open := h.sched.Stats().BreakerOpen; open != 0 {
+		t.Errorf("BreakerOpen = %d after the peer returned, want 0", open)
 	}
 }
 

@@ -1,0 +1,367 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a breaker's position in the closed → open → half-open
+// cycle.
+type State int
+
+const (
+	// Closed: traffic flows; failures are being counted.
+	Closed State = iota
+	// HalfOpen: the cooldown elapsed; a single probe is allowed
+	// through to test recovery.
+	HalfOpen
+	// Open: the target is considered down; calls fail fast.
+	Open
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker; zero fields take the documented
+// defaults.
+type BreakerConfig struct {
+	// Window is the rolling sample window consulted for the failure
+	// rate (default 32 outcomes).
+	Window int
+	// FailureRate in (0,1] trips the breaker once MinSamples outcomes
+	// are in the window (default 0.5).
+	FailureRate float64
+	// MinSamples gates rate-tripping so two early failures don't open
+	// a cold breaker (default 8).
+	MinSamples int
+	// ConsecFailures trips immediately after this many back-to-back
+	// failures regardless of rate (default 3).
+	ConsecFailures int
+	// OpenFor is the cooldown before a probe is allowed (default 5s).
+	OpenFor time.Duration
+
+	// Clock stubs time for tests; nil uses time.Now.
+	Clock func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.FailureRate <= 0 || c.FailureRate > 1 {
+		c.FailureRate = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.ConsecFailures <= 0 {
+		c.ConsecFailures = 3
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-target circuit breaker. Allow admits or rejects a
+// call; the returned done func records the call's outcome and drives
+// the state machine.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	window   []bool // ring of recent outcomes, true = failure
+	widx     int
+	wfull    bool
+	consec   int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+
+	trips    uint64 // closed->open transitions
+	rejects  uint64 // calls refused while open
+	failures uint64
+	total    uint64
+}
+
+// NewBreaker builds a breaker with the given config (zero value is
+// fine).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	c := cfg.withDefaults()
+	return &Breaker{cfg: c, window: make([]bool, c.Window)}
+}
+
+// Allow admits a call. On success it returns a done callback the
+// caller MUST invoke exactly once with the call's outcome; while open
+// it returns ErrOpen. After the cooldown a single probe call is let
+// through (half-open); its outcome closes or re-opens the breaker.
+func (b *Breaker) Allow() (done func(success bool), err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Open:
+		if b.cfg.Clock().Sub(b.openedAt) < b.cfg.OpenFor {
+			b.rejects++
+			return nil, ErrOpen
+		}
+		b.state = HalfOpen
+		b.probing = false
+		fallthrough
+	case HalfOpen:
+		if b.probing {
+			b.rejects++
+			return nil, ErrOpen
+		}
+		b.probing = true
+		return b.probeDone, nil
+	}
+	return b.closedDone, nil
+}
+
+// Record is Allow for callers that already made the call: it feeds an
+// outcome into the breaker without the admission check. Used when the
+// admission decision happened elsewhere (e.g. a batch shared one
+// admission) or when a logical failure (a refusal inside a successful
+// transport exchange) should still count against the target.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == HalfOpen {
+		b.settleProbe(success)
+		return
+	}
+	if b.state == Open {
+		return
+	}
+	b.record(success)
+}
+
+func (b *Breaker) closedDone(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Closed {
+		// The breaker tripped (or probed) while this call was in
+		// flight; in half-open the outcome belongs to the probe path
+		// only if this call *is* the probe, which uses probeDone.
+		return
+	}
+	b.record(success)
+}
+
+func (b *Breaker) probeDone(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != HalfOpen {
+		return
+	}
+	b.settleProbe(success)
+}
+
+// settleProbe resolves a half-open probe outcome. Caller holds mu.
+func (b *Breaker) settleProbe(success bool) {
+	b.probing = false
+	b.total++
+	if success {
+		b.state = Closed
+		b.resetWindow()
+		return
+	}
+	b.failures++
+	b.trip()
+}
+
+// record feeds one closed-state outcome. Caller holds mu.
+func (b *Breaker) record(success bool) {
+	b.total++
+	fail := !success
+	if fail {
+		b.failures++
+		b.consec++
+	} else {
+		b.consec = 0
+	}
+	b.window[b.widx] = fail
+	if b.widx++; b.widx == len(b.window) {
+		b.widx, b.wfull = 0, true
+	}
+	if b.consec >= b.cfg.ConsecFailures {
+		b.trip()
+		return
+	}
+	n := b.widx
+	if b.wfull {
+		n = len(b.window)
+	}
+	if n >= b.cfg.MinSamples {
+		var fails int
+		for i := 0; i < n; i++ {
+			if b.window[i] {
+				fails++
+			}
+		}
+		if float64(fails)/float64(n) >= b.cfg.FailureRate {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker. Caller holds mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.cfg.Clock()
+	b.trips++
+	b.consec = 0
+	b.resetWindow()
+}
+
+func (b *Breaker) resetWindow() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.widx, b.wfull = 0, false
+	b.consec = 0
+}
+
+// State reports the breaker's current position, resolving an elapsed
+// cooldown to half-open so observers see "probe pending" rather than a
+// stale open.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Clock().Sub(b.openedAt) >= b.cfg.OpenFor {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// BreakerStats is a point-in-time counter snapshot.
+type BreakerStats struct {
+	State    string `json:"state"`
+	Trips    uint64 `json:"trips"`
+	Rejects  uint64 `json:"rejects"`
+	Failures uint64 `json:"failures"`
+	Total    uint64 `json:"total"`
+}
+
+// Stats snapshots the breaker's counters.
+func (b *Breaker) Stats() BreakerStats {
+	st := b.State()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:    st.String(),
+		Trips:    b.trips,
+		Rejects:  b.rejects,
+		Failures: b.failures,
+		Total:    b.total,
+	}
+}
+
+// ForceOpen trips the breaker immediately (operator action or an
+// out-of-band death signal such as a failed delegation handshake).
+func (b *Breaker) ForceOpen() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open {
+		b.trip()
+	} else {
+		b.openedAt = b.cfg.Clock()
+	}
+}
+
+// Group is a lazily-populated set of breakers keyed by target (peer
+// URL, host, …), all sharing one config.
+type Group struct {
+	cfg BreakerConfig
+	mu  sync.Mutex
+	m   map[string]*Breaker
+}
+
+// NewGroup builds a breaker group.
+func NewGroup(cfg BreakerConfig) *Group {
+	return &Group{cfg: cfg, m: make(map[string]*Breaker)}
+}
+
+// For returns (creating on first use) the breaker for a target.
+func (g *Group) For(target string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.m[target]
+	if b == nil {
+		b = NewBreaker(g.cfg)
+		g.m[target] = b
+	}
+	return b
+}
+
+// Allow is shorthand for For(target).Allow().
+func (g *Group) Allow(target string) (func(success bool), error) {
+	return g.For(target).Allow()
+}
+
+// State reports a target's breaker state; an unknown target is Closed.
+func (g *Group) State(target string) State {
+	g.mu.Lock()
+	b := g.m[target]
+	g.mu.Unlock()
+	if b == nil {
+		return Closed
+	}
+	return b.State()
+}
+
+// Targets lists the known targets, sorted.
+func (g *Group) Targets() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.m))
+	for k := range g.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Forget drops a target's breaker (the peer left the federation).
+func (g *Group) Forget(target string) {
+	g.mu.Lock()
+	delete(g.m, target)
+	g.mu.Unlock()
+}
+
+// OpenCount reports how many breakers are currently open.
+func (g *Group) OpenCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, b := range g.m {
+		if b.State() == Open {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats snapshots every breaker in the group.
+func (g *Group) Stats() map[string]BreakerStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]BreakerStats, len(g.m))
+	for k, b := range g.m {
+		out[k] = b.Stats()
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+// Package resilience is the shared fault-tolerance layer: one retry
+// Policy (attempt budget, exponential backoff with jitter, per-attempt
+// timeout, idempotency gate) and one per-target circuit Breaker
+// (closed/open/half-open with failure-rate tripping and probe
+// recovery). The public Client, the Subscribe reconnect loop, and the
+// meta-scheduler's peer interactions all route through this package so
+// backoff behaviour is tuned in exactly one place.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Outcome classifies one attempt's error for the retry loop.
+type Outcome int
+
+const (
+	// Success: the operation completed; stop.
+	Success Outcome = iota
+	// RetrySafe: the request provably never executed on the target
+	// (dial failure, explicit overload rejection), so retrying is safe
+	// regardless of idempotency.
+	RetrySafe
+	// RetryUnsafe: the request may have executed (connection dropped
+	// mid-call, timeout); retry only if the caller declared the
+	// operation idempotent.
+	RetryUnsafe
+	// Fatal: a definitive answer (application fault, bad request);
+	// retrying cannot help.
+	Fatal
+)
+
+// Policy is a retry policy. The zero value is usable and means "one
+// attempt, no backoff"; Default returns the tuned client policy.
+type Policy struct {
+	// MaxAttempts bounds total tries (first call + retries). <=1 means
+	// no retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each subsequent
+	// retry multiplies it by Multiplier up to MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized away (0..1).
+	// 0.5 means the actual sleep is uniform in [d/2, d].
+	Jitter float64
+	// AttemptTimeout bounds each individual attempt; 0 leaves the
+	// caller's context in charge.
+	AttemptTimeout time.Duration
+	// Classify maps an attempt error to an Outcome; nil panics —
+	// callers own the error taxonomy (the rpc layer cannot be imported
+	// from here without a cycle).
+	Classify func(error) Outcome
+	// Budget, when set, is consulted before every retry: a shared
+	// token bucket that caps the cluster-wide retry amplification a
+	// failing dependency can provoke.
+	Budget *Budget
+
+	// Retries counts retry attempts actually performed (telemetry;
+	// optional).
+	Retries *Counter
+}
+
+// Default returns the standard client-side policy: 3 attempts, 50ms
+// base doubling to 2s, half jitter.
+func Default(classify func(error) Outcome) Policy {
+	return Policy{
+		MaxAttempts: 3,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.5,
+		Classify:    classify,
+	}
+}
+
+// Backoff returns the jittered delay before retry number attempt
+// (attempt 0 = first retry). Exposed so loops that manage their own
+// retries (the Subscribe reconnect pump) share the same curve.
+func (p Policy) Backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= mult
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	return jitter(time.Duration(d), p.Jitter)
+}
+
+// Backoff is the package-level jittered exponential backoff:
+// base*2^attempt capped at max, with the given jitter fraction
+// randomized away. Convenience for loops with no Policy at hand.
+func Backoff(attempt int, base, max time.Duration, jitterFrac float64) time.Duration {
+	return Policy{BaseDelay: base, MaxDelay: max, Multiplier: 2, Jitter: jitterFrac}.Backoff(attempt)
+}
+
+func jitter(d time.Duration, frac float64) time.Duration {
+	if frac <= 0 || d <= 0 {
+		return d
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	span := float64(d) * frac
+	return time.Duration(float64(d) - span*rand.Float64())
+}
+
+// Do runs op under the policy. idempotent gates RetryUnsafe outcomes:
+// a non-idempotent operation is never retried after an ambiguous
+// failure. The last attempt's error is returned.
+func (p Policy) Do(ctx context.Context, idempotent bool, op func(context.Context) error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if p.Budget != nil && !p.Budget.Spend() {
+				return err // budget exhausted: surface the prior failure
+			}
+			if p.Retries != nil {
+				p.Retries.Inc()
+			}
+			select {
+			case <-ctx.Done():
+				return err
+			case <-time.After(p.Backoff(i - 1)):
+			}
+		}
+		actx := ctx
+		var cancel context.CancelFunc
+		if p.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err = op(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			// nil is success no matter what Classify would say: guard
+			// against classifiers that only map error shapes.
+			if p.Budget != nil {
+				p.Budget.Earn()
+			}
+			return nil
+		}
+		switch p.Classify(err) {
+		case Success:
+			if p.Budget != nil {
+				p.Budget.Earn()
+			}
+			return err
+		case Fatal:
+			return err
+		case RetryUnsafe:
+			if !idempotent {
+				return err
+			}
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// Budget is a token bucket shared across a client's calls that limits
+// retry amplification: each retry spends a token, each success earns a
+// fraction back. When drained, Do fails fast instead of retrying.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	earn   float64
+}
+
+// NewBudget returns a budget holding max tokens, refilled by earnRate
+// (tokens per successful call, typically 0.1).
+func NewBudget(max, earnRate float64) *Budget {
+	if max <= 0 {
+		max = 10
+	}
+	if earnRate <= 0 {
+		earnRate = 0.1
+	}
+	return &Budget{tokens: max, max: max, earn: earnRate}
+}
+
+// Spend consumes one retry token; false means the budget is exhausted.
+func (b *Budget) Spend() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Earn credits a successful call back into the budget.
+func (b *Budget) Earn() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.tokens += b.earn; b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Counter is a tiny dependency-free telemetry counter; the assembly
+// layer bridges these into the real telemetry registry.
+type Counter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Value reads the count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// ErrOpen is returned by Breaker.Allow while the breaker is open and
+// the cooldown has not elapsed: the caller should fail fast and shed
+// load elsewhere.
+var ErrOpen = errors.New("resilience: circuit open")

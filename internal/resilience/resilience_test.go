@@ -1,0 +1,268 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var (
+	errRetrySafe   = errors.New("safe")
+	errRetryUnsafe = errors.New("unsafe")
+	errFatal       = errors.New("fatal")
+)
+
+func classify(err error) Outcome {
+	switch {
+	case err == nil:
+		return Success
+	case errors.Is(err, errRetrySafe):
+		return RetrySafe
+	case errors.Is(err, errRetryUnsafe):
+		return RetryUnsafe
+	default:
+		return Fatal
+	}
+}
+
+func fastPolicy() Policy {
+	p := Default(classify)
+	p.BaseDelay = time.Millisecond
+	p.MaxDelay = 4 * time.Millisecond
+	return p
+}
+
+func TestPolicyRetriesSafeErrors(t *testing.T) {
+	p := fastPolicy()
+	calls := 0
+	err := p.Do(context.Background(), false, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errRetrySafe
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on third attempt", err, calls)
+	}
+}
+
+func TestPolicyIdempotencyGate(t *testing.T) {
+	p := fastPolicy()
+	calls := 0
+	err := p.Do(context.Background(), false, func(context.Context) error {
+		calls++
+		return errRetryUnsafe
+	})
+	if !errors.Is(err, errRetryUnsafe) || calls != 1 {
+		t.Fatalf("non-idempotent ambiguous failure retried: err=%v calls=%d", err, calls)
+	}
+	calls = 0
+	err = p.Do(context.Background(), true, func(context.Context) error {
+		calls++
+		return errRetryUnsafe
+	})
+	if !errors.Is(err, errRetryUnsafe) || calls != p.MaxAttempts {
+		t.Fatalf("idempotent ambiguous failure: err=%v calls=%d want %d", err, calls, p.MaxAttempts)
+	}
+}
+
+func TestPolicyFatalStops(t *testing.T) {
+	p := fastPolicy()
+	calls := 0
+	err := p.Do(context.Background(), true, func(context.Context) error {
+		calls++
+		return errFatal
+	})
+	if !errors.Is(err, errFatal) || calls != 1 {
+		t.Fatalf("fatal error retried: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestPolicyRespectsContext(t *testing.T) {
+	p := fastPolicy()
+	p.BaseDelay, p.MaxDelay = time.Hour, time.Hour // backoff would stall forever
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, true, func(context.Context) error {
+			calls++
+			return errRetrySafe
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errRetrySafe) {
+			t.Fatalf("want last attempt error, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do did not honor context cancellation during backoff")
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d want 1", calls)
+	}
+}
+
+func TestPolicyBudgetExhaustion(t *testing.T) {
+	p := fastPolicy()
+	p.MaxAttempts = 10
+	p.Budget = NewBudget(2, 0.1) // only two retry tokens
+	calls := 0
+	err := p.Do(context.Background(), true, func(context.Context) error {
+		calls++
+		return errRetrySafe
+	})
+	if err == nil || calls != 3 { // 1 initial + 2 budgeted retries
+		t.Fatalf("budget not enforced: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestBackoffBoundsAndJitter(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.5}
+	for attempt, want := range []time.Duration{100, 200, 400, 800, 1000, 1000} {
+		want *= time.Millisecond
+		for i := 0; i < 50; i++ {
+			d := p.Backoff(attempt)
+			if d > want || d < want/2 {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+	// No jitter: exact.
+	p.Jitter = 0
+	if d := p.Backoff(2); d != 400*time.Millisecond {
+		t.Fatalf("unjittered backoff = %v, want 400ms", d)
+	}
+	// Jitter actually varies.
+	p.Jitter = 0.5
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 32; i++ {
+		seen[p.Backoff(3)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jittered backoff produced a constant")
+	}
+}
+
+func TestPolicyAttemptTimeout(t *testing.T) {
+	p := fastPolicy()
+	p.MaxAttempts = 2
+	p.AttemptTimeout = 5 * time.Millisecond
+	calls := 0
+	err := p.Do(context.Background(), true, func(ctx context.Context) error {
+		calls++
+		<-ctx.Done() // each attempt individually bounded
+		return errRetryUnsafe
+	})
+	if !errors.Is(err, errRetryUnsafe) || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	b := NewBreaker(BreakerConfig{ConsecFailures: 3, OpenFor: time.Second, Clock: clock})
+
+	for i := 0; i < 3; i++ {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("closed breaker rejected call %d: %v", i, err)
+		}
+		done(false)
+	}
+	if st := b.State(); st != Open {
+		t.Fatalf("state after consecutive failures = %v, want open", st)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker admitted a call: %v", err)
+	}
+
+	// Cooldown elapses: exactly one probe admitted.
+	now = now.Add(2 * time.Second)
+	if st := b.State(); st != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", st)
+	}
+	done, err := b.Allow()
+	if err != nil {
+		t.Fatalf("half-open breaker rejected probe: %v", err)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	done(true)
+	if st := b.State(); st != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+
+	// A failed probe re-opens.
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	now = now.Add(2 * time.Second)
+	done, err = b.Allow()
+	if err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	done(false)
+	if st := b.State(); st != Open {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	st := b.Stats()
+	if st.Trips != 3 || st.Rejects == 0 {
+		t.Fatalf("stats = %+v, want 3 trips and >0 rejects", st)
+	}
+}
+
+func TestBreakerFailureRate(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 8, MinSamples: 8, FailureRate: 0.5, ConsecFailures: 100})
+	// Alternate success/failure: rate sits at 0.5 once the window fills.
+	for i := 0; i < 7; i++ {
+		b.Record(i%2 == 0)
+	}
+	if st := b.State(); st != Closed {
+		t.Fatalf("tripped before MinSamples: %v", st)
+	}
+	b.Record(false)
+	if st := b.State(); st != Open {
+		t.Fatalf("state with 50%% failures over full window = %v, want open", st)
+	}
+}
+
+func TestBreakerForceOpen(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	b.ForceOpen()
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("forced-open breaker admitted a call")
+	}
+}
+
+func TestGroup(t *testing.T) {
+	g := NewGroup(BreakerConfig{ConsecFailures: 2, OpenFor: time.Hour})
+	done, err := g.Allow("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done(false)
+	g.For("a").Record(false)
+	if st := g.State("a"); st != Open {
+		t.Fatalf("a = %v, want open", st)
+	}
+	if st := g.State("b"); st != Closed {
+		t.Fatalf("unknown target = %v, want closed", st)
+	}
+	if n := g.OpenCount(); n != 1 {
+		t.Fatalf("open count = %d, want 1", n)
+	}
+	if ts := g.Targets(); len(ts) != 1 || ts[0] != "a" {
+		t.Fatalf("targets = %v", ts)
+	}
+	g.Forget("a")
+	if st := g.State("a"); st != Closed {
+		t.Fatal("forgotten target kept state")
+	}
+}

@@ -58,8 +58,17 @@ const (
 	CodeInternal       = -32603
 	CodeAccessDenied   = -32001
 	CodeNotAuthorized  = -32002
-	CodeApplication    = -32500
+	// CodeOverloaded marks a call the server refused BEFORE executing it
+	// — load shedding or a graceful drain in progress. It is the one
+	// fault code clients may always retry (with backoff, ideally against
+	// another peer): the request provably had no effect.
+	CodeOverloaded  = -32003
+	CodeApplication = -32500
 )
+
+// Retryable reports whether a fault code indicates a request that never
+// executed and is therefore safe to retry on any method.
+func Retryable(code int) bool { return code == CodeOverloaded }
 
 // Codec translates between wire bytes and the request/response model. A
 // Codec must be safe for concurrent use.

@@ -15,6 +15,7 @@ import (
 
 	"clarens/internal/core"
 	"clarens/internal/pubsub"
+	"clarens/internal/resilience"
 	"clarens/internal/ws"
 )
 
@@ -202,13 +203,15 @@ func (s *Subscription) run(conn *ws.Conn) {
 	for {
 		s.pump(conn)
 		conn.Close()
-		// Reconnect unless the subscription was closed deliberately.
-		backoff := reconnectMin
-		for {
+		// Reconnect unless the subscription was closed deliberately. The
+		// shared resilience backoff jitters each delay so a fleet of
+		// subscribers dropped by one server restart does not reconnect in
+		// lockstep (thundering herd).
+		for attempt := 0; ; attempt++ {
 			select {
 			case <-s.done:
 				return
-			case <-time.After(backoff):
+			case <-time.After(resilience.Backoff(attempt, reconnectMin, reconnectMax, 0.5)):
 			}
 			c, err := s.dial()
 			if err == nil {
@@ -222,9 +225,6 @@ func (s *Subscription) run(conn *ws.Conn) {
 				s.err = err
 				s.mu.Unlock()
 				return
-			}
-			if backoff *= 2; backoff > reconnectMax {
-				backoff = reconnectMax
 			}
 		}
 		s.mu.Lock()
