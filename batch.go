@@ -39,10 +39,18 @@ func (b *Batch) Add(method string, params ...any) *Batch {
 // (how a federation peer keeps each forwarded job on the trace of the
 // request that originated it). An empty trace behaves like Add.
 func (b *Batch) AddTrace(trace, method string, params ...any) *Batch {
+	return b.AddTraceSampled(trace, false, method, params...)
+}
+
+// AddTraceSampled is AddTrace with a force-sample flag: when sampled is
+// true the receiving server promotes the sub-call's trace into its span
+// store unconditionally, so a force-sampled trace stays sampled across
+// a federation forward.
+func (b *Batch) AddTraceSampled(trace string, sampled bool, method string, params ...any) *Batch {
 	if params == nil {
 		params = []any{}
 	}
-	b.calls = append(b.calls, rpc.SubCall{Method: method, Params: params, Trace: trace})
+	b.calls = append(b.calls, rpc.SubCall{Method: method, Params: params, Trace: trace, Sample: sampled})
 	return b
 }
 

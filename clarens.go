@@ -269,8 +269,25 @@ type Config struct {
 	// RequestLog, when set, receives one structured entry per RPC
 	// dispatch (method, trace and span IDs, duration, caller DN, fault)
 	// and per job lifecycle transition. Nil disables request logging
-	// with no dispatch overhead.
+	// with no dispatch overhead. Requests slower than TraceSlow log at
+	// warn level with their span breakdown inline when the trace store
+	// is enabled.
 	RequestLog *slog.Logger
+	// TraceStore controls the flight recorder: completed spans are
+	// tail-sampled into a bounded in-process ring — every trace is
+	// buffered briefly, but only slow, faulted, or force-sampled traces
+	// survive — queryable via the trace.get/trace.search RPCs,
+	// GET /debug/traces/<id>, and the clarens trace CLI, with sampled
+	// trace IDs attached to /metrics histogram buckets as OpenMetrics
+	// exemplars. Default true; set to disable.
+	TraceStore *bool
+	// TraceSlow is the tail-sampling latency threshold: a trace whose
+	// local root takes at least this long is retained even without a
+	// fault or force-sample mark (default 500ms).
+	TraceSlow time.Duration
+	// TraceCapacity bounds the span ring (default 4096 spans); the
+	// pending tail-decision buffer is bounded by the same figure.
+	TraceCapacity int
 	// TelemetryInterval is the period for republishing aggregate RPC and
 	// gauge telemetry into the MonALISA station network, so the same
 	// stations that carry service discovery also carry load data
@@ -336,6 +353,10 @@ func NewServer(cfg Config) (*Server, error) {
 		MaxBatchCalls:    cfg.MaxBatchCalls,
 		BatchParallelism: cfg.BatchParallelism,
 		RequestLog:       cfg.RequestLog,
+		TraceStore:       cfg.TraceStore == nil || *cfg.TraceStore,
+		TraceSlow:        cfg.TraceSlow,
+		TraceCapacity:    cfg.TraceCapacity,
+		ServerName:       cfg.Name,
 		Logger:           cfg.Logger,
 	})
 	if err != nil {
@@ -501,6 +522,7 @@ func NewServer(cfg Config) (*Server, error) {
 			Collector:         collector,
 			Telemetry:         cs.Telemetry(),
 			Events:            cs.RequestLog(),
+			Spans:             cs.Spans(),
 		}, exec, notify, gauges, cfg.Name)
 		if err != nil {
 			return fail(err)
@@ -575,6 +597,7 @@ func NewServer(cfg Config) (*Server, error) {
 			PollInterval: cfg.PeerPollInterval,
 			EventDial:    federationEventDialer,
 			Telemetry:    cs.Telemetry(),
+			Spans:        cs.Spans(),
 		})
 		if err != nil {
 			return fail(err)

@@ -37,9 +37,10 @@ type Client struct {
 	retry     resilience.Policy
 	breaker   *resilience.Breaker // nil unless armed via WithBreaker
 
-	sessionMu sync.RWMutex
-	session   string
-	trace     string
+	sessionMu   sync.RWMutex
+	session     string
+	trace       string
+	traceSample bool
 
 	nextID atomic.Int64
 }
@@ -49,6 +50,12 @@ type Client struct {
 // inbound value and mint one otherwise, so a caller that sets it can
 // follow its request through every server it touches.
 const TraceHeader = telemetry.TraceHeader
+
+// SampleHeader is the HTTP header that force-samples a request's trace
+// into the server's flight recorder (see WithTraceSample): the whole
+// trace is retained regardless of latency or outcome, retrievable via
+// `clarens trace <id>` or trace.get.
+const SampleHeader = telemetry.SampleHeader
 
 // NewTraceID mints a fresh 128-bit trace identifier, for callers that
 // want to stamp and correlate their own requests.
@@ -74,6 +81,7 @@ type clientOptions struct {
 	timeout     time.Duration
 	session     string
 	trace       string
+	traceSample bool
 	maxConns    int
 	insecureTLS bool
 	attempts    int
@@ -112,6 +120,14 @@ func WithSession(id string) ClientOption {
 // under one trace in the servers' logs.
 func WithTrace(id string) ClientOption {
 	return func(o *clientOptions) { o.trace = id }
+}
+
+// WithTraceSample marks every call with the X-Clarens-Trace-Sample
+// header, force-sampling its trace into the server's flight recorder so
+// the full span tree can be fetched afterwards with `clarens trace` or
+// trace.get — the client-side half of tail sampling's escape hatch.
+func WithTraceSample() ClientOption {
+	return func(o *clientOptions) { o.traceSample = true }
 }
 
 // WithMaxConns sizes the keep-alive pool (default 128), bounding the
@@ -203,6 +219,7 @@ func Dial(url string, opts ...ClientOption) (*Client, error) {
 		session:   o.session,
 		trace:     o.trace,
 	}
+	c.traceSample = o.traceSample
 	if o.attempts > 0 {
 		c.retry.MaxAttempts = o.attempts
 	}
@@ -330,6 +347,22 @@ func (c *Client) SetTrace(id string) {
 	c.sessionMu.Unlock()
 }
 
+// SetTraceSample toggles force-sampling: while on, every call carries
+// the X-Clarens-Trace-Sample header and its trace is promoted into the
+// server's flight recorder unconditionally.
+func (c *Client) SetTraceSample(on bool) {
+	c.sessionMu.Lock()
+	c.traceSample = on
+	c.sessionMu.Unlock()
+}
+
+// TraceSampling reports whether force-sampling is on.
+func (c *Client) TraceSampling() bool {
+	c.sessionMu.RLock()
+	defer c.sessionMu.RUnlock()
+	return c.traceSample
+}
+
 // callTrace resolves the trace ID for one call: context override first,
 // then the client-level trace.
 func (c *Client) callTrace(ctx context.Context) string {
@@ -403,6 +436,9 @@ func (c *Client) callOnce(ctx context.Context, method string, params ...any) (an
 	}
 	if tr := c.callTrace(ctx); tr != "" {
 		httpReq.Header.Set(TraceHeader, tr)
+	}
+	if c.TraceSampling() {
+		httpReq.Header.Set(SampleHeader, "1")
 	}
 	httpResp, err := c.http.Do(httpReq)
 	if err != nil {

@@ -27,6 +27,11 @@
 //	                       stream through a fault-injecting dialer
 //	                       (dropped, reset, and refused connections),
 //	                       with the client's retry layer on versus off
+//	-experiment tracestore flight recorder: per-dispatch overhead of the
+//	                       tail-sampled span store — store off, store on
+//	                       with unremarkable traffic (spans decided and
+//	                       dropped inline), and store on with every trace
+//	                       force-sampled into the ring (worst case)
 //	-experiment all        run everything
 //
 // Results print as aligned tables; -csv DIR additionally writes one CSV
@@ -55,7 +60,9 @@ import (
 	"time"
 
 	"clarens"
+	"clarens/internal/acl"
 	"clarens/internal/baseline"
+	"clarens/internal/core"
 	"clarens/internal/faultinject"
 	"clarens/internal/monalisa"
 	"clarens/internal/pki"
@@ -76,7 +83,7 @@ type report struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "figure4", "figure4 | tls | globus | streaming | federation | staging | push | chaos | all")
+		experiment = flag.String("experiment", "figure4", "figure4 | tls | globus | streaming | federation | staging | push | chaos | tracestore | all")
 		minClients = flag.Int("min-clients", 1, "figure4: first client count")
 		maxClients = flag.Int("max-clients", 79, "figure4: last client count (paper: 79)")
 		step       = flag.Int("step", 6, "figure4: client count step")
@@ -92,6 +99,7 @@ func main() {
 		pushEvents = flag.Int("push-events", 200, "push: events fanned out to every subscriber")
 		chaosCalls = flag.Int("chaos-calls", 400, "chaos: calls per leg through the fault-injecting dialer")
 		chaosPct   = flag.Float64("chaos-fault-pct", 10, "chaos: injected fault percentage, split across dial errors, resets, and drops")
+		traceCalls = flag.Int("trace-calls", 200_000, "tracestore: dispatches per timed round")
 		csvDir     = flag.String("csv", "", "directory for CSV output (optional)")
 		jsonOut    = flag.String("json", "", "file for a JSON summary of all results (optional)")
 	)
@@ -126,6 +134,8 @@ func main() {
 			rep.Experiments["push"] = runPush(*pushSubs, *pushEvents, *fedJobs, *fedJobSecs, *csvDir)
 		case "chaos":
 			rep.Experiments["chaos"] = runChaos(*chaosCalls, *chaosPct, *csvDir)
+		case "tracestore":
+			rep.Experiments["tracestore"] = runTracestore(*traceCalls, *csvDir)
 		case "all":
 			rep.Experiments["figure4"] = runFigure4(*minClients, *maxClients, *step, *calls, *repeats, *csvDir)
 			rep.Experiments["tls"] = runTLS(*calls, *repeats, *csvDir)
@@ -135,6 +145,7 @@ func main() {
 			rep.Experiments["staging"] = runStaging(*stagingMB, *csvDir)
 			rep.Experiments["push"] = runPush(*pushSubs, *pushEvents, *fedJobs, *fedJobSecs, *csvDir)
 			rep.Experiments["chaos"] = runChaos(*chaosCalls, *chaosPct, *csvDir)
+			rep.Experiments["tracestore"] = runTracestore(*traceCalls, *csvDir)
 		case "":
 		default:
 			log.Fatalf("unknown experiment %q", exp)
@@ -1162,5 +1173,111 @@ func runChaos(calls int, faultPct float64, csvDir string) map[string]any {
 		"fault_pct": faultPct,
 		"retry":     withRetry,
 		"no_retry":  noRetry,
+	}
+}
+
+// traceBenchService registers the trivial method the tracestore legs
+// dispatch; the sampled leg flips TraceSample so every trace promotes.
+type traceBenchService struct{ sampled bool }
+
+func (traceBenchService) Name() string { return "bt" }
+func (s traceBenchService) Methods() []core.Method {
+	return []core.Method{{
+		Name: "bt.echo", Help: "tracestore bench echo", Signature: []string{"string"},
+		Public: true, TraceSample: s.sampled,
+		Handler: func(ctx *core.Context, p core.Params) (any, error) { return "ok", nil },
+	}}
+}
+
+// runTracestore measures what the flight recorder costs each dispatch,
+// straight through core.Dispatch with no transport in the way: store
+// off, store on with unremarkable traffic (the tail-sampling fast path
+// decides and drops each single-span trace inline), and store on with
+// every trace force-sampled into the ring — continuous eviction, the
+// worst case. Rounds interleave the three servers and the best round
+// per leg is kept, so the headline overhead numbers exclude scheduler
+// and GC noise as far as one process can.
+func runTracestore(calls int, csvDir string) map[string]any {
+	fmt.Println("== Experiment E9: flight-recorder dispatch overhead ==")
+	fmt.Printf("workload: %d in-process bt.echo dispatches per round, best of 5, store off vs on vs force-sampled\n", calls)
+
+	mk := func(store, sampled bool) *core.Server {
+		s, err := core.NewServer(core.Config{
+			ServerName: "bench",
+			TraceStore: store,
+			TraceSlow:  time.Hour, // only the sampled leg promotes traces
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.Register(traceBenchService{sampled: sampled}); err != nil {
+			log.Fatal(err)
+		}
+		if err := s.MethodACL().Set("bt", &acl.ACL{AllowDNs: []string{acl.EntryAny, acl.EntryAnonymous}}); err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	off := mk(false, false)
+	on := mk(true, false)
+	sampled := mk(true, true)
+	defer off.Close()
+	defer on.Close()
+	defer sampled.Close()
+
+	leg := func(s *core.Server, n int) float64 {
+		req := &rpc.Request{Method: "bt.echo"}
+		for i := 0; i < 2000; i++ { // warm the pipeline and method cache
+			if resp := s.Dispatch(nil, "bench", req); resp.Fault != nil {
+				log.Fatal(resp.Fault)
+			}
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			s.Dispatch(nil, "bench", req)
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(n)
+	}
+	const rounds = 5
+	best := map[string]float64{}
+	for r := 0; r < rounds; r++ {
+		for _, l := range []struct {
+			name string
+			srv  *core.Server
+		}{{"off", off}, {"on", on}, {"sampled", sampled}} {
+			ns := leg(l.srv, calls)
+			if cur, ok := best[l.name]; !ok || ns < cur {
+				best[l.name] = ns
+			}
+		}
+	}
+	overhead := best["on"] - best["off"]
+	sampledOverhead := best["sampled"] - best["off"]
+	st := sampled.Spans().Stats()
+
+	fmt.Printf("%-44s %10.0f ns/op\n", "store off (baseline dispatch)", best["off"])
+	fmt.Printf("%-44s %10.0f ns/op  (+%.0f ns)\n", "store on, unremarkable traffic", best["on"], overhead)
+	fmt.Printf("%-44s %10.0f ns/op  (+%.0f ns)\n", "store on, every trace force-sampled", best["sampled"], sampledOverhead)
+	fmt.Printf("sampled leg promoted %d traces; ring holds %d live spans across %d traces (capacity %d)\n",
+		st.SampledTraces, st.Live, st.Traces, st.Capacity)
+	fmt.Printf("target: <= 150 ns added on the unremarkable path — measured +%.0f ns\n", overhead)
+	if out := csvFile(csvDir, "tracestore.csv"); out != nil {
+		fmt.Fprintln(out, "leg,ns_per_op")
+		fmt.Fprintf(out, "off,%.1f\non,%.1f\nsampled,%.1f\n", best["off"], best["on"], best["sampled"])
+		out.Close()
+	}
+	fmt.Println()
+	return map[string]any{
+		"calls_per_round":            calls,
+		"rounds":                     rounds,
+		"off_ns_per_op":              best["off"],
+		"on_ns_per_op":               best["on"],
+		"sampled_ns_per_op":          best["sampled"],
+		"overhead_ns_per_op":         overhead,
+		"sampled_overhead_ns_per_op": sampledOverhead,
+		"target_overhead_ns":         150,
+		"sampled_traces":             st.SampledTraces,
+		"ring_live_spans":            st.Live,
+		"ring_traces":                st.Traces,
 	}
 }

@@ -60,6 +60,9 @@ func main() {
 		fedIssuers   = flag.String("federation-issuers", "", "comma-separated peer RPC endpoint URLs trusted to vouch for delegated logins (empty = refuse every remote issuer)")
 		publish      = flag.Bool("publish", false, "publish services to the discovery network on startup")
 		metrics      = flag.Bool("metrics", true, "serve Prometheus text metrics at /metrics")
+		traceStore   = flag.Bool("trace-store", true, "keep a tail-sampled span store queryable via trace.get/trace.search and /debug/traces/")
+		traceSlow    = flag.Duration("trace-slow", 0, "latency threshold above which a trace is retained (0 = 500ms default)")
+		traceCap     = flag.Int("trace-capacity", 0, "span ring capacity (0 = 4096 default)")
 		push         = flag.Bool("push", true, "serve the push-event WebSocket endpoint at /ws")
 		mintSession  = flag.String("mint-session", "", "mint a session for this DN on startup and print the token (bootstrap/smoke tests)")
 		pprofFlag    = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (trusted networks only)")
@@ -95,6 +98,9 @@ func main() {
 		EnablePortal:         *portal,
 		LocalStation:         *localStation,
 		EnableMetrics:        *metrics,
+		TraceStore:           traceStore,
+		TraceSlow:            *traceSlow,
+		TraceCapacity:        *traceCap,
 		EnablePprof:          *pprofFlag,
 		DisablePush:          !*push,
 		TelemetryInterval:    *telemetryInt,
@@ -148,6 +154,9 @@ func main() {
 	fmt.Printf("%s\nserving at %s (rpc endpoint %s)\n", clarens.Version, srv.URL(), srv.RPCURL())
 	if *metrics {
 		fmt.Printf("metrics at %s/metrics\n", srv.URL())
+	}
+	if *traceStore {
+		fmt.Printf("traces at %s/debug/traces/\n", srv.URL())
 	}
 	if *pprofFlag {
 		fmt.Printf("pprof at %s/debug/pprof/\n", srv.URL())

@@ -20,6 +20,8 @@
 //	job status|output|cancel <id>  inspect or stop a job
 //	job list [state]               list jobs (queued|running|done|failed|cancelled)
 //	job stats                      scheduler counters
+//	trace <id> [-local] [-json]    render a stored trace as a cross-server waterfall
+//	trace search [filter-json]     list sampled traces, newest first
 //	watch <query> [-n count] [-for duration]   stream push events as JSON lines
 package main
 
@@ -28,7 +30,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"flag"
@@ -41,6 +45,8 @@ func main() {
 		url     = flag.String("url", "http://127.0.0.1:8080", "server base or endpoint URL")
 		proto   = flag.String("proto", "xmlrpc", "protocol: xmlrpc, jsonrpc, soap")
 		session = flag.String("session", os.Getenv("CLARENS_SESSION"), "session token (or $CLARENS_SESSION)")
+		traceID = flag.String("trace", "", "stamp every call with this trace ID (X-Clarens-Trace)")
+		sample  = flag.Bool("sample", false, "force-sample calls into the server's span store, retrievable later with `clarens trace <id>`")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -48,7 +54,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c, err := clarens.Dial(*url, clarens.WithProtocol(*proto), clarens.WithSession(*session))
+	opts := []clarens.ClientOption{clarens.WithProtocol(*proto), clarens.WithSession(*session)}
+	if *traceID != "" {
+		opts = append(opts, clarens.WithTrace(*traceID))
+	}
+	if *sample {
+		opts = append(opts, clarens.WithTraceSample())
+	}
+	c, err := clarens.Dial(*url, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -125,6 +138,8 @@ func run(c *clarens.Client, args []string) error {
 		return runVO(c, args[1:])
 	case "job":
 		return runJob(c, args[1:])
+	case "trace":
+		return runTrace(c, args[1:])
 	case "watch":
 		return runWatch(c, args[1:])
 	case "shell":
@@ -366,6 +381,156 @@ func runJob(c *clarens.Client, args []string) error {
 	default:
 		return fmt.Errorf("unknown job command %q", args[0])
 	}
+}
+
+// runTrace fetches a stored trace and renders it as a waterfall: one
+// line per span, indented by call depth, with a proportional time bar —
+// for federated traces the merged tree spans every server the request
+// touched. `trace search` lists sampled traces instead.
+func runTrace(c *clarens.Client, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: trace <id> [-local] [-json] | trace search [filter-json]")
+	}
+	if args[0] == "search" {
+		filter := map[string]any{}
+		if len(args) > 1 {
+			if err := json.Unmarshal([]byte(args[1]), &filter); err != nil {
+				return fmt.Errorf("trace search: filter must be a JSON object: %v", err)
+			}
+		}
+		rows, err := c.CallList("trace.search", filter)
+		if err != nil {
+			return err
+		}
+		for _, e := range rows {
+			m, _ := e.(map[string]any)
+			servers, _ := m["servers"].([]any)
+			fmt.Printf("%v  %-24v %9.1fms %3.0f spans  fault=%.0f  %v\n",
+				m["trace"], m["method"], num(m["dur_ms"]), num(m["spans"]), num(m["fault"]), servers)
+		}
+		return nil
+	}
+	id := args[0]
+	localOnly, asJSON := false, false
+	for _, a := range args[1:] {
+		switch a {
+		case "-local":
+			localOnly = true
+		case "-json":
+			asJSON = true
+		default:
+			return fmt.Errorf("trace: unknown option %q", a)
+		}
+	}
+	doc, err := c.CallStruct("trace.get", id, localOnly)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return printJSON(doc)
+	}
+	return renderWaterfall(doc)
+}
+
+// traceSpan is the subset of the trace.get span map the waterfall needs.
+type traceSpan struct {
+	method, server string
+	startMS, durMS float64
+	fault, depth   int
+}
+
+// renderWaterfall prints one merged trace document as an aligned
+// waterfall: span rows sorted by start time, a bar per span positioned
+// proportionally within the trace's wall-clock window.
+func renderWaterfall(doc map[string]any) error {
+	raw, _ := doc["spans"].([]any)
+	spans := make([]traceSpan, 0, len(raw))
+	labelWidth := 0
+	for _, e := range raw {
+		m, ok := e.(map[string]any)
+		if !ok {
+			continue
+		}
+		sp := traceSpan{
+			startMS: num(m["start_ms"]),
+			durMS:   num(m["dur_ms"]),
+			fault:   int(num(m["fault"])),
+			depth:   int(num(m["depth"])),
+		}
+		sp.method, _ = m["method"].(string)
+		sp.server, _ = m["server"].(string)
+		if sp.server == "" {
+			sp.server = "?"
+		}
+		if w := 2*sp.depth + len(sp.method) + len(sp.server) + 1; w > labelWidth {
+			labelWidth = w
+		}
+		spans = append(spans, sp)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("trace %v has no spans", doc["trace"])
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].startMS != spans[j].startMS {
+			return spans[i].startMS < spans[j].startMS
+		}
+		return spans[i].depth < spans[j].depth
+	})
+	t0, end := spans[0].startMS, 0.0
+	for _, sp := range spans {
+		if e := sp.startMS + sp.durMS; e > end {
+			end = e
+		}
+	}
+	total := end - t0
+	if total <= 0 {
+		total = 1
+	}
+	servers, _ := doc["servers"].([]any)
+	fmt.Printf("trace %v  %d spans on %d server(s) %v  total %.2fms\n",
+		doc["trace"], len(spans), len(servers), servers, total)
+	const width = 32
+	for _, sp := range spans {
+		startCol := int((sp.startMS - t0) / total * width)
+		barLen := int(sp.durMS / total * float64(width))
+		if barLen < 1 {
+			barLen = 1
+		}
+		if startCol > width-1 {
+			startCol = width - 1
+		}
+		if startCol+barLen > width {
+			barLen = width - startCol
+		}
+		bar := strings.Repeat(".", startCol) + strings.Repeat("#", barLen) +
+			strings.Repeat(".", width-startCol-barLen)
+		label := strings.Repeat("  ", sp.depth) + sp.method + "@" + sp.server
+		mark := ""
+		if sp.fault != 0 {
+			mark = fmt.Sprintf("  FAULT %d", sp.fault)
+		}
+		fmt.Printf("  %-*s %9.2fms  [%s]%s\n", labelWidth, label, sp.durMS, bar, mark)
+	}
+	if errs, ok := doc["errors"].([]any); ok && len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "  peer fetch failed: %v\n", e)
+		}
+	}
+	return nil
+}
+
+// num coerces the codec's numeric shapes (int over XML-RPC, float64
+// over JSON-RPC) to float64; anything else is 0.
+func num(v any) float64 {
+	switch x := v.(type) {
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	return 0
 }
 
 // parseArg interprets a CLI argument as JSON when possible, falling back

@@ -37,8 +37,9 @@ func (a *federationConn) Batch(token string, calls []metasched.Call) ([]metasche
 	b := a.c.Batch()
 	for _, cl := range calls {
 		// Per-sub-call traces ride the multicall entries, so one batched
-		// POST carries each job's own trace to the peer.
-		b.AddTrace(cl.Trace, cl.Method, cl.Params...)
+		// POST carries each job's own trace — and its force-sample bit —
+		// to the peer.
+		b.AddTraceSampled(cl.Trace, cl.Sample, cl.Method, cl.Params...)
 	}
 	rs, err := b.Run()
 	if err != nil {

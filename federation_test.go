@@ -693,3 +693,124 @@ func TestFederationArtifactPullBack(t *testing.T) {
 		t.Error("federation ArtifactBytes gauge never moved")
 	}
 }
+
+// TestFederatedTraceAssembly is the flight-recorder acceptance path: a
+// force-sampled trace submits a burst of jobs on the origin, some of
+// which the meta-scheduler forwards to the peer; trace.get on the ORIGIN
+// then returns ONE merged span tree covering both servers — the origin's
+// dispatch spans, the peer's forwarded job.submit, and the peer's
+// synthetic job.exec span — assembled over the recorded forward edges.
+func TestFederatedTraceAssembly(t *testing.T) {
+	servers := startFederation(t, 2, nil)
+	front, peer := servers[0], servers[1]
+
+	traceID := NewTraceID()
+	c, err := Dial(front.URL(), WithTrace(traceID), WithTraceSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := front.NewSessionFor(userDN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetSession(sess.ID)
+
+	const jobs = 10
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		id, err := c.CallString("job.submit", "sleep 0.2 && echo traced", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	// The sample header must have promoted the trace on the origin
+	// immediately — that's the bit the forward carries to the peer.
+	if !front.Core().Spans().Sampled(traceID) {
+		t.Fatal("force-sampled trace not in the origin's span store")
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		done := 0
+		for _, id := range ids {
+			if j, ok := front.Jobs.Get(id); ok && jobsvc.Terminal(j.State) {
+				done++
+			}
+		}
+		if done == len(ids) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("burst not drained: %d/%d done", done, len(ids))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if front.Federation.Stats().Forwarded == 0 {
+		t.Fatal("no jobs were forwarded; federated assembly not exercised")
+	}
+
+	// The origin recorded the forward edge, and the peer kept the trace
+	// sampled (the force bit rode the forwarded multicall).
+	if links := front.Core().Spans().Links(traceID); len(links) == 0 {
+		t.Fatal("origin recorded no forward edges for the trace")
+	}
+	if !peer.Core().Spans().Sampled(traceID) {
+		t.Fatal("peer did not adopt the force-sample bit for the forwarded trace")
+	}
+
+	// trace.get on the ORIGIN returns one merged cross-server tree.
+	ac, err := Dial(front.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	asess, err := front.NewSessionFor(adminDN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac.SetSession(asess.ID)
+	doc, err := ac.CallStruct("trace.get", traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc["trace"] != traceID {
+		t.Fatalf("merged doc trace = %v, want %s", doc["trace"], traceID)
+	}
+	if errs, ok := doc["errors"]; ok {
+		t.Fatalf("assembly reported peer errors: %v", errs)
+	}
+
+	spans, _ := doc["spans"].([]any)
+	perServer := map[string]int{}
+	methods := map[string]bool{}
+	for _, e := range spans {
+		m, _ := e.(map[string]any)
+		if m["trace"] != traceID {
+			t.Fatalf("span from foreign trace in merged tree: %v", m)
+		}
+		srv, _ := m["server"].(string)
+		perServer[srv]++
+		if meth, _ := m["method"].(string); meth != "" {
+			methods[meth] = true
+		}
+	}
+	if perServer["site0"] == 0 || perServer["site1"] == 0 {
+		t.Fatalf("merged tree spans per server = %v, want both site0 and site1", perServer)
+	}
+	if !methods["job.submit"] || !methods["job.exec"] {
+		t.Errorf("merged tree methods = %v, want job.submit and job.exec", methods)
+	}
+	srvList, _ := doc["servers"].([]any)
+	if len(srvList) != 2 {
+		t.Errorf("servers = %v, want [site0 site1]", srvList)
+	}
+
+	// The same merged document is reachable over plain HTTP for humans.
+	links, _ := doc["links"].([]any)
+	if len(links) == 0 {
+		t.Error("merged doc carries no forward links")
+	}
+}

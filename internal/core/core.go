@@ -64,6 +64,11 @@ type Method struct {
 	// handler's context carries the deadline and is cancelled when it
 	// expires. Zero falls back to the server-wide Config.MethodTimeout.
 	Timeout time.Duration
+	// TraceSample force-samples every trace that dispatches this method
+	// into the span store, regardless of latency or outcome — for rare,
+	// high-value operations (e.g. admin mutations) that should always
+	// leave a flight record.
+	TraceSample bool
 	// Handler executes the method.
 	Handler Handler
 }
@@ -116,6 +121,16 @@ type Context struct {
 	span       string
 	parentSpan string
 
+	// localRoot marks the span that decides its trace's tail-sampling
+	// fate on this server: a top-level dispatch, or a multicall sub-call
+	// that carried its own (foreign) trace ID — a forwarded job riding a
+	// peer's batch.
+	localRoot bool
+	// forceSample promotes the trace into the span store unconditionally:
+	// set by the X-Clarens-Trace-Sample header, a sub-call's sample flag,
+	// or the method's TraceSample bit.
+	forceSample bool
+
 	srv *Server
 }
 
@@ -154,6 +169,11 @@ func (c *Context) SpanID() string { return c.span }
 // ParentSpanID returns the enclosing dispatch's span for multicall
 // sub-calls, or "" at the trace root on this server.
 func (c *Context) ParentSpanID() string { return c.parentSpan }
+
+// ForceSampled reports whether this dispatch's trace is being
+// force-sampled into the span store (sample header, sub-call sample
+// flag, or per-method TraceSample).
+func (c *Context) ForceSampled() bool { return c.forceSample }
 
 // Authenticated reports whether the caller presented a valid identity.
 func (c *Context) Authenticated() bool { return !c.DN.IsZero() }

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"time"
 
 	"clarens/internal/acl"
@@ -150,21 +151,26 @@ func (s *Server) recoverInterceptor(next Handler) Handler {
 	}
 }
 
-// traceInterceptor establishes the dispatch's trace identity and, when a
-// request log is configured, emits one structured entry per dispatched
-// call. A directly POSTed call adopts a valid inbound X-Clarens-Trace
-// header or mints a fresh trace ID; multicall sub-calls arrive with
-// their trace and span already derived by Invoke and keep them. Sitting
-// just inside the recovery stage, it observes every call — including
-// unknown methods and ACL denials — so a trace never goes dark at a
-// fault.
+// traceInterceptor establishes the dispatch's trace identity, records
+// the completed span into the flight recorder, and, when a request log
+// is configured, emits one structured entry per dispatched call. A
+// directly POSTed call adopts a valid inbound X-Clarens-Trace header
+// (and the X-Clarens-Trace-Sample force bit) or mints a fresh trace ID;
+// multicall sub-calls arrive with their trace and span already derived
+// by Invoke and keep them. Sitting just inside the recovery stage, it
+// observes every call — including unknown methods and ACL denials — so
+// a trace never goes dark at a fault.
 func (s *Server) traceInterceptor(next Handler) Handler {
 	return func(ctx *Context, params Params) (any, error) {
 		if ctx.span == "" {
+			ctx.localRoot = true
 			if ctx.trace == "" {
 				if ctx.httpReq != nil {
 					if t := ctx.httpReq.Header.Get(telemetry.TraceHeader); telemetry.ValidTraceID(t) {
 						ctx.trace = t
+					}
+					if ctx.httpReq.Header.Get(telemetry.SampleHeader) != "" {
+						ctx.forceSample = true
 					}
 				}
 				if ctx.trace == "" {
@@ -173,39 +179,94 @@ func (s *Server) traceInterceptor(next Handler) Handler {
 			}
 			ctx.span = telemetry.NewSpanID()
 		}
-		lg := s.requestLog
-		if lg == nil {
+		if ctx.method != nil && ctx.method.TraceSample {
+			ctx.forceSample = true
+		}
+		st, lg := s.spans, s.requestLog
+		if st == nil && lg == nil {
 			return next(ctx, params)
 		}
 		start := time.Now()
 		result, err := next(ctx, params)
-		attrs := make([]slog.Attr, 0, 10)
-		attrs = append(attrs,
-			slog.String("method", ctx.methodName),
-			slog.String("trace", ctx.trace),
-			slog.String("span", ctx.span),
-			slog.String("proto", ctx.Protocol),
-			slog.Float64("dur_ms", float64(time.Since(start))/float64(time.Millisecond)),
-		)
-		if ctx.parentSpan != "" {
-			attrs = append(attrs, slog.String("parent_span", ctx.parentSpan), slog.Int("depth", ctx.depth))
-		}
-		if !ctx.DN.IsZero() {
-			attrs = append(attrs, slog.String("dn", ctx.DN.String()))
-		}
-		if ctx.RemoteAddr != "" {
-			attrs = append(attrs, slog.String("remote", ctx.RemoteAddr))
-		}
+		dur := time.Since(start)
+		faultCode := 0
 		if err != nil {
-			code := rpc.CodeApplication
+			faultCode = rpc.CodeApplication
 			if f, ok := err.(*rpc.Fault); ok {
-				code = f.Code
+				faultCode = f.Code
 			}
-			attrs = append(attrs, slog.Int("fault", code), slog.String("error", err.Error()))
 		}
-		lg.LogAttrs(ctx.Context, slog.LevelInfo, "rpc", attrs...)
+		if st != nil {
+			sp := telemetry.Span{
+				Trace:    ctx.trace,
+				Span:     ctx.span,
+				Parent:   ctx.parentSpan,
+				Method:   ctx.methodName,
+				Peer:     ctx.RemoteAddr,
+				Start:    start,
+				Duration: dur,
+				Fault:    faultCode,
+				Depth:    ctx.depth,
+			}
+			if !ctx.DN.IsZero() {
+				sp.DN = ctx.DN.String()
+			}
+			st.Record(sp, ctx.localRoot, ctx.forceSample)
+		}
+		if lg != nil {
+			attrs := make([]slog.Attr, 0, 12)
+			attrs = append(attrs,
+				slog.String("method", ctx.methodName),
+				slog.String("trace", ctx.trace),
+				slog.String("span", ctx.span),
+				slog.String("proto", ctx.Protocol),
+				slog.Float64("dur_ms", float64(dur)/float64(time.Millisecond)),
+			)
+			if ctx.parentSpan != "" {
+				attrs = append(attrs, slog.String("parent_span", ctx.parentSpan), slog.Int("depth", ctx.depth))
+			}
+			if !ctx.DN.IsZero() {
+				attrs = append(attrs, slog.String("dn", ctx.DN.String()))
+			}
+			if ctx.RemoteAddr != "" {
+				attrs = append(attrs, slog.String("remote", ctx.RemoteAddr))
+			}
+			if err != nil {
+				attrs = append(attrs, slog.Int("fault", faultCode), slog.String("error", err.Error()))
+			}
+			level := slog.LevelInfo
+			msg := "rpc"
+			// Slow-request escalation: a local-root dispatch over the
+			// tail-sampling threshold warns with its span breakdown inline,
+			// so slow traces are findable without scraping the store.
+			if st != nil && ctx.localRoot && dur >= st.Slow() {
+				level = slog.LevelWarn
+				msg = "slow rpc"
+				attrs = append(attrs, slog.String("spans", spanBreakdown(st.Trace(ctx.trace))))
+			}
+			lg.LogAttrs(ctx.Context, level, msg, attrs...)
+		}
 		return result, err
 	}
+}
+
+// spanBreakdown renders a trace's recorded spans as one compact string
+// ("method dur_ms; ...", depth-indented) for inline slow-request logs.
+func spanBreakdown(spans []telemetry.Span) string {
+	var b strings.Builder
+	for i, sp := range spans {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for d := 0; d < sp.Depth; d++ {
+			b.WriteByte('>')
+		}
+		fmt.Fprintf(&b, "%s %.1fms", sp.Method, float64(sp.Duration)/float64(time.Millisecond))
+		if sp.Fault != 0 {
+			fmt.Fprintf(&b, " fault=%d", sp.Fault)
+		}
+	}
+	return b.String()
 }
 
 // shedInterceptor is the overload valve. It gates only top-level
@@ -410,24 +471,40 @@ func (s *Server) Invoke(parent *Context, method string, params []any) *rpc.Respo
 // falls back to the parent's, and the sub-call always becomes a child
 // span of the enclosing dispatch.
 func (s *Server) InvokeTrace(parent *Context, trace, method string, params []any) *rpc.Response {
+	return s.InvokeTraceSample(parent, trace, method, params, false)
+}
+
+// InvokeTraceSample is InvokeTrace with an explicit force-sample bit
+// (the multicall entry's sample field): a peer forwarding a
+// force-sampled trace keeps it force-sampled here too. A sub-call that
+// carries a valid foreign trace — one differing from the enclosing
+// batch's — becomes that trace's local root on this server, since the
+// batch dispatch that wraps it belongs to a different trace and will
+// never close this one out.
+func (s *Server) InvokeTraceSample(parent *Context, trace, method string, params []any, sample bool) *rpc.Response {
 	base := parent.Context
 	if base == nil {
 		base = context.Background()
 	}
+	localRoot := false
 	if !telemetry.ValidTraceID(trace) {
 		trace = parent.trace
+	} else if trace != parent.trace {
+		localRoot = true
 	}
 	ctx := &Context{
-		Context:    base,
-		DN:         parent.DN,
-		Session:    parent.Session,
-		Protocol:   parent.Protocol,
-		RemoteAddr: parent.RemoteAddr,
-		methodName: method,
-		depth:      parent.depth + 1,
-		trace:      trace,
-		parentSpan: parent.span,
-		srv:        s,
+		Context:     base,
+		DN:          parent.DN,
+		Session:     parent.Session,
+		Protocol:    parent.Protocol,
+		RemoteAddr:  parent.RemoteAddr,
+		methodName:  method,
+		depth:       parent.depth + 1,
+		trace:       trace,
+		parentSpan:  parent.span,
+		localRoot:   localRoot,
+		forceSample: parent.forceSample || sample,
+		srv:         s,
 	}
 	if ctx.trace != "" {
 		ctx.span = telemetry.NewSpanID()

@@ -87,6 +87,19 @@ type Config struct {
 	// disables request logging entirely, keeping the dispatch hot path
 	// free of formatting work.
 	RequestLog *slog.Logger
+	// TraceStore enables the flight recorder: completed spans are
+	// tail-sampled into a bounded in-process ring, queryable via the
+	// trace.* RPCs and GET /debug/traces/<id>, with sampled trace IDs
+	// attached to /metrics histogram buckets as OpenMetrics exemplars.
+	TraceStore bool
+	// TraceSlow is the tail-sampling latency threshold: traces whose
+	// local root meets it are retained. Zero means 500ms.
+	TraceSlow time.Duration
+	// TraceCapacity bounds the span ring. Zero means 4096 spans.
+	TraceCapacity int
+	// ServerName stamps recorded spans (and merged federated trace
+	// trees) with this server's name; typically the discovery name.
+	ServerName string
 }
 
 // TLSConfig carries the server identity and client-auth trust anchors.
@@ -115,6 +128,15 @@ type Server struct {
 
 	telemetry  *telemetry.Registry
 	requestLog *slog.Logger
+
+	// spans is the flight recorder (nil when Config.TraceStore is off);
+	// populated by the trace pipeline stage, queried by the trace service
+	// and /debug/traces.
+	spans *telemetry.SpanStore
+	// runtimeSampler feeds the clarens.runtime.* gauges; stopped once on
+	// shutdown.
+	runtimeSampler  *telemetry.RuntimeSampler
+	stopSamplerOnce sync.Once
 
 	// health checks and extra system.stats sections contributed by the
 	// assembled services (job queue depths, federation peer health, ...).
@@ -205,6 +227,50 @@ func NewServer(cfg Config) (*Server, error) {
 		func() float64 { return float64(s.store.Fsyncs()) })
 	s.shed = s.telemetry.Counter("clarens.core.shed_total",
 		"RPCs rejected early by the load-shedding stage (overload, expired deadline, or drain).")
+	s.runtimeSampler = telemetry.StartRuntimeSampler(s.telemetry, 10*time.Second)
+
+	if cfg.TraceStore {
+		s.spans = telemetry.NewSpanStore(telemetry.SpanStoreOptions{
+			Capacity: cfg.TraceCapacity,
+			Slow:     cfg.TraceSlow,
+			Server:   cfg.ServerName,
+		})
+		// Every promoted span becomes the exemplar of its latency bucket,
+		// closing the /metrics → trace ID loop.
+		s.spans.OnSample = func(_ string, d time.Duration, trace string) {
+			s.telemetry.AttachRPCExemplar(d, trace)
+		}
+		s.telemetry.RegisterGauge("clarens.trace.spans", "Spans resident in the flight-recorder ring.",
+			func() float64 { return float64(s.spans.Stats().Live) })
+		s.telemetry.RegisterGauge("clarens.trace.sampled_total", "Traces promoted to the flight recorder.",
+			func() float64 { return float64(s.spans.Stats().SampledTraces) })
+		s.telemetry.RegisterGauge("clarens.trace.dropped_total", "Traces discarded by tail sampling.",
+			func() float64 { return float64(s.spans.Stats().DroppedTraces) })
+		s.RegisterStatsSection("trace_store", func() map[string]any {
+			st := s.spans.Stats()
+			return map[string]any{
+				"capacity":        st.Capacity,
+				"spans":           st.Live,
+				"traces":          st.Traces,
+				"pending":         int(st.Pending),
+				"sampled_traces":  int(st.SampledTraces),
+				"dropped_traces":  int(st.DroppedTraces),
+				"forced":          int(st.Forced),
+				"slow":            int(st.Slow),
+				"faulted":         int(st.Faulted),
+				"spans_dropped":   int(st.SpansDropped),
+				"pending_evicted": int(st.PendingEvicted),
+				"slow_threshold":  s.spans.Slow().String(),
+			}
+		})
+		s.RegisterHealthCheck("trace_store", func() error {
+			if s.spans.PendingSaturated() {
+				return fmt.Errorf("pending trace buffer saturated (evictions: %d)", s.spans.Stats().PendingEvicted)
+			}
+			return nil
+		})
+		s.mux.HandleFunc("/debug/traces/", s.handleDebugTrace)
+	}
 
 	s.mux.HandleFunc(cfg.RPCPath, s.handleRPC)
 	if cfg.RPCPath != "/" {
@@ -222,6 +288,12 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := s.Register(aclService{s}); err != nil {
 		s.Close()
 		return nil, err
+	}
+	if s.spans != nil {
+		if err := s.Register(traceService{s}); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 
 	openSystem := cfg.OpenSystem == nil || *cfg.OpenSystem
@@ -264,6 +336,10 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.telemetry }
 // RequestLog returns the structured request logger, or nil when request
 // logging is disabled.
 func (s *Server) RequestLog() *slog.Logger { return s.requestLog }
+
+// Spans returns the flight-recorder span store, or nil when
+// Config.TraceStore is disabled.
+func (s *Server) Spans() *telemetry.SpanStore { return s.spans }
 
 // Logger returns the server's logger.
 func (s *Server) Logger() *log.Logger { return s.logger }
@@ -630,6 +706,7 @@ func (s *Server) RPCPath() string { return s.cfg.RPCPath }
 // sessions are told the server is going away (a "closing" frame) before
 // the bus and listener are torn down.
 func (s *Server) Close() error {
+	s.stopSamplerOnce.Do(s.runtimeSampler.Stop)
 	s.closeWS()
 	s.events.Close()
 	if s.httpSrv != nil {
@@ -669,6 +746,7 @@ func (s *Server) Drain(ctx context.Context) error {
 // for abrupt teardown.
 func (s *Server) Shutdown(ctx context.Context) error {
 	drainErr := s.Drain(ctx)
+	s.stopSamplerOnce.Do(s.runtimeSampler.Stop)
 	// WS connections are hijacked from the http.Server, so they are
 	// notified explicitly; the pubsub bus close unblocks their readers.
 	s.closeWS()

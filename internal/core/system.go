@@ -269,7 +269,7 @@ func (sv systemService) runSubCall(ctx *Context, entry any) any {
 	if fault != nil {
 		return rpc.MulticallFault(fault)
 	}
-	resp := sv.s.InvokeTrace(ctx, call.Trace, call.Method, call.Params)
+	resp := sv.s.InvokeTraceSample(ctx, call.Trace, call.Method, call.Params, call.Sample)
 	if resp.Fault != nil {
 		return rpc.MulticallFault(resp.Fault)
 	}

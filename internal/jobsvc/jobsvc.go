@@ -223,6 +223,12 @@ type Config struct {
 	// job's trace ID and the transition's duration. Nil disables
 	// lifecycle logging.
 	Events *slog.Logger
+	// Spans, when set, links job executions into the flight recorder: a
+	// terminal transition records a synthetic "job.exec" span on the
+	// job's trace, so `clarens trace <id>` shows the execution — its
+	// queue wait absorbed into start time, run duration, and outcome —
+	// alongside the RPC spans that submitted it.
+	Spans *telemetry.SpanStore
 }
 
 func (c *Config) fill() {
@@ -798,6 +804,26 @@ func (s *Service) publishArtifact(j *Job, a Artifact) {
 // for terminal states).
 func (s *Service) logEvent(j *Job, state string, dur time.Duration) {
 	s.publishState(j, state, dur)
+	if st := s.cfg.Spans; st != nil && j.Trace != "" && Terminal(state) {
+		// Link the execution into the flight recorder as a synthetic span
+		// on the job's trace: sampled on its own merits (slow or failed),
+		// or appended when the submitting RPC already promoted the trace.
+		fault := 0
+		if state == StateFailed {
+			fault = 1
+		}
+		st.Record(telemetry.Span{
+			Trace:    j.Trace,
+			Span:     telemetry.NewSpanID(),
+			Method:   "job.exec",
+			DN:       j.Owner,
+			Peer:     j.Peer,
+			Start:    time.Now().Add(-dur),
+			Duration: dur,
+			Fault:    fault,
+			Depth:    1,
+		}, true, false)
+	}
 	if s.events == nil {
 		return
 	}

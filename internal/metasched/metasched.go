@@ -56,11 +56,13 @@ import (
 
 // Call is one sub-call in a batched peer request. Trace optionally
 // carries the originating request's trace identifier, so a batched
-// forward keeps each job on its own trace on the peer.
+// forward keeps each job on its own trace on the peer; Sample marks the
+// trace force-sampled, keeping it in the peer's flight recorder too.
 type Call struct {
 	Method string
 	Params []any
 	Trace  string
+	Sample bool
 }
 
 // Result is one sub-call outcome from a batched peer request.
@@ -148,6 +150,11 @@ type Config struct {
 	// (clarens.federation.breaker.<peer>: 0 closed, 0.5 half-open,
 	// 1 open) and the open-breaker count on /metrics.
 	Telemetry *telemetry.Registry
+	// Spans, when set, records forward edges into the flight recorder
+	// (which peer each trace was forwarded to — the fan-out map federated
+	// trace assembly follows) and propagates the force-sample bit of
+	// sampled traces onto the batched peer calls.
+	Spans *telemetry.SpanStore
 	// EventDial, when set, lets the watch loop subscribe to peer job
 	// events over /ws instead of batch-polling job.status every cycle:
 	// push-covered jobs are only polled once when the subscription is
@@ -1195,6 +1202,14 @@ func (s *Scheduler) forwardTo(p *peer, claimed []*jobsvc.Job) {
 				params = append(params, collect)
 			}
 			calls[i] = Call{Method: "job.submit", Params: params, Trace: j.Trace}
+			if st := s.cfg.Spans; st != nil && j.Trace != "" {
+				// Record the forward edge before the batch leaves, so even a
+				// trace whose job dies on the peer can still be assembled;
+				// carry the force-sample bit so a sampled trace stays
+				// sampled downstream.
+				st.Link(j.Trace, p.url)
+				calls[i].Sample = st.Sampled(j.Trace)
+			}
 		}
 		results, err := c.Batch(token, calls)
 		if err != nil || len(results) != len(jobs) {

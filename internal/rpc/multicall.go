@@ -15,6 +15,7 @@ const (
 	multicallMethodKey = "methodName"
 	multicallParamsKey = "params"
 	multicallTraceKey  = "trace"
+	multicallSampleKey = "sample"
 	faultCodeKey       = "faultCode"
 	faultStringKey     = "faultString"
 )
@@ -29,6 +30,11 @@ type SubCall struct {
 	// as an extra "trace" struct member, which servers without trace
 	// support simply ignore (and absent entries decode to "").
 	Trace string
+	// Sample force-samples the sub-call's trace into the receiving
+	// server's span store: a peer forwarding a force-sampled trace keeps
+	// it force-sampled downstream. Encoded as an extra "sample" struct
+	// member when true; ignored by servers without a span store.
+	Sample bool
 }
 
 // MulticallParams encodes sub-calls as the positional parameter list of a
@@ -46,6 +52,9 @@ func MulticallParams(calls []SubCall) []any {
 		}
 		if c.Trace != "" {
 			entry[multicallTraceKey] = c.Trace
+		}
+		if c.Sample {
+			entry[multicallSampleKey] = true
 		}
 		entries[i] = entry
 	}
@@ -80,6 +89,9 @@ func ParseSubCall(entry any) (SubCall, *Fault) {
 	call := SubCall{Method: method}
 	if t, ok := st[multicallTraceKey].(string); ok {
 		call.Trace = t
+	}
+	if smp, ok := st[multicallSampleKey].(bool); ok {
+		call.Sample = smp
 	}
 	if raw, present := st[multicallParamsKey]; present && raw != nil {
 		params, ok := raw.([]any)

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Exemplar links one histogram bucket to a concrete sampled trace: the
+// most recent span-store promotion that landed in the bucket. Emitted in
+// OpenMetrics exemplar syntax on /metrics, it closes the loop from "the
+// p99 bucket is filling" to "here is a trace ID you can pull up with
+// `clarens trace <id>`".
+type Exemplar struct {
+	TraceID string
+	// Value is the exemplified observation in seconds. By construction it
+	// falls within its bucket's bounds, as the OpenMetrics spec requires.
+	Value float64
+}
+
+// exemplarSet holds one exemplar slot per histogram bucket, each swapped
+// atomically so attachment is lock-free and wait-free for readers.
+type exemplarSet struct {
+	slots [NumBuckets]atomic.Pointer[Exemplar]
+}
+
+// attach records an exemplar for the bucket covering duration d.
+func (e *exemplarSet) attach(ex Exemplar) {
+	if ex.TraceID == "" {
+		return
+	}
+	e.slots[bucketIndexSeconds(ex.Value)].Store(&ex)
+}
+
+// get returns bucket i's exemplar, or nil.
+func (e *exemplarSet) get(i int) *Exemplar {
+	if i < 0 || i >= NumBuckets {
+		return nil
+	}
+	return e.slots[i].Load()
+}
+
+// bucketIndexSeconds maps a seconds value to its log2 nanosecond bucket,
+// mirroring bucketIndex.
+func bucketIndexSeconds(v float64) int {
+	return bucketIndex(time.Duration(v * float64(time.Second)))
+}
+
+// writeExemplar appends OpenMetrics exemplar syntax — a '#' separator,
+// a labelset with the trace ID, and the exemplified value — to a bucket
+// line. The optional timestamp is omitted.
+func writeExemplar(b *strings.Builder, ex *Exemplar) {
+	if ex == nil {
+		return
+	}
+	fmt.Fprintf(b, " # {trace_id=%q} %s", ex.TraceID, promFloat(ex.Value))
+}

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Prometheus/OpenMetrics text grammar, line by line: a metric line is a
+// legal metric name, an optional {labelset}, a value — and, on histogram
+// bucket lines, an optional OpenMetrics exemplar after a ' # '
+// separator.
+var (
+	reHelp     = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	reType     = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary|histogram|untyped)$`)
+	reMetric   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$`)
+	reExemplar = regexp.MustCompile(`^(?P<line>.+ [^ #]+) # \{trace_id="[^"\\]+"\} (?P<val>-?[0-9.eE+-]+)$`)
+)
+
+// TestPromExpositionGrammar renders a populated registry and validates
+// every emitted line against the exposition grammar.
+func TestPromExpositionGrammar(t *testing.T) {
+	r := New()
+	r.ObserveRPC("system.echo", false, 100*time.Microsecond)
+	r.ObserveRPC("file.read", true, 30*time.Millisecond)
+	r.RegisterGauge("clarens.runtime.goroutines", "Live goroutines.", func() float64 { return 12 })
+	r.Counter("clarens.core.shed_total", "Shed RPCs.").Inc()
+	r.Histogram("clarens.job.queue_wait_seconds", "Queue wait.").Observe(5 * time.Millisecond)
+	r.AttachRPCExemplar(30*time.Millisecond, "deadbeef00112233")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	sawExemplar := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP"):
+			if !reHelp.MatchString(line) {
+				t.Errorf("bad HELP line: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE"):
+			if !reType.MatchString(line) {
+				t.Errorf("bad TYPE line: %q", line)
+			}
+		case strings.Contains(line, " # "):
+			m := reExemplar.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("bad exemplar line: %q", line)
+				continue
+			}
+			sawExemplar = true
+			if !reMetric.MatchString(m[reExemplar.SubexpIndex("line")]) {
+				t.Errorf("bad metric prefix on exemplar line: %q", line)
+			}
+			if !strings.Contains(line, "_bucket{") {
+				t.Errorf("exemplar outside a bucket line: %q", line)
+			}
+		default:
+			if !reMetric.MatchString(line) {
+				t.Errorf("bad metric line: %q", line)
+			}
+		}
+	}
+	if !sawExemplar {
+		t.Error("no exemplar line in output")
+	}
+}
+
+// TestPromExemplarPlacement pins the OpenMetrics exemplar contract: the
+// exemplar lands on the bucket covering its value, carries the trace ID,
+// and its value respects the bucket's le bound.
+func TestPromExemplarPlacement(t *testing.T) {
+	r := New()
+	r.ObserveRPC("system.echo", false, 30*time.Millisecond)
+	r.AttachRPCExemplar(30*time.Millisecond, "abc123")
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var exLine string
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "clarens_rpc_latency_all_seconds_bucket") && strings.Contains(line, "# {") {
+			exLine = line
+			break
+		}
+	}
+	if exLine == "" {
+		t.Fatalf("no exemplar bucket line:\n%s", sb.String())
+	}
+	if !strings.Contains(exLine, `# {trace_id="abc123"}`) {
+		t.Errorf("exemplar labelset wrong: %q", exLine)
+	}
+	m := reExemplar.FindStringSubmatch(exLine)
+	if m == nil {
+		t.Fatalf("exemplar line fails grammar: %q", exLine)
+	}
+	exVal, err := strconv.ParseFloat(m[reExemplar.SubexpIndex("val")], 64)
+	if err != nil {
+		t.Fatalf("exemplar value: %v", err)
+	}
+	leStart := strings.Index(exLine, `le="`) + len(`le="`)
+	leEnd := strings.Index(exLine[leStart:], `"`)
+	le, err := strconv.ParseFloat(exLine[leStart:leStart+leEnd], 64)
+	if err != nil {
+		t.Fatalf("le bound: %v", err)
+	}
+	if exVal > le {
+		t.Errorf("exemplar value %g exceeds its bucket bound %g", exVal, le)
+	}
+	if exVal != 0.03 {
+		t.Errorf("exemplar value = %g, want 0.03", exVal)
+	}
+}
+
+// TestPromHistogramBuckets pins cumulative bucket semantics: counts are
+// non-decreasing and +Inf equals the total count.
+func TestPromHistogramBuckets(t *testing.T) {
+	r := New()
+	for _, d := range []time.Duration{time.Microsecond, time.Millisecond, time.Millisecond, time.Second} {
+		r.ObserveRPC("m", false, d)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	var infCount, count float64
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "clarens_rpc_latency_all_seconds_bucket") {
+			v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+			if err != nil {
+				t.Fatalf("bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Errorf("bucket counts decreased at %q", line)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				infCount = v
+			}
+		}
+		if strings.HasPrefix(line, "clarens_rpc_latency_all_seconds_count") {
+			count, _ = strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+		}
+	}
+	if infCount != 4 || count != 4 {
+		t.Errorf("+Inf bucket %v / count %v, want 4/4", infCount, count)
+	}
+}
+
+// TestPromNameSanitization is the name-sanitization table: dotted
+// canonical names, hostile characters, leading digits.
+func TestPromNameSanitization(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"clarens.rpc.requests", "clarens_rpc_requests"},
+		{"clarens.runtime.gc_pause_seconds", "clarens_runtime_gc_pause_seconds"},
+		{"has-dash.and.dot", "has_dash_and_dot"},
+		{"9starts_with_digit", "_starts_with_digit"},
+		{"mixedCASE_ok9", "mixedCASE_ok9"},
+		{"space here", "space_here"},
+		{"quote\"brace{", "quote_brace_"},
+		{"", ""},
+	}
+	promNameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	for _, tc := range tests {
+		got := PromName(tc.in)
+		if got != tc.want {
+			t.Errorf("PromName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+		if got != "" && !promNameRe.MatchString(got) {
+			t.Errorf("PromName(%q) = %q is not a legal metric name", tc.in, got)
+		}
+	}
+}
+
+// An exemplar whose trace is empty must never be emitted, and buckets
+// without exemplars stay bare.
+func TestPromExemplarAbsent(t *testing.T) {
+	r := New()
+	r.ObserveRPC("m", false, time.Millisecond)
+	r.AttachRPCExemplar(time.Millisecond, "")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "# {") {
+		t.Error("exemplar emitted for empty trace ID")
+	}
+}

@@ -38,6 +38,11 @@ type Registry struct {
 	methods sync.Map // method name -> *MethodStats
 	allRPC  Histogram
 
+	// rpcExemplars carries, per aggregate-histogram bucket, the most
+	// recent sampled trace that landed there; fed by the span store's
+	// OnSample hook.
+	rpcExemplars exemplarSet
+
 	mu       sync.RWMutex
 	gauges   map[string]*gaugeEntry
 	counters map[string]*counterEntry
@@ -97,6 +102,16 @@ func (r *Registry) ObserveRPC(method string, fault bool, d time.Duration) {
 
 // RPCAggregate returns the cross-method latency histogram snapshot.
 func (r *Registry) RPCAggregate() HistogramSnapshot { return r.allRPC.Snapshot() }
+
+// AttachRPCExemplar links the aggregate latency histogram bucket
+// covering d to a sampled trace ID. Lock-free; newest exemplar wins.
+func (r *Registry) AttachRPCExemplar(d time.Duration, trace string) {
+	r.rpcExemplars.attach(Exemplar{TraceID: trace, Value: seconds(d)})
+}
+
+// RPCExemplar returns the exemplar stored for aggregate-histogram bucket
+// i, or nil.
+func (r *Registry) RPCExemplar(i int) *Exemplar { return r.rpcExemplars.get(i) }
 
 // MethodSnapshots returns a consistent copy of every method's stats,
 // sorted by method name.
@@ -278,7 +293,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	agg := r.RPCAggregate()
 	b.WriteString("# HELP clarens_rpc_latency_all_seconds RPC dispatch latency across all methods.\n")
 	b.WriteString("# TYPE clarens_rpc_latency_all_seconds histogram\n")
-	writePromHistogram(&b, "clarens_rpc_latency_all_seconds", &agg)
+	writePromHistogram(&b, "clarens_rpc_latency_all_seconds", &agg, r.rpcExemplars.get)
 
 	// Named counters.
 	r.mu.RLock()
@@ -325,8 +340,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writePromHistogram emits cumulative le-bucket lines for a snapshot,
-// stopping after the highest populated bucket.
-func writePromHistogram(b *strings.Builder, name string, s *HistogramSnapshot) {
+// stopping after the highest populated bucket. When exemplars is
+// non-nil, each bucket line carries its OpenMetrics exemplar (the most
+// recent sampled trace that landed in the bucket).
+func writePromHistogram(b *strings.Builder, name string, s *HistogramSnapshot, exemplars func(i int) *Exemplar) {
 	last := -1
 	for i := NumBuckets - 1; i >= 0; i-- {
 		if s.Buckets[i] > 0 {
@@ -337,7 +354,11 @@ func writePromHistogram(b *strings.Builder, name string, s *HistogramSnapshot) {
 	var cum uint64
 	for i := 0; i <= last; i++ {
 		cum += s.Buckets[i]
-		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, promFloat(seconds(BucketUpper(i))), cum)
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d", name, promFloat(seconds(BucketUpper(i))), cum)
+		if exemplars != nil {
+			writeExemplar(b, exemplars(i))
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
 	fmt.Fprintf(b, "%s_sum %s\n%s_count %d\n", name, promFloat(seconds(s.Sum)), name, s.Count)

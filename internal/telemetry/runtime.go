@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RuntimeSampler periodically snapshots Go runtime health — goroutine
+// count, heap and GC statistics, and individual GC pause durations —
+// into registry gauges and a pause histogram. Sampling runs on its own
+// interval goroutine so runtime.ReadMemStats (a stop-the-world-ish
+// call) never rides a request's hot path; gauge reads on scrape are
+// plain atomic loads of the latest sample.
+//
+// Registered under dotted clarens.runtime.* names, the values reach
+// /metrics and the MonALISA republication loop for free.
+type RuntimeSampler struct {
+	goroutines  atomic.Int64
+	heapAlloc   atomic.Uint64
+	heapSys     atomic.Uint64
+	heapObjects atomic.Uint64
+	gcRuns      atomic.Uint64
+	nextGC      atomic.Uint64
+	lastPause   atomic.Int64 // ns
+
+	pauses *Histogram
+
+	lastNumGC uint32
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartRuntimeSampler registers the clarens.runtime.* gauges plus the
+// GC pause histogram on r and starts sampling every interval (default
+// 10s). Call Stop to halt the goroutine.
+func StartRuntimeSampler(r *Registry, interval time.Duration) *RuntimeSampler {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	s := &RuntimeSampler{
+		pauses: r.Histogram("clarens.runtime.gc_pause_seconds", "Individual GC stop-the-world pause durations."),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	r.RegisterGauge("clarens.runtime.goroutines", "Live goroutines.",
+		func() float64 { return float64(s.goroutines.Load()) })
+	r.RegisterGauge("clarens.runtime.heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(s.heapAlloc.Load()) })
+	r.RegisterGauge("clarens.runtime.heap_sys_bytes", "Bytes of heap obtained from the OS.",
+		func() float64 { return float64(s.heapSys.Load()) })
+	r.RegisterGauge("clarens.runtime.heap_objects", "Live heap objects.",
+		func() float64 { return float64(s.heapObjects.Load()) })
+	r.RegisterGauge("clarens.runtime.gc_runs", "Completed GC cycles.",
+		func() float64 { return float64(s.gcRuns.Load()) })
+	r.RegisterGauge("clarens.runtime.next_gc_bytes", "Heap size target of the next GC cycle.",
+		func() float64 { return float64(s.nextGC.Load()) })
+	r.RegisterGauge("clarens.runtime.last_gc_pause_seconds", "Duration of the most recent GC pause.",
+		func() float64 { return time.Duration(s.lastPause.Load()).Seconds() })
+	s.sample() // populate before the first tick so scrapes never see zeros
+	go s.loop(interval)
+	return s
+}
+
+func (s *RuntimeSampler) loop(interval time.Duration) {
+	defer close(s.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sample()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// sample reads the runtime stats once and folds new GC pauses into the
+// histogram via the PauseNs circular buffer delta since the last read.
+func (s *RuntimeSampler) sample() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.goroutines.Store(int64(runtime.NumGoroutine()))
+	s.heapAlloc.Store(m.HeapAlloc)
+	s.heapSys.Store(m.HeapSys)
+	s.heapObjects.Store(m.HeapObjects)
+	s.gcRuns.Store(uint64(m.NumGC))
+	s.nextGC.Store(m.NextGC)
+
+	// PauseNs is a circular buffer of the last 256 pauses, indexed by
+	// (NumGC+255)%256. Replay only the cycles completed since the last
+	// sample; if more than 256 elapsed, the oldest are gone — record the
+	// retained window.
+	newGC := m.NumGC
+	missed := newGC - s.lastNumGC
+	if missed > uint32(len(m.PauseNs)) {
+		missed = uint32(len(m.PauseNs))
+	}
+	for i := uint32(0); i < missed; i++ {
+		cycle := newGC - missed + i + 1
+		pause := m.PauseNs[(cycle+255)%256]
+		s.pauses.Observe(time.Duration(pause))
+		s.lastPause.Store(int64(pause))
+	}
+	s.lastNumGC = newGC
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. The
+// registered gauges keep reporting the final sample.
+func (s *RuntimeSampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSampler(t *testing.T) {
+	r := New()
+	s := StartRuntimeSampler(r, time.Hour) // one synchronous sample, no ticks
+	defer s.Stop()
+
+	g := r.GaugeValues()
+	if g["clarens.runtime.goroutines"] < 1 {
+		t.Errorf("goroutines gauge = %v, want >= 1", g["clarens.runtime.goroutines"])
+	}
+	if g["clarens.runtime.heap_alloc_bytes"] <= 0 {
+		t.Errorf("heap_alloc gauge = %v, want > 0", g["clarens.runtime.heap_alloc_bytes"])
+	}
+	if g["clarens.runtime.heap_sys_bytes"] <= 0 {
+		t.Errorf("heap_sys gauge = %v, want > 0", g["clarens.runtime.heap_sys_bytes"])
+	}
+	if g["clarens.runtime.next_gc_bytes"] <= 0 {
+		t.Errorf("next_gc gauge = %v, want > 0", g["clarens.runtime.next_gc_bytes"])
+	}
+
+	// Force GC cycles and resample: the pause histogram must pick up the
+	// new cycles through the PauseNs delta replay.
+	before := r.HistogramSnapshots()["clarens.runtime.gc_pause_seconds"].Count
+	runtime.GC()
+	runtime.GC()
+	s.sample()
+	after := r.HistogramSnapshots()["clarens.runtime.gc_pause_seconds"].Count
+	if after < before+2 {
+		t.Errorf("gc pause histogram count %d -> %d, want +2 cycles", before, after)
+	}
+	if g := r.GaugeValues(); g["clarens.runtime.gc_runs"] < 2 {
+		t.Errorf("gc_runs gauge = %v, want >= 2", g["clarens.runtime.gc_runs"])
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"clarens_runtime_goroutines",
+		"clarens_runtime_heap_alloc_bytes",
+		"# TYPE clarens_runtime_gc_pause_seconds summary",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+func TestRuntimeSamplerStopIdempotent(t *testing.T) {
+	s := StartRuntimeSampler(New(), time.Millisecond)
+	s.Stop()
+	s.Stop() // second Stop must not panic or hang
+}

@@ -1,0 +1,520 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SampleHeader is the HTTP header that force-samples a request's trace:
+// any non-empty value promotes the whole trace into the span store
+// regardless of latency or outcome, so a client chasing one request can
+// guarantee its flight record survives. The same bit rides multicall
+// sub-calls as a "sample" entry field, so a federation forward keeps a
+// force-sampled job sampled on the peer too.
+const SampleHeader = "X-Clarens-Trace-Sample"
+
+// Span is one completed dispatch (or synthetic unit of work, like a job
+// execution) recorded in the span store.
+type Span struct {
+	Trace  string `json:"trace"`
+	Span   string `json:"span"`
+	Parent string `json:"parent,omitempty"`
+	// Method is the dispatched method name, or a synthetic label such as
+	// "job.exec" for non-RPC work linked into the trace.
+	Method string `json:"method"`
+	DN     string `json:"dn,omitempty"`
+	// Peer is the remote party involved: the caller's address for inbound
+	// dispatches, or the peer URL for work forwarded elsewhere.
+	Peer string `json:"peer,omitempty"`
+	// Server is the recording server's discovery name, so merged
+	// cross-server trees attribute each span to its host.
+	Server   string        `json:"server,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	// Fault is the RPC fault code, 0 for success.
+	Fault int `json:"fault,omitempty"`
+	Depth int `json:"depth,omitempty"`
+}
+
+// SpanStoreOptions configures a SpanStore.
+type SpanStoreOptions struct {
+	// Capacity bounds the durable ring of sampled spans (default 4096).
+	Capacity int
+	// Slow is the tail-sampling latency threshold: a trace whose root (or
+	// any recorded span) meets it is promoted (default 500ms).
+	Slow time.Duration
+	// Server stamps every recorded span with the server's name.
+	Server string
+	// MaxSpansPerTrace caps ring spans per trace so one chatty trace
+	// cannot monopolize the ring (default 64).
+	MaxSpansPerTrace int
+	// MaxPending bounds the short-lived buffer of undecided traces
+	// (default Capacity).
+	MaxPending int
+}
+
+// SpanStoreStats is a point-in-time view of the store's pressure.
+type SpanStoreStats struct {
+	Capacity int
+	// Live is the number of spans currently resident in the ring.
+	Live int
+	// Traces is the number of distinct sampled traces in the ring.
+	Traces int
+	// Pending is the number of traces buffered awaiting a decision.
+	Pending uint64
+	// SampledTraces counts traces ever promoted to the ring.
+	SampledTraces uint64
+	// DroppedTraces counts traces that completed unremarkably and were
+	// discarded by tail sampling.
+	DroppedTraces uint64
+	// Forced / Slow / Faulted break down promotions by reason (a trace
+	// may count under several).
+	Forced  uint64
+	Slow    uint64
+	Faulted uint64
+	// SpansDropped counts spans discarded because their trace was already
+	// at MaxSpansPerTrace.
+	SpansDropped uint64
+	// PendingEvicted counts undecided traces evicted because the pending
+	// buffer was full — store pressure worth alerting on.
+	PendingEvicted uint64
+}
+
+// pendingTrace buffers one undecided trace between its first span and
+// its local root's completion.
+type pendingTrace struct {
+	spans  []Span
+	forced bool
+	fault  bool
+	slow   bool
+}
+
+// SpanStore is the flight recorder: a bounded ring of completed spans
+// keyed by trace ID with tail-based retention. Every span is buffered
+// briefly; when a trace's local root completes, the trace is promoted to
+// the durable ring only if it was slow, faulted, or force-sampled —
+// otherwise the buffer is discarded. The store also records forward
+// edges (which peers a trace was sent to) so a merged cross-server tree
+// can be assembled later.
+//
+// All methods are safe for concurrent use. The hot path (Record of an
+// unremarkable single-span trace) is one mutex acquisition, two map
+// misses, and a counter — no allocation.
+type SpanStore struct {
+	slow    time.Duration
+	server  string
+	perTr   int
+	maxPend int
+
+	// OnSample, when set, is invoked (outside the store lock) for every
+	// span that enters the durable ring — the exemplar hook that links
+	// histogram buckets to sampled traces. Set before the store is
+	// shared; not synchronized afterwards.
+	OnSample func(method string, d time.Duration, trace string)
+
+	mu   sync.Mutex
+	ring []ringSlot
+	seq  uint64 // next slot sequence; slot = seq % len(ring)
+
+	index   map[string][]uint64 // trace -> live ring seqs
+	sampled map[string]struct{} // traces promoted to the ring
+	links   map[string][]string // trace -> peer RPC URLs forwarded to
+
+	pending      map[string]*pendingTrace
+	pendingOrder []string // insertion order, for eviction
+
+	stats struct {
+		sampledTraces  uint64
+		droppedTraces  uint64
+		forced         uint64
+		slow           uint64
+		faulted        uint64
+		spansDropped   uint64
+		pendingEvicted uint64
+	}
+}
+
+type ringSlot struct {
+	seq  uint64
+	used bool
+	span Span
+}
+
+// NewSpanStore creates a span store.
+func NewSpanStore(opts SpanStoreOptions) *SpanStore {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 4096
+	}
+	if opts.Slow <= 0 {
+		opts.Slow = 500 * time.Millisecond
+	}
+	if opts.MaxSpansPerTrace <= 0 {
+		opts.MaxSpansPerTrace = 64
+	}
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = opts.Capacity
+	}
+	return &SpanStore{
+		slow:    opts.Slow,
+		server:  opts.Server,
+		perTr:   opts.MaxSpansPerTrace,
+		maxPend: opts.MaxPending,
+		ring:    make([]ringSlot, opts.Capacity),
+		index:   make(map[string][]uint64),
+		sampled: make(map[string]struct{}),
+		links:   make(map[string][]string),
+		pending: make(map[string]*pendingTrace),
+	}
+}
+
+// Slow returns the tail-sampling latency threshold.
+func (st *SpanStore) Slow() time.Duration { return st.slow }
+
+// Server returns the configured server name stamp.
+func (st *SpanStore) Server() string { return st.server }
+
+// Record stores one completed span. localRoot marks the span that
+// decides its trace's fate on this server: a top-level dispatch, or a
+// multicall sub-call carrying a foreign trace (a forwarded job riding a
+// peer's batch). force promotes the trace unconditionally (sample
+// header, per-method flag, or an upstream force-sampled hop).
+func (st *SpanStore) Record(sp Span, localRoot, force bool) {
+	if sp.Trace == "" {
+		return
+	}
+	if sp.Server == "" {
+		sp.Server = st.server
+	}
+	var promoted []Span
+	st.mu.Lock()
+	if _, ok := st.sampled[sp.Trace]; ok {
+		if st.appendLocked(sp) {
+			promoted = append(promoted, sp)
+		}
+		st.mu.Unlock()
+		st.notify(promoted)
+		return
+	}
+	p := st.pending[sp.Trace]
+	if p == nil {
+		interesting := force || sp.Fault != 0 || sp.Duration >= st.slow
+		if localRoot {
+			// Single-span trace decided inline: the common production
+			// case pays no buffering at all.
+			if interesting {
+				promoted = st.promoteLocked(sp.Trace, []Span{sp}, force, sp.Fault != 0, sp.Duration >= st.slow)
+			} else {
+				st.stats.droppedTraces++
+			}
+			st.mu.Unlock()
+			st.notify(promoted)
+			return
+		}
+		p = &pendingTrace{}
+		st.pending[sp.Trace] = p
+		st.pendingOrder = append(st.pendingOrder, sp.Trace)
+		st.evictPendingLocked()
+	}
+	if len(p.spans) < st.perTr {
+		p.spans = append(p.spans, sp)
+	} else {
+		st.stats.spansDropped++
+	}
+	p.forced = p.forced || force
+	p.fault = p.fault || sp.Fault != 0
+	p.slow = p.slow || sp.Duration >= st.slow
+	if localRoot {
+		delete(st.pending, sp.Trace)
+		if p.forced || p.fault || p.slow {
+			promoted = st.promoteLocked(sp.Trace, p.spans, p.forced, p.fault, p.slow)
+		} else {
+			st.stats.droppedTraces++
+		}
+	}
+	st.mu.Unlock()
+	st.notify(promoted)
+}
+
+// notify runs the OnSample hook outside the lock.
+func (st *SpanStore) notify(spans []Span) {
+	if st.OnSample == nil {
+		return
+	}
+	for _, sp := range spans {
+		st.OnSample(sp.Method, sp.Duration, sp.Trace)
+	}
+}
+
+// promoteLocked marks a trace sampled and moves its spans into the ring.
+func (st *SpanStore) promoteLocked(trace string, spans []Span, forced, fault, slow bool) []Span {
+	st.sampled[trace] = struct{}{}
+	st.stats.sampledTraces++
+	if forced {
+		st.stats.forced++
+	}
+	if fault {
+		st.stats.faulted++
+	}
+	if slow {
+		st.stats.slow++
+	}
+	kept := spans[:0]
+	for _, sp := range spans {
+		if st.appendLocked(sp) {
+			kept = append(kept, sp)
+		}
+	}
+	return kept
+}
+
+// appendLocked writes one span into the ring, evicting the slot's
+// previous occupant from the index (and the sampled set when it was the
+// trace's last span). Reports whether the span was kept.
+func (st *SpanStore) appendLocked(sp Span) bool {
+	if uint64(len(st.index[sp.Trace])) >= uint64(st.perTr) {
+		st.stats.spansDropped++
+		return false
+	}
+	slot := &st.ring[st.seq%uint64(len(st.ring))]
+	if slot.used {
+		st.dropFromIndexLocked(slot.span.Trace, slot.seq)
+	}
+	slot.seq = st.seq
+	slot.used = true
+	slot.span = sp
+	st.index[sp.Trace] = append(st.index[sp.Trace], st.seq)
+	st.seq++
+	return true
+}
+
+// dropFromIndexLocked removes one evicted seq from a trace's index
+// entry; when the trace's last span leaves the ring, its sampled mark
+// and forward links go too, so the maps stay bounded by ring capacity.
+func (st *SpanStore) dropFromIndexLocked(trace string, seq uint64) {
+	seqs := st.index[trace]
+	for i, s := range seqs {
+		if s == seq {
+			seqs = append(seqs[:i], seqs[i+1:]...)
+			break
+		}
+	}
+	if len(seqs) == 0 {
+		delete(st.index, trace)
+		delete(st.sampled, trace)
+		delete(st.links, trace)
+	} else {
+		st.index[trace] = seqs
+	}
+}
+
+// evictPendingLocked bounds the undecided-trace buffer: when full, the
+// oldest pending trace is discarded (counted, so the pressure is
+// observable via Stats and the health check).
+func (st *SpanStore) evictPendingLocked() {
+	for len(st.pending) > st.maxPend && len(st.pendingOrder) > 0 {
+		victim := st.pendingOrder[0]
+		st.pendingOrder = st.pendingOrder[1:]
+		if _, ok := st.pending[victim]; ok {
+			delete(st.pending, victim)
+			st.stats.pendingEvicted++
+		}
+	}
+	// Compact the order list of already-decided traces occasionally so it
+	// cannot grow unbounded ahead of the map.
+	if len(st.pendingOrder) > 2*st.maxPend {
+		live := st.pendingOrder[:0]
+		for _, tr := range st.pendingOrder {
+			if _, ok := st.pending[tr]; ok {
+				live = append(live, tr)
+			}
+		}
+		st.pendingOrder = live
+	}
+}
+
+// ForceSample marks a trace as sampled ahead of any span, so everything
+// recorded for it afterwards goes straight to the ring.
+func (st *SpanStore) ForceSample(trace string) {
+	if trace == "" {
+		return
+	}
+	var promoted []Span
+	st.mu.Lock()
+	if _, ok := st.sampled[trace]; !ok {
+		p := st.pending[trace]
+		var spans []Span
+		if p != nil {
+			spans = p.spans
+			delete(st.pending, trace)
+		}
+		promoted = st.promoteLocked(trace, spans, true, false, false)
+	}
+	st.mu.Unlock()
+	st.notify(promoted)
+}
+
+// Sampled reports whether a trace has been promoted to the ring — the
+// bit a forwarding peer propagates so the receiving server samples the
+// same trace.
+func (st *SpanStore) Sampled(trace string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.sampled[trace]
+	return ok
+}
+
+// Link records a forward edge: the trace was sent to the peer at the
+// given RPC URL, so trace assembly knows where to fan out. Edges for
+// never-sampled traces are capped at ring capacity.
+func (st *SpanStore) Link(trace, peerURL string) {
+	if trace == "" || peerURL == "" {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	existing := st.links[trace]
+	for _, u := range existing {
+		if u == peerURL {
+			return
+		}
+	}
+	if existing == nil && len(st.links) >= len(st.ring) {
+		// Bound the map: drop one arbitrary unsampled trace's links.
+		for tr := range st.links {
+			if _, ok := st.sampled[tr]; !ok {
+				delete(st.links, tr)
+				break
+			}
+		}
+	}
+	st.links[trace] = append(existing, peerURL)
+}
+
+// Links returns the peer RPC URLs a trace was forwarded to.
+func (st *SpanStore) Links(trace string) []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]string(nil), st.links[trace]...)
+}
+
+// Trace returns the stored spans of one trace (undecided pending spans
+// included, so a live slow request is already visible), ordered by
+// start time.
+func (st *SpanStore) Trace(trace string) []Span {
+	st.mu.Lock()
+	var out []Span
+	for _, seq := range st.index[trace] {
+		slot := &st.ring[seq%uint64(len(st.ring))]
+		if slot.used && slot.seq == seq {
+			out = append(out, slot.span)
+		}
+	}
+	if p := st.pending[trace]; p != nil {
+		out = append(out, p.spans...)
+	}
+	st.mu.Unlock()
+	sortSpans(out)
+	return out
+}
+
+// TraceSummary describes one sampled trace for trace.search.
+type TraceSummary struct {
+	Trace      string
+	RootMethod string
+	Start      time.Time
+	Duration   time.Duration
+	Spans      int
+	Fault      int
+	Servers    []string
+}
+
+// Summaries returns one summary per sampled trace in the ring, newest
+// first.
+func (st *SpanStore) Summaries() []TraceSummary {
+	st.mu.Lock()
+	out := make([]TraceSummary, 0, len(st.index))
+	for trace, seqs := range st.index {
+		var sum TraceSummary
+		sum.Trace = trace
+		var end time.Time
+		seen := map[string]bool{}
+		for _, seq := range seqs {
+			slot := &st.ring[seq%uint64(len(st.ring))]
+			if !slot.used || slot.seq != seq {
+				continue
+			}
+			sp := slot.span
+			if sum.Spans == 0 || sp.Start.Before(sum.Start) {
+				sum.Start = sp.Start
+				sum.RootMethod = sp.Method
+			}
+			if e := sp.Start.Add(sp.Duration); e.After(end) {
+				end = e
+			}
+			if sp.Fault != 0 {
+				sum.Fault = sp.Fault
+			}
+			if sp.Server != "" && !seen[sp.Server] {
+				seen[sp.Server] = true
+				sum.Servers = append(sum.Servers, sp.Server)
+			}
+			sum.Spans++
+		}
+		if sum.Spans == 0 {
+			continue
+		}
+		sum.Duration = end.Sub(sum.Start)
+		out = append(out, sum)
+	}
+	st.mu.Unlock()
+	// Newest first.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Start.After(out[j-1].Start); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Stats returns the store's pressure counters.
+func (st *SpanStore) Stats() SpanStoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	live := 0
+	for i := range st.ring {
+		if st.ring[i].used {
+			live++
+		}
+	}
+	return SpanStoreStats{
+		Capacity:       len(st.ring),
+		Live:           live,
+		Traces:         len(st.index),
+		Pending:        uint64(len(st.pending)),
+		SampledTraces:  st.stats.sampledTraces,
+		DroppedTraces:  st.stats.droppedTraces,
+		Forced:         st.stats.forced,
+		Slow:           st.stats.slow,
+		Faulted:        st.stats.faulted,
+		SpansDropped:   st.stats.spansDropped,
+		PendingEvicted: st.stats.pendingEvicted,
+	}
+}
+
+// PendingSaturated reports whether the undecided-trace buffer has hit
+// its bound and begun evicting — the health-check signal.
+func (st *SpanStore) PendingSaturated() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.pending) >= st.maxPend
+}
+
+// sortSpans orders spans by start time (insertion sort; trace span
+// counts are bounded by MaxSpansPerTrace).
+func sortSpans(spans []Span) {
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spans[j].Start.Before(spans[j-1].Start); j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func span(trace, id string, d time.Duration, fault int) Span {
+	return Span{
+		Trace:    trace,
+		Span:     id,
+		Method:   "system.echo",
+		Start:    time.Unix(1700000000, 0),
+		Duration: d,
+		Fault:    fault,
+	}
+}
+
+func TestTailSamplingDecisions(t *testing.T) {
+	tests := []struct {
+		name   string
+		span   Span
+		force  bool
+		sample bool
+	}{
+		{"fast clean dropped", span("t1", "a", time.Millisecond, 0), false, false},
+		{"slow promoted", span("t2", "b", time.Second, 0), false, true},
+		{"faulted promoted", span("t3", "c", time.Millisecond, -32500), false, true},
+		{"forced promoted", span("t4", "d", time.Millisecond, 0), true, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			st := NewSpanStore(SpanStoreOptions{Slow: 500 * time.Millisecond})
+			st.Record(tc.span, true, tc.force)
+			if got := st.Sampled(tc.span.Trace); got != tc.sample {
+				t.Fatalf("Sampled = %v, want %v", got, tc.sample)
+			}
+			if got := len(st.Trace(tc.span.Trace)); (got > 0) != tc.sample {
+				t.Fatalf("stored %d spans, want sampled=%v", got, tc.sample)
+			}
+			s := st.Stats()
+			if tc.sample && s.SampledTraces != 1 {
+				t.Errorf("SampledTraces = %d, want 1", s.SampledTraces)
+			}
+			if !tc.sample && s.DroppedTraces != 1 {
+				t.Errorf("DroppedTraces = %d, want 1", s.DroppedTraces)
+			}
+			if s.Pending != 0 {
+				t.Errorf("Pending = %d after local root, want 0", s.Pending)
+			}
+		})
+	}
+}
+
+// A multi-span trace buffers until its local root completes; the root's
+// decision covers every buffered span.
+func TestTailSamplingPendingPromotion(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{Slow: 100 * time.Millisecond})
+
+	// Sub-spans first (depth > 0), root last — the dispatch order.
+	st.Record(span("tr", "child1", time.Millisecond, 0), false, false)
+	st.Record(span("tr", "child2", time.Millisecond, 0), false, false)
+	if st.Sampled("tr") {
+		t.Fatal("trace sampled before its local root completed")
+	}
+	if st.Stats().Pending != 1 {
+		t.Fatalf("Pending = %d, want 1", st.Stats().Pending)
+	}
+	st.Record(span("tr", "root", 200*time.Millisecond, 0), true, false)
+	if !st.Sampled("tr") {
+		t.Fatal("slow root did not promote the trace")
+	}
+	if got := len(st.Trace("tr")); got != 3 {
+		t.Fatalf("stored %d spans, want 3", got)
+	}
+
+	// Same shape with an unremarkable root: everything discarded.
+	st.Record(span("tr2", "child", time.Millisecond, 0), false, false)
+	st.Record(span("tr2", "root", time.Millisecond, 0), true, false)
+	if st.Sampled("tr2") || len(st.Trace("tr2")) != 0 {
+		t.Fatal("unremarkable trace survived tail sampling")
+	}
+	if p := st.Stats().Pending; p != 0 {
+		t.Fatalf("Pending = %d after decisions, want 0", p)
+	}
+}
+
+// A sub-span's fault promotes the trace even when the root succeeds —
+// tail sampling looks at the whole buffered trace.
+func TestTailSamplingSubSpanFault(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{Slow: time.Hour})
+	st.Record(span("tr", "child", time.Millisecond, -32500), false, false)
+	st.Record(span("tr", "root", time.Millisecond, 0), true, false)
+	if !st.Sampled("tr") {
+		t.Fatal("faulted sub-span did not promote the trace")
+	}
+	if st.Stats().Faulted != 1 {
+		t.Errorf("Faulted = %d, want 1", st.Stats().Faulted)
+	}
+}
+
+func TestForceSampleAheadOfSpans(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{})
+	st.ForceSample("tr")
+	if !st.Sampled("tr") {
+		t.Fatal("ForceSample did not mark the trace")
+	}
+	// Later spans go straight to the ring regardless of their own merits.
+	st.Record(span("tr", "a", time.Microsecond, 0), false, false)
+	if got := len(st.Trace("tr")); got != 1 {
+		t.Fatalf("stored %d spans, want 1", got)
+	}
+}
+
+// Ring eviction must scrub the evicted trace's index, sampled mark, and
+// forward links once its last span leaves.
+func TestRingEvictionCleansIndex(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{Capacity: 4})
+	st.Record(span("old", "o1", time.Second, 0), true, false)
+	st.Link("old", "http://peer-1/rpc")
+	for i := 0; i < 4; i++ {
+		tr := fmt.Sprintf("new%d", i)
+		st.Record(span(tr, "n", time.Second, 0), true, false)
+	}
+	if st.Sampled("old") {
+		t.Error("evicted trace still marked sampled")
+	}
+	if len(st.Trace("old")) != 0 {
+		t.Error("evicted trace still indexed")
+	}
+	if len(st.Links("old")) != 0 {
+		t.Error("evicted trace kept forward links")
+	}
+	s := st.Stats()
+	if s.Live != 4 || s.Traces != 4 {
+		t.Errorf("Live/Traces = %d/%d, want 4/4", s.Live, s.Traces)
+	}
+}
+
+func TestMaxSpansPerTrace(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{MaxSpansPerTrace: 3})
+	st.ForceSample("tr")
+	for i := 0; i < 5; i++ {
+		st.Record(span("tr", fmt.Sprintf("s%d", i), time.Millisecond, 0), false, false)
+	}
+	if got := len(st.Trace("tr")); got != 3 {
+		t.Fatalf("stored %d spans, want 3 (capped)", got)
+	}
+	if st.Stats().SpansDropped != 2 {
+		t.Errorf("SpansDropped = %d, want 2", st.Stats().SpansDropped)
+	}
+}
+
+func TestLinksDedup(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{})
+	st.Link("tr", "http://a/rpc")
+	st.Link("tr", "http://b/rpc")
+	st.Link("tr", "http://a/rpc")
+	if got := st.Links("tr"); len(got) != 2 {
+		t.Fatalf("Links = %v, want 2 distinct peers", got)
+	}
+	st.Link("", "http://a/rpc")
+	st.Link("tr2", "")
+	if len(st.Links("")) != 0 || len(st.Links("tr2")) != 0 {
+		t.Error("empty trace or peer recorded a link")
+	}
+}
+
+func TestPendingEviction(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{MaxPending: 2})
+	for i := 0; i < 4; i++ {
+		st.Record(span(fmt.Sprintf("t%d", i), "s", time.Millisecond, 0), false, false)
+	}
+	s := st.Stats()
+	if s.Pending > 2 {
+		t.Errorf("Pending = %d, want <= 2", s.Pending)
+	}
+	if s.PendingEvicted == 0 {
+		t.Error("PendingEvicted = 0, want > 0")
+	}
+	if !st.PendingSaturated() {
+		t.Error("PendingSaturated = false at the bound")
+	}
+}
+
+func TestSummariesNewestFirst(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{})
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < 3; i++ {
+		sp := Span{
+			Trace: fmt.Sprintf("t%d", i), Span: "root", Method: fmt.Sprintf("m%d", i),
+			Start: base.Add(time.Duration(i) * time.Minute), Duration: time.Second,
+			Server: "srv",
+		}
+		st.Record(sp, true, true)
+	}
+	sums := st.Summaries()
+	if len(sums) != 3 {
+		t.Fatalf("Summaries len = %d, want 3", len(sums))
+	}
+	for i := 1; i < len(sums); i++ {
+		if sums[i].Start.After(sums[i-1].Start) {
+			t.Fatalf("summaries not newest-first: %v", sums)
+		}
+	}
+	if sums[0].RootMethod != "m2" || sums[0].Servers[0] != "srv" {
+		t.Errorf("newest summary = %+v", sums[0])
+	}
+}
+
+func TestOnSampleHook(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{})
+	var mu sync.Mutex
+	var got []string
+	st.OnSample = func(method string, d time.Duration, trace string) {
+		mu.Lock()
+		got = append(got, trace)
+		mu.Unlock()
+	}
+	st.Record(span("keep", "a", time.Second, 0), true, false)
+	st.Record(span("drop", "b", time.Microsecond, 0), true, false)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != "keep" {
+		t.Fatalf("OnSample saw %v, want [keep]", got)
+	}
+}
+
+func TestSpanStoreServerStamp(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{Server: "tier2"})
+	st.Record(span("tr", "a", time.Second, 0), true, false)
+	if sp := st.Trace("tr")[0]; sp.Server != "tier2" {
+		t.Fatalf("Server = %q, want tier2", sp.Server)
+	}
+}
+
+func TestSpanStoreConcurrent(t *testing.T) {
+	st := NewSpanStore(SpanStoreOptions{Capacity: 64, Slow: time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := fmt.Sprintf("g%d-%d", g, i%10)
+				st.Record(span(tr, fmt.Sprintf("s%d", i), time.Duration(i)*time.Microsecond, 0), i%3 == 0, i%7 == 0)
+				st.Link(tr, "http://peer/rpc")
+				if i%20 == 0 {
+					st.Trace(tr)
+					st.Summaries()
+					st.Stats()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
