@@ -233,8 +233,16 @@ type Config struct {
 	LocalStation string
 	// EnablePortal serves the browser portal under /portal/.
 	EnablePortal bool
-	// TLS enables HTTPS with certificate client authentication.
+	// TLS enables HTTPS with certificate client authentication. Session
+	// resumption is governed by TLSConfig.TicketRotate/TicketSecret:
+	// rotating ticket keys, optionally derived from a secret shared
+	// across federation peers so one DNS name resumes everywhere.
 	TLS *TLSConfig
+	// DisableHTTP2 restricts the TLS listener to HTTP/1.1. By default
+	// the server offers ALPN "h2" so one connection multiplexes
+	// concurrent RPCs; clients that offer no ALPN (the /ws dialer, old
+	// tooling) still negotiate HTTP/1.1.
+	DisableHTTP2 bool
 	// OpenSystem controls anonymous access to the system module
 	// (default true, matching the paper's Figure 4 environment).
 	OpenSystem *bool
@@ -347,6 +355,7 @@ func NewServer(cfg Config) (*Server, error) {
 		AdminDNs:         cfg.AdminDNs,
 		SessionTTL:       cfg.SessionTTL,
 		TLS:              cfg.TLS,
+		DisableHTTP2:     cfg.DisableHTTP2,
 		OpenSystem:       cfg.OpenSystem,
 		DisableAuth:      cfg.DisableAuth,
 		MethodTimeout:    cfg.MethodTimeout,
@@ -570,17 +579,10 @@ func NewServer(cfg Config) (*Server, error) {
 	// URL and mint sessions for arbitrary DNs. Without federation both
 	// hooks stay nil and proxysvc refuses every remote issuer.
 	// Verification calls the allowlisted issuer's proxy.check_delegation
-	// back over a short-lived client.
+	// back over the issuer's pooled peer client.
 	if s.Proxies != nil && cfg.EnableFederation {
 		s.Proxies.TrustIssuer = s.issuerTrusted
-		s.Proxies.VerifyRemote = func(issuerURL, dn, secret string) (bool, error) {
-			c, err := Dial(issuerURL, WithTimeout(5*time.Second))
-			if err != nil {
-				return false, err
-			}
-			defer c.Close()
-			return c.CallBool("proxy.check_delegation", dn, secret)
-		}
+		s.Proxies.VerifyRemote = verifyDelegationRemote
 	}
 
 	if cfg.EnableFederation {

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptrace"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,7 +43,52 @@ type Client struct {
 	trace       string
 	traceSample bool
 
+	// conns counts connection-layer events observed via httptrace on
+	// every RPC round trip; connTrace is the shared trace installed on
+	// each request context (httptrace callbacks may run concurrently, so
+	// everything it touches is atomic).
+	conns     connStats
+	connTrace *httptrace.ClientTrace
+
 	nextID atomic.Int64
+}
+
+// connStats holds the client's connection-layer counters.
+type connStats struct {
+	opened     atomic.Int64
+	reused     atomic.Int64
+	handshakes atomic.Int64
+	resumed    atomic.Int64
+	http2      atomic.Int64
+}
+
+// ConnStats is a snapshot of the client's connection-layer counters:
+// how often calls rode an existing pooled connection versus dialing,
+// and how often a new TLS connection resumed from a cached session
+// ticket versus paying a full handshake. The h2 count shows whether
+// multiplexing is actually negotiated.
+type ConnStats struct {
+	// Opened counts connections established (a call that could not use
+	// the pool); Reused counts calls served over an existing connection.
+	Opened, Reused int64
+	// Handshakes counts TLS handshakes completed; Resumed is the subset
+	// restored from a session ticket without a certificate re-exchange.
+	Handshakes, Resumed int64
+	// HTTP2 counts handshakes that negotiated "h2" via ALPN.
+	HTTP2 int64
+}
+
+// ConnStats returns a snapshot of the client's connection-layer
+// counters (see ConnStats). Counters cover RPC calls and HTTP file
+// fetches issued through this client.
+func (c *Client) ConnStats() ConnStats {
+	return ConnStats{
+		Opened:     c.conns.opened.Load(),
+		Reused:     c.conns.reused.Load(),
+		Handshakes: c.conns.handshakes.Load(),
+		Resumed:    c.conns.resumed.Load(),
+		HTTP2:      c.conns.http2.Load(),
+	}
 }
 
 // TraceHeader is the HTTP header carrying a request's trace identifier
@@ -71,6 +117,19 @@ func ContextWithTrace(ctx context.Context, trace string) context.Context {
 	return context.WithValue(ctx, traceCtxKey{}, trace)
 }
 
+// sessionCtxKey carries a per-call session-token override in a context.
+type sessionCtxKey struct{}
+
+// ContextWithSession returns a context that presents the given session
+// token on every call issued with it (CallCtx, Batch.RunCtx), overriding
+// the client-level session. It lets one pooled, multiplexed client carry
+// calls for many identities concurrently — the federation uses it to run
+// delegated per-owner traffic over a single connection per peer instead
+// of serializing on SetSession.
+func ContextWithSession(ctx context.Context, token string) context.Context {
+	return context.WithValue(ctx, sessionCtxKey{}, token)
+}
+
 // ClientOption configures Dial.
 type ClientOption func(*clientOptions)
 
@@ -84,6 +143,7 @@ type clientOptions struct {
 	traceSample bool
 	maxConns    int
 	insecureTLS bool
+	http2       bool
 	attempts    int
 	breaker     bool
 	breakerCfg  resilience.BreakerConfig
@@ -130,10 +190,26 @@ func WithTraceSample() ClientOption {
 	return func(o *clientOptions) { o.traceSample = true }
 }
 
-// WithMaxConns sizes the keep-alive pool (default 128), bounding the
-// number of concurrent in-flight requests without reconnecting.
+// WithMaxConns bounds the client's connections per host (default 128):
+// both the keep-alive idle pool AND the total including in-flight
+// dials. The distinction matters under burst: the idle-pool size alone
+// (MaxIdleConnsPerHost) only caps what survives between calls, while
+// the hard cap (MaxConnsPerHost) stops a spike of concurrent calls
+// from fanning out into an unbounded dial storm — excess calls block
+// for a free connection instead. Over HTTP/2 one connection carries
+// n concurrent streams anyway, so a small cap costs nothing.
 func WithMaxConns(n int) ClientOption {
 	return func(o *clientOptions) { o.maxConns = n }
+}
+
+// WithHTTP2 toggles HTTP/2 negotiation (default on). When the server
+// offers ALPN "h2", calls multiplex concurrently over one TLS
+// connection; against h1-only or plain-HTTP servers the client behaves
+// exactly as before, so leaving this on is always safe — including with
+// a fault-injecting WithDialer, where the transport still runs TLS+ALPN
+// over whatever conn the dialer returns (or plain h1 without TLS).
+func WithHTTP2(on bool) ClientOption {
+	return func(o *clientOptions) { o.http2 = on }
 }
 
 // WithInsecureTLS skips server certificate verification (tests only).
@@ -170,7 +246,7 @@ func WithDialer(dial func(network, addr string) (net.Conn, error)) ClientOption 
 // server base URL (the standard "/rpc" path is appended) or a full
 // endpoint URL.
 func Dial(url string, opts ...ClientOption) (*Client, error) {
-	o := clientOptions{protocol: "xmlrpc", timeout: 30 * time.Second, maxConns: 128, attempts: 3}
+	o := clientOptions{protocol: "xmlrpc", timeout: 30 * time.Second, maxConns: 128, attempts: 3, http2: true}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -194,8 +270,14 @@ func Dial(url string, opts ...ClientOption) (*Client, error) {
 	transport := &http.Transport{
 		MaxIdleConns:        o.maxConns,
 		MaxIdleConnsPerHost: o.maxConns,
-		MaxConnsPerHost:     0,
+		MaxConnsPerHost:     o.maxConns,
 		IdleConnTimeout:     90 * time.Second,
+		// Setting a custom TLSClientConfig or DialContext disables the
+		// transport's automatic h2 upgrade; this re-enables it. The
+		// transport still performs its own TLS (with ALPN) over whatever
+		// conn the dialer returns, and against plain-HTTP or h1-only
+		// servers nothing changes.
+		ForceAttemptHTTP2: o.http2,
 	}
 	if o.dial != nil {
 		dial := o.dial
@@ -203,13 +285,19 @@ func Dial(url string, opts ...ClientOption) (*Client, error) {
 			return dial(network, addr)
 		}
 	}
-	if o.identity != nil || o.rootCAs != nil || o.insecureTLS {
-		tc := &tls.Config{RootCAs: o.rootCAs, InsecureSkipVerify: o.insecureTLS}
-		if o.identity != nil {
-			tc.Certificates = []tls.Certificate{o.identity.TLSCertificate()}
-		}
-		transport.TLSClientConfig = tc
+	// The TLS config is always installed (harmless for http:// endpoints)
+	// so every client carries a session cache: reconnects resume from a
+	// cached ticket instead of paying a full handshake + certificate
+	// exchange — the handshake-amortization half of the connection layer.
+	tc := &tls.Config{
+		RootCAs:            o.rootCAs,
+		InsecureSkipVerify: o.insecureTLS,
+		ClientSessionCache: tls.NewLRUClientSessionCache(64),
 	}
+	if o.identity != nil {
+		tc.Certificates = []tls.Certificate{o.identity.TLSCertificate()}
+	}
+	transport.TLSClientConfig = tc
 	c := &Client{
 		url:       url,
 		codec:     codec,
@@ -220,6 +308,27 @@ func Dial(url string, opts ...ClientOption) (*Client, error) {
 		trace:     o.trace,
 	}
 	c.traceSample = o.traceSample
+	c.connTrace = &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				c.conns.reused.Add(1)
+			} else {
+				c.conns.opened.Add(1)
+			}
+		},
+		TLSHandshakeDone: func(cs tls.ConnectionState, err error) {
+			if err != nil {
+				return
+			}
+			c.conns.handshakes.Add(1)
+			if cs.DidResume {
+				c.conns.resumed.Add(1)
+			}
+			if cs.NegotiatedProtocol == "h2" {
+				c.conns.http2.Add(1)
+			}
+		},
+	}
 	if o.attempts > 0 {
 		c.retry.MaxAttempts = o.attempts
 	}
@@ -372,6 +481,15 @@ func (c *Client) callTrace(ctx context.Context) string {
 	return c.Trace()
 }
 
+// callSession resolves the session token for one call: context override
+// first (ContextWithSession), then the client-level session.
+func (c *Client) callSession(ctx context.Context) string {
+	if t, ok := ctx.Value(sessionCtxKey{}).(string); ok && t != "" {
+		return t
+	}
+	return c.Session()
+}
+
 // Call invokes a method and returns its decoded result. Server faults
 // come back as *rpc.Fault errors (errors.As-compatible).
 func (c *Client) Call(method string, params ...any) (any, error) {
@@ -423,6 +541,7 @@ func (c *Client) callOnce(ctx context.Context, method string, params ...any) (an
 	if err := c.codec.EncodeRequest(&buf, req); err != nil {
 		return nil, fmt.Errorf("clarens: encode %s: %w", method, err)
 	}
+	ctx = httptrace.WithClientTrace(ctx, c.connTrace)
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url, &buf)
 	if err != nil {
 		return nil, err
@@ -431,7 +550,7 @@ func (c *Client) callOnce(ctx context.Context, method string, params ...any) (an
 	if c.codec.Name() == "soap" {
 		httpReq.Header.Set("SOAPAction", `"urn:clarens#`+method+`"`)
 	}
-	if sid := c.Session(); sid != "" {
+	if sid := c.callSession(ctx); sid != "" {
 		httpReq.Header.Set(core.SessionHeader, sid)
 	}
 	if tr := c.callTrace(ctx); tr != "" {
@@ -694,7 +813,8 @@ func (c *Client) FetchFile(name string, offset int64, w io.Writer) (int64, error
 // request. Returns the bytes copied.
 func (c *Client) FetchFileHTTP(name string, offset int64, w io.Writer) (int64, error) {
 	url := c.FileURL(name)
-	req, err := http.NewRequest(http.MethodGet, url, nil)
+	ctx := httptrace.WithClientTrace(context.Background(), c.connTrace)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return 0, err
 	}

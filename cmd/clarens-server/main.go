@@ -71,6 +71,9 @@ func main() {
 		tlsID        = flag.String("tls-id", "", "server identity PEM bundle (cert+key) enabling HTTPS")
 		tlsCA        = flag.String("tls-ca", "", "CA certificate PEM for verifying client certificates")
 		requireCert  = flag.Bool("tls-require-cert", false, "require a verified client certificate")
+		http2Flag    = flag.Bool("http2", true, "offer HTTP/2 (ALPN h2) on the TLS listener so one connection multiplexes concurrent RPCs")
+		ticketRotate = flag.Duration("tls-ticket-rotate", 0, "rotate TLS session-ticket keys on this period (0 = Go's per-process automatic rotation)")
+		ticketSecret = flag.String("tls-ticket-secret", "", "derive ticket keys from this shared secret so federation peers behind one DNS name resume each other's sessions (pair with -tls-ticket-rotate)")
 	)
 	flag.Parse()
 
@@ -127,7 +130,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("parse -tls-id: %v", err)
 		}
-		tc := &clarens.TLSConfig{Identity: id, RequireClientCert: *requireCert}
+		tc := &clarens.TLSConfig{
+			Identity:          id,
+			RequireClientCert: *requireCert,
+			TicketRotate:      *ticketRotate,
+			TicketSecret:      *ticketSecret,
+		}
 		if *tlsCA != "" {
 			caBytes, err := os.ReadFile(*tlsCA)
 			if err != nil {
@@ -142,6 +150,7 @@ func main() {
 			tc.ClientCAs = pool
 		}
 		cfg.TLS = tc
+		cfg.DisableHTTP2 = !*http2Flag
 	}
 
 	srv, err := clarens.NewServer(cfg)

@@ -10,20 +10,75 @@ import (
 
 // This file adapts the public Client to the meta-scheduler's Conn
 // interface. The scheduler carries a session token per call (one
-// connection serves many delegated identities); the Client holds its
-// session at client level, so the adapter serializes each call around a
-// SetSession — control-plane traffic is low-rate and the simplicity wins.
+// connection serves many delegated identities); per-call tokens ride a
+// ContextWithSession override, so a single pooled, HTTP/2-multiplexed
+// client per peer carries all of the scheduler's control traffic —
+// stats polls, batched submissions, status sweeps — concurrently,
+// instead of serializing on a client-level SetSession or re-dialing
+// per adapter.
+
+// peerPool shares one Client per peer URL across every federation
+// consumer in the process (metasched Conn adapters, the delegation
+// verification callback). Entries are refcounted; the last release
+// closes the client's idle connections and drops the entry, so
+// discovery churn cannot grow the pool without bound.
+var peerPool = struct {
+	sync.Mutex
+	m map[string]*peerEntry
+}{m: map[string]*peerEntry{}}
+
+type peerEntry struct {
+	c    *Client
+	refs int
+}
+
+// acquirePeer returns the process-wide client for a peer URL, dialing
+// on first use. Every acquire must be paired with one releasePeer.
+func acquirePeer(url string) (*Client, error) {
+	peerPool.Lock()
+	defer peerPool.Unlock()
+	if e, ok := peerPool.m[url]; ok {
+		e.refs++
+		return e.c, nil
+	}
+	// Peer calls are control traffic: a short timeout keeps a dead peer
+	// from stalling the scheduler loop, and a small connection cap is
+	// plenty — over h2 one connection multiplexes all concurrent calls.
+	c, err := Dial(url, WithTimeout(5*time.Second), WithMaxConns(8))
+	if err != nil {
+		return nil, err
+	}
+	peerPool.m[url] = &peerEntry{c: c, refs: 1}
+	return c, nil
+}
+
+// releasePeer drops one reference; the last one evicts and closes.
+func releasePeer(url string) {
+	peerPool.Lock()
+	e, ok := peerPool.m[url]
+	if ok {
+		if e.refs--; e.refs <= 0 {
+			delete(peerPool.m, url)
+		} else {
+			e = nil
+		}
+	}
+	peerPool.Unlock()
+	if e != nil {
+		e.c.Close()
+	}
+}
 
 type federationConn struct {
-	mu sync.Mutex
-	c  *Client
+	url string
+	c   *Client
 }
 
 func (a *federationConn) Call(token, trace, method string, params ...any) (any, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.c.SetSession(token)
 	ctx := context.Background()
+	if token != "" {
+		ctx = ContextWithSession(ctx, token)
+	}
 	if trace != "" {
 		ctx = ContextWithTrace(ctx, trace)
 	}
@@ -31,9 +86,6 @@ func (a *federationConn) Call(token, trace, method string, params ...any) (any, 
 }
 
 func (a *federationConn) Batch(token string, calls []metasched.Call) ([]metasched.Result, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.c.SetSession(token)
 	b := a.c.Batch()
 	for _, cl := range calls {
 		// Per-sub-call traces ride the multicall entries, so one batched
@@ -41,7 +93,11 @@ func (a *federationConn) Batch(token string, calls []metasched.Call) ([]metasche
 		// to the peer.
 		b.AddTraceSampled(cl.Trace, cl.Sample, cl.Method, cl.Params...)
 	}
-	rs, err := b.Run()
+	ctx := context.Background()
+	if token != "" {
+		ctx = ContextWithSession(ctx, token)
+	}
+	rs, err := b.RunCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -52,17 +108,36 @@ func (a *federationConn) Batch(token string, calls []metasched.Call) ([]metasche
 	return out, nil
 }
 
-func (a *federationConn) Close() { a.c.Close() }
+// Close implements the scheduler's discard-after-failure semantics:
+// the shared client's idle (possibly broken) connections are torn down
+// so the next use dials fresh — which, with the client session cache,
+// resumes the TLS session instead of full-handshaking — and this
+// adapter's pool reference is dropped.
+func (a *federationConn) Close() {
+	a.c.Close()
+	releasePeer(a.url)
+}
 
-// federationDialer opens peer connections for the meta-scheduler. Peer
-// calls are control traffic (stats polls, batched submissions, status
-// sweeps): a short timeout keeps a dead peer from stalling the loop.
+// federationDialer opens peer connections for the meta-scheduler,
+// backed by the process-wide per-peer client pool.
 func federationDialer(url string) (metasched.Conn, error) {
-	c, err := Dial(url, WithTimeout(5*time.Second), WithMaxConns(8))
+	c, err := acquirePeer(url)
 	if err != nil {
 		return nil, err
 	}
-	return &federationConn{c: c}, nil
+	return &federationConn{url: url, c: c}, nil
+}
+
+// verifyDelegationRemote asks an allowlisted issuer's
+// proxy.check_delegation whether it vouches for (dn, secret), over the
+// issuer's pooled peer client rather than a throwaway dial per check.
+func verifyDelegationRemote(issuerURL, dn, secret string) (bool, error) {
+	c, err := acquirePeer(issuerURL)
+	if err != nil {
+		return false, err
+	}
+	defer releasePeer(issuerURL)
+	return c.CallBool("proxy.check_delegation", dn, secret)
 }
 
 // fedEventStream adapts a client push Subscription to the scheduler's
@@ -88,6 +163,8 @@ func (f *fedEventStream) Close() error {
 // under the owner's delegated session, so forwarded jobs report their
 // transitions by push instead of being batch-polled. An error (peer
 // without /ws, typically) makes the scheduler fall back to polling.
+// These stay per-(peer, owner) dedicated clients: /ws rides a hijacked
+// HTTP/1.1 connection that cannot multiplex, so pooling buys nothing.
 func federationEventDialer(rpcURL, token, query string) (metasched.EventStream, error) {
 	c, err := Dial(rpcURL, WithTimeout(5*time.Second), WithSession(token), WithMaxConns(2))
 	if err != nil {

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"crypto/tls"
+	"io"
+	"testing"
+	"time"
+
+	"clarens/internal/pki"
+)
+
+// ticketServer starts a TLS server (no client auth) with the given
+// session-ticket settings.
+func ticketServer(t *testing.T, secret string, rotate time.Duration) *Server {
+	t.Helper()
+	ca, err := pki.NewCA(pki.MustParseDN("/O=testgrid/CN=Ticket CA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := ca.IssueHost(pki.MustParseDN("/O=testgrid/OU=Services/CN=host\\/localhost"),
+		[]string{"localhost", "127.0.0.1"}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Config{
+		AdminDNs: []string{adminDN.String()},
+		TLS: &TLSConfig{
+			Identity:     host,
+			TicketRotate: rotate,
+			TicketSecret: secret,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	// All ticketServer fixtures share one CA per call site would be
+	// nicer, but resumption does not depend on the trust chain — the
+	// client below skips verification and relies on the ticket alone.
+	return s
+}
+
+// handshake dials addr once with the given session cache and reports
+// whether the session was resumed from a cached ticket.
+func handshake(t *testing.T, addr string, cache tls.ClientSessionCache) bool {
+	t.Helper()
+	conn, err := tls.Dial("tcp", addr, &tls.Config{
+		// The same ServerName on every dial keys the session cache, the
+		// way one federation DNS name would; certificate verification is
+		// irrelevant to what this test measures.
+		ServerName:         "localhost",
+		InsecureSkipVerify: true,
+		ClientSessionCache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	// TLS 1.3 delivers the session ticket as a post-handshake message;
+	// the client only processes it while reading. Drive one request
+	// through the connection so the ticket actually lands in the cache.
+	if _, err := conn.Write([]byte("GET / HTTP/1.0\r\nHost: localhost\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.Copy(io.Discard, conn); err != nil {
+		t.Fatal(err)
+	}
+	return conn.ConnectionState().DidResume
+}
+
+// Federation peers configured with the same ticket secret must accept
+// each other's session tickets: a client that handshook with one peer
+// resumes on another, as if the two were one server behind one DNS
+// name. A peer with a different secret must refuse the ticket (full
+// handshake, not an error).
+func TestSharedTicketSecretResumesAcrossServers(t *testing.T) {
+	a := ticketServer(t, "fed-secret", time.Hour)
+	b := ticketServer(t, "fed-secret", time.Hour)
+	other := ticketServer(t, "different-secret", time.Hour)
+
+	cache := tls.NewLRUClientSessionCache(8)
+	if handshake(t, a.Addr(), cache) {
+		t.Fatal("first handshake cannot be resumed")
+	}
+	if !handshake(t, a.Addr(), cache) {
+		t.Error("second handshake with the same server did not resume")
+	}
+	if !handshake(t, b.Addr(), cache) {
+		t.Error("handshake with a same-secret peer did not resume the ticket")
+	}
+	if handshake(t, other.Addr(), cache) {
+		t.Error("a different-secret server must not accept the ticket")
+	}
+
+	// The conn trackers saw it all: server a had one full + one resumed,
+	// server b only the resumption.
+	if got := a.conns.resumed.Load(); got != 1 {
+		t.Errorf("server a resumed = %d, want 1", got)
+	}
+	if h, r := b.conns.handshakes.Load(), b.conns.resumed.Load(); h != 1 || r != 1 {
+		t.Errorf("server b handshakes/resumed = %d/%d, want 1/1", h, r)
+	}
+	if got := other.conns.resumed.Load(); got != 0 {
+		t.Errorf("different-secret server resumed = %d, want 0", got)
+	}
+}
+
+// The derived key schedule must be stable within an epoch and accept
+// the adjacent epochs, so rotation never strands a fresh ticket.
+func TestTicketKeeperDerivation(t *testing.T) {
+	mk := func(secret string, rotate time.Duration) *ticketKeeper {
+		return &ticketKeeper{secret: []byte(secret), rotate: rotate}
+	}
+	now := time.Unix(1_754_000_000, 0)
+	a := mk("s", time.Hour).keys(now)
+	b := mk("s", time.Hour).keys(now)
+	if len(a) != 3 || len(b) != 3 || a[0] != b[0] || a[1] != b[1] || a[2] != b[2] {
+		t.Fatalf("same secret+epoch must derive identical key sets (len %d/%d)", len(a), len(b))
+	}
+	if mk("s", time.Hour).keys(now.Add(90 * time.Minute))[0] == a[0] {
+		t.Error("next epoch must encrypt with a different key")
+	}
+	// The next epoch's encrypt key is already accepted this epoch (and
+	// vice versa), covering clock skew across peers.
+	next := mk("s", time.Hour).keys(now.Add(time.Hour))
+	if a[1] != next[0] || next[2] != a[0] {
+		t.Error("adjacent epochs must overlap in the accepted-key set")
+	}
+	if mk("other", time.Hour).keys(now)[0] == a[0] {
+		t.Error("different secrets must derive different keys")
+	}
+	// Static mode: one key, independent of time.
+	s1 := mk("s", 0).keys(now)
+	s2 := mk("s", 0).keys(now.Add(1000 * time.Hour))
+	if len(s1) != 1 || s1[0] != s2[0] {
+		t.Error("rotate=0 must derive one static key")
+	}
+}

@@ -79,6 +79,11 @@ type Config struct {
 	// TLS, when non-nil, enables HTTPS with certificate-based client
 	// authentication against ClientCAs.
 	TLS *TLSConfig
+	// DisableHTTP2 restricts the TLS listener to HTTP/1.1. By default the
+	// server offers ALPN "h2" and multiplexes concurrent RPCs over one
+	// connection; clients that cannot speak h2 (or offer no ALPN at all,
+	// like the raw /ws dialer) still negotiate down to HTTP/1.1.
+	DisableHTTP2 bool
 	// Logger receives framework logs; nil discards them.
 	Logger *log.Logger
 	// RequestLog, when non-nil, receives one structured entry per
@@ -112,6 +117,17 @@ type TLSConfig struct {
 	// RequireClientCert refuses connections without a verified client
 	// certificate.
 	RequireClientCert bool
+	// TicketRotate rotates the TLS session-ticket keys on this period.
+	// Zero without TicketSecret leaves Go's automatic per-process key
+	// rotation in place (fine standalone, useless across a federation).
+	TicketRotate time.Duration
+	// TicketSecret, when set, derives the ticket keys deterministically
+	// from (secret, time/TicketRotate): every peer sharing the secret and
+	// rotation period accepts each other's session tickets, so a client
+	// bouncing between federation peers behind one DNS name resumes
+	// instead of full-handshaking. With TicketRotate zero the secret
+	// yields a single static key.
+	TicketSecret string
 }
 
 // Server is a Clarens framework instance.
@@ -154,6 +170,12 @@ type Server struct {
 	mux      *http.ServeMux
 	httpSrv  *http.Server
 	listener net.Listener
+
+	// conns counts connection-layer events (TLS handshakes, resumptions,
+	// ALPN outcomes, per-protocol requests); tickets manages session-ticket
+	// key rotation for the TLS listener.
+	conns   connTracker
+	tickets *ticketKeeper
 
 	events *pubsub.Bus
 
@@ -227,6 +249,8 @@ func NewServer(cfg Config) (*Server, error) {
 		func() float64 { return float64(s.store.Fsyncs()) })
 	s.shed = s.telemetry.Counter("clarens.core.shed_total",
 		"RPCs rejected early by the load-shedding stage (overload, expired deadline, or drain).")
+	s.conns.register(s.telemetry)
+	s.RegisterStatsSection("conn", s.conns.stats)
 	s.runtimeSampler = telemetry.StartRuntimeSampler(s.telemetry, 10*time.Second)
 
 	if cfg.TraceStore {
@@ -546,6 +570,7 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "RPC endpoint accepts POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	s.conns.request(r)
 	codec := s.codecFor(r)
 	req, err := codec.DecodeRequest(r.Body)
 	if err != nil {
@@ -609,10 +634,41 @@ func (s *Server) Start(addr string) error {
 			ln.Close()
 			return err
 		}
+		// The keeper installs keys on tc itself; wrapping the listener with
+		// this same live config (rather than handing it to http.Server,
+		// which clones it and freezes the key set) is what lets rotation
+		// take effect without a restart.
+		s.tickets = newTicketKeeper(tc, s.cfg.TLS.TicketSecret, s.cfg.TLS.TicketRotate)
 		ln = tls.NewListener(ln, tc)
 	}
 	s.listener = ln
-	s.httpSrv = &http.Server{Handler: s.mux, ErrorLog: s.logger}
+	s.httpSrv = &http.Server{
+		Handler:  s.mux,
+		ErrorLog: s.logger,
+		ConnState: func(_ net.Conn, st http.ConnState) {
+			// HTTP/2 connections fire StateNew on accept and are then owned
+			// by the h2 layer (no further state hooks), so opened is exact
+			// across protocols while closed covers HTTP/1.x only.
+			switch st {
+			case http.StateNew:
+				s.conns.opened.Add(1)
+			case http.StateClosed, http.StateHijacked:
+				s.conns.closed.Add(1)
+			}
+		},
+	}
+	if s.cfg.TLS != nil && !s.cfg.DisableHTTP2 {
+		// srv.Serve on a tls.Listener does not wire up the bundled HTTP/2
+		// server by itself: the TLS config must offer "h2" via ALPN (done
+		// in tlsServerConfig) and the http.Server must enable the protocol
+		// so Serve registers the h2 connection handler. Declare it
+		// explicitly rather than relying on the nil-TLSConfig compatibility
+		// default.
+		var protos http.Protocols
+		protos.SetHTTP1(true)
+		protos.SetHTTP2(true)
+		s.httpSrv.Protocols = &protos
+	}
 	go func() {
 		if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			s.logger.Printf("core: serve: %v", err)
@@ -639,6 +695,20 @@ func (s *Server) tlsServerConfig() (*tls.Config, error) {
 		Certificates: []tls.Certificate{cert},
 		ClientAuth:   clientAuth,
 		MinVersion:   tls.VersionTLS12,
+		// Offer h2 first; clients that skip ALPN entirely (the raw /ws
+		// dialer, pre-h2 tooling) fall back to HTTP/1.1, which keeps the
+		// Upgrade/hijack path working on an h2-enabled server.
+		NextProtos: []string{"h2", "http/1.1"},
+		// VerifyConnection runs on every connection — including resumed
+		// ones, where the certificate callbacks are skipped — making it the
+		// one place handshake/resumption telemetry is complete.
+		VerifyConnection: func(cs tls.ConnectionState) error {
+			s.conns.handshake(cs)
+			return nil
+		},
+	}
+	if s.cfg.DisableHTTP2 {
+		cfg.NextProtos = []string{"http/1.1"}
 	}
 	if t.ClientCAs != nil {
 		cfg.ClientCAs = t.ClientCAs
@@ -707,6 +777,7 @@ func (s *Server) RPCPath() string { return s.cfg.RPCPath }
 // the bus and listener are torn down.
 func (s *Server) Close() error {
 	s.stopSamplerOnce.Do(s.runtimeSampler.Stop)
+	s.tickets.Stop()
 	s.closeWS()
 	s.events.Close()
 	if s.httpSrv != nil {
@@ -747,6 +818,7 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	drainErr := s.Drain(ctx)
 	s.stopSamplerOnce.Do(s.runtimeSampler.Stop)
+	s.tickets.Stop()
 	// WS connections are hijacked from the http.Server, so they are
 	// notified explicitly; the pubsub bus close unblocks their readers.
 	s.closeWS()

@@ -32,6 +32,21 @@ const (
 	reconnectMax = 2 * time.Second
 )
 
+// wsTLSConfig clones the client's TLS config for the raw /ws dial,
+// stripping ALPN: the transport's HTTP/2 setup appends "h2" to the
+// shared config's NextProtos in place, but the WebSocket upgrade is an
+// HTTP/1.1 handshake — a dial offering h2 would be routed to the
+// server's h2 connection handler and never reach the Upgrade path.
+// Offering no ALPN makes an h2-enabled server fall back to HTTP/1.1.
+func wsTLSConfig(tc *tls.Config) *tls.Config {
+	if tc == nil {
+		return nil
+	}
+	tc = tc.Clone()
+	tc.NextProtos = nil
+	return tc
+}
+
 // Subscription is a live push-event stream. Events arrive on Events()
 // until Close is called or the subscription fails permanently (the
 // server rejected the query, or the client was closed); Err reports why
@@ -70,7 +85,7 @@ func (c *Client) Subscribe(query string) (*Subscription, error) {
 	sub := &Subscription{
 		c:       c,
 		query:   query,
-		tlsConf: c.transport.TLSClientConfig,
+		tlsConf: wsTLSConfig(c.transport.TLSClientConfig),
 		timeout: c.http.Timeout,
 		ch:      make(chan Event, 64),
 		done:    make(chan struct{}),
